@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks of the MinIO eviction heuristics
+//! (supports the Figure 7/8 experiments).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use minio::{schedule_io, ALL_POLICIES};
+use ordering::OrderingMethod;
+use sparsemat::gen::ProblemKind;
+use symbolic::assembly_tree_for;
+use treemem::minmem::min_mem;
+use treemem::postorder::best_postorder;
+
+fn bench_policies(criterion: &mut Criterion) {
+    let pattern = ProblemKind::Grid2d.generate(900, 5);
+    let assembly = assembly_tree_for(&pattern, OrderingMethod::MinimumDegree, 4);
+    let tree = assembly.tree;
+    let traversal = best_postorder(&tree).traversal;
+    let peak = traversal.peak_memory(&tree).unwrap();
+    let lower = tree.max_mem_req();
+    let memory = lower + (peak - lower) / 2;
+
+    let mut group = criterion.benchmark_group("minio-policies");
+    for policy in ALL_POLICIES {
+        group.bench_with_input(
+            BenchmarkId::new("postorder-traversal", policy.name()),
+            &policy,
+            |bencher, &policy| bencher.iter(|| schedule_io(&tree, &traversal, memory, policy).unwrap().io_volume),
+        );
+    }
+    group.finish();
+}
+
+fn bench_traversal_plus_io(criterion: &mut Criterion) {
+    // Full pipeline cost: compute the traversal, then schedule the I/O.
+    let pattern = ProblemKind::Grid2d.generate(400, 5);
+    let assembly = assembly_tree_for(&pattern, OrderingMethod::MinimumDegree, 2);
+    let tree = assembly.tree;
+    let mut group = criterion.benchmark_group("minio-end-to-end");
+    group.bench_function("minmem+firstfit", |bencher| {
+        bencher.iter(|| {
+            let optimal = min_mem(&tree);
+            let lower = tree.max_mem_req();
+            let memory = lower + (optimal.peak - lower) / 2;
+            schedule_io(&tree, &optimal.traversal, memory, minio::EvictionPolicy::FirstFit)
+                .unwrap()
+                .io_volume
+        })
+    });
+    group.bench_function("postorder+firstfit", |bencher| {
+        bencher.iter(|| {
+            let po = best_postorder(&tree);
+            let lower = tree.max_mem_req();
+            let memory = lower + (po.peak - lower) / 2;
+            schedule_io(&tree, &po.traversal, memory, minio::EvictionPolicy::FirstFit)
+                .unwrap()
+                .io_volume
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_policies, bench_traversal_plus_io
+}
+criterion_main!(benches);

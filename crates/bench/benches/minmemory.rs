@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks of the three MinMemory algorithms
+//! (supports the running-time comparison of Figure 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ordering::OrderingMethod;
+use sparsemat::gen::ProblemKind;
+use symbolic::assembly_tree_for;
+use treemem::gadgets::harpoon_tower;
+use treemem::liu::liu_exact;
+use treemem::minmem::min_mem;
+use treemem::postorder::best_postorder;
+use treemem::random::reweight_paper;
+use treemem::Tree;
+
+fn assembly_trees() -> Vec<(String, Tree)> {
+    let mut trees = Vec::new();
+    for (kind, size) in [(ProblemKind::Grid2d, 400usize), (ProblemKind::Grid2d, 900), (ProblemKind::Random, 600)] {
+        let pattern = kind.generate(size, 11);
+        let assembly = assembly_tree_for(&pattern, OrderingMethod::MinimumDegree, 4);
+        trees.push((format!("{}-{}", kind.name(), pattern.n()), assembly.tree));
+    }
+    trees.push(("harpoon-4-3".to_string(), harpoon_tower(4, 4000, 1, 3)));
+    trees
+}
+
+fn bench_minmemory(criterion: &mut Criterion) {
+    let trees = assembly_trees();
+    let mut group = criterion.benchmark_group("minmemory");
+    for (name, tree) in &trees {
+        group.bench_with_input(BenchmarkId::new("postorder", name), tree, |bencher, tree| {
+            bencher.iter(|| best_postorder(tree).peak)
+        });
+        group.bench_with_input(BenchmarkId::new("liu", name), tree, |bencher, tree| {
+            bencher.iter(|| liu_exact(tree).peak)
+        });
+        group.bench_with_input(BenchmarkId::new("minmem", name), tree, |bencher, tree| {
+            bencher.iter(|| min_mem(tree).peak)
+        });
+    }
+    group.finish();
+}
+
+fn bench_random_weights(criterion: &mut Criterion) {
+    // Random weights (Section VI-E) make the instances harder for the exact
+    // algorithms: benchmark that regime separately.
+    let base = assembly_trees();
+    let mut group = criterion.benchmark_group("minmemory-random-weights");
+    for (name, tree) in base.iter().take(2) {
+        let random = reweight_paper(tree, 99);
+        group.bench_with_input(BenchmarkId::new("postorder", name), &random, |bencher, tree| {
+            bencher.iter(|| best_postorder(tree).peak)
+        });
+        group.bench_with_input(BenchmarkId::new("minmem", name), &random, |bencher, tree| {
+            bencher.iter(|| min_mem(tree).peak)
+        });
+        group.bench_with_input(BenchmarkId::new("liu", name), &random, |bencher, tree| {
+            bencher.iter(|| liu_exact(tree).peak)
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_minmemory, bench_random_weights
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Ablation study (not a figure of the paper, but a design-choice analysis
+//! called out in DESIGN.md): how do the *ordering method* and the
+//! *amalgamation allowance* — the two knobs of the assembly-tree pipeline —
+//! affect the minimum memory, the postorder/optimal gap and the out-of-core
+//! volume?
+//!
+//! The paper fixes MeTiS/amd orderings and sweeps the allowance only through
+//! {1, 2, 4, 16}; this experiment makes both dimensions explicit so the
+//! sensitivity of the headline results to the substrate choices is visible.
+
+use bench::{run_with_big_stack, write_report, ExperimentArgs, ReportFile};
+use minio::{schedule_io, EvictionPolicy};
+use ordering::OrderingMethod;
+use sparsemat::gen::ProblemKind;
+use symbolic::assembly_tree_for;
+use treemem::minmem::min_mem;
+use treemem::postorder::best_postorder;
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    run_with_big_stack(move || run(args));
+}
+
+fn run(args: ExperimentArgs) {
+    let size = if args.quick { 400 } else { 1600 };
+    println!("# Ablation: ordering method x amalgamation allowance (grid2d and random, n ~ {size})\n");
+    println!(
+        "{:<9} {:<8} {:>4} {:>7} {:>12} {:>12} {:>7} {:>12}",
+        "problem", "ordering", "amal", "nodes", "optimal", "postorder", "ratio", "io@memreq"
+    );
+    let mut rows = String::from(
+        "problem,ordering,amalgamation,nodes,optimal_peak,postorder_peak,ratio,io_at_memreq\n",
+    );
+
+    for kind in [ProblemKind::Grid2d, ProblemKind::Random, ProblemKind::PowerLaw] {
+        let pattern = kind.generate(size, args.seed);
+        for method in OrderingMethod::ALL {
+            for allowance in [1usize, 2, 4, 16] {
+                let assembly = assembly_tree_for(&pattern, method, allowance);
+                let tree = &assembly.tree;
+                let po = best_postorder(tree);
+                let opt = min_mem(tree);
+                let ratio = po.peak as f64 / opt.peak as f64;
+                // Out-of-core volume at the hardest feasible budget, with the
+                // best traversal and the best heuristic of Figure 7.
+                let io = schedule_io(tree, &opt.traversal, tree.max_mem_req(), EvictionPolicy::FirstFit)
+                    .map(|run| run.io_volume)
+                    .unwrap_or(-1);
+                println!(
+                    "{:<9} {:<8} {:>4} {:>7} {:>12} {:>12} {:>7.3} {:>12}",
+                    kind.name(),
+                    method.name(),
+                    allowance,
+                    tree.len(),
+                    opt.peak,
+                    po.peak,
+                    ratio,
+                    io
+                );
+                rows.push_str(&format!(
+                    "{},{},{},{},{},{},{:.4},{}\n",
+                    kind.name(),
+                    method.name(),
+                    allowance,
+                    tree.len(),
+                    opt.peak,
+                    po.peak,
+                    ratio,
+                    io
+                ));
+            }
+        }
+        println!();
+    }
+
+    println!("Observations recorded in EXPERIMENTS.md: the allowance mainly trades tree size");
+    println!("against front granularity (it barely changes the optimal peak), while the");
+    println!("ordering changes the peak by an order of magnitude and decides whether any");
+    println!("out-of-core I/O is needed at the hardest feasible budget.");
+
+    let files = vec![ReportFile::new("ablation.csv", rows)];
+    match write_report("exp_ablation", &files) {
+        Ok(paths) => println!("\nWrote {} report file(s) under results/exp_ablation/", paths.len()),
+        Err(err) => eprintln!("could not write report files: {err}"),
+    }
+}

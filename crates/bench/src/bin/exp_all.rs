@@ -1,0 +1,55 @@
+//! Run every experiment binary in sequence with the quick corpus.
+//!
+//! Convenience entry point: `cargo run -p bench --release --bin exp_all`.
+//! Each experiment can also be run individually (and without `--quick`) —
+//! see the crate documentation for the mapping to the paper's tables and
+//! figures.
+
+use std::process::Command;
+
+fn main() {
+    // Forward `--quick` to every experiment only when it was passed to
+    // `exp_all` itself (or when no argument was given, to keep the default
+    // invocation fast); `exp_all --full` runs the full corpus everywhere.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let experiments = [
+        "exp_minmem_assembly",
+        "exp_runtime",
+        "exp_minio_heuristics",
+        "exp_minio_traversals",
+        "exp_minmem_random",
+        "exp_theorem1",
+        "exp_multifrontal",
+        "exp_ablation",
+    ];
+    let current = std::env::current_exe().expect("current executable path");
+    let directory = current.parent().expect("executable directory").to_path_buf();
+    let mut failures = Vec::new();
+    for experiment in experiments {
+        println!("\n================================================================");
+        println!("== {experiment}");
+        println!("================================================================");
+        // Prefer the sibling binary (already built when this one was); fall
+        // back to `cargo run` so `exp_all` also works from a fresh build.
+        let path = directory.join(experiment);
+        let mode = if full { "--full" } else { "--quick" };
+        let status = if path.exists() {
+            Command::new(&path).arg(mode).status()
+        } else {
+            Command::new("cargo")
+                .args(["run", "--quiet", "-p", "bench", "--release", "--bin", experiment, "--", mode])
+                .status()
+        };
+        let status = status.unwrap_or_else(|err| panic!("failed to launch {experiment}: {err}"));
+        if !status.success() {
+            failures.push(experiment);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nAll experiments completed successfully.");
+    } else {
+        eprintln!("\nExperiments with failures: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,105 @@
+//! Experiment E3 — Figure 7 of the paper.
+//!
+//! For every assembly tree, compute the MinMem traversal and run the six
+//! MinIO eviction heuristics with main-memory sizes swept between the largest
+//! single-node requirement and the traversal peak; compare the resulting I/O
+//! volumes with a performance profile.  Also reports the distance to the
+//! divisible-relaxation lower bound (an absolute-quality indicator the paper
+//! lists as future work).
+
+use bench::{default_corpus, memory_sweep, quick_corpus, random_corpus, run_with_big_stack, write_report, ExperimentArgs, ReportFile};
+use minio::{divisible_lower_bound, schedule_io, ALL_POLICIES};
+use perfprof::PerformanceProfile;
+use treemem::minmem::min_mem;
+
+/// Memory sizes as fractions of the way from `max MemReq` to the traversal
+/// peak (0.0 is the hardest feasible budget).
+const MEMORY_FRACTIONS: [f64; 4] = [0.0, 0.25, 0.5, 0.75];
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    run_with_big_stack(move || run(args));
+}
+
+fn run(args: ExperimentArgs) {
+    // As in the paper, the sweep runs on the assembly-tree corpus; the
+    // randomly re-weighted variants are added because on many synthetic
+    // assembly trees the optimal peak coincides with the largest single-node
+    // requirement, in which case no budget in the sweep requires any I/O (the
+    // profile would be a tie at zero).  See EXPERIMENTS.md.
+    let assembly = if args.quick { quick_corpus() } else { default_corpus() };
+    let mut corpus = random_corpus(&assembly, 1, args.seed);
+    corpus.trees.extend(assembly.trees);
+    println!("# Experiment E3 (Figure 7): I/O volume of the six heuristics on MinMem traversals");
+    println!("# {} trees x {} memory sizes\n", corpus.len(), MEMORY_FRACTIONS.len());
+
+    let policy_names: Vec<String> =
+        ALL_POLICIES.iter().map(|p| format!("MinMem + {}", p.name())).collect();
+    let mut costs: Vec<Vec<f64>> = vec![Vec::new(); ALL_POLICIES.len()];
+    let mut bound_gap_sum = vec![0.0f64; ALL_POLICIES.len()];
+    let mut cases_with_io = 0usize;
+    let mut cases_without_io = 0usize;
+    let mut rows = String::from("instance,memory,policy,io_volume,divisible_bound\n");
+
+    for entry in &corpus.trees {
+        let optimal = min_mem(&entry.tree);
+        for memory in memory_sweep(&entry.tree, optimal.peak, &MEMORY_FRACTIONS) {
+            let bound = divisible_lower_bound(&entry.tree, &optimal.traversal, memory)
+                .expect("memory is above max MemReq by construction");
+            let volumes: Vec<i64> = ALL_POLICIES
+                .iter()
+                .map(|policy| {
+                    schedule_io(&entry.tree, &optimal.traversal, memory, *policy)
+                        .expect("memory is above max MemReq by construction")
+                        .io_volume
+                })
+                .collect();
+            if volumes.iter().all(|&v| v == 0) {
+                // The budget is already sufficient for an in-core execution of
+                // this traversal; such cases carry no information about the
+                // heuristics and are excluded from the profile (but counted).
+                cases_without_io += 1;
+                continue;
+            }
+            cases_with_io += 1;
+            for (index, (policy, &volume)) in ALL_POLICIES.iter().zip(&volumes).enumerate() {
+                costs[index].push(volume as f64);
+                bound_gap_sum[index] += volume as f64 / (bound.max(1)) as f64;
+                rows.push_str(&format!(
+                    "{},{},{},{},{}\n",
+                    entry.name,
+                    memory,
+                    policy.name(),
+                    volume,
+                    bound
+                ));
+            }
+        }
+    }
+
+    println!("Cases requiring I/O: {cases_with_io} (plus {cases_without_io} in-core cases excluded)");
+    if cases_with_io == 0 {
+        println!("No case required I/O; nothing to profile.");
+        return;
+    }
+    let names: Vec<&str> = policy_names.iter().map(String::as_str).collect();
+    let profile = PerformanceProfile::from_costs(&names, &costs);
+    println!("Figure 7 — performance profile of the I/O volume (MinMem traversals)");
+    println!("{}", profile.to_ascii(5.0, 60));
+    for (index, name) in names.iter().enumerate() {
+        println!(
+            "{name:22} best on {:5.1}% of the cases, avg ratio to divisible bound {:.3}",
+            100.0 * profile.fraction_best(index),
+            bound_gap_sum[index] / cases_with_io as f64
+        );
+    }
+
+    let files = vec![
+        ReportFile::new("figure7_io.csv", rows),
+        ReportFile::new("figure7_profile.csv", profile.to_csv(5.0, 101)),
+    ];
+    match write_report("exp_minio_heuristics", &files) {
+        Ok(paths) => println!("\nWrote {} report file(s) under results/exp_minio_heuristics/", paths.len()),
+        Err(err) => eprintln!("could not write report files: {err}"),
+    }
+}

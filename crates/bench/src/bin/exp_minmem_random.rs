@@ -1,0 +1,73 @@
+//! Experiment E5 — Table II and Figure 9 of the paper.
+//!
+//! Keep the structure of every assembly tree of the corpus but draw random
+//! weights (execution files in `[1, N/500]`, input files in `[1, N]`, with
+//! `N` the number of nodes), then compare the best postorder with the optimal
+//! traversal.  On such general trees the postorder is much more frequently
+//! sub-optimal than on real assembly trees.
+
+use bench::{default_corpus, quick_corpus, random_corpus, run_with_big_stack, write_report, ExperimentArgs, MinMemoryMeasurement, ReportFile};
+use perfprof::{ratio_statistics, PerformanceProfile};
+
+/// Number of random re-weightings per tree structure (the paper generates
+/// "more than 3200 trees" from 291 structures, i.e. roughly 11 per matrix;
+/// the full corpus here uses 4 per structure to keep the running time
+/// moderate).
+const VARIANTS_PER_TREE: usize = 4;
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    run_with_big_stack(move || run(args));
+}
+
+fn run(args: ExperimentArgs) {
+    let base = if args.quick { quick_corpus() } else { default_corpus() };
+    let corpus = random_corpus(&base, if args.quick { 2 } else { VARIANTS_PER_TREE }, args.seed);
+    println!("# Experiment E5 (Table II / Figure 9): PostOrder vs optimal on random trees");
+    println!("# {} randomly re-weighted trees\n", corpus.len());
+
+    let mut postorder = Vec::with_capacity(corpus.len());
+    let mut optimal = Vec::with_capacity(corpus.len());
+    let mut rows = String::from("instance,nodes,postorder_peak,optimal_peak,ratio\n");
+    for entry in &corpus.trees {
+        let measurement = MinMemoryMeasurement::measure(&entry.tree);
+        postorder.push(measurement.postorder_peak as f64);
+        optimal.push(measurement.minmem_peak as f64);
+        rows.push_str(&format!(
+            "{},{},{},{},{:.6}\n",
+            entry.name,
+            entry.nodes,
+            measurement.postorder_peak,
+            measurement.minmem_peak,
+            measurement.postorder_peak as f64 / measurement.minmem_peak as f64
+        ));
+    }
+
+    let stats = ratio_statistics(&postorder, &optimal);
+    println!("Table II — statistics on the memory cost of PostOrder (random trees)");
+    println!("{}", stats.to_table("PostOrder", "opt"));
+
+    let profile = PerformanceProfile::from_costs(&["Optimal", "PostOrder"], &[optimal, postorder]);
+    println!("Figure 9 — performance profile (all random trees)");
+    println!("{}", profile.to_ascii(2.0, 60));
+
+    let files = vec![
+        ReportFile::new("table2_instances.csv", rows),
+        ReportFile::new("figure9_profile.csv", profile.to_csv(2.0, 101)),
+        ReportFile::new(
+            "table2_summary.txt",
+            format!(
+                "instances: {}\nnon-optimal fraction: {:.4}\nmax ratio: {:.4}\navg ratio: {:.4}\nstd dev: {:.4}\n",
+                stats.instances,
+                stats.fraction_suboptimal,
+                stats.max_ratio,
+                stats.mean_ratio,
+                stats.stddev_ratio
+            ),
+        ),
+    ];
+    match write_report("exp_minmem_random", &files) {
+        Ok(paths) => println!("Wrote {} report file(s) under results/exp_minmem_random/", paths.len()),
+        Err(err) => eprintln!("could not write report files: {err}"),
+    }
+}

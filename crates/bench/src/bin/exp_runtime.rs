@@ -1,0 +1,66 @@
+//! Experiment E2 — Figure 6 of the paper.
+//!
+//! Compare the running times of the three MinMemory algorithms (best
+//! postorder, Liu's exact algorithm, MinMem) on the assembly-tree corpus and
+//! report the Dolan–Moré performance profile of the times.
+
+use bench::{default_corpus, quick_corpus, run_with_big_stack, write_report, ExperimentArgs, MinMemoryMeasurement, ReportFile};
+use perfprof::PerformanceProfile;
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    run_with_big_stack(move || run(args));
+}
+
+fn run(args: ExperimentArgs) {
+    let corpus = if args.quick { quick_corpus() } else { default_corpus() };
+    println!("# Experiment E2 (Figure 6): running times of PostOrder / Liu / MinMem");
+    println!("# {} instances of {}\n", corpus.len(), corpus.description);
+
+    let mut postorder_times = Vec::with_capacity(corpus.len());
+    let mut liu_times = Vec::with_capacity(corpus.len());
+    let mut minmem_times = Vec::with_capacity(corpus.len());
+    let mut rows = String::from("instance,nodes,postorder_us,liu_us,minmem_us\n");
+    for entry in &corpus.trees {
+        let measurement = MinMemoryMeasurement::measure(&entry.tree);
+        let po = measurement.postorder_time.as_secs_f64() * 1e6;
+        let liu = measurement.liu_time.as_secs_f64() * 1e6;
+        let mm = measurement.minmem_time.as_secs_f64() * 1e6;
+        postorder_times.push(po);
+        liu_times.push(liu);
+        minmem_times.push(mm);
+        rows.push_str(&format!("{},{},{:.1},{:.1},{:.1}\n", entry.name, entry.nodes, po, liu, mm));
+    }
+
+    let profile = PerformanceProfile::from_costs(
+        &["MinMem", "PostOrder", "Liu"],
+        &[minmem_times.clone(), postorder_times.clone(), liu_times.clone()],
+    );
+    println!("Figure 6 — performance profile of the running times (lower τ is better)");
+    println!("{}", profile.to_ascii(5.0, 60));
+    for (index, name) in profile.method_names().iter().enumerate() {
+        println!(
+            "{name:10} fastest on {:5.1}% of the instances, within 2x on {:5.1}%",
+            100.0 * profile.fraction_best(index),
+            100.0 * profile.value_at(index, 2.0)
+        );
+    }
+
+    let total = |values: &[f64]| values.iter().sum::<f64>() / 1e3;
+    println!(
+        "\nTotal time: PostOrder {:.1} ms, Liu {:.1} ms, MinMem {:.1} ms over {} trees",
+        total(&postorder_times),
+        total(&liu_times),
+        total(&minmem_times),
+        corpus.len()
+    );
+
+    let files = vec![
+        ReportFile::new("figure6_times.csv", rows),
+        ReportFile::new("figure6_profile.csv", profile.to_csv(5.0, 101)),
+    ];
+    match write_report("exp_runtime", &files) {
+        Ok(paths) => println!("Wrote {} report file(s) under results/exp_runtime/", paths.len()),
+        Err(err) => eprintln!("could not write report files: {err}"),
+    }
+}

@@ -1,0 +1,177 @@
+//! Corpus generation for the experiments.
+//!
+//! The paper uses 291 matrices of the UF Sparse Matrix Collection, each
+//! ordered with MeTiS and `amd` and amalgamated with allowances 1, 2, 4 and
+//! 16.  The synthetic corpus generated here follows the same recipe on the
+//! problem generators of the `sparsemat` crate (see DESIGN.md for the
+//! substitution rationale): every (problem kind, size) pair produces one
+//! matrix, and every (ordering, amalgamation) combination of that matrix
+//! produces one weighted assembly tree.
+//!
+//! Tree generation fans out over `crossbeam` scoped threads because the
+//! symbolic pipeline (ordering + elimination tree + column counts) dominates
+//! the corpus construction time.
+
+use ordering::OrderingMethod;
+use sparsemat::gen::ProblemKind;
+use symbolic::{assembly_instances, AssemblyInstance, PipelineConfig};
+use treemem::random::reweight_paper;
+use treemem::Tree;
+
+/// One weighted tree of the corpus, with its provenance.
+#[derive(Debug, Clone)]
+pub struct CorpusTree {
+    /// Instance name (`problem-n-ordering-amalgamation`).
+    pub name: String,
+    /// The weighted assembly tree.
+    pub tree: Tree,
+    /// Number of nodes of the tree (cached for reports).
+    pub nodes: usize,
+}
+
+/// A corpus of weighted trees.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// Human-readable description (printed in reports).
+    pub description: String,
+    /// The trees.
+    pub trees: Vec<CorpusTree>,
+}
+
+impl Corpus {
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+fn corpus_from_instances(description: &str, instances: Vec<AssemblyInstance>) -> Corpus {
+    let trees = instances
+        .into_iter()
+        .map(|instance| CorpusTree {
+            name: instance.name,
+            nodes: instance.assembly.tree.len(),
+            tree: instance.assembly.tree,
+        })
+        .collect();
+    Corpus { description: description.to_string(), trees }
+}
+
+/// Configuration used by the full experiments (a few thousand tree nodes per
+/// instance, every generator, every ordering, the paper's amalgamation
+/// allowances).
+pub fn default_config() -> PipelineConfig {
+    PipelineConfig {
+        problems: ProblemKind::ALL.to_vec(),
+        sizes: vec![400, 900, 2500],
+        orderings: vec![
+            OrderingMethod::MinimumDegree,
+            OrderingMethod::NestedDissection,
+            OrderingMethod::ReverseCuthillMcKee,
+            OrderingMethod::Natural,
+        ],
+        amalgamations: vec![1, 2, 4, 16],
+        seed: 0x5eed,
+    }
+}
+
+/// Configuration used by `--quick` runs and the integration tests.
+pub fn quick_config() -> PipelineConfig {
+    PipelineConfig {
+        problems: vec![ProblemKind::Grid2d, ProblemKind::Random, ProblemKind::PowerLaw],
+        sizes: vec![225, 400],
+        orderings: vec![OrderingMethod::MinimumDegree, OrderingMethod::NestedDissection],
+        amalgamations: vec![1, 4],
+        seed: 0x5eed,
+    }
+}
+
+/// Generate the assembly-tree corpus for the given configuration, fanning
+/// out over the available cores.
+pub fn corpus_for(config: &PipelineConfig, description: &str) -> Corpus {
+    // `assembly_instances` is already a simple loop; parallelise over
+    // (problem, size) chunks by splitting the configuration.
+    let mut sub_configs = Vec::new();
+    for &problem in &config.problems {
+        for &size in &config.sizes {
+            let mut sub = config.clone();
+            sub.problems = vec![problem];
+            sub.sizes = vec![size];
+            sub_configs.push(sub);
+        }
+    }
+    let mut collected: Vec<Vec<AssemblyInstance>> = Vec::with_capacity(sub_configs.len());
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = sub_configs
+            .iter()
+            .map(|sub| scope.spawn(move |_| assembly_instances(sub)))
+            .collect();
+        for handle in handles {
+            collected.push(handle.join().expect("corpus worker panicked"));
+        }
+    })
+    .expect("corpus generation scope");
+    let instances: Vec<AssemblyInstance> = collected.into_iter().flatten().collect();
+    corpus_from_instances(description, instances)
+}
+
+/// The full corpus used by the experiments (unless `--quick` is passed).
+pub fn default_corpus() -> Corpus {
+    corpus_for(&default_config(), "assembly trees, full synthetic corpus")
+}
+
+/// A small corpus for quick runs and tests.
+pub fn quick_corpus() -> Corpus {
+    corpus_for(&quick_config(), "assembly trees, quick synthetic corpus")
+}
+
+/// The randomly re-weighted corpus of Section VI-E (Table II / Figure 9):
+/// the same tree structures with node weights drawn in `[1, N/500]` and edge
+/// weights in `[1, N]`.
+pub fn random_corpus(base: &Corpus, variants_per_tree: usize, seed: u64) -> Corpus {
+    let mut trees = Vec::with_capacity(base.trees.len() * variants_per_tree);
+    for (index, entry) in base.trees.iter().enumerate() {
+        for variant in 0..variants_per_tree {
+            let tree_seed = seed
+                .wrapping_add(index as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(variant as u64);
+            trees.push(CorpusTree {
+                name: format!("{}-rw{}", entry.name, variant),
+                tree: reweight_paper(&entry.tree, tree_seed),
+                nodes: entry.nodes,
+            });
+        }
+    }
+    Corpus { description: format!("{} (randomly re-weighted)", base.description), trees }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_corpus_is_nonempty_and_named_uniquely() {
+        let corpus = quick_corpus();
+        assert!(!corpus.is_empty());
+        assert_eq!(corpus.len(), quick_config().instance_count());
+        let mut names: Vec<&str> = corpus.trees.iter().map(|t| t.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), corpus.len());
+    }
+
+    #[test]
+    fn random_corpus_keeps_topologies_and_changes_weights() {
+        let base = corpus_for(&quick_config(), "base");
+        let random = random_corpus(&base, 2, 1);
+        assert_eq!(random.len(), 2 * base.len());
+        assert_eq!(random.trees[0].tree.parents(), base.trees[0].tree.parents());
+        assert_ne!(random.trees[0].tree.files(), base.trees[0].tree.files());
+    }
+}

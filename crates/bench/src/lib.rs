@@ -1,0 +1,31 @@
+//! # bench — experiment harness regenerating the paper's tables and figures
+//!
+//! Every binary in `src/bin/` regenerates one experimental artifact of the
+//! paper (see `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for
+//! recorded results):
+//!
+//! | binary | paper artifact |
+//! |--------|----------------|
+//! | `exp_minmem_assembly`  | Table I and Figure 5 |
+//! | `exp_runtime`          | Figure 6 |
+//! | `exp_minio_heuristics` | Figure 7 |
+//! | `exp_minio_traversals` | Figure 8 |
+//! | `exp_minmem_random`    | Table II and Figure 9 |
+//! | `exp_theorem1`         | Theorem 1 (harpoon towers) and Theorem 2 gadget |
+//! | `exp_multifrontal`     | end-to-end multifrontal check (Section II-A) |
+//! | `exp_all`              | everything above, with the quick corpus |
+//!
+//! The library part of the crate holds the shared infrastructure: corpus
+//! generation (the synthetic replacement of the paper's UF-collection data
+//! set), timing helpers, and report writing.
+
+pub mod corpus;
+pub mod report;
+pub mod runner;
+
+pub use corpus::{
+    corpus_for, default_config, default_corpus, quick_config, quick_corpus, random_corpus, Corpus,
+    CorpusTree,
+};
+pub use report::{write_report, ExperimentArgs, ReportFile};
+pub use runner::{memory_sweep, run_with_big_stack, time_it, MinMemoryMeasurement};

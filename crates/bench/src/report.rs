@@ -1,0 +1,114 @@
+//! Report output: every experiment binary prints its tables to stdout and
+//! writes machine-readable CSV files under `results/`.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A report file to be written under the results directory.
+#[derive(Debug, Clone)]
+pub struct ReportFile {
+    /// File name (relative to the results directory).
+    pub name: String,
+    /// File contents.
+    pub contents: String,
+}
+
+impl ReportFile {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, contents: impl Into<String>) -> Self {
+        ReportFile { name: name.into(), contents: contents.into() }
+    }
+}
+
+/// Default results directory (relative to the workspace root / current
+/// directory): `results/`.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("TREEMEM_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Write the report files under the results directory, creating it if
+/// needed, and return the paths written.
+pub fn write_report(experiment: &str, files: &[ReportFile]) -> io::Result<Vec<PathBuf>> {
+    let directory = results_dir().join(experiment);
+    fs::create_dir_all(&directory)?;
+    let mut written = Vec::with_capacity(files.len());
+    for file in files {
+        let path = directory.join(&file.name);
+        write_file(&path, &file.contents)?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+fn write_file(path: &Path, contents: &str) -> io::Result<()> {
+    fs::write(path, contents)
+}
+
+/// Parse the experiment command line: returns `true` when `--quick` was
+/// passed (smaller corpus) and exposes any `--seed <n>` override.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentArgs {
+    /// Run with the reduced corpus.
+    pub quick: bool,
+    /// Seed override for randomized corpora.
+    pub seed: u64,
+}
+
+impl ExperimentArgs {
+    /// Parse `std::env::args()`.
+    pub fn from_env() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::from_slice(&args)
+    }
+
+    /// Parse an explicit argument list (used by tests).
+    pub fn from_slice(args: &[String]) -> Self {
+        let mut quick = false;
+        let mut seed = 42;
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--quick" => quick = true,
+                "--seed" => {
+                    if let Some(value) = iter.next() {
+                        if let Ok(parsed) = value.parse() {
+                            seed = parsed;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        ExperimentArgs { quick, seed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argument_parsing() {
+        let args = ExperimentArgs::from_slice(&[]);
+        assert!(!args.quick);
+        assert_eq!(args.seed, 42);
+        let args = ExperimentArgs::from_slice(&["--quick".into(), "--seed".into(), "7".into()]);
+        assert!(args.quick);
+        assert_eq!(args.seed, 7);
+    }
+
+    #[test]
+    fn report_files_are_written() {
+        let unique = format!("selftest-{}", std::process::id());
+        std::env::set_var("TREEMEM_RESULTS_DIR", std::env::temp_dir().join("treemem-results"));
+        let written = write_report(&unique, &[ReportFile::new("a.csv", "x,y\n1,2\n")]).unwrap();
+        assert_eq!(written.len(), 1);
+        let content = std::fs::read_to_string(&written[0]).unwrap();
+        assert!(content.contains("x,y"));
+        std::fs::remove_dir_all(results_dir().join(&unique)).ok();
+        std::env::remove_var("TREEMEM_RESULTS_DIR");
+    }
+}

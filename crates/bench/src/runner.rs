@@ -1,0 +1,123 @@
+//! Measurement helpers shared by the experiment binaries.
+
+use std::time::{Duration, Instant};
+
+use treemem::liu::liu_exact;
+use treemem::minmem::min_mem;
+use treemem::postorder::best_postorder;
+use treemem::tree::Size;
+use treemem::{Traversal, Tree};
+
+/// Measure the wall-clock time of a closure and return it with the result.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+/// Run a closure on a thread with a large stack.  The exact algorithms
+/// recurse along the height of the tree, which can approach the number of
+/// nodes for chain-like assembly trees (RCM / natural orderings), so the
+/// experiment binaries always run their body through this helper.
+pub fn run_with_big_stack<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T {
+    std::thread::Builder::new()
+        .name("experiment".to_string())
+        .stack_size(512 * 1024 * 1024)
+        .spawn(f)
+        .expect("failed to spawn experiment thread")
+        .join()
+        .expect("experiment thread panicked")
+}
+
+/// Peaks and running times of the three MinMemory algorithms on one tree.
+#[derive(Debug, Clone)]
+pub struct MinMemoryMeasurement {
+    /// Peak memory of the best postorder traversal.
+    pub postorder_peak: Size,
+    /// Peak memory of Liu's exact algorithm (the optimum).
+    pub liu_peak: Size,
+    /// Peak memory of the MinMem algorithm (the optimum).
+    pub minmem_peak: Size,
+    /// Running time of the best-postorder computation.
+    pub postorder_time: Duration,
+    /// Running time of Liu's exact algorithm.
+    pub liu_time: Duration,
+    /// Running time of MinMem.
+    pub minmem_time: Duration,
+    /// The best postorder traversal (used by the MinIO experiments).
+    pub postorder_traversal: Traversal,
+    /// The traversal produced by Liu's algorithm.
+    pub liu_traversal: Traversal,
+    /// The traversal produced by MinMem.
+    pub minmem_traversal: Traversal,
+}
+
+impl MinMemoryMeasurement {
+    /// Run the three algorithms on `tree`, checking the exactness invariants
+    /// on the fly (the two exact algorithms must agree and never exceed the
+    /// postorder).
+    pub fn measure(tree: &Tree) -> Self {
+        let (po, postorder_time) = time_it(|| best_postorder(tree));
+        let (liu, liu_time) = time_it(|| liu_exact(tree));
+        let (mm, minmem_time) = time_it(|| min_mem(tree));
+        assert_eq!(liu.peak, mm.peak, "the two exact algorithms must agree");
+        assert!(mm.peak <= po.peak, "an exact algorithm cannot exceed the postorder");
+        MinMemoryMeasurement {
+            postorder_peak: po.peak,
+            liu_peak: liu.peak,
+            minmem_peak: mm.peak,
+            postorder_time,
+            liu_time,
+            minmem_time,
+            postorder_traversal: po.traversal,
+            liu_traversal: liu.traversal,
+            minmem_traversal: mm.traversal,
+        }
+    }
+}
+
+/// The memory sizes at which the MinIO experiments are run for a given
+/// traversal: fractions of the way from the largest single-node requirement
+/// (below which no execution is possible) to the traversal's peak (above
+/// which no I/O is needed).
+pub fn memory_sweep(tree: &Tree, traversal_peak: Size, fractions: &[f64]) -> Vec<Size> {
+    let lower = tree.max_mem_req();
+    let upper = traversal_peak;
+    fractions
+        .iter()
+        .map(|&fraction| {
+            let f = fraction.clamp(0.0, 1.0);
+            lower + (((upper - lower) as f64) * f).round() as Size
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treemem::gadgets::harpoon;
+
+    #[test]
+    fn measurement_reports_consistent_values() {
+        let tree = harpoon(4, 400, 1);
+        let m = MinMemoryMeasurement::measure(&tree);
+        assert_eq!(m.liu_peak, m.minmem_peak);
+        assert_eq!(m.minmem_peak, 404);
+        assert_eq!(m.postorder_peak, 701);
+        assert_eq!(m.postorder_traversal.len(), tree.len());
+    }
+
+    #[test]
+    fn memory_sweep_spans_the_range() {
+        let tree = harpoon(4, 400, 1);
+        let sweep = memory_sweep(&tree, 701, &[0.0, 0.5, 1.0]);
+        assert_eq!(sweep[0], tree.max_mem_req());
+        assert_eq!(sweep[2], 701);
+        assert!(sweep[1] > sweep[0] && sweep[1] < sweep[2]);
+    }
+
+    #[test]
+    fn big_stack_runner_returns_the_value() {
+        assert_eq!(run_with_big_stack(|| 6 * 7), 42);
+    }
+}

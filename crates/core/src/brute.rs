@@ -1,0 +1,190 @@
+//! Brute-force optimal traversal for small trees.
+//!
+//! The MinMemory problem can be solved exactly by dynamic programming over
+//! the *states* of a traversal: a state is the set of already-executed nodes
+//! (a "downward-closed" set containing the root), and the resident memory of
+//! a state is fully determined by it.  The number of states is exponential in
+//! general, so this module is only meant as an **oracle for tests** (it
+//! refuses trees with more than 63 nodes); the polynomial exact algorithms
+//! are in [`crate::minmem`] and [`crate::liu`].
+
+use std::collections::HashMap;
+
+use crate::traversal::Traversal;
+use crate::tree::{NodeId, Size, Tree};
+use crate::TraversalResult;
+
+/// Maximum number of nodes accepted by the brute-force oracle.
+pub const MAX_BRUTE_FORCE_NODES: usize = 63;
+
+struct Solver<'a> {
+    tree: &'a Tree,
+    children_sum: Vec<Size>,
+    // executed-set bitmask -> minimal peak needed to finish the traversal
+    // from that state (not counting memory used before reaching the state).
+    memo: HashMap<u64, Size>,
+}
+
+impl<'a> Solver<'a> {
+    fn new(tree: &'a Tree) -> Self {
+        let children_sum = tree.nodes().map(|i| tree.children_file_sum(i)).collect();
+        Solver { tree, children_sum, memo: HashMap::new() }
+    }
+
+    fn resident(&self, executed: u64) -> Size {
+        let mut total = 0;
+        for i in self.tree.nodes() {
+            if executed & (1 << i) != 0 {
+                continue;
+            }
+            let ready = match self.tree.parent(i) {
+                None => true,
+                Some(par) => executed & (1 << par) != 0,
+            };
+            if ready {
+                total += self.tree.f(i);
+            }
+        }
+        total
+    }
+
+    fn ready_nodes(&self, executed: u64) -> Vec<NodeId> {
+        self.tree
+            .nodes()
+            .filter(|&i| {
+                executed & (1 << i) == 0
+                    && match self.tree.parent(i) {
+                        None => true,
+                        Some(par) => executed & (1 << par) != 0,
+                    }
+            })
+            .collect()
+    }
+
+    fn solve(&mut self, executed: u64, resident: Size) -> Size {
+        debug_assert_eq!(resident, self.resident(executed), "resident memory tracked incrementally");
+        if executed.count_ones() as usize == self.tree.len() {
+            return 0;
+        }
+        if let Some(&cached) = self.memo.get(&executed) {
+            return cached;
+        }
+        let mut best = Size::MAX;
+        for i in self.ready_nodes(executed) {
+            let during = resident + self.tree.n(i) + self.children_sum[i];
+            let next_resident = resident - self.tree.f(i) + self.children_sum[i];
+            let rest = self.solve(executed | (1 << i), next_resident);
+            best = best.min(during.max(rest));
+        }
+        self.memo.insert(executed, best);
+        best
+    }
+
+    fn reconstruct(&mut self, target: Size) -> Vec<NodeId> {
+        let mut order = Vec::with_capacity(self.tree.len());
+        let mut executed = 0u64;
+        let mut resident = self.tree.f(self.tree.root());
+        // The root has no executed parent but is always ready; `resident`
+        // starts at its input-file size, matching Algorithm 1.
+        while (executed.count_ones() as usize) < self.tree.len() {
+            let ready = self.ready_nodes(executed);
+            let mut chosen = None;
+            for &i in &ready {
+                let during = resident + self.tree.n(i) + self.children_sum[i];
+                if during > target {
+                    continue;
+                }
+                let next_resident = resident - self.tree.f(i) + self.children_sum[i];
+                let rest = self.solve(executed | (1 << i), next_resident);
+                if during.max(rest) <= target {
+                    chosen = Some((i, next_resident));
+                    break;
+                }
+            }
+            let (i, next_resident) =
+                chosen.expect("reconstruction must succeed with the optimal target");
+            order.push(i);
+            executed |= 1 << i;
+            resident = next_resident;
+        }
+        order
+    }
+}
+
+/// Compute the exact MinMemory value and an optimal traversal by exhaustive
+/// dynamic programming over traversal states.
+///
+/// # Panics
+/// Panics if the tree has more than [`MAX_BRUTE_FORCE_NODES`] nodes.
+pub fn brute_force_optimal(tree: &Tree) -> TraversalResult {
+    assert!(
+        tree.len() <= MAX_BRUTE_FORCE_NODES,
+        "brute force oracle only supports up to {MAX_BRUTE_FORCE_NODES} nodes, got {}",
+        tree.len()
+    );
+    let mut solver = Solver::new(tree);
+    let initial_resident = tree.f(tree.root());
+    let peak = solver.solve(0, initial_resident);
+    let order = solver.reconstruct(peak);
+    let traversal = Traversal::new(order);
+    debug_assert_eq!(traversal.peak_memory(tree).unwrap(), peak);
+    TraversalResult { traversal, peak }
+}
+
+/// Compute only the optimal peak (slightly cheaper than
+/// [`brute_force_optimal`] because the traversal is not reconstructed).
+pub fn brute_force_peak(tree: &Tree) -> Size {
+    assert!(tree.len() <= MAX_BRUTE_FORCE_NODES);
+    let mut solver = Solver::new(tree);
+    let initial_resident = tree.f(tree.root());
+    solver.solve(0, initial_resident)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gadgets::harpoon;
+    use crate::minmem::min_mem;
+    use crate::postorder::best_postorder;
+    use crate::tree::TreeBuilder;
+
+    #[test]
+    fn brute_force_matches_hand_computation() {
+        // Same two-branch tree as in traversal.rs: the best order processes
+        // the (c, d) branch first and peaks at 9 (during c: files of a and c
+        // resident plus the output for d).
+        let mut b = TreeBuilder::new();
+        let r = b.add_root(1, 0);
+        let a = b.add_child(r, 2, 0);
+        b.add_child(a, 6, 0);
+        let c = b.add_child(r, 3, 0);
+        b.add_child(c, 4, 0);
+        let tree = b.build().unwrap();
+        let result = brute_force_optimal(&tree);
+        assert_eq!(result.peak, 9);
+        assert_eq!(result.peak, result.traversal.peak_memory(&tree).unwrap());
+    }
+
+    #[test]
+    fn brute_force_agrees_with_min_mem_on_the_harpoon() {
+        let tree = harpoon(3, 30, 1);
+        assert_eq!(brute_force_peak(&tree), min_mem(&tree).peak);
+    }
+
+    #[test]
+    fn brute_force_is_a_lower_bound_for_postorder() {
+        let tree = harpoon(4, 40, 1);
+        let brute = brute_force_peak(&tree);
+        let po = best_postorder(&tree);
+        assert!(brute <= po.peak);
+        assert_eq!(brute, 44);
+        assert_eq!(po.peak, 40 + 1 + 3 * 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "brute force oracle")]
+    fn brute_force_rejects_large_trees() {
+        let tree = harpoon(30, 300, 1); // 91 nodes
+        brute_force_optimal(&tree);
+    }
+}

@@ -1,0 +1,260 @@
+//! Liu's exact algorithm for MinMemory (Liu, 1987: *An application of
+//! generalized tree pebbling to sparse matrix factorization*), used by the
+//! paper as the reference exact algorithm.
+//!
+//! The algorithm works bottom-up on the in-tree orientation, which is the
+//! natural orientation of assembly trees.  The optimal traversal of every
+//! subtree is summarised by its *hill–valley cost sequence*: a list of
+//! segments `(h₁, v₁), (h₂, v₂), …` where `hₜ` is the memory peak while the
+//! segment runs and `vₜ` the resident memory when it ends (a point where the
+//! traversal may be interrupted to switch to a sibling subtree).  The
+//! sequences are kept in *normal form*:
+//!
+//! * valleys are non-decreasing (`v₁ ≤ v₂ ≤ …`), and
+//! * the differences `hₜ − vₜ` are non-increasing.
+//!
+//! Liu's combination theorem states that, given the normal-form sequences of
+//! the children of a node, an optimal traversal of the node's subtree is
+//! obtained by merging all child segments in non-increasing order of
+//! `h − v` (which respects each child's internal order), appending the
+//! node's own execution, and re-normalising.
+//!
+//! The top-down traversal returned by [`liu_exact`] is the reverse of the
+//! bottom-up traversal, by the in-tree ↔ out-tree equivalence of
+//! Section III-C of the paper; its peak memory is identical.
+//!
+//! The worst-case complexity is `O(p²)` (the paper notes that reaching this
+//! bound requires a sophisticated multi-way merge; this implementation uses a
+//! simple stable sort, which is `O(p² log p)` in the worst case but close to
+//! `O(p log p)` on realistic assembly trees).
+
+use crate::traversal::Traversal;
+use crate::tree::{NodeId, Size, Tree};
+use crate::TraversalResult;
+
+/// One hill–valley segment of a (bottom-up) subtree traversal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Memory peak while the segment runs (absolute, within the subtree).
+    pub hill: Size,
+    /// Resident memory when the segment ends.
+    pub valley: Size,
+    /// Nodes executed by the segment, in bottom-up execution order.
+    pub nodes: Vec<NodeId>,
+}
+
+impl Segment {
+    fn key(&self) -> Size {
+        self.hill - self.valley
+    }
+}
+
+/// Result of [`liu_exact`].
+#[derive(Debug, Clone)]
+pub struct LiuResult {
+    /// An optimal traversal (top-down order, root first).
+    pub traversal: Traversal,
+    /// The minimum memory for an in-core traversal of the tree.
+    pub peak: Size,
+    /// The normal-form hill–valley sequence of the whole tree (bottom-up
+    /// orientation), useful for diagnostics and for the experiments.
+    pub segments: Vec<Segment>,
+}
+
+impl From<LiuResult> for TraversalResult {
+    fn from(value: LiuResult) -> Self {
+        TraversalResult { traversal: value.traversal, peak: value.peak }
+    }
+}
+
+/// Append `segment` to `sequence`, merging segments as needed to restore the
+/// normal form (valleys non-decreasing, `h − v` non-increasing).
+fn push_normalized(sequence: &mut Vec<Segment>, segment: Segment) {
+    sequence.push(segment);
+    while sequence.len() >= 2 {
+        let last = &sequence[sequence.len() - 1];
+        let prev = &sequence[sequence.len() - 2];
+        let valley_violated = last.valley < prev.valley;
+        let slope_violated = last.key() > prev.key();
+        if !valley_violated && !slope_violated {
+            break;
+        }
+        let last = sequence.pop().expect("length checked");
+        let prev = sequence.last_mut().expect("length checked");
+        prev.hill = prev.hill.max(last.hill);
+        prev.valley = last.valley;
+        prev.nodes.extend(last.nodes);
+    }
+}
+
+/// Compute the normal-form hill–valley sequence of the subtree rooted at
+/// `node`, consuming the sequences of its children.
+fn combine(tree: &Tree, node: NodeId, child_sequences: Vec<Vec<Segment>>) -> Vec<Segment> {
+    // Merge all child segments by non-increasing (hill - valley).  A stable
+    // sort preserves the relative order of the segments of a single child
+    // because their keys are non-increasing by construction.
+    let mut tagged: Vec<(usize, Segment)> = Vec::new();
+    for (child_idx, sequence) in child_sequences.into_iter().enumerate() {
+        for segment in sequence {
+            tagged.push((child_idx, segment));
+        }
+    }
+    tagged.sort_by(|a, b| b.1.key().cmp(&a.1.key()));
+
+    let num_children = tree.children(node).len();
+    let mut residual = vec![0 as Size; num_children];
+    let mut total_residual: Size = 0;
+    let mut combined: Vec<Segment> = Vec::with_capacity(tagged.len() + 1);
+    for (child_idx, segment) in tagged {
+        let others = total_residual - residual[child_idx];
+        let absolute = Segment {
+            hill: segment.hill + others,
+            valley: segment.valley + others,
+            nodes: segment.nodes,
+        };
+        total_residual = others + segment.valley;
+        residual[child_idx] = segment.valley;
+        push_normalized(&mut combined, absolute);
+    }
+    debug_assert_eq!(total_residual, tree.children_file_sum(node));
+
+    // The node itself executes last (bottom-up orientation): all child files
+    // are resident, it adds its execution file and produces its output file.
+    let own = Segment {
+        hill: tree.children_file_sum(node) + tree.n(node) + tree.f(node),
+        valley: tree.f(node),
+        nodes: vec![node],
+    };
+    push_normalized(&mut combined, own);
+    combined
+}
+
+/// Compute the minimum in-core memory of `tree` and an optimal traversal
+/// using Liu's exact algorithm.
+///
+/// ```
+/// use treemem::{gadgets::harpoon, liu::liu_exact, minmem::min_mem};
+/// let tree = harpoon(3, 300, 1);
+/// assert_eq!(liu_exact(&tree).peak, min_mem(&tree).peak);
+/// ```
+pub fn liu_exact(tree: &Tree) -> LiuResult {
+    let mut sequences: Vec<Option<Vec<Segment>>> = vec![None; tree.len()];
+    for &i in tree.dfs_bottomup().iter() {
+        let child_sequences: Vec<Vec<Segment>> = tree
+            .children(i)
+            .iter()
+            .map(|&c| sequences[c].take().expect("children processed before their parent"))
+            .collect();
+        sequences[i] = Some(combine(tree, i, child_sequences));
+    }
+    let root_sequence = sequences[tree.root()].take().expect("root sequence computed");
+    let peak = root_sequence.iter().map(|s| s.hill).max().unwrap_or(0);
+    let mut bottom_up: Vec<NodeId> = Vec::with_capacity(tree.len());
+    for segment in &root_sequence {
+        bottom_up.extend_from_slice(&segment.nodes);
+    }
+    debug_assert_eq!(bottom_up.len(), tree.len());
+    bottom_up.reverse();
+    let traversal = Traversal::new(bottom_up);
+    debug_assert_eq!(
+        traversal.peak_memory(tree).expect("Liu produced an invalid traversal"),
+        peak,
+        "hill-valley peak must match the direct evaluation of the traversal"
+    );
+    LiuResult { traversal, peak, segments: root_sequence }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_peak;
+    use crate::gadgets::{harpoon, harpoon_tower};
+    use crate::minmem::min_mem;
+    use crate::postorder::best_postorder;
+    use crate::tree::TreeBuilder;
+
+    #[test]
+    fn single_node_sequence() {
+        let mut b = TreeBuilder::new();
+        b.add_root(3, 4);
+        let tree = b.build().unwrap();
+        let result = liu_exact(&tree);
+        assert_eq!(result.peak, 7);
+        assert_eq!(result.segments.len(), 1);
+        assert_eq!(result.segments[0].hill, 7);
+        assert_eq!(result.segments[0].valley, 3);
+    }
+
+    #[test]
+    fn chain_peak_is_max_mem_req() {
+        let mut b = TreeBuilder::new();
+        let mut prev = b.add_root(1, 0);
+        for f in [5, 2, 9, 3] {
+            prev = b.add_child(prev, f, 0);
+        }
+        let tree = b.build().unwrap();
+        assert_eq!(liu_exact(&tree).peak, tree.max_mem_req());
+    }
+
+    #[test]
+    fn normal_form_invariants_hold_at_the_root() {
+        let tree = harpoon_tower(3, 300, 2, 2);
+        let result = liu_exact(&tree);
+        for pair in result.segments.windows(2) {
+            assert!(pair[0].valley <= pair[1].valley, "valleys must be non-decreasing");
+            assert!(
+                pair[0].hill - pair[0].valley >= pair[1].hill - pair[1].valley,
+                "h - v must be non-increasing"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_min_mem_and_brute_force() {
+        let trees = vec![
+            harpoon(2, 20, 1),
+            harpoon(4, 40, 3),
+            harpoon_tower(2, 16, 1, 2),
+            {
+                let mut b = TreeBuilder::new();
+                let r = b.add_root(2, 1);
+                let a = b.add_child(r, 3, 2);
+                b.add_child(a, 7, 1);
+                b.add_child(a, 5, 0);
+                let c = b.add_child(r, 4, 0);
+                let d = b.add_child(c, 6, 3);
+                b.add_child(d, 2, 2);
+                b.build().unwrap()
+            },
+        ];
+        for (idx, tree) in trees.iter().enumerate() {
+            let liu = liu_exact(tree);
+            let mm = min_mem(tree);
+            let brute = brute_force_peak(tree);
+            assert_eq!(liu.peak, brute, "tree #{idx}: Liu vs brute force");
+            assert_eq!(mm.peak, brute, "tree #{idx}: MinMem vs brute force");
+        }
+    }
+
+    #[test]
+    fn never_worse_than_the_best_postorder() {
+        for branches in 2..6 {
+            let tree = harpoon(branches, 120, 2);
+            assert!(liu_exact(&tree).peak <= best_postorder(&tree).peak);
+        }
+    }
+
+    #[test]
+    fn segments_cover_every_node_exactly_once() {
+        let tree = harpoon_tower(3, 30, 1, 2);
+        let result = liu_exact(&tree);
+        let mut seen = vec![false; tree.len()];
+        for segment in &result.segments {
+            for &node in &segment.nodes {
+                assert!(!seen[node], "node {node} appears twice");
+                seen[node] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+}

@@ -1,0 +1,331 @@
+//! The `Explore` and `MinMem` exact algorithms (Algorithms 3 and 4 of the
+//! paper) — the paper's primary contribution.
+//!
+//! `Explore(T, i, M)` systematically traverses the subtree rooted at `i`
+//! using at most `M` units of memory and returns the *best reachable cut*:
+//! the set of still-unprocessed nodes whose input files occupy the least
+//! total memory among all states reachable with `M`.  When the whole subtree
+//! cannot be processed it also reports the *memory peak*: the smallest amount
+//! of memory that would allow visiting at least one additional node.
+//!
+//! `MinMem(T)` solves the MinMemory problem exactly by repeatedly calling
+//! `Explore` on the root, starting from the trivial lower bound
+//! `max_i MemReq(i)` and raising the available memory to the reported peak
+//! until the whole tree is processed.  The overall complexity is `O(p²)`.
+//!
+//! The implementation mirrors the pseudo-code of the paper; in particular the
+//! state of a partially explored tree (cut + traversal prefix) is carried
+//! from one `MinMem` iteration to the next so processed nodes are never
+//! executed twice.
+
+use crate::traversal::Traversal;
+use crate::tree::{NodeId, Size, Tree, INFINITE};
+use crate::TraversalResult;
+
+/// Outcome of one call to [`explore`].
+#[derive(Debug, Clone)]
+pub struct ExploreOutcome {
+    /// `M_i` in the paper: total size of the input files of the returned cut
+    /// (0 when the subtree was fully processed, [`INFINITE`] when the root of
+    /// the explored subtree itself could not be executed).
+    pub mem: Size,
+    /// `L_i`: the best reachable cut (unprocessed nodes whose input files are
+    /// resident).  Empty when the subtree was fully processed or when its
+    /// root could not be executed.
+    pub cut: Vec<NodeId>,
+    /// Memory peak of each cut node, parallel to `cut`: the minimum memory
+    /// required to visit a new node inside that cut node's subtree.
+    pub cut_peaks: Vec<Size>,
+    /// `Tr_i`: the nodes executed during the exploration, in execution order.
+    pub traversal: Vec<NodeId>,
+    /// `M_i^peak`: minimum memory required to visit one more node of the
+    /// subtree ([`INFINITE`] when the subtree was fully processed).
+    pub peak: Size,
+}
+
+/// Saved state passed back to [`explore`] by [`min_mem`] so that nodes
+/// processed in earlier iterations are not executed again.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreState {
+    /// Current cut (`L_init` in the paper).
+    pub cut: Vec<NodeId>,
+    /// Peak associated with each cut node (computed by the previous call).
+    pub cut_peaks: Vec<Size>,
+    /// Traversal prefix (`Tr_init`): nodes already executed.
+    pub traversal: Vec<NodeId>,
+}
+
+impl ExploreState {
+    fn is_empty(&self) -> bool {
+        self.cut.is_empty() && self.traversal.is_empty()
+    }
+}
+
+fn saturating_add(a: Size, b: Size) -> Size {
+    a.saturating_add(b)
+}
+
+/// Algorithm 3 of the paper: explore the subtree rooted at `node` with
+/// `avail` units of memory (the input file of `node` counts against this
+/// budget) and return the minimum-memory reachable cut.
+///
+/// `init` carries the cut and traversal of a previous exploration of the same
+/// subtree (used by [`min_mem`] when it restarts the root exploration with
+/// more memory); pass `None` for a fresh exploration.
+pub fn explore(tree: &Tree, node: NodeId, avail: Size, init: Option<ExploreState>) -> ExploreOutcome {
+    let has_init = init.as_ref().map(|s| !s.is_empty()).unwrap_or(false);
+
+    if !has_init {
+        // Lines 1–5: try to execute `node` itself.
+        let requirement = tree.mem_req(node);
+        if requirement > avail {
+            return ExploreOutcome {
+                mem: INFINITE,
+                cut: Vec::new(),
+                cut_peaks: Vec::new(),
+                traversal: Vec::new(),
+                peak: requirement,
+            };
+        }
+        if tree.is_leaf(node) {
+            return ExploreOutcome {
+                mem: 0,
+                cut: Vec::new(),
+                cut_peaks: Vec::new(),
+                traversal: vec![node],
+                peak: INFINITE,
+            };
+        }
+    }
+
+    // Lines 6–11: initialise the cut, its cached peaks and the traversal.
+    let (mut cut, mut cut_peaks, mut traversal) = match init {
+        Some(state) if !state.is_empty() => {
+            debug_assert_eq!(state.cut.len(), state.cut_peaks.len());
+            (state.cut, state.cut_peaks, state.traversal)
+        }
+        _ => {
+            let children: Vec<NodeId> = tree.children(node).to_vec();
+            // Until a child has been explored, the only safe lower bound on
+            // the memory needed to advance inside it is its own MemReq.
+            let peaks: Vec<Size> = children.iter().map(|&c| tree.mem_req(c)).collect();
+            (children, peaks, vec![node])
+        }
+    };
+
+    // Lines 12–19: iteratively improve the cut.  Each pass of the outer loop
+    // corresponds to one evaluation of the candidate set (line 19 in the
+    // paper); within a pass the cut is rebuilt while candidates are explored
+    // with the *current* amount of free memory, exactly as line 15 uses the
+    // current cut.  The total file size of the cut is maintained
+    // incrementally so each candidate costs O(1) besides its own recursive
+    // exploration.  On the first pass every initial cut node is a candidate
+    // (line 12).
+    let mut cut_file_sum: Size = cut.iter().map(|&c| tree.f(c)).sum();
+    let mut first_pass = true;
+    loop {
+        let is_candidate = |j: NodeId, peak_j: Size, sum: Size| -> bool {
+            avail - (sum - tree.f(j)) >= peak_j
+        };
+        if !first_pass
+            && !cut
+                .iter()
+                .zip(cut_peaks.iter())
+                .any(|(&j, &peak_j)| is_candidate(j, peak_j, cut_file_sum))
+        {
+            break;
+        }
+        let pass_sum = cut_file_sum;
+        let old_cut = std::mem::take(&mut cut);
+        let old_peaks = std::mem::take(&mut cut_peaks);
+        for (j, peak_j) in old_cut.into_iter().zip(old_peaks.into_iter()) {
+            let candidate = first_pass || is_candidate(j, peak_j, pass_sum);
+            if !candidate {
+                cut.push(j);
+                cut_peaks.push(peak_j);
+                continue;
+            }
+            let avail_j = avail - (cut_file_sum - tree.f(j));
+            let outcome = explore(tree, j, avail_j, None);
+            if outcome.mem <= tree.f(j) {
+                // Lines 16–18: replace `j` by its own cut and keep the
+                // traversal that reaches it.
+                cut_file_sum += outcome.mem - tree.f(j);
+                cut.extend_from_slice(&outcome.cut);
+                cut_peaks.extend_from_slice(&outcome.cut_peaks);
+                traversal.extend_from_slice(&outcome.traversal);
+            } else {
+                // Keep `j` in the cut but remember how much memory its
+                // subtree needs to make progress.
+                cut.push(j);
+                cut_peaks.push(outcome.peak);
+            }
+        }
+        first_pass = false;
+    }
+
+    // Lines 20–22.
+    let mem: Size = cut_file_sum;
+    let peak = cut
+        .iter()
+        .zip(cut_peaks.iter())
+        .map(|(&j, &peak_j)| saturating_add(peak_j, cut_file_sum - tree.f(j)))
+        .min()
+        .unwrap_or(INFINITE);
+    ExploreOutcome { mem, cut, cut_peaks, traversal, peak }
+}
+
+/// Result of [`min_mem`]: the optimal peak together with the traversal that
+/// achieves it and the number of `Explore` restarts performed (a useful
+/// measure of the practical cost of the algorithm).
+#[derive(Debug, Clone)]
+pub struct MinMemResult {
+    /// The optimal traversal found by the algorithm.
+    pub traversal: Traversal,
+    /// The minimum memory for an in-core traversal of the tree.
+    pub peak: Size,
+    /// Number of top-level `Explore` calls performed by `MinMem`.
+    pub iterations: usize,
+}
+
+impl From<MinMemResult> for TraversalResult {
+    fn from(value: MinMemResult) -> Self {
+        TraversalResult { traversal: value.traversal, peak: value.peak }
+    }
+}
+
+/// Algorithm 4 of the paper: compute the minimum memory required to process
+/// the whole tree in core, along with a traversal achieving it.
+///
+/// ```
+/// use treemem::{TreeBuilder, minmem::min_mem};
+/// let mut b = TreeBuilder::new();
+/// let root = b.add_root(0, 0);
+/// let a = b.add_child(root, 2, 0);
+/// b.add_child(a, 10, 0);
+/// let c = b.add_child(root, 3, 0);
+/// b.add_child(c, 4, 0);
+/// let tree = b.build().unwrap();
+/// let result = min_mem(&tree);
+/// assert_eq!(result.peak, result.traversal.peak_memory(&tree).unwrap());
+/// ```
+pub fn min_mem(tree: &Tree) -> MinMemResult {
+    let mut target = tree.max_mem_req();
+    let mut state = ExploreState::default();
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        let avail = target;
+        let outcome = explore(tree, tree.root(), avail, Some(state));
+        if outcome.peak == INFINITE {
+            debug_assert_eq!(outcome.traversal.len(), tree.len(), "exploration must cover the tree");
+            let traversal = Traversal::new(outcome.traversal);
+            debug_assert!(traversal.check_in_core(tree, avail).is_ok());
+            let peak = traversal
+                .peak_memory(tree)
+                .expect("MinMem produced an invalid traversal");
+            return MinMemResult { traversal, peak, iterations };
+        }
+        debug_assert!(
+            outcome.peak > avail,
+            "Explore must report a peak larger than the memory it was given"
+        );
+        target = outcome.peak;
+        state = ExploreState {
+            cut: outcome.cut,
+            cut_peaks: outcome.cut_peaks,
+            traversal: outcome.traversal,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::postorder::best_postorder;
+    use crate::tree::TreeBuilder;
+
+    #[test]
+    fn single_node_and_chain() {
+        let mut b = TreeBuilder::new();
+        b.add_root(3, 4);
+        let tree = b.build().unwrap();
+        let res = min_mem(&tree);
+        assert_eq!(res.peak, 7);
+        assert_eq!(res.traversal.order(), &[0]);
+
+        let mut b = TreeBuilder::new();
+        let mut prev = b.add_root(1, 0);
+        for f in [5, 2, 9, 3] {
+            prev = b.add_child(prev, f, 0);
+        }
+        let tree = b.build().unwrap();
+        let res = min_mem(&tree);
+        assert_eq!(res.peak, tree.max_mem_req());
+    }
+
+    #[test]
+    fn explore_reports_peak_when_memory_is_too_small() {
+        let mut b = TreeBuilder::new();
+        let r = b.add_root(5, 0);
+        b.add_child(r, 7, 0);
+        let tree = b.build().unwrap();
+        let outcome = explore(&tree, r, 5, None);
+        assert_eq!(outcome.mem, crate::tree::INFINITE);
+        assert_eq!(outcome.peak, 12);
+        assert!(outcome.traversal.is_empty());
+    }
+
+    #[test]
+    fn explore_with_enough_memory_processes_everything() {
+        let mut b = TreeBuilder::new();
+        let r = b.add_root(1, 0);
+        let a = b.add_child(r, 2, 0);
+        b.add_child(a, 3, 0);
+        b.add_child(r, 4, 0);
+        let tree = b.build().unwrap();
+        let outcome = explore(&tree, r, 100, None);
+        assert_eq!(outcome.mem, 0);
+        assert!(outcome.cut.is_empty());
+        assert_eq!(outcome.peak, crate::tree::INFINITE);
+        assert_eq!(outcome.traversal.len(), tree.len());
+    }
+
+    #[test]
+    fn min_mem_beats_postorder_on_the_harpoon() {
+        let tree = crate::gadgets::harpoon(4, 400, 1);
+        let opt = min_mem(&tree);
+        let po = best_postorder(&tree);
+        // Optimal alternates between branches: 400 + 4*1; postorder is stuck
+        // with (b-1) files of size 100: 400 + 1 + 3*100.
+        assert_eq!(opt.peak, 404);
+        assert_eq!(po.peak, 701);
+        assert!(opt.peak < po.peak);
+        assert!(opt.traversal.check_in_core(&tree, opt.peak).is_ok());
+    }
+
+    #[test]
+    fn min_mem_is_never_worse_than_postorder() {
+        for branches in 2..6 {
+            let mut b = TreeBuilder::new();
+            let r = b.add_root(0, 0);
+            for k in 0..branches {
+                let c = b.add_child(r, (k as Size) + 1, 1);
+                let d = b.add_child(c, 10 * ((branches - k) as Size), 2);
+                b.add_child(d, 3, 0);
+            }
+            let tree = b.build().unwrap();
+            let opt = min_mem(&tree);
+            let po = best_postorder(&tree);
+            assert!(opt.peak <= po.peak, "branches={branches}");
+            assert_eq!(opt.peak, opt.traversal.peak_memory(&tree).unwrap());
+        }
+    }
+
+    #[test]
+    fn iterations_are_reported() {
+        let tree = crate::gadgets::harpoon(3, 300, 1);
+        let res = min_mem(&tree);
+        assert!(res.iterations >= 1);
+    }
+}

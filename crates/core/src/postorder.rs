@@ -1,0 +1,268 @@
+//! Best postorder traversal (Liu 1986), Section IV-A of the paper.
+//!
+//! A *postorder* traversal processes, after each node, one entire child
+//! subtree at a time.  Postorders are the orderings used in practice by
+//! multifrontal solvers (e.g. MUMPS), because the frontier files can then be
+//! managed as a stack.  Liu showed that the best postorder of an in-tree is
+//! obtained by visiting the children of every node in decreasing order of
+//! `peak(child) − f(child)`, where `peak(child)` is the (postorder) peak
+//! memory of the child subtree.  In the top-down (out-tree) orientation used
+//! by this crate the rule is mirrored: while a child subtree is traversed the
+//! files of the *not yet processed* siblings are resident, so children must
+//! be visited in **increasing** order of `peak(child) − f(child)` (the
+//! reverse of the bottom-up order, consistently with the in-tree ↔ out-tree
+//! reversal of Section III-C).
+//!
+//! The best postorder is optimal for many practical assembly trees (see the
+//! experiments of the paper and of `crates/bench`), but Theorem 1 shows that
+//! it can be arbitrarily worse than the optimal traversal on adversarial
+//! trees such as [`crate::gadgets::harpoon_tower`].
+
+use crate::traversal::Traversal;
+use crate::tree::{NodeId, Size, Tree};
+use crate::TraversalResult;
+
+/// Peak memory of the postorder traversal of each subtree, assuming children
+/// are processed in the given per-node order.
+///
+/// `child_order[i]` lists the children of `i` in processing order; it must be
+/// a permutation of `tree.children(i)`.
+fn subtree_peaks_with_order(tree: &Tree, child_order: &[Vec<NodeId>]) -> Vec<Size> {
+    let mut peak = vec![0 as Size; tree.len()];
+    for &i in tree.dfs_bottomup().iter() {
+        let mut best = tree.mem_req(i);
+        // Files of the not-yet-processed siblings remain resident while a
+        // child subtree is being traversed.
+        let mut remaining: Size = child_order[i].iter().map(|&c| tree.f(c)).sum();
+        for &c in &child_order[i] {
+            remaining -= tree.f(c);
+            best = best.max(peak[c] + remaining);
+        }
+        peak[i] = best;
+    }
+    peak
+}
+
+/// Result of a postorder computation: the traversal, its peak, and the
+/// per-subtree peaks (useful for diagnostics and for the experiments).
+#[derive(Debug, Clone)]
+pub struct PostOrderResult {
+    /// The postorder traversal (top-down, root first).
+    pub traversal: Traversal,
+    /// Peak memory of the traversal.
+    pub peak: Size,
+    /// Peak memory of the postorder traversal of every subtree.
+    pub subtree_peaks: Vec<Size>,
+}
+
+impl From<PostOrderResult> for TraversalResult {
+    fn from(value: PostOrderResult) -> Self {
+        TraversalResult { traversal: value.traversal, peak: value.peak }
+    }
+}
+
+/// Generate the traversal corresponding to a per-node child processing order.
+fn traversal_from_child_order(tree: &Tree, child_order: &[Vec<NodeId>]) -> Traversal {
+    let mut order = Vec::with_capacity(tree.len());
+    let mut stack = vec![tree.root()];
+    while let Some(i) = stack.pop() {
+        order.push(i);
+        for &c in child_order[i].iter().rev() {
+            stack.push(c);
+        }
+    }
+    Traversal::new(order)
+}
+
+/// Compute Liu's **best postorder** traversal of `tree` and its peak memory.
+///
+/// Children of every node are visited in increasing order of
+/// `peak(subtree) − f(child)` (the top-down mirror of Liu's rule); ties are
+/// broken by increasing subtree peak and then by node id, which makes the
+/// result deterministic.
+///
+/// Runs in `O(p log p)` time.
+///
+/// ```
+/// use treemem::{TreeBuilder, postorder::best_postorder};
+/// let mut b = TreeBuilder::new();
+/// let root = b.add_root(0, 0);
+/// let a = b.add_child(root, 2, 0);
+/// b.add_child(a, 10, 0);
+/// let c = b.add_child(root, 3, 0);
+/// b.add_child(c, 4, 0);
+/// let tree = b.build().unwrap();
+/// let result = best_postorder(&tree);
+/// assert_eq!(result.peak, result.traversal.peak_memory(&tree).unwrap());
+/// ```
+pub fn best_postorder(tree: &Tree) -> PostOrderResult {
+    // Peaks are computed bottom-up; the processing order of the children of a
+    // node only depends on quantities of their own subtrees, so a single
+    // bottom-up pass both orders the children and computes the peaks.
+    let mut peak = vec![0 as Size; tree.len()];
+    let mut child_order: Vec<Vec<NodeId>> = vec![Vec::new(); tree.len()];
+    for &i in tree.dfs_bottomup().iter() {
+        let mut order: Vec<NodeId> = tree.children(i).to_vec();
+        order.sort_by(|&a, &b| {
+            let ka = peak[a] - tree.f(a);
+            let kb = peak[b] - tree.f(b);
+            ka.cmp(&kb).then_with(|| peak[a].cmp(&peak[b])).then_with(|| a.cmp(&b))
+        });
+        let mut best = tree.mem_req(i);
+        let mut remaining: Size = order.iter().map(|&c| tree.f(c)).sum();
+        for &c in &order {
+            remaining -= tree.f(c);
+            best = best.max(peak[c] + remaining);
+        }
+        peak[i] = best;
+        child_order[i] = order;
+    }
+    let traversal = traversal_from_child_order(tree, &child_order);
+    PostOrderResult { traversal, peak: peak[tree.root()], subtree_peaks: peak }
+}
+
+/// Compute the postorder traversal that follows the *stored* child order of
+/// the tree (the "natural" postorder), without Liu's reordering.
+///
+/// This is the ordering a solver would use if it did not sort the children;
+/// it is never better than [`best_postorder`] and is used as a baseline in
+/// the experiments.
+pub fn natural_postorder(tree: &Tree) -> PostOrderResult {
+    let child_order: Vec<Vec<NodeId>> = tree.nodes().map(|i| tree.children(i).to_vec()).collect();
+    let peaks = subtree_peaks_with_order(tree, &child_order);
+    let traversal = traversal_from_child_order(tree, &child_order);
+    PostOrderResult { traversal, peak: peaks[tree.root()], subtree_peaks: peaks }
+}
+
+/// Peak memory of an arbitrary postorder described by an explicit per-node
+/// child processing order.
+///
+/// # Panics
+/// Panics if `child_order` does not have one entry per node or if an entry is
+/// not a permutation of that node's children (checked with debug assertions).
+pub fn postorder_peak(tree: &Tree, child_order: &[Vec<NodeId>]) -> Size {
+    assert_eq!(child_order.len(), tree.len(), "one child order per node expected");
+    #[cfg(debug_assertions)]
+    for i in tree.nodes() {
+        let mut a = child_order[i].clone();
+        let mut b = tree.children(i).to_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        debug_assert_eq!(a, b, "child_order[{i}] is not a permutation of the children");
+    }
+    subtree_peaks_with_order(tree, child_order)[tree.root()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeBuilder;
+
+    #[test]
+    fn single_node() {
+        let mut b = TreeBuilder::new();
+        b.add_root(3, 4);
+        let tree = b.build().unwrap();
+        let result = best_postorder(&tree);
+        assert_eq!(result.peak, 7);
+        assert_eq!(result.traversal.order(), &[0]);
+    }
+
+    #[test]
+    fn chain_peak_is_max_mem_req() {
+        let mut b = TreeBuilder::new();
+        let mut prev = b.add_root(1, 0);
+        for f in [5, 2, 9, 3] {
+            prev = b.add_child(prev, f, 0);
+        }
+        let tree = b.build().unwrap();
+        let result = best_postorder(&tree);
+        // A chain has a unique traversal; its peak is the max MemReq.
+        assert_eq!(result.peak, tree.max_mem_req());
+        assert_eq!(result.peak, result.traversal.peak_memory(&tree).unwrap());
+    }
+
+    #[test]
+    fn children_are_reordered_to_reduce_the_peak() {
+        // Two branches under the root:
+        //   branch A: file 1, subtree peak 1 + 100 = 101 (leaf child of size 100)
+        //   branch B: file 50, subtree peak 50 (leaf)
+        // Processing A first: max(101 + 50, 50) = 151? No: while A is
+        // traversed, B's file (50) is resident -> 151; B first: while B is
+        // traversed (peak 50) A's file 1 is resident -> max(51, 101) = 101.
+        let mut b = TreeBuilder::new();
+        let r = b.add_root(0, 0);
+        let a = b.add_child(r, 1, 0);
+        b.add_child(a, 100, 0);
+        b.add_child(r, 50, 0);
+        let tree = b.build().unwrap();
+        let best = best_postorder(&tree);
+        assert_eq!(best.peak, 101);
+        // The natural order (A first) is worse.
+        let natural = natural_postorder(&tree);
+        assert_eq!(natural.peak, 151);
+        assert!(natural.peak >= best.peak);
+        // Peaks match a direct evaluation of the produced traversals.
+        assert_eq!(best.peak, best.traversal.peak_memory(&tree).unwrap());
+        assert_eq!(natural.peak, natural.traversal.peak_memory(&tree).unwrap());
+    }
+
+    #[test]
+    fn postorder_peak_matches_explicit_orders() {
+        let mut b = TreeBuilder::new();
+        let r = b.add_root(0, 0);
+        let a = b.add_child(r, 1, 0);
+        b.add_child(a, 100, 0);
+        let c = b.add_child(r, 50, 0);
+        let tree = b.build().unwrap();
+        let order_a_first = vec![vec![a, c], vec![2], vec![], vec![]];
+        let order_c_first = vec![vec![c, a], vec![2], vec![], vec![]];
+        assert_eq!(postorder_peak(&tree, &order_a_first), 151);
+        assert_eq!(postorder_peak(&tree, &order_c_first), 101);
+    }
+
+    #[test]
+    fn traversal_is_a_genuine_postorder() {
+        // Every subtree must occupy a contiguous range of the traversal.
+        let mut b = TreeBuilder::new();
+        let r = b.add_root(0, 0);
+        for _ in 0..3 {
+            let c = b.add_child(r, 2, 1);
+            for _ in 0..2 {
+                let d = b.add_child(c, 3, 1);
+                b.add_child(d, 1, 0);
+            }
+        }
+        let tree = b.build().unwrap();
+        let result = best_postorder(&tree);
+        let pos = result.traversal.positions(tree.len()).unwrap();
+        let sizes = tree.subtree_sizes();
+        for i in tree.nodes() {
+            // All descendants must be within [pos[i], pos[i] + size - 1].
+            let lo = pos[i];
+            let hi = lo + sizes[i] - 1;
+            let mut stack = vec![i];
+            while let Some(v) = stack.pop() {
+                assert!(pos[v] >= lo && pos[v] <= hi);
+                stack.extend_from_slice(tree.children(v));
+            }
+        }
+    }
+
+    #[test]
+    fn best_postorder_is_never_worse_than_natural() {
+        // A couple of handcrafted shapes.
+        for branches in 2..6 {
+            let mut b = TreeBuilder::new();
+            let r = b.add_root(0, 0);
+            for k in 0..branches {
+                let c = b.add_child(r, (k as Size) + 1, 0);
+                b.add_child(c, 10 * ((branches - k) as Size), 0);
+            }
+            let tree = b.build().unwrap();
+            let best = best_postorder(&tree);
+            let natural = natural_postorder(&tree);
+            assert!(best.peak <= natural.peak);
+        }
+    }
+}

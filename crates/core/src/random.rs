@@ -1,0 +1,222 @@
+//! Random tree generation and re-weighting.
+//!
+//! Two kinds of randomness are needed by the experiments:
+//!
+//! * random **topologies** ([`random_attachment_tree`], [`random_kary_tree`],
+//!   [`caterpillar`], [`spider`]) used by the unit and property tests of the
+//!   algorithms;
+//! * random **weights on an existing topology** ([`reweight_uniform`],
+//!   [`reweight_paper`]) — Section VI-E of the paper keeps the structure of
+//!   every assembly tree and draws the node weights uniformly in
+//!   `[1, N/500]` and the edge weights uniformly in `[1, N]`, where `N` is
+//!   the number of nodes.
+//!
+//! All generators take an explicit seed so experiments are reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tree::{Size, Tree, TreeBuilder};
+
+/// Generate a random tree by *random attachment*: node `i` picks its parent
+/// uniformly among the nodes `0..i`.  Input files are drawn uniformly in
+/// `[1, max_file]` and execution files in `[0, max_exec]`.
+///
+/// # Panics
+/// Panics if `num_nodes == 0` or `max_file == 0`.
+pub fn random_attachment_tree(num_nodes: usize, max_file: Size, max_exec: Size, seed: u64) -> Tree {
+    assert!(num_nodes > 0, "tree must have at least one node");
+    assert!(max_file > 0, "maximum file size must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = TreeBuilder::with_capacity(num_nodes);
+    builder.add_root(rng.gen_range(1..=max_file), rng.gen_range(0..=max_exec.max(0)));
+    for i in 1..num_nodes {
+        let parent = rng.gen_range(0..i);
+        builder.add_child(parent, rng.gen_range(1..=max_file), rng.gen_range(0..=max_exec.max(0)));
+    }
+    builder.build().expect("random attachment always builds a valid tree")
+}
+
+/// Generate a random tree in which every node has at most `max_children`
+/// children: node `i` retries a uniformly random parent until one with a free
+/// slot is found (the root always accepts as a fallback, so the bound may be
+/// exceeded by the root only when every other node is full).
+pub fn random_bounded_degree_tree(
+    num_nodes: usize,
+    max_children: usize,
+    max_file: Size,
+    max_exec: Size,
+    seed: u64,
+) -> Tree {
+    assert!(num_nodes > 0 && max_children > 0 && max_file > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = TreeBuilder::with_capacity(num_nodes);
+    let mut child_count = vec![0usize; num_nodes];
+    builder.add_root(rng.gen_range(1..=max_file), rng.gen_range(0..=max_exec.max(0)));
+    for i in 1..num_nodes {
+        let mut parent = rng.gen_range(0..i);
+        let mut attempts = 0;
+        while child_count[parent] >= max_children && attempts < 4 * i {
+            parent = rng.gen_range(0..i);
+            attempts += 1;
+        }
+        if child_count[parent] >= max_children {
+            // Fall back deterministically to the first node with a free slot,
+            // or to the root when all are full.
+            parent = (0..i).find(|&p| child_count[p] < max_children).unwrap_or(0);
+        }
+        child_count[parent] += 1;
+        builder.add_child(parent, rng.gen_range(1..=max_file), rng.gen_range(0..=max_exec.max(0)));
+    }
+    builder.build().expect("bounded-degree construction always builds a valid tree")
+}
+
+/// Complete `k`-ary tree of the given `depth` (depth 0 is a single node),
+/// with constant weights.
+pub fn random_kary_tree(depth: usize, arity: usize, max_file: Size, max_exec: Size, seed: u64) -> Tree {
+    assert!(arity > 0 && max_file > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = TreeBuilder::new();
+    let root = builder.add_root(rng.gen_range(1..=max_file), rng.gen_range(0..=max_exec.max(0)));
+    let mut frontier = vec![root];
+    for _ in 0..depth {
+        let mut next = Vec::with_capacity(frontier.len() * arity);
+        for &node in &frontier {
+            for _ in 0..arity {
+                next.push(builder.add_child(
+                    node,
+                    rng.gen_range(1..=max_file),
+                    rng.gen_range(0..=max_exec.max(0)),
+                ));
+            }
+        }
+        frontier = next;
+    }
+    builder.build().expect("k-ary construction always builds a valid tree")
+}
+
+/// A caterpillar: a spine of `spine_length` nodes, each with `legs` leaf
+/// children, random weights.
+pub fn caterpillar(spine_length: usize, legs: usize, max_file: Size, seed: u64) -> Tree {
+    assert!(spine_length > 0 && max_file > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = TreeBuilder::new();
+    let mut spine = builder.add_root(rng.gen_range(1..=max_file), 0);
+    for _ in 0..legs {
+        builder.add_child(spine, rng.gen_range(1..=max_file), 0);
+    }
+    for _ in 1..spine_length {
+        spine = builder.add_child(spine, rng.gen_range(1..=max_file), 0);
+        for _ in 0..legs {
+            builder.add_child(spine, rng.gen_range(1..=max_file), 0);
+        }
+    }
+    builder.build().expect("caterpillar construction always builds a valid tree")
+}
+
+/// A spider: `legs` chains of length `leg_length` attached to the root,
+/// random weights.
+pub fn spider(legs: usize, leg_length: usize, max_file: Size, seed: u64) -> Tree {
+    assert!(legs > 0 && leg_length > 0 && max_file > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = TreeBuilder::new();
+    let root = builder.add_root(rng.gen_range(1..=max_file), 0);
+    for _ in 0..legs {
+        let mut prev = root;
+        for _ in 0..leg_length {
+            prev = builder.add_child(prev, rng.gen_range(1..=max_file), 0);
+        }
+    }
+    builder.build().expect("spider construction always builds a valid tree")
+}
+
+/// Re-weight an existing topology with uniformly random weights: input files
+/// in `[1, max_file]`, execution files in `[0, max_exec]`.
+pub fn reweight_uniform(tree: &Tree, max_file: Size, max_exec: Size, seed: u64) -> Tree {
+    assert!(max_file > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let files: Vec<Size> = tree.nodes().map(|_| rng.gen_range(1..=max_file)).collect();
+    let weights: Vec<Size> = tree.nodes().map(|_| rng.gen_range(0..=max_exec.max(0))).collect();
+    tree.with_weights(files, weights)
+}
+
+/// The random re-weighting of Section VI-E of the paper: keep the tree
+/// structure, draw execution files uniformly in `[1, N/500]` and input files
+/// uniformly in `[1, N]`, where `N` is the number of nodes (both ranges are
+/// clamped to be at least `[1, 1]` for very small trees).
+pub fn reweight_paper(tree: &Tree, seed: u64) -> Tree {
+    let n = tree.len() as Size;
+    let max_exec = (n / 500).max(1);
+    let max_file = n.max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let files: Vec<Size> = tree.nodes().map(|_| rng.gen_range(1..=max_file)).collect();
+    let weights: Vec<Size> = tree.nodes().map(|_| rng.gen_range(1..=max_exec)).collect();
+    tree.with_weights(files, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_attachment_is_reproducible_and_valid() {
+        let a = random_attachment_tree(50, 100, 10, 42);
+        let b = random_attachment_tree(50, 100, 10, 42);
+        let c = random_attachment_tree(50, 100, 10, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 50);
+        assert!(a.files().iter().all(|&f| (1..=100).contains(&f)));
+        assert!(a.weights().iter().all(|&n| (0..=10).contains(&n)));
+    }
+
+    #[test]
+    fn bounded_degree_respects_the_bound() {
+        let tree = random_bounded_degree_tree(200, 3, 50, 5, 7);
+        assert_eq!(tree.len(), 200);
+        for i in tree.nodes() {
+            if i != tree.root() {
+                assert!(tree.children(i).len() <= 3, "node {i} has too many children");
+            }
+        }
+    }
+
+    #[test]
+    fn kary_tree_has_expected_size() {
+        let tree = random_kary_tree(3, 2, 10, 0, 1);
+        assert_eq!(tree.len(), 1 + 2 + 4 + 8);
+        assert_eq!(tree.height(), 3);
+        assert_eq!(tree.max_degree(), 2);
+    }
+
+    #[test]
+    fn caterpillar_and_spider_shapes() {
+        let cat = caterpillar(5, 3, 10, 0);
+        assert_eq!(cat.len(), 5 * 4);
+        assert_eq!(cat.leaf_count(), 5 * 3); // every leg is a leaf, every spine node has children
+        let sp = spider(4, 3, 10, 0);
+        assert_eq!(sp.len(), 1 + 4 * 3);
+        assert_eq!(sp.children(sp.root()).len(), 4);
+        assert_eq!(sp.height(), 3);
+    }
+
+    #[test]
+    fn reweighting_keeps_the_topology() {
+        let tree = random_attachment_tree(80, 100, 10, 3);
+        let reweighted = reweight_paper(&tree, 11);
+        assert_eq!(reweighted.parents(), tree.parents());
+        let n = tree.len() as Size;
+        assert!(reweighted.files().iter().all(|&f| f >= 1 && f <= n));
+        assert!(reweighted.weights().iter().all(|&w| w >= 1 && w <= (n / 500).max(1)));
+        // Different seeds give different weights.
+        assert_ne!(reweight_paper(&tree, 11), reweight_paper(&tree, 12));
+    }
+
+    #[test]
+    fn reweight_uniform_ranges() {
+        let tree = spider(3, 3, 10, 0);
+        let reweighted = reweight_uniform(&tree, 7, 2, 5);
+        assert!(reweighted.files().iter().all(|&f| (1..=7).contains(&f)));
+        assert!(reweighted.weights().iter().all(|&w| (0..=2).contains(&w)));
+    }
+}

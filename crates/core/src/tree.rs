@@ -1,0 +1,528 @@
+//! The tree-workflow model of the paper (Section III-A).
+//!
+//! A [`Tree`] is a rooted tree in the **out-tree** orientation: the root is
+//! executed first and every other node can only be executed after its parent.
+//! Node `i` carries two weights:
+//!
+//! * `f(i)` — the size of its *input file*, produced by its parent (or coming
+//!   from the outside world for the root);
+//! * `n(i)` — the size of its *execution file*, resident only while `i` runs.
+//!
+//! Executing `i` requires `MemReq(i) = f(i) + n(i) + Σ_{j ∈ children(i)} f(j)`
+//! units of main memory in addition to the other resident frontier files.
+//!
+//! Execution-file sizes are signed ([`Size`] is `i64`) because the model
+//! transformations of Section III-C (see [`crate::variants`]) introduce
+//! negative execution weights; input files are always non-negative.
+
+use crate::error::TreeError;
+
+/// Index of a node inside a [`Tree`]. Nodes are numbered `0..tree.len()`.
+pub type NodeId = usize;
+
+/// File and memory sizes. Signed so that the model variants of the paper
+/// (which use negative execution-file sizes) can be represented exactly.
+pub type Size = i64;
+
+/// Sentinel for "no peak / unbounded" used by the exact algorithms.
+pub const INFINITE: Size = Size::MAX;
+
+/// A rooted tree workflow with per-node input-file and execution-file sizes.
+///
+/// The structure is immutable once built (via [`TreeBuilder`] or one of the
+/// `from_*` constructors); all algorithms in this crate borrow it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tree {
+    parent: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+    f: Vec<Size>,
+    n: Vec<Size>,
+    root: NodeId,
+}
+
+impl Tree {
+    /// Build a tree from parent pointers and node weights.
+    ///
+    /// `parents[i]` is the parent of node `i` (`None` for the root, which must
+    /// be unique), `files[i]` is `f(i)` and `weights[i]` is `n(i)`.
+    pub fn from_parents(
+        parents: &[Option<NodeId>],
+        files: &[Size],
+        weights: &[Size],
+    ) -> Result<Self, TreeError> {
+        if parents.is_empty() {
+            return Err(TreeError::Empty);
+        }
+        if parents.len() != files.len() || parents.len() != weights.len() {
+            return Err(TreeError::LengthMismatch {
+                parents: parents.len(),
+                files: files.len(),
+                weights: weights.len(),
+            });
+        }
+        let p = parents.len();
+        let mut root = None;
+        let mut children = vec![Vec::new(); p];
+        for (i, &par) in parents.iter().enumerate() {
+            match par {
+                None => match root {
+                    None => root = Some(i),
+                    Some(r) => return Err(TreeError::MultipleRoots(r, i)),
+                },
+                Some(par) => {
+                    if par >= p {
+                        return Err(TreeError::InvalidParent { node: i, parent: par });
+                    }
+                    children[par].push(i);
+                }
+            }
+        }
+        let root = root.ok_or(TreeError::NoRoot)?;
+        for (i, &fi) in files.iter().enumerate() {
+            if fi < 0 {
+                return Err(TreeError::NegativeFileSize { node: i, size: fi });
+            }
+        }
+        let tree = Tree {
+            parent: parents.to_vec(),
+            children,
+            f: files.to_vec(),
+            n: weights.to_vec(),
+            root,
+        };
+        tree.check_acyclic()?;
+        Ok(tree)
+    }
+
+    /// Verify that following parent pointers from every node reaches the root
+    /// (i.e. the parent structure is a tree, not a forest with cycles).
+    fn check_acyclic(&self) -> Result<(), TreeError> {
+        let p = self.len();
+        // 0 = unvisited, 1 = on current path, 2 = known good.
+        let mut state = vec![0u8; p];
+        state[self.root] = 2;
+        for start in 0..p {
+            if state[start] != 0 {
+                continue;
+            }
+            let mut path = Vec::new();
+            let mut cur = start;
+            loop {
+                if state[cur] == 2 {
+                    break;
+                }
+                if state[cur] == 1 {
+                    return Err(TreeError::Cycle(cur));
+                }
+                state[cur] = 1;
+                path.push(cur);
+                match self.parent[cur] {
+                    Some(par) => cur = par,
+                    None => break,
+                }
+            }
+            for v in path {
+                state[v] = 2;
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of nodes in the tree (written `p` in the paper).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the tree has no nodes. Always `false` for a constructed tree.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The root node (the unique node without a parent).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Parent of `i`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, i: NodeId) -> Option<NodeId> {
+        self.parent[i]
+    }
+
+    /// Children of `i`, in insertion order.
+    #[inline]
+    pub fn children(&self, i: NodeId) -> &[NodeId] {
+        &self.children[i]
+    }
+
+    /// Input-file size `f(i)`.
+    #[inline]
+    pub fn f(&self, i: NodeId) -> Size {
+        self.f[i]
+    }
+
+    /// Execution-file size `n(i)`.
+    #[inline]
+    pub fn n(&self, i: NodeId) -> Size {
+        self.n[i]
+    }
+
+    /// Whether `i` is a leaf.
+    #[inline]
+    pub fn is_leaf(&self, i: NodeId) -> bool {
+        self.children[i].is_empty()
+    }
+
+    /// Total size of the output files of `i` (`Σ_{j ∈ children(i)} f(j)`).
+    pub fn children_file_sum(&self, i: NodeId) -> Size {
+        self.children[i].iter().map(|&j| self.f[j]).sum()
+    }
+
+    /// Memory requirement of node `i`:
+    /// `MemReq(i) = f(i) + n(i) + Σ_{j ∈ children(i)} f(j)` (Equation (1)).
+    pub fn mem_req(&self, i: NodeId) -> Size {
+        self.f[i] + self.n[i] + self.children_file_sum(i)
+    }
+
+    /// Largest memory requirement over all nodes — a lower bound on the
+    /// memory needed by *any* traversal.
+    pub fn max_mem_req(&self) -> Size {
+        (0..self.len()).map(|i| self.mem_req(i)).max().unwrap_or(0)
+    }
+
+    /// Sum of all input-file sizes — a trivial upper bound on the memory
+    /// needed by any traversal (plus the largest execution file).
+    pub fn total_file_size(&self) -> Size {
+        self.f.iter().sum()
+    }
+
+    /// An upper bound on the memory needed by any reasonable traversal:
+    /// the sum of every input file plus the largest execution file.  Used by
+    /// tests and as a sanity cap in the exact algorithms.
+    pub fn memory_upper_bound(&self) -> Size {
+        self.total_file_size() + self.n.iter().copied().max().unwrap_or(0).max(0)
+    }
+
+    /// Nodes in a depth-first top-down order (parent before children).
+    /// Children are visited in their stored order.
+    pub fn dfs_topdown(&self) -> Vec<NodeId> {
+        let mut order = Vec::with_capacity(self.len());
+        let mut stack = vec![self.root];
+        while let Some(i) = stack.pop() {
+            order.push(i);
+            // Push children in reverse so the first child is popped first.
+            for &c in self.children[i].iter().rev() {
+                stack.push(c);
+            }
+        }
+        order
+    }
+
+    /// Nodes in a bottom-up order (children before parent), i.e. a postorder
+    /// of the tree in its stored child order.
+    pub fn dfs_bottomup(&self) -> Vec<NodeId> {
+        let mut order = self.dfs_topdown();
+        order.reverse();
+        order
+    }
+
+    /// Number of nodes in the subtree rooted at each node.
+    pub fn subtree_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![1usize; self.len()];
+        for &i in self.dfs_bottomup().iter() {
+            if let Some(par) = self.parent[i] {
+                sizes[par] += sizes[i];
+            }
+        }
+        sizes
+    }
+
+    /// Depth of each node (root has depth 0).
+    pub fn depths(&self) -> Vec<usize> {
+        let mut depth = vec![0usize; self.len()];
+        for &i in self.dfs_topdown().iter() {
+            if let Some(par) = self.parent[i] {
+                depth[i] = depth[par] + 1;
+            }
+        }
+        depth
+    }
+
+    /// Height of the tree: the maximum depth over all nodes.
+    pub fn height(&self) -> usize {
+        self.depths().into_iter().max().unwrap_or(0)
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        (0..self.len()).filter(|&i| self.is_leaf(i)).count()
+    }
+
+    /// Maximum number of children over all nodes.
+    pub fn max_degree(&self) -> usize {
+        self.children.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Iterate over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.len()
+    }
+
+    /// Return a copy of the tree with new weights but the same topology.
+    ///
+    /// # Panics
+    /// Panics if the weight vectors do not have `self.len()` entries or if an
+    /// input-file size is negative.
+    pub fn with_weights(&self, files: Vec<Size>, weights: Vec<Size>) -> Tree {
+        assert_eq!(files.len(), self.len(), "files length mismatch");
+        assert_eq!(weights.len(), self.len(), "weights length mismatch");
+        assert!(files.iter().all(|&f| f >= 0), "input files must be non-negative");
+        Tree { parent: self.parent.clone(), children: self.children.clone(), f: files, n: weights, root: self.root }
+    }
+
+    /// Parent-pointer representation (useful for serialization and tests).
+    pub fn parents(&self) -> &[Option<NodeId>] {
+        &self.parent
+    }
+
+    /// All input-file sizes.
+    pub fn files(&self) -> &[Size] {
+        &self.f
+    }
+
+    /// All execution-file sizes.
+    pub fn weights(&self) -> &[Size] {
+        &self.n
+    }
+
+    /// Render the tree in Graphviz DOT format (node labels show `f`/`n`).
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph tree {\n  node [shape=box];\n");
+        for i in 0..self.len() {
+            let _ = writeln!(out, "  n{i} [label=\"{i}\\nf={} n={}\"];", self.f[i], self.n[i]);
+        }
+        for i in 0..self.len() {
+            if let Some(par) = self.parent[i] {
+                let _ = writeln!(out, "  n{par} -> n{i};");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Incremental construction of a [`Tree`].
+///
+/// ```
+/// use treemem::TreeBuilder;
+/// let mut b = TreeBuilder::new();
+/// let root = b.add_root(0, 0);
+/// let child = b.add_child(root, 5, 1);
+/// b.add_child(child, 7, 2);
+/// let tree = b.build().unwrap();
+/// assert_eq!(tree.len(), 3);
+/// assert_eq!(tree.mem_req(root), 5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TreeBuilder {
+    parents: Vec<Option<NodeId>>,
+    files: Vec<Size>,
+    weights: Vec<Size>,
+}
+
+impl TreeBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a builder with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            parents: Vec::with_capacity(capacity),
+            files: Vec::with_capacity(capacity),
+            weights: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// Whether no node has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.parents.is_empty()
+    }
+
+    /// Add the root node with input-file size `f` and execution size `n`.
+    /// Returns its id.
+    pub fn add_root(&mut self, f: Size, n: Size) -> NodeId {
+        self.push(None, f, n)
+    }
+
+    /// Add a child of `parent` with input-file size `f` and execution size
+    /// `n`. Returns its id.
+    pub fn add_child(&mut self, parent: NodeId, f: Size, n: Size) -> NodeId {
+        self.push(Some(parent), f, n)
+    }
+
+    fn push(&mut self, parent: Option<NodeId>, f: Size, n: Size) -> NodeId {
+        let id = self.parents.len();
+        self.parents.push(parent);
+        self.files.push(f);
+        self.weights.push(n);
+        id
+    }
+
+    /// Finish construction and validate the tree.
+    pub fn build(self) -> Result<Tree, TreeError> {
+        Tree::from_parents(&self.parents, &self.files, &self.weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(sizes: &[Size]) -> Tree {
+        let mut b = TreeBuilder::new();
+        let mut prev = b.add_root(sizes[0], 0);
+        for &s in &sizes[1..] {
+            prev = b.add_child(prev, s, 0);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_and_accessors() {
+        let mut b = TreeBuilder::new();
+        let r = b.add_root(1, 2);
+        let a = b.add_child(r, 3, 4);
+        let c = b.add_child(r, 5, 6);
+        let d = b.add_child(a, 7, 8);
+        let tree = b.build().unwrap();
+        assert_eq!(tree.len(), 4);
+        assert_eq!(tree.root(), r);
+        assert_eq!(tree.parent(a), Some(r));
+        assert_eq!(tree.parent(r), None);
+        assert_eq!(tree.children(r), &[a, c]);
+        assert_eq!(tree.f(d), 7);
+        assert_eq!(tree.n(d), 8);
+        assert!(tree.is_leaf(c));
+        assert!(!tree.is_leaf(r));
+        assert_eq!(tree.children_file_sum(r), 8);
+        assert_eq!(tree.mem_req(r), 1 + 2 + 8);
+        assert_eq!(tree.mem_req(d), 15);
+        assert_eq!(tree.max_mem_req(), 15);
+        assert_eq!(tree.leaf_count(), 2);
+        assert_eq!(tree.max_degree(), 2);
+        assert_eq!(tree.height(), 2);
+    }
+
+    #[test]
+    fn from_parents_roundtrip() {
+        let parents = [None, Some(0), Some(0), Some(1)];
+        let files = [0, 2, 3, 4];
+        let weights = [1, 1, 1, 1];
+        let tree = Tree::from_parents(&parents, &files, &weights).unwrap();
+        assert_eq!(tree.parents(), &parents);
+        assert_eq!(tree.files(), &files);
+        assert_eq!(tree.weights(), &weights);
+        assert_eq!(tree.root(), 0);
+        assert_eq!(tree.subtree_sizes(), vec![4, 2, 1, 1]);
+        assert_eq!(tree.depths(), vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn rejects_bad_structure() {
+        assert_eq!(Tree::from_parents(&[], &[], &[]), Err(TreeError::Empty));
+        assert_eq!(
+            Tree::from_parents(&[None, None], &[0, 0], &[0, 0]),
+            Err(TreeError::MultipleRoots(0, 1))
+        );
+        assert_eq!(
+            Tree::from_parents(&[Some(1), Some(0)], &[0, 0], &[0, 0]),
+            Err(TreeError::NoRoot)
+        );
+        assert_eq!(
+            Tree::from_parents(&[None, Some(5)], &[0, 0], &[0, 0]),
+            Err(TreeError::InvalidParent { node: 1, parent: 5 })
+        );
+        assert_eq!(
+            Tree::from_parents(&[None, Some(0)], &[0, -3], &[0, 0]),
+            Err(TreeError::NegativeFileSize { node: 1, size: -3 })
+        );
+        assert_eq!(
+            Tree::from_parents(&[None], &[0, 1], &[0]),
+            Err(TreeError::LengthMismatch { parents: 1, files: 2, weights: 1 })
+        );
+    }
+
+    #[test]
+    fn negative_execution_size_is_allowed() {
+        let tree = Tree::from_parents(&[None, Some(0)], &[4, 2], &[-2, 0]).unwrap();
+        assert_eq!(tree.mem_req(0), 4 - 2 + 2);
+    }
+
+    #[test]
+    fn dfs_orders_respect_parent_child_relation() {
+        let mut b = TreeBuilder::new();
+        let r = b.add_root(0, 0);
+        let a = b.add_child(r, 1, 0);
+        let c = b.add_child(r, 1, 0);
+        let d = b.add_child(a, 1, 0);
+        let e = b.add_child(c, 1, 0);
+        let tree = b.build().unwrap();
+        let top = tree.dfs_topdown();
+        assert_eq!(top.len(), 5);
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; 5];
+            for (idx, &node) in top.iter().enumerate() {
+                pos[node] = idx;
+            }
+            pos
+        };
+        for i in [a, c, d, e] {
+            assert!(pos[tree.parent(i).unwrap()] < pos[i]);
+        }
+        let bottom = tree.dfs_bottomup();
+        let mut rev = top.clone();
+        rev.reverse();
+        assert_eq!(bottom, rev);
+    }
+
+    #[test]
+    fn chain_statistics() {
+        let tree = chain(&[1, 2, 3, 4, 5]);
+        assert_eq!(tree.height(), 4);
+        assert_eq!(tree.leaf_count(), 1);
+        assert_eq!(tree.max_degree(), 1);
+        assert_eq!(tree.total_file_size(), 15);
+        assert_eq!(tree.max_mem_req(), 4 + 5);
+        assert_eq!(tree.memory_upper_bound(), 15);
+    }
+
+    #[test]
+    fn with_weights_preserves_topology() {
+        let tree = chain(&[1, 2, 3]);
+        let tree2 = tree.with_weights(vec![5, 5, 5], vec![1, 1, 1]);
+        assert_eq!(tree2.parents(), tree.parents());
+        assert_eq!(tree2.f(1), 5);
+        assert_eq!(tree2.n(2), 1);
+    }
+
+    #[test]
+    fn dot_output_mentions_every_node() {
+        let tree = chain(&[1, 2, 3]);
+        let dot = tree.to_dot();
+        for i in 0..3 {
+            assert!(dot.contains(&format!("n{i} ")));
+        }
+        assert!(dot.contains("->"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the out-of-core scheduler and the MinIO
+//! heuristics.
+//!
+//! For random trees, random traversals produced by the MinMemory algorithms
+//! and memory sizes swept between the trivial lower bound and the traversal
+//! peak, every heuristic must produce a schedule that
+//!
+//! * validates under the independent Algorithm-2 checker with the same I/O
+//!   volume,
+//! * never exceeds the memory budget,
+//! * performs no I/O when the memory is at least the traversal peak, and
+//! * never beats the divisible lower bound.
+
+use proptest::prelude::*;
+
+use minio::{check_out_of_core, divisible_lower_bound, schedule_io, ALL_POLICIES};
+use treemem::minmem::min_mem;
+use treemem::postorder::best_postorder;
+use treemem::tree::{Size, Tree};
+
+fn arbitrary_tree(max_nodes: usize, max_file: Size, max_exec: Size) -> impl Strategy<Value = Tree> {
+    (2..=max_nodes)
+        .prop_flat_map(move |n| {
+            (
+                proptest::collection::vec(0..1_000_000usize, n - 1),
+                proptest::collection::vec(0..=max_file, n),
+                proptest::collection::vec(0..=max_exec, n),
+            )
+        })
+        .prop_map(|(parent_picks, files, execs)| {
+            let n = files.len();
+            let mut parents: Vec<Option<usize>> = vec![None; n];
+            for i in 1..n {
+                parents[i] = Some(parent_picks[i - 1] % i);
+            }
+            Tree::from_parents(&parents, &files, &execs).expect("construction is valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn schedules_validate_and_respect_memory(
+        tree in arbitrary_tree(40, 100, 10),
+        fraction in 0.0f64..=1.0,
+    ) {
+        let po = best_postorder(&tree);
+        let lower = tree.max_mem_req();
+        let upper = po.peak;
+        let memory = lower + ((upper - lower) as f64 * fraction) as Size;
+        for policy in ALL_POLICIES {
+            let run = schedule_io(&tree, &po.traversal, memory, policy).unwrap();
+            prop_assert!(run.peak_memory <= memory, "{policy}");
+            let check = check_out_of_core(&tree, &po.traversal, &run.schedule, memory).unwrap();
+            prop_assert_eq!(check.io_volume, run.io_volume, "{}", policy);
+            prop_assert!(check.peak_memory <= memory);
+            let bound = divisible_lower_bound(&tree, &po.traversal, memory).unwrap();
+            prop_assert!(bound <= run.io_volume, "{}: bound {} > io {}", policy, bound, run.io_volume);
+        }
+    }
+
+    #[test]
+    fn no_io_at_or_above_the_peak(tree in arbitrary_tree(40, 100, 10)) {
+        for result in [best_postorder(&tree).traversal, min_mem(&tree).traversal] {
+            let peak = result.peak_memory(&tree).unwrap();
+            for policy in ALL_POLICIES {
+                let run = schedule_io(&tree, &result, peak, policy).unwrap();
+                prop_assert_eq!(run.io_volume, 0, "{}", policy);
+                prop_assert_eq!(run.peak_memory, peak);
+            }
+            prop_assert_eq!(divisible_lower_bound(&tree, &result, peak).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn io_decreases_with_more_memory(tree in arbitrary_tree(40, 100, 10)) {
+        // The divisible lower bound is monotone in the memory size; the
+        // heuristics are not guaranteed to be, but the bound must be.
+        let po = best_postorder(&tree);
+        let lower = tree.max_mem_req();
+        let upper = po.peak;
+        let mut previous = Size::MAX;
+        for step in 0..=4 {
+            let memory = lower + (upper - lower) * step / 4;
+            let bound = divisible_lower_bound(&tree, &po.traversal, memory).unwrap();
+            prop_assert!(bound <= previous, "divisible bound must not increase with memory");
+            previous = bound;
+        }
+    }
+
+    #[test]
+    fn min_mem_traversals_also_schedule(tree in arbitrary_tree(30, 50, 5)) {
+        let opt = min_mem(&tree);
+        let lower = tree.max_mem_req();
+        let memory = (lower + opt.peak) / 2;
+        for policy in ALL_POLICIES {
+            let run = schedule_io(&tree, &opt.traversal, memory, policy).unwrap();
+            let check = check_out_of_core(&tree, &opt.traversal, &run.schedule, memory).unwrap();
+            prop_assert_eq!(check.io_volume, run.io_volume, "{}", policy);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Small dense kernels used on frontal matrices.
+
+/// A dense square matrix in column-major storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    n: usize,
+    values: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// A zero matrix of dimension `n`.
+    pub fn zeros(n: usize) -> Self {
+        DenseMatrix { n, values: vec![0.0; n * n] }
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored entries (`n²`), the memory footprint used by the
+    /// instrumentation.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the matrix has dimension zero.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Entry `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.values[j * self.n + i]
+    }
+
+    /// Set entry `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        self.values[j * self.n + i] = value;
+    }
+
+    /// Add `value` to entry `(i, j)`.
+    #[inline]
+    pub fn add(&mut self, i: usize, j: usize, value: f64) {
+        self.values[j * self.n + i] += value;
+    }
+
+    /// In-place Cholesky factorization of the leading `pivots × pivots`
+    /// block, with the elimination applied to the full matrix: on return the
+    /// leading block holds its lower Cholesky factor, the off-diagonal block
+    /// holds `L₂₁ = A₂₁ L₁₁⁻ᵀ` and the trailing block holds the Schur
+    /// complement `A₂₂ − L₂₁ L₂₁ᵀ`.
+    ///
+    /// Returns an error if a non-positive pivot is met (the matrix is not
+    /// positive definite).
+    pub fn partial_cholesky(&mut self, pivots: usize) -> Result<(), usize> {
+        assert!(pivots <= self.n);
+        for k in 0..pivots {
+            let diagonal = self.get(k, k);
+            if diagonal <= 0.0 || !diagonal.is_finite() {
+                return Err(k);
+            }
+            let pivot = diagonal.sqrt();
+            self.set(k, k, pivot);
+            for i in (k + 1)..self.n {
+                let value = self.get(i, k) / pivot;
+                self.set(i, k, value);
+            }
+            for j in (k + 1)..self.n {
+                let ljk = self.get(j, k);
+                if ljk == 0.0 {
+                    continue;
+                }
+                for i in j..self.n {
+                    let update = self.get(i, k) * ljk;
+                    self.add(i, j, -update);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Dense matrix-vector product `y = A x` using only the lower triangle
+    /// (the matrix is assumed symmetric).
+    pub fn symmetric_multiply(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        let mut y = vec![0.0; self.n];
+        for j in 0..self.n {
+            for i in j..self.n {
+                let value = self.get(i, j);
+                y[i] += value * x[j];
+                if i != j {
+                    y[j] += value * x[i];
+                }
+            }
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_3x3() -> DenseMatrix {
+        // A = [4 2 2; 2 5 3; 2 3 6] (symmetric positive definite).
+        let mut a = DenseMatrix::zeros(3);
+        let entries = [(0, 0, 4.0), (1, 0, 2.0), (2, 0, 2.0), (1, 1, 5.0), (2, 1, 3.0), (2, 2, 6.0)];
+        for (i, j, v) in entries {
+            a.set(i, j, v);
+        }
+        a
+    }
+
+    #[test]
+    fn full_cholesky_reconstructs_the_matrix() {
+        let a = spd_3x3();
+        let mut factor = a.clone();
+        factor.partial_cholesky(3).unwrap();
+        // Check L Lᵀ == A on the lower triangle.
+        for i in 0..3 {
+            for j in 0..=i {
+                let mut sum = 0.0;
+                for k in 0..=j {
+                    sum += factor.get(i, k) * factor.get(j, k);
+                }
+                assert!((sum - a.get(i, j)).abs() < 1e-12, "entry ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_cholesky_produces_the_schur_complement() {
+        let a = spd_3x3();
+        let mut factor = a.clone();
+        factor.partial_cholesky(1).unwrap();
+        // Schur complement of the (1,1) block: A22 - a21 a21^T / a11.
+        let expected_11 = 5.0 - 2.0 * 2.0 / 4.0;
+        let expected_21 = 3.0 - 2.0 * 2.0 / 4.0;
+        let expected_22 = 6.0 - 2.0 * 2.0 / 4.0;
+        assert!((factor.get(1, 1) - expected_11).abs() < 1e-12);
+        assert!((factor.get(2, 1) - expected_21).abs() < 1e-12);
+        assert!((factor.get(2, 2) - expected_22).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_spd_matrices_are_rejected() {
+        let mut a = DenseMatrix::zeros(2);
+        a.set(0, 0, 1.0);
+        a.set(1, 0, 5.0);
+        a.set(1, 1, 1.0); // Schur complement is negative.
+        assert_eq!(a.partial_cholesky(2), Err(1));
+    }
+
+    #[test]
+    fn symmetric_multiply_matches_dense_expectation() {
+        let a = spd_3x3();
+        let y = a.symmetric_multiply(&[1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![8.0, 10.0, 11.0]);
+        assert_eq!(a.len(), 9);
+    }
+}

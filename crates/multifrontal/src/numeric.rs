@@ -1,0 +1,381 @@
+//! Symbolic structure and numeric multifrontal Cholesky factorization.
+
+use std::collections::HashMap;
+
+use sparsemat::{SparsePattern, SymmetricCsr};
+use symbolic::etree::{elimination_tree, etree_postorder, EliminationTree};
+
+use crate::dense::DenseMatrix;
+
+/// The row structure of every column of the Cholesky factor, together with
+/// the elimination tree it was derived from.
+#[derive(Debug, Clone)]
+pub struct SymbolicStructure {
+    /// Row indices (diagonal included, sorted increasingly) of every column
+    /// of `L`.
+    pub columns: Vec<Vec<usize>>,
+    /// The elimination tree of the (permuted) matrix.
+    pub etree: EliminationTree,
+}
+
+impl SymbolicStructure {
+    /// Compute the full symbolic structure of the factor of `pattern`
+    /// (already permuted into elimination order).
+    pub fn from_pattern(pattern: &SparsePattern) -> Self {
+        let n = pattern.n();
+        let etree = elimination_tree(pattern);
+        let children = etree.children();
+        let mut columns: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for j in 0..n {
+            // Original entries below the diagonal plus the children
+            // structures (minus the child index itself).
+            let mut rows: Vec<usize> = vec![j];
+            rows.extend(pattern.neighbors(j).iter().copied().filter(|&i| i > j));
+            for &c in &children[j] {
+                rows.extend(columns[c].iter().copied().filter(|&i| i > j));
+            }
+            rows.sort_unstable();
+            rows.dedup();
+            columns[j] = rows;
+        }
+        SymbolicStructure { columns, etree }
+    }
+
+    /// Number of columns.
+    pub fn n(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column counts (number of nonzeros per column of `L`).
+    pub fn column_counts(&self) -> Vec<usize> {
+        self.columns.iter().map(Vec::len).collect()
+    }
+
+    /// Total number of nonzeros of `L`.
+    pub fn factor_nnz(&self) -> usize {
+        self.columns.iter().map(Vec::len).sum()
+    }
+}
+
+/// Errors of the numeric factorization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FactorizationError {
+    /// A non-positive pivot was met at the given column: the matrix is not
+    /// positive definite (or is numerically singular).
+    NotPositiveDefinite { column: usize },
+    /// The supplied traversal is not a valid bottom-up ordering.
+    InvalidTraversal,
+}
+
+impl std::fmt::Display for FactorizationError {
+    fn fmt(&self, fmt: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FactorizationError::NotPositiveDefinite { column } => {
+                write!(fmt, "matrix is not positive definite (column {column})")
+            }
+            FactorizationError::InvalidTraversal => write!(fmt, "invalid bottom-up traversal"),
+        }
+    }
+}
+
+impl std::error::Error for FactorizationError {}
+
+/// The numeric Cholesky factor in column-compressed form.
+#[derive(Debug, Clone)]
+pub struct CholeskyFactor {
+    /// Row indices of every column (diagonal first).
+    pub columns: Vec<Vec<usize>>,
+    /// Values parallel to `columns`.
+    pub values: Vec<Vec<f64>>,
+}
+
+impl CholeskyFactor {
+    /// Dimension of the factor.
+    pub fn n(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.columns.iter().map(Vec::len).sum()
+    }
+
+    /// Reconstruct `L Lᵀ` as a dense matrix (tests only).
+    pub fn reconstruct_dense(&self) -> Vec<Vec<f64>> {
+        let n = self.n();
+        let mut dense = vec![vec![0.0; n]; n];
+        for j in 0..n {
+            for (a, (&ia, &va)) in self.columns[j].iter().zip(&self.values[j]).enumerate() {
+                for (&ib, &vb) in self.columns[j].iter().zip(&self.values[j]).skip(a) {
+                    dense[ib][ia] += va * vb;
+                    if ia != ib {
+                        dense[ia][ib] += va * vb;
+                    }
+                }
+            }
+        }
+        dense
+    }
+}
+
+/// Observer invoked by [`factorize_with_observer`] at the key points of the
+/// factorization, used by the memory instrumentation.
+pub(crate) trait FrontalObserver {
+    /// A frontal matrix of `entries` matrix entries has been allocated.
+    fn front_allocated(&mut self, entries: usize);
+    /// The frontal matrix has been released; a contribution block of
+    /// `cb_entries` entries stays live until the parent assembles it.
+    fn front_released(&mut self, entries: usize, cb_entries: usize);
+    /// A contribution block of `entries` entries has been consumed.
+    fn contribution_consumed(&mut self, entries: usize);
+}
+
+/// Observer that does nothing (plain factorization).
+struct NoOpObserver;
+
+impl FrontalObserver for NoOpObserver {
+    fn front_allocated(&mut self, _entries: usize) {}
+    fn front_released(&mut self, _entries: usize, _cb_entries: usize) {}
+    fn contribution_consumed(&mut self, _entries: usize) {}
+}
+
+/// Multifrontal Cholesky factorization of `matrix`, driven by the given
+/// bottom-up traversal (children before parents).  When `traversal` is `None`
+/// the postorder of the elimination tree is used, which is what a classical
+/// multifrontal code does.
+pub fn multifrontal_cholesky(
+    matrix: &SymmetricCsr,
+    traversal: Option<&[usize]>,
+) -> Result<CholeskyFactor, FactorizationError> {
+    let structure = SymbolicStructure::from_pattern(&matrix.pattern());
+    let default_order;
+    let order = match traversal {
+        Some(order) => order,
+        None => {
+            default_order = etree_postorder(&structure.etree);
+            &default_order
+        }
+    };
+    factorize_with_observer(matrix, &structure, order, &mut NoOpObserver)
+}
+
+/// The factorization kernel, parameterised by an observer (see
+/// [`crate::memory`] for the instrumented version).
+pub(crate) fn factorize_with_observer(
+    matrix: &SymmetricCsr,
+    structure: &SymbolicStructure,
+    order: &[usize],
+    observer: &mut dyn FrontalObserver,
+) -> Result<CholeskyFactor, FactorizationError> {
+    let n = matrix.n();
+    if order.len() != n {
+        return Err(FactorizationError::InvalidTraversal);
+    }
+    // Validate the bottom-up precedence (children before parents).
+    let mut position = vec![usize::MAX; n];
+    for (step, &j) in order.iter().enumerate() {
+        if j >= n || position[j] != usize::MAX {
+            return Err(FactorizationError::InvalidTraversal);
+        }
+        position[j] = step;
+    }
+    for j in 0..n {
+        if let Some(p) = structure.etree.parent(j) {
+            if position[j] >= position[p] {
+                return Err(FactorizationError::InvalidTraversal);
+            }
+        }
+    }
+
+    let children = structure.etree.children();
+    let mut factor_columns: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut factor_values: Vec<Vec<f64>> = vec![Vec::new(); n];
+    // Contribution blocks waiting for their parent: column -> (rows, dense values).
+    let mut pending: HashMap<usize, (Vec<usize>, DenseMatrix)> = HashMap::new();
+
+    for &j in order {
+        let rows = &structure.columns[j];
+        let front_dim = rows.len();
+        let mut front = DenseMatrix::zeros(front_dim);
+        observer.front_allocated(front.len());
+
+        // Local position of every global row index of this front.
+        let local: HashMap<usize, usize> =
+            rows.iter().enumerate().map(|(local, &global)| (global, local)).collect();
+
+        // Assemble the original matrix entries of column j.
+        let (a_rows, a_values) = matrix.column(j);
+        for (&i, &v) in a_rows.iter().zip(a_values) {
+            let li = local[&i];
+            front.add(li, 0, v);
+        }
+
+        // Extend-add the children contribution blocks.
+        for &c in &children[j] {
+            if let Some((cb_rows, cb)) = pending.remove(&c) {
+                for (a, &ga) in cb_rows.iter().enumerate() {
+                    let la = local[&ga];
+                    for (b, &gb) in cb_rows.iter().enumerate().skip(a) {
+                        let lb = local[&gb];
+                        // Store in the lower triangle of the front.
+                        let (hi, lo) = if lb >= la { (lb, la) } else { (la, lb) };
+                        front.add(hi, lo, cb.get(b, a));
+                    }
+                }
+                observer.contribution_consumed(cb.len());
+            }
+        }
+
+        // Eliminate the fully-summed variable (the first row/column).
+        front
+            .partial_cholesky(1)
+            .map_err(|_| FactorizationError::NotPositiveDefinite { column: j })?;
+
+        // Extract the factor column.
+        factor_columns[j] = rows.clone();
+        factor_values[j] = (0..front_dim).map(|i| front.get(i, 0)).collect();
+
+        // Extract the contribution block (trailing (dim-1) x (dim-1) block).
+        let cb_dim = front_dim - 1;
+        let cb_entries = cb_dim * cb_dim;
+        if cb_dim > 0 && structure.etree.parent(j).is_some() {
+            let mut cb = DenseMatrix::zeros(cb_dim);
+            for a in 0..cb_dim {
+                for b in a..cb_dim {
+                    cb.set(b, a, front.get(b + 1, a + 1));
+                }
+            }
+            pending.insert(j, (rows[1..].to_vec(), cb));
+            observer.front_released(front.len(), cb_entries);
+        } else {
+            observer.front_released(front.len(), 0);
+        }
+    }
+
+    Ok(CholeskyFactor { columns: factor_columns, values: factor_values })
+}
+
+/// Solve `A x = b` given the Cholesky factor of `A` (forward substitution
+/// with `L`, then backward substitution with `Lᵀ`).
+pub fn solve(factor: &CholeskyFactor, b: &[f64]) -> Vec<f64> {
+    let n = factor.n();
+    assert_eq!(b.len(), n);
+    let mut x = b.to_vec();
+    // Forward: L y = b.
+    for j in 0..n {
+        let diagonal = factor.values[j][0];
+        x[j] /= diagonal;
+        let xj = x[j];
+        for (&i, &v) in factor.columns[j].iter().zip(&factor.values[j]).skip(1) {
+            x[i] -= v * xj;
+        }
+    }
+    // Backward: Lᵀ x = y.
+    for j in (0..n).rev() {
+        let mut sum = x[j];
+        for (&i, &v) in factor.columns[j].iter().zip(&factor.values[j]).skip(1) {
+            sum -= v * x[i];
+        }
+        x[j] = sum / factor.values[j][0];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsemat::gen::{grid2d_matrix, random_spd_pattern, spd_matrix_from_pattern};
+
+    fn max_abs_difference(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
+        let mut worst: f64 = 0.0;
+        for (ra, rb) in a.iter().zip(b) {
+            for (&va, &vb) in ra.iter().zip(rb) {
+                worst = worst.max((va - vb).abs());
+            }
+        }
+        worst
+    }
+
+    #[test]
+    fn symbolic_structure_matches_column_counts() {
+        let pattern = random_spd_pattern(120, 4.0, 11);
+        let structure = SymbolicStructure::from_pattern(&pattern);
+        let etree = elimination_tree(&pattern);
+        let counts = symbolic::column_counts(&pattern, &etree);
+        assert_eq!(structure.column_counts(), counts);
+        assert_eq!(structure.factor_nnz(), counts.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn factorization_reconstructs_the_matrix() {
+        let matrix = grid2d_matrix(5, 4, 7);
+        let factor = multifrontal_cholesky(&matrix, None).unwrap();
+        let reconstructed = factor.reconstruct_dense();
+        let original = matrix.to_dense();
+        assert!(max_abs_difference(&reconstructed, &original) < 1e-10);
+    }
+
+    #[test]
+    fn solve_recovers_a_known_solution() {
+        let matrix = grid2d_matrix(6, 6, 3);
+        let n = matrix.n();
+        let expected: Vec<f64> = (0..n).map(|i| (i % 7) as f64 - 3.0).collect();
+        let rhs = matrix.multiply(&expected);
+        let factor = multifrontal_cholesky(&matrix, None).unwrap();
+        let solution = solve(&factor, &rhs);
+        let worst = solution
+            .iter()
+            .zip(&expected)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst < 1e-8, "solution error {worst}");
+    }
+
+    #[test]
+    fn any_valid_traversal_gives_the_same_factor() {
+        let matrix = spd_matrix_from_pattern(&random_spd_pattern(80, 3.5, 5), 5);
+        let structure = SymbolicStructure::from_pattern(&matrix.pattern());
+        let postorder = etree_postorder(&structure.etree);
+        let natural: Vec<usize> = (0..matrix.n()).collect();
+        let a = multifrontal_cholesky(&matrix, Some(&postorder)).unwrap();
+        let b = multifrontal_cholesky(&matrix, Some(&natural)).unwrap();
+        for j in 0..matrix.n() {
+            assert_eq!(a.columns[j], b.columns[j]);
+            for (va, vb) in a.values[j].iter().zip(&b.values[j]) {
+                assert!((va - vb).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_traversals_are_rejected() {
+        let matrix = grid2d_matrix(3, 3, 1);
+        let n = matrix.n();
+        let too_short = vec![0usize; n - 1];
+        assert_eq!(
+            multifrontal_cholesky(&matrix, Some(&too_short)).unwrap_err(),
+            FactorizationError::InvalidTraversal
+        );
+        // Root first is not a bottom-up order.
+        let structure = SymbolicStructure::from_pattern(&matrix.pattern());
+        let mut top_down = etree_postorder(&structure.etree);
+        top_down.reverse();
+        assert_eq!(
+            multifrontal_cholesky(&matrix, Some(&top_down)).unwrap_err(),
+            FactorizationError::InvalidTraversal
+        );
+    }
+
+    #[test]
+    fn indefinite_matrices_are_rejected() {
+        // Diagonal matrix with a negative entry.
+        let matrix = SymmetricCsr::from_lower_columns(
+            2,
+            vec![vec![(0, 1.0)], vec![(1, -2.0)]],
+        );
+        assert!(matches!(
+            multifrontal_cholesky(&matrix, None),
+            Err(FactorizationError::NotPositiveDefinite { .. })
+        ));
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the numeric multifrontal factorization: on random
+//! SPD matrices the factorization must reconstruct the matrix, solve linear
+//! systems, give the same factor for every valid traversal, and use exactly
+//! the memory predicted by the paper's tree model.
+
+use proptest::prelude::*;
+
+use multifrontal::memory::per_column_model;
+use multifrontal::numeric::SymbolicStructure;
+use multifrontal::{instrumented_factorization, multifrontal_cholesky, solve};
+use sparsemat::gen::spd_matrix_from_pattern;
+use sparsemat::SparsePattern;
+use symbolic::etree::etree_postorder;
+use treemem::minmem::min_mem;
+use treemem::postorder::best_postorder;
+use treemem::tree::Size;
+
+fn arbitrary_spd(max_n: usize, max_edges: usize) -> impl Strategy<Value = sparsemat::SymmetricCsr> {
+    (2..=max_n, 0u64..10_000)
+        .prop_flat_map(move |(n, seed)| {
+            (Just(n), Just(seed), proptest::collection::vec((0..n, 0..n), 0..=max_edges))
+        })
+        .prop_map(|(n, seed, edges)| {
+            let pattern = SparsePattern::from_edges(n, &edges);
+            spd_matrix_from_pattern(&pattern, seed)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn factorization_reconstructs_and_solves(matrix in arbitrary_spd(25, 80)) {
+        let factor = multifrontal_cholesky(&matrix, None).unwrap();
+        // L L^T = A.
+        let reconstructed = factor.reconstruct_dense();
+        let original = matrix.to_dense();
+        for i in 0..matrix.n() {
+            for j in 0..matrix.n() {
+                prop_assert!((reconstructed[i][j] - original[i][j]).abs() < 1e-8,
+                    "entry ({}, {})", i, j);
+            }
+        }
+        // Solving reproduces a known vector.
+        let expected: Vec<f64> = (0..matrix.n()).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let rhs = matrix.multiply(&expected);
+        let solution = solve(&factor, &rhs);
+        for (a, b) in solution.iter().zip(&expected) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn every_valid_traversal_gives_the_same_factor(matrix in arbitrary_spd(20, 60)) {
+        let structure = SymbolicStructure::from_pattern(&matrix.pattern());
+        let model = per_column_model(&structure);
+        let orders: Vec<Vec<usize>> = vec![
+            etree_postorder(&structure.etree),
+            (0..matrix.n()).collect(),
+            min_mem(&model).traversal.reversed().into_order(),
+            best_postorder(&model).traversal.reversed().into_order(),
+        ];
+        let reference = multifrontal_cholesky(&matrix, Some(&orders[0])).unwrap();
+        for order in &orders[1..] {
+            let factor = multifrontal_cholesky(&matrix, Some(order)).unwrap();
+            for j in 0..matrix.n() {
+                prop_assert_eq!(&factor.columns[j], &reference.columns[j]);
+                for (a, b) in factor.values[j].iter().zip(&reference.values[j]) {
+                    prop_assert!((a - b).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn measured_memory_always_matches_the_model(matrix in arbitrary_spd(20, 60)) {
+        let structure = SymbolicStructure::from_pattern(&matrix.pattern());
+        let model = per_column_model(&structure);
+        for order in [
+            etree_postorder(&structure.etree),
+            min_mem(&model).traversal.reversed().into_order(),
+        ] {
+            let stats = instrumented_factorization(&matrix, Some(&order)).unwrap();
+            prop_assert_eq!(stats.measured_peak_entries as Size, stats.model_peak_entries);
+            prop_assert_eq!(stats.factor_nnz, structure.factor_nnz());
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the ordering crate: every method must return a
+//! valid permutation, and the fill-reducing methods must never be worse than
+//! the natural ordering by more than a small factor on structured problems.
+
+use proptest::prelude::*;
+
+use ordering::mindeg::fill_in;
+use ordering::{minimum_degree, natural, nested_dissection, rcm, OrderingMethod, Permutation};
+use sparsemat::SparsePattern;
+
+fn arbitrary_pattern(max_n: usize, max_edges: usize) -> impl Strategy<Value = SparsePattern> {
+    (2..=max_n)
+        .prop_flat_map(move |n| {
+            (Just(n), proptest::collection::vec((0..n, 0..n), 0..=max_edges))
+        })
+        .prop_map(|(n, edges)| SparsePattern::from_edges(n, &edges))
+}
+
+fn is_permutation(perm: &Permutation, n: usize) -> bool {
+    let mut seen = vec![false; n];
+    for k in 0..n {
+        let v = perm.new_to_old(k);
+        if v >= n || seen[v] {
+            return false;
+        }
+        seen[v] = true;
+    }
+    seen.into_iter().all(|s| s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_method_returns_a_valid_permutation(pattern in arbitrary_pattern(40, 150)) {
+        for method in OrderingMethod::ALL {
+            let perm = method.order(&pattern);
+            prop_assert_eq!(perm.len(), pattern.n(), "{}", method.name());
+            prop_assert!(is_permutation(&perm, pattern.n()), "{}", method.name());
+        }
+    }
+
+    #[test]
+    fn orderings_are_deterministic(pattern in arbitrary_pattern(30, 100)) {
+        for method in OrderingMethod::ALL {
+            prop_assert_eq!(method.order(&pattern), method.order(&pattern), "{}", method.name());
+        }
+    }
+
+    #[test]
+    fn fill_is_invariant_under_relabelling_for_natural(pattern in arbitrary_pattern(25, 80)) {
+        // fill_in of the identity on a relabelled pattern equals fill_in of
+        // that relabelling on the original pattern.
+        let n = pattern.n();
+        let reversal = Permutation::from_new_to_old((0..n).rev().collect());
+        let relabelled = reversal.apply(&pattern);
+        prop_assert_eq!(
+            fill_in(&relabelled, &natural(n)),
+            fill_in(&pattern, &reversal)
+        );
+    }
+
+    #[test]
+    fn trees_are_ordered_without_fill(n in 2usize..40, picks in proptest::collection::vec(0usize..1000, 39)) {
+        // Build a random tree (acyclic graph): minimum degree must order it
+        // with zero fill (nnz(L) = 2n - 1).
+        let edges: Vec<(usize, usize)> = (1..n).map(|i| (i, picks[i - 1] % i)).collect();
+        let pattern = SparsePattern::from_edges(n, &edges);
+        let perm = minimum_degree(&pattern);
+        prop_assert_eq!(fill_in(&pattern, &perm), 2 * n - 1);
+    }
+
+    #[test]
+    fn fill_reducing_methods_never_lose_badly_on_grids(side in 4usize..12) {
+        let pattern = sparsemat::gen::grid2d_5pt(side, side);
+        let base = fill_in(&pattern, &natural(pattern.n()));
+        for perm in [minimum_degree(&pattern), nested_dissection(&pattern)] {
+            let fill = fill_in(&pattern, &perm);
+            prop_assert!(fill <= base, "fill-reducing ordering worse than natural on a grid");
+        }
+        // RCM is a bandwidth reducer, not a fill reducer, but it should stay
+        // within a small factor of natural on grids.
+        let rcm_fill = fill_in(&pattern, &rcm(&pattern));
+        prop_assert!(rcm_fill <= 2 * base);
+    }
+}

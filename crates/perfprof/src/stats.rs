@@ -1,0 +1,114 @@
+//! Summary statistics of cost ratios (Tables I and II of the paper).
+
+/// Summary of the ratios `cost(method) / cost(reference)` over a set of
+/// instances — the numbers reported in Tables I and II of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatioStatistics {
+    /// Number of instances.
+    pub instances: usize,
+    /// Fraction of instances where the method is strictly worse than the
+    /// reference (e.g. "Non optimal PostOrder traversals" in Table I).
+    pub fraction_suboptimal: f64,
+    /// Largest ratio.
+    pub max_ratio: f64,
+    /// Average ratio.
+    pub mean_ratio: f64,
+    /// Population standard deviation of the ratios.
+    pub stddev_ratio: f64,
+}
+
+/// Compute the ratio statistics of `method_costs` against `reference_costs`
+/// (element-wise; the reference is usually the optimal value).
+///
+/// # Panics
+/// Panics if the slices have different lengths, are empty, or if a reference
+/// cost is zero while the method cost is not (the ratio would be infinite).
+pub fn ratio_statistics(method_costs: &[f64], reference_costs: &[f64]) -> RatioStatistics {
+    assert_eq!(method_costs.len(), reference_costs.len(), "length mismatch");
+    assert!(!method_costs.is_empty(), "at least one instance expected");
+    let ratios: Vec<f64> = method_costs
+        .iter()
+        .zip(reference_costs.iter())
+        .map(|(&m, &r)| {
+            if r == 0.0 {
+                assert!(m == 0.0, "method cost {m} with zero reference cost");
+                1.0
+            } else {
+                m / r
+            }
+        })
+        .collect();
+    let instances = ratios.len();
+    let suboptimal = ratios.iter().filter(|&&r| r > 1.0 + 1e-12).count();
+    let max_ratio = ratios.iter().copied().fold(f64::MIN, f64::max);
+    let mean_ratio = ratios.iter().sum::<f64>() / instances as f64;
+    let variance =
+        ratios.iter().map(|&r| (r - mean_ratio) * (r - mean_ratio)).sum::<f64>() / instances as f64;
+    RatioStatistics {
+        instances,
+        fraction_suboptimal: suboptimal as f64 / instances as f64,
+        max_ratio,
+        mean_ratio,
+        stddev_ratio: variance.sqrt(),
+    }
+}
+
+impl RatioStatistics {
+    /// Render the statistics as the rows of Table I / Table II of the paper.
+    pub fn to_table(&self, method: &str, reference: &str) -> String {
+        format!(
+            "Non optimal {method} traversals      {:.1}%\n\
+             Max. {method} to {reference} cost ratio     {:.2}\n\
+             Avg. {method} to {reference} cost ratio     {:.2}\n\
+             Std. Dev. of {method} to {reference} cost ratio {:.2}\n",
+            100.0 * self.fraction_suboptimal,
+            self.max_ratio,
+            self.mean_ratio,
+            self.stddev_ratio
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistics_of_a_simple_case() {
+        let stats = ratio_statistics(&[1.0, 2.0, 1.0, 3.0], &[1.0, 1.0, 1.0, 2.0]);
+        assert_eq!(stats.instances, 4);
+        assert!((stats.fraction_suboptimal - 0.5).abs() < 1e-12);
+        assert!((stats.max_ratio - 2.0).abs() < 1e-12);
+        assert!((stats.mean_ratio - 1.375).abs() < 1e-12);
+        assert!(stats.stddev_ratio > 0.0);
+    }
+
+    #[test]
+    fn equal_costs_give_trivial_statistics() {
+        let stats = ratio_statistics(&[5.0, 7.0], &[5.0, 7.0]);
+        assert_eq!(stats.fraction_suboptimal, 0.0);
+        assert_eq!(stats.max_ratio, 1.0);
+        assert_eq!(stats.mean_ratio, 1.0);
+        assert_eq!(stats.stddev_ratio, 0.0);
+    }
+
+    #[test]
+    fn zero_reference_with_zero_method_is_ratio_one() {
+        let stats = ratio_statistics(&[0.0, 2.0], &[0.0, 2.0]);
+        assert_eq!(stats.max_ratio, 1.0);
+    }
+
+    #[test]
+    fn table_rendering_mentions_the_method() {
+        let stats = ratio_statistics(&[1.1], &[1.0]);
+        let table = stats.to_table("PostOrder", "opt");
+        assert!(table.contains("PostOrder"));
+        assert!(table.contains("100.0%"));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero reference")]
+    fn inconsistent_zero_reference_is_rejected() {
+        ratio_statistics(&[1.0], &[0.0]);
+    }
+}

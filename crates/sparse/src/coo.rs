@@ -1,0 +1,116 @@
+//! Triplet (coordinate) storage used as a flexible builder for numeric
+//! symmetric matrices.
+
+use crate::pattern::{SparsePattern, SymmetricCsr};
+
+/// A symmetric matrix under construction, stored as (row, column, value)
+/// triplets of its lower triangle.  Duplicate entries are summed on
+/// conversion, as in the usual finite-element assembly convention.
+#[derive(Debug, Clone, Default)]
+pub struct Coo {
+    n: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl Coo {
+    /// Create an empty `n × n` symmetric matrix.
+    pub fn new(n: usize) -> Self {
+        Coo { n, entries: Vec::new() }
+    }
+
+    /// Dimension of the matrix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of triplets added so far (before duplicate summation).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no triplet has been added.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Add `value` to entry `(i, j)`; the entry is stored in the lower
+    /// triangle regardless of the order of the indices.
+    ///
+    /// # Panics
+    /// Panics if an index is out of range.
+    pub fn push(&mut self, i: usize, j: usize, value: f64) {
+        assert!(i < self.n && j < self.n, "index out of range");
+        let (row, col) = if i >= j { (i, j) } else { (j, i) };
+        self.entries.push((row, col, value));
+    }
+
+    /// Add `value` to the diagonal entry `(i, i)`.
+    pub fn push_diagonal(&mut self, i: usize, value: f64) {
+        self.push(i, i, value);
+    }
+
+    /// Convert to compressed symmetric storage, summing duplicates and adding
+    /// explicit zero diagonal entries where missing (so that the result is
+    /// always structurally valid).
+    pub fn to_csr(&self) -> SymmetricCsr {
+        let mut columns: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.n];
+        for &(i, j, v) in &self.entries {
+            columns[j].push((i, v));
+        }
+        for (j, column) in columns.iter_mut().enumerate() {
+            column.sort_by_key(|&(row, _)| row);
+            // Sum duplicates in place.
+            let mut merged: Vec<(usize, f64)> = Vec::with_capacity(column.len() + 1);
+            for &(row, value) in column.iter() {
+                match merged.last_mut() {
+                    Some((last_row, last_value)) if *last_row == row => *last_value += value,
+                    _ => merged.push((row, value)),
+                }
+            }
+            if merged.first().map(|&(row, _)| row) != Some(j) {
+                merged.insert(0, (j, 0.0));
+            }
+            *column = merged;
+        }
+        SymmetricCsr::from_lower_columns(self.n, columns)
+    }
+
+    /// The adjacency pattern of the triplets added so far.
+    pub fn pattern(&self) -> SparsePattern {
+        let edges: Vec<(usize, usize)> = self.entries.iter().map(|&(i, j, _)| (i, j)).collect();
+        SparsePattern::from_edges(self.n, &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_are_summed_and_diagonal_added() {
+        let mut coo = Coo::new(3);
+        coo.push(1, 0, 2.0);
+        coo.push(0, 1, 3.0); // same symmetric entry
+        coo.push_diagonal(0, 5.0);
+        coo.push_diagonal(1, 6.0);
+        assert_eq!(coo.len(), 4);
+        let csr = coo.to_csr();
+        assert_eq!(csr.get_lower(1, 0), 5.0);
+        assert_eq!(csr.get_lower(0, 0), 5.0);
+        assert_eq!(csr.get_lower(1, 1), 6.0);
+        // Missing diagonal (2,2) is added structurally with value 0.
+        assert_eq!(csr.get_lower(2, 2), 0.0);
+        assert_eq!(csr.nnz_lower(), 4);
+    }
+
+    #[test]
+    fn pattern_reflects_the_triplets() {
+        let mut coo = Coo::new(4);
+        coo.push(0, 2, 1.0);
+        coo.push(3, 2, 1.0);
+        let pattern = coo.pattern();
+        assert_eq!(pattern.neighbors(2), &[0, 3]);
+        assert!(coo.pattern().is_symmetric());
+        assert!(!Coo::new(2).is_empty() == false);
+    }
+}

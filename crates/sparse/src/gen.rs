@@ -1,0 +1,338 @@
+//! Synthetic sparse-matrix generators.
+//!
+//! These generators replace the University of Florida Sparse Matrix
+//! Collection used in the paper's experiments (see `DESIGN.md` for the
+//! substitution rationale).  They cover the structural regimes that matter
+//! for assembly-tree shapes:
+//!
+//! * [`grid2d_5pt`], [`grid2d_9pt`], [`grid3d_7pt`] — regular grids from
+//!   discretised PDEs; nested-dissection-friendly, produce deep balanced
+//!   assembly trees (the bulk of the UF matrices in the paper's size range
+//!   are discretisations of this kind);
+//! * [`banded`] — banded systems, produce chain-like elimination trees;
+//! * [`random_spd_pattern`] — Erdős–Rényi-style random symmetric patterns
+//!   with a prescribed number of nonzeros per row;
+//! * [`power_law_pattern`] — skewed degree distributions (RMAT-like), which
+//!   produce irregular, high-degree assembly trees.
+//!
+//! Every generator has a `*_matrix` variant that also produces numeric
+//! values making the matrix symmetric positive definite (by strict diagonal
+//! dominance), for use by the `multifrontal` crate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::coo::Coo;
+use crate::pattern::{SparsePattern, SymmetricCsr};
+
+/// Pattern of the 5-point Laplacian on an `nx × ny` grid.
+pub fn grid2d_5pt(nx: usize, ny: usize) -> SparsePattern {
+    let index = |x: usize, y: usize| y * nx + x;
+    let mut edges = Vec::with_capacity(2 * nx * ny);
+    for y in 0..ny {
+        for x in 0..nx {
+            if x + 1 < nx {
+                edges.push((index(x, y), index(x + 1, y)));
+            }
+            if y + 1 < ny {
+                edges.push((index(x, y), index(x, y + 1)));
+            }
+        }
+    }
+    SparsePattern::from_edges(nx * ny, &edges)
+}
+
+/// Pattern of the 9-point stencil on an `nx × ny` grid (adds diagonal
+/// couplings to [`grid2d_5pt`]).
+pub fn grid2d_9pt(nx: usize, ny: usize) -> SparsePattern {
+    let index = |x: usize, y: usize| y * nx + x;
+    let mut edges = Vec::with_capacity(4 * nx * ny);
+    for y in 0..ny {
+        for x in 0..nx {
+            if x + 1 < nx {
+                edges.push((index(x, y), index(x + 1, y)));
+            }
+            if y + 1 < ny {
+                edges.push((index(x, y), index(x, y + 1)));
+            }
+            if x + 1 < nx && y + 1 < ny {
+                edges.push((index(x, y), index(x + 1, y + 1)));
+                edges.push((index(x + 1, y), index(x, y + 1)));
+            }
+        }
+    }
+    SparsePattern::from_edges(nx * ny, &edges)
+}
+
+/// Pattern of the 7-point Laplacian on an `nx × ny × nz` grid.
+pub fn grid3d_7pt(nx: usize, ny: usize, nz: usize) -> SparsePattern {
+    let index = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    let mut edges = Vec::with_capacity(3 * nx * ny * nz);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                if x + 1 < nx {
+                    edges.push((index(x, y, z), index(x + 1, y, z)));
+                }
+                if y + 1 < ny {
+                    edges.push((index(x, y, z), index(x, y + 1, z)));
+                }
+                if z + 1 < nz {
+                    edges.push((index(x, y, z), index(x, y, z + 1)));
+                }
+            }
+        }
+    }
+    SparsePattern::from_edges(nx * ny * nz, &edges)
+}
+
+/// Pattern of a banded symmetric matrix of the given half-bandwidth.
+pub fn banded(n: usize, half_bandwidth: usize) -> SparsePattern {
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for offset in 1..=half_bandwidth {
+            if i + offset < n {
+                edges.push((i, i + offset));
+            }
+        }
+    }
+    SparsePattern::from_edges(n, &edges)
+}
+
+/// Random symmetric pattern with (approximately) `nnz_per_row` off-diagonal
+/// entries per row, Erdős–Rényi style.
+pub fn random_spd_pattern(n: usize, nnz_per_row: f64, seed: u64) -> SparsePattern {
+    assert!(n > 0 && nnz_per_row >= 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Each undirected edge contributes 2 off-diagonal entries, so target
+    // n * nnz_per_row / 2 edges.
+    let target_edges = ((n as f64) * nnz_per_row / 2.0).round() as usize;
+    let mut edges = Vec::with_capacity(target_edges);
+    for _ in 0..target_edges {
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        if i != j {
+            edges.push((i, j));
+        }
+    }
+    // Add a Hamiltonian path so the graph is connected (keeps elimination
+    // trees from degenerating into forests).
+    for i in 0..n.saturating_sub(1) {
+        edges.push((i, i + 1));
+    }
+    SparsePattern::from_edges(n, &edges)
+}
+
+/// Random symmetric pattern with a power-law degree distribution: endpoints
+/// are drawn with probability proportional to `(rank + 1)^{-alpha}`.
+/// Produces a few very high-degree vertices, the irregular regime of the UF
+/// collection.
+pub fn power_law_pattern(n: usize, edges_count: usize, alpha: f64, seed: u64) -> SparsePattern {
+    assert!(n > 0 && alpha > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Precompute cumulative weights.
+    let weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(alpha)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cumulative = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w;
+        cumulative.push(acc / total);
+    }
+    let draw = |rng: &mut StdRng| -> usize {
+        let x: f64 = rng.gen();
+        match cumulative.binary_search_by(|c| c.partial_cmp(&x).unwrap()) {
+            Ok(idx) => idx,
+            Err(idx) => idx.min(n - 1),
+        }
+    };
+    let mut edges = Vec::with_capacity(edges_count + n);
+    for _ in 0..edges_count {
+        let i = draw(&mut rng);
+        let j = draw(&mut rng);
+        if i != j {
+            edges.push((i, j));
+        }
+    }
+    for i in 0..n.saturating_sub(1) {
+        edges.push((i, i + 1));
+    }
+    SparsePattern::from_edges(n, &edges)
+}
+
+/// Give a pattern numeric values that make it symmetric positive definite:
+/// off-diagonal entries are drawn uniformly in `[-1, 0)` and each diagonal
+/// entry is set to one plus the sum of the absolute off-diagonal values of
+/// its row (strict diagonal dominance).
+pub fn spd_matrix_from_pattern(pattern: &SparsePattern, seed: u64) -> SymmetricCsr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = pattern.n();
+    let mut coo = Coo::new(n);
+    let mut diagonal = vec![1.0f64; n];
+    for i in 0..n {
+        for &j in pattern.neighbors(i) {
+            if j > i {
+                let value = -rng.gen_range(0.1..1.0);
+                coo.push(j, i, value);
+                diagonal[i] += value.abs();
+                diagonal[j] += value.abs();
+            }
+        }
+    }
+    for (i, &d) in diagonal.iter().enumerate() {
+        coo.push_diagonal(i, d);
+    }
+    coo.to_csr()
+}
+
+/// Convenience: a 2-D grid Laplacian with SPD values.
+pub fn grid2d_matrix(nx: usize, ny: usize, seed: u64) -> SymmetricCsr {
+    spd_matrix_from_pattern(&grid2d_5pt(nx, ny), seed)
+}
+
+/// A small catalogue of generated problems covering the structural regimes
+/// of the paper's data set, used by the experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProblemKind {
+    /// 5-point 2-D grid.
+    Grid2d,
+    /// 9-point 2-D grid.
+    Grid2d9,
+    /// 7-point 3-D grid.
+    Grid3d,
+    /// Banded matrix.
+    Banded,
+    /// Uniform random pattern.
+    Random,
+    /// Power-law (skewed-degree) pattern.
+    PowerLaw,
+}
+
+impl ProblemKind {
+    /// All problem kinds.
+    pub const ALL: [ProblemKind; 6] = [
+        ProblemKind::Grid2d,
+        ProblemKind::Grid2d9,
+        ProblemKind::Grid3d,
+        ProblemKind::Banded,
+        ProblemKind::Random,
+        ProblemKind::PowerLaw,
+    ];
+
+    /// Short name used in experiment reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProblemKind::Grid2d => "grid2d",
+            ProblemKind::Grid2d9 => "grid2d9",
+            ProblemKind::Grid3d => "grid3d",
+            ProblemKind::Banded => "banded",
+            ProblemKind::Random => "random",
+            ProblemKind::PowerLaw => "powerlaw",
+        }
+    }
+
+    /// Generate an instance of roughly `target_n` unknowns.
+    pub fn generate(&self, target_n: usize, seed: u64) -> SparsePattern {
+        match self {
+            ProblemKind::Grid2d => {
+                let side = (target_n as f64).sqrt().round().max(2.0) as usize;
+                grid2d_5pt(side, side)
+            }
+            ProblemKind::Grid2d9 => {
+                let side = (target_n as f64).sqrt().round().max(2.0) as usize;
+                grid2d_9pt(side, side)
+            }
+            ProblemKind::Grid3d => {
+                let side = (target_n as f64).cbrt().round().max(2.0) as usize;
+                grid3d_7pt(side, side, side)
+            }
+            ProblemKind::Banded => banded(target_n.max(4), 8),
+            ProblemKind::Random => random_spd_pattern(target_n.max(4), 4.0, seed),
+            ProblemKind::PowerLaw => {
+                power_law_pattern(target_n.max(4), target_n.max(4) * 3, 1.6, seed)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid2d_structure() {
+        let pattern = grid2d_5pt(3, 4);
+        assert_eq!(pattern.n(), 12);
+        // Interior vertex (1,1) = index 4 has 4 neighbours.
+        assert_eq!(pattern.degree(4), 4);
+        // Corner vertex 0 has 2 neighbours.
+        assert_eq!(pattern.degree(0), 2);
+        assert!(pattern.is_symmetric());
+        assert_eq!(pattern.connected_components(), 1);
+    }
+
+    #[test]
+    fn grid2d_9pt_has_more_entries() {
+        let five = grid2d_5pt(5, 5);
+        let nine = grid2d_9pt(5, 5);
+        assert!(nine.nnz() > five.nnz());
+        assert_eq!(nine.n(), five.n());
+        // Interior vertex has 8 neighbours with the 9-point stencil.
+        assert_eq!(nine.degree(12), 8);
+    }
+
+    #[test]
+    fn grid3d_structure() {
+        let pattern = grid3d_7pt(3, 3, 3);
+        assert_eq!(pattern.n(), 27);
+        // The centre vertex has 6 neighbours.
+        assert_eq!(pattern.degree(13), 6);
+        assert_eq!(pattern.connected_components(), 1);
+    }
+
+    #[test]
+    fn banded_degrees() {
+        let pattern = banded(10, 2);
+        assert_eq!(pattern.degree(5), 4);
+        assert_eq!(pattern.degree(0), 2);
+        assert_eq!(pattern.degree(9), 2);
+    }
+
+    #[test]
+    fn random_patterns_are_connected_and_reproducible() {
+        let a = random_spd_pattern(200, 4.0, 9);
+        let b = random_spd_pattern(200, 4.0, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.connected_components(), 1);
+        assert!(a.nnz_per_row() >= 2.5, "paper's density threshold");
+        let p = power_law_pattern(200, 600, 1.6, 9);
+        assert_eq!(p.connected_components(), 1);
+        // The most connected vertex dominates.
+        let max_degree = (0..p.n()).map(|i| p.degree(i)).max().unwrap();
+        assert!(max_degree > 10);
+    }
+
+    #[test]
+    fn spd_values_are_diagonally_dominant() {
+        let matrix = grid2d_matrix(4, 4, 3);
+        for j in 0..matrix.n() {
+            let mut off = 0.0;
+            let dense = matrix.to_dense();
+            for i in 0..matrix.n() {
+                if i != j {
+                    off += dense[i][j].abs();
+                }
+            }
+            assert!(dense[j][j] > off, "column {j} not diagonally dominant");
+        }
+    }
+
+    #[test]
+    fn problem_catalogue_generates_every_kind() {
+        for kind in ProblemKind::ALL {
+            let pattern = kind.generate(150, 5);
+            assert!(pattern.n() >= 100, "{}: unexpectedly small", kind.name());
+            assert!(pattern.is_symmetric());
+        }
+    }
+}

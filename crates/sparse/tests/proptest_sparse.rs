@@ -1,0 +1,114 @@
+//! Property-based tests for the sparse-matrix substrate.
+
+use proptest::prelude::*;
+
+use sparsemat::gen::{banded, grid2d_5pt, random_spd_pattern, spd_matrix_from_pattern};
+use sparsemat::matrixmarket::{read_pattern, write_pattern};
+use sparsemat::{Coo, SparsePattern};
+
+fn arbitrary_edges(max_n: usize, max_edges: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2..=max_n).prop_flat_map(move |n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..=max_edges);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn patterns_are_always_symmetric_and_deduplicated((n, edges) in arbitrary_edges(40, 200)) {
+        let pattern = SparsePattern::from_edges(n, &edges);
+        prop_assert!(pattern.is_symmetric());
+        prop_assert_eq!(pattern.n(), n);
+        // No self loops and no duplicates: neighbours are strictly increasing.
+        for i in 0..n {
+            let neighbors = pattern.neighbors(i);
+            for pair in neighbors.windows(2) {
+                prop_assert!(pair[0] < pair[1]);
+            }
+            prop_assert!(!neighbors.contains(&i));
+        }
+        // Off-diagonal entries come in pairs.
+        prop_assert_eq!(pattern.nnz_off_diagonal() % 2, 0);
+    }
+
+    #[test]
+    fn permutation_preserves_structure_statistics((n, edges) in arbitrary_edges(30, 120), seed in 0u64..1000) {
+        let pattern = SparsePattern::from_edges(n, &edges);
+        // Build a deterministic pseudo-random permutation from the seed.
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = seed;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        let permuted = pattern.permute(&perm);
+        prop_assert_eq!(permuted.nnz(), pattern.nnz());
+        prop_assert_eq!(permuted.connected_components(), pattern.connected_components());
+        let mut original_degrees: Vec<usize> = (0..n).map(|i| pattern.degree(i)).collect();
+        let mut permuted_degrees: Vec<usize> = (0..n).map(|i| permuted.degree(i)).collect();
+        original_degrees.sort_unstable();
+        permuted_degrees.sort_unstable();
+        prop_assert_eq!(original_degrees, permuted_degrees);
+    }
+
+    #[test]
+    fn matrix_market_roundtrip((n, edges) in arbitrary_edges(30, 120)) {
+        let pattern = SparsePattern::from_edges(n, &edges);
+        let text = write_pattern(&pattern);
+        let parsed = read_pattern(text.as_bytes()).unwrap();
+        prop_assert_eq!(parsed, pattern);
+    }
+
+    #[test]
+    fn coo_duplicates_sum_and_match_dense(entries in proptest::collection::vec((0usize..8, 0usize..8, -5.0f64..5.0), 1..40)) {
+        let mut coo = Coo::new(8);
+        let mut dense = vec![vec![0.0f64; 8]; 8];
+        for &(i, j, v) in &entries {
+            coo.push(i, j, v);
+            if i == j {
+                dense[i][i] += v;
+            } else {
+                dense[i.max(j)][i.min(j)] += v;
+                dense[i.min(j)][i.max(j)] += v;
+            }
+        }
+        let csr = coo.to_csr();
+        let rebuilt = csr.to_dense();
+        for i in 0..8 {
+            for j in 0..8 {
+                prop_assert!((rebuilt[i][j] - dense[i][j]).abs() < 1e-9, "entry ({},{})", i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn spd_generator_is_diagonally_dominant(n in 3usize..30, seed in 0u64..500) {
+        let pattern = random_spd_pattern(n, 3.0, seed);
+        let matrix = spd_matrix_from_pattern(&pattern, seed);
+        let dense = matrix.to_dense();
+        for j in 0..n {
+            let off: f64 = (0..n).filter(|&i| i != j).map(|i| dense[i][j].abs()).sum();
+            prop_assert!(dense[j][j] > off);
+        }
+        // Symmetric multiply agrees with the dense product.
+        let x: Vec<f64> = (0..n).map(|i| (i as f64) - (n as f64) / 2.0).collect();
+        let y = matrix.multiply(&x);
+        for i in 0..n {
+            let expected: f64 = (0..n).map(|j| dense[i][j] * x[j]).sum();
+            prop_assert!((y[i] - expected).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn generators_have_documented_shapes() {
+    // Non-property sanity checks that pin the generator shapes used in DESIGN.md.
+    let grid = grid2d_5pt(10, 10);
+    assert_eq!(grid.n(), 100);
+    assert_eq!(grid.nnz_off_diagonal(), 2 * (2 * 10 * 9));
+    let band = banded(50, 3);
+    assert!(band.degree(25) == 6);
+}

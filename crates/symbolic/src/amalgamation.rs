@@ -1,0 +1,357 @@
+//! Node amalgamation and assembly-tree construction (Section VI-B of the
+//! paper).
+//!
+//! The elimination tree has one node per column, which makes frontal
+//! matrices too small for efficient dense kernels; real multifrontal codes
+//! therefore *amalgamate* columns into supernode-like groups.  Following the
+//! paper:
+//!
+//! * **perfect amalgamations** are always applied: a column that is the only
+//!   child of its parent and whose column count exceeds the parent's by
+//!   exactly one is merged into it (the two columns have the same structure
+//!   below the diagonal);
+//! * **relaxed amalgamations** are bounded by a parameter (1, 2, 4 or 16 in
+//!   the paper): a node may absorb its *densest* child group as long as the
+//!   resulting group does not exceed the allowance.
+//!
+//! Every assembly node carries the weights used in the paper's experiments:
+//! the execution weight `η² + 2η(µ − 1)` (the frontal matrix minus the
+//! contribution block) and the input-file weight `(µ − 1)²` (the contribution
+//! block sent to the parent), where `η` is the number of amalgamated columns
+//! and `µ` the column count of the highest column of the group.
+
+use treemem::tree::Size;
+use treemem::Tree;
+
+use crate::etree::EliminationTree;
+
+/// An assembly tree: the amalgamated elimination tree together with the
+/// weighted [`treemem::Tree`] used by the traversal algorithms.
+#[derive(Debug, Clone)]
+pub struct AssemblyTree {
+    /// The weighted tree (in the out-tree orientation used by `treemem`;
+    /// the input file of a node is the contribution block it exchanges with
+    /// its parent, and the root has an empty input file).
+    pub tree: Tree,
+    /// For every assembly node, the columns of the original (permuted) matrix
+    /// amalgamated into it; the first column is the highest (the group
+    /// representative, closest to the root of the elimination tree).
+    pub groups: Vec<Vec<usize>>,
+    /// `η` of every assembly node (number of amalgamated columns).
+    pub eta: Vec<usize>,
+    /// `µ` of every assembly node (column count of the highest column).
+    pub mu: Vec<usize>,
+}
+
+impl AssemblyTree {
+    /// Number of assembly nodes.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether the assembly tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Ratio of assembly nodes to original columns (1.0 means no
+    /// amalgamation happened).
+    pub fn compression(&self) -> f64 {
+        let columns: usize = self.eta.iter().sum();
+        self.len() as f64 / columns as f64
+    }
+}
+
+/// Build the assembly tree of an elimination forest with the given column
+/// counts and relaxed-amalgamation allowance (`max_amalgamation` is the
+/// maximum number of columns per assembly node for *relaxed* merges; perfect
+/// merges ignore the allowance, as in the paper).
+///
+/// When the elimination structure is a forest (reducible matrix), a virtual
+/// root with empty files ties the trees together so the result is a single
+/// tree, which is what the traversal algorithms expect.
+///
+/// # Panics
+/// Panics if `counts` does not have one entry per column or if
+/// `max_amalgamation` is zero.
+pub fn amalgamate(
+    etree: &EliminationTree,
+    counts: &[usize],
+    max_amalgamation: usize,
+) -> AssemblyTree {
+    let n = etree.len();
+    assert_eq!(counts.len(), n, "one column count per column expected");
+    assert!(max_amalgamation >= 1, "the amalgamation allowance must be at least 1");
+
+    // Union-find: every column points to the representative (highest column)
+    // of its group.
+    let mut representative: Vec<usize> = (0..n).collect();
+    let mut group_size: Vec<usize> = vec![1; n];
+    let children = etree.children();
+
+    fn find(representative: &mut Vec<usize>, mut x: usize) -> usize {
+        while representative[x] != x {
+            representative[x] = representative[representative[x]];
+            x = representative[x];
+        }
+        x
+    }
+
+    // Process columns bottom-up (children have smaller indices than their
+    // parent in an elimination tree).
+    for p in 0..n {
+        if children[p].is_empty() {
+            continue;
+        }
+        // Perfect amalgamation: single child with identical structure below
+        // the diagonal.
+        if children[p].len() == 1 {
+            let c = children[p][0];
+            if counts[c] == counts[p] + 1 {
+                let child_group = find(&mut representative, c);
+                representative[child_group] = p;
+                group_size[p] += group_size[child_group];
+                continue;
+            }
+        }
+        // Relaxed amalgamation: absorb the densest child group while the
+        // allowance permits.
+        loop {
+            let p_group = find(&mut representative, p);
+            if group_size[p_group] >= max_amalgamation {
+                break;
+            }
+            // Child groups not yet merged into p, pick the densest (largest
+            // column count of its representative column).
+            let mut child_groups: Vec<usize> = children[p]
+                .iter()
+                .map(|&c| find(&mut representative, c))
+                .filter(|&g| g != p_group)
+                .collect();
+            child_groups.sort_unstable();
+            child_groups.dedup();
+            let candidate = child_groups.into_iter().max_by_key(|&g| (counts[g], g));
+            let Some(candidate) = candidate else { break };
+            if group_size[p_group] + group_size[candidate] > max_amalgamation {
+                break;
+            }
+            representative[candidate] = p_group;
+            group_size[p_group] += group_size[candidate];
+        }
+    }
+
+    // Collect the groups: the representative of a group is its highest
+    // column.
+    let mut group_of_column = vec![usize::MAX; n];
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut group_index_of_rep = vec![usize::MAX; n];
+    for column in (0..n).rev() {
+        let rep = find(&mut representative, column);
+        if group_index_of_rep[rep] == usize::MAX {
+            group_index_of_rep[rep] = groups.len();
+            groups.push(Vec::new());
+        }
+        let g = group_index_of_rep[rep];
+        groups[g].push(column);
+        group_of_column[column] = g;
+    }
+
+    // Assembly-tree parents: the group of the elimination-tree parent of the
+    // group's representative.
+    let num_groups = groups.len();
+    let mut parents: Vec<Option<usize>> = vec![None; num_groups];
+    for (g, columns) in groups.iter().enumerate() {
+        let representative_column = columns[0];
+        let mut up = etree.parent(representative_column);
+        // Skip ancestors that landed in the same group (cannot happen for the
+        // representative, which is the highest column of its group, but stay
+        // defensive).
+        while let Some(candidate) = up {
+            if group_of_column[candidate] != g {
+                break;
+            }
+            up = etree.parent(candidate);
+        }
+        parents[g] = up.map(|column| group_of_column[column]);
+    }
+
+    // Weights.
+    let eta: Vec<usize> = groups.iter().map(Vec::len).collect();
+    let mu: Vec<usize> = groups.iter().map(|columns| counts[columns[0]]).collect();
+    let node_weight = |g: usize| -> Size {
+        let eta = eta[g] as Size;
+        let mu = mu[g] as Size;
+        eta * eta + 2 * eta * (mu - 1)
+    };
+    let edge_weight = |g: usize| -> Size {
+        let mu = mu[g] as Size;
+        (mu - 1) * (mu - 1)
+    };
+
+    // Tie a forest together under a virtual root with empty files.
+    let num_roots = parents.iter().filter(|p| p.is_none()).count();
+    let (tree_parents, mut files, mut weights, groups, eta, mu) = if num_roots > 1 {
+        let virtual_root = num_groups;
+        let mut tree_parents: Vec<Option<usize>> = parents
+            .iter()
+            .map(|&p| Some(p.unwrap_or(virtual_root)))
+            .collect();
+        tree_parents.push(None);
+        let mut files: Vec<Size> = (0..num_groups).map(edge_weight).collect();
+        files.push(0);
+        let mut weights: Vec<Size> = (0..num_groups).map(node_weight).collect();
+        weights.push(0);
+        let mut groups = groups;
+        groups.push(Vec::new());
+        let mut eta = eta;
+        eta.push(0);
+        let mut mu = mu;
+        mu.push(1);
+        (tree_parents, files, weights, groups, eta, mu)
+    } else {
+        let tree_parents = parents.clone();
+        let files: Vec<Size> = (0..num_groups).map(edge_weight).collect();
+        let weights: Vec<Size> = (0..num_groups).map(node_weight).collect();
+        (tree_parents, files, weights, groups, eta, mu)
+    };
+
+    // The root exchanges no contribution block with a parent.
+    for (g, parent) in tree_parents.iter().enumerate() {
+        if parent.is_none() {
+            files[g] = 0;
+        }
+    }
+    // Guard against degenerate zero-weight nodes produced by empty matrices.
+    for w in weights.iter_mut() {
+        if *w < 0 {
+            *w = 0;
+        }
+    }
+
+    let tree = Tree::from_parents(&tree_parents, &files, &weights)
+        .expect("amalgamation always produces a valid tree");
+    AssemblyTree { tree, groups, eta, mu }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::colcount::column_counts;
+    use crate::etree::elimination_tree;
+    use ordering::minimum_degree;
+    use sparsemat::gen::{banded, grid2d_5pt};
+    use sparsemat::SparsePattern;
+
+    fn assembly_for(pattern: &SparsePattern, allowance: usize) -> AssemblyTree {
+        let etree = elimination_tree(pattern);
+        let counts = column_counts(pattern, &etree);
+        amalgamate(&etree, &counts, allowance)
+    }
+
+    #[test]
+    fn tridiagonal_collapses_under_perfect_amalgamation() {
+        // Tridiagonal: every column has count 2 except the last (1); no
+        // perfect merge is possible (counts[c] must equal counts[p] + 1),
+        // except for the last pair (2 = 1 + 1).
+        let tree = assembly_for(&banded(6, 1), 1);
+        assert_eq!(tree.len(), 5);
+        assert!(tree.eta.contains(&2));
+        // Every node weight follows the formula.
+        for g in 0..tree.len() {
+            let eta = tree.eta[g] as Size;
+            let mu = tree.mu[g] as Size;
+            assert_eq!(tree.tree.n(g), eta * eta + 2 * eta * (mu - 1));
+        }
+    }
+
+    #[test]
+    fn dense_matrix_collapses_to_one_node() {
+        // A dense matrix's elimination tree is a chain with counts n, n-1, ...;
+        // every merge is perfect, so everything amalgamates into one node.
+        let mut edges = Vec::new();
+        for i in 0..6 {
+            for j in 0..i {
+                edges.push((i, j));
+            }
+        }
+        let tree = assembly_for(&SparsePattern::from_edges(6, &edges), 1);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.eta[0], 6);
+        // µ is the column count of the *highest* column of the group (the
+        // root column has only its diagonal), so the contribution block is
+        // empty and the execution weight is the full 6 × 6 frontal matrix.
+        assert_eq!(tree.mu[0], 1);
+        assert_eq!(tree.tree.n(0), 36);
+        assert_eq!(tree.tree.f(0), 0, "the root has no contribution block");
+    }
+
+    #[test]
+    fn larger_allowance_gives_smaller_trees() {
+        let pattern = grid2d_5pt(9, 9);
+        let perm = minimum_degree(&pattern);
+        let permuted = perm.apply(&pattern);
+        let sizes: Vec<usize> = [1usize, 2, 4, 16]
+            .iter()
+            .map(|&allowance| {
+                let etree = elimination_tree(&permuted);
+                let counts = column_counts(&permuted, &etree);
+                amalgamate(&etree, &counts, allowance).len()
+            })
+            .collect();
+        for pair in sizes.windows(2) {
+            assert!(pair[1] <= pair[0], "a larger allowance cannot give a larger tree: {sizes:?}");
+        }
+        assert!(sizes[3] < sizes[0], "allowance 16 must amalgamate something: {sizes:?}");
+    }
+
+    #[test]
+    fn groups_partition_the_columns() {
+        let pattern = grid2d_5pt(8, 6);
+        let assembly = assembly_for(&pattern, 4);
+        let mut seen = vec![false; pattern.n()];
+        for group in &assembly.groups {
+            for &column in group {
+                assert!(!seen[column], "column {column} in two groups");
+                seen[column] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|s| s), "every column must appear in a group");
+        // Representative is the highest column of its group.
+        for group in &assembly.groups {
+            assert!(group.iter().all(|&c| c <= group[0]));
+        }
+        assert!(assembly.compression() <= 1.0);
+    }
+
+    #[test]
+    fn weights_match_the_paper_formulas() {
+        let pattern = grid2d_5pt(7, 7);
+        let assembly = assembly_for(&pattern, 2);
+        let tree = &assembly.tree;
+        for g in 0..assembly.len() {
+            let eta = assembly.eta[g] as Size;
+            let mu = assembly.mu[g] as Size;
+            if assembly.groups[g].is_empty() {
+                continue; // virtual root
+            }
+            assert_eq!(tree.n(g), eta * eta + 2 * eta * (mu - 1));
+            if tree.parent(g).is_some() {
+                assert_eq!(tree.f(g), (mu - 1) * (mu - 1));
+            } else {
+                assert_eq!(tree.f(g), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn forest_inputs_get_a_virtual_root() {
+        let pattern = SparsePattern::from_edges(7, &[(0, 1), (3, 4), (5, 6)]);
+        let assembly = assembly_for(&pattern, 1);
+        // Still a single tree for the traversal algorithms.
+        assert!(assembly.tree.len() >= 3);
+        assert_eq!(
+            assembly.tree.nodes().filter(|&i| assembly.tree.parent(i).is_none()).count(),
+            1
+        );
+    }
+}

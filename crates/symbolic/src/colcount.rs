@@ -1,0 +1,130 @@
+//! Column counts of the Cholesky factor.
+//!
+//! `count[j]` is the number of structural nonzeros of column `j` of `L`,
+//! including the diagonal — the `µ` quantity used by the assembly-tree
+//! weights of the paper.  The computation uses the row-subtree
+//! characterisation: column `j` of `L` has a nonzero in row `i > j` iff `j`
+//! belongs to the *row subtree* of `i`, i.e. iff `j` is an ancestor (in the
+//! elimination tree) of some column `k` with `a_{ik} ≠ 0`, `k < i`, and
+//! `j < i`.  Walking each row's nonzeros up the tree with per-row marks
+//! visits every nonzero of `L` exactly once, so the cost is `O(nnz(L))`.
+
+use sparsemat::SparsePattern;
+
+use crate::etree::EliminationTree;
+
+/// Compute the column counts of the Cholesky factor of a permuted pattern,
+/// given its elimination tree.
+///
+/// # Panics
+/// Panics if the elimination tree does not match the pattern size.
+pub fn column_counts(pattern: &SparsePattern, etree: &EliminationTree) -> Vec<usize> {
+    let n = pattern.n();
+    assert_eq!(etree.len(), n, "elimination tree size mismatch");
+    let mut count = vec![1usize; n]; // diagonal entries
+    let mut mark = vec![usize::MAX; n];
+    for i in 0..n {
+        mark[i] = i;
+        for &k in pattern.neighbors(i) {
+            if k >= i {
+                continue;
+            }
+            // Walk from k towards the root, stopping at the first column
+            // already marked for row i (or at i itself).
+            let mut j = k;
+            while mark[j] != i {
+                mark[j] = i;
+                count[j] += 1;
+                match etree.parent(j) {
+                    Some(p) if p < i => j = p,
+                    _ => break,
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Total number of nonzeros of `L` (including the diagonal): the sum of the
+/// column counts.
+pub fn factor_nnz(counts: &[usize]) -> usize {
+    counts.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::etree::elimination_tree;
+    use ordering::mindeg::fill_in;
+    use ordering::{minimum_degree, nested_dissection, rcm, Permutation};
+    use sparsemat::gen::{banded, grid2d_5pt, random_spd_pattern};
+    use sparsemat::SparsePattern;
+
+    #[test]
+    fn tridiagonal_counts_are_two() {
+        let pattern = banded(6, 1);
+        let etree = elimination_tree(&pattern);
+        let counts = column_counts(&pattern, &etree);
+        assert_eq!(counts, vec![2, 2, 2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn dense_matrix_counts_decrease() {
+        // Fully dense 5x5 matrix: column j of L has 5 - j nonzeros.
+        let mut edges = Vec::new();
+        for i in 0..5 {
+            for j in 0..i {
+                edges.push((i, j));
+            }
+        }
+        let pattern = SparsePattern::from_edges(5, &edges);
+        let etree = elimination_tree(&pattern);
+        let counts = column_counts(&pattern, &etree);
+        assert_eq!(counts, vec![5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn textbook_example_counts() {
+        // Same matrix as in etree.rs; fill entry (5,3) is created.
+        let pattern = SparsePattern::from_edges(6, &[(3, 0), (5, 1), (4, 2), (5, 2), (4, 3), (5, 4)]);
+        let etree = elimination_tree(&pattern);
+        let counts = column_counts(&pattern, &etree);
+        // L columns: 0: {0,3}; 1: {1,5}; 2: {2,4,5}; 3: {3,4}; 4: {4,5}; 5: {5}.
+        assert_eq!(counts, vec![2, 2, 3, 2, 2, 1]);
+    }
+
+    #[test]
+    fn counts_sum_matches_independent_fill_computation() {
+        for (pattern, seed) in [(grid2d_5pt(9, 8), 0), (random_spd_pattern(150, 4.0, 5), 1)] {
+            let _ = seed;
+            for perm in [
+                Permutation::identity(pattern.n()),
+                minimum_degree(&pattern),
+                nested_dissection(&pattern),
+                rcm(&pattern),
+            ] {
+                let permuted = perm.apply(&pattern);
+                let etree = elimination_tree(&permuted);
+                let counts = column_counts(&permuted, &etree);
+                assert_eq!(
+                    factor_nnz(&counts),
+                    fill_in(&pattern, &perm),
+                    "column counts disagree with the reference fill computation"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn counts_are_at_least_one_and_bounded_by_remaining_columns() {
+        let pattern = grid2d_5pt(7, 7);
+        let perm = minimum_degree(&pattern);
+        let permuted = perm.apply(&pattern);
+        let etree = elimination_tree(&permuted);
+        let counts = column_counts(&permuted, &etree);
+        for (j, &c) in counts.iter().enumerate() {
+            assert!(c >= 1);
+            assert!(c <= pattern.n() - j);
+        }
+    }
+}

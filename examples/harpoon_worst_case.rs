@@ -1,0 +1,45 @@
+//! Theorem 1 in action: on nested "harpoon" trees the best postorder needs
+//! arbitrarily more memory than the optimal traversal.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example harpoon_worst_case
+//! ```
+
+use treemem::gadgets::{
+    harpoon_optimal_peak, harpoon_postorder_peak, harpoon_tower, harpoon_tower_postorder_peak,
+};
+use treemem::minmem::min_mem;
+use treemem::postorder::best_postorder;
+
+fn main() {
+    let branches = 4;
+    let big = 100_000;
+    let eps = 1;
+
+    println!("harpoon towers with {branches} branches, big file {big}, small file {eps}\n");
+    println!("{:>7} {:>9} {:>14} {:>14} {:>8}", "levels", "nodes", "postorder", "optimal", "ratio");
+    for levels in 1..=5 {
+        let tree = harpoon_tower(branches, big, eps, levels);
+        let postorder = best_postorder(&tree);
+        let optimal = min_mem(&tree);
+        println!(
+            "{levels:>7} {:>9} {:>14} {:>14} {:>8.3}",
+            tree.len(),
+            postorder.peak,
+            optimal.peak,
+            postorder.peak as f64 / optimal.peak as f64
+        );
+        // The closed forms of the gadget module predict both the single-level
+        // values and the tower postorder peak.
+        assert_eq!(postorder.peak, harpoon_tower_postorder_peak(branches, big, eps, levels));
+        if levels == 1 {
+            assert_eq!(postorder.peak, harpoon_postorder_peak(branches, big, eps));
+            assert_eq!(optimal.peak, harpoon_optimal_peak(branches, big, eps));
+        }
+    }
+    println!("\nThe ratio keeps growing with the number of levels: a postorder-based solver");
+    println!("can be forced to use arbitrarily more memory than an optimal traversal");
+    println!("(Theorem 1 of the paper), even though on real assembly trees the best");
+    println!("postorder is usually optimal or very close to it (Table I).");
+}

@@ -1,0 +1,60 @@
+//! Quickstart: build a small tree workflow by hand, compare the MinMemory
+//! algorithms on it, and schedule an out-of-core execution when the memory is
+//! too small.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use minio::{schedule_io, EvictionPolicy};
+use treemem::liu::liu_exact;
+use treemem::minmem::min_mem;
+use treemem::postorder::{best_postorder, natural_postorder};
+use treemem::TreeBuilder;
+
+fn main() {
+    // A small workflow: the root produces two files and each branch expands
+    // into a large temporary file before shrinking again.  Sizes are
+    // arbitrary units (think megabytes).
+    let mut builder = TreeBuilder::new();
+    let root = builder.add_root(0, 0);
+    let left = builder.add_child(root, 10, 2);
+    let left_mid = builder.add_child(left, 60, 4);
+    builder.add_child(left_mid, 8, 1);
+    builder.add_child(left_mid, 12, 1);
+    let right = builder.add_child(root, 25, 3);
+    let right_mid = builder.add_child(right, 50, 3);
+    for size in [15, 18, 9] {
+        builder.add_child(right_mid, size, 1);
+    }
+    let tree = builder.build().expect("hand-built tree is valid");
+
+    println!("tree with {} nodes, largest single-node requirement {}", tree.len(), tree.max_mem_req());
+
+    // 1. MinMemory: how much main memory does an in-core execution need?
+    let natural = natural_postorder(&tree);
+    let postorder = best_postorder(&tree);
+    let liu = liu_exact(&tree);
+    let minmem = min_mem(&tree);
+    println!("natural postorder peak : {}", natural.peak);
+    println!("best postorder peak    : {}", postorder.peak);
+    println!("Liu exact optimum      : {}", liu.peak);
+    println!("MinMem exact optimum   : {}", minmem.peak);
+    assert_eq!(liu.peak, minmem.peak);
+    println!("optimal traversal      : {:?}", minmem.traversal.order());
+
+    // 2. MinIO: with less memory than the optimum (but still enough for the
+    // largest single node), how much data must be written to secondary
+    // storage?
+    let memory = tree.max_mem_req();
+    assert!(memory < minmem.peak, "this workflow needs more than its largest node");
+    for policy in [EvictionPolicy::FirstFit, EvictionPolicy::LastScheduledNodeFirst] {
+        let run = schedule_io(&tree, &minmem.traversal, memory, policy)
+            .expect("memory is above the largest single-node requirement");
+        println!(
+            "with memory {memory} and policy {policy}: {} units written out in {} file(s)",
+            run.io_volume, run.files_written
+        );
+    }
+}

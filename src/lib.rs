@@ -1,0 +1,21 @@
+//! Workspace root crate.
+//!
+//! This crate re-exports the workspace members so the examples in
+//! `examples/` and the integration tests in `tests/` can exercise the whole
+//! stack through a single dependency.  The actual functionality lives in the
+//! member crates:
+//!
+//! * [`treemem`] — the paper's tree-traversal model and MinMemory algorithms.
+//! * [`minio`] — out-of-core scheduling heuristics (MinIO).
+//! * [`sparsemat`], [`ordering`], [`symbolic`] — the sparse-matrix substrate
+//!   that produces assembly trees.
+//! * [`perfprof`] — Dolan–Moré performance profiles.
+//! * [`multifrontal`] — traversal-driven multifrontal Cholesky simulator.
+
+pub use minio;
+pub use multifrontal;
+pub use ordering;
+pub use perfprof;
+pub use sparsemat;
+pub use symbolic;
+pub use treemem;

@@ -1,0 +1,134 @@
+//! Cross-crate integration tests: the full pipeline from a sparse matrix to
+//! traversals, out-of-core schedules and the numeric factorization.
+
+use minio::{check_out_of_core, divisible_lower_bound, schedule_io, ALL_POLICIES};
+use multifrontal::memory::per_column_model;
+use multifrontal::numeric::SymbolicStructure;
+use multifrontal::{instrumented_factorization, solve};
+use ordering::OrderingMethod;
+use sparsemat::gen::{spd_matrix_from_pattern, ProblemKind};
+use symbolic::{assembly_tree_for, column_counts, elimination_tree};
+use treemem::liu::liu_exact;
+use treemem::minmem::min_mem;
+use treemem::postorder::{best_postorder, natural_postorder};
+
+/// The full symbolic pipeline produces trees on which the three MinMemory
+/// algorithms satisfy all the paper's ordering relations, for every problem
+/// kind and every ordering method.
+#[test]
+fn minmemory_invariants_across_the_whole_corpus() {
+    for kind in ProblemKind::ALL {
+        let pattern = kind.generate(200, 3);
+        for method in OrderingMethod::ALL {
+            for allowance in [1usize, 4] {
+                let assembly = assembly_tree_for(&pattern, method, allowance);
+                let tree = &assembly.tree;
+                let natural = natural_postorder(tree);
+                let po = best_postorder(tree);
+                let liu = liu_exact(tree);
+                let mm = min_mem(tree);
+                let context = format!("{} / {} / a{}", kind.name(), method.name(), allowance);
+                assert_eq!(liu.peak, mm.peak, "{context}: exact algorithms disagree");
+                assert!(mm.peak <= po.peak, "{context}: optimal above postorder");
+                assert!(po.peak <= natural.peak, "{context}: best postorder above natural");
+                assert!(mm.peak >= tree.max_mem_req(), "{context}: optimal below MemReq bound");
+                assert_eq!(
+                    mm.peak,
+                    mm.traversal.peak_memory(tree).unwrap(),
+                    "{context}: reported peak does not match the traversal"
+                );
+            }
+        }
+    }
+}
+
+/// The elimination tree and column counts agree with the factor structure
+/// computed independently by the multifrontal crate.
+#[test]
+fn symbolic_structure_consistency() {
+    let pattern = ProblemKind::Grid3d.generate(350, 5);
+    let perm = OrderingMethod::MinimumDegree.order(&pattern);
+    let permuted = perm.apply(&pattern);
+    let etree = elimination_tree(&permuted);
+    let counts = column_counts(&permuted, &etree);
+    let structure = SymbolicStructure::from_pattern(&permuted);
+    assert_eq!(structure.column_counts(), counts);
+    assert_eq!(structure.etree.parents(), etree.parents());
+}
+
+/// Out-of-core schedules produced by every heuristic validate under the
+/// independent Algorithm-2 checker on assembly trees, and never beat the
+/// divisible lower bound.
+#[test]
+fn minio_heuristics_are_consistent_on_assembly_trees() {
+    let pattern = ProblemKind::Random.generate(300, 11);
+    let assembly = assembly_tree_for(&pattern, OrderingMethod::MinimumDegree, 1);
+    let tree = &assembly.tree;
+    let optimal = min_mem(tree);
+    let lower = tree.max_mem_req();
+    for step in 0..3 {
+        let memory = lower + (optimal.peak - lower) * step / 3;
+        let bound = divisible_lower_bound(tree, &optimal.traversal, memory).unwrap();
+        for policy in ALL_POLICIES {
+            let run = schedule_io(tree, &optimal.traversal, memory, policy).unwrap();
+            let check = check_out_of_core(tree, &optimal.traversal, &run.schedule, memory).unwrap();
+            assert_eq!(check.io_volume, run.io_volume, "{policy}");
+            assert!(run.io_volume >= bound, "{policy}");
+            assert!(run.peak_memory <= memory, "{policy}");
+        }
+    }
+}
+
+/// The numeric multifrontal factorization driven by the optimal traversal of
+/// the per-column model uses exactly the memory the model predicts, and it
+/// solves linear systems correctly.
+#[test]
+fn numeric_factorization_matches_the_model_end_to_end() {
+    let pattern = ProblemKind::Grid2d.generate(400, 9);
+    let matrix = spd_matrix_from_pattern(&pattern, 9);
+    let structure = SymbolicStructure::from_pattern(&matrix.pattern());
+    let model = per_column_model(&structure);
+
+    let optimal_order: Vec<usize> = min_mem(&model).traversal.reversed().into_order();
+    let postorder_order: Vec<usize> = best_postorder(&model).traversal.reversed().into_order();
+    let optimal_run = instrumented_factorization(&matrix, Some(&optimal_order)).unwrap();
+    let postorder_run = instrumented_factorization(&matrix, Some(&postorder_order)).unwrap();
+
+    assert_eq!(optimal_run.measured_peak_entries as i64, optimal_run.model_peak_entries);
+    assert_eq!(postorder_run.measured_peak_entries as i64, postorder_run.model_peak_entries);
+    assert!(optimal_run.measured_peak_entries <= postorder_run.measured_peak_entries);
+
+    let expected: Vec<f64> = (0..matrix.n()).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+    let rhs = matrix.multiply(&expected);
+    let solution = solve(&optimal_run.factor, &rhs);
+    let error =
+        solution.iter().zip(&expected).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+    assert!(error < 1e-7, "solve error {error}");
+}
+
+/// Amalgamation trades tree size against node granularity but never changes
+/// the total amount of factor data hanging below the root by more than the
+/// grouping effect: sanity-check a few global invariants across allowances.
+#[test]
+fn amalgamation_invariants_across_allowances() {
+    let pattern = ProblemKind::Grid2d.generate(300, 21);
+    let mut previous_nodes = usize::MAX;
+    for allowance in [1usize, 2, 4, 16] {
+        let assembly = assembly_tree_for(&pattern, OrderingMethod::NestedDissection, allowance);
+        // Tree sizes shrink (weakly) as the allowance grows.
+        assert!(assembly.len() <= previous_nodes);
+        previous_nodes = assembly.len();
+        // Every column of the matrix appears in exactly one group.
+        let grouped: usize = assembly.eta.iter().sum();
+        assert_eq!(grouped, pattern.n());
+        // Weights follow the paper's formulas.
+        for g in 0..assembly.len() {
+            if assembly.groups[g].is_empty() {
+                continue;
+            }
+            let eta = assembly.eta[g] as i64;
+            let mu = assembly.mu[g] as i64;
+            assert_eq!(assembly.tree.n(g), eta * eta + 2 * eta * (mu - 1));
+        }
+    }
+}
