@@ -1,16 +1,19 @@
-//! Criterion micro-benchmarks of the MinIO eviction heuristics
+//! Micro-benchmarks of the registered MinIO eviction policies
 //! (supports the Figure 7/8 experiments).
+//!
+//! `cargo bench -p bench --bench minio_heuristics`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
-use minio::{schedule_io, ALL_POLICIES};
+use bench::microbench::Group;
+use minio::{schedule_io_with, PolicyRegistry};
 use ordering::OrderingMethod;
 use sparsemat::gen::ProblemKind;
 use symbolic::assembly_tree_for;
 use treemem::minmem::min_mem;
 use treemem::postorder::best_postorder;
 
-fn bench_policies(criterion: &mut Criterion) {
+fn main() {
+    let registry = PolicyRegistry::with_builtin();
+
     let pattern = ProblemKind::Grid2d.generate(900, 5);
     let assembly = assembly_tree_for(&pattern, OrderingMethod::MinimumDegree, 4);
     let tree = assembly.tree;
@@ -19,49 +22,35 @@ fn bench_policies(criterion: &mut Criterion) {
     let lower = tree.max_mem_req();
     let memory = lower + (peak - lower) / 2;
 
-    let mut group = criterion.benchmark_group("minio-policies");
-    for policy in ALL_POLICIES {
-        group.bench_with_input(
-            BenchmarkId::new("postorder-traversal", policy.name()),
-            &policy,
-            |bencher, &policy| bencher.iter(|| schedule_io(&tree, &traversal, memory, policy).unwrap().io_volume),
-        );
+    let group = Group::new("minio-policies");
+    for policy in registry.iter() {
+        group.bench(&format!("postorder-traversal/{}", policy.name()), || {
+            schedule_io_with(&tree, &traversal, memory, policy)
+                .unwrap()
+                .io_volume
+        });
     }
-    group.finish();
-}
 
-fn bench_traversal_plus_io(criterion: &mut Criterion) {
     // Full pipeline cost: compute the traversal, then schedule the I/O.
     let pattern = ProblemKind::Grid2d.generate(400, 5);
     let assembly = assembly_tree_for(&pattern, OrderingMethod::MinimumDegree, 2);
     let tree = assembly.tree;
-    let mut group = criterion.benchmark_group("minio-end-to-end");
-    group.bench_function("minmem+firstfit", |bencher| {
-        bencher.iter(|| {
-            let optimal = min_mem(&tree);
-            let lower = tree.max_mem_req();
-            let memory = lower + (optimal.peak - lower) / 2;
-            schedule_io(&tree, &optimal.traversal, memory, minio::EvictionPolicy::FirstFit)
-                .unwrap()
-                .io_volume
-        })
+    let first_fit = registry.get("FirstFit").expect("built-in policy");
+    let group = Group::new("minio-end-to-end");
+    group.bench("minmem+firstfit", || {
+        let optimal = min_mem(&tree);
+        let lower = tree.max_mem_req();
+        let memory = lower + (optimal.peak - lower) / 2;
+        schedule_io_with(&tree, &optimal.traversal, memory, first_fit)
+            .unwrap()
+            .io_volume
     });
-    group.bench_function("postorder+firstfit", |bencher| {
-        bencher.iter(|| {
-            let po = best_postorder(&tree);
-            let lower = tree.max_mem_req();
-            let memory = lower + (po.peak - lower) / 2;
-            schedule_io(&tree, &po.traversal, memory, minio::EvictionPolicy::FirstFit)
-                .unwrap()
-                .io_volume
-        })
+    group.bench("postorder+firstfit", || {
+        let po = best_postorder(&tree);
+        let lower = tree.max_mem_req();
+        let memory = lower + (po.peak - lower) / 2;
+        schedule_io_with(&tree, &po.traversal, memory, first_fit)
+            .unwrap()
+            .io_volume
     });
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_policies, bench_traversal_plus_io
-}
-criterion_main!(benches);

@@ -1,21 +1,24 @@
-//! Criterion micro-benchmarks of the three MinMemory algorithms
+//! Micro-benchmarks of the registered MinMemory solvers
 //! (supports the running-time comparison of Figure 6).
+//!
+//! `cargo bench -p bench --bench minmemory`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use bench::microbench::Group;
 use ordering::OrderingMethod;
 use sparsemat::gen::ProblemKind;
 use symbolic::assembly_tree_for;
 use treemem::gadgets::harpoon_tower;
-use treemem::liu::liu_exact;
-use treemem::minmem::min_mem;
-use treemem::postorder::best_postorder;
 use treemem::random::reweight_paper;
+use treemem::solver::SolverRegistry;
 use treemem::Tree;
 
 fn assembly_trees() -> Vec<(String, Tree)> {
     let mut trees = Vec::new();
-    for (kind, size) in [(ProblemKind::Grid2d, 400usize), (ProblemKind::Grid2d, 900), (ProblemKind::Random, 600)] {
+    for (kind, size) in [
+        (ProblemKind::Grid2d, 400usize),
+        (ProblemKind::Grid2d, 900),
+        (ProblemKind::Random, 600),
+    ] {
         let pattern = kind.generate(size, 11);
         let assembly = assembly_tree_for(&pattern, OrderingMethod::MinimumDegree, 4);
         trees.push((format!("{}-{}", kind.name(), pattern.n()), assembly.tree));
@@ -24,46 +27,34 @@ fn assembly_trees() -> Vec<(String, Tree)> {
     trees
 }
 
-fn bench_minmemory(criterion: &mut Criterion) {
+fn main() {
+    let registry = SolverRegistry::with_builtin();
     let trees = assembly_trees();
-    let mut group = criterion.benchmark_group("minmemory");
-    for (name, tree) in &trees {
-        group.bench_with_input(BenchmarkId::new("postorder", name), tree, |bencher, tree| {
-            bencher.iter(|| best_postorder(tree).peak)
-        });
-        group.bench_with_input(BenchmarkId::new("liu", name), tree, |bencher, tree| {
-            bencher.iter(|| liu_exact(tree).peak)
-        });
-        group.bench_with_input(BenchmarkId::new("minmem", name), tree, |bencher, tree| {
-            bencher.iter(|| min_mem(tree).peak)
-        });
-    }
-    group.finish();
-}
 
-fn bench_random_weights(criterion: &mut Criterion) {
+    let group = Group::new("minmemory");
+    for (name, tree) in &trees {
+        for solver in registry
+            .iter()
+            .filter(|s| s.supports(tree) && s.name() != "brute")
+        {
+            group.bench(&format!("{}/{name}", solver.name()), || {
+                solver.solve(tree).peak
+            });
+        }
+    }
+
     // Random weights (Section VI-E) make the instances harder for the exact
     // algorithms: benchmark that regime separately.
-    let base = assembly_trees();
-    let mut group = criterion.benchmark_group("minmemory-random-weights");
-    for (name, tree) in base.iter().take(2) {
+    let group = Group::new("minmemory-random-weights");
+    for (name, tree) in trees.iter().take(2) {
         let random = reweight_paper(tree, 99);
-        group.bench_with_input(BenchmarkId::new("postorder", name), &random, |bencher, tree| {
-            bencher.iter(|| best_postorder(tree).peak)
-        });
-        group.bench_with_input(BenchmarkId::new("minmem", name), &random, |bencher, tree| {
-            bencher.iter(|| min_mem(tree).peak)
-        });
-        group.bench_with_input(BenchmarkId::new("liu", name), &random, |bencher, tree| {
-            bencher.iter(|| liu_exact(tree).peak)
-        });
+        for solver in registry
+            .iter()
+            .filter(|s| s.supports(&random) && s.name() != "brute")
+        {
+            group.bench(&format!("{}/{name}", solver.name()), || {
+                solver.solve(&random).peak
+            });
+        }
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_minmemory, bench_random_weights
-}
-criterion_main!(benches);

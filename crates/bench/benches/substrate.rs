@@ -1,59 +1,37 @@
-//! Criterion micro-benchmarks of the sparse-matrix substrate: orderings,
-//! elimination tree, column counts, amalgamation and the numeric
-//! multifrontal kernel.
+//! Micro-benchmarks of the sparse-matrix substrate: orderings, elimination
+//! tree, column counts, amalgamation and the numeric multifrontal kernel.
+//!
+//! `cargo bench -p bench --bench substrate`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use bench::microbench::Group;
 use multifrontal::multifrontal_cholesky;
 use ordering::{minimum_degree, nested_dissection, rcm};
 use sparsemat::gen::{grid2d_5pt, grid2d_matrix};
 use symbolic::{amalgamate, column_counts, elimination_tree};
 
-fn bench_orderings(criterion: &mut Criterion) {
+fn main() {
     let pattern = grid2d_5pt(40, 40);
-    let mut group = criterion.benchmark_group("orderings-grid-1600");
-    group.bench_function("minimum-degree", |bencher| bencher.iter(|| minimum_degree(&pattern).len()));
-    group.bench_function("nested-dissection", |bencher| bencher.iter(|| nested_dissection(&pattern).len()));
-    group.bench_function("rcm", |bencher| bencher.iter(|| rcm(&pattern).len()));
-    group.finish();
-}
+    let group = Group::new("orderings-grid-1600");
+    group.bench("minimum-degree", || minimum_degree(&pattern).len());
+    group.bench("nested-dissection", || nested_dissection(&pattern).len());
+    group.bench("rcm", || rcm(&pattern).len());
 
-fn bench_symbolic(criterion: &mut Criterion) {
-    let pattern = grid2d_5pt(40, 40);
     let perm = minimum_degree(&pattern);
     let permuted = perm.apply(&pattern);
-    let mut group = criterion.benchmark_group("symbolic-grid-1600");
-    group.bench_function("elimination-tree", |bencher| {
-        bencher.iter(|| elimination_tree(&permuted).len())
-    });
+    let group = Group::new("symbolic-grid-1600");
+    group.bench("elimination-tree", || elimination_tree(&permuted).len());
     let etree = elimination_tree(&permuted);
-    group.bench_function("column-counts", |bencher| {
-        bencher.iter(|| column_counts(&permuted, &etree).len())
-    });
+    group.bench("column-counts", || column_counts(&permuted, &etree).len());
     let counts = column_counts(&permuted, &etree);
     for allowance in [1usize, 4, 16] {
-        group.bench_with_input(
-            BenchmarkId::new("amalgamation", allowance),
-            &allowance,
-            |bencher, &allowance| bencher.iter(|| amalgamate(&etree, &counts, allowance).len()),
-        );
+        group.bench(&format!("amalgamation/{allowance}"), || {
+            amalgamate(&etree, &counts, allowance).len()
+        });
     }
-    group.finish();
-}
 
-fn bench_numeric(criterion: &mut Criterion) {
     let matrix = grid2d_matrix(24, 24, 7);
-    let mut group = criterion.benchmark_group("multifrontal-grid-576");
-    group.sample_size(10);
-    group.bench_function("factorize", |bencher| {
-        bencher.iter(|| multifrontal_cholesky(&matrix, None).unwrap().nnz())
+    let group = Group::new("multifrontal-grid-576");
+    group.bench("factorize", || {
+        multifrontal_cholesky(&matrix, None).unwrap().nnz()
     });
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_orderings, bench_symbolic, bench_numeric
-}
-criterion_main!(benches);

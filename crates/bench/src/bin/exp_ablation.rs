@@ -23,7 +23,9 @@ fn main() {
 
 fn run(args: ExperimentArgs) {
     let size = if args.quick { 400 } else { 1600 };
-    println!("# Ablation: ordering method x amalgamation allowance (grid2d and random, n ~ {size})\n");
+    println!(
+        "# Ablation: ordering method x amalgamation allowance (grid2d and random, n ~ {size})\n"
+    );
     println!(
         "{:<9} {:<8} {:>4} {:>7} {:>12} {:>12} {:>7} {:>12}",
         "problem", "ordering", "amal", "nodes", "optimal", "postorder", "ratio", "io@memreq"
@@ -32,7 +34,11 @@ fn run(args: ExperimentArgs) {
         "problem,ordering,amalgamation,nodes,optimal_peak,postorder_peak,ratio,io_at_memreq\n",
     );
 
-    for kind in [ProblemKind::Grid2d, ProblemKind::Random, ProblemKind::PowerLaw] {
+    for kind in [
+        ProblemKind::Grid2d,
+        ProblemKind::Random,
+        ProblemKind::PowerLaw,
+    ] {
         let pattern = kind.generate(size, args.seed);
         for method in OrderingMethod::ALL {
             for allowance in [1usize, 2, 4, 16] {
@@ -43,9 +49,14 @@ fn run(args: ExperimentArgs) {
                 let ratio = po.peak as f64 / opt.peak as f64;
                 // Out-of-core volume at the hardest feasible budget, with the
                 // best traversal and the best heuristic of Figure 7.
-                let io = schedule_io(tree, &opt.traversal, tree.max_mem_req(), EvictionPolicy::FirstFit)
-                    .map(|run| run.io_volume)
-                    .unwrap_or(-1);
+                let io = schedule_io(
+                    tree,
+                    &opt.traversal,
+                    tree.max_mem_req(),
+                    EvictionPolicy::FirstFit,
+                )
+                .map(|run| run.io_volume)
+                .unwrap_or(-1);
                 println!(
                     "{:<9} {:<8} {:>4} {:>7} {:>12} {:>12} {:>7.3} {:>12}",
                     kind.name(),
@@ -80,7 +91,10 @@ fn run(args: ExperimentArgs) {
 
     let files = vec![ReportFile::new("ablation.csv", rows)];
     match write_report("exp_ablation", &files) {
-        Ok(paths) => println!("\nWrote {} report file(s) under results/exp_ablation/", paths.len()),
+        Ok(paths) => println!(
+            "\nWrote {} report file(s) under results/exp_ablation/",
+            paths.len()
+        ),
         Err(err) => eprintln!("could not write report files: {err}"),
     }
 }

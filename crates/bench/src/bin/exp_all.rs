@@ -22,9 +22,13 @@ fn main() {
         "exp_theorem1",
         "exp_multifrontal",
         "exp_ablation",
+        "exp_minio_sweep",
     ];
     let current = std::env::current_exe().expect("current executable path");
-    let directory = current.parent().expect("executable directory").to_path_buf();
+    let directory = current
+        .parent()
+        .expect("executable directory")
+        .to_path_buf();
     let mut failures = Vec::new();
     for experiment in experiments {
         println!("\n================================================================");
@@ -38,7 +42,17 @@ fn main() {
             Command::new(&path).arg(mode).status()
         } else {
             Command::new("cargo")
-                .args(["run", "--quiet", "-p", "bench", "--release", "--bin", experiment, "--", mode])
+                .args([
+                    "run",
+                    "--quiet",
+                    "-p",
+                    "bench",
+                    "--release",
+                    "--bin",
+                    experiment,
+                    "--",
+                    mode,
+                ])
                 .status()
         };
         let status = status.unwrap_or_else(|err| panic!("failed to launch {experiment}: {err}"));

@@ -1,14 +1,18 @@
 //! Experiment E3 — Figure 7 of the paper.
 //!
-//! For every assembly tree, compute the MinMem traversal and run the six
-//! MinIO eviction heuristics with main-memory sizes swept between the largest
+//! For every assembly tree, compute the MinMem traversal and run **every
+//! registered eviction policy** (the paper's six heuristics plus the
+//! cache-inspired policies) with main-memory sizes swept between the largest
 //! single-node requirement and the traversal peak; compare the resulting I/O
 //! volumes with a performance profile.  Also reports the distance to the
 //! divisible-relaxation lower bound (an absolute-quality indicator the paper
 //! lists as future work).
 
-use bench::{default_corpus, memory_sweep, quick_corpus, random_corpus, run_with_big_stack, write_report, ExperimentArgs, ReportFile};
-use minio::{divisible_lower_bound, schedule_io, ALL_POLICIES};
+use bench::{
+    default_corpus, memory_sweep, quick_corpus, random_corpus, run_with_big_stack, write_report,
+    ExperimentArgs, ReportFile,
+};
+use minio::{divisible_lower_bound, schedule_io_with, PolicyRegistry};
 use perfprof::PerformanceProfile;
 use treemem::minmem::min_mem;
 
@@ -27,16 +31,30 @@ fn run(args: ExperimentArgs) {
     // assembly trees the optimal peak coincides with the largest single-node
     // requirement, in which case no budget in the sweep requires any I/O (the
     // profile would be a tie at zero).  See EXPERIMENTS.md.
-    let assembly = if args.quick { quick_corpus() } else { default_corpus() };
+    let assembly = if args.quick {
+        quick_corpus()
+    } else {
+        default_corpus()
+    };
     let mut corpus = random_corpus(&assembly, 1, args.seed);
     corpus.trees.extend(assembly.trees);
-    println!("# Experiment E3 (Figure 7): I/O volume of the six heuristics on MinMem traversals");
-    println!("# {} trees x {} memory sizes\n", corpus.len(), MEMORY_FRACTIONS.len());
+    let registry = PolicyRegistry::with_builtin();
+    println!(
+        "# Experiment E3 (Figure 7): I/O volume of every registered policy on MinMem traversals"
+    );
+    println!(
+        "# {} trees x {} memory sizes x {} policies\n",
+        corpus.len(),
+        MEMORY_FRACTIONS.len(),
+        registry.len()
+    );
 
-    let policy_names: Vec<String> =
-        ALL_POLICIES.iter().map(|p| format!("MinMem + {}", p.name())).collect();
-    let mut costs: Vec<Vec<f64>> = vec![Vec::new(); ALL_POLICIES.len()];
-    let mut bound_gap_sum = vec![0.0f64; ALL_POLICIES.len()];
+    let policy_names: Vec<String> = registry
+        .iter()
+        .map(|p| format!("MinMem + {}", p.name()))
+        .collect();
+    let mut costs: Vec<Vec<f64>> = vec![Vec::new(); registry.len()];
+    let mut bound_gap_sum = vec![0.0f64; registry.len()];
     let mut cases_with_io = 0usize;
     let mut cases_without_io = 0usize;
     let mut rows = String::from("instance,memory,policy,io_volume,divisible_bound\n");
@@ -46,10 +64,10 @@ fn run(args: ExperimentArgs) {
         for memory in memory_sweep(&entry.tree, optimal.peak, &MEMORY_FRACTIONS) {
             let bound = divisible_lower_bound(&entry.tree, &optimal.traversal, memory)
                 .expect("memory is above max MemReq by construction");
-            let volumes: Vec<i64> = ALL_POLICIES
+            let volumes: Vec<i64> = registry
                 .iter()
                 .map(|policy| {
-                    schedule_io(&entry.tree, &optimal.traversal, memory, *policy)
+                    schedule_io_with(&entry.tree, &optimal.traversal, memory, policy)
                         .expect("memory is above max MemReq by construction")
                         .io_volume
                 })
@@ -57,12 +75,12 @@ fn run(args: ExperimentArgs) {
             if volumes.iter().all(|&v| v == 0) {
                 // The budget is already sufficient for an in-core execution of
                 // this traversal; such cases carry no information about the
-                // heuristics and are excluded from the profile (but counted).
+                // policies and are excluded from the profile (but counted).
                 cases_without_io += 1;
                 continue;
             }
             cases_with_io += 1;
-            for (index, (policy, &volume)) in ALL_POLICIES.iter().zip(&volumes).enumerate() {
+            for (index, (policy, &volume)) in registry.iter().zip(&volumes).enumerate() {
                 costs[index].push(volume as f64);
                 bound_gap_sum[index] += volume as f64 / (bound.max(1)) as f64;
                 rows.push_str(&format!(
@@ -77,7 +95,9 @@ fn run(args: ExperimentArgs) {
         }
     }
 
-    println!("Cases requiring I/O: {cases_with_io} (plus {cases_without_io} in-core cases excluded)");
+    println!(
+        "Cases requiring I/O: {cases_with_io} (plus {cases_without_io} in-core cases excluded)"
+    );
     if cases_with_io == 0 {
         println!("No case required I/O; nothing to profile.");
         return;
@@ -99,7 +119,10 @@ fn run(args: ExperimentArgs) {
         ReportFile::new("figure7_profile.csv", profile.to_csv(5.0, 101)),
     ];
     match write_report("exp_minio_heuristics", &files) {
-        Ok(paths) => println!("\nWrote {} report file(s) under results/exp_minio_heuristics/", paths.len()),
+        Ok(paths) => println!(
+            "\nWrote {} report file(s) under results/exp_minio_heuristics/",
+            paths.len()
+        ),
         Err(err) => eprintln!("could not write report files: {err}"),
     }
 }

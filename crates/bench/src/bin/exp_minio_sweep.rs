@@ -1,0 +1,71 @@
+//! Full MinIO sweep: {corpus × memory budgets × every registered solver ×
+//! every registered eviction policy}, in parallel, emitting the
+//! machine-readable `BENCH_minio_sweep.json` report.
+//!
+//! This generalises Figures 7 and 8 of the paper into one grid: Figure 7 is
+//! the policy axis at a fixed solver, Figure 8 the solver axis at a fixed
+//! policy.  The cache-inspired policies (`LruDist`, `GDSF`, `S3FIFO`) ride
+//! the same sweep, so their workload-dependence is directly comparable with
+//! the paper's six heuristics.
+//!
+//! Run with `--quick` for the reduced corpus; the JSON is written to
+//! `BENCH_minio_sweep.json` in the current directory (override the directory
+//! with `TREEMEM_SWEEP_DIR`).
+
+use bench::{
+    default_corpus, quick_corpus, random_corpus, run_sweep, run_with_big_stack, ExperimentArgs,
+    SweepConfig,
+};
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    run_with_big_stack(move || run(args));
+}
+
+fn run(args: ExperimentArgs) {
+    // Assembly corpus plus its random re-weighting, as in Experiments E3/E4:
+    // many synthetic assembly trees never need I/O within the sweep, and the
+    // re-weighted variants restore the out-of-core regime.
+    let assembly = if args.quick {
+        quick_corpus()
+    } else {
+        default_corpus()
+    };
+    let mut corpus = random_corpus(&assembly, 1, args.seed);
+    corpus.trees.extend(assembly.trees);
+
+    let config = SweepConfig::default();
+    println!(
+        "# MinIO sweep: {} trees x {} memory budgets x all solvers x all policies",
+        corpus.len(),
+        config.memory_fractions.len()
+    );
+    let report = run_sweep(&corpus, &config);
+    println!(
+        "swept {} cells ({} solvers x {} policies) on {} threads in {:.2}s",
+        report.records.len(),
+        report.solvers.len(),
+        report.policies.len(),
+        report.threads,
+        report.elapsed_seconds
+    );
+
+    println!("\nTotal I/O volume per policy (all solvers and budgets):");
+    let mut totals = report.totals_by_policy();
+    totals.sort_by_key(|(_, total)| *total);
+    for (policy, total) in &totals {
+        println!("  {policy:10} {total:>14}");
+    }
+
+    let directory = std::env::var_os("TREEMEM_SWEEP_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let path = directory.join("BENCH_minio_sweep.json");
+    match std::fs::write(&path, report.to_json()) {
+        Ok(()) => println!("\nWrote {}", path.display()),
+        Err(err) => {
+            eprintln!("could not write {}: {err}", path.display());
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,11 +1,15 @@
 //! Experiment E4 — Figure 8 of the paper.
 //!
-//! Compare the out-of-core quality of the traversals produced by the three
-//! MinMemory algorithms (best postorder, Liu, MinMem), all equipped with the
-//! First Fit eviction heuristic, over the same memory sweep as Experiment E3.
+//! Compare the out-of-core quality of the traversals produced by **every
+//! registered MinMemory solver** (natural postorder, best postorder, Liu,
+//! MinMem), all equipped with the First Fit eviction policy, over the same
+//! memory sweep as Experiment E3.
 
-use bench::{default_corpus, memory_sweep, quick_corpus, random_corpus, run_with_big_stack, write_report, ExperimentArgs, MinMemoryMeasurement, ReportFile};
-use minio::{schedule_io, EvictionPolicy};
+use bench::{
+    default_corpus, measurement_registry, memory_sweep, quick_corpus, random_corpus,
+    run_with_big_stack, write_report, ExperimentArgs, MeasurementSet, ReportFile,
+};
+use minio::{policy::paper::FirstFit, schedule_io_with};
 use perfprof::PerformanceProfile;
 
 const MEMORY_FRACTIONS: [f64; 4] = [0.0, 0.25, 0.5, 0.75];
@@ -19,32 +23,46 @@ fn run(args: ExperimentArgs) {
     // Assembly corpus plus its random re-weighting, for the same reason as in
     // Experiment E3 (many synthetic assembly trees never need I/O within the
     // sweep).
-    let assembly = if args.quick { quick_corpus() } else { default_corpus() };
+    let assembly = if args.quick {
+        quick_corpus()
+    } else {
+        default_corpus()
+    };
     let mut corpus = random_corpus(&assembly, 1, args.seed);
     corpus.trees.extend(assembly.trees);
-    println!("# Experiment E4 (Figure 8): I/O volume of the three traversals with First Fit");
-    println!("# {} trees x {} memory sizes\n", corpus.len(), MEMORY_FRACTIONS.len());
+    println!("# Experiment E4 (Figure 8): I/O volume per solver traversal with First Fit");
+    println!(
+        "# {} trees x {} memory sizes\n",
+        corpus.len(),
+        MEMORY_FRACTIONS.len()
+    );
 
-    let names = ["PostOrder + First Fit", "Liu + First Fit", "MinMem + First Fit"];
-    let mut costs: Vec<Vec<f64>> = vec![Vec::new(); names.len()];
+    // Solver names from the registry (identical for every tree of the
+    // corpus: none of the measured solvers is node-limited).
+    let solver_names: Vec<&'static str> = measurement_registry().names();
+    let names: Vec<String> = solver_names
+        .iter()
+        .map(|s| format!("{s} + First Fit"))
+        .collect();
+    let mut costs: Vec<Vec<f64>> = vec![Vec::new(); solver_names.len()];
     let mut rows = String::from("instance,memory,traversal,io_volume\n");
     let mut cases_without_io = 0usize;
+    let policy = FirstFit;
 
     for entry in &corpus.trees {
-        let measurement = MinMemoryMeasurement::measure(&entry.tree);
-        let traversals = [
-            ("PostOrder", &measurement.postorder_traversal),
-            ("Liu", &measurement.liu_traversal),
-            ("MinMem", &measurement.minmem_traversal),
-        ];
-        // Sweep memory relative to the *optimal* peak so all three traversals
-        // face the same budgets (the postorder may then be above its own
-        // peak, where it simply needs no I/O).
-        for memory in memory_sweep(&entry.tree, measurement.minmem_peak, &MEMORY_FRACTIONS) {
-            let volumes: Vec<i64> = traversals
+        let measurement = MeasurementSet::measure(&entry.tree);
+        let optimal_peak = measurement
+            .exact_peak()
+            .expect("an exact solver always runs");
+        // Sweep memory relative to the *optimal* peak so all traversals face
+        // the same budgets (the postorders may then be above their own peak,
+        // where they simply need no I/O).
+        for memory in memory_sweep(&entry.tree, optimal_peak, &MEMORY_FRACTIONS) {
+            let volumes: Vec<i64> = measurement
+                .measurements
                 .iter()
-                .map(|(_, traversal)| {
-                    schedule_io(&entry.tree, traversal, memory, EvictionPolicy::FirstFit)
+                .map(|m| {
+                    schedule_io_with(&entry.tree, &m.traversal, memory, &policy)
                         .expect("memory is above max MemReq by construction")
                         .io_volume
                 })
@@ -53,22 +71,29 @@ fn run(args: ExperimentArgs) {
                 cases_without_io += 1;
                 continue;
             }
-            for (index, ((label, _), &volume)) in traversals.iter().zip(&volumes).enumerate() {
+            for (index, (m, &volume)) in measurement.measurements.iter().zip(&volumes).enumerate() {
                 costs[index].push(volume as f64);
-                rows.push_str(&format!("{},{},{},{}\n", entry.name, memory, label, volume));
+                rows.push_str(&format!(
+                    "{},{},{},{}\n",
+                    entry.name, memory, m.solver, volume
+                ));
             }
         }
     }
 
-    println!("Cases requiring I/O: {} (plus {cases_without_io} in-core cases excluded)", costs[0].len());
+    println!(
+        "Cases requiring I/O: {} (plus {cases_without_io} in-core cases excluded)",
+        costs[0].len()
+    );
     if costs[0].is_empty() {
         println!("No case required I/O; nothing to profile.");
         return;
     }
-    let profile = PerformanceProfile::from_costs(&names, &costs);
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let profile = PerformanceProfile::from_costs(&name_refs, &costs);
     println!("Figure 8 — performance profile of the I/O volume per traversal (First Fit)");
     println!("{}", profile.to_ascii(5.0, 60));
-    for (index, name) in names.iter().enumerate() {
+    for (index, name) in name_refs.iter().enumerate() {
         let total: f64 = costs[index].iter().sum();
         println!(
             "{name:24} best on {:5.1}% of the cases, total I/O volume {:.0}",
@@ -82,7 +107,10 @@ fn run(args: ExperimentArgs) {
         ReportFile::new("figure8_profile.csv", profile.to_csv(5.0, 101)),
     ];
     match write_report("exp_minio_traversals", &files) {
-        Ok(paths) => println!("\nWrote {} report file(s) under results/exp_minio_traversals/", paths.len()),
+        Ok(paths) => println!(
+            "\nWrote {} report file(s) under results/exp_minio_traversals/",
+            paths.len()
+        ),
         Err(err) => eprintln!("could not write report files: {err}"),
     }
 }

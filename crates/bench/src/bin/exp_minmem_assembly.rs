@@ -6,7 +6,10 @@
 //! Table-I statistics and writes the Figure-5 performance profile (restricted
 //! to the instances where the postorder is *not* optimal, as in the paper).
 
-use bench::{default_corpus, quick_corpus, run_with_big_stack, write_report, ExperimentArgs, MinMemoryMeasurement, ReportFile};
+use bench::{
+    default_corpus, quick_corpus, run_with_big_stack, write_report, ExperimentArgs, MeasurementSet,
+    ReportFile,
+};
 use perfprof::{ratio_statistics, PerformanceProfile};
 
 fn main() {
@@ -15,24 +18,35 @@ fn main() {
 }
 
 fn run(args: ExperimentArgs) {
-    let corpus = if args.quick { quick_corpus() } else { default_corpus() };
-    println!("# Experiment E1 (Table I / Figure 5): PostOrder vs optimal on {}", corpus.description);
+    let corpus = if args.quick {
+        quick_corpus()
+    } else {
+        default_corpus()
+    };
+    println!(
+        "# Experiment E1 (Table I / Figure 5): PostOrder vs optimal on {}",
+        corpus.description
+    );
     println!("# {} instances\n", corpus.len());
 
     let mut postorder = Vec::with_capacity(corpus.len());
     let mut optimal = Vec::with_capacity(corpus.len());
     let mut rows = String::from("instance,nodes,postorder_peak,optimal_peak,ratio\n");
     for entry in &corpus.trees {
-        let measurement = MinMemoryMeasurement::measure(&entry.tree);
-        postorder.push(measurement.postorder_peak as f64);
-        optimal.push(measurement.minmem_peak as f64);
+        let measurement = MeasurementSet::measure(&entry.tree);
+        let postorder_peak = measurement.peak_of("postorder");
+        let optimal_peak = measurement
+            .exact_peak()
+            .expect("an exact solver always runs");
+        postorder.push(postorder_peak as f64);
+        optimal.push(optimal_peak as f64);
         rows.push_str(&format!(
             "{},{},{},{},{:.6}\n",
             entry.name,
             entry.nodes,
-            measurement.postorder_peak,
-            measurement.minmem_peak,
-            measurement.postorder_peak as f64 / measurement.minmem_peak as f64
+            postorder_peak,
+            optimal_peak,
+            postorder_peak as f64 / optimal_peak as f64
         ));
     }
 
@@ -45,7 +59,11 @@ fn run(args: ExperimentArgs) {
     let non_optimal: Vec<usize> = (0..postorder.len())
         .filter(|&i| postorder[i] > optimal[i] + 0.5)
         .collect();
-    println!("Non-optimal instances: {} / {}", non_optimal.len(), postorder.len());
+    println!(
+        "Non-optimal instances: {} / {}",
+        non_optimal.len(),
+        postorder.len()
+    );
     let mut files = vec![ReportFile::new("table1_instances.csv", rows)];
     if !non_optimal.is_empty() {
         let po: Vec<f64> = non_optimal.iter().map(|&i| postorder[i]).collect();
@@ -53,7 +71,10 @@ fn run(args: ExperimentArgs) {
         let profile = PerformanceProfile::from_costs(&["Optimal", "PostOrder"], &[opt, po]);
         println!("\nFigure 5 — performance profile (non-optimal instances only)");
         println!("{}", profile.to_ascii(1.25, 60));
-        files.push(ReportFile::new("figure5_profile.csv", profile.to_csv(1.25, 101)));
+        files.push(ReportFile::new(
+            "figure5_profile.csv",
+            profile.to_csv(1.25, 101),
+        ));
     } else {
         println!("\nFigure 5 skipped: PostOrder is optimal on every instance of this corpus.");
     }
@@ -70,7 +91,10 @@ fn run(args: ExperimentArgs) {
     ));
 
     match write_report("exp_minmem_assembly", &files) {
-        Ok(paths) => println!("\nWrote {} report file(s) under results/exp_minmem_assembly/", paths.len()),
+        Ok(paths) => println!(
+            "\nWrote {} report file(s) under results/exp_minmem_assembly/",
+            paths.len()
+        ),
         Err(err) => eprintln!("could not write report files: {err}"),
     }
 }

@@ -6,7 +6,10 @@
 //! traversal.  On such general trees the postorder is much more frequently
 //! sub-optimal than on real assembly trees.
 
-use bench::{default_corpus, quick_corpus, random_corpus, run_with_big_stack, write_report, ExperimentArgs, MinMemoryMeasurement, ReportFile};
+use bench::{
+    default_corpus, quick_corpus, random_corpus, run_with_big_stack, write_report, ExperimentArgs,
+    MeasurementSet, ReportFile,
+};
 use perfprof::{ratio_statistics, PerformanceProfile};
 
 /// Number of random re-weightings per tree structure (the paper generates
@@ -21,8 +24,16 @@ fn main() {
 }
 
 fn run(args: ExperimentArgs) {
-    let base = if args.quick { quick_corpus() } else { default_corpus() };
-    let corpus = random_corpus(&base, if args.quick { 2 } else { VARIANTS_PER_TREE }, args.seed);
+    let base = if args.quick {
+        quick_corpus()
+    } else {
+        default_corpus()
+    };
+    let corpus = random_corpus(
+        &base,
+        if args.quick { 2 } else { VARIANTS_PER_TREE },
+        args.seed,
+    );
     println!("# Experiment E5 (Table II / Figure 9): PostOrder vs optimal on random trees");
     println!("# {} randomly re-weighted trees\n", corpus.len());
 
@@ -30,16 +41,20 @@ fn run(args: ExperimentArgs) {
     let mut optimal = Vec::with_capacity(corpus.len());
     let mut rows = String::from("instance,nodes,postorder_peak,optimal_peak,ratio\n");
     for entry in &corpus.trees {
-        let measurement = MinMemoryMeasurement::measure(&entry.tree);
-        postorder.push(measurement.postorder_peak as f64);
-        optimal.push(measurement.minmem_peak as f64);
+        let measurement = MeasurementSet::measure(&entry.tree);
+        let postorder_peak = measurement.peak_of("postorder");
+        let optimal_peak = measurement
+            .exact_peak()
+            .expect("an exact solver always runs");
+        postorder.push(postorder_peak as f64);
+        optimal.push(optimal_peak as f64);
         rows.push_str(&format!(
             "{},{},{},{},{:.6}\n",
             entry.name,
             entry.nodes,
-            measurement.postorder_peak,
-            measurement.minmem_peak,
-            measurement.postorder_peak as f64 / measurement.minmem_peak as f64
+            postorder_peak,
+            optimal_peak,
+            postorder_peak as f64 / optimal_peak as f64
         ));
     }
 
@@ -67,7 +82,10 @@ fn run(args: ExperimentArgs) {
         ),
     ];
     match write_report("exp_minmem_random", &files) {
-        Ok(paths) => println!("Wrote {} report file(s) under results/exp_minmem_random/", paths.len()),
+        Ok(paths) => println!(
+            "Wrote {} report file(s) under results/exp_minmem_random/",
+            paths.len()
+        ),
         Err(err) => eprintln!("could not write report files: {err}"),
     }
 }

@@ -34,7 +34,10 @@ fn run() {
     let matrices = vec![
         ("grid2d-20x20".to_string(), grid2d_matrix(20, 20, 1)),
         ("grid2d-16x25".to_string(), grid2d_matrix(16, 25, 2)),
-        ("random-400".to_string(), spd_matrix_from_pattern(&random_spd_pattern(400, 4.0, 3), 3)),
+        (
+            "random-400".to_string(),
+            spd_matrix_from_pattern(&random_spd_pattern(400, 4.0, 3), 3),
+        ),
     ];
 
     for (name, matrix) in matrices {
@@ -57,7 +60,10 @@ fn run() {
         let model_matches = [&etree_run, &best_po_run, &optimal_run]
             .iter()
             .all(|run| run.measured_peak_entries as i64 == run.model_peak_entries);
-        assert!(model_matches, "{name}: the model must predict the measured peak exactly");
+        assert!(
+            model_matches,
+            "{name}: the model must predict the measured peak exactly"
+        );
 
         // The factorization is correct: solve a system and check the residual.
         let n = matrix.n();
@@ -72,7 +78,9 @@ fn run() {
         assert!(error < 1e-6, "{name}: solve error {error}");
 
         let saving = 100.0
-            * (1.0 - optimal_run.measured_peak_entries as f64 / etree_run.measured_peak_entries as f64);
+            * (1.0
+                - optimal_run.measured_peak_entries as f64
+                    / etree_run.measured_peak_entries as f64);
         println!(
             "{:<18} {:>7} {:>12} {:>14} {:>14} {:>14} {:>7.1}%",
             name,
@@ -96,11 +104,16 @@ fn run() {
     }
 
     println!("\nPeaks are counted in matrix entries of temporary storage (fronts + contribution blocks).");
-    println!("The model prediction matched the instrumented execution for every matrix and traversal.");
+    println!(
+        "The model prediction matched the instrumented execution for every matrix and traversal."
+    );
 
     let files = vec![ReportFile::new("multifrontal_peaks.csv", rows)];
     match write_report("exp_multifrontal", &files) {
-        Ok(paths) => println!("Wrote {} report file(s) under results/exp_multifrontal/", paths.len()),
+        Ok(paths) => println!(
+            "Wrote {} report file(s) under results/exp_multifrontal/",
+            paths.len()
+        ),
         Err(err) => eprintln!("could not write report files: {err}"),
     }
 }

@@ -1,10 +1,14 @@
 //! Experiment E2 — Figure 6 of the paper.
 //!
-//! Compare the running times of the three MinMemory algorithms (best
-//! postorder, Liu's exact algorithm, MinMem) on the assembly-tree corpus and
-//! report the Dolan–Moré performance profile of the times.
+//! Compare the running times of every registered MinMemory solver (natural
+//! postorder, best postorder, Liu's exact algorithm, MinMem) on the
+//! assembly-tree corpus and report the Dolan–Moré performance profile of
+//! the times.
 
-use bench::{default_corpus, quick_corpus, run_with_big_stack, write_report, ExperimentArgs, MinMemoryMeasurement, ReportFile};
+use bench::{
+    default_corpus, measurement_registry, quick_corpus, run_with_big_stack, write_report,
+    ExperimentArgs, MeasurementSet, ReportFile,
+};
 use perfprof::PerformanceProfile;
 
 fn main() {
@@ -13,29 +17,31 @@ fn main() {
 }
 
 fn run(args: ExperimentArgs) {
-    let corpus = if args.quick { quick_corpus() } else { default_corpus() };
-    println!("# Experiment E2 (Figure 6): running times of PostOrder / Liu / MinMem");
+    let corpus = if args.quick {
+        quick_corpus()
+    } else {
+        default_corpus()
+    };
+    println!("# Experiment E2 (Figure 6): running times of the registered MinMemory solvers");
     println!("# {} instances of {}\n", corpus.len(), corpus.description);
 
-    let mut postorder_times = Vec::with_capacity(corpus.len());
-    let mut liu_times = Vec::with_capacity(corpus.len());
-    let mut minmem_times = Vec::with_capacity(corpus.len());
-    let mut rows = String::from("instance,nodes,postorder_us,liu_us,minmem_us\n");
+    // Solver names from the registry (identical for every tree).
+    let solver_names: Vec<&'static str> = measurement_registry().names();
+    let mut times: Vec<Vec<f64>> = vec![Vec::with_capacity(corpus.len()); solver_names.len()];
+    let header: Vec<String> = solver_names.iter().map(|s| format!("{s}_us")).collect();
+    let mut rows = format!("instance,nodes,{}\n", header.join(","));
     for entry in &corpus.trees {
-        let measurement = MinMemoryMeasurement::measure(&entry.tree);
-        let po = measurement.postorder_time.as_secs_f64() * 1e6;
-        let liu = measurement.liu_time.as_secs_f64() * 1e6;
-        let mm = measurement.minmem_time.as_secs_f64() * 1e6;
-        postorder_times.push(po);
-        liu_times.push(liu);
-        minmem_times.push(mm);
-        rows.push_str(&format!("{},{},{:.1},{:.1},{:.1}\n", entry.name, entry.nodes, po, liu, mm));
+        let measurement = MeasurementSet::measure(&entry.tree);
+        rows.push_str(&format!("{},{}", entry.name, entry.nodes));
+        for (index, m) in measurement.measurements.iter().enumerate() {
+            let micros = m.time.as_secs_f64() * 1e6;
+            times[index].push(micros);
+            rows.push_str(&format!(",{micros:.1}"));
+        }
+        rows.push('\n');
     }
 
-    let profile = PerformanceProfile::from_costs(
-        &["MinMem", "PostOrder", "Liu"],
-        &[minmem_times.clone(), postorder_times.clone(), liu_times.clone()],
-    );
+    let profile = PerformanceProfile::from_costs(&solver_names, &times);
     println!("Figure 6 — performance profile of the running times (lower τ is better)");
     println!("{}", profile.to_ascii(5.0, 60));
     for (index, name) in profile.method_names().iter().enumerate() {
@@ -46,21 +52,24 @@ fn run(args: ExperimentArgs) {
         );
     }
 
-    let total = |values: &[f64]| values.iter().sum::<f64>() / 1e3;
-    println!(
-        "\nTotal time: PostOrder {:.1} ms, Liu {:.1} ms, MinMem {:.1} ms over {} trees",
-        total(&postorder_times),
-        total(&liu_times),
-        total(&minmem_times),
-        corpus.len()
-    );
+    println!();
+    for (index, name) in solver_names.iter().enumerate() {
+        let total: f64 = times[index].iter().sum::<f64>() / 1e3;
+        println!(
+            "Total time {name:10} {total:10.1} ms over {} trees",
+            corpus.len()
+        );
+    }
 
     let files = vec![
         ReportFile::new("figure6_times.csv", rows),
         ReportFile::new("figure6_profile.csv", profile.to_csv(5.0, 101)),
     ];
     match write_report("exp_runtime", &files) {
-        Ok(paths) => println!("Wrote {} report file(s) under results/exp_runtime/", paths.len()),
+        Ok(paths) => println!(
+            "Wrote {} report file(s) under results/exp_runtime/",
+            paths.len()
+        ),
         Err(err) => eprintln!("could not write report files: {err}"),
     }
 }

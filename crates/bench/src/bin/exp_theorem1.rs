@@ -22,9 +22,13 @@ fn main() {
 
 fn run() {
     println!("# Experiment E6 (Theorem 1): postorder / optimal ratio on harpoon towers\n");
-    println!("{:>8} {:>7} {:>9} {:>14} {:>14} {:>14} {:>8}",
-        "branches", "levels", "nodes", "postorder", "po (closed)", "optimal", "ratio");
-    let mut rows = String::from("branches,levels,nodes,postorder_peak,postorder_closed_form,optimal_peak,ratio\n");
+    println!(
+        "{:>8} {:>7} {:>9} {:>14} {:>14} {:>14} {:>8}",
+        "branches", "levels", "nodes", "postorder", "po (closed)", "optimal", "ratio"
+    );
+    let mut rows = String::from(
+        "branches,levels,nodes,postorder_peak,postorder_closed_form,optimal_peak,ratio\n",
+    );
     let eps = 1;
     let big = 10_000;
     let mut last_ratio_per_branch = Vec::new();
@@ -52,7 +56,10 @@ fn run() {
                 po.peak,
                 opt.peak
             ));
-            assert_eq!(po.peak, closed, "closed-form postorder peak must match the measurement");
+            assert_eq!(
+                po.peak, closed,
+                "closed-form postorder peak must match the measurement"
+            );
             last_ratio = ratio;
         }
         last_ratio_per_branch.push((branches, last_ratio));
@@ -65,7 +72,11 @@ fn run() {
     println!("# Experiment E7 (Theorem 2): 2-Partition gadget");
     let solvable = vec![3, 5, 2, 4, 6, 4]; // splits into 12 + 12
     let gadget = two_partition_gadget(&solvable);
-    let mut order = vec![gadget.tree.root(), gadget.big_node, gadget.tree.children(gadget.big_node)[0]];
+    let mut order = vec![
+        gadget.tree.root(),
+        gadget.big_node,
+        gadget.tree.children(gadget.big_node)[0],
+    ];
     for &item in &gadget.item_nodes {
         order.push(item);
         order.push(gadget.tree.children(item)[0]);
@@ -79,12 +90,31 @@ fn run() {
         EvictionPolicy::BestKCombination { k: solvable.len() },
     )
     .unwrap();
-    let first_fit =
-        schedule_io(&gadget.tree, &traversal, gadget.memory, EvictionPolicy::FirstFit).unwrap();
-    println!("  instance {:?} (S = {}), M = 2S = {}", solvable, gadget.io_bound * 2, gadget.memory);
-    println!("  divisible lower bound      : {bound} (= S/2 = {})", gadget.io_bound);
-    println!("  Best-K combination         : {} (finds the exact split)", best_k.io_volume);
-    println!("  First Fit                  : {} (may overshoot: the problem is NP-complete)", first_fit.io_volume);
+    let first_fit = schedule_io(
+        &gadget.tree,
+        &traversal,
+        gadget.memory,
+        EvictionPolicy::FirstFit,
+    )
+    .unwrap();
+    println!(
+        "  instance {:?} (S = {}), M = 2S = {}",
+        solvable,
+        gadget.io_bound * 2,
+        gadget.memory
+    );
+    println!(
+        "  divisible lower bound      : {bound} (= S/2 = {})",
+        gadget.io_bound
+    );
+    println!(
+        "  Best-K combination         : {} (finds the exact split)",
+        best_k.io_volume
+    );
+    println!(
+        "  First Fit                  : {} (may overshoot: the problem is NP-complete)",
+        first_fit.io_volume
+    );
     rows.push_str(&format!(
         "gadget,,,{},{},{},\n",
         first_fit.io_volume, best_k.io_volume, bound
@@ -92,7 +122,10 @@ fn run() {
 
     let files = vec![ReportFile::new("theorem1_ratios.csv", rows)];
     match write_report("exp_theorem1", &files) {
-        Ok(paths) => println!("\nWrote {} report file(s) under results/exp_theorem1/", paths.len()),
+        Ok(paths) => println!(
+            "\nWrote {} report file(s) under results/exp_theorem1/",
+            paths.len()
+        ),
         Err(err) => eprintln!("could not write report files: {err}"),
     }
 }

@@ -8,9 +8,9 @@
 //! matrix, and every (ordering, amalgamation) combination of that matrix
 //! produces one weighted assembly tree.
 //!
-//! Tree generation fans out over `crossbeam` scoped threads because the
-//! symbolic pipeline (ordering + elimination tree + column counts) dominates
-//! the corpus construction time.
+//! Tree generation fans out over `std::thread::scope` because the symbolic
+//! pipeline (ordering + elimination tree + column counts) dominates the
+//! corpus construction time.
 
 use ordering::OrderingMethod;
 use sparsemat::gen::ProblemKind;
@@ -59,7 +59,10 @@ fn corpus_from_instances(description: &str, instances: Vec<AssemblyInstance>) ->
             tree: instance.assembly.tree,
         })
         .collect();
-    Corpus { description: description.to_string(), trees }
+    Corpus {
+        description: description.to_string(),
+        trees,
+    }
 }
 
 /// Configuration used by the full experiments (a few thousand tree nodes per
@@ -83,9 +86,16 @@ pub fn default_config() -> PipelineConfig {
 /// Configuration used by `--quick` runs and the integration tests.
 pub fn quick_config() -> PipelineConfig {
     PipelineConfig {
-        problems: vec![ProblemKind::Grid2d, ProblemKind::Random, ProblemKind::PowerLaw],
+        problems: vec![
+            ProblemKind::Grid2d,
+            ProblemKind::Random,
+            ProblemKind::PowerLaw,
+        ],
         sizes: vec![225, 400],
-        orderings: vec![OrderingMethod::MinimumDegree, OrderingMethod::NestedDissection],
+        orderings: vec![
+            OrderingMethod::MinimumDegree,
+            OrderingMethod::NestedDissection,
+        ],
         amalgamations: vec![1, 4],
         seed: 0x5eed,
     }
@@ -106,16 +116,15 @@ pub fn corpus_for(config: &PipelineConfig, description: &str) -> Corpus {
         }
     }
     let mut collected: Vec<Vec<AssemblyInstance>> = Vec::with_capacity(sub_configs.len());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = sub_configs
             .iter()
-            .map(|sub| scope.spawn(move |_| assembly_instances(sub)))
+            .map(|sub| scope.spawn(move || assembly_instances(sub)))
             .collect();
         for handle in handles {
             collected.push(handle.join().expect("corpus worker panicked"));
         }
-    })
-    .expect("corpus generation scope");
+    });
     let instances: Vec<AssemblyInstance> = collected.into_iter().flatten().collect();
     corpus_from_instances(description, instances)
 }
@@ -148,7 +157,10 @@ pub fn random_corpus(base: &Corpus, variants_per_tree: usize, seed: u64) -> Corp
             });
         }
     }
-    Corpus { description: format!("{} (randomly re-weighted)", base.description), trees }
+    Corpus {
+        description: format!("{} (randomly re-weighted)", base.description),
+        trees,
+    }
 }
 
 #[cfg(test)]

@@ -13,19 +13,31 @@
 //! | `exp_minmem_random`    | Table II and Figure 9 |
 //! | `exp_theorem1`         | Theorem 1 (harpoon towers) and Theorem 2 gadget |
 //! | `exp_multifrontal`     | end-to-end multifrontal check (Section II-A) |
+//! | `exp_minio_sweep`      | full policies × solvers sweep (`BENCH_minio_sweep.json`) |
 //! | `exp_all`              | everything above, with the quick corpus |
 //!
 //! The library part of the crate holds the shared infrastructure: corpus
 //! generation (the synthetic replacement of the paper's UF-collection data
-//! set), timing helpers, and report writing.
+//! set), timing helpers, report writing, a scoped-thread [`par_map`]
+//! primitive ([`parallel`]) and the parallel MinIO sweep engine ([`sweep`])
+//! that crosses {corpus × memory budgets × registered solvers × registered
+//! eviction policies}.
 
 pub mod corpus;
+pub mod microbench;
+pub mod parallel;
 pub mod report;
 pub mod runner;
+pub mod sweep;
 
 pub use corpus::{
     corpus_for, default_config, default_corpus, quick_config, quick_corpus, random_corpus, Corpus,
     CorpusTree,
 };
+pub use parallel::{default_threads, par_map};
 pub use report::{write_report, ExperimentArgs, ReportFile};
-pub use runner::{memory_sweep, run_with_big_stack, time_it, MinMemoryMeasurement};
+pub use runner::{
+    measurement_registry, memory_sweep, run_with_big_stack, time_it, MeasurementSet,
+    SolverMeasurement,
+};
+pub use sweep::{run_sweep, run_sweep_with, SweepConfig, SweepRecord, SweepReport};

@@ -1,0 +1,100 @@
+//! A tiny micro-benchmark harness for the `harness = false` bench targets.
+//!
+//! The offline build environment has no `criterion`, so the bench binaries
+//! use this minimal stand-in: adaptive iteration counts (targeting a fixed
+//! wall-clock budget per measurement), several samples, and a median /
+//! spread report on stdout.  It is deliberately simple — no statistics
+//! beyond the median and min/max — but stable enough to compare hot-path
+//! changes between commits.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Samples collected per measurement.
+const SAMPLES: usize = 7;
+/// Wall-clock budget per sample.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(40);
+
+/// A named group of measurements, printed as a small table.
+pub struct Group {
+    name: String,
+}
+
+impl Group {
+    /// Start a group and print its header.
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        println!("\n## {name}");
+        println!(
+            "{:<38} {:>12} {:>12} {:>12} {:>8}",
+            "benchmark", "median", "min", "max", "iters"
+        );
+        Group { name }
+    }
+
+    /// Measure `f`, discarding its result through [`black_box`].
+    pub fn bench<T>(&self, label: &str, mut f: impl FnMut() -> T) {
+        // Warm-up: find an iteration count whose batch takes ~the budget.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_BUDGET / 4 || iters >= 1 << 24 {
+                let per_iter = elapsed.as_secs_f64() / iters as f64;
+                let target = (SAMPLE_BUDGET.as_secs_f64() / per_iter.max(1e-9)).ceil() as u64;
+                iters = target.clamp(1, 1 << 24);
+                break;
+            }
+            iters *= 4;
+        }
+        // Measurement.
+        let mut samples: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                start.elapsed().as_secs_f64() / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+        let median = samples[samples.len() / 2];
+        println!(
+            "{:<38} {:>12} {:>12} {:>12} {:>8}",
+            format!("{}/{label}", self.name),
+            format_time(median),
+            format_time(samples[0]),
+            format_time(samples[samples.len() - 1]),
+            iters
+        );
+    }
+}
+
+/// Render a duration in seconds with an adaptive unit.
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_picks_sensible_units() {
+        assert_eq!(format_time(2.5), "2.500 s");
+        assert_eq!(format_time(2.5e-3), "2.500 ms");
+        assert_eq!(format_time(2.5e-6), "2.500 us");
+        assert_eq!(format_time(2.5e-8), "25.0 ns");
+    }
+}

@@ -17,7 +17,10 @@ pub struct ReportFile {
 impl ReportFile {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, contents: impl Into<String>) -> Self {
-        ReportFile { name: name.into(), contents: contents.into() }
+        ReportFile {
+            name: name.into(),
+            contents: contents.into(),
+        }
     }
 }
 
@@ -103,7 +106,10 @@ mod tests {
     #[test]
     fn report_files_are_written() {
         let unique = format!("selftest-{}", std::process::id());
-        std::env::set_var("TREEMEM_RESULTS_DIR", std::env::temp_dir().join("treemem-results"));
+        std::env::set_var(
+            "TREEMEM_RESULTS_DIR",
+            std::env::temp_dir().join("treemem-results"),
+        );
         let written = write_report(&unique, &[ReportFile::new("a.csv", "x,y\n1,2\n")]).unwrap();
         assert_eq!(written.len(), 1);
         let content = std::fs::read_to_string(&written[0]).unwrap();

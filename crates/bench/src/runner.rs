@@ -2,9 +2,7 @@
 
 use std::time::{Duration, Instant};
 
-use treemem::liu::liu_exact;
-use treemem::minmem::min_mem;
-use treemem::postorder::best_postorder;
+use treemem::solver::SolverRegistry;
 use treemem::tree::Size;
 use treemem::{Traversal, Tree};
 
@@ -29,51 +27,100 @@ pub fn run_with_big_stack<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'sta
         .expect("experiment thread panicked")
 }
 
-/// Peaks and running times of the three MinMemory algorithms on one tree.
+/// Peak, running time and traversal of one MinMemory solver on one tree.
 #[derive(Debug, Clone)]
-pub struct MinMemoryMeasurement {
-    /// Peak memory of the best postorder traversal.
-    pub postorder_peak: Size,
-    /// Peak memory of Liu's exact algorithm (the optimum).
-    pub liu_peak: Size,
-    /// Peak memory of the MinMem algorithm (the optimum).
-    pub minmem_peak: Size,
-    /// Running time of the best-postorder computation.
-    pub postorder_time: Duration,
-    /// Running time of Liu's exact algorithm.
-    pub liu_time: Duration,
-    /// Running time of MinMem.
-    pub minmem_time: Duration,
-    /// The best postorder traversal (used by the MinIO experiments).
-    pub postorder_traversal: Traversal,
-    /// The traversal produced by Liu's algorithm.
-    pub liu_traversal: Traversal,
-    /// The traversal produced by MinMem.
-    pub minmem_traversal: Traversal,
+pub struct SolverMeasurement {
+    /// The solver's registry name (`postorder`, `liu`, `minmem`, ...).
+    pub solver: &'static str,
+    /// Whether the solver is exact.
+    pub exact: bool,
+    /// Peak memory of the traversal it produced.
+    pub peak: Size,
+    /// Wall-clock running time of the solver.
+    pub time: Duration,
+    /// The traversal it produced (used by the MinIO experiments).
+    pub traversal: Traversal,
 }
 
-impl MinMemoryMeasurement {
-    /// Run the three algorithms on `tree`, checking the exactness invariants
-    /// on the fly (the two exact algorithms must agree and never exceed the
-    /// postorder).
-    pub fn measure(tree: &Tree) -> Self {
-        let (po, postorder_time) = time_it(|| best_postorder(tree));
-        let (liu, liu_time) = time_it(|| liu_exact(tree));
-        let (mm, minmem_time) = time_it(|| min_mem(tree));
-        assert_eq!(liu.peak, mm.peak, "the two exact algorithms must agree");
-        assert!(mm.peak <= po.peak, "an exact algorithm cannot exceed the postorder");
-        MinMemoryMeasurement {
-            postorder_peak: po.peak,
-            liu_peak: liu.peak,
-            minmem_peak: mm.peak,
-            postorder_time,
-            liu_time,
-            minmem_time,
-            postorder_traversal: po.traversal,
-            liu_traversal: liu.traversal,
-            minmem_traversal: mm.traversal,
+/// The measurements of every applicable solver on one tree, produced by
+/// enumerating a [`SolverRegistry`] instead of naming algorithms one by one.
+#[derive(Debug, Clone)]
+pub struct MeasurementSet {
+    /// One entry per solver that supports the tree, in registry order.
+    pub measurements: Vec<SolverMeasurement>,
+}
+
+impl MeasurementSet {
+    /// Run every solver of `registry` that supports `tree`, checking the
+    /// exactness invariants on the fly (all exact solvers must agree, and no
+    /// exact solver may exceed an inexact one).
+    pub fn measure_with(tree: &Tree, registry: &SolverRegistry) -> Self {
+        let mut measurements = Vec::new();
+        for solver in registry.iter().filter(|s| s.supports(tree)) {
+            let (result, time) = time_it(|| solver.solve(tree));
+            measurements.push(SolverMeasurement {
+                solver: solver.name(),
+                exact: solver.is_exact(),
+                peak: result.peak,
+                time,
+                traversal: result.traversal,
+            });
         }
+        let set = MeasurementSet { measurements };
+        if let Some(optimal) = set.exact_peak() {
+            for m in &set.measurements {
+                if m.exact {
+                    assert_eq!(m.peak, optimal, "exact solvers must agree ({})", m.solver);
+                } else {
+                    assert!(
+                        m.peak >= optimal,
+                        "inexact solver {} reported peak {} below the optimum {optimal}",
+                        m.solver,
+                        m.peak
+                    );
+                }
+            }
+        }
+        set
     }
+
+    /// [`MeasurementSet::measure_with`] on [`measurement_registry`].
+    pub fn measure(tree: &Tree) -> Self {
+        Self::measure_with(tree, &measurement_registry())
+    }
+
+    /// The measurement of a given solver, if it ran.
+    pub fn get(&self, solver: &str) -> Option<&SolverMeasurement> {
+        self.measurements.iter().find(|m| m.solver == solver)
+    }
+
+    /// Peak of a given solver.
+    ///
+    /// # Panics
+    /// Panics if the solver did not run on this tree.
+    pub fn peak_of(&self, solver: &str) -> Size {
+        self.get(solver)
+            .unwrap_or_else(|| panic!("no measurement for solver {solver}"))
+            .peak
+    }
+
+    /// The optimal peak: the value every exact solver agreed on, if any ran.
+    pub fn exact_peak(&self) -> Option<Size> {
+        self.measurements.iter().find(|m| m.exact).map(|m| m.peak)
+    }
+}
+
+/// The registry used by [`MeasurementSet::measure`]: every built-in solver
+/// except the brute-force oracle (whose cost is exponential).  Also the
+/// cheap way to enumerate the measured solver names without solving
+/// anything.
+pub fn measurement_registry() -> SolverRegistry {
+    let mut registry = SolverRegistry::empty();
+    registry.register(Box::new(treemem::solver::NaturalPostorderSolver));
+    registry.register(Box::new(treemem::solver::BestPostorderSolver));
+    registry.register(Box::new(treemem::solver::LiuSolver));
+    registry.register(Box::new(treemem::solver::MinMemExploreSolver));
+    registry
 }
 
 /// The memory sizes at which the MinIO experiments are run for a given
@@ -100,11 +147,24 @@ mod tests {
     #[test]
     fn measurement_reports_consistent_values() {
         let tree = harpoon(4, 400, 1);
-        let m = MinMemoryMeasurement::measure(&tree);
-        assert_eq!(m.liu_peak, m.minmem_peak);
-        assert_eq!(m.minmem_peak, 404);
-        assert_eq!(m.postorder_peak, 701);
-        assert_eq!(m.postorder_traversal.len(), tree.len());
+        let set = MeasurementSet::measure(&tree);
+        assert_eq!(set.peak_of("liu"), set.peak_of("minmem"));
+        assert_eq!(set.peak_of("minmem"), 404);
+        assert_eq!(set.peak_of("postorder"), 701);
+        assert_eq!(set.exact_peak(), Some(404));
+        assert_eq!(set.get("postorder").unwrap().traversal.len(), tree.len());
+        assert!(
+            set.get("brute").is_none(),
+            "the oracle is excluded from measure()"
+        );
+    }
+
+    #[test]
+    fn full_registry_includes_the_oracle_on_tiny_trees() {
+        let tree = harpoon(3, 30, 1);
+        let set = MeasurementSet::measure_with(&tree, &SolverRegistry::with_builtin());
+        assert!(set.get("brute").is_some());
+        assert_eq!(set.peak_of("brute"), set.peak_of("minmem"));
     }
 
     #[test]

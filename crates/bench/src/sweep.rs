@@ -1,0 +1,421 @@
+//! The parallel MinIO sweep engine.
+//!
+//! The sweep crosses four axes — {tree corpus} × {memory fractions} ×
+//! {registered solvers} × {registered eviction policies} — and records, for
+//! every cell, the I/O volume, file count and divisible lower bound of the
+//! simulated out-of-core execution.  Work is distributed over worker threads
+//! at (tree × solver) granularity through [`crate::parallel::par_map`]:
+//! every job computes one solver traversal once and then sweeps all memory
+//! sizes and policies on it, which keeps the expensive solver call out of
+//! the inner loop.
+//!
+//! The result can be rendered to a machine-readable JSON report
+//! ([`SweepReport::to_json`]); the `exp_minio_sweep` binary writes it to
+//! `BENCH_minio_sweep.json`.
+
+use std::time::Instant;
+
+use minio::{divisible_lower_bound, schedule_io_with, PolicyRegistry};
+use treemem::solver::SolverRegistry;
+use treemem::tree::Size;
+
+use crate::corpus::Corpus;
+use crate::parallel::{default_threads, par_map};
+use crate::runner::memory_sweep;
+
+/// Configuration of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Memory budgets, as fractions of the way from `max MemReq` (0.0, the
+    /// hardest feasible budget) to the solver traversal's peak (1.0, no I/O).
+    pub memory_fractions: Vec<f64>,
+    /// Worker threads; `None` picks the available parallelism.
+    pub threads: Option<usize>,
+    /// Solver names to run (subset of the solver registry); empty = every
+    /// registered solver that supports the tree.
+    pub solvers: Vec<String>,
+    /// Policy names to run (subset of the policy registry); empty = every
+    /// registered policy.
+    pub policies: Vec<String>,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            memory_fractions: vec![0.0, 0.25, 0.5, 0.75],
+            threads: None,
+            solvers: Vec::new(),
+            policies: Vec::new(),
+        }
+    }
+}
+
+/// One cell of the sweep: a (tree, solver, memory, policy) combination.
+#[derive(Debug, Clone)]
+pub struct SweepRecord {
+    /// Corpus instance name.
+    pub instance: String,
+    /// Number of nodes of the tree.
+    pub nodes: usize,
+    /// Solver that produced the traversal.
+    pub solver: String,
+    /// Peak memory of that traversal.
+    pub solver_peak: Size,
+    /// Memory budget of the simulated execution.
+    pub memory: Size,
+    /// The fraction this budget corresponds to.
+    pub fraction: f64,
+    /// Eviction policy used.
+    pub policy: String,
+    /// Volume written to secondary memory.
+    pub io_volume: Size,
+    /// Number of files written out.
+    pub files_written: usize,
+    /// Divisible-relaxation lower bound for this traversal and budget.
+    pub divisible_bound: Size,
+}
+
+/// The outcome of [`run_sweep`].
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Description of the corpus that was swept.
+    pub corpus: String,
+    /// Number of trees in the corpus.
+    pub trees: usize,
+    /// Solver names that ran (registry order).
+    pub solvers: Vec<String>,
+    /// Policy names that ran (registry order).
+    pub policies: Vec<String>,
+    /// The memory fractions of the sweep.
+    pub memory_fractions: Vec<f64>,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock seconds the sweep took.
+    pub elapsed_seconds: f64,
+    /// Every (tree, solver, memory, policy) cell.
+    pub records: Vec<SweepRecord>,
+}
+
+/// Escape a string for embedding in a JSON document.
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_string_array(items: &[String]) -> String {
+    let quoted: Vec<String> = items
+        .iter()
+        .map(|s| format!("\"{}\"", json_escape(s)))
+        .collect();
+    format!("[{}]", quoted.join(","))
+}
+
+impl SweepReport {
+    /// Render the report as a JSON document (schema `minio_sweep/v1`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"minio_sweep/v1\",\n");
+        out.push_str(&format!(
+            "  \"corpus\": \"{}\",\n",
+            json_escape(&self.corpus)
+        ));
+        out.push_str(&format!("  \"trees\": {},\n", self.trees));
+        out.push_str(&format!(
+            "  \"solvers\": {},\n",
+            json_string_array(&self.solvers)
+        ));
+        out.push_str(&format!(
+            "  \"policies\": {},\n",
+            json_string_array(&self.policies)
+        ));
+        let fractions: Vec<String> = self
+            .memory_fractions
+            .iter()
+            .map(|f| format!("{f}"))
+            .collect();
+        out.push_str(&format!(
+            "  \"memory_fractions\": [{}],\n",
+            fractions.join(",")
+        ));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!(
+            "  \"elapsed_seconds\": {:.3},\n",
+            self.elapsed_seconds
+        ));
+        out.push_str("  \"records\": [\n");
+        for (index, r) in self.records.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"instance\": \"{}\", \"nodes\": {}, \"solver\": \"{}\", \
+                 \"solver_peak\": {}, \"memory\": {}, \"fraction\": {}, \"policy\": \"{}\", \
+                 \"io_volume\": {}, \"files_written\": {}, \"divisible_bound\": {}}}{}\n",
+                json_escape(&r.instance),
+                r.nodes,
+                json_escape(&r.solver),
+                r.solver_peak,
+                r.memory,
+                r.fraction,
+                json_escape(&r.policy),
+                r.io_volume,
+                r.files_written,
+                r.divisible_bound,
+                if index + 1 < self.records.len() {
+                    ","
+                } else {
+                    ""
+                },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Total I/O volume per policy, summed over every cell (a coarse ranking
+    /// used by the report printer).
+    pub fn totals_by_policy(&self) -> Vec<(String, Size)> {
+        self.policies
+            .iter()
+            .map(|policy| {
+                let total = self
+                    .records
+                    .iter()
+                    .filter(|r| &r.policy == policy)
+                    .map(|r| r.io_volume)
+                    .sum();
+                (policy.clone(), total)
+            })
+            .collect()
+    }
+}
+
+/// Run the full sweep of `corpus` with the given registries.
+///
+/// Every (tree, solver) pair is one parallel job: the job runs the solver
+/// once, then sweeps `config.memory_fractions` × policies on the resulting
+/// traversal.  Solvers that do not support a tree (e.g. the brute-force
+/// oracle beyond its node limit) are skipped for that tree only.
+pub fn run_sweep_with(
+    corpus: &Corpus,
+    solvers: &SolverRegistry,
+    policies: &PolicyRegistry,
+    config: &SweepConfig,
+) -> SweepReport {
+    let solver_names: Vec<String> = if config.solvers.is_empty() {
+        solvers.names().iter().map(|s| s.to_string()).collect()
+    } else {
+        config.solvers.clone()
+    };
+    let policy_names: Vec<String> = if config.policies.is_empty() {
+        policies.names()
+    } else {
+        config.policies.clone()
+    };
+
+    // Resolve every requested name once, before any work starts: a typo in
+    // the config fails fast here instead of aborting a worker mid-sweep.
+    let resolved_solvers: Vec<&dyn treemem::solver::MinMemSolver> = solver_names
+        .iter()
+        .map(|name| {
+            solvers
+                .get(name)
+                .unwrap_or_else(|| panic!("unknown solver {name}"))
+        })
+        .collect();
+    let resolved_policies: Vec<&dyn minio::Policy> = policy_names
+        .iter()
+        .map(|name| {
+            policies
+                .get(name)
+                .unwrap_or_else(|| panic!("unknown policy {name}"))
+        })
+        .collect();
+
+    // One job per (tree, solver) pair.
+    let jobs: Vec<(usize, usize)> = (0..corpus.trees.len())
+        .flat_map(|tree_idx| (0..resolved_solvers.len()).map(move |s| (tree_idx, s)))
+        .collect();
+    let threads = config
+        .threads
+        .unwrap_or_else(|| default_threads(jobs.len()));
+
+    let start = Instant::now();
+    let per_job: Vec<Vec<SweepRecord>> = par_map(&jobs, threads, |_, &(tree_idx, solver_idx)| {
+        let entry = &corpus.trees[tree_idx];
+        let solver = resolved_solvers[solver_idx];
+        if !solver.supports(&entry.tree) {
+            return Vec::new();
+        }
+        let solved = solver.solve(&entry.tree);
+        let mut records = Vec::new();
+        for (fraction, memory) in config.memory_fractions.iter().zip(memory_sweep(
+            &entry.tree,
+            solved.peak,
+            &config.memory_fractions,
+        )) {
+            let bound = divisible_lower_bound(&entry.tree, &solved.traversal, memory)
+                .expect("memory is above max MemReq by construction");
+            for (policy_idx, policy) in resolved_policies.iter().enumerate() {
+                let run = schedule_io_with(&entry.tree, &solved.traversal, memory, *policy)
+                    .expect("memory is above max MemReq by construction");
+                records.push(SweepRecord {
+                    instance: entry.name.clone(),
+                    nodes: entry.nodes,
+                    solver: solver_names[solver_idx].clone(),
+                    solver_peak: solved.peak,
+                    memory,
+                    fraction: *fraction,
+                    policy: policy_names[policy_idx].clone(),
+                    io_volume: run.io_volume,
+                    files_written: run.files_written,
+                    divisible_bound: bound,
+                });
+            }
+        }
+        records
+    });
+    let elapsed_seconds = start.elapsed().as_secs_f64();
+
+    SweepReport {
+        corpus: corpus.description.clone(),
+        trees: corpus.len(),
+        solvers: solver_names,
+        policies: policy_names,
+        memory_fractions: config.memory_fractions.clone(),
+        threads,
+        elapsed_seconds,
+        records: per_job.into_iter().flatten().collect(),
+    }
+}
+
+/// [`run_sweep_with`] on the built-in solver and policy registries.
+pub fn run_sweep(corpus: &Corpus, config: &SweepConfig) -> SweepReport {
+    run_sweep_with(
+        corpus,
+        &SolverRegistry::with_builtin(),
+        &PolicyRegistry::with_builtin(),
+        config,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{Corpus, CorpusTree};
+    use treemem::gadgets::harpoon;
+    use treemem::random::random_attachment_tree;
+
+    fn tiny_corpus() -> Corpus {
+        let trees = vec![
+            CorpusTree {
+                name: "harpoon-4".into(),
+                nodes: 13,
+                tree: harpoon(4, 400, 1),
+            },
+            CorpusTree {
+                name: "random-16".into(),
+                nodes: 16,
+                tree: random_attachment_tree(16, 50, 5, 7),
+            },
+        ];
+        Corpus {
+            description: "tiny test corpus".into(),
+            trees,
+        }
+    }
+
+    #[test]
+    fn sweep_crosses_every_axis() {
+        let corpus = tiny_corpus();
+        let config = SweepConfig {
+            memory_fractions: vec![0.0, 0.5],
+            ..Default::default()
+        };
+        let report = run_sweep(&corpus, &config);
+        assert!(report.solvers.len() >= 4, "solvers: {:?}", report.solvers);
+        assert!(
+            report.policies.len() >= 9,
+            "policies: {:?}",
+            report.policies
+        );
+        // Both trees are small enough for every solver, so the grid is full.
+        let expected = corpus.len()
+            * report.solvers.len()
+            * config.memory_fractions.len()
+            * report.policies.len();
+        assert_eq!(report.records.len(), expected);
+        // Every record respects the divisible lower bound.
+        for r in &report.records {
+            assert!(
+                r.io_volume >= r.divisible_bound,
+                "{} {} {}",
+                r.instance,
+                r.solver,
+                r.policy
+            );
+        }
+    }
+
+    #[test]
+    fn unsupported_solvers_are_skipped_per_tree() {
+        let trees = vec![CorpusTree {
+            name: "big-random".into(),
+            nodes: 80,
+            tree: random_attachment_tree(80, 50, 5, 3),
+        }];
+        let corpus = Corpus {
+            description: "one big tree".into(),
+            trees,
+        };
+        let report = run_sweep(&corpus, &SweepConfig::default());
+        assert!(report.records.iter().all(|r| r.solver != "brute"));
+        assert!(report.records.iter().any(|r| r.solver == "minmem"));
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let corpus = tiny_corpus();
+        let config = SweepConfig {
+            memory_fractions: vec![0.0],
+            ..Default::default()
+        };
+        let report = run_sweep(&corpus, &config);
+        let json = report.to_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.contains("\"schema\": \"minio_sweep/v1\""));
+        assert!(json.contains("\"policies\": [\"LSNF\""));
+        assert_eq!(json.matches("\"instance\":").count(), report.records.len());
+        // Balanced braces and brackets (a cheap structural check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escaping_handles_special_characters() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn explicit_subsets_restrict_the_grid() {
+        let corpus = tiny_corpus();
+        let config = SweepConfig {
+            memory_fractions: vec![0.0],
+            solvers: vec!["postorder".into(), "minmem".into()],
+            policies: vec!["LSNF".into(), "S3FIFO".into()],
+            ..Default::default()
+        };
+        let report = run_sweep(&corpus, &config);
+        assert_eq!(report.records.len(), corpus.len() * 2 * 2);
+    }
+}

@@ -28,7 +28,11 @@ struct Solver<'a> {
 impl<'a> Solver<'a> {
     fn new(tree: &'a Tree) -> Self {
         let children_sum = tree.nodes().map(|i| tree.children_file_sum(i)).collect();
-        Solver { tree, children_sum, memo: HashMap::new() }
+        Solver {
+            tree,
+            children_sum,
+            memo: HashMap::new(),
+        }
     }
 
     fn resident(&self, executed: u64) -> Size {
@@ -62,7 +66,11 @@ impl<'a> Solver<'a> {
     }
 
     fn solve(&mut self, executed: u64, resident: Size) -> Size {
-        debug_assert_eq!(resident, self.resident(executed), "resident memory tracked incrementally");
+        debug_assert_eq!(
+            resident,
+            self.resident(executed),
+            "resident memory tracked incrementally"
+        );
         if executed.count_ones() as usize == self.tree.len() {
             return 0;
         }

@@ -20,7 +20,11 @@ pub enum TreeError {
     /// A file size is negative.
     NegativeFileSize { node: NodeId, size: Size },
     /// Mismatched input lengths (parents / file sizes / execution sizes).
-    LengthMismatch { parents: usize, files: usize, weights: usize },
+    LengthMismatch {
+        parents: usize,
+        files: usize,
+        weights: usize,
+    },
 }
 
 impl fmt::Display for TreeError {
@@ -38,7 +42,11 @@ impl fmt::Display for TreeError {
             TreeError::NegativeFileSize { node, size } => {
                 write!(fmt, "node {node} has negative input-file size {size}")
             }
-            TreeError::LengthMismatch { parents, files, weights } => write!(
+            TreeError::LengthMismatch {
+                parents,
+                files,
+                weights,
+            } => write!(
                 fmt,
                 "length mismatch: {parents} parents, {files} file sizes, {weights} execution sizes"
             ),
@@ -57,7 +65,12 @@ pub enum TraversalError {
     /// A node is scheduled before its parent.
     PrecedenceViolation { node: NodeId, parent: NodeId },
     /// The memory limit is exceeded at the given step.
-    OutOfMemory { step: usize, node: NodeId, required: Size, available: Size },
+    OutOfMemory {
+        step: usize,
+        node: NodeId,
+        required: Size,
+        available: Size,
+    },
     /// The traversal length does not match the number of tree nodes.
     WrongLength { expected: usize, found: usize },
     /// An I/O operation refers to a file that has not been produced yet.
@@ -100,9 +113,17 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let err = TreeError::InvalidParent { node: 3, parent: 17 };
+        let err = TreeError::InvalidParent {
+            node: 3,
+            parent: 17,
+        };
         assert!(err.to_string().contains("17"));
-        let err = TraversalError::OutOfMemory { step: 2, node: 5, required: 10, available: 3 };
+        let err = TraversalError::OutOfMemory {
+            step: 2,
+            node: 5,
+            required: 10,
+            available: 3,
+        };
         let text = err.to_string();
         assert!(text.contains("step 2") && text.contains("10") && text.contains('3'));
     }
@@ -112,7 +133,10 @@ mod tests {
         assert_eq!(TreeError::Empty, TreeError::Empty);
         assert_ne!(
             TraversalError::NotAPermutation,
-            TraversalError::WrongLength { expected: 1, found: 2 }
+            TraversalError::WrongLength {
+                expected: 1,
+                found: 2
+            }
         );
     }
 }

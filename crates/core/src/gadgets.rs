@@ -46,7 +46,10 @@ pub fn harpoon(branches: usize, big: Size, eps: Size) -> Tree {
 pub fn harpoon_tower(branches: usize, big: Size, eps: Size, levels: usize) -> Tree {
     assert!(branches > 0, "harpoon needs at least one branch");
     assert!(levels > 0, "harpoon tower needs at least one level");
-    assert!(big > 0 && big % branches as Size == 0, "`big` must be a positive multiple of `branches`");
+    assert!(
+        big > 0 && big % branches as Size == 0,
+        "`big` must be a positive multiple of `branches`"
+    );
     assert!(eps > 0, "`eps` must be positive");
     let prong = big / branches as Size;
     let mut builder = TreeBuilder::new();
@@ -67,7 +70,9 @@ pub fn harpoon_tower(branches: usize, big: Size, eps: Size, levels: usize) -> Tr
         }
         expand = next;
     }
-    builder.build().expect("harpoon construction is always a valid tree")
+    builder
+        .build()
+        .expect("harpoon construction is always a valid tree")
 }
 
 /// Peak memory of the best postorder on [`harpoon`], in closed form:
@@ -134,7 +139,10 @@ pub struct TwoPartitionGadget {
 /// of the values is odd (2-Partition instances are normalised to even sums).
 pub fn two_partition_gadget(values: &[Size]) -> TwoPartitionGadget {
     assert!(!values.is_empty(), "2-Partition instance must not be empty");
-    assert!(values.iter().all(|&a| a > 0), "2-Partition values must be positive");
+    assert!(
+        values.iter().all(|&a| a > 0),
+        "2-Partition values must be positive"
+    );
     let total: Size = values.iter().sum();
     assert!(total % 2 == 0, "2-Partition instance must have an even sum");
     let mut builder = TreeBuilder::new();
@@ -147,8 +155,16 @@ pub fn two_partition_gadget(values: &[Size]) -> TwoPartitionGadget {
     }
     let big_node = builder.add_child(root, total, 0);
     builder.add_child(big_node, total / 2, 0);
-    let tree = builder.build().expect("gadget construction is always a valid tree");
-    TwoPartitionGadget { tree, memory: 2 * total, io_bound: total / 2, item_nodes, big_node }
+    let tree = builder
+        .build()
+        .expect("gadget construction is always a valid tree");
+    TwoPartitionGadget {
+        tree,
+        memory: 2 * total,
+        io_bound: total / 2,
+        item_nodes,
+        big_node,
+    }
 }
 
 #[cfg(test)]
@@ -185,8 +201,16 @@ mod tests {
             let tree = harpoon(branches, big, eps);
             let po = best_postorder(&tree);
             let opt = min_mem(&tree);
-            assert_eq!(po.peak, harpoon_postorder_peak(branches, big, eps), "branches={branches}");
-            assert_eq!(opt.peak, harpoon_optimal_peak(branches, big, eps), "branches={branches}");
+            assert_eq!(
+                po.peak,
+                harpoon_postorder_peak(branches, big, eps),
+                "branches={branches}"
+            );
+            assert_eq!(
+                opt.peak,
+                harpoon_optimal_peak(branches, big, eps),
+                "branches={branches}"
+            );
         }
     }
 
@@ -222,7 +246,10 @@ mod tests {
             let po = best_postorder(&tree);
             let opt = min_mem(&tree);
             let ratio = po.peak as f64 / opt.peak as f64;
-            assert!(ratio > previous_ratio, "levels={levels}: ratio {ratio} should grow");
+            assert!(
+                ratio > previous_ratio,
+                "levels={levels}: ratio {ratio} should grow"
+            );
             previous_ratio = ratio;
         }
         assert!(previous_ratio > 1.9);

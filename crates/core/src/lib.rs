@@ -33,6 +33,8 @@
 //! * [`liu`] — Liu's 1987 exact algorithm based on hill–valley segments,
 //!   used as an independent exact reference;
 //! * [`brute`] — an exponential brute-force oracle for small trees;
+//! * [`solver`] — the [`MinMemSolver`] trait and [`SolverRegistry`] that
+//!   expose all of the above behind one generic interface;
 //! * [`variants`] — the model transformations of Section III-C (pebble
 //!   replacement, Liu's x⁺/x⁻ model, in-tree ↔ out-tree reversal);
 //! * [`gadgets`] — the harpoon trees of Theorem 1 and the 2-Partition
@@ -64,11 +66,13 @@ pub mod liu;
 pub mod minmem;
 pub mod postorder;
 pub mod random;
+pub mod solver;
 pub mod traversal;
 pub mod tree;
 pub mod variants;
 
-pub use error::{TreeError, TraversalError};
+pub use error::{TraversalError, TreeError};
+pub use solver::{MinMemSolver, SolverRegistry};
 pub use traversal::{MemoryProfile, Traversal};
 pub use tree::{NodeId, Size, Tree, TreeBuilder};
 

@@ -63,7 +63,10 @@ pub struct LiuResult {
 
 impl From<LiuResult> for TraversalResult {
     fn from(value: LiuResult) -> Self {
-        TraversalResult { traversal: value.traversal, peak: value.peak }
+        TraversalResult {
+            traversal: value.traversal,
+            peak: value.peak,
+        }
     }
 }
 
@@ -99,7 +102,7 @@ fn combine(tree: &Tree, node: NodeId, child_sequences: Vec<Vec<Segment>>) -> Vec
             tagged.push((child_idx, segment));
         }
     }
-    tagged.sort_by(|a, b| b.1.key().cmp(&a.1.key()));
+    tagged.sort_by_key(|(_, segment)| std::cmp::Reverse(segment.key()));
 
     let num_children = tree.children(node).len();
     let mut residual = vec![0 as Size; num_children];
@@ -143,11 +146,17 @@ pub fn liu_exact(tree: &Tree) -> LiuResult {
         let child_sequences: Vec<Vec<Segment>> = tree
             .children(i)
             .iter()
-            .map(|&c| sequences[c].take().expect("children processed before their parent"))
+            .map(|&c| {
+                sequences[c]
+                    .take()
+                    .expect("children processed before their parent")
+            })
             .collect();
         sequences[i] = Some(combine(tree, i, child_sequences));
     }
-    let root_sequence = sequences[tree.root()].take().expect("root sequence computed");
+    let root_sequence = sequences[tree.root()]
+        .take()
+        .expect("root sequence computed");
     let peak = root_sequence.iter().map(|s| s.hill).max().unwrap_or(0);
     let mut bottom_up: Vec<NodeId> = Vec::with_capacity(tree.len());
     for segment in &root_sequence {
@@ -157,11 +166,17 @@ pub fn liu_exact(tree: &Tree) -> LiuResult {
     bottom_up.reverse();
     let traversal = Traversal::new(bottom_up);
     debug_assert_eq!(
-        traversal.peak_memory(tree).expect("Liu produced an invalid traversal"),
+        traversal
+            .peak_memory(tree)
+            .expect("Liu produced an invalid traversal"),
         peak,
         "hill-valley peak must match the direct evaluation of the traversal"
     );
-    LiuResult { traversal, peak, segments: root_sequence }
+    LiuResult {
+        traversal,
+        peak,
+        segments: root_sequence,
+    }
 }
 
 #[cfg(test)]
@@ -201,7 +216,10 @@ mod tests {
         let tree = harpoon_tower(3, 300, 2, 2);
         let result = liu_exact(&tree);
         for pair in result.segments.windows(2) {
-            assert!(pair[0].valley <= pair[1].valley, "valleys must be non-decreasing");
+            assert!(
+                pair[0].valley <= pair[1].valley,
+                "valleys must be non-decreasing"
+            );
             assert!(
                 pair[0].hill - pair[0].valley >= pair[1].hill - pair[1].valley,
                 "h - v must be non-increasing"
@@ -211,7 +229,7 @@ mod tests {
 
     #[test]
     fn agrees_with_min_mem_and_brute_force() {
-        let trees = vec![
+        let trees = [
             harpoon(2, 20, 1),
             harpoon(4, 40, 3),
             harpoon_tower(2, 16, 1, 2),

@@ -72,7 +72,12 @@ fn saturating_add(a: Size, b: Size) -> Size {
 /// `init` carries the cut and traversal of a previous exploration of the same
 /// subtree (used by [`min_mem`] when it restarts the root exploration with
 /// more memory); pass `None` for a fresh exploration.
-pub fn explore(tree: &Tree, node: NodeId, avail: Size, init: Option<ExploreState>) -> ExploreOutcome {
+pub fn explore(
+    tree: &Tree,
+    node: NodeId,
+    avail: Size,
+    init: Option<ExploreState>,
+) -> ExploreOutcome {
     let has_init = init.as_ref().map(|s| !s.is_empty()).unwrap_or(false);
 
     if !has_init {
@@ -124,9 +129,8 @@ pub fn explore(tree: &Tree, node: NodeId, avail: Size, init: Option<ExploreState
     let mut cut_file_sum: Size = cut.iter().map(|&c| tree.f(c)).sum();
     let mut first_pass = true;
     loop {
-        let is_candidate = |j: NodeId, peak_j: Size, sum: Size| -> bool {
-            avail - (sum - tree.f(j)) >= peak_j
-        };
+        let is_candidate =
+            |j: NodeId, peak_j: Size, sum: Size| -> bool { avail - (sum - tree.f(j)) >= peak_j };
         if !first_pass
             && !cut
                 .iter()
@@ -138,7 +142,7 @@ pub fn explore(tree: &Tree, node: NodeId, avail: Size, init: Option<ExploreState
         let pass_sum = cut_file_sum;
         let old_cut = std::mem::take(&mut cut);
         let old_peaks = std::mem::take(&mut cut_peaks);
-        for (j, peak_j) in old_cut.into_iter().zip(old_peaks.into_iter()) {
+        for (j, peak_j) in old_cut.into_iter().zip(old_peaks) {
             let candidate = first_pass || is_candidate(j, peak_j, pass_sum);
             if !candidate {
                 cut.push(j);
@@ -172,7 +176,13 @@ pub fn explore(tree: &Tree, node: NodeId, avail: Size, init: Option<ExploreState
         .map(|(&j, &peak_j)| saturating_add(peak_j, cut_file_sum - tree.f(j)))
         .min()
         .unwrap_or(INFINITE);
-    ExploreOutcome { mem, cut, cut_peaks, traversal, peak }
+    ExploreOutcome {
+        mem,
+        cut,
+        cut_peaks,
+        traversal,
+        peak,
+    }
 }
 
 /// Result of [`min_mem`]: the optimal peak together with the traversal that
@@ -190,7 +200,10 @@ pub struct MinMemResult {
 
 impl From<MinMemResult> for TraversalResult {
     fn from(value: MinMemResult) -> Self {
-        TraversalResult { traversal: value.traversal, peak: value.peak }
+        TraversalResult {
+            traversal: value.traversal,
+            peak: value.peak,
+        }
     }
 }
 
@@ -218,13 +231,21 @@ pub fn min_mem(tree: &Tree) -> MinMemResult {
         let avail = target;
         let outcome = explore(tree, tree.root(), avail, Some(state));
         if outcome.peak == INFINITE {
-            debug_assert_eq!(outcome.traversal.len(), tree.len(), "exploration must cover the tree");
+            debug_assert_eq!(
+                outcome.traversal.len(),
+                tree.len(),
+                "exploration must cover the tree"
+            );
             let traversal = Traversal::new(outcome.traversal);
             debug_assert!(traversal.check_in_core(tree, avail).is_ok());
             let peak = traversal
                 .peak_memory(tree)
                 .expect("MinMem produced an invalid traversal");
-            return MinMemResult { traversal, peak, iterations };
+            return MinMemResult {
+                traversal,
+                peak,
+                iterations,
+            };
         }
         debug_assert!(
             outcome.peak > avail,

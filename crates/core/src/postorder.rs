@@ -57,7 +57,10 @@ pub struct PostOrderResult {
 
 impl From<PostOrderResult> for TraversalResult {
     fn from(value: PostOrderResult) -> Self {
-        TraversalResult { traversal: value.traversal, peak: value.peak }
+        TraversalResult {
+            traversal: value.traversal,
+            peak: value.peak,
+        }
     }
 }
 
@@ -106,7 +109,9 @@ pub fn best_postorder(tree: &Tree) -> PostOrderResult {
         order.sort_by(|&a, &b| {
             let ka = peak[a] - tree.f(a);
             let kb = peak[b] - tree.f(b);
-            ka.cmp(&kb).then_with(|| peak[a].cmp(&peak[b])).then_with(|| a.cmp(&b))
+            ka.cmp(&kb)
+                .then_with(|| peak[a].cmp(&peak[b]))
+                .then_with(|| a.cmp(&b))
         });
         let mut best = tree.mem_req(i);
         let mut remaining: Size = order.iter().map(|&c| tree.f(c)).sum();
@@ -118,7 +123,11 @@ pub fn best_postorder(tree: &Tree) -> PostOrderResult {
         child_order[i] = order;
     }
     let traversal = traversal_from_child_order(tree, &child_order);
-    PostOrderResult { traversal, peak: peak[tree.root()], subtree_peaks: peak }
+    PostOrderResult {
+        traversal,
+        peak: peak[tree.root()],
+        subtree_peaks: peak,
+    }
 }
 
 /// Compute the postorder traversal that follows the *stored* child order of
@@ -131,7 +140,11 @@ pub fn natural_postorder(tree: &Tree) -> PostOrderResult {
     let child_order: Vec<Vec<NodeId>> = tree.nodes().map(|i| tree.children(i).to_vec()).collect();
     let peaks = subtree_peaks_with_order(tree, &child_order);
     let traversal = traversal_from_child_order(tree, &child_order);
-    PostOrderResult { traversal, peak: peaks[tree.root()], subtree_peaks: peaks }
+    PostOrderResult {
+        traversal,
+        peak: peaks[tree.root()],
+        subtree_peaks: peaks,
+    }
 }
 
 /// Peak memory of an arbitrary postorder described by an explicit per-node
@@ -141,14 +154,21 @@ pub fn natural_postorder(tree: &Tree) -> PostOrderResult {
 /// Panics if `child_order` does not have one entry per node or if an entry is
 /// not a permutation of that node's children (checked with debug assertions).
 pub fn postorder_peak(tree: &Tree, child_order: &[Vec<NodeId>]) -> Size {
-    assert_eq!(child_order.len(), tree.len(), "one child order per node expected");
+    assert_eq!(
+        child_order.len(),
+        tree.len(),
+        "one child order per node expected"
+    );
     #[cfg(debug_assertions)]
     for i in tree.nodes() {
         let mut a = child_order[i].clone();
         let mut b = tree.children(i).to_vec();
         a.sort_unstable();
         b.sort_unstable();
-        debug_assert_eq!(a, b, "child_order[{i}] is not a permutation of the children");
+        debug_assert_eq!(
+            a, b,
+            "child_order[{i}] is not a permutation of the children"
+        );
     }
     subtree_peaks_with_order(tree, child_order)[tree.root()]
 }

@@ -13,8 +13,7 @@
 //!
 //! All generators take an explicit seed so experiments are reproducible.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use prng::{Rng, StdRng};
 
 use crate::tree::{Size, Tree, TreeBuilder};
 
@@ -29,12 +28,21 @@ pub fn random_attachment_tree(num_nodes: usize, max_file: Size, max_exec: Size, 
     assert!(max_file > 0, "maximum file size must be positive");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut builder = TreeBuilder::with_capacity(num_nodes);
-    builder.add_root(rng.gen_range(1..=max_file), rng.gen_range(0..=max_exec.max(0)));
+    builder.add_root(
+        rng.gen_range(1..=max_file),
+        rng.gen_range(0..=max_exec.max(0)),
+    );
     for i in 1..num_nodes {
         let parent = rng.gen_range(0..i);
-        builder.add_child(parent, rng.gen_range(1..=max_file), rng.gen_range(0..=max_exec.max(0)));
+        builder.add_child(
+            parent,
+            rng.gen_range(1..=max_file),
+            rng.gen_range(0..=max_exec.max(0)),
+        );
     }
-    builder.build().expect("random attachment always builds a valid tree")
+    builder
+        .build()
+        .expect("random attachment always builds a valid tree")
 }
 
 /// Generate a random tree in which every node has at most `max_children`
@@ -52,7 +60,10 @@ pub fn random_bounded_degree_tree(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut builder = TreeBuilder::with_capacity(num_nodes);
     let mut child_count = vec![0usize; num_nodes];
-    builder.add_root(rng.gen_range(1..=max_file), rng.gen_range(0..=max_exec.max(0)));
+    builder.add_root(
+        rng.gen_range(1..=max_file),
+        rng.gen_range(0..=max_exec.max(0)),
+    );
     for i in 1..num_nodes {
         let mut parent = rng.gen_range(0..i);
         let mut attempts = 0;
@@ -66,18 +77,33 @@ pub fn random_bounded_degree_tree(
             parent = (0..i).find(|&p| child_count[p] < max_children).unwrap_or(0);
         }
         child_count[parent] += 1;
-        builder.add_child(parent, rng.gen_range(1..=max_file), rng.gen_range(0..=max_exec.max(0)));
+        builder.add_child(
+            parent,
+            rng.gen_range(1..=max_file),
+            rng.gen_range(0..=max_exec.max(0)),
+        );
     }
-    builder.build().expect("bounded-degree construction always builds a valid tree")
+    builder
+        .build()
+        .expect("bounded-degree construction always builds a valid tree")
 }
 
 /// Complete `k`-ary tree of the given `depth` (depth 0 is a single node),
 /// with constant weights.
-pub fn random_kary_tree(depth: usize, arity: usize, max_file: Size, max_exec: Size, seed: u64) -> Tree {
+pub fn random_kary_tree(
+    depth: usize,
+    arity: usize,
+    max_file: Size,
+    max_exec: Size,
+    seed: u64,
+) -> Tree {
     assert!(arity > 0 && max_file > 0);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut builder = TreeBuilder::new();
-    let root = builder.add_root(rng.gen_range(1..=max_file), rng.gen_range(0..=max_exec.max(0)));
+    let root = builder.add_root(
+        rng.gen_range(1..=max_file),
+        rng.gen_range(0..=max_exec.max(0)),
+    );
     let mut frontier = vec![root];
     for _ in 0..depth {
         let mut next = Vec::with_capacity(frontier.len() * arity);
@@ -92,7 +118,9 @@ pub fn random_kary_tree(depth: usize, arity: usize, max_file: Size, max_exec: Si
         }
         frontier = next;
     }
-    builder.build().expect("k-ary construction always builds a valid tree")
+    builder
+        .build()
+        .expect("k-ary construction always builds a valid tree")
 }
 
 /// A caterpillar: a spine of `spine_length` nodes, each with `legs` leaf
@@ -111,7 +139,9 @@ pub fn caterpillar(spine_length: usize, legs: usize, max_file: Size, seed: u64) 
             builder.add_child(spine, rng.gen_range(1..=max_file), 0);
         }
     }
-    builder.build().expect("caterpillar construction always builds a valid tree")
+    builder
+        .build()
+        .expect("caterpillar construction always builds a valid tree")
 }
 
 /// A spider: `legs` chains of length `leg_length` attached to the root,
@@ -127,7 +157,9 @@ pub fn spider(legs: usize, leg_length: usize, max_file: Size, seed: u64) -> Tree
             prev = builder.add_child(prev, rng.gen_range(1..=max_file), 0);
         }
     }
-    builder.build().expect("spider construction always builds a valid tree")
+    builder
+        .build()
+        .expect("spider construction always builds a valid tree")
 }
 
 /// Re-weight an existing topology with uniformly random weights: input files
@@ -136,7 +168,10 @@ pub fn reweight_uniform(tree: &Tree, max_file: Size, max_exec: Size, seed: u64) 
     assert!(max_file > 0);
     let mut rng = StdRng::seed_from_u64(seed);
     let files: Vec<Size> = tree.nodes().map(|_| rng.gen_range(1..=max_file)).collect();
-    let weights: Vec<Size> = tree.nodes().map(|_| rng.gen_range(0..=max_exec.max(0))).collect();
+    let weights: Vec<Size> = tree
+        .nodes()
+        .map(|_| rng.gen_range(0..=max_exec.max(0)))
+        .collect();
     tree.with_weights(files, weights)
 }
 
@@ -176,7 +211,10 @@ mod tests {
         assert_eq!(tree.len(), 200);
         for i in tree.nodes() {
             if i != tree.root() {
-                assert!(tree.children(i).len() <= 3, "node {i} has too many children");
+                assert!(
+                    tree.children(i).len() <= 3,
+                    "node {i} has too many children"
+                );
             }
         }
     }
@@ -207,7 +245,10 @@ mod tests {
         assert_eq!(reweighted.parents(), tree.parents());
         let n = tree.len() as Size;
         assert!(reweighted.files().iter().all(|&f| f >= 1 && f <= n));
-        assert!(reweighted.weights().iter().all(|&w| w >= 1 && w <= (n / 500).max(1)));
+        assert!(reweighted
+            .weights()
+            .iter()
+            .all(|&w| w >= 1 && w <= (n / 500).max(1)));
         // Different seeds give different weights.
         assert_ne!(reweight_paper(&tree, 11), reweight_paper(&tree, 12));
     }

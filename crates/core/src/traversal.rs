@@ -85,7 +85,10 @@ impl Traversal {
     /// Returns an error if the traversal is not a permutation of `0..len`.
     pub fn positions(&self, num_nodes: usize) -> Result<Vec<usize>, TraversalError> {
         if self.order.len() != num_nodes {
-            return Err(TraversalError::WrongLength { expected: num_nodes, found: self.order.len() });
+            return Err(TraversalError::WrongLength {
+                expected: num_nodes,
+                found: self.order.len(),
+            });
         }
         let mut pos = vec![usize::MAX; num_nodes];
         for (step, &node) in self.order.iter().enumerate() {
@@ -104,7 +107,10 @@ impl Traversal {
         for i in tree.nodes() {
             if let Some(par) = tree.parent(i) {
                 if pos[par] >= pos[i] {
-                    return Err(TraversalError::PrecedenceViolation { node: i, parent: par });
+                    return Err(TraversalError::PrecedenceViolation {
+                        node: i,
+                        parent: par,
+                    });
                 }
             }
         }
@@ -151,7 +157,11 @@ impl Traversal {
             let children_sum = tree.children_file_sum(i);
             let during = resident + tree.n(i) + children_sum;
             let after = resident - tree.f(i) + children_sum;
-            steps.push(MemoryStep { node: i, during, after });
+            steps.push(MemoryStep {
+                node: i,
+                during,
+                after,
+            });
             resident = after;
         }
         Ok(MemoryProfile { steps })
@@ -205,9 +215,21 @@ mod tests {
         assert_eq!(
             profile.steps,
             vec![
-                MemoryStep { node: r, during: 13, after: 2 },
-                MemoryStep { node: a, during: 5, after: 3 },
-                MemoryStep { node: b, during: 8, after: 0 },
+                MemoryStep {
+                    node: r,
+                    during: 13,
+                    after: 2
+                },
+                MemoryStep {
+                    node: a,
+                    during: 5,
+                    after: 3
+                },
+                MemoryStep {
+                    node: b,
+                    during: 8,
+                    after: 0
+                },
             ]
         );
         assert_eq!(profile.peak(), 13);
@@ -216,7 +238,12 @@ mod tests {
         assert!(tr.check_in_core(&tree, 13).is_ok());
         assert_eq!(
             tr.check_in_core(&tree, 12),
-            Err(TraversalError::OutOfMemory { step: 0, node: r, required: 13, available: 12 })
+            Err(TraversalError::OutOfMemory {
+                step: 0,
+                node: r,
+                required: 13,
+                available: 12
+            })
         );
     }
 
@@ -246,11 +273,17 @@ mod tests {
             Err(TraversalError::PrecedenceViolation { node: b, parent: a })
         );
         let not_perm = Traversal::new(vec![r, a, a, 3, 4]);
-        assert_eq!(not_perm.check_precedence(&tree), Err(TraversalError::NotAPermutation));
+        assert_eq!(
+            not_perm.check_precedence(&tree),
+            Err(TraversalError::NotAPermutation)
+        );
         let short = Traversal::new(vec![r, a]);
         assert_eq!(
             short.check_precedence(&tree),
-            Err(TraversalError::WrongLength { expected: 5, found: 2 })
+            Err(TraversalError::WrongLength {
+                expected: 5,
+                found: 2
+            })
         );
     }
 

@@ -71,7 +71,10 @@ impl Tree {
                 },
                 Some(par) => {
                     if par >= p {
-                        return Err(TreeError::InvalidParent { node: i, parent: par });
+                        return Err(TreeError::InvalidParent {
+                            node: i,
+                            parent: par,
+                        });
                     }
                     children[par].push(i);
                 }
@@ -279,8 +282,17 @@ impl Tree {
     pub fn with_weights(&self, files: Vec<Size>, weights: Vec<Size>) -> Tree {
         assert_eq!(files.len(), self.len(), "files length mismatch");
         assert_eq!(weights.len(), self.len(), "weights length mismatch");
-        assert!(files.iter().all(|&f| f >= 0), "input files must be non-negative");
-        Tree { parent: self.parent.clone(), children: self.children.clone(), f: files, n: weights, root: self.root }
+        assert!(
+            files.iter().all(|&f| f >= 0),
+            "input files must be non-negative"
+        );
+        Tree {
+            parent: self.parent.clone(),
+            children: self.children.clone(),
+            f: files,
+            n: weights,
+            root: self.root,
+        }
     }
 
     /// Parent-pointer representation (useful for serialization and tests).
@@ -303,7 +315,11 @@ impl Tree {
         use std::fmt::Write as _;
         let mut out = String::from("digraph tree {\n  node [shape=box];\n");
         for i in 0..self.len() {
-            let _ = writeln!(out, "  n{i} [label=\"{i}\\nf={} n={}\"];", self.f[i], self.n[i]);
+            let _ = writeln!(
+                out,
+                "  n{i} [label=\"{i}\\nf={} n={}\"];",
+                self.f[i], self.n[i]
+            );
         }
         for i in 0..self.len() {
             if let Some(par) = self.parent[i] {
@@ -459,7 +475,11 @@ mod tests {
         );
         assert_eq!(
             Tree::from_parents(&[None], &[0, 1], &[0]),
-            Err(TreeError::LengthMismatch { parents: 1, files: 2, weights: 1 })
+            Err(TreeError::LengthMismatch {
+                parents: 1,
+                files: 2,
+                weights: 1
+            })
         );
     }
 

@@ -102,7 +102,11 @@ pub fn bottom_up_memory_profile(
     for &i in traversal.order() {
         let during = resident + tree.n(i) + tree.f(i);
         let after = resident - tree.children_file_sum(i) + tree.f(i);
-        steps.push(MemoryStep { node: i, during, after });
+        steps.push(MemoryStep {
+            node: i,
+            during,
+            after,
+        });
         resident = after;
     }
     Ok(MemoryProfile { steps })

@@ -59,7 +59,11 @@ pub fn exact_min_io(
     traversal.check_precedence(tree)?;
     for i in tree.nodes() {
         if tree.mem_req(i) > memory {
-            return Err(MinIoError::InsufficientMemory { node: i, required: tree.mem_req(i), memory });
+            return Err(MinIoError::InsufficientMemory {
+                node: i,
+                required: tree.mem_req(i),
+                memory,
+            });
         }
     }
     // Upper bound from the best heuristic (the search never needs to do
@@ -75,7 +79,10 @@ pub fn exact_min_io(
     let lower = divisible_lower_bound(tree, traversal, memory)?;
     if incumbent == lower {
         // The heuristic already matches the divisible bound: it is optimal.
-        return Ok(ExactMinIo { io_volume: incumbent, explored: 0 });
+        return Ok(ExactMinIo {
+            io_volume: incumbent,
+            explored: 0,
+        });
     }
 
     let positions = traversal.positions(tree.len())?;
@@ -161,9 +168,8 @@ pub fn exact_min_io(
                 continue;
             }
             // Minimality: dropping any selected file must violate the deficit.
-            let minimal = (0..count).all(|bit| {
-                mask & (1 << bit) == 0 || freed - tree.f(candidates[bit]) < deficit
-            });
+            let minimal = (0..count)
+                .all(|bit| mask & (1 << bit) == 0 || freed - tree.f(candidates[bit]) < deficit);
             if !minimal {
                 continue;
             }
@@ -183,7 +189,10 @@ pub fn exact_min_io(
         }
     }
 
-    Ok(ExactMinIo { io_volume: best, explored })
+    Ok(ExactMinIo {
+        io_volume: best,
+        explored,
+    })
 }
 
 #[cfg(test)]
@@ -213,21 +222,32 @@ mod tests {
     fn exact_finds_the_two_partition_split() {
         let gadget = two_partition_gadget(&[3, 5, 2, 4, 6, 4]);
         let tree = &gadget.tree;
-        let mut order = vec![tree.root(), gadget.big_node, tree.children(gadget.big_node)[0]];
+        let mut order = vec![
+            tree.root(),
+            gadget.big_node,
+            tree.children(gadget.big_node)[0],
+        ];
         for &item in &gadget.item_nodes {
             order.push(item);
             order.push(tree.children(item)[0]);
         }
         let traversal = Traversal::new(order);
         let exact = exact_min_io(tree, &traversal, gadget.memory).unwrap();
-        assert_eq!(exact.io_volume, gadget.io_bound, "the optimum is exactly S/2");
+        assert_eq!(
+            exact.io_volume, gadget.io_bound,
+            "the optimum is exactly S/2"
+        );
     }
 
     #[test]
     fn exact_detects_unsolvable_partitions() {
         let gadget = two_partition_gadget(&[1, 1, 4]);
         let tree = &gadget.tree;
-        let mut order = vec![tree.root(), gadget.big_node, tree.children(gadget.big_node)[0]];
+        let mut order = vec![
+            tree.root(),
+            gadget.big_node,
+            tree.children(gadget.big_node)[0],
+        ];
         for &item in &gadget.item_nodes {
             order.push(item);
             order.push(tree.children(item)[0]);
@@ -255,7 +275,10 @@ mod tests {
             assert!(exact.io_volume >= bound, "seed {seed}");
             for policy in ALL_POLICIES {
                 let run = schedule_io(&tree, &opt.traversal, memory, policy).unwrap();
-                assert!(run.io_volume >= exact.io_volume, "seed {seed} policy {policy}");
+                assert!(
+                    run.io_volume >= exact.io_volume,
+                    "seed {seed} policy {policy}"
+                );
             }
         }
     }

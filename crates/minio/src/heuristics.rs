@@ -1,20 +1,32 @@
-//! Greedy eviction heuristics for the MinIO problem (Section V-B of the
-//! paper) and the out-of-core execution simulator that applies them.
+//! The out-of-core execution simulator and the paper's heuristic catalogue
+//! (Section V-B of the paper).
 //!
-//! All heuristics work the same way: the traversal is executed step by step;
-//! when the next node `j` does not fit in the remaining main memory, a
-//! deficit `IOReq(j)` must be freed by writing already-produced files to
-//! secondary memory.  The candidate files are ordered by *latest use first*
-//! (the file whose owner is scheduled last in the traversal comes first) and
-//! the heuristic picks which of them to evict.
+//! The simulator executes a traversal step by step; when the next node `j`
+//! does not fit in the remaining main memory, a deficit `IOReq(j)` must be
+//! freed by writing already-produced files to secondary memory.  *Which*
+//! files to write is decided by a pluggable [`Policy`](crate::policy::Policy)
+//! (see [`crate::policy`]): the simulator hands it the candidate files
+//! ordered latest use first and completes any shortfall with the LSNF rule.
+//!
+//! [`schedule_io_with`] is the trait-based entry point; [`schedule_io`] keeps
+//! the historical signature taking the [`EvictionPolicy`] enum, which now
+//! merely names the six paper heuristics and forwards to their trait
+//! implementations (the golden parity test pins the equivalence).
 
 use treemem::error::TraversalError;
 use treemem::traversal::Traversal;
 use treemem::tree::{NodeId, Size, Tree};
 
+use crate::policy::{lsnf_fill, paper, Candidate, EvictionContext, Policy};
 use crate::schedule::{check_out_of_core, IoSchedule};
 
-/// The eviction heuristics of the paper.
+/// The eviction heuristics of the paper, as a plain enum.
+///
+/// This type predates the [`Policy`] trait and is kept as a compatibility
+/// shim: each variant maps to the equivalent policy object in
+/// [`crate::policy::paper`] via [`EvictionPolicy::to_policy`], and
+/// [`schedule_io`] accepts it directly.  New code (and new policies) should
+/// use the trait and [`crate::policy::PolicyRegistry`] instead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EvictionPolicy {
     /// Evict the files used latest in the traversal until the deficit is
@@ -53,6 +65,18 @@ impl EvictionPolicy {
             EvictionPolicy::BestKCombination { .. } => "BestKComb",
         }
     }
+
+    /// The equivalent trait-based policy.
+    pub fn to_policy(&self) -> Box<dyn Policy> {
+        match *self {
+            EvictionPolicy::LastScheduledNodeFirst => Box::new(paper::Lsnf),
+            EvictionPolicy::FirstFit => Box::new(paper::FirstFit),
+            EvictionPolicy::BestFit => Box::new(paper::BestFit),
+            EvictionPolicy::FirstFill => Box::new(paper::FirstFill),
+            EvictionPolicy::BestFill => Box::new(paper::BestFill),
+            EvictionPolicy::BestKCombination { k } => Box::new(paper::BestKCombination { k }),
+        }
+    }
 }
 
 impl std::fmt::Display for EvictionPolicy {
@@ -69,7 +93,11 @@ pub enum MinIoError {
     InvalidTraversal(TraversalError),
     /// A node cannot be executed even after evicting every other resident
     /// file: its own memory requirement exceeds the main memory.
-    InsufficientMemory { node: NodeId, required: Size, memory: Size },
+    InsufficientMemory {
+        node: NodeId,
+        required: Size,
+        memory: Size,
+    },
     /// The instance is too large for the exponential exact solver
     /// ([`crate::exact::exact_min_io`]).
     InstanceTooLarge { candidates: usize, limit: usize },
@@ -115,164 +143,6 @@ pub struct OutOfCoreRun {
     pub schedule: IoSchedule,
 }
 
-/// One resident, already-produced file that may be evicted.
-#[derive(Debug, Clone, Copy)]
-struct Candidate {
-    node: NodeId,
-    size: Size,
-}
-
-/// Select which candidates to evict so that at least `deficit` units are
-/// freed.  `candidates` is ordered latest-use-first.  Returns the indices of
-/// the selected candidates (into `candidates`).
-fn select_evictions(candidates: &[Candidate], deficit: Size, policy: EvictionPolicy) -> Vec<usize> {
-    debug_assert!(deficit > 0);
-    match policy {
-        EvictionPolicy::LastScheduledNodeFirst => lsnf(candidates, deficit, &[]),
-        EvictionPolicy::FirstFit => {
-            match candidates.iter().position(|c| c.size >= deficit) {
-                Some(idx) => vec![idx],
-                None => lsnf(candidates, deficit, &[]),
-            }
-        }
-        EvictionPolicy::BestFit => {
-            let mut selected = Vec::new();
-            let mut remaining = deficit;
-            while remaining > 0 {
-                let next = candidates
-                    .iter()
-                    .enumerate()
-                    .filter(|(idx, _)| !selected.contains(idx))
-                    .min_by_key(|(idx, c)| ((c.size - remaining).abs(), *idx));
-                match next {
-                    Some((idx, c)) => {
-                        selected.push(idx);
-                        remaining -= c.size;
-                    }
-                    None => break,
-                }
-            }
-            selected
-        }
-        EvictionPolicy::FirstFill => {
-            let mut selected = Vec::new();
-            let mut remaining = deficit;
-            loop {
-                let next = candidates
-                    .iter()
-                    .enumerate()
-                    .find(|(idx, c)| !selected.contains(idx) && c.size < remaining);
-                match next {
-                    Some((idx, c)) => {
-                        selected.push(idx);
-                        remaining -= c.size;
-                        if remaining <= 0 {
-                            break;
-                        }
-                    }
-                    None => {
-                        if remaining > 0 {
-                            let rest = lsnf(candidates, remaining, &selected);
-                            selected.extend(rest);
-                        }
-                        break;
-                    }
-                }
-            }
-            selected
-        }
-        EvictionPolicy::BestFill => {
-            let mut selected = Vec::new();
-            let mut remaining = deficit;
-            loop {
-                let next = candidates
-                    .iter()
-                    .enumerate()
-                    .filter(|(idx, c)| !selected.contains(idx) && c.size < remaining)
-                    .min_by_key(|(idx, c)| (remaining - c.size, *idx));
-                match next {
-                    Some((idx, c)) => {
-                        selected.push(idx);
-                        remaining -= c.size;
-                        if remaining <= 0 {
-                            break;
-                        }
-                    }
-                    None => {
-                        if remaining > 0 {
-                            let rest = lsnf(candidates, remaining, &selected);
-                            selected.extend(rest);
-                        }
-                        break;
-                    }
-                }
-            }
-            selected
-        }
-        EvictionPolicy::BestKCombination { k } => {
-            let k = k.max(1);
-            let mut selected: Vec<usize> = Vec::new();
-            let mut remaining = deficit;
-            while remaining > 0 {
-                // The first k not-yet-selected candidates (latest use first).
-                let window: Vec<usize> = (0..candidates.len())
-                    .filter(|idx| !selected.contains(idx))
-                    .take(k)
-                    .collect();
-                if window.is_empty() {
-                    break;
-                }
-                // Enumerate all non-empty subsets of the window and keep the
-                // one whose total size is closest to the remaining deficit;
-                // prefer subsets that cover the deficit, then smaller totals.
-                let mut best: Option<(Size, Vec<usize>)> = None;
-                for mask in 1u32..(1u32 << window.len()) {
-                    let subset: Vec<usize> = window
-                        .iter()
-                        .enumerate()
-                        .filter(|(bit, _)| mask & (1 << bit) != 0)
-                        .map(|(_, &idx)| idx)
-                        .collect();
-                    let total: Size = subset.iter().map(|&idx| candidates[idx].size).sum();
-                    let better = match &best {
-                        None => true,
-                        Some((best_total, _)) => {
-                            let dist = (total - remaining).abs();
-                            let best_dist = (*best_total - remaining).abs();
-                            dist < best_dist || (dist == best_dist && total > *best_total)
-                        }
-                    };
-                    if better {
-                        best = Some((total, subset));
-                    }
-                }
-                let (total, subset) = best.expect("window is non-empty");
-                selected.extend(subset);
-                remaining -= total;
-            }
-            selected
-        }
-    }
-}
-
-/// LSNF selection on the candidates not already in `skip`, freeing at least
-/// `deficit`.
-fn lsnf(candidates: &[Candidate], deficit: Size, skip: &[usize]) -> Vec<usize> {
-    let mut selected = Vec::new();
-    let mut remaining = deficit;
-    for (idx, candidate) in candidates.iter().enumerate() {
-        if remaining <= 0 {
-            break;
-        }
-        if skip.contains(&idx) {
-            continue;
-        }
-        selected.push(idx);
-        remaining -= candidate.size;
-    }
-    selected
-}
-
 /// Simulate an out-of-core execution of `traversal` on `tree` with main
 /// memory `memory`, using `policy` to choose which files to evict.
 ///
@@ -283,19 +153,27 @@ fn lsnf(candidates: &[Candidate], deficit: Size, skip: &[usize]) -> Vec<usize> {
 /// requirement exceeds `memory` (no eviction can help in that case) and with
 /// [`MinIoError::InvalidTraversal`] if the traversal is not a valid ordering
 /// of the tree.
-pub fn schedule_io(
+///
+/// The policy's selection is sanitised: duplicate and out-of-range indices
+/// are dropped, and if the selected files do not cover the deficit the
+/// remainder is completed with [`lsnf_fill`], so any [`Policy`] — including
+/// user-written ones — yields a feasible schedule.
+pub fn schedule_io_with(
     tree: &Tree,
     traversal: &Traversal,
     memory: Size,
-    policy: EvictionPolicy,
+    policy: &dyn Policy,
 ) -> Result<OutOfCoreRun, MinIoError> {
     traversal.check_precedence(tree)?;
     let positions = traversal.positions(tree.len())?;
+    let mut session = policy.session(tree, traversal);
 
     let root = tree.root();
     let mut resident = vec![false; tree.len()];
     resident[root] = true;
     let mut evicted = vec![false; tree.len()];
+    // Step at which each file appeared in memory (root: before step 0).
+    let mut produced_at = vec![0usize; tree.len()];
     let mut resident_total = tree.f(root);
     let mut schedule = IoSchedule::empty(tree.len());
     let mut io_volume: Size = 0;
@@ -311,7 +189,11 @@ pub fn schedule_io(
 
         let requirement = tree.mem_req(node);
         if requirement > memory {
-            return Err(MinIoError::InsufficientMemory { node, required: requirement, memory });
+            return Err(MinIoError::InsufficientMemory {
+                node,
+                required: requirement,
+                memory,
+            });
         }
 
         // Memory needed while the node executes, given what is resident.
@@ -323,15 +205,39 @@ pub fn schedule_io(
             let mut candidates: Vec<Candidate> = tree
                 .nodes()
                 .filter(|&i| i != node && resident[i])
-                .map(|i| Candidate { node: i, size: tree.f(i) })
+                .map(|i| Candidate {
+                    node: i,
+                    size: tree.f(i),
+                    produced_at: produced_at[i],
+                })
                 .collect();
             candidates.sort_by(|a, b| positions[b.node].cmp(&positions[a.node]));
-            let chosen = select_evictions(&candidates, deficit, policy);
-            let freed: Size = chosen.iter().map(|&idx| candidates[idx].size).sum();
-            debug_assert!(
-                freed >= deficit,
-                "policy {policy:?} must free at least the deficit (freed {freed}, deficit {deficit})"
-            );
+
+            let ctx = EvictionContext {
+                tree,
+                positions: &positions,
+                step,
+                node,
+                deficit,
+                candidates: &candidates,
+            };
+            let raw = session.select(&ctx);
+            // Sanitise: keep the first occurrence of each in-range index,
+            // then complete any shortfall with the LSNF fallback.
+            let mut chosen: Vec<usize> = Vec::with_capacity(raw.len());
+            let mut taken = vec![false; candidates.len()];
+            let mut freed: Size = 0;
+            for idx in raw {
+                if idx < candidates.len() && !taken[idx] {
+                    taken[idx] = true;
+                    chosen.push(idx);
+                    freed += candidates[idx].size;
+                }
+            }
+            if freed < deficit {
+                let rest = lsnf_fill(&candidates, deficit - freed, &chosen);
+                chosen.extend(rest);
+            }
             for &idx in &chosen {
                 let candidate = candidates[idx];
                 resident[candidate.node] = false;
@@ -344,7 +250,7 @@ pub fn schedule_io(
         }
 
         let during = resident_total + tree.n(node) + tree.children_file_sum(node);
-        debug_assert!(during <= memory);
+        debug_assert!(during <= memory, "selection must cover the deficit");
         peak = peak.max(during);
 
         // Execute the node.
@@ -352,8 +258,10 @@ pub fn schedule_io(
         resident_total -= tree.f(node);
         for &child in tree.children(node) {
             resident[child] = true;
+            produced_at[child] = step + 1;
             resident_total += tree.f(child);
         }
+        session.observe_execution(step, node, tree);
     }
 
     debug_assert_eq!(
@@ -363,7 +271,26 @@ pub fn schedule_io(
         io_volume
     );
 
-    Ok(OutOfCoreRun { io_volume, read_volume: io_volume, files_written, peak_memory: peak, schedule })
+    Ok(OutOfCoreRun {
+        io_volume,
+        read_volume: io_volume,
+        files_written,
+        peak_memory: peak,
+        schedule,
+    })
+}
+
+/// Simulate an out-of-core execution with one of the paper's six heuristics.
+///
+/// Compatibility wrapper around [`schedule_io_with`]; see there for the
+/// semantics and failure modes.
+pub fn schedule_io(
+    tree: &Tree,
+    traversal: &Traversal,
+    memory: Size,
+    policy: EvictionPolicy,
+) -> Result<OutOfCoreRun, MinIoError> {
+    schedule_io_with(tree, traversal, memory, policy.to_policy().as_ref())
 }
 
 /// Exact minimum I/O volume of `traversal` under the *divisible* relaxation
@@ -372,7 +299,7 @@ pub fn schedule_io(
 /// In the divisible model the LSNF policy is optimal (the file fraction used
 /// furthest in the future is always the best thing to evict, by a standard
 /// exchange argument), so this value is a lower bound on the I/O volume any
-/// heuristic can reach **for this traversal**, and is used by the experiments
+/// policy can reach **for this traversal**, and is used by the experiments
 /// to gauge the absolute quality of the heuristics.
 pub fn divisible_lower_bound(
     tree: &Tree,
@@ -393,7 +320,11 @@ pub fn divisible_lower_bound(
     for &node in traversal.order() {
         let requirement = tree.mem_req(node);
         if requirement > memory {
-            return Err(MinIoError::InsufficientMemory { node, required: requirement, memory });
+            return Err(MinIoError::InsufficientMemory {
+                node,
+                required: requirement,
+                memory,
+            });
         }
         // Read back the missing part of the input file.
         resident_total += tree.f(node) - in_core[node];
@@ -418,7 +349,10 @@ pub fn divisible_lower_bound(
                 io_volume += take;
                 deficit -= take;
             }
-            debug_assert!(deficit <= 0, "divisible eviction can always cover the deficit");
+            debug_assert!(
+                deficit <= 0,
+                "divisible eviction can always cover the deficit"
+            );
         }
 
         // Execute the node.
@@ -467,7 +401,11 @@ mod tests {
                 assert_eq!(check.io_volume, run.io_volume);
                 // The divisible bound is a lower bound.
                 let bound = divisible_lower_bound(&tree, &po.traversal, memory).unwrap();
-                assert!(bound <= run.io_volume, "{policy}: bound {bound} > {}", run.io_volume);
+                assert!(
+                    bound <= run.io_volume,
+                    "{policy}: bound {bound} > {}",
+                    run.io_volume
+                );
             }
         }
     }
@@ -487,9 +425,13 @@ mod tests {
         let po = best_postorder(&tree);
         // Stay above max MemReq (60) but below the postorder peak (70).
         let memory = po.peak - 8;
-        let run =
-            schedule_io(&tree, &po.traversal, memory, EvictionPolicy::LastScheduledNodeFirst)
-                .unwrap();
+        let run = schedule_io(
+            &tree,
+            &po.traversal,
+            memory,
+            EvictionPolicy::LastScheduledNodeFirst,
+        )
+        .unwrap();
         let bound = divisible_lower_bound(&tree, &po.traversal, memory).unwrap();
         assert!(run.io_volume >= bound);
         assert!(run.io_volume - bound < 10);
@@ -502,7 +444,10 @@ mod tests {
         let too_small = tree.max_mem_req() - 1;
         for policy in ALL_POLICIES {
             let err = schedule_io(&tree, &po.traversal, too_small, policy).unwrap_err();
-            assert!(matches!(err, MinIoError::InsufficientMemory { .. }), "{policy}");
+            assert!(
+                matches!(err, MinIoError::InsufficientMemory { .. }),
+                "{policy}"
+            );
         }
     }
 
@@ -526,8 +471,13 @@ mod tests {
         let traversal = treemem::Traversal::new(order);
         let memory = 125;
         let first_fit = schedule_io(&tree, &traversal, memory, EvictionPolicy::FirstFit).unwrap();
-        let lsnf =
-            schedule_io(&tree, &traversal, memory, EvictionPolicy::LastScheduledNodeFirst).unwrap();
+        let lsnf = schedule_io(
+            &tree,
+            &traversal,
+            memory,
+            EvictionPolicy::LastScheduledNodeFirst,
+        )
+        .unwrap();
         // First Fit writes a single file, LSNF may write several smaller ones.
         assert_eq!(first_fit.files_written, 1);
         assert!(first_fit.io_volume >= 90);
@@ -543,14 +493,21 @@ mod tests {
         let gadget = two_partition_gadget(&[3, 5, 2, 4, 6, 4]);
         let tree = &gadget.tree;
         // Order: root, T_big, its leaf, then every item branch.
-        let mut order = vec![tree.root(), gadget.big_node, tree.children(gadget.big_node)[0]];
+        let mut order = vec![
+            tree.root(),
+            gadget.big_node,
+            tree.children(gadget.big_node)[0],
+        ];
         for &item in &gadget.item_nodes {
             order.push(item);
             order.push(tree.children(item)[0]);
         }
         let traversal = treemem::Traversal::new(order);
         let bound = divisible_lower_bound(tree, &traversal, gadget.memory).unwrap();
-        assert_eq!(bound, gadget.io_bound, "divisible bound equals S/2 for the gadget");
+        assert_eq!(
+            bound, gadget.io_bound,
+            "divisible bound equals S/2 for the gadget"
+        );
         for policy in ALL_POLICIES {
             let run = schedule_io(tree, &traversal, gadget.memory, policy).unwrap();
             assert!(run.io_volume >= gadget.io_bound, "{policy}");
@@ -571,6 +528,31 @@ mod tests {
     #[test]
     fn policies_report_their_names() {
         let names: Vec<&str> = ALL_POLICIES.iter().map(|p| p.name()).collect();
-        assert_eq!(names, vec!["LSNF", "FirstFit", "BestFit", "FirstFill", "BestFill", "BestKComb"]);
+        assert_eq!(
+            names,
+            vec![
+                "LSNF",
+                "FirstFit",
+                "BestFit",
+                "FirstFill",
+                "BestFill",
+                "BestKComb"
+            ]
+        );
+    }
+
+    #[test]
+    fn enum_shim_and_trait_objects_agree() {
+        let tree = harpoon(4, 400, 1);
+        let po = best_postorder(&tree);
+        let memory = tree.max_mem_req();
+        for policy in ALL_POLICIES {
+            let via_enum = schedule_io(&tree, &po.traversal, memory, policy).unwrap();
+            let via_trait =
+                schedule_io_with(&tree, &po.traversal, memory, policy.to_policy().as_ref())
+                    .unwrap();
+            assert_eq!(via_enum.io_volume, via_trait.io_volume, "{policy}");
+            assert_eq!(via_enum.schedule, via_trait.schedule, "{policy}");
+        }
     }
 }

@@ -21,12 +21,22 @@
 //! * **Best-K Combination** — the best subset of the first `K` (default 5)
 //!   latest-used files.
 //!
-//! The main entry point is [`schedule_io`], which simulates an out-of-core
-//! execution of a given traversal with a given amount of memory and returns
-//! the resulting I/O volume and eviction schedule.  [`check_out_of_core`]
-//! implements Algorithm 2 of the paper and validates such a schedule
-//! independently.  [`divisible_lower_bound`] gives a per-traversal lower
-//! bound on the I/O volume by solving the divisible relaxation exactly.
+//! Beyond the paper's catalogue, eviction is **pluggable**: the [`Policy`]
+//! trait (see [`policy`]) describes an eviction policy abstractly, the six
+//! heuristics above are implementations of it ([`policy::paper`]), three
+//! cache-inspired policies adapted from the caching literature live in
+//! [`policy::cache`] (LRU ageing, a GDSF-style size-aware rule, an
+//! S3-FIFO-style segmented queue), and [`PolicyRegistry`] catalogues them by
+//! name for sweeps.
+//!
+//! The main entry point is [`schedule_io_with`], which simulates an
+//! out-of-core execution of a given traversal with a given amount of memory
+//! under any [`Policy`] and returns the resulting I/O volume and eviction
+//! schedule ([`schedule_io`] is the historical wrapper taking the
+//! [`EvictionPolicy`] enum).  [`check_out_of_core`] implements Algorithm 2 of
+//! the paper and validates such a schedule independently.
+//! [`divisible_lower_bound`] gives a per-traversal lower bound on the I/O
+//! volume by solving the divisible relaxation exactly.
 //!
 //! ```
 //! use treemem::gadgets::harpoon;
@@ -42,12 +52,14 @@
 
 pub mod exact;
 pub mod heuristics;
+pub mod policy;
 pub mod schedule;
 
 pub use exact::{exact_min_io, ExactMinIo};
 pub use heuristics::{
-    divisible_lower_bound, schedule_io, EvictionPolicy, MinIoError, OutOfCoreRun,
+    divisible_lower_bound, schedule_io, schedule_io_with, EvictionPolicy, MinIoError, OutOfCoreRun,
 };
+pub use policy::{Candidate, EvictionContext, EvictionSession, Policy, PolicyRegistry};
 pub use schedule::{check_out_of_core, IoSchedule, OutOfCoreCheck};
 
 /// All six heuristics of the paper, in the order they are presented in

@@ -25,7 +25,9 @@ impl IoSchedule {
     /// A schedule with no eviction at all (feasible only when the memory is
     /// at least the peak of the traversal).
     pub fn empty(num_nodes: usize) -> Self {
-        IoSchedule { evict_before_step: vec![None; num_nodes] }
+        IoSchedule {
+            evict_before_step: vec![None; num_nodes],
+        }
     }
 
     /// Build a schedule from an explicit `τ` map (`evict_before_step[i]` is
@@ -46,7 +48,10 @@ impl IoSchedule {
 
     /// Number of evicted files.
     pub fn eviction_count(&self) -> usize {
-        self.evict_before_step.iter().filter(|e| e.is_some()).count()
+        self.evict_before_step
+            .iter()
+            .filter(|e| e.is_some())
+            .count()
     }
 
     /// Nodes whose file is evicted, together with the step of the eviction.
@@ -138,7 +143,10 @@ pub fn check_out_of_core(
             resident[node] = true;
             resident_total += tree.f(node);
         }
-        debug_assert!(resident[node], "input file of the executed node must be resident");
+        debug_assert!(
+            resident[node],
+            "input file of the executed node must be resident"
+        );
 
         // Execute the node.
         let during = resident_total + tree.n(node) + tree.children_file_sum(node);
@@ -159,7 +167,10 @@ pub fn check_out_of_core(
         }
     }
 
-    Ok(OutOfCoreCheck { io_volume, peak_memory: peak })
+    Ok(OutOfCoreCheck {
+        io_volume,
+        peak_memory: peak,
+    })
 }
 
 #[cfg(test)]

@@ -1,9 +1,14 @@
-//! Property-based tests for the out-of-core scheduler and the MinIO
-//! heuristics.
+//! Property-based tests for the out-of-core scheduler and the eviction
+//! policies.
+//!
+//! The environment is offline, so instead of `proptest` these tests draw a
+//! deterministic battery of random instances from the `prng` crate: every
+//! case is reproducible from its seed, printed in assertion messages.
 //!
 //! For random trees, random traversals produced by the MinMemory algorithms
 //! and memory sizes swept between the trivial lower bound and the traversal
-//! peak, every heuristic must produce a schedule that
+//! peak, **every registered policy** — the six paper heuristics and the
+//! cache-inspired ones alike — must produce a schedule that
 //!
 //! * validates under the independent Algorithm-2 checker with the same I/O
 //!   volume,
@@ -11,72 +16,87 @@
 //! * performs no I/O when the memory is at least the traversal peak, and
 //! * never beats the divisible lower bound.
 
-use proptest::prelude::*;
+use prng::{Rng, StdRng};
 
-use minio::{check_out_of_core, divisible_lower_bound, schedule_io, ALL_POLICIES};
+use minio::{
+    check_out_of_core, divisible_lower_bound, schedule_io, schedule_io_with, PolicyRegistry,
+    ALL_POLICIES,
+};
 use treemem::minmem::min_mem;
 use treemem::postorder::best_postorder;
 use treemem::tree::{Size, Tree};
 
-fn arbitrary_tree(max_nodes: usize, max_file: Size, max_exec: Size) -> impl Strategy<Value = Tree> {
-    (2..=max_nodes)
-        .prop_flat_map(move |n| {
-            (
-                proptest::collection::vec(0..1_000_000usize, n - 1),
-                proptest::collection::vec(0..=max_file, n),
-                proptest::collection::vec(0..=max_exec, n),
-            )
-        })
-        .prop_map(|(parent_picks, files, execs)| {
-            let n = files.len();
-            let mut parents: Vec<Option<usize>> = vec![None; n];
-            for i in 1..n {
-                parents[i] = Some(parent_picks[i - 1] % i);
-            }
-            Tree::from_parents(&parents, &files, &execs).expect("construction is valid")
-        })
+/// A random tree with random parent links and weights, reproducible from the
+/// seed (mirrors the proptest strategy this file used to define).
+fn arbitrary_tree(seed: u64, max_nodes: usize, max_file: Size, max_exec: Size) -> Tree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(2..=max_nodes);
+    let mut parents: Vec<Option<usize>> = vec![None; n];
+    for (i, parent) in parents.iter_mut().enumerate().skip(1) {
+        *parent = Some(rng.gen_range(0..i));
+    }
+    let files: Vec<Size> = (0..n).map(|_| rng.gen_range(0..=max_file)).collect();
+    let execs: Vec<Size> = (0..n).map(|_| rng.gen_range(0..=max_exec)).collect();
+    Tree::from_parents(&parents, &files, &execs).expect("construction is valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn schedules_validate_and_respect_memory(
-        tree in arbitrary_tree(40, 100, 10),
-        fraction in 0.0f64..=1.0,
-    ) {
+#[test]
+fn schedules_validate_and_respect_memory_for_every_registered_policy() {
+    let registry = PolicyRegistry::with_builtin();
+    assert!(registry.len() >= 9);
+    for seed in 0..64 {
+        let tree = arbitrary_tree(seed, 40, 100, 10);
         let po = best_postorder(&tree);
         let lower = tree.max_mem_req();
         let upper = po.peak;
+        let fraction = (seed % 5) as f64 / 4.0;
         let memory = lower + ((upper - lower) as f64 * fraction) as Size;
-        for policy in ALL_POLICIES {
-            let run = schedule_io(&tree, &po.traversal, memory, policy).unwrap();
-            prop_assert!(run.peak_memory <= memory, "{policy}");
+        let bound = divisible_lower_bound(&tree, &po.traversal, memory).unwrap();
+        for policy in registry.iter() {
+            let name = policy.name();
+            let run = schedule_io_with(&tree, &po.traversal, memory, policy).unwrap();
+            assert!(run.peak_memory <= memory, "seed {seed}, {name}");
             let check = check_out_of_core(&tree, &po.traversal, &run.schedule, memory).unwrap();
-            prop_assert_eq!(check.io_volume, run.io_volume, "{}", policy);
-            prop_assert!(check.peak_memory <= memory);
-            let bound = divisible_lower_bound(&tree, &po.traversal, memory).unwrap();
-            prop_assert!(bound <= run.io_volume, "{}: bound {} > io {}", policy, bound, run.io_volume);
+            assert_eq!(check.io_volume, run.io_volume, "seed {seed}, {name}");
+            assert!(check.peak_memory <= memory, "seed {seed}, {name}");
+            assert!(
+                bound <= run.io_volume,
+                "seed {seed}, {name}: bound {bound} > io {}",
+                run.io_volume
+            );
+            assert_eq!(run.read_volume, run.io_volume, "seed {seed}, {name}");
         }
     }
+}
 
-    #[test]
-    fn no_io_at_or_above_the_peak(tree in arbitrary_tree(40, 100, 10)) {
+#[test]
+fn no_io_at_or_above_the_peak_for_every_registered_policy() {
+    let registry = PolicyRegistry::with_builtin();
+    for seed in 100..164 {
+        let tree = arbitrary_tree(seed, 40, 100, 10);
         for result in [best_postorder(&tree).traversal, min_mem(&tree).traversal] {
             let peak = result.peak_memory(&tree).unwrap();
-            for policy in ALL_POLICIES {
-                let run = schedule_io(&tree, &result, peak, policy).unwrap();
-                prop_assert_eq!(run.io_volume, 0, "{}", policy);
-                prop_assert_eq!(run.peak_memory, peak);
+            for policy in registry.iter() {
+                let run = schedule_io_with(&tree, &result, peak, policy).unwrap();
+                assert_eq!(run.io_volume, 0, "seed {seed}, {}", policy.name());
+                assert_eq!(run.files_written, 0, "seed {seed}, {}", policy.name());
+                assert_eq!(run.peak_memory, peak, "seed {seed}, {}", policy.name());
             }
-            prop_assert_eq!(divisible_lower_bound(&tree, &result, peak).unwrap(), 0);
+            assert_eq!(
+                divisible_lower_bound(&tree, &result, peak).unwrap(),
+                0,
+                "seed {seed}"
+            );
         }
     }
+}
 
-    #[test]
-    fn io_decreases_with_more_memory(tree in arbitrary_tree(40, 100, 10)) {
+#[test]
+fn io_decreases_with_more_memory() {
+    for seed in 200..264 {
+        let tree = arbitrary_tree(seed, 40, 100, 10);
         // The divisible lower bound is monotone in the memory size; the
-        // heuristics are not guaranteed to be, but the bound must be.
+        // policies are not guaranteed to be, but the bound must be.
         let po = best_postorder(&tree);
         let lower = tree.max_mem_req();
         let upper = po.peak;
@@ -84,20 +104,56 @@ proptest! {
         for step in 0..=4 {
             let memory = lower + (upper - lower) * step / 4;
             let bound = divisible_lower_bound(&tree, &po.traversal, memory).unwrap();
-            prop_assert!(bound <= previous, "divisible bound must not increase with memory");
+            assert!(
+                bound <= previous,
+                "seed {seed}: divisible bound must not increase"
+            );
             previous = bound;
         }
     }
+}
 
-    #[test]
-    fn min_mem_traversals_also_schedule(tree in arbitrary_tree(30, 50, 5)) {
+#[test]
+fn min_mem_traversals_also_schedule() {
+    let registry = PolicyRegistry::with_builtin();
+    for seed in 300..364 {
+        let tree = arbitrary_tree(seed, 30, 50, 5);
         let opt = min_mem(&tree);
         let lower = tree.max_mem_req();
         let memory = (lower + opt.peak) / 2;
-        for policy in ALL_POLICIES {
-            let run = schedule_io(&tree, &opt.traversal, memory, policy).unwrap();
+        for policy in registry.iter() {
+            let run = schedule_io_with(&tree, &opt.traversal, memory, policy).unwrap();
             let check = check_out_of_core(&tree, &opt.traversal, &run.schedule, memory).unwrap();
-            prop_assert_eq!(check.io_volume, run.io_volume, "{}", policy);
+            assert_eq!(
+                check.io_volume,
+                run.io_volume,
+                "seed {seed}, {}",
+                policy.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn enum_shim_matches_trait_dispatch_on_random_trees() {
+    for seed in 400..432 {
+        let tree = arbitrary_tree(seed, 30, 50, 5);
+        let po = best_postorder(&tree);
+        let lower = tree.max_mem_req();
+        let memory = (lower + po.peak) / 2;
+        for policy in ALL_POLICIES {
+            let via_enum = schedule_io(&tree, &po.traversal, memory, policy).unwrap();
+            let via_trait =
+                schedule_io_with(&tree, &po.traversal, memory, policy.to_policy().as_ref())
+                    .unwrap();
+            assert_eq!(
+                via_enum.io_volume, via_trait.io_volume,
+                "seed {seed}, {policy}"
+            );
+            assert_eq!(
+                via_enum.schedule, via_trait.schedule,
+                "seed {seed}, {policy}"
+            );
         }
     }
 }

@@ -10,7 +10,10 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// A zero matrix of dimension `n`.
     pub fn zeros(n: usize) -> Self {
-        DenseMatrix { n, values: vec![0.0; n * n] }
+        DenseMatrix {
+            n,
+            values: vec![0.0; n * n],
+        }
     }
 
     /// Dimension.
@@ -107,7 +110,14 @@ mod tests {
     fn spd_3x3() -> DenseMatrix {
         // A = [4 2 2; 2 5 3; 2 3 6] (symmetric positive definite).
         let mut a = DenseMatrix::zeros(3);
-        let entries = [(0, 0, 4.0), (1, 0, 2.0), (2, 0, 2.0), (1, 1, 5.0), (2, 1, 3.0), (2, 2, 6.0)];
+        let entries = [
+            (0, 0, 4.0),
+            (1, 0, 2.0),
+            (2, 0, 2.0),
+            (1, 1, 5.0),
+            (2, 1, 3.0),
+            (2, 2, 6.0),
+        ];
         for (i, j, v) in entries {
             a.set(i, j, v);
         }

@@ -27,4 +27,6 @@ pub mod numeric;
 
 pub use dense::DenseMatrix;
 pub use memory::{instrumented_factorization, FactorizationStats};
-pub use numeric::{multifrontal_cholesky, solve, CholeskyFactor, FactorizationError, SymbolicStructure};
+pub use numeric::{
+    multifrontal_cholesky, solve, CholeskyFactor, FactorizationError, SymbolicStructure,
+};

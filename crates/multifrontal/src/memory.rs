@@ -82,7 +82,13 @@ pub fn per_column_model(structure: &SymbolicStructure) -> Tree {
     let parents: Vec<Option<usize>> = parents
         .into_iter()
         .enumerate()
-        .map(|(j, p)| if p.is_none() && j != main_root { Some(main_root) } else { p })
+        .map(|(j, p)| {
+            if p.is_none() && j != main_root {
+                Some(main_root)
+            } else {
+                p
+            }
+        })
         .collect();
     let files: Vec<Size> = (0..n)
         .map(|j| {
@@ -166,7 +172,10 @@ mod tests {
         for traversal in [min_mem(&model).traversal, best_postorder(&model).traversal] {
             let bottom_up: Vec<usize> = traversal.reversed().into_order();
             let stats = instrumented_factorization(&matrix, Some(&bottom_up)).unwrap();
-            assert_eq!(stats.measured_peak_entries as Size, stats.model_peak_entries);
+            assert_eq!(
+                stats.measured_peak_entries as Size,
+                stats.model_peak_entries
+            );
         }
     }
 

@@ -200,8 +200,11 @@ pub(crate) fn factorize_with_observer(
         observer.front_allocated(front.len());
 
         // Local position of every global row index of this front.
-        let local: HashMap<usize, usize> =
-            rows.iter().enumerate().map(|(local, &global)| (global, local)).collect();
+        let local: HashMap<usize, usize> = rows
+            .iter()
+            .enumerate()
+            .map(|(local, &global)| (global, local))
+            .collect();
 
         // Assemble the original matrix entries of column j.
         let (a_rows, a_values) = matrix.column(j);
@@ -252,7 +255,10 @@ pub(crate) fn factorize_with_observer(
         }
     }
 
-    Ok(CholeskyFactor { columns: factor_columns, values: factor_values })
+    Ok(CholeskyFactor {
+        columns: factor_columns,
+        values: factor_values,
+    })
 }
 
 /// Solve `A x = b` given the Cholesky factor of `A` (forward substitution
@@ -369,10 +375,7 @@ mod tests {
     #[test]
     fn indefinite_matrices_are_rejected() {
         // Diagonal matrix with a negative entry.
-        let matrix = SymmetricCsr::from_lower_columns(
-            2,
-            vec![vec![(0, 1.0)], vec![(1, -2.0)]],
-        );
+        let matrix = SymmetricCsr::from_lower_columns(2, vec![vec![(0, 1.0)], vec![(1, -2.0)]]);
         assert!(matches!(
             multifrontal_cholesky(&matrix, None),
             Err(FactorizationError::NotPositiveDefinite { .. })

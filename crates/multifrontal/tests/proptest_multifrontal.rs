@@ -2,8 +2,12 @@
 //! SPD matrices the factorization must reconstruct the matrix, solve linear
 //! systems, give the same factor for every valid traversal, and use exactly
 //! the memory predicted by the paper's tree model.
+//!
+//! The environment is offline, so instead of `proptest` these tests draw a
+//! deterministic battery of random instances from the `prng` crate: every
+//! case is reproducible from its seed, printed in assertion messages.
 
-use proptest::prelude::*;
+use prng::{Rng, StdRng};
 
 use multifrontal::memory::per_column_model;
 use multifrontal::numeric::SymbolicStructure;
@@ -15,30 +19,31 @@ use treemem::minmem::min_mem;
 use treemem::postorder::best_postorder;
 use treemem::tree::Size;
 
-fn arbitrary_spd(max_n: usize, max_edges: usize) -> impl Strategy<Value = sparsemat::SymmetricCsr> {
-    (2..=max_n, 0u64..10_000)
-        .prop_flat_map(move |(n, seed)| {
-            (Just(n), Just(seed), proptest::collection::vec((0..n, 0..n), 0..=max_edges))
-        })
-        .prop_map(|(n, seed, edges)| {
-            let pattern = SparsePattern::from_edges(n, &edges);
-            spd_matrix_from_pattern(&pattern, seed)
-        })
+fn arbitrary_spd(seed: u64, max_n: usize, max_edges: usize) -> sparsemat::SymmetricCsr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(2..=max_n);
+    let count = rng.gen_range(0..=max_edges);
+    let edges: Vec<(usize, usize)> = (0..count)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect();
+    let pattern = SparsePattern::from_edges(n, &edges);
+    spd_matrix_from_pattern(&pattern, rng.gen::<u64>())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn factorization_reconstructs_and_solves(matrix in arbitrary_spd(25, 80)) {
+#[test]
+fn factorization_reconstructs_and_solves() {
+    for seed in 0..32 {
+        let matrix = arbitrary_spd(seed, 25, 80);
         let factor = multifrontal_cholesky(&matrix, None).unwrap();
         // L L^T = A.
         let reconstructed = factor.reconstruct_dense();
         let original = matrix.to_dense();
         for i in 0..matrix.n() {
             for j in 0..matrix.n() {
-                prop_assert!((reconstructed[i][j] - original[i][j]).abs() < 1e-8,
-                    "entry ({}, {})", i, j);
+                assert!(
+                    (reconstructed[i][j] - original[i][j]).abs() < 1e-8,
+                    "seed {seed}, entry ({i}, {j})"
+                );
             }
         }
         // Solving reproduces a known vector.
@@ -46,12 +51,15 @@ proptest! {
         let rhs = matrix.multiply(&expected);
         let solution = solve(&factor, &rhs);
         for (a, b) in solution.iter().zip(&expected) {
-            prop_assert!((a - b).abs() < 1e-6);
+            assert!((a - b).abs() < 1e-6, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn every_valid_traversal_gives_the_same_factor(matrix in arbitrary_spd(20, 60)) {
+#[test]
+fn every_valid_traversal_gives_the_same_factor() {
+    for seed in 100..132 {
+        let matrix = arbitrary_spd(seed, 20, 60);
         let structure = SymbolicStructure::from_pattern(&matrix.pattern());
         let model = per_column_model(&structure);
         let orders: Vec<Vec<usize>> = vec![
@@ -64,16 +72,19 @@ proptest! {
         for order in &orders[1..] {
             let factor = multifrontal_cholesky(&matrix, Some(order)).unwrap();
             for j in 0..matrix.n() {
-                prop_assert_eq!(&factor.columns[j], &reference.columns[j]);
+                assert_eq!(&factor.columns[j], &reference.columns[j], "seed {seed}");
                 for (a, b) in factor.values[j].iter().zip(&reference.values[j]) {
-                    prop_assert!((a - b).abs() < 1e-9);
+                    assert!((a - b).abs() < 1e-9, "seed {seed}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn measured_memory_always_matches_the_model(matrix in arbitrary_spd(20, 60)) {
+#[test]
+fn measured_memory_always_matches_the_model() {
+    for seed in 200..232 {
+        let matrix = arbitrary_spd(seed, 20, 60);
         let structure = SymbolicStructure::from_pattern(&matrix.pattern());
         let model = per_column_model(&structure);
         for order in [
@@ -81,8 +92,11 @@ proptest! {
             min_mem(&model).traversal.reversed().into_order(),
         ] {
             let stats = instrumented_factorization(&matrix, Some(&order)).unwrap();
-            prop_assert_eq!(stats.measured_peak_entries as Size, stats.model_peak_entries);
-            prop_assert_eq!(stats.factor_nnz, structure.factor_nnz());
+            assert_eq!(
+                stats.measured_peak_entries as Size, stats.model_peak_entries,
+                "seed {seed}"
+            );
+            assert_eq!(stats.factor_nnz, structure.factor_nnz(), "seed {seed}");
         }
     }
 }

@@ -30,7 +30,12 @@ pub fn nested_dissection(pattern: &SparsePattern) -> Permutation {
 
 /// Recursively order the vertices of `component` (all currently active),
 /// appending to `order` (separators last).
-fn dissect(pattern: &SparsePattern, component: &[usize], active: &mut Vec<bool>, order: &mut Vec<usize>) {
+fn dissect(
+    pattern: &SparsePattern,
+    component: &[usize],
+    active: &mut Vec<bool>,
+    order: &mut Vec<usize>,
+) {
     if component.len() <= DISSECTION_CUTOFF {
         order_with_minimum_degree(pattern, component, order);
         return;
@@ -56,8 +61,16 @@ fn dissect(pattern: &SparsePattern, component: &[usize], active: &mut Vec<bool>,
         return;
     }
     let middle = eccentricity / 2;
-    let separator: Vec<usize> = component.iter().copied().filter(|&v| levels[v] == middle).collect();
-    let rest: Vec<usize> = component.iter().copied().filter(|&v| levels[v] != middle).collect();
+    let separator: Vec<usize> = component
+        .iter()
+        .copied()
+        .filter(|&v| levels[v] == middle)
+        .collect();
+    let rest: Vec<usize> = component
+        .iter()
+        .copied()
+        .filter(|&v| levels[v] != middle)
+        .collect();
     if separator.is_empty() || rest.is_empty() {
         order_with_minimum_degree(pattern, component, order);
         return;
@@ -76,7 +89,11 @@ fn dissect(pattern: &SparsePattern, component: &[usize], active: &mut Vec<bool>,
 }
 
 /// Connected pieces of `vertices` in the subgraph induced by `active`.
-fn connected_pieces(pattern: &SparsePattern, vertices: &[usize], active: &[bool]) -> Vec<Vec<usize>> {
+fn connected_pieces(
+    pattern: &SparsePattern,
+    vertices: &[usize],
+    active: &[bool],
+) -> Vec<Vec<usize>> {
     let mut seen: std::collections::HashSet<usize> = std::collections::HashSet::new();
     let in_set: std::collections::HashSet<usize> = vertices.iter().copied().collect();
     let mut pieces = Vec::new();
@@ -138,7 +155,11 @@ mod tests {
 
     #[test]
     fn orders_every_vertex_exactly_once() {
-        for pattern in [grid2d_5pt(13, 11), grid3d_7pt(5, 5, 5), random_spd_pattern(250, 4.0, 3)] {
+        for pattern in [
+            grid2d_5pt(13, 11),
+            grid3d_7pt(5, 5, 5),
+            random_spd_pattern(250, 4.0, 3),
+        ] {
             let perm = nested_dissection(&pattern);
             assert_eq!(perm.len(), pattern.n());
             let mut seen = vec![false; pattern.n()];
@@ -165,7 +186,10 @@ mod tests {
         let pattern = grid2d_5pt(20, 20);
         let nd_fill = fill_in(&pattern, &nested_dissection(&pattern));
         let md_fill = fill_in(&pattern, &minimum_degree(&pattern));
-        assert!(nd_fill < 2 * md_fill, "nd fill {nd_fill} vs md fill {md_fill}");
+        assert!(
+            nd_fill < 2 * md_fill,
+            "nd fill {nd_fill} vs md fill {md_fill}"
+        );
     }
 
     #[test]

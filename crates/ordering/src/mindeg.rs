@@ -29,7 +29,8 @@ pub fn minimum_degree(pattern: &SparsePattern) -> Permutation {
     }
 
     // Variable adjacency (to other variables) and element adjacency.
-    let mut variable_adjacency: Vec<Vec<usize>> = (0..n).map(|i| pattern.neighbors(i).to_vec()).collect();
+    let mut variable_adjacency: Vec<Vec<usize>> =
+        (0..n).map(|i| pattern.neighbors(i).to_vec()).collect();
     let mut element_adjacency: Vec<Vec<usize>> = vec![Vec::new(); n];
     // For every eliminated pivot p, the variables of its element L_p.
     let mut element_vars: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -37,7 +38,8 @@ pub fn minimum_degree(pattern: &SparsePattern) -> Permutation {
     let mut absorbed = vec![false; n];
     let mut degree: Vec<usize> = (0..n).map(|i| pattern.degree(i)).collect();
 
-    let mut heap: BinaryHeap<Reverse<(usize, usize)>> = (0..n).map(|i| Reverse((degree[i], i))).collect();
+    let mut heap: BinaryHeap<Reverse<(usize, usize)>> =
+        (0..n).map(|i| Reverse((degree[i], i))).collect();
     let mut order = Vec::with_capacity(n);
     let mut stamp = vec![usize::MAX; n];
 
@@ -158,7 +160,7 @@ mod tests {
         let pattern = grid2d_5pt(7, 6);
         let perm = minimum_degree(&pattern);
         assert_eq!(perm.len(), 42);
-        let mut seen = vec![false; 42];
+        let mut seen = [false; 42];
         for k in 0..42 {
             let v = perm.new_to_old(k);
             assert!(!seen[v]);
@@ -176,7 +178,11 @@ mod tests {
         let pattern = SparsePattern::from_edges(8, &edges);
         let perm = minimum_degree(&pattern);
         assert!(perm.old_to_new(0) >= 6, "centre eliminated too early");
-        assert_eq!(fill_in(&pattern, &perm), 2 * 8 - 1, "a star admits a fill-free ordering");
+        assert_eq!(
+            fill_in(&pattern, &perm),
+            2 * 8 - 1,
+            "a star admits a fill-free ordering"
+        );
     }
 
     #[test]

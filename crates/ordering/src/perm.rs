@@ -23,12 +23,18 @@ impl Permutation {
             assert!(old_to_new[old] == usize::MAX, "duplicate index {old}");
             old_to_new[old] = new;
         }
-        Permutation { new_to_old, old_to_new }
+        Permutation {
+            new_to_old,
+            old_to_new,
+        }
     }
 
     /// The identity permutation.
     pub fn identity(n: usize) -> Self {
-        Permutation { new_to_old: (0..n).collect(), old_to_new: (0..n).collect() }
+        Permutation {
+            new_to_old: (0..n).collect(),
+            old_to_new: (0..n).collect(),
+        }
     }
 
     /// Number of elements.
@@ -71,13 +77,20 @@ impl Permutation {
     /// `(self.then(other))[k] = self[other[k]]`.
     pub fn then(&self, other: &Permutation) -> Permutation {
         assert_eq!(self.len(), other.len());
-        let new_to_old = other.new_to_old.iter().map(|&mid| self.new_to_old[mid]).collect();
+        let new_to_old = other
+            .new_to_old
+            .iter()
+            .map(|&mid| self.new_to_old[mid])
+            .collect();
         Permutation::from_new_to_old(new_to_old)
     }
 
     /// The inverse permutation.
     pub fn inverse(&self) -> Permutation {
-        Permutation { new_to_old: self.old_to_new.clone(), old_to_new: self.new_to_old.clone() }
+        Permutation {
+            new_to_old: self.old_to_new.clone(),
+            old_to_new: self.new_to_old.clone(),
+        }
     }
 }
 

@@ -35,7 +35,11 @@ pub(crate) fn pseudo_peripheral(pattern: &SparsePattern, start: usize, active: &
 
 /// BFS levels restricted to `active` vertices; unreachable vertices get
 /// `usize::MAX`.  Returns the levels and the largest level reached.
-pub(crate) fn bfs_levels(pattern: &SparsePattern, start: usize, active: &[bool]) -> (Vec<usize>, usize) {
+pub(crate) fn bfs_levels(
+    pattern: &SparsePattern,
+    start: usize,
+    active: &[bool],
+) -> (Vec<usize>, usize) {
     let mut levels = vec![usize::MAX; pattern.n()];
     let mut queue = VecDeque::new();
     levels[start] = 0;
@@ -124,7 +128,10 @@ mod tests {
         let shuffle = Permutation::from_new_to_old((0..40).map(|i| (i * 17) % 40).collect());
         let shuffled = shuffle.apply(&base);
         let recovered = rcm(&shuffled);
-        assert!(bandwidth(&shuffled, &recovered) <= 4, "RCM should recover a narrow band");
+        assert!(
+            bandwidth(&shuffled, &recovered) <= 4,
+            "RCM should recover a narrow band"
+        );
         let natural = Permutation::identity(40);
         assert!(bandwidth(&shuffled, &recovered) < bandwidth(&shuffled, &natural));
     }
@@ -149,7 +156,7 @@ mod tests {
     fn pseudo_peripheral_finds_a_path_end() {
         let edges: Vec<(usize, usize)> = (0..9).map(|i| (i, i + 1)).collect();
         let pattern = SparsePattern::from_edges(10, &edges);
-        let v = pseudo_peripheral(&pattern, 5, &vec![true; 10]);
+        let v = pseudo_peripheral(&pattern, 5, &[true; 10]);
         assert!(v == 0 || v == 9);
     }
 }

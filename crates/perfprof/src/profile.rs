@@ -33,16 +33,30 @@ impl PerformanceProfile {
     /// Panics if the methods do not all have the same number of instances or
     /// if any cost is negative or NaN.
     pub fn from_costs(method_names: &[&str], costs: &[Vec<f64>]) -> Self {
-        assert_eq!(method_names.len(), costs.len(), "one cost vector per method expected");
+        assert_eq!(
+            method_names.len(),
+            costs.len(),
+            "one cost vector per method expected"
+        );
         assert!(!costs.is_empty(), "at least one method expected");
         let instances = costs[0].len();
         for (m, series) in costs.iter().enumerate() {
-            assert_eq!(series.len(), instances, "method {m} has a different number of instances");
-            assert!(series.iter().all(|&c| c >= 0.0 && !c.is_nan()), "costs must be non-negative");
+            assert_eq!(
+                series.len(),
+                instances,
+                "method {m} has a different number of instances"
+            );
+            assert!(
+                series.iter().all(|&c| c >= 0.0 && !c.is_nan()),
+                "costs must be non-negative"
+            );
         }
         let mut ratios = vec![vec![0.0; instances]; costs.len()];
         for i in 0..instances {
-            let best = costs.iter().map(|series| series[i]).fold(f64::INFINITY, f64::min);
+            let best = costs
+                .iter()
+                .map(|series| series[i])
+                .fold(f64::INFINITY, f64::min);
             for (m, series) in costs.iter().enumerate() {
                 ratios[m][i] = if best > 0.0 {
                     series[i] / best
@@ -92,7 +106,10 @@ impl PerformanceProfile {
         (0..samples)
             .map(|s| {
                 let tau = 1.0 + (max_tau - 1.0) * s as f64 / (samples - 1) as f64;
-                ProfilePoint { tau, fraction: self.value_at(method, tau) }
+                ProfilePoint {
+                    tau,
+                    fraction: self.value_at(method, tau),
+                }
             })
             .collect()
     }
@@ -113,8 +130,9 @@ impl PerformanceProfile {
             out.push_str(name);
         }
         out.push('\n');
-        let curves: Vec<Vec<ProfilePoint>> =
-            (0..self.method_names.len()).map(|m| self.curve(m, max_tau, samples)).collect();
+        let curves: Vec<Vec<ProfilePoint>> = (0..self.method_names.len())
+            .map(|m| self.curve(m, max_tau, samples))
+            .collect();
         for s in 0..samples {
             let _ = write!(out, "{:.4}", curves[0][s].tau);
             for curve in &curves {
@@ -131,7 +149,13 @@ impl PerformanceProfile {
     pub fn to_ascii(&self, max_tau: f64, width: usize) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let name_width = self.method_names.iter().map(String::len).max().unwrap_or(8).max(8);
+        let name_width = self
+            .method_names
+            .iter()
+            .map(String::len)
+            .max()
+            .unwrap_or(8)
+            .max(8);
         let _ = writeln!(
             out,
             "{:name_width$}  profile from tau=1 to tau={:.2} ({} instances)",
@@ -183,7 +207,11 @@ mod tests {
     fn profiles_are_monotone_in_tau() {
         let profile = PerformanceProfile::from_costs(
             &["x", "y", "z"],
-            &[vec![5.0, 1.0, 4.0, 2.0], vec![4.0, 2.0, 4.0, 2.0], vec![3.0, 3.0, 4.0, 8.0]],
+            &[
+                vec![5.0, 1.0, 4.0, 2.0],
+                vec![4.0, 2.0, 4.0, 2.0],
+                vec![3.0, 3.0, 4.0, 8.0],
+            ],
         );
         for m in 0..3 {
             let curve = profile.curve(m, 4.0, 16);

@@ -42,8 +42,11 @@ pub fn ratio_statistics(method_costs: &[f64], reference_costs: &[f64]) -> RatioS
     let suboptimal = ratios.iter().filter(|&&r| r > 1.0 + 1e-12).count();
     let max_ratio = ratios.iter().copied().fold(f64::MIN, f64::max);
     let mean_ratio = ratios.iter().sum::<f64>() / instances as f64;
-    let variance =
-        ratios.iter().map(|&r| (r - mean_ratio) * (r - mean_ratio)).sum::<f64>() / instances as f64;
+    let variance = ratios
+        .iter()
+        .map(|&r| (r - mean_ratio) * (r - mean_ratio))
+        .sum::<f64>()
+        / instances as f64;
     RatioStatistics {
         instances,
         fraction_suboptimal: suboptimal as f64 / instances as f64,

@@ -1,0 +1,237 @@
+//! # prng — self-contained deterministic pseudo-random numbers
+//!
+//! The build environment of this repository is fully offline, so the `rand`
+//! crate cannot be used.  This crate provides the small slice of its API that
+//! the workspace needs — a seedable generator plus uniform sampling over
+//! integer and float ranges — with the same call-site shape
+//! (`StdRng::seed_from_u64`, `rng.gen_range(lo..=hi)`, `rng.gen::<f64>()`),
+//! so swapping the real `rand` back in later is a one-line import change.
+//!
+//! The generator is xoshiro256++ seeded through splitmix64, which passes the
+//! usual statistical test batteries and is more than adequate for generating
+//! test instances.  Streams are stable across platforms and releases of this
+//! crate: experiment corpora and property tests are reproducible from their
+//! seeds alone.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Splitmix64 step, used to expand a 64-bit seed into the xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256++ generator.
+///
+/// The name mirrors `rand::rngs::StdRng` so call sites read the same; the
+/// algorithm is unrelated to the real `StdRng` (which is ChaCha-based) and
+/// produces different streams.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Seed the generator from a single 64-bit value.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        StdRng { s }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `u64` below `bound` (> 0), by Lemire-style rejection.
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Rejection zone keeps the distribution exactly uniform.
+        let zone = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let (hi, lo) = {
+                let wide = (x as u128) * (bound as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= zone {
+                return hi;
+            }
+        }
+    }
+}
+
+/// Types that can be drawn uniformly from the generator's full output.
+pub trait Standard: Sized {
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut StdRng) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that can be sampled uniformly; implemented for half-open and
+/// inclusive ranges of the integer and float types the workspace uses.
+pub trait SampleRange {
+    type Output;
+    fn sample(self, rng: &mut StdRng) -> Self::Output;
+}
+
+macro_rules! impl_int_ranges {
+    ($($ty:ty),*) => {$(
+        impl SampleRange for Range<$ty> {
+            type Output = $ty;
+            fn sample(self, rng: &mut StdRng) -> $ty {
+                assert!(self.start < self.end, "cannot sample an empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $ty
+            }
+        }
+        impl SampleRange for RangeInclusive<$ty> {
+            type Output = $ty;
+            fn sample(self, rng: &mut StdRng) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample an empty range");
+                let span = (end as i128 - start as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $ty;
+                }
+                (start as i128 + rng.below(span + 1) as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(usize, u64, u32, i64, i32);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample an empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// The sampling methods, as an extension trait so call sites read exactly
+/// like `rand::Rng` usage.
+pub trait Rng {
+    /// Uniform sample from a range, e.g. `rng.gen_range(0..n)` or
+    /// `rng.gen_range(1..=max)`.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output;
+
+    /// Uniform sample of a whole type, e.g. `rng.gen::<f64>()` in `[0, 1)`.
+    fn gen<T: Standard>(&mut self) -> T;
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for StdRng {
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.gen::<f64>() < p
+    }
+}
+
+/// Re-export module mirroring `rand::rngs`, so `use prng::rngs::StdRng`
+/// also works.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducible_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn small_ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_is_sane() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn single_point_inclusive_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(rng.gen_range(4usize..=4), 4);
+    }
+}

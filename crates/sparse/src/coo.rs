@@ -15,7 +15,10 @@ pub struct Coo {
 impl Coo {
     /// Create an empty `n × n` symmetric matrix.
     pub fn new(n: usize) -> Self {
-        Coo { n, entries: Vec::new() }
+        Coo {
+            n,
+            entries: Vec::new(),
+        }
     }
 
     /// Dimension of the matrix.
@@ -111,6 +114,6 @@ mod tests {
         let pattern = coo.pattern();
         assert_eq!(pattern.neighbors(2), &[0, 3]);
         assert!(coo.pattern().is_symmetric());
-        assert!(!Coo::new(2).is_empty() == false);
+        assert!(Coo::new(2).is_empty());
     }
 }

@@ -19,8 +19,7 @@
 //! values making the matrix symmetric positive definite (by strict diagonal
 //! dominance), for use by the `multifrontal` crate.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use prng::{Rng, StdRng};
 
 use crate::coo::Coo;
 use crate::pattern::{SparsePattern, SymmetricCsr};
@@ -315,14 +314,14 @@ mod tests {
     #[test]
     fn spd_values_are_diagonally_dominant() {
         let matrix = grid2d_matrix(4, 4, 3);
+        let dense = matrix.to_dense();
         for j in 0..matrix.n() {
-            let mut off = 0.0;
-            let dense = matrix.to_dense();
-            for i in 0..matrix.n() {
-                if i != j {
-                    off += dense[i][j].abs();
-                }
-            }
+            let off: f64 = dense
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != j)
+                .map(|(_, row)| row[j].abs())
+                .sum();
             assert!(dense[j][j] > off, "column {j} not diagonally dominant");
         }
     }

@@ -22,7 +22,11 @@ pub enum MatrixMarketError {
     /// The size line or an entry line could not be parsed.
     BadLine { line_number: usize, content: String },
     /// An index is outside the declared dimensions.
-    IndexOutOfRange { line_number: usize, row: usize, col: usize },
+    IndexOutOfRange {
+        line_number: usize,
+        row: usize,
+        col: usize,
+    },
     /// Fewer entries than announced.
     UnexpectedEof,
     /// Underlying I/O failure.
@@ -33,12 +37,24 @@ impl std::fmt::Display for MatrixMarketError {
     fn fmt(&self, fmt: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MatrixMarketError::BadHeader(line) => write!(fmt, "bad MatrixMarket header: {line}"),
-            MatrixMarketError::Unsupported(what) => write!(fmt, "unsupported MatrixMarket variant: {what}"),
-            MatrixMarketError::BadLine { line_number, content } => {
+            MatrixMarketError::Unsupported(what) => {
+                write!(fmt, "unsupported MatrixMarket variant: {what}")
+            }
+            MatrixMarketError::BadLine {
+                line_number,
+                content,
+            } => {
                 write!(fmt, "cannot parse line {line_number}: {content}")
             }
-            MatrixMarketError::IndexOutOfRange { line_number, row, col } => {
-                write!(fmt, "index ({row}, {col}) out of range at line {line_number}")
+            MatrixMarketError::IndexOutOfRange {
+                line_number,
+                row,
+                col,
+            } => {
+                write!(
+                    fmt,
+                    "index ({row}, {col}) out of range at line {line_number}"
+                )
             }
             MatrixMarketError::UnexpectedEof => write!(fmt, "fewer entries than announced"),
             MatrixMarketError::Io(err) => write!(fmt, "I/O error: {err}"),
@@ -60,15 +76,24 @@ pub fn read_pattern<R: Read>(reader: R) -> Result<SparsePattern, MatrixMarketErr
         .ok_or_else(|| MatrixMarketError::BadHeader(String::new()))
         .map(|(i, l)| (i, l.map_err(|e| MatrixMarketError::Io(e.to_string()))))?;
     let header = header?;
-    let tokens: Vec<String> = header.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
+    let tokens: Vec<String> = header
+        .split_whitespace()
+        .map(|t| t.to_ascii_lowercase())
+        .collect();
     if tokens.len() < 4 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
         return Err(MatrixMarketError::BadHeader(header));
     }
     if tokens[2] != "coordinate" {
-        return Err(MatrixMarketError::Unsupported(format!("format '{}'", tokens[2])));
+        return Err(MatrixMarketError::Unsupported(format!(
+            "format '{}'",
+            tokens[2]
+        )));
     }
     if !matches!(tokens[3].as_str(), "real" | "pattern" | "integer") {
-        return Err(MatrixMarketError::Unsupported(format!("field '{}'", tokens[3])));
+        return Err(MatrixMarketError::Unsupported(format!(
+            "field '{}'",
+            tokens[3]
+        )));
     }
     let has_values = tokens[3] != "pattern";
 
@@ -84,9 +109,15 @@ pub fn read_pattern<R: Read>(reader: R) -> Result<SparsePattern, MatrixMarketErr
         break;
     }
     let (size_line_number, size_line) = size_line.ok_or(MatrixMarketError::UnexpectedEof)?;
-    let sizes: Vec<usize> = size_line.split_whitespace().filter_map(|t| t.parse().ok()).collect();
+    let sizes: Vec<usize> = size_line
+        .split_whitespace()
+        .filter_map(|t| t.parse().ok())
+        .collect();
     if sizes.len() != 3 {
-        return Err(MatrixMarketError::BadLine { line_number: size_line_number + 1, content: size_line });
+        return Err(MatrixMarketError::BadLine {
+            line_number: size_line_number + 1,
+            content: size_line,
+        });
     }
     let (rows, cols, nnz) = (sizes[0], sizes[1], sizes[2]);
     let n = rows.max(cols);
@@ -103,19 +134,30 @@ pub fn read_pattern<R: Read>(reader: R) -> Result<SparsePattern, MatrixMarketErr
             continue;
         }
         let mut fields = trimmed.split_whitespace();
-        let row: usize = fields
-            .next()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| MatrixMarketError::BadLine { line_number: line_number + 1, content: trimmed.to_string() })?;
-        let col: usize = fields
-            .next()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| MatrixMarketError::BadLine { line_number: line_number + 1, content: trimmed.to_string() })?;
+        let row: usize = fields.next().and_then(|t| t.parse().ok()).ok_or_else(|| {
+            MatrixMarketError::BadLine {
+                line_number: line_number + 1,
+                content: trimmed.to_string(),
+            }
+        })?;
+        let col: usize = fields.next().and_then(|t| t.parse().ok()).ok_or_else(|| {
+            MatrixMarketError::BadLine {
+                line_number: line_number + 1,
+                content: trimmed.to_string(),
+            }
+        })?;
         if has_values && fields.next().is_none() {
-            return Err(MatrixMarketError::BadLine { line_number: line_number + 1, content: trimmed.to_string() });
+            return Err(MatrixMarketError::BadLine {
+                line_number: line_number + 1,
+                content: trimmed.to_string(),
+            });
         }
         if row == 0 || col == 0 || row > n || col > n {
-            return Err(MatrixMarketError::IndexOutOfRange { line_number: line_number + 1, row, col });
+            return Err(MatrixMarketError::IndexOutOfRange {
+                line_number: line_number + 1,
+                row,
+                col,
+            });
         }
         edges.push((row - 1, col - 1));
         seen += 1;
@@ -131,11 +173,23 @@ pub fn read_pattern<R: Read>(reader: R) -> Result<SparsePattern, MatrixMarketErr
 pub fn write_pattern(pattern: &SparsePattern) -> String {
     let mut out = String::new();
     let lower: Vec<(usize, usize)> = (0..pattern.n())
-        .flat_map(|j| pattern.neighbors(j).iter().filter(move |&&i| i > j).map(move |&i| (i, j)))
+        .flat_map(|j| {
+            pattern
+                .neighbors(j)
+                .iter()
+                .filter(move |&&i| i > j)
+                .map(move |&i| (i, j))
+        })
         .collect();
     let _ = writeln!(out, "%%MatrixMarket matrix coordinate pattern symmetric");
     let _ = writeln!(out, "% written by sparsemat");
-    let _ = writeln!(out, "{} {} {}", pattern.n(), pattern.n(), lower.len() + pattern.n());
+    let _ = writeln!(
+        out,
+        "{} {} {}",
+        pattern.n(),
+        pattern.n(),
+        lower.len() + pattern.n()
+    );
     for j in 0..pattern.n() {
         let _ = writeln!(out, "{} {}", j + 1, j + 1);
     }
@@ -184,7 +238,10 @@ mod tests {
             Err(MatrixMarketError::Unsupported(_))
         ));
         let missing = "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n1 1 1.0\n";
-        assert_eq!(read_pattern(missing.as_bytes()), Err(MatrixMarketError::UnexpectedEof));
+        assert_eq!(
+            read_pattern(missing.as_bytes()),
+            Err(MatrixMarketError::UnexpectedEof)
+        );
         let out_of_range = "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n5 1\n";
         assert!(matches!(
             read_pattern(out_of_range.as_bytes()),

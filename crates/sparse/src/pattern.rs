@@ -23,7 +23,10 @@ impl SparsePattern {
     pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
         let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); n];
         for &(i, j) in edges {
-            assert!(i < n && j < n, "index out of range: ({i}, {j}) with n = {n}");
+            assert!(
+                i < n && j < n,
+                "index out of range: ({i}, {j}) with n = {n}"
+            );
             if i == j {
                 continue;
             }
@@ -39,7 +42,11 @@ impl SparsePattern {
             col_idx.extend_from_slice(list);
             row_ptr.push(col_idx.len());
         }
-        SparsePattern { n, row_ptr, col_idx }
+        SparsePattern {
+            n,
+            row_ptr,
+            col_idx,
+        }
     }
 
     /// Dimension of the matrix.
@@ -102,7 +109,10 @@ impl SparsePattern {
         assert_eq!(perm.len(), self.n, "permutation length mismatch");
         let mut old_to_new = vec![usize::MAX; self.n];
         for (new, &old) in perm.iter().enumerate() {
-            assert!(old < self.n && old_to_new[old] == usize::MAX, "not a permutation");
+            assert!(
+                old < self.n && old_to_new[old] == usize::MAX,
+                "not a permutation"
+            );
             old_to_new[old] = new;
         }
         let mut edges: Vec<(usize, usize)> = Vec::with_capacity(self.col_idx.len() / 2);
@@ -121,7 +131,13 @@ impl SparsePattern {
     /// format used by the symbolic factorization.
     pub fn lower_columns(&self) -> Vec<Vec<usize>> {
         (0..self.n)
-            .map(|j| self.neighbors(j).iter().copied().filter(|&i| i > j).collect())
+            .map(|j| {
+                self.neighbors(j)
+                    .iter()
+                    .copied()
+                    .filter(|&i| i > j)
+                    .collect()
+            })
             .collect()
     }
 
@@ -189,13 +205,21 @@ impl SymmetricCsr {
                 "column {j} must contain its diagonal entry"
             );
             for (row, value) in column {
-                assert!(row >= j && row < n, "entry ({row}, {j}) is not in the lower triangle");
+                assert!(
+                    row >= j && row < n,
+                    "entry ({row}, {j}) is not in the lower triangle"
+                );
                 row_idx.push(row);
                 values.push(value);
             }
             col_ptr.push(row_idx.len());
         }
-        SymmetricCsr { n, col_ptr, row_idx, values }
+        SymmetricCsr {
+            n,
+            col_ptr,
+            row_idx,
+            values,
+        }
     }
 
     /// Dimension of the matrix.
@@ -228,7 +252,10 @@ impl SymmetricCsr {
         let edges: Vec<(usize, usize)> = (0..self.n)
             .flat_map(|j| {
                 let (rows, _) = self.column(j);
-                rows.iter().filter(move |&&i| i != j).map(move |&i| (i, j)).collect::<Vec<_>>()
+                rows.iter()
+                    .filter(move |&&i| i != j)
+                    .map(move |&i| (i, j))
+                    .collect::<Vec<_>>()
             })
             .collect();
         SparsePattern::from_edges(self.n, &edges)
@@ -238,6 +265,7 @@ impl SymmetricCsr {
     /// reference algorithms on small problems.
     pub fn to_dense(&self) -> Vec<Vec<f64>> {
         let mut dense = vec![vec![0.0; self.n]; self.n];
+        #[allow(clippy::needless_range_loop)]
         for j in 0..self.n {
             let (rows, values) = self.column(j);
             for (&i, &v) in rows.iter().zip(values) {
@@ -271,7 +299,10 @@ impl SymmetricCsr {
         assert_eq!(perm.len(), self.n);
         let mut old_to_new = vec![usize::MAX; self.n];
         for (new, &old) in perm.iter().enumerate() {
-            assert!(old < self.n && old_to_new[old] == usize::MAX, "not a permutation");
+            assert!(
+                old < self.n && old_to_new[old] == usize::MAX,
+                "not a permutation"
+            );
             old_to_new[old] = new;
         }
         let mut columns: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.n];
@@ -341,7 +372,11 @@ mod tests {
         // [0 1 4]
         let matrix = SymmetricCsr::from_lower_columns(
             3,
-            vec![vec![(0, 2.0), (1, 1.0)], vec![(1, 3.0), (2, 1.0)], vec![(2, 4.0)]],
+            vec![
+                vec![(0, 2.0), (1, 1.0)],
+                vec![(1, 3.0), (2, 1.0)],
+                vec![(2, 4.0)],
+            ],
         );
         assert_eq!(matrix.nnz_lower(), 5);
         assert_eq!(matrix.get_lower(1, 0), 1.0);
@@ -359,7 +394,11 @@ mod tests {
     fn csr_permutation_preserves_the_spectrum_sample() {
         let matrix = SymmetricCsr::from_lower_columns(
             3,
-            vec![vec![(0, 2.0), (1, 1.0)], vec![(1, 3.0), (2, 1.0)], vec![(2, 4.0)]],
+            vec![
+                vec![(0, 2.0), (1, 1.0)],
+                vec![(1, 3.0), (2, 1.0)],
+                vec![(2, 4.0)],
+            ],
         );
         let permuted = matrix.permute(&[2, 0, 1]);
         // Entry (old 2, old 2) = 4 moved to position (0, 0).

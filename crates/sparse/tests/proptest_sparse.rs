@@ -1,69 +1,102 @@
 //! Property-based tests for the sparse-matrix substrate.
+//!
+//! The environment is offline, so instead of `proptest` these tests draw a
+//! deterministic battery of random instances from the `prng` crate: every
+//! case is reproducible from its seed, printed in assertion messages.
 
-use proptest::prelude::*;
+use prng::{Rng, StdRng};
 
 use sparsemat::gen::{banded, grid2d_5pt, random_spd_pattern, spd_matrix_from_pattern};
 use sparsemat::matrixmarket::{read_pattern, write_pattern};
 use sparsemat::{Coo, SparsePattern};
 
-fn arbitrary_edges(max_n: usize, max_edges: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
-    (2..=max_n).prop_flat_map(move |n| {
-        let edges = proptest::collection::vec((0..n, 0..n), 0..=max_edges);
-        (Just(n), edges)
-    })
+/// Random `(n, edge list)` pair, possibly with self loops and duplicates
+/// (which `SparsePattern::from_edges` must clean up).
+fn arbitrary_edges(seed: u64, max_n: usize, max_edges: usize) -> (usize, Vec<(usize, usize)>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(2..=max_n);
+    let count = rng.gen_range(0..=max_edges);
+    let edges = (0..count)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect();
+    (n, edges)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn patterns_are_always_symmetric_and_deduplicated((n, edges) in arbitrary_edges(40, 200)) {
+#[test]
+fn patterns_are_always_symmetric_and_deduplicated() {
+    for seed in 0..64 {
+        let (n, edges) = arbitrary_edges(seed, 40, 200);
         let pattern = SparsePattern::from_edges(n, &edges);
-        prop_assert!(pattern.is_symmetric());
-        prop_assert_eq!(pattern.n(), n);
+        assert!(pattern.is_symmetric(), "seed {seed}");
+        assert_eq!(pattern.n(), n, "seed {seed}");
         // No self loops and no duplicates: neighbours are strictly increasing.
         for i in 0..n {
             let neighbors = pattern.neighbors(i);
             for pair in neighbors.windows(2) {
-                prop_assert!(pair[0] < pair[1]);
+                assert!(pair[0] < pair[1], "seed {seed}");
             }
-            prop_assert!(!neighbors.contains(&i));
+            assert!(!neighbors.contains(&i), "seed {seed}");
         }
         // Off-diagonal entries come in pairs.
-        prop_assert_eq!(pattern.nnz_off_diagonal() % 2, 0);
+        assert_eq!(pattern.nnz_off_diagonal() % 2, 0, "seed {seed}");
     }
+}
 
-    #[test]
-    fn permutation_preserves_structure_statistics((n, edges) in arbitrary_edges(30, 120), seed in 0u64..1000) {
+#[test]
+fn permutation_preserves_structure_statistics() {
+    for seed in 100..164 {
+        let (n, edges) = arbitrary_edges(seed, 30, 120);
         let pattern = SparsePattern::from_edges(n, &edges);
         // Build a deterministic pseudo-random permutation from the seed.
         let mut perm: Vec<usize> = (0..n).collect();
         let mut state = seed;
         for i in (1..n).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (state >> 33) as usize % (i + 1);
             perm.swap(i, j);
         }
         let permuted = pattern.permute(&perm);
-        prop_assert_eq!(permuted.nnz(), pattern.nnz());
-        prop_assert_eq!(permuted.connected_components(), pattern.connected_components());
+        assert_eq!(permuted.nnz(), pattern.nnz(), "seed {seed}");
+        assert_eq!(
+            permuted.connected_components(),
+            pattern.connected_components(),
+            "seed {seed}"
+        );
         let mut original_degrees: Vec<usize> = (0..n).map(|i| pattern.degree(i)).collect();
         let mut permuted_degrees: Vec<usize> = (0..n).map(|i| permuted.degree(i)).collect();
         original_degrees.sort_unstable();
         permuted_degrees.sort_unstable();
-        prop_assert_eq!(original_degrees, permuted_degrees);
+        assert_eq!(original_degrees, permuted_degrees, "seed {seed}");
     }
+}
 
-    #[test]
-    fn matrix_market_roundtrip((n, edges) in arbitrary_edges(30, 120)) {
+#[test]
+fn matrix_market_roundtrip() {
+    for seed in 200..264 {
+        let (n, edges) = arbitrary_edges(seed, 30, 120);
         let pattern = SparsePattern::from_edges(n, &edges);
         let text = write_pattern(&pattern);
         let parsed = read_pattern(text.as_bytes()).unwrap();
-        prop_assert_eq!(parsed, pattern);
+        assert_eq!(parsed, pattern, "seed {seed}");
     }
+}
 
-    #[test]
-    fn coo_duplicates_sum_and_match_dense(entries in proptest::collection::vec((0usize..8, 0usize..8, -5.0f64..5.0), 1..40)) {
+#[test]
+fn coo_duplicates_sum_and_match_dense() {
+    for seed in 300..364 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let count = rng.gen_range(1..40);
+        let entries: Vec<(usize, usize, f64)> = (0..count)
+            .map(|_| {
+                (
+                    rng.gen_range(0..8usize),
+                    rng.gen_range(0..8usize),
+                    rng.gen_range(-5.0..5.0),
+                )
+            })
+            .collect();
         let mut coo = Coo::new(8);
         let mut dense = vec![vec![0.0f64; 8]; 8];
         for &(i, j, v) in &entries {
@@ -79,26 +112,38 @@ proptest! {
         let rebuilt = csr.to_dense();
         for i in 0..8 {
             for j in 0..8 {
-                prop_assert!((rebuilt[i][j] - dense[i][j]).abs() < 1e-9, "entry ({},{})", i, j);
+                assert!(
+                    (rebuilt[i][j] - dense[i][j]).abs() < 1e-9,
+                    "seed {seed}, entry ({i},{j})"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn spd_generator_is_diagonally_dominant(n in 3usize..30, seed in 0u64..500) {
+#[test]
+fn spd_generator_is_diagonally_dominant() {
+    for seed in 400..464 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(3..30usize);
         let pattern = random_spd_pattern(n, 3.0, seed);
         let matrix = spd_matrix_from_pattern(&pattern, seed);
         let dense = matrix.to_dense();
-        for j in 0..n {
-            let off: f64 = (0..n).filter(|&i| i != j).map(|i| dense[i][j].abs()).sum();
-            prop_assert!(dense[j][j] > off);
+        for (j, row) in dense.iter().enumerate() {
+            let off: f64 = dense
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != j)
+                .map(|(_, other)| other[j].abs())
+                .sum();
+            assert!(row[j] > off, "seed {seed}");
         }
         // Symmetric multiply agrees with the dense product.
         let x: Vec<f64> = (0..n).map(|i| (i as f64) - (n as f64) / 2.0).collect();
         let y = matrix.multiply(&x);
-        for i in 0..n {
-            let expected: f64 = (0..n).map(|j| dense[i][j] * x[j]).sum();
-            prop_assert!((y[i] - expected).abs() < 1e-9);
+        for (i, row) in dense.iter().enumerate() {
+            let expected: f64 = row.iter().zip(&x).map(|(a, b)| a * b).sum();
+            assert!((y[i] - expected).abs() < 1e-9, "seed {seed}");
         }
     }
 }

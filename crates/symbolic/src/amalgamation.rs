@@ -81,7 +81,10 @@ pub fn amalgamate(
 ) -> AssemblyTree {
     let n = etree.len();
     assert_eq!(counts.len(), n, "one column count per column expected");
-    assert!(max_amalgamation >= 1, "the amalgamation allowance must be at least 1");
+    assert!(
+        max_amalgamation >= 1,
+        "the amalgamation allowance must be at least 1"
+    );
 
     // Union-find: every column points to the representative (highest column)
     // of its group.
@@ -89,7 +92,7 @@ pub fn amalgamate(
     let mut group_size: Vec<usize> = vec![1; n];
     let children = etree.children();
 
-    fn find(representative: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(representative: &mut [usize], mut x: usize) -> usize {
         while representative[x] != x {
             representative[x] = representative[representative[x]];
             x = representative[x];
@@ -230,7 +233,12 @@ pub fn amalgamate(
 
     let tree = Tree::from_parents(&tree_parents, &files, &weights)
         .expect("amalgamation always produces a valid tree");
-    AssemblyTree { tree, groups, eta, mu }
+    AssemblyTree {
+        tree,
+        groups,
+        eta,
+        mu,
+    }
 }
 
 #[cfg(test)]
@@ -299,9 +307,15 @@ mod tests {
             })
             .collect();
         for pair in sizes.windows(2) {
-            assert!(pair[1] <= pair[0], "a larger allowance cannot give a larger tree: {sizes:?}");
+            assert!(
+                pair[1] <= pair[0],
+                "a larger allowance cannot give a larger tree: {sizes:?}"
+            );
         }
-        assert!(sizes[3] < sizes[0], "allowance 16 must amalgamate something: {sizes:?}");
+        assert!(
+            sizes[3] < sizes[0],
+            "allowance 16 must amalgamate something: {sizes:?}"
+        );
     }
 
     #[test]
@@ -315,7 +329,10 @@ mod tests {
                 seen[column] = true;
             }
         }
-        assert!(seen.into_iter().all(|s| s), "every column must appear in a group");
+        assert!(
+            seen.into_iter().all(|s| s),
+            "every column must appear in a group"
+        );
         // Representative is the highest column of its group.
         for group in &assembly.groups {
             assert!(group.iter().all(|&c| c <= group[0]));
@@ -350,7 +367,11 @@ mod tests {
         // Still a single tree for the traversal algorithms.
         assert!(assembly.tree.len() >= 3);
         assert_eq!(
-            assembly.tree.nodes().filter(|&i| assembly.tree.parent(i).is_none()).count(),
+            assembly
+                .tree
+                .nodes()
+                .filter(|&i| assembly.tree.parent(i).is_none())
+                .count(),
             1
         );
     }

@@ -86,7 +86,8 @@ mod tests {
     #[test]
     fn textbook_example_counts() {
         // Same matrix as in etree.rs; fill entry (5,3) is created.
-        let pattern = SparsePattern::from_edges(6, &[(3, 0), (5, 1), (4, 2), (5, 2), (4, 3), (5, 4)]);
+        let pattern =
+            SparsePattern::from_edges(6, &[(3, 0), (5, 1), (4, 2), (5, 2), (4, 3), (5, 4)]);
         let etree = elimination_tree(&pattern);
         let counts = column_counts(&pattern, &etree);
         // L columns: 0: {0,3}; 1: {1,5}; 2: {2,4,5}; 3: {3,4}; 4: {4,5}; 5: {5}.

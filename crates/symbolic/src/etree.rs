@@ -35,7 +35,9 @@ impl EliminationTree {
     /// The roots of the forest (usually a single one for irreducible
     /// matrices).
     pub fn roots(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&j| self.parent[j].is_none()).collect()
+        (0..self.len())
+            .filter(|&j| self.parent[j].is_none())
+            .collect()
     }
 
     /// Children lists (children of every column, increasing).
@@ -66,13 +68,12 @@ impl EliminationTree {
                 path.push(p);
                 cur = p;
             }
-            let mut base = match self.parent[cur] {
+            let base = match self.parent[cur] {
                 Some(p) => depth[p] + 1,
                 None => 0,
             };
-            for &v in path.iter().rev() {
-                depth[v] = base;
-                base += 1;
+            for (offset, &v) in path.iter().rev().enumerate() {
+                depth[v] = base + offset;
             }
         }
         depth
@@ -164,7 +165,8 @@ mod tests {
     fn textbook_example() {
         // Classic example (Liu 1990, Fig. 2.1-like): arrow + extra couplings.
         // Lower triangle nonzeros: (3,0), (5,1), (4,2), (5,2), (4,3), (5,4).
-        let pattern = SparsePattern::from_edges(6, &[(3, 0), (5, 1), (4, 2), (5, 2), (4, 3), (5, 4)]);
+        let pattern =
+            SparsePattern::from_edges(6, &[(3, 0), (5, 1), (4, 2), (5, 2), (4, 3), (5, 4)]);
         let etree = elimination_tree(&pattern);
         assert_eq!(etree.parent(0), Some(3));
         assert_eq!(etree.parent(1), Some(5));
@@ -217,7 +219,8 @@ mod tests {
         // RCM-like band ordering gives a chain; a dissection-like ordering
         // gives a shallower tree on a grid.
         let pattern = grid2d_5pt(10, 10);
-        let chain_height = elimination_tree(&pattern.permute(Permutation::identity(100).as_new_to_old())).height();
+        let chain_height =
+            elimination_tree(&pattern.permute(Permutation::identity(100).as_new_to_old())).height();
         let md = minimum_degree(&pattern);
         let md_height = elimination_tree(&md.apply(&pattern)).height();
         assert!(md_height <= chain_height);

@@ -69,9 +69,7 @@ fn main() {
     let optimal_order: Vec<usize> = min_mem(&model).traversal.reversed().into_order();
     let po_run = instrumented_factorization(&matrix, Some(&postorder_order)).unwrap();
     let opt_run = instrumented_factorization(&matrix, Some(&optimal_order)).unwrap();
-    println!(
-        "\nnumeric multifrontal factorization (per-column fronts, peaks in matrix entries):"
-    );
+    println!("\nnumeric multifrontal factorization (per-column fronts, peaks in matrix entries):");
     println!(
         "  best postorder : measured {} / model {}",
         po_run.measured_peak_entries, po_run.model_peak_entries
@@ -80,14 +78,24 @@ fn main() {
         "  optimal        : measured {} / model {}",
         opt_run.measured_peak_entries, opt_run.model_peak_entries
     );
-    assert_eq!(po_run.measured_peak_entries as i64, po_run.model_peak_entries);
-    assert_eq!(opt_run.measured_peak_entries as i64, opt_run.model_peak_entries);
+    assert_eq!(
+        po_run.measured_peak_entries as i64,
+        po_run.model_peak_entries
+    );
+    assert_eq!(
+        opt_run.measured_peak_entries as i64,
+        opt_run.model_peak_entries
+    );
 
     // And the factorization actually solves linear systems.
     let expected: Vec<f64> = (0..matrix.n()).map(|i| (i % 5) as f64).collect();
     let rhs = matrix.multiply(&expected);
     let solution = solve(&opt_run.factor, &rhs);
-    let error = solution.iter().zip(&expected).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+    let error = solution
+        .iter()
+        .zip(&expected)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
     println!("\nsolve check: max error {error:.2e}");
     assert!(error < 1e-8);
 }

@@ -18,7 +18,10 @@ fn main() {
     let eps = 1;
 
     println!("harpoon towers with {branches} branches, big file {big}, small file {eps}\n");
-    println!("{:>7} {:>9} {:>14} {:>14} {:>8}", "levels", "nodes", "postorder", "optimal", "ratio");
+    println!(
+        "{:>7} {:>9} {:>14} {:>14} {:>8}",
+        "levels", "nodes", "postorder", "optimal", "ratio"
+    );
     for levels in 1..=5 {
         let tree = harpoon_tower(branches, big, eps, levels);
         let postorder = best_postorder(&tree);
@@ -32,7 +35,10 @@ fn main() {
         );
         // The closed forms of the gadget module predict both the single-level
         // values and the tower postorder peak.
-        assert_eq!(postorder.peak, harpoon_tower_postorder_peak(branches, big, eps, levels));
+        assert_eq!(
+            postorder.peak,
+            harpoon_tower_postorder_peak(branches, big, eps, levels)
+        );
         if levels == 1 {
             assert_eq!(postorder.peak, harpoon_postorder_peak(branches, big, eps));
             assert_eq!(optimal.peak, harpoon_optimal_peak(branches, big, eps));

@@ -1,19 +1,19 @@
 //! Out-of-core planning: when the main memory is smaller than the MinMemory
-//! value, compare the six eviction heuristics of the paper over a sweep of
-//! memory sizes and traversals.
+//! value, compare **every registered eviction policy** (the six paper
+//! heuristics plus the cache-inspired ones) over a sweep of memory sizes,
+//! and every registered solver's traversal under First Fit.
 //!
 //! Run with:
 //! ```text
 //! cargo run --release --example out_of_core
 //! ```
 
-use minio::{divisible_lower_bound, schedule_io, ALL_POLICIES};
+use minio::{divisible_lower_bound, schedule_io_with, PolicyRegistry};
 use ordering::OrderingMethod;
 use sparsemat::gen::ProblemKind;
 use symbolic::assembly_tree_for;
-use treemem::liu::liu_exact;
 use treemem::minmem::min_mem;
-use treemem::postorder::best_postorder;
+use treemem::solver::SolverRegistry;
 
 fn main() {
     // An assembly tree of a banded matrix ordered with nested dissection and
@@ -24,22 +24,21 @@ fn main() {
     let assembly = assembly_tree_for(&pattern, OrderingMethod::NestedDissection, 1);
     let tree = &assembly.tree;
 
-    let postorder = best_postorder(tree);
-    let liu = liu_exact(tree);
+    let solvers = SolverRegistry::with_builtin();
+    let policies = PolicyRegistry::with_builtin();
     let optimal = min_mem(tree);
     println!(
-        "assembly tree: {} nodes, max MemReq {}, optimal peak {}, postorder peak {}",
+        "assembly tree: {} nodes, max MemReq {}, optimal peak {}",
         tree.len(),
         tree.max_mem_req(),
         optimal.peak,
-        postorder.peak
     );
 
     // Sweep the memory from the hardest feasible budget (max MemReq) towards
-    // the optimal peak.
+    // the optimal peak, for every registered policy.
     println!("\nI/O volume written to secondary memory (MinMem traversal):");
     print!("{:>10}", "memory");
-    for policy in ALL_POLICIES {
+    for policy in policies.iter() {
         print!("{:>11}", policy.name());
     }
     println!("{:>11}", "divisible");
@@ -47,23 +46,26 @@ fn main() {
     for step in 0..5 {
         let memory = lower + (optimal.peak - lower) * step / 5;
         print!("{memory:>10}");
-        for policy in ALL_POLICIES {
-            let run = schedule_io(tree, &optimal.traversal, memory, policy).unwrap();
+        for policy in policies.iter() {
+            let run = schedule_io_with(tree, &optimal.traversal, memory, policy).unwrap();
             print!("{:>11}", run.io_volume);
         }
         let bound = divisible_lower_bound(tree, &optimal.traversal, memory).unwrap();
         println!("{bound:>11}");
     }
 
-    // Compare the three traversals under the First Fit policy at the hardest
-    // budget, as in Figure 8 of the paper.
+    // Compare every solver's traversal under the First Fit policy at the
+    // hardest budget, as in Figure 8 of the paper.
+    let first_fit = policies.get("FirstFit").expect("built-in policy");
     println!("\nI/O volume at memory = max MemReq ({lower}) with First Fit:");
-    for (name, traversal) in [
-        ("best postorder", &postorder.traversal),
-        ("Liu", &liu.traversal),
-        ("MinMem", &optimal.traversal),
-    ] {
-        let run = schedule_io(tree, traversal, lower, minio::EvictionPolicy::FirstFit).unwrap();
-        println!("  {name:15}: {:8} units in {:4} files", run.io_volume, run.files_written);
+    for solver in solvers.iter().filter(|s| s.supports(tree)) {
+        let traversal = solver.solve(tree).traversal;
+        let run = schedule_io_with(tree, &traversal, lower, first_fit).unwrap();
+        println!(
+            "  {:15}: {:8} units in {:4} files",
+            solver.name(),
+            run.io_volume,
+            run.files_written
+        );
     }
 }

@@ -30,7 +30,11 @@ fn main() {
     }
     let tree = builder.build().expect("hand-built tree is valid");
 
-    println!("tree with {} nodes, largest single-node requirement {}", tree.len(), tree.max_mem_req());
+    println!(
+        "tree with {} nodes, largest single-node requirement {}",
+        tree.len(),
+        tree.max_mem_req()
+    );
 
     // 1. MinMemory: how much main memory does an in-core execution need?
     let natural = natural_postorder(&tree);
@@ -48,8 +52,14 @@ fn main() {
     // largest single node), how much data must be written to secondary
     // storage?
     let memory = tree.max_mem_req();
-    assert!(memory < minmem.peak, "this workflow needs more than its largest node");
-    for policy in [EvictionPolicy::FirstFit, EvictionPolicy::LastScheduledNodeFirst] {
+    assert!(
+        memory < minmem.peak,
+        "this workflow needs more than its largest node"
+    );
+    for policy in [
+        EvictionPolicy::FirstFit,
+        EvictionPolicy::LastScheduledNodeFirst,
+    ] {
         let run = schedule_io(&tree, &minmem.traversal, memory, policy)
             .expect("memory is above the largest single-node requirement");
         println!(

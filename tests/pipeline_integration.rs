@@ -1,41 +1,72 @@
 //! Cross-crate integration tests: the full pipeline from a sparse matrix to
 //! traversals, out-of-core schedules and the numeric factorization.
 
-use minio::{check_out_of_core, divisible_lower_bound, schedule_io, ALL_POLICIES};
+use minio::{check_out_of_core, divisible_lower_bound, schedule_io_with, PolicyRegistry};
 use multifrontal::memory::per_column_model;
 use multifrontal::numeric::SymbolicStructure;
 use multifrontal::{instrumented_factorization, solve};
 use ordering::OrderingMethod;
 use sparsemat::gen::{spd_matrix_from_pattern, ProblemKind};
 use symbolic::{assembly_tree_for, column_counts, elimination_tree};
-use treemem::liu::liu_exact;
 use treemem::minmem::min_mem;
-use treemem::postorder::{best_postorder, natural_postorder};
+use treemem::postorder::best_postorder;
+use treemem::solver::SolverRegistry;
 
-/// The full symbolic pipeline produces trees on which the three MinMemory
-/// algorithms satisfy all the paper's ordering relations, for every problem
-/// kind and every ordering method.
+/// The full symbolic pipeline produces trees on which every registered
+/// MinMemory solver satisfies all the paper's ordering relations, for every
+/// problem kind and every ordering method.
 #[test]
 fn minmemory_invariants_across_the_whole_corpus() {
+    let solvers = SolverRegistry::with_builtin();
     for kind in ProblemKind::ALL {
         let pattern = kind.generate(200, 3);
         for method in OrderingMethod::ALL {
             for allowance in [1usize, 4] {
                 let assembly = assembly_tree_for(&pattern, method, allowance);
                 let tree = &assembly.tree;
-                let natural = natural_postorder(tree);
-                let po = best_postorder(tree);
-                let liu = liu_exact(tree);
-                let mm = min_mem(tree);
                 let context = format!("{} / {} / a{}", kind.name(), method.name(), allowance);
-                assert_eq!(liu.peak, mm.peak, "{context}: exact algorithms disagree");
-                assert!(mm.peak <= po.peak, "{context}: optimal above postorder");
-                assert!(po.peak <= natural.peak, "{context}: best postorder above natural");
-                assert!(mm.peak >= tree.max_mem_req(), "{context}: optimal below MemReq bound");
-                assert_eq!(
-                    mm.peak,
-                    mm.traversal.peak_memory(tree).unwrap(),
-                    "{context}: reported peak does not match the traversal"
+                let results: Vec<_> = solvers
+                    .iter()
+                    .filter(|s| s.supports(tree))
+                    .map(|s| (s.name(), s.is_exact(), s.solve(tree)))
+                    .collect();
+                let optimal = results
+                    .iter()
+                    .find(|(_, exact, _)| *exact)
+                    .map(|(_, _, r)| r.peak)
+                    .expect("an exact solver always runs");
+                for (name, exact, result) in &results {
+                    if *exact {
+                        assert_eq!(
+                            result.peak, optimal,
+                            "{context}: exact solver {name} disagrees"
+                        );
+                    } else {
+                        assert!(
+                            result.peak >= optimal,
+                            "{context}: optimal above inexact solver {name}"
+                        );
+                    }
+                    assert!(
+                        result.peak >= tree.max_mem_req(),
+                        "{context}: {name} below MemReq bound"
+                    );
+                    assert_eq!(
+                        result.peak,
+                        result.traversal.peak_memory(tree).unwrap(),
+                        "{context}: {name} reported peak does not match the traversal"
+                    );
+                }
+                let peak_of = |solver: &str| {
+                    results
+                        .iter()
+                        .find(|(name, _, _)| *name == solver)
+                        .map(|(_, _, r)| r.peak)
+                        .expect("built-in solver ran")
+                };
+                assert!(
+                    peak_of("postorder") <= peak_of("natural"),
+                    "{context}: best postorder above natural"
                 );
             }
         }
@@ -56,11 +87,16 @@ fn symbolic_structure_consistency() {
     assert_eq!(structure.etree.parents(), etree.parents());
 }
 
-/// Out-of-core schedules produced by every heuristic validate under the
-/// independent Algorithm-2 checker on assembly trees, and never beat the
+/// Out-of-core schedules produced by every registered policy validate under
+/// the independent Algorithm-2 checker on assembly trees, and never beat the
 /// divisible lower bound.
 #[test]
-fn minio_heuristics_are_consistent_on_assembly_trees() {
+fn minio_policies_are_consistent_on_assembly_trees() {
+    let policies = PolicyRegistry::with_builtin();
+    assert!(
+        policies.len() >= 9,
+        "paper heuristics plus cache-inspired policies"
+    );
     let pattern = ProblemKind::Random.generate(300, 11);
     let assembly = assembly_tree_for(&pattern, OrderingMethod::MinimumDegree, 1);
     let tree = &assembly.tree;
@@ -69,12 +105,13 @@ fn minio_heuristics_are_consistent_on_assembly_trees() {
     for step in 0..3 {
         let memory = lower + (optimal.peak - lower) * step / 3;
         let bound = divisible_lower_bound(tree, &optimal.traversal, memory).unwrap();
-        for policy in ALL_POLICIES {
-            let run = schedule_io(tree, &optimal.traversal, memory, policy).unwrap();
+        for policy in policies.iter() {
+            let name = policy.name();
+            let run = schedule_io_with(tree, &optimal.traversal, memory, policy).unwrap();
             let check = check_out_of_core(tree, &optimal.traversal, &run.schedule, memory).unwrap();
-            assert_eq!(check.io_volume, run.io_volume, "{policy}");
-            assert!(run.io_volume >= bound, "{policy}");
-            assert!(run.peak_memory <= memory, "{policy}");
+            assert_eq!(check.io_volume, run.io_volume, "{name}");
+            assert!(run.io_volume >= bound, "{name}");
+            assert!(run.peak_memory <= memory, "{name}");
         }
     }
 }
@@ -94,15 +131,26 @@ fn numeric_factorization_matches_the_model_end_to_end() {
     let optimal_run = instrumented_factorization(&matrix, Some(&optimal_order)).unwrap();
     let postorder_run = instrumented_factorization(&matrix, Some(&postorder_order)).unwrap();
 
-    assert_eq!(optimal_run.measured_peak_entries as i64, optimal_run.model_peak_entries);
-    assert_eq!(postorder_run.measured_peak_entries as i64, postorder_run.model_peak_entries);
+    assert_eq!(
+        optimal_run.measured_peak_entries as i64,
+        optimal_run.model_peak_entries
+    );
+    assert_eq!(
+        postorder_run.measured_peak_entries as i64,
+        postorder_run.model_peak_entries
+    );
     assert!(optimal_run.measured_peak_entries <= postorder_run.measured_peak_entries);
 
-    let expected: Vec<f64> = (0..matrix.n()).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+    let expected: Vec<f64> = (0..matrix.n())
+        .map(|i| ((i * 7) % 13) as f64 - 6.0)
+        .collect();
     let rhs = matrix.multiply(&expected);
     let solution = solve(&optimal_run.factor, &rhs);
-    let error =
-        solution.iter().zip(&expected).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+    let error = solution
+        .iter()
+        .zip(&expected)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
     assert!(error < 1e-7, "solve error {error}");
 }
 
