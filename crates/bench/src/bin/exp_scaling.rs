@@ -1,0 +1,405 @@
+//! Large-`p` scaling benchmark: times the MinMemory solvers and the
+//! out-of-core simulator on the deterministic scaling corpus (chains,
+//! harpoon towers, nested-dissection etrees, combs at 10⁴–10⁶ nodes) and
+//! emits the machine-readable `BENCH_scaling.json`.
+//!
+//! Three kinds of cells are recorded:
+//!
+//! * `solver` — one MinMemory solver on one tree (`chain-100000/minmem`);
+//! * `sim` — one simulated out-of-core run of the natural traversal on a
+//!   comb, under LSNF, for both the incremental simulator and the retained
+//!   naive one (`comb-100000/sim-incremental`); the `speedups` section pairs
+//!   them up, which is where the incremental-vs-naive ratio required by the
+//!   performance work is recorded;
+//! * `sweep` — the scaling corpus pushed through the parallel sweep engine
+//!   (reduced grid), exercising the same code path as `exp_minio_sweep`.
+//!
+//! Flags: `--quick` uses the reduced corpus (the CI smoke configuration);
+//! `--check <reference.json>` additionally compares every cell against the
+//! checked-in reference timings and exits non-zero if any cell regressed
+//! more than [`REGRESSION_FACTOR`]× (cells below [`CHECK_FLOOR_SECONDS`] in
+//! the reference are skipped as timer noise).  The JSON is written to the
+//! current directory, or `TREEMEM_SWEEP_DIR` if set.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bench::{
+    memory_sweep, run_sweep, run_with_big_stack, scaling_corpus_full, scaling_corpus_reduced,
+    Corpus, SweepConfig,
+};
+use minio::{schedule_io_naive, schedule_io_with};
+use perfprof::{speedup, time_runs, TimingSummary};
+use treemem::postorder::natural_postorder;
+use treemem::solver::SolverRegistry;
+
+/// A cell regressing more than this factor against the reference fails the
+/// `--check` gate (generous, to tolerate CI runner noise).
+const REGRESSION_FACTOR: f64 = 3.0;
+/// Reference cells faster than this are skipped by `--check`: at that scale
+/// the comparison measures the timer, not the algorithm.
+const CHECK_FLOOR_SECONDS: f64 = 0.002;
+/// The naive simulator is O(p²); running it beyond this size measures
+/// patience, not performance.
+const NAIVE_SIM_NODE_LIMIT: usize = 150_000;
+
+/// A fixed CPU-bound integer workload (independent of any code under test)
+/// timed alongside the cells.  `--check` rescales the reference timings by
+/// the ratio of the two calibration measurements, so the regression gate
+/// compares algorithmic cost, not the speed of the machine that recorded
+/// the reference.
+fn calibration_seconds() -> f64 {
+    let (_, timing) = time_runs(3, || {
+        let mut acc: u64 = 0x9e37_79b9_7f4a_7c15;
+        for i in 0..50_000_000u64 {
+            acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(i);
+        }
+        std::hint::black_box(acc)
+    });
+    timing.median_seconds
+}
+
+struct Cell {
+    name: String,
+    kind: &'static str,
+    nodes: usize,
+    timing: TimingSummary,
+    /// Solver cells: the peak; sim cells: the I/O volume; sweep: cell count.
+    value: i64,
+}
+
+struct Speedup {
+    name: String,
+    nodes: usize,
+    naive_seconds: f64,
+    incremental_seconds: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check_path = args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let exit_code = run_with_big_stack(move || run(quick, check_path));
+    std::process::exit(exit_code);
+}
+
+fn run(quick: bool, check_path: Option<String>) -> i32 {
+    let corpus = if quick {
+        scaling_corpus_reduced()
+    } else {
+        scaling_corpus_full()
+    };
+    // Repeat cheap quick cells for a stable median; full-size cells run once.
+    let runs = if quick { 5 } else { 1 };
+    println!(
+        "# scaling benchmark: {} trees ({}), {} run(s) per cell",
+        corpus.len(),
+        corpus.description,
+        runs
+    );
+
+    let calibration = calibration_seconds();
+    println!("calibration workload: {:.3} ms", calibration * 1e3);
+
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut speedups: Vec<Speedup> = Vec::new();
+
+    solver_cells(&corpus, runs, &mut cells);
+    simulator_cells(&corpus, runs, &mut cells, &mut speedups);
+    sweep_cell(&corpus, &mut cells);
+
+    println!("\n{:<38} {:>12} {:>14}", "cell", "median", "value");
+    for cell in &cells {
+        println!(
+            "{:<38} {:>9.3} ms {:>14}",
+            cell.name,
+            cell.timing.median_seconds * 1e3,
+            cell.value
+        );
+    }
+    println!("\nincremental vs naive simulator (LSNF on the natural traversal):");
+    for s in &speedups {
+        println!(
+            "  {:<28} naive {:>9.3} ms  incremental {:>9.3} ms  speedup {:>6.1}x",
+            s.name,
+            s.naive_seconds * 1e3,
+            s.incremental_seconds * 1e3,
+            s.speedup
+        );
+    }
+
+    let json = render_json(quick, calibration, &corpus, &cells, &speedups);
+    let directory = std::env::var_os("TREEMEM_SWEEP_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let path = directory.join("BENCH_scaling.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nWrote {}", path.display()),
+        Err(err) => {
+            eprintln!("could not write {}: {err}", path.display());
+            return 1;
+        }
+    }
+
+    match check_path {
+        None => 0,
+        Some(reference) => check_against_reference(&reference, calibration, &cells),
+    }
+}
+
+/// Time every registered solver (minus the exponential oracle) on every tree.
+fn solver_cells(corpus: &Corpus, runs: usize, cells: &mut Vec<Cell>) {
+    let registry = SolverRegistry::with_builtin();
+    for entry in &corpus.trees {
+        for solver in registry.iter().filter(|s| s.name() != "brute") {
+            let (result, timing) = time_runs(runs, || solver.solve(&entry.tree));
+            cells.push(Cell {
+                name: format!("{}/{}", entry.name, solver.name()),
+                kind: "solver",
+                nodes: entry.nodes,
+                timing,
+                value: result.peak,
+            });
+        }
+    }
+}
+
+/// Time the incremental simulator against the retained naive one on the comb
+/// family, whose natural traversal produces one eviction deficit per spine
+/// step once the budget bites.
+fn simulator_cells(
+    corpus: &Corpus,
+    runs: usize,
+    cells: &mut Vec<Cell>,
+    speedups: &mut Vec<Speedup>,
+) {
+    let lsnf = minio::policy::paper::Lsnf;
+    for entry in corpus.trees.iter().filter(|t| t.name.starts_with("comb-")) {
+        let po = natural_postorder(&entry.tree);
+        // The hardest feasible budget (max MemReq): the resident set stays a
+        // handful of files while every spine step runs a deficit, which is
+        // exactly the regime where the naive full-scan rebuild pays O(p) per
+        // step and the incremental candidate set pays O(resident).
+        let memory = memory_sweep(&entry.tree, po.peak, &[0.0])[0];
+        let (incremental, inc_timing) = time_runs(runs, || {
+            schedule_io_with(&entry.tree, &po.traversal, memory, &lsnf)
+                .expect("budget is above max MemReq by construction")
+        });
+        cells.push(Cell {
+            name: format!("{}/sim-incremental", entry.name),
+            kind: "sim",
+            nodes: entry.nodes,
+            timing: inc_timing,
+            value: incremental.io_volume,
+        });
+        if entry.nodes > NAIVE_SIM_NODE_LIMIT {
+            continue;
+        }
+        let (naive, naive_timing) = time_runs(runs, || {
+            schedule_io_naive(&entry.tree, &po.traversal, memory, &lsnf)
+                .expect("budget is above max MemReq by construction")
+        });
+        assert_eq!(
+            incremental.io_volume, naive.io_volume,
+            "{}: incremental and naive simulators disagree",
+            entry.name
+        );
+        cells.push(Cell {
+            name: format!("{}/sim-naive", entry.name),
+            kind: "sim",
+            nodes: entry.nodes,
+            timing: naive_timing,
+            value: naive.io_volume,
+        });
+        speedups.push(Speedup {
+            name: format!("{}/LSNF", entry.name),
+            nodes: entry.nodes,
+            naive_seconds: naive_timing.median_seconds,
+            incremental_seconds: inc_timing.median_seconds,
+            speedup: speedup(&naive_timing, &inc_timing),
+        });
+    }
+}
+
+/// Push the scaling corpus through the parallel sweep engine on a reduced
+/// grid (exact solvers × LSNF/FirstFit at one budget), so the corpus is
+/// exercised by the same machinery as `exp_minio_sweep`.
+fn sweep_cell(corpus: &Corpus, cells: &mut Vec<Cell>) {
+    // The sweep solves each tree once per solver; keep the grid to the two
+    // asymptotically interesting solvers and two policies.
+    let config = SweepConfig {
+        memory_fractions: vec![0.5],
+        solvers: vec!["postorder".into(), "liu".into()],
+        policies: vec!["LSNF".into(), "FirstFit".into()],
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let report = run_sweep(corpus, &config);
+    let seconds = start.elapsed().as_secs_f64();
+    let nodes = corpus.trees.iter().map(|t| t.nodes).sum();
+    cells.push(Cell {
+        name: "sweep/scaling-corpus".to_string(),
+        kind: "sweep",
+        nodes,
+        timing: perfprof::summarize_seconds(&[seconds]),
+        value: report.records.len() as i64,
+    });
+}
+
+fn render_json(
+    quick: bool,
+    calibration: f64,
+    corpus: &Corpus,
+    cells: &[Cell],
+    speedups: &[Speedup],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"scaling/v1\",\n");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"calibration_seconds\": {calibration:.6},");
+    let _ = writeln!(out, "  \"trees\": {},", corpus.len());
+    out.push_str("  \"cells\": [\n");
+    for (index, cell) in cells.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"kind\": \"{}\", \"nodes\": {}, \"runs\": {}, \
+             \"seconds\": {:.6}, \"min_seconds\": {:.6}, \"max_seconds\": {:.6}, \
+             \"value\": {}}}{}",
+            cell.name,
+            cell.kind,
+            cell.nodes,
+            cell.timing.runs,
+            cell.timing.median_seconds,
+            cell.timing.min_seconds,
+            cell.timing.max_seconds,
+            cell.value,
+            if index + 1 < cells.len() { "," } else { "" },
+        );
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"speedups\": [\n");
+    for (index, s) in speedups.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"nodes\": {}, \"naive_seconds\": {:.6}, \
+             \"incremental_seconds\": {:.6}, \"speedup\": {:.2}}}{}",
+            s.name,
+            s.nodes,
+            s.naive_seconds,
+            s.incremental_seconds,
+            s.speedup,
+            if index + 1 < speedups.len() { "," } else { "" },
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parse `"name": "..."` / `"seconds": ...` pairs out of a reference
+/// `BENCH_scaling.json` (one cell per line, as written by [`render_json`]).
+fn parse_reference(contents: &str) -> Vec<(String, f64)> {
+    let mut cells = Vec::new();
+    for line in contents.lines() {
+        let Some(name) = extract_str(line, "\"name\": \"") else {
+            continue;
+        };
+        let Some(seconds) = extract_f64(line, "\"seconds\": ") else {
+            continue;
+        };
+        cells.push((name, seconds));
+    }
+    cells
+}
+
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let start = line.find(key)? + key.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+fn extract_f64(line: &str, key: &str) -> Option<f64> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && c != 'e' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Compare the measured cells against the checked-in reference timings:
+/// every cell present in both that is slower than `REGRESSION_FACTOR` times
+/// the (machine-rescaled) reference fails the gate (reference cells below
+/// the noise floor are skipped).
+///
+/// The reference was recorded on some other machine; its
+/// `calibration_seconds` (same fixed workload as [`calibration_seconds`])
+/// tells us how fast that machine was, and the reference timings are scaled
+/// by `local calibration / reference calibration` before comparison, so a
+/// slower CI runner does not read as a regression.
+fn check_against_reference(path: &str, calibration: f64, cells: &[Cell]) -> i32 {
+    let contents = match std::fs::read_to_string(path) {
+        Ok(contents) => contents,
+        Err(err) => {
+            eprintln!("could not read reference timings {path}: {err}");
+            return 1;
+        }
+    };
+    let reference = parse_reference(&contents);
+    if reference.is_empty() {
+        eprintln!("reference file {path} contains no cells");
+        return 1;
+    }
+    let scale = match extract_f64(&contents, "\"calibration_seconds\": ") {
+        Some(ref_calibration) if ref_calibration > 0.0 => calibration / ref_calibration,
+        _ => {
+            eprintln!("reference file {path} has no calibration; comparing unscaled");
+            1.0
+        }
+    };
+    println!(
+        "\n## regression check against {path} (limit {REGRESSION_FACTOR}x, machine scale {scale:.2})"
+    );
+    let mut compared = 0usize;
+    let mut failures = 0usize;
+    for cell in cells {
+        let Some((_, raw_ref)) = reference.iter().find(|(name, _)| *name == cell.name) else {
+            continue;
+        };
+        if *raw_ref < CHECK_FLOOR_SECONDS {
+            continue;
+        }
+        compared += 1;
+        let ref_seconds = raw_ref * scale;
+        let ratio = cell.timing.median_seconds / ref_seconds;
+        let verdict = if ratio > REGRESSION_FACTOR {
+            failures += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {:<38} ref {:>9.3} ms  now {:>9.3} ms  ratio {:>5.2}  {}",
+            cell.name,
+            ref_seconds * 1e3,
+            cell.timing.median_seconds * 1e3,
+            ratio,
+            verdict
+        );
+    }
+    println!("compared {compared} cells, {failures} regression(s)");
+    if compared == 0 {
+        eprintln!("no reference cell was comparable; refusing to pass an empty gate");
+        return 1;
+    }
+    if failures > 0 {
+        1
+    } else {
+        0
+    }
+}

@@ -14,6 +14,7 @@
 //! | `exp_theorem1`         | Theorem 1 (harpoon towers) and Theorem 2 gadget |
 //! | `exp_multifrontal`     | end-to-end multifrontal check (Section II-A) |
 //! | `exp_minio_sweep`      | full policies × solvers sweep (`BENCH_minio_sweep.json`) |
+//! | `exp_scaling`          | large-`p` scaling benchmark + CI regression gate (`BENCH_scaling.json`) |
 //! | `exp_all`              | everything above, with the quick corpus |
 //!
 //! The library part of the crate holds the shared infrastructure: corpus
@@ -31,8 +32,8 @@ pub mod runner;
 pub mod sweep;
 
 pub use corpus::{
-    corpus_for, default_config, default_corpus, quick_config, quick_corpus, random_corpus, Corpus,
-    CorpusTree,
+    corpus_for, default_config, default_corpus, quick_config, quick_corpus, random_corpus,
+    scaling_corpus, scaling_corpus_full, scaling_corpus_reduced, Corpus, CorpusTree,
 };
 pub use parallel::{default_threads, par_map};
 pub use report::{write_report, ExperimentArgs, ReportFile};

@@ -73,6 +73,10 @@ pub struct SweepRecord {
     pub files_written: usize,
     /// Divisible-relaxation lower bound for this traversal and budget.
     pub divisible_bound: Size,
+    /// Wall-clock seconds of the simulated out-of-core run for this cell
+    /// (the `schedule_io_with` call only, excluding the solver), so future
+    /// performance work has a per-cell trajectory to compare against.
+    pub cell_seconds: f64,
 }
 
 /// The outcome of [`run_sweep`].
@@ -122,11 +126,12 @@ fn json_string_array(items: &[String]) -> String {
 }
 
 impl SweepReport {
-    /// Render the report as a JSON document (schema `minio_sweep/v1`).
+    /// Render the report as a JSON document (schema `minio_sweep/v2`; v2
+    /// added the per-cell `cell_seconds` wall-clock field).
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"minio_sweep/v1\",\n");
+        out.push_str("  \"schema\": \"minio_sweep/v2\",\n");
         out.push_str(&format!(
             "  \"corpus\": \"{}\",\n",
             json_escape(&self.corpus)
@@ -159,7 +164,8 @@ impl SweepReport {
             out.push_str(&format!(
                 "    {{\"instance\": \"{}\", \"nodes\": {}, \"solver\": \"{}\", \
                  \"solver_peak\": {}, \"memory\": {}, \"fraction\": {}, \"policy\": \"{}\", \
-                 \"io_volume\": {}, \"files_written\": {}, \"divisible_bound\": {}}}{}\n",
+                 \"io_volume\": {}, \"files_written\": {}, \"divisible_bound\": {}, \
+                 \"cell_seconds\": {:.6}}}{}\n",
                 json_escape(&r.instance),
                 r.nodes,
                 json_escape(&r.solver),
@@ -170,6 +176,7 @@ impl SweepReport {
                 r.io_volume,
                 r.files_written,
                 r.divisible_bound,
+                r.cell_seconds,
                 if index + 1 < self.records.len() {
                     ","
                 } else {
@@ -266,8 +273,10 @@ pub fn run_sweep_with(
             let bound = divisible_lower_bound(&entry.tree, &solved.traversal, memory)
                 .expect("memory is above max MemReq by construction");
             for (policy_idx, policy) in resolved_policies.iter().enumerate() {
+                let cell_start = Instant::now();
                 let run = schedule_io_with(&entry.tree, &solved.traversal, memory, *policy)
                     .expect("memory is above max MemReq by construction");
+                let cell_seconds = cell_start.elapsed().as_secs_f64();
                 records.push(SweepRecord {
                     instance: entry.name.clone(),
                     nodes: entry.nodes,
@@ -279,6 +288,7 @@ pub fn run_sweep_with(
                     io_volume: run.io_volume,
                     files_written: run.files_written,
                     divisible_bound: bound,
+                    cell_seconds,
                 });
             }
         }
@@ -392,9 +402,14 @@ mod tests {
         let report = run_sweep(&corpus, &config);
         let json = report.to_json();
         assert!(json.starts_with("{\n"));
-        assert!(json.contains("\"schema\": \"minio_sweep/v1\""));
+        assert!(json.contains("\"schema\": \"minio_sweep/v2\""));
         assert!(json.contains("\"policies\": [\"LSNF\""));
         assert_eq!(json.matches("\"instance\":").count(), report.records.len());
+        assert_eq!(
+            json.matches("\"cell_seconds\":").count(),
+            report.records.len()
+        );
+        assert!(report.records.iter().all(|r| r.cell_seconds >= 0.0));
         // Balanced braces and brackets (a cheap structural check).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

@@ -23,10 +23,18 @@
 //! bottom-up traversal, by the in-tree ↔ out-tree equivalence of
 //! Section III-C of the paper; its peak memory is identical.
 //!
-//! The worst-case complexity is `O(p²)` (the paper notes that reaching this
-//! bound requires a sophisticated multi-way merge; this implementation uses a
-//! simple stable sort, which is `O(p² log p)` in the worst case but close to
-//! `O(p log p)` on realistic assembly trees).
+//! The combination step is a heap-based k-way merge over per-child segment
+//! cursors (each child's sequence is already sorted by non-increasing
+//! `h − v`), and segment node lists are linked chains inside a single arena
+//! that supports O(1) concatenation — the full node order is materialised
+//! exactly once, at the root.  The overall complexity is
+//! `O(p log p)`-ish (`O(Σ segments · log degree)` for the merges plus `O(p)`
+//! for the flatten), whereas the previous implementation re-sorted every
+//! child segment with a stable sort and copied `Segment::nodes` vectors on
+//! every merge, which degenerated to `O(p²)` on chain-like trees.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::traversal::Traversal;
 use crate::tree::{NodeId, Size, Tree};
@@ -43,7 +51,58 @@ pub struct Segment {
     pub nodes: Vec<NodeId>,
 }
 
-impl Segment {
+/// Sentinel for "end of chain" in [`NodeArena`].
+const NIL: usize = usize::MAX;
+
+/// Arena-backed singly linked chains of node ids.  Every node of the tree is
+/// appended exactly once over the whole run, and two chains concatenate in
+/// O(1), which is what lets segment merges avoid copying node vectors.
+#[derive(Debug, Default)]
+struct NodeArena {
+    /// `(node, next-entry-index)`; `NIL` terminates a chain.
+    entries: Vec<(NodeId, usize)>,
+}
+
+impl NodeArena {
+    fn with_capacity(capacity: usize) -> Self {
+        NodeArena {
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// A one-node chain; returns its entry index (head == tail).
+    fn singleton(&mut self, node: NodeId) -> usize {
+        self.entries.push((node, NIL));
+        self.entries.len() - 1
+    }
+
+    /// Append chain `(b_head, ..)` after chain `(.., a_tail)`.
+    fn link(&mut self, a_tail: usize, b_head: usize) {
+        self.entries[a_tail].1 = b_head;
+    }
+
+    /// Collect a chain into `out`, in order.
+    fn collect_into(&self, head: usize, out: &mut Vec<NodeId>) {
+        let mut cursor = head;
+        while cursor != NIL {
+            let (node, next) = self.entries[cursor];
+            out.push(node);
+            cursor = next;
+        }
+    }
+}
+
+/// Internal hill–valley segment: like [`Segment`] but the executed nodes are
+/// an arena chain (`head`/`tail` entry indices) instead of an owned vector.
+#[derive(Debug, Clone, Copy)]
+struct Seg {
+    hill: Size,
+    valley: Size,
+    head: usize,
+    tail: usize,
+}
+
+impl Seg {
     fn key(&self) -> Size {
         self.hill - self.valley
     }
@@ -71,64 +130,117 @@ impl From<LiuResult> for TraversalResult {
 }
 
 /// Append `segment` to `sequence`, merging segments as needed to restore the
-/// normal form (valleys non-decreasing, `h − v` non-increasing).
-fn push_normalized(sequence: &mut Vec<Segment>, segment: Segment) {
+/// normal form (valleys non-decreasing, `h − v` non-increasing).  Merging two
+/// segments concatenates their node chains in O(1) through the arena.
+fn push_normalized(sequence: &mut Vec<Seg>, segment: Seg, arena: &mut NodeArena) {
     sequence.push(segment);
     while sequence.len() >= 2 {
-        let last = &sequence[sequence.len() - 1];
+        let last = sequence[sequence.len() - 1];
         let prev = &sequence[sequence.len() - 2];
         let valley_violated = last.valley < prev.valley;
         let slope_violated = last.key() > prev.key();
         if !valley_violated && !slope_violated {
             break;
         }
-        let last = sequence.pop().expect("length checked");
+        sequence.pop().expect("length checked");
         let prev = sequence.last_mut().expect("length checked");
         prev.hill = prev.hill.max(last.hill);
         prev.valley = last.valley;
-        prev.nodes.extend(last.nodes);
+        arena.link(prev.tail, last.head);
+        prev.tail = last.tail;
     }
 }
 
 /// Compute the normal-form hill–valley sequence of the subtree rooted at
 /// `node`, consuming the sequences of its children.
-fn combine(tree: &Tree, node: NodeId, child_sequences: Vec<Vec<Segment>>) -> Vec<Segment> {
-    // Merge all child segments by non-increasing (hill - valley).  A stable
-    // sort preserves the relative order of the segments of a single child
-    // because their keys are non-increasing by construction.
-    let mut tagged: Vec<(usize, Segment)> = Vec::new();
-    for (child_idx, sequence) in child_sequences.into_iter().enumerate() {
-        for segment in sequence {
-            tagged.push((child_idx, segment));
+///
+/// The children's sequences each have non-increasing keys `h − v` by
+/// construction, so the global non-increasing order is obtained with a
+/// k-way merge: a max-heap holds one cursor per child, keyed by the current
+/// segment's key with ties broken by the smallest child index.  This is
+/// exactly the order the previous stable sort produced (segments were
+/// appended child by child, so equal keys kept ascending child index), but
+/// costs `O(segments · log degree)` instead of a full re-sort.
+fn combine(
+    tree: &Tree,
+    node: NodeId,
+    own: Seg,
+    mut child_sequences: Vec<Vec<Seg>>,
+    arena: &mut NodeArena,
+) -> Vec<Seg> {
+    let mut residual = vec![0 as Size; child_sequences.len()];
+    let mut total_residual: Size = 0;
+
+    // Reusable-prefix fast path: if the *longest* child sequence's minimum
+    // key dominates every other child's maximum key, all of its segments
+    // form a prefix of the merge with zero offset (no other child has
+    // deposited residual memory yet), so its vector is reused in place and
+    // only the other children's segments are merged onto its tail.  The
+    // stable order breaks key ties by ascending child index, so a
+    // smaller-indexed child needs *strictly* smaller keys to merge after
+    // the prefix, while a larger-indexed one may tie.  This is what keeps
+    // caterpillar/comb-shaped trees — a long spine with small side subtrees
+    // at every level — linear instead of copying the spine sequence once
+    // per level.
+    let longest = (0..child_sequences.len())
+        .max_by_key(|&i| child_sequences[i].len())
+        .expect("combine is called with at least two children");
+    let prefix_key = child_sequences[longest].last().map(|segment| segment.key());
+    let mut combined: Vec<Seg> = match prefix_key {
+        Some(min_key)
+            if child_sequences.iter().enumerate().all(|(i, sequence)| {
+                i == longest
+                    || sequence.first().is_none_or(|first| {
+                        if i < longest {
+                            first.key() < min_key
+                        } else {
+                            first.key() <= min_key
+                        }
+                    })
+            }) =>
+        {
+            let sequence = std::mem::take(&mut child_sequences[longest]);
+            total_residual = sequence.last().map(|s| s.valley).unwrap_or(0);
+            residual[longest] = total_residual;
+            sequence
+        }
+        _ => Vec::new(),
+    };
+
+    let mut cursors: Vec<(Vec<Seg>, usize)> = child_sequences
+        .into_iter()
+        .map(|sequence| (sequence, 0))
+        .collect();
+    let mut heap: BinaryHeap<(Size, Reverse<usize>)> = BinaryHeap::with_capacity(cursors.len());
+    for (child_idx, (sequence, _)) in cursors.iter().enumerate() {
+        if let Some(first) = sequence.first() {
+            heap.push((first.key(), Reverse(child_idx)));
         }
     }
-    tagged.sort_by_key(|(_, segment)| std::cmp::Reverse(segment.key()));
 
-    let num_children = tree.children(node).len();
-    let mut residual = vec![0 as Size; num_children];
-    let mut total_residual: Size = 0;
-    let mut combined: Vec<Segment> = Vec::with_capacity(tagged.len() + 1);
-    for (child_idx, segment) in tagged {
+    while let Some((_, Reverse(child_idx))) = heap.pop() {
+        let (sequence, position) = &mut cursors[child_idx];
+        let segment = sequence[*position];
+        *position += 1;
+        if let Some(next) = sequence.get(*position) {
+            heap.push((next.key(), Reverse(child_idx)));
+        }
         let others = total_residual - residual[child_idx];
-        let absolute = Segment {
+        let absolute = Seg {
             hill: segment.hill + others,
             valley: segment.valley + others,
-            nodes: segment.nodes,
+            head: segment.head,
+            tail: segment.tail,
         };
         total_residual = others + segment.valley;
         residual[child_idx] = segment.valley;
-        push_normalized(&mut combined, absolute);
+        push_normalized(&mut combined, absolute, arena);
     }
     debug_assert_eq!(total_residual, tree.children_file_sum(node));
 
     // The node itself executes last (bottom-up orientation): all child files
     // are resident, it adds its execution file and produces its output file.
-    let own = Segment {
-        hill: tree.children_file_sum(node) + tree.n(node) + tree.f(node),
-        valley: tree.f(node),
-        nodes: vec![node],
-    };
-    push_normalized(&mut combined, own);
+    push_normalized(&mut combined, own, arena);
     combined
 }
 
@@ -141,27 +253,70 @@ fn combine(tree: &Tree, node: NodeId, child_sequences: Vec<Vec<Segment>>) -> Vec
 /// assert_eq!(liu_exact(&tree).peak, min_mem(&tree).peak);
 /// ```
 pub fn liu_exact(tree: &Tree) -> LiuResult {
-    let mut sequences: Vec<Option<Vec<Segment>>> = vec![None; tree.len()];
+    let mut arena = NodeArena::with_capacity(tree.len());
+    let mut sequences: Vec<Option<Vec<Seg>>> = vec![None; tree.len()];
     for &i in tree.dfs_bottomup().iter() {
-        let child_sequences: Vec<Vec<Segment>> = tree
-            .children(i)
-            .iter()
-            .map(|&c| {
-                sequences[c]
+        let children = tree.children(i);
+        let own = {
+            let entry = arena.singleton(i);
+            Seg {
+                hill: tree.children_file_sum(i) + tree.n(i) + tree.f(i),
+                valley: tree.f(i),
+                head: entry,
+                tail: entry,
+            }
+        };
+        let sequence = match children {
+            // Leaf: the sequence is the node's own segment.
+            [] => vec![own],
+            // Single child (every node of a chain, the spine of amalgamated
+            // assembly trees): the merge offsets are identically zero, so the
+            // child's sequence is extended *in place* — O(1) amortised
+            // instead of the O(sequence) copy a general merge costs, which
+            // is what keeps chain-like trees linear overall.
+            [child] => {
+                let mut sequence = sequences[*child]
                     .take()
-                    .expect("children processed before their parent")
-            })
-            .collect();
-        sequences[i] = Some(combine(tree, i, child_sequences));
+                    .expect("children processed before their parent");
+                debug_assert_eq!(
+                    sequence.last().map(|s| s.valley),
+                    Some(tree.children_file_sum(i))
+                );
+                push_normalized(&mut sequence, own, &mut arena);
+                sequence
+            }
+            _ => {
+                let child_sequences: Vec<Vec<Seg>> = children
+                    .iter()
+                    .map(|&c| {
+                        sequences[c]
+                            .take()
+                            .expect("children processed before their parent")
+                    })
+                    .collect();
+                combine(tree, i, own, child_sequences, &mut arena)
+            }
+        };
+        sequences[i] = Some(sequence);
     }
-    let root_sequence = sequences[tree.root()]
+    let root_internal = sequences[tree.root()]
         .take()
         .expect("root sequence computed");
-    let peak = root_sequence.iter().map(|s| s.hill).max().unwrap_or(0);
+    // Flatten the arena chains exactly once: materialise the public segments
+    // (with owned node vectors) and the bottom-up execution order.
+    let mut root_sequence: Vec<Segment> = Vec::with_capacity(root_internal.len());
     let mut bottom_up: Vec<NodeId> = Vec::with_capacity(tree.len());
-    for segment in &root_sequence {
-        bottom_up.extend_from_slice(&segment.nodes);
+    for seg in &root_internal {
+        let mut nodes = Vec::new();
+        arena.collect_into(seg.head, &mut nodes);
+        bottom_up.extend_from_slice(&nodes);
+        root_sequence.push(Segment {
+            hill: seg.hill,
+            valley: seg.valley,
+            nodes,
+        });
     }
+    let peak = root_sequence.iter().map(|s| s.hill).max().unwrap_or(0);
     debug_assert_eq!(bottom_up.len(), tree.len());
     bottom_up.reverse();
     let traversal = Traversal::new(bottom_up);

@@ -65,6 +65,97 @@ fn saturating_add(a: Size, b: Size) -> Size {
     a.saturating_add(b)
 }
 
+/// One suspended `Explore` activation of the explicit-stack driver.
+///
+/// The recursive formulation of Algorithm 3 recurses along the height of the
+/// tree, which reaches the node count on chain-like assembly trees (RCM and
+/// natural orderings routinely produce 10⁵-deep chains) and overflows the
+/// call stack.  [`explore`] therefore runs the same computation on a heap
+/// stack of these frames.
+///
+/// A frame owns no buffers: the per-activation data (current cut, the cut
+/// being consumed by the in-progress pass, the executed nodes) lives in
+/// shared flat arenas owned by the driver, of which each frame marks its
+/// start offset.  The regions are stack-disciplined — a child frame's
+/// regions sit on top of its parent's, and integration either *keeps* the
+/// child's cut region in place (it becomes the top of the parent's cut) or
+/// truncates it — so a million-node exploration performs O(1) heap
+/// allocations instead of several per node.
+#[derive(Debug, Clone, Copy, Default)]
+struct Frame {
+    avail: Size,
+    /// Start of this frame's cut region in the shared cut arena.
+    cut_start: usize,
+    /// Start of this frame's pass region in the shared old-cut arena.
+    old_start: usize,
+    /// Total input-file size of this frame's cut region.
+    cut_file_sum: Size,
+    /// Length of the shared traversal buffer when this frame was entered;
+    /// used to discard the subtree's executions if its cut is rejected.
+    traversal_mark: usize,
+    /// Next absolute index into the old-cut arena the pass has to look at.
+    idx: usize,
+    /// `cut_file_sum` frozen at the start of the pass (the paper's line 15
+    /// evaluates candidates against the cut as it was when the pass began).
+    pass_sum: Size,
+    first_pass: bool,
+    in_pass: bool,
+}
+
+/// The shared buffers of the explicit-stack driver.
+#[derive(Debug, Default)]
+struct Arenas {
+    /// Current cuts of all live frames, bottom frame first.
+    cut_nodes: Vec<NodeId>,
+    cut_peaks: Vec<Size>,
+    /// In-progress pass inputs of all live frames, bottom frame first.
+    old_nodes: Vec<NodeId>,
+    old_peaks: Vec<Size>,
+    /// Executed nodes (`Tr` in the paper), in execution order.
+    traversal: Vec<NodeId>,
+}
+
+impl Arenas {
+    /// Open a fresh frame for `node` (lines 6–11: cut = children, peaks =
+    /// their `MemReq`) on top of the arenas; the node's own execution goes
+    /// straight into the shared traversal buffer.
+    fn open_frame(&mut self, tree: &Tree, node: NodeId, avail: Size) -> Frame {
+        let frame = Frame {
+            avail,
+            cut_start: self.cut_nodes.len(),
+            old_start: self.old_nodes.len(),
+            cut_file_sum: tree.children_file_sum(node),
+            traversal_mark: self.traversal.len(),
+            idx: 0,
+            pass_sum: 0,
+            first_pass: true,
+            in_pass: false,
+        };
+        self.cut_nodes.extend_from_slice(tree.children(node));
+        // Until a child has been explored, the only safe lower bound on the
+        // memory needed to advance inside it is its own MemReq.
+        self.cut_peaks
+            .extend(tree.children(node).iter().map(|&c| tree.mem_req(c)));
+        self.traversal.push(node);
+        frame
+    }
+}
+
+#[inline]
+fn is_candidate(tree: &Tree, avail: Size, j: NodeId, peak_j: Size, sum: Size) -> bool {
+    avail - (sum - tree.f(j)) >= peak_j
+}
+
+/// Lines 20–22 for a finished frame: the `M_i^peak` value reported upward.
+fn frame_peak(tree: &Tree, frame: &Frame, arenas: &Arenas) -> Size {
+    arenas.cut_nodes[frame.cut_start..]
+        .iter()
+        .zip(arenas.cut_peaks[frame.cut_start..].iter())
+        .map(|(&j, &peak_j)| saturating_add(peak_j, frame.cut_file_sum - tree.f(j)))
+        .min()
+        .unwrap_or(INFINITE)
+}
+
 /// Algorithm 3 of the paper: explore the subtree rooted at `node` with
 /// `avail` units of memory (the input file of `node` counts against this
 /// budget) and return the minimum-memory reachable cut.
@@ -72,6 +163,10 @@ fn saturating_add(a: Size, b: Size) -> Size {
 /// `init` carries the cut and traversal of a previous exploration of the same
 /// subtree (used by [`min_mem`] when it restarts the root exploration with
 /// more memory); pass `None` for a fresh exploration.
+///
+/// The exploration is iterative (explicit heap stack), so arbitrarily deep
+/// trees — 10⁵-node chains and beyond — are handled without overflowing the
+/// call stack.
 pub fn explore(
     tree: &Tree,
     node: NodeId,
@@ -103,85 +198,152 @@ pub fn explore(
         }
     }
 
-    // Lines 6–11: initialise the cut, its cached peaks and the traversal.
-    let (mut cut, mut cut_peaks, mut traversal) = match init {
+    let mut arenas = Arenas::default();
+
+    // The root frame: either resumed from a previous MinMem iteration (lines
+    // 6–8) or freshly initialised from the children (lines 9–11).
+    let root_frame = match init {
         Some(state) if !state.is_empty() => {
             debug_assert_eq!(state.cut.len(), state.cut_peaks.len());
-            (state.cut, state.cut_peaks, state.traversal)
+            let cut_file_sum = state.cut.iter().map(|&c| tree.f(c)).sum();
+            arenas.cut_nodes = state.cut;
+            arenas.cut_peaks = state.cut_peaks;
+            arenas.traversal = state.traversal;
+            Frame {
+                avail,
+                cut_start: 0,
+                old_start: 0,
+                cut_file_sum,
+                traversal_mark: 0,
+                idx: 0,
+                pass_sum: 0,
+                first_pass: true,
+                in_pass: false,
+            }
         }
-        _ => {
-            let children: Vec<NodeId> = tree.children(node).to_vec();
-            // Until a child has been explored, the only safe lower bound on
-            // the memory needed to advance inside it is its own MemReq.
-            let peaks: Vec<Size> = children.iter().map(|&c| tree.mem_req(c)).collect();
-            (children, peaks, vec![node])
-        }
+        _ => arenas.open_frame(tree, node, avail),
     };
 
-    // Lines 12–19: iteratively improve the cut.  Each pass of the outer loop
-    // corresponds to one evaluation of the candidate set (line 19 in the
-    // paper); within a pass the cut is rebuilt while candidates are explored
-    // with the *current* amount of free memory, exactly as line 15 uses the
-    // current cut.  The total file size of the cut is maintained
-    // incrementally so each candidate costs O(1) besides its own recursive
-    // exploration.  On the first pass every initial cut node is a candidate
-    // (line 12).
-    let mut cut_file_sum: Size = cut.iter().map(|&c| tree.f(c)).sum();
-    let mut first_pass = true;
-    loop {
-        let is_candidate =
-            |j: NodeId, peak_j: Size, sum: Size| -> bool { avail - (sum - tree.f(j)) >= peak_j };
-        if !first_pass
-            && !cut
-                .iter()
-                .zip(cut_peaks.iter())
-                .any(|(&j, &peak_j)| is_candidate(j, peak_j, cut_file_sum))
-        {
-            break;
+    let mut stack: Vec<Frame> = vec![root_frame];
+
+    // Lines 12–19, iteratively: each pass of a frame corresponds to one
+    // evaluation of the candidate set (line 19 in the paper); within a pass
+    // the cut is rebuilt while candidates are explored with the *current*
+    // amount of free memory, exactly as line 15 uses the current cut.  The
+    // total file size of the cut is maintained incrementally so each
+    // candidate costs O(1) besides its own (pushed) exploration.  On the
+    // first pass every initial cut node is a candidate (line 12).
+    'driver: loop {
+        let frame = stack.last_mut().expect("stack is never empty here");
+
+        if !frame.in_pass {
+            let start_pass = frame.first_pass
+                || arenas.cut_nodes[frame.cut_start..]
+                    .iter()
+                    .zip(arenas.cut_peaks[frame.cut_start..].iter())
+                    .any(|(&j, &peak_j)| {
+                        is_candidate(tree, frame.avail, j, peak_j, frame.cut_file_sum)
+                    });
+            if !start_pass {
+                // This frame is done: report it upward (lines 20–22).
+                let finished = stack.pop().expect("just peeked");
+                let peak = frame_peak(tree, &finished, &arenas);
+                match stack.last_mut() {
+                    Some(parent) => {
+                        // Lines 16–18: merge the child's result.  The child's
+                        // cut and executions already sit on top of the
+                        // parent's arena regions, so *accepting* them is free
+                        // — they simply become part of the parent's regions —
+                        // and rejecting truncates.  This is what makes a full
+                        // exploration of a p-node chain O(p) instead of the
+                        // O(p²) that per-frame concatenation (the recursive
+                        // formulation) costs.
+                        let j = arenas.old_nodes[parent.idx];
+                        if finished.cut_file_sum <= tree.f(j) {
+                            // Replace `j` by the child's cut, kept in place.
+                            parent.cut_file_sum += finished.cut_file_sum - tree.f(j);
+                        } else {
+                            // Keep `j` in the cut but remember how much
+                            // memory its subtree needs to make progress;
+                            // discard the child's executions and cut.
+                            arenas.cut_nodes.truncate(finished.cut_start);
+                            arenas.cut_peaks.truncate(finished.cut_start);
+                            arenas.traversal.truncate(finished.traversal_mark);
+                            arenas.cut_nodes.push(j);
+                            arenas.cut_peaks.push(peak);
+                        }
+                        parent.idx += 1;
+                        continue 'driver;
+                    }
+                    None => {
+                        return ExploreOutcome {
+                            mem: finished.cut_file_sum,
+                            cut: arenas.cut_nodes.split_off(finished.cut_start),
+                            cut_peaks: arenas.cut_peaks.split_off(finished.cut_start),
+                            traversal: arenas.traversal,
+                            peak,
+                        };
+                    }
+                }
+            }
+            // Start a pass: move this frame's cut region to the top of the
+            // old-cut arena and rebuild the cut region from scratch.
+            frame.pass_sum = frame.cut_file_sum;
+            frame.old_start = arenas.old_nodes.len();
+            frame.idx = frame.old_start;
+            arenas
+                .old_nodes
+                .extend_from_slice(&arenas.cut_nodes[frame.cut_start..]);
+            arenas
+                .old_peaks
+                .extend_from_slice(&arenas.cut_peaks[frame.cut_start..]);
+            arenas.cut_nodes.truncate(frame.cut_start);
+            arenas.cut_peaks.truncate(frame.cut_start);
+            frame.in_pass = true;
         }
-        let pass_sum = cut_file_sum;
-        let old_cut = std::mem::take(&mut cut);
-        let old_peaks = std::mem::take(&mut cut_peaks);
-        for (j, peak_j) in old_cut.into_iter().zip(old_peaks) {
-            let candidate = first_pass || is_candidate(j, peak_j, pass_sum);
+
+        // A live frame's pass region is the top of the old-cut arena (child
+        // frames push and fully truncate their regions before control
+        // returns), so the region ends at the arena's current length.
+        while frame.idx < arenas.old_nodes.len() {
+            let j = arenas.old_nodes[frame.idx];
+            let peak_j = arenas.old_peaks[frame.idx];
+            let candidate =
+                frame.first_pass || is_candidate(tree, frame.avail, j, peak_j, frame.pass_sum);
             if !candidate {
-                cut.push(j);
-                cut_peaks.push(peak_j);
+                arenas.cut_nodes.push(j);
+                arenas.cut_peaks.push(peak_j);
+                frame.idx += 1;
                 continue;
             }
-            let avail_j = avail - (cut_file_sum - tree.f(j));
-            let outcome = explore(tree, j, avail_j, None);
-            if outcome.mem <= tree.f(j) {
-                // Lines 16–18: replace `j` by its own cut and keep the
-                // traversal that reaches it.
-                cut_file_sum += outcome.mem - tree.f(j);
-                cut.extend_from_slice(&outcome.cut);
-                cut_peaks.extend_from_slice(&outcome.cut_peaks);
-                traversal.extend_from_slice(&outcome.traversal);
-            } else {
-                // Keep `j` in the cut but remember how much memory its
-                // subtree needs to make progress.
-                cut.push(j);
-                cut_peaks.push(outcome.peak);
+            let avail_j = frame.avail - (frame.cut_file_sum - tree.f(j));
+            // Inline the base cases of the recursion (lines 1–5 for `j`), so
+            // leaves and too-tight subtrees never open a frame.
+            let requirement = tree.mem_req(j);
+            if requirement > avail_j {
+                arenas.cut_nodes.push(j);
+                arenas.cut_peaks.push(requirement);
+                frame.idx += 1;
+                continue;
             }
+            if tree.is_leaf(j) {
+                frame.cut_file_sum -= tree.f(j);
+                arenas.traversal.push(j);
+                frame.idx += 1;
+                continue;
+            }
+            // Open a child frame; integration happens when it finishes.
+            let child = arenas.open_frame(tree, j, avail_j);
+            stack.push(child);
+            continue 'driver;
         }
-        first_pass = false;
-    }
 
-    // Lines 20–22.
-    let mem: Size = cut_file_sum;
-    let peak = cut
-        .iter()
-        .zip(cut_peaks.iter())
-        .map(|(&j, &peak_j)| saturating_add(peak_j, cut_file_sum - tree.f(j)))
-        .min()
-        .unwrap_or(INFINITE);
-    ExploreOutcome {
-        mem,
-        cut,
-        cut_peaks,
-        traversal,
-        peak,
+        // Pass finished (line 19): drop the pass region and re-evaluate the
+        // candidate set.
+        arenas.old_nodes.truncate(frame.old_start);
+        arenas.old_peaks.truncate(frame.old_start);
+        frame.first_pass = false;
+        frame.in_pass = false;
     }
 }
 

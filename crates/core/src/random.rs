@@ -162,6 +162,105 @@ pub fn spider(legs: usize, leg_length: usize, max_file: Size, seed: u64) -> Tree
         .expect("spider construction always builds a valid tree")
 }
 
+/// A chain of `length` nodes with input files drawn uniformly in
+/// `[1, max_file]` and zero execution files — the degenerate tree shape that
+/// RCM and natural orderings produce, and the canonical stress test for
+/// recursion depth (its height is `length − 1`).
+pub fn random_chain(length: usize, max_file: Size, seed: u64) -> Tree {
+    assert!(length > 0 && max_file > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = TreeBuilder::with_capacity(length);
+    let mut prev = builder.add_root(rng.gen_range(1..=max_file), 0);
+    for _ in 1..length {
+        prev = builder.add_child(prev, rng.gen_range(1..=max_file), 0);
+    }
+    builder
+        .build()
+        .expect("chain construction always builds a valid tree")
+}
+
+/// A *comb*: a spine of `spine_length` nodes where each spine node has one
+/// leaf child stored **after** the next spine node.  The natural (stored
+/// child order) postorder therefore descends the whole spine first and only
+/// then consumes the leaves, so the leaf files — drawn uniformly in
+/// `[1, max_leaf_file]` — accumulate in memory on the way down.  Running
+/// that traversal with a memory budget below its peak produces one eviction
+/// deficit per spine step, which makes the comb the canonical stress test
+/// for the out-of-core simulator.
+pub fn comb(spine_length: usize, max_leaf_file: Size, seed: u64) -> Tree {
+    assert!(spine_length > 0 && max_leaf_file > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = TreeBuilder::with_capacity(2 * spine_length + 1);
+    let mut spine = builder.add_root(1, 0);
+    for _ in 0..spine_length {
+        let next = builder.add_child(spine, 1, 0);
+        builder.add_child(spine, rng.gen_range(1..=max_leaf_file), 0);
+        spine = next;
+    }
+    builder
+        .build()
+        .expect("comb construction always builds a valid tree")
+}
+
+/// A synthetic nested-dissection elimination tree with exactly `num_nodes`
+/// nodes: the shape a 2D nested-dissection ordering produces on a mesh,
+/// without running a symbolic pipeline.  A region of `m` vertices
+/// contributes a separator *chain* of `⌈√m⌉` nodes at the top of its
+/// subtree, below which the two halves of the region recurse; input files
+/// are proportional to the separator width (plus jitter), so the large
+/// frontal matrices sit near the root exactly as in real assembly trees.
+pub fn nested_dissection_etree(num_nodes: usize, seed: u64) -> Tree {
+    assert!(num_nodes > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = TreeBuilder::with_capacity(num_nodes);
+
+    // Weight of a node belonging to a separator of `width` vertices.
+    let mut node_file = |width: usize| -> Size {
+        let base = width as Size;
+        base + rng.gen_range(0..=base.max(1))
+    };
+
+    let root_width = (num_nodes as f64).sqrt().ceil() as usize;
+    let root = builder.add_root(node_file(root_width), 1);
+
+    // Explicit work stack (region size, attachment node); the halving depth
+    // is logarithmic but there is no reason to recurse at all.
+    let mut work: Vec<(usize, crate::tree::NodeId)> = Vec::new();
+    let mut remaining = num_nodes - 1;
+    // The root already consumed one separator vertex; the rest of the root
+    // separator continues as a chain below it.
+    let mut top = root;
+    let sep_rest = root_width.saturating_sub(1).min(remaining);
+    for _ in 0..sep_rest {
+        top = builder.add_child(top, node_file(root_width), 1);
+    }
+    remaining -= sep_rest;
+    let half = remaining / 2;
+    work.push((remaining - half, top));
+    work.push((half, top));
+
+    while let Some((m, attach)) = work.pop() {
+        if m == 0 {
+            continue;
+        }
+        let sep = ((m as f64).sqrt().ceil() as usize).clamp(1, m);
+        let mut bottom = attach;
+        for _ in 0..sep {
+            bottom = builder.add_child(bottom, node_file(sep), 1);
+        }
+        let rest = m - sep;
+        let half = rest / 2;
+        work.push((rest - half, bottom));
+        work.push((half, bottom));
+    }
+
+    let tree = builder
+        .build()
+        .expect("nested-dissection construction always builds a valid tree");
+    debug_assert_eq!(tree.len(), num_nodes);
+    tree
+}
+
 /// Re-weight an existing topology with uniformly random weights: input files
 /// in `[1, max_file]`, execution files in `[0, max_exec]`.
 pub fn reweight_uniform(tree: &Tree, max_file: Size, max_exec: Size, seed: u64) -> Tree {
@@ -236,6 +335,48 @@ mod tests {
         assert_eq!(sp.len(), 1 + 4 * 3);
         assert_eq!(sp.children(sp.root()).len(), 4);
         assert_eq!(sp.height(), 3);
+    }
+
+    #[test]
+    fn random_chain_shape() {
+        let tree = random_chain(500, 40, 9);
+        assert_eq!(tree.len(), 500);
+        assert_eq!(tree.height(), 499);
+        assert_eq!(tree.leaf_count(), 1);
+        assert!(tree.files().iter().all(|&f| (1..=40).contains(&f)));
+        assert_eq!(tree, random_chain(500, 40, 9));
+    }
+
+    #[test]
+    fn comb_stores_the_leaf_after_the_spine_child() {
+        let tree = comb(50, 30, 2);
+        assert_eq!(tree.len(), 101);
+        // Every spine node: first child continues the spine, second is a leaf.
+        let mut spine = tree.root();
+        for _ in 0..50 {
+            let kids = tree.children(spine);
+            assert_eq!(kids.len(), 2);
+            assert!(tree.is_leaf(kids[1]));
+            spine = kids[0];
+        }
+        assert!(tree.is_leaf(spine));
+    }
+
+    #[test]
+    fn nested_dissection_etree_has_exact_size_and_shallow_height() {
+        for n in [1usize, 2, 10, 1000, 20_000] {
+            let tree = nested_dissection_etree(n, 5);
+            assert_eq!(tree.len(), n);
+            assert!(tree.files().iter().all(|&f| f >= 1));
+            if n >= 1000 {
+                // Separator chains make the height Θ(√n), far below n.
+                assert!(tree.height() < n / 4, "n={n} height={}", tree.height());
+            }
+        }
+        assert_eq!(
+            nested_dissection_etree(5000, 7),
+            nested_dissection_etree(5000, 7)
+        );
     }
 
     #[test]

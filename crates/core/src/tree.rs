@@ -31,12 +31,36 @@ pub const INFINITE: Size = Size::MAX;
 ///
 /// The structure is immutable once built (via [`TreeBuilder`] or one of the
 /// `from_*` constructors); all algorithms in this crate borrow it.
+///
+/// # Storage layout
+///
+/// Children are stored in a flat CSR (compressed sparse row) layout: the
+/// children of node `i` are `child_list[child_starts[i]..child_starts[i+1]]`,
+/// in increasing node-id order (which is also their insertion order, since
+/// node ids are assigned in construction order).  This keeps the whole
+/// adjacency in two contiguous arrays — one cache line per small family —
+/// instead of one heap allocation per node, which matters for the exact
+/// solvers and the out-of-core simulator on trees with 10⁵–10⁶ nodes.
+///
+/// The per-node derived quantities that every hot loop needs —
+/// `Σ_{j ∈ children(i)} f(j)`, `MemReq(i)` and `max_i MemReq(i)` — are
+/// precomputed once at construction, so [`Tree::children_file_sum`],
+/// [`Tree::mem_req`] and [`Tree::max_mem_req`] are O(1) lookups.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tree {
     parent: Vec<Option<NodeId>>,
-    children: Vec<Vec<NodeId>>,
+    /// CSR offsets: children of `i` live at `child_list[child_starts[i]..child_starts[i + 1]]`.
+    child_starts: Vec<usize>,
+    /// CSR payload: all child ids, grouped by parent.
+    child_list: Vec<NodeId>,
     f: Vec<Size>,
     n: Vec<Size>,
+    /// Precomputed `Σ_{j ∈ children(i)} f(j)` per node.
+    children_file_sum: Vec<Size>,
+    /// Precomputed `MemReq(i) = f(i) + n(i) + children_file_sum(i)` per node.
+    mem_req: Vec<Size>,
+    /// Precomputed `max_i MemReq(i)`.
+    max_mem_req: Size,
     root: NodeId,
 }
 
@@ -62,7 +86,11 @@ impl Tree {
         }
         let p = parents.len();
         let mut root = None;
-        let mut children = vec![Vec::new(); p];
+        // CSR construction by counting sort: one pass counts the children of
+        // every node, a prefix sum turns the counts into offsets, and a final
+        // pass (in increasing child id, preserving insertion order) scatters
+        // the child ids into the flat list.
+        let mut child_starts = vec![0usize; p + 1];
         for (i, &par) in parents.iter().enumerate() {
             match par {
                 None => match root {
@@ -76,7 +104,7 @@ impl Tree {
                             parent: par,
                         });
                     }
-                    children[par].push(i);
+                    child_starts[par + 1] += 1;
                 }
             }
         }
@@ -86,15 +114,49 @@ impl Tree {
                 return Err(TreeError::NegativeFileSize { node: i, size: fi });
             }
         }
-        let tree = Tree {
+        for i in 0..p {
+            child_starts[i + 1] += child_starts[i];
+        }
+        let mut cursor = child_starts.clone();
+        let mut child_list = vec![0 as NodeId; p - 1];
+        for (i, &par) in parents.iter().enumerate() {
+            if let Some(par) = par {
+                child_list[cursor[par]] = i;
+                cursor[par] += 1;
+            }
+        }
+        let mut tree = Tree {
             parent: parents.to_vec(),
-            children,
+            child_starts,
+            child_list,
             f: files.to_vec(),
             n: weights.to_vec(),
+            children_file_sum: Vec::new(),
+            mem_req: Vec::new(),
+            max_mem_req: 0,
             root,
         };
         tree.check_acyclic()?;
+        tree.recompute_derived();
         Ok(tree)
+    }
+
+    /// Recompute the precomputed per-node quantities (`children_file_sum`,
+    /// `mem_req`, `max_mem_req`) from the topology and the current weights.
+    fn recompute_derived(&mut self) {
+        let p = self.parent.len();
+        let sums: Vec<Size> = (0..p)
+            .map(|i| {
+                self.child_list[self.child_starts[i]..self.child_starts[i + 1]]
+                    .iter()
+                    .map(|&j| self.f[j])
+                    .sum()
+            })
+            .collect();
+        let reqs: Vec<Size> = (0..p).map(|i| self.f[i] + self.n[i] + sums[i]).collect();
+        self.max_mem_req = reqs.iter().copied().max().unwrap_or(0);
+        self.children_file_sum = sums;
+        self.mem_req = reqs;
     }
 
     /// Verify that following parent pointers from every node reaches the root
@@ -155,10 +217,10 @@ impl Tree {
         self.parent[i]
     }
 
-    /// Children of `i`, in insertion order.
+    /// Children of `i`, in insertion order (a slice of the flat CSR list).
     #[inline]
     pub fn children(&self, i: NodeId) -> &[NodeId] {
-        &self.children[i]
+        &self.child_list[self.child_starts[i]..self.child_starts[i + 1]]
     }
 
     /// Input-file size `f(i)`.
@@ -176,24 +238,35 @@ impl Tree {
     /// Whether `i` is a leaf.
     #[inline]
     pub fn is_leaf(&self, i: NodeId) -> bool {
-        self.children[i].is_empty()
+        self.child_starts[i] == self.child_starts[i + 1]
+    }
+
+    /// Number of children of `i`.
+    #[inline]
+    pub fn child_count(&self, i: NodeId) -> usize {
+        self.child_starts[i + 1] - self.child_starts[i]
     }
 
     /// Total size of the output files of `i` (`Σ_{j ∈ children(i)} f(j)`).
+    /// Precomputed at construction; O(1).
+    #[inline]
     pub fn children_file_sum(&self, i: NodeId) -> Size {
-        self.children[i].iter().map(|&j| self.f[j]).sum()
+        self.children_file_sum[i]
     }
 
     /// Memory requirement of node `i`:
     /// `MemReq(i) = f(i) + n(i) + Σ_{j ∈ children(i)} f(j)` (Equation (1)).
+    /// Precomputed at construction; O(1).
+    #[inline]
     pub fn mem_req(&self, i: NodeId) -> Size {
-        self.f[i] + self.n[i] + self.children_file_sum(i)
+        self.mem_req[i]
     }
 
     /// Largest memory requirement over all nodes — a lower bound on the
-    /// memory needed by *any* traversal.
+    /// memory needed by *any* traversal.  Precomputed at construction; O(1).
+    #[inline]
     pub fn max_mem_req(&self) -> Size {
-        (0..self.len()).map(|i| self.mem_req(i)).max().unwrap_or(0)
+        self.max_mem_req
     }
 
     /// Sum of all input-file sizes — a trivial upper bound on the memory
@@ -217,7 +290,7 @@ impl Tree {
         while let Some(i) = stack.pop() {
             order.push(i);
             // Push children in reverse so the first child is popped first.
-            for &c in self.children[i].iter().rev() {
+            for &c in self.children(i).iter().rev() {
                 stack.push(c);
             }
         }
@@ -266,7 +339,10 @@ impl Tree {
 
     /// Maximum number of children over all nodes.
     pub fn max_degree(&self) -> usize {
-        self.children.iter().map(Vec::len).max().unwrap_or(0)
+        (0..self.len())
+            .map(|i| self.child_count(i))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Iterate over all node ids.
@@ -286,13 +362,28 @@ impl Tree {
             files.iter().all(|&f| f >= 0),
             "input files must be non-negative"
         );
-        Tree {
+        let mut tree = Tree {
             parent: self.parent.clone(),
-            children: self.children.clone(),
+            child_starts: self.child_starts.clone(),
+            child_list: self.child_list.clone(),
             f: files,
             n: weights,
+            children_file_sum: Vec::new(),
+            mem_req: Vec::new(),
+            max_mem_req: 0,
             root: self.root,
-        }
+        };
+        tree.recompute_derived();
+        tree
+    }
+
+    /// The raw CSR adjacency: `(child_starts, child_list)` with the children
+    /// of node `i` at `child_list[child_starts[i]..child_starts[i + 1]]`.
+    ///
+    /// Exposed for algorithms that want to walk the whole adjacency without
+    /// per-node bounds arithmetic (custom solvers and eviction policies).
+    pub fn csr_children(&self) -> (&[usize], &[NodeId]) {
+        (&self.child_starts, &self.child_list)
     }
 
     /// Parent-pointer representation (useful for serialization and tests).
@@ -525,6 +616,41 @@ mod tests {
         assert_eq!(tree.total_file_size(), 15);
         assert_eq!(tree.max_mem_req(), 4 + 5);
         assert_eq!(tree.memory_upper_bound(), 15);
+    }
+
+    #[test]
+    fn csr_layout_matches_the_parent_pointers() {
+        let parents = [None, Some(0), Some(0), Some(1), Some(0), Some(1)];
+        let files = [0, 1, 2, 3, 4, 5];
+        let weights = [0; 6];
+        let tree = Tree::from_parents(&parents, &files, &weights).unwrap();
+        assert_eq!(tree.children(0), &[1, 2, 4]);
+        assert_eq!(tree.children(1), &[3, 5]);
+        assert_eq!(tree.children(2), &[] as &[NodeId]);
+        let (starts, list) = tree.csr_children();
+        assert_eq!(starts.len(), tree.len() + 1);
+        assert_eq!(list.len(), tree.len() - 1);
+        assert_eq!(starts[tree.len()], list.len());
+        // Precomputed quantities agree with a direct evaluation.
+        for i in tree.nodes() {
+            let direct: Size = tree.children(i).iter().map(|&j| tree.f(j)).sum();
+            assert_eq!(tree.children_file_sum(i), direct);
+            assert_eq!(tree.mem_req(i), tree.f(i) + tree.n(i) + direct);
+            assert_eq!(tree.child_count(i), tree.children(i).len());
+        }
+        assert_eq!(
+            tree.max_mem_req(),
+            tree.nodes().map(|i| tree.mem_req(i)).max().unwrap()
+        );
+    }
+
+    #[test]
+    fn with_weights_recomputes_derived_quantities() {
+        let tree = chain(&[1, 2, 3]);
+        let tree2 = tree.with_weights(vec![5, 6, 7], vec![1, 1, 1]);
+        assert_eq!(tree2.children_file_sum(0), 6);
+        assert_eq!(tree2.mem_req(1), 6 + 1 + 7);
+        assert_eq!(tree2.max_mem_req(), 14);
     }
 
     #[test]

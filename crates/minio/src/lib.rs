@@ -57,10 +57,13 @@ pub mod schedule;
 
 pub use exact::{exact_min_io, ExactMinIo};
 pub use heuristics::{
-    divisible_lower_bound, schedule_io, schedule_io_with, EvictionPolicy, MinIoError, OutOfCoreRun,
+    divisible_lower_bound, schedule_io, schedule_io_naive, schedule_io_with, EvictionPolicy,
+    MinIoError, OutOfCoreRun,
 };
 pub use policy::{Candidate, EvictionContext, EvictionSession, Policy, PolicyRegistry};
-pub use schedule::{check_out_of_core, IoSchedule, OutOfCoreCheck};
+pub use schedule::{
+    check_out_of_core, check_out_of_core_with_positions, IoSchedule, OutOfCoreCheck,
+};
 
 /// All six heuristics of the paper, in the order they are presented in
 /// Section V-B. Convenient for sweeps in experiments and tests.

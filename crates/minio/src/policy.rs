@@ -102,13 +102,21 @@ pub trait Policy: Send + Sync {
 /// first, so walking them in order evicts the files needed furthest in the
 /// future (optimal for the divisible relaxation by an exchange argument).
 pub fn lsnf_fill(candidates: &[Candidate], deficit: Size, skip: &[usize]) -> Vec<usize> {
+    // Mark the skipped indices once instead of a linear `skip.contains` scan
+    // per candidate, which made a fill over k candidates O(k²).
+    let mut skipped = vec![false; candidates.len()];
+    for &idx in skip {
+        if idx < candidates.len() {
+            skipped[idx] = true;
+        }
+    }
     let mut selected = Vec::new();
     let mut remaining = deficit;
     for (idx, candidate) in candidates.iter().enumerate() {
         if remaining <= 0 {
             break;
         }
-        if skip.contains(&idx) {
+        if skipped[idx] {
             continue;
         }
         selected.push(idx);

@@ -97,6 +97,21 @@ pub fn check_out_of_core(
 ) -> Result<OutOfCoreCheck, TraversalError> {
     traversal.check_precedence(tree)?;
     let positions = traversal.positions(tree.len())?;
+    check_out_of_core_with_positions(tree, traversal, &positions, schedule, memory)
+}
+
+/// [`check_out_of_core`] with the traversal's position map supplied by the
+/// caller, who must already have validated the traversal's precedence (the
+/// out-of-core simulator computes the positions once per run and passes them
+/// through here instead of recomputing the permutation twice).
+pub fn check_out_of_core_with_positions(
+    tree: &Tree,
+    traversal: &Traversal,
+    positions: &[usize],
+    schedule: &IoSchedule,
+    memory: Size,
+) -> Result<OutOfCoreCheck, TraversalError> {
+    debug_assert_eq!(positions.len(), tree.len());
 
     // evictions grouped by step.
     let mut evictions_at_step: Vec<Vec<NodeId>> = vec![Vec::new(); traversal.len() + 1];

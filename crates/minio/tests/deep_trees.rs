@@ -1,0 +1,55 @@
+//! Deep/large-tree regression tests for the out-of-core simulator: the
+//! incremental candidate set must handle 10⁵-node runs on a plain (2 MiB)
+//! test thread, stay bit-identical to the retained naive scan, and validate
+//! through the independent Algorithm 2 checker.
+
+use minio::policy::paper::Lsnf;
+use minio::{check_out_of_core, schedule_io_naive, schedule_io_with};
+use treemem::minmem::min_mem;
+use treemem::postorder::{best_postorder, natural_postorder};
+use treemem::random::{comb, random_attachment_tree, random_chain};
+
+#[test]
+fn simulator_handles_a_100k_node_chain() {
+    let tree = random_chain(100_000, 100, 0xdeec);
+    let po = best_postorder(&tree);
+    // A chain's unique traversal peaks at max MemReq, so the tightest
+    // feasible budget needs no I/O at all.
+    let run = schedule_io_with(&tree, &po.traversal, tree.max_mem_req(), &Lsnf).unwrap();
+    assert_eq!(run.io_volume, 0);
+    assert_eq!(run.files_written, 0);
+    assert_eq!(run.peak_memory, po.peak);
+}
+
+#[test]
+fn simulator_handles_a_50k_node_random_tree_below_its_peak() {
+    let tree = random_attachment_tree(50_000, 1000, 20, 0xdeec);
+    // The natural postorder of a random attachment tree peaks far above the
+    // optimal traversal, so a budget halfway between the optimum and the
+    // natural peak forces genuine evictions.
+    let po = natural_postorder(&tree);
+    let opt = min_mem(&tree);
+    assert!(opt.peak < po.peak);
+    let memory = opt.peak + (po.peak - opt.peak) / 2;
+    let run = schedule_io_with(&tree, &po.traversal, memory, &Lsnf).unwrap();
+    assert!(run.io_volume > 0, "the budget must force evictions");
+    assert!(run.peak_memory <= memory);
+    // Independent re-validation through the Algorithm 2 checker.
+    let check = check_out_of_core(&tree, &po.traversal, &run.schedule, memory).unwrap();
+    assert_eq!(check.io_volume, run.io_volume);
+}
+
+#[test]
+fn incremental_and_naive_agree_on_a_deep_comb() {
+    // The comb's natural traversal runs one deficit per spine step at the
+    // tightest budget: the worst case for candidate-set maintenance.
+    let tree = comb(10_000, 50, 3);
+    let po = natural_postorder(&tree);
+    let memory = tree.max_mem_req();
+    let incremental = schedule_io_with(&tree, &po.traversal, memory, &Lsnf).unwrap();
+    let naive = schedule_io_naive(&tree, &po.traversal, memory, &Lsnf).unwrap();
+    assert!(incremental.io_volume > 0);
+    assert_eq!(incremental.io_volume, naive.io_volume);
+    assert_eq!(incremental.schedule, naive.schedule);
+    assert_eq!(incremental.peak_memory, naive.peak_memory);
+}

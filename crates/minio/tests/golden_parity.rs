@@ -9,7 +9,7 @@
 //! eviction, the volumes diverge and this test pinpoints the policy, tree
 //! and memory budget.
 
-use minio::{schedule_io, EvictionPolicy, ALL_POLICIES};
+use minio::{schedule_io, schedule_io_naive, EvictionPolicy, ALL_POLICIES};
 use prng::{Rng, StdRng};
 use treemem::gadgets::{harpoon, harpoon_tower, two_partition_gadget};
 use treemem::minmem::min_mem;
@@ -269,6 +269,23 @@ fn assert_parity(tree: &Tree, traversal: &Traversal, memory: Size, context: &str
         assert_eq!(
             evictions, legacy_sorted,
             "{context}, {policy}: eviction schedules differ"
+        );
+        // The incremental simulator must match the retained naive path (full
+        // candidate rescan per deficit step) bit for bit.
+        let naive = schedule_io_naive(tree, traversal, memory, policy.to_policy().as_ref())
+            .expect("naive simulation succeeds whenever the incremental one does");
+        assert_eq!(
+            run.io_volume, naive.io_volume,
+            "{context}, {policy}: incremental simulator diverged from the naive scan"
+        );
+        assert_eq!(
+            run.schedule, naive.schedule,
+            "{context}, {policy}: incremental eviction schedule differs from the naive scan"
+        );
+        assert_eq!(run.peak_memory, naive.peak_memory, "{context}, {policy}");
+        assert_eq!(
+            run.files_written, naive.files_written,
+            "{context}, {policy}"
         );
     }
 }

@@ -13,9 +13,13 @@
 //! II of the paper (fraction of non-optimal cases, maximum / average /
 //! standard deviation of the cost ratio), and the rendering helpers produce
 //! the CSV series and ASCII plots emitted by the experiment binaries.
+//! [`timing`] holds the repeated-run wall-clock summaries used by the
+//! scaling benchmark and its CI regression gate.
 
 pub mod profile;
 pub mod stats;
+pub mod timing;
 
 pub use profile::{PerformanceProfile, ProfilePoint};
 pub use stats::{ratio_statistics, RatioStatistics};
+pub use timing::{speedup, summarize_seconds, time_runs, TimingSummary};

@@ -1,0 +1,98 @@
+//! Repeated-run wall-clock summaries for the scaling experiments.
+//!
+//! The scaling benchmark (`exp_scaling` in `crates/bench`) times whole
+//! algorithm runs — milliseconds to seconds, not the nanosecond regime of
+//! the micro-bench harness — so it wants a small number of repetitions and a
+//! robust (median) summary rather than adaptive iteration counts.  This
+//! module provides that summary plus the speedup helper the benchmark and
+//! the CI regression gate use.
+
+use std::time::Instant;
+
+/// Median / min / max of a set of wall-clock samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingSummary {
+    /// Number of samples.
+    pub runs: usize,
+    /// Median of the samples, in seconds.
+    pub median_seconds: f64,
+    /// Fastest sample, in seconds.
+    pub min_seconds: f64,
+    /// Slowest sample, in seconds.
+    pub max_seconds: f64,
+}
+
+/// Summarise raw samples (seconds).
+///
+/// # Panics
+/// Panics if `samples` is empty or contains a NaN.
+pub fn summarize_seconds(samples: &[f64]) -> TimingSummary {
+    assert!(!samples.is_empty(), "at least one sample expected");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+    TimingSummary {
+        runs: sorted.len(),
+        median_seconds: sorted[sorted.len() / 2],
+        min_seconds: sorted[0],
+        max_seconds: sorted[sorted.len() - 1],
+    }
+}
+
+/// Run `f` `runs` times, returning the last result and the timing summary.
+///
+/// # Panics
+/// Panics if `runs == 0`.
+pub fn time_runs<T>(runs: usize, mut f: impl FnMut() -> T) -> (T, TimingSummary) {
+    assert!(runs > 0, "at least one run expected");
+    let mut samples = Vec::with_capacity(runs);
+    let mut last = None;
+    for _ in 0..runs {
+        let start = Instant::now();
+        last = Some(f());
+        samples.push(start.elapsed().as_secs_f64());
+    }
+    (last.expect("runs > 0"), summarize_seconds(&samples))
+}
+
+/// Speedup of `improved` over `baseline` (ratio of median times; > 1 means
+/// `improved` is faster).  Degenerate near-zero medians clamp to the ratio
+/// of a nanosecond so the result stays finite.
+pub fn speedup(baseline: &TimingSummary, improved: &TimingSummary) -> f64 {
+    baseline.median_seconds / improved.median_seconds.max(1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_samples() {
+        let summary = summarize_seconds(&[3.0, 1.0, 2.0]);
+        assert_eq!(summary.runs, 3);
+        assert_eq!(summary.median_seconds, 2.0);
+        assert_eq!(summary.min_seconds, 1.0);
+        assert_eq!(summary.max_seconds, 3.0);
+    }
+
+    #[test]
+    fn time_runs_counts_and_returns() {
+        let mut calls = 0;
+        let (value, summary) = time_runs(5, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(value, 5);
+        assert_eq!(summary.runs, 5);
+        assert!(summary.min_seconds <= summary.median_seconds);
+        assert!(summary.median_seconds <= summary.max_seconds);
+    }
+
+    #[test]
+    fn speedup_is_a_median_ratio() {
+        let slow = summarize_seconds(&[2.0]);
+        let fast = summarize_seconds(&[0.5]);
+        assert!((speedup(&slow, &fast) - 4.0).abs() < 1e-12);
+        let zero = summarize_seconds(&[0.0]);
+        assert!(speedup(&slow, &zero).is_finite());
+    }
+}
