@@ -9,12 +9,7 @@
 //! sensitivity of the headline results to the substrate choices is visible.
 
 use bench::{run_with_big_stack, write_report, ExperimentArgs, ReportFile};
-use minio::{schedule_io, EvictionPolicy};
-use ordering::OrderingMethod;
-use sparsemat::gen::ProblemKind;
-use symbolic::assembly_tree_for;
-use treemem::minmem::min_mem;
-use treemem::postorder::best_postorder;
+use engine::prelude::*;
 
 fn main() {
     let args = ExperimentArgs::from_env();
@@ -34,36 +29,46 @@ fn run(args: ExperimentArgs) {
         "problem,ordering,amalgamation,nodes,optimal_peak,postorder_peak,ratio,io_at_memreq\n",
     );
 
+    let engine = Engine::new();
     for kind in [
         ProblemKind::Grid2d,
         ProblemKind::Random,
         ProblemKind::PowerLaw,
     ] {
-        let pattern = kind.generate(size, args.seed);
         for method in OrderingMethod::ALL {
+            // One symbolic analysis per (problem, ordering); the allowance
+            // sweep derives sibling plans without re-running the ordering.
+            let base = engine
+                .plan(
+                    &EngineConfig::generated(kind, size, args.seed)
+                        .with_ordering(method)
+                        .with_amalgamation(1)
+                        .with_solver("minmem")
+                        .with_policy("FirstFit")
+                        .with_memory(MemoryBudget::FractionOfPeak(0.0)),
+                )
+                .expect("valid configuration");
             for allowance in [1usize, 2, 4, 16] {
-                let assembly = assembly_tree_for(&pattern, method, allowance);
-                let tree = &assembly.tree;
-                let po = best_postorder(tree);
-                let opt = min_mem(tree);
-                let ratio = po.peak as f64 / opt.peak as f64;
+                let derived;
+                let plan = if allowance == 1 {
+                    &base
+                } else {
+                    derived = base.reamalgamate(allowance).expect("matrix source");
+                    &derived
+                };
+                let (po, _) = plan.solve(&engine, "postorder").expect("registered solver");
                 // Out-of-core volume at the hardest feasible budget, with the
                 // best traversal and the best heuristic of Figure 7.
-                let io = schedule_io(
-                    tree,
-                    &opt.traversal,
-                    tree.max_mem_req(),
-                    EvictionPolicy::FirstFit,
-                )
-                .map(|run| run.io_volume)
-                .unwrap_or(-1);
+                let schedule = plan.schedule(&engine).expect("fraction 0.0 is feasible");
+                let (opt_peak, io) = (schedule.peak(), schedule.io_volume());
+                let ratio = po.peak as f64 / opt_peak as f64;
                 println!(
                     "{:<9} {:<8} {:>4} {:>7} {:>12} {:>12} {:>7.3} {:>12}",
                     kind.name(),
                     method.name(),
                     allowance,
-                    tree.len(),
-                    opt.peak,
+                    plan.tree().len(),
+                    opt_peak,
                     po.peak,
                     ratio,
                     io
@@ -73,8 +78,8 @@ fn run(args: ExperimentArgs) {
                     kind.name(),
                     method.name(),
                     allowance,
-                    tree.len(),
-                    opt.peak,
+                    plan.tree().len(),
+                    opt_peak,
                     po.peak,
                     ratio,
                     io

@@ -9,12 +9,11 @@
 //! lists as future work).
 
 use bench::{
-    default_corpus, memory_sweep, quick_corpus, random_corpus, run_with_big_stack, write_report,
-    ExperimentArgs, ReportFile,
+    default_corpus, quick_corpus, random_corpus, run_with_big_stack, write_report, ExperimentArgs,
+    ReportFile,
 };
-use minio::{divisible_lower_bound, schedule_io_with, PolicyRegistry};
+use engine::prelude::*;
 use perfprof::PerformanceProfile;
-use treemem::minmem::min_mem;
 
 /// Memory sizes as fractions of the way from `max MemReq` to the traversal
 /// peak (0.0 is the hardest feasible budget).
@@ -38,7 +37,8 @@ fn run(args: ExperimentArgs) {
     };
     let mut corpus = random_corpus(&assembly, 1, args.seed);
     corpus.trees.extend(assembly.trees);
-    let registry = PolicyRegistry::with_builtin();
+    let engine = Engine::new();
+    let policies = engine.policies().names();
     println!(
         "# Experiment E3 (Figure 7): I/O volume of every registered policy on MinMem traversals"
     );
@@ -46,30 +46,39 @@ fn run(args: ExperimentArgs) {
         "# {} trees x {} memory sizes x {} policies\n",
         corpus.len(),
         MEMORY_FRACTIONS.len(),
-        registry.len()
+        policies.len()
     );
 
-    let policy_names: Vec<String> = registry
-        .iter()
-        .map(|p| format!("MinMem + {}", p.name()))
-        .collect();
-    let mut costs: Vec<Vec<f64>> = vec![Vec::new(); registry.len()];
-    let mut bound_gap_sum = vec![0.0f64; registry.len()];
+    let policy_names: Vec<String> = policies.iter().map(|p| format!("MinMem + {p}")).collect();
+    let mut costs: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+    let mut bound_gap_sum = vec![0.0f64; policies.len()];
     let mut cases_with_io = 0usize;
     let mut cases_without_io = 0usize;
     let mut rows = String::from("instance,memory,policy,io_volume,divisible_bound\n");
 
     for entry in &corpus.trees {
-        let optimal = min_mem(&entry.tree);
-        for memory in memory_sweep(&entry.tree, optimal.peak, &MEMORY_FRACTIONS) {
-            let bound = divisible_lower_bound(&entry.tree, &optimal.traversal, memory)
-                .expect("memory is above max MemReq by construction");
-            let volumes: Vec<i64> = registry
+        // One prebuilt plan per tree: the MinMem traversal is solved once and
+        // cached; every (memory, policy) cell below reuses it.
+        let plan = engine
+            .plan(&EngineConfig::prebuilt(entry.tree.clone()).with_solver("minmem"))
+            .expect("corpus trees always plan");
+        for fraction in MEMORY_FRACTIONS {
+            let mut memory = 0;
+            let mut bound = 0;
+            let volumes: Vec<i64> = policies
                 .iter()
                 .map(|policy| {
-                    schedule_io_with(&entry.tree, &optimal.traversal, memory, policy)
-                        .expect("memory is above max MemReq by construction")
-                        .io_volume
+                    let schedule = plan
+                        .schedule_with(
+                            &engine,
+                            ScheduleSpec::default()
+                                .policy(policy.as_str())
+                                .memory(MemoryBudget::FractionOfPeak(fraction)),
+                        )
+                        .expect("memory is above max MemReq by construction");
+                    memory = schedule.memory_budget();
+                    bound = schedule.divisible_bound();
+                    schedule.io_volume()
                 })
                 .collect();
             if volumes.iter().all(|&v| v == 0) {
@@ -80,16 +89,12 @@ fn run(args: ExperimentArgs) {
                 continue;
             }
             cases_with_io += 1;
-            for (index, (policy, &volume)) in registry.iter().zip(&volumes).enumerate() {
+            for (index, (policy, &volume)) in policies.iter().zip(&volumes).enumerate() {
                 costs[index].push(volume as f64);
                 bound_gap_sum[index] += volume as f64 / (bound.max(1)) as f64;
                 rows.push_str(&format!(
                     "{},{},{},{},{}\n",
-                    entry.name,
-                    memory,
-                    policy.name(),
-                    volume,
-                    bound
+                    entry.name, memory, policy, volume, bound
                 ));
             }
         }

@@ -3,13 +3,14 @@
 //! Compare the out-of-core quality of the traversals produced by **every
 //! registered MinMemory solver** (natural postorder, best postorder, Liu,
 //! MinMem), all equipped with the First Fit eviction policy, over the same
-//! memory sweep as Experiment E3.
+//! memory sweep as Experiment E3 — one engine plan per tree, with the solver
+//! traversals cached across the sweep.
 
 use bench::{
     default_corpus, measurement_registry, memory_sweep, quick_corpus, random_corpus,
-    run_with_big_stack, write_report, ExperimentArgs, MeasurementSet, ReportFile,
+    run_with_big_stack, write_report, ExperimentArgs, ReportFile,
 };
-use minio::{policy::paper::FirstFit, schedule_io_with};
+use engine::prelude::*;
 use perfprof::PerformanceProfile;
 
 const MEMORY_FRACTIONS: [f64; 4] = [0.0, 0.25, 0.5, 0.75];
@@ -37,45 +38,46 @@ fn run(args: ExperimentArgs) {
         MEMORY_FRACTIONS.len()
     );
 
-    // Solver names from the registry (identical for every tree of the
-    // corpus: none of the measured solvers is node-limited).
-    let solver_names: Vec<&'static str> = measurement_registry().names();
-    let names: Vec<String> = solver_names
-        .iter()
-        .map(|s| format!("{s} + First Fit"))
-        .collect();
-    let mut costs: Vec<Vec<f64>> = vec![Vec::new(); solver_names.len()];
+    let engine = Engine::new();
+    // Solver names from the measurement registry (every registered solver
+    // except the exponential brute-force oracle), as in Experiment E2.
+    let solvers: Vec<String> = measurement_registry().names();
+    let names: Vec<String> = solvers.iter().map(|s| format!("{s} + First Fit")).collect();
+    let mut costs: Vec<Vec<f64>> = vec![Vec::new(); solvers.len()];
     let mut rows = String::from("instance,memory,traversal,io_volume\n");
     let mut cases_without_io = 0usize;
-    let policy = FirstFit;
 
     for entry in &corpus.trees {
-        let measurement = MeasurementSet::measure(&entry.tree);
-        let optimal_peak = measurement
-            .exact_peak()
-            .expect("an exact solver always runs");
+        let plan = engine
+            .plan(&EngineConfig::prebuilt(entry.tree.clone()).with_policy("FirstFit"))
+            .expect("corpus trees always plan");
         // Sweep memory relative to the *optimal* peak so all traversals face
         // the same budgets (the postorders may then be above their own peak,
         // where they simply need no I/O).
-        for memory in memory_sweep(&entry.tree, optimal_peak, &MEMORY_FRACTIONS) {
-            let volumes: Vec<i64> = measurement
-                .measurements
+        let (optimal, _) = plan.solve(&engine, "minmem").expect("registered solver");
+        for memory in memory_sweep(plan.tree(), optimal.peak, &MEMORY_FRACTIONS) {
+            let volumes: Vec<i64> = solvers
                 .iter()
-                .map(|m| {
-                    schedule_io_with(&entry.tree, &m.traversal, memory, &policy)
-                        .expect("memory is above max MemReq by construction")
-                        .io_volume
+                .map(|solver| {
+                    plan.schedule_with(
+                        &engine,
+                        ScheduleSpec::default()
+                            .solver(solver.as_str())
+                            .memory(MemoryBudget::Absolute(memory)),
+                    )
+                    .expect("memory is above max MemReq by construction")
+                    .io_volume()
                 })
                 .collect();
             if volumes.iter().all(|&v| v == 0) {
                 cases_without_io += 1;
                 continue;
             }
-            for (index, (m, &volume)) in measurement.measurements.iter().zip(&volumes).enumerate() {
+            for (index, (solver, &volume)) in solvers.iter().zip(&volumes).enumerate() {
                 costs[index].push(volume as f64);
                 rows.push_str(&format!(
                     "{},{},{},{}\n",
-                    entry.name, memory, m.solver, volume
+                    entry.name, memory, solver, volume
                 ));
             }
         }

@@ -1,28 +1,25 @@
 //! Experiment E9 — end-to-end multifrontal demonstration (Section II-A).
 //!
-//! Factorize a set of generated SPD matrices with the multifrontal method,
-//! once with the classical elimination-tree postorder and once with the
-//! traversal computed by MinMem on the per-column tree model, and measure the
-//! real peak of temporary storage (frontal matrices + contribution blocks) in
-//! both cases.  The measurement is checked against the model prediction,
-//! closing the loop between the abstract tree problem and the factorization
-//! it models.
+//! Factorize a set of generated SPD matrices with the multifrontal method
+//! through the `engine` facade: one plan per matrix (numeric stage enabled),
+//! one schedule per traversal family — the stored-order postorder of the
+//! elimination tree (`natural`), Liu's best postorder (`postorder`) and the
+//! optimal traversal (`minmem`) — measuring the real peak of temporary
+//! storage (frontal matrices + contribution blocks) in every case.  The
+//! measurement is checked against the model prediction, closing the loop
+//! between the abstract tree problem and the factorization it models.
 
 use bench::{run_with_big_stack, write_report, ReportFile};
-use multifrontal::memory::per_column_model;
-use multifrontal::numeric::SymbolicStructure;
-use multifrontal::{instrumented_factorization, solve};
-use sparsemat::gen::{grid2d_matrix, random_spd_pattern, spd_matrix_from_pattern};
-use symbolic::etree::etree_postorder;
-use treemem::minmem::min_mem;
-use treemem::postorder::best_postorder;
+use engine::prelude::*;
+
+const SOLVERS: [&str; 3] = ["natural", "postorder", "minmem"];
 
 fn main() {
     run_with_big_stack(run);
 }
 
 fn run() {
-    println!("# Experiment E9: traversal-driven multifrontal Cholesky\n");
+    println!("# Experiment E9: traversal-driven multifrontal Cholesky (engine facade)\n");
     println!(
         "{:<18} {:>7} {:>12} {:>14} {:>14} {:>14} {:>8}",
         "matrix", "n", "factor nnz", "etree postord", "best postorder", "MinMem optimal", "saving"
@@ -31,75 +28,56 @@ fn run() {
         "matrix,n,factor_nnz,etree_postorder_peak,best_postorder_peak,optimal_peak,model_matches\n",
     );
 
-    let matrices = vec![
-        ("grid2d-20x20".to_string(), grid2d_matrix(20, 20, 1)),
-        ("grid2d-16x25".to_string(), grid2d_matrix(16, 25, 2)),
-        (
-            "random-400".to_string(),
-            spd_matrix_from_pattern(&random_spd_pattern(400, 4.0, 3), 3),
-        ),
+    let engine = Engine::new();
+    let matrices = [
+        ("grid2d-400", ProblemKind::Grid2d, 1u64),
+        ("grid2d9-400", ProblemKind::Grid2d9, 2),
+        ("random-400", ProblemKind::Random, 3),
     ];
 
-    for (name, matrix) in matrices {
-        let structure = SymbolicStructure::from_pattern(&matrix.pattern());
-        let model = per_column_model(&structure);
+    for (name, kind, seed) in matrices {
+        // The original experiment factorizes the matrices unpermuted, so the
+        // natural ordering keeps the pattern as generated.
+        let config = EngineConfig::generated(kind, 400, seed)
+            .with_ordering(OrderingMethod::Natural)
+            .with_numeric(true);
+        let plan = engine.plan(&config).expect("valid configuration");
 
-        // 1. Classical multifrontal order: postorder of the elimination tree.
-        let etree_order = etree_postorder(&structure.etree);
-        let etree_run = instrumented_factorization(&matrix, Some(&etree_order)).unwrap();
-
-        // 2. Liu's best postorder of the model tree.
-        let best_po: Vec<usize> = best_postorder(&model).traversal.reversed().into_order();
-        let best_po_run = instrumented_factorization(&matrix, Some(&best_po)).unwrap();
-
-        // 3. Optimal traversal (MinMem).
-        let optimal: Vec<usize> = min_mem(&model).traversal.reversed().into_order();
-        let optimal_run = instrumented_factorization(&matrix, Some(&optimal)).unwrap();
-
-        // The instrumentation must agree with the model in every case.
-        let model_matches = [&etree_run, &best_po_run, &optimal_run]
-            .iter()
-            .all(|run| run.measured_peak_entries as i64 == run.model_peak_entries);
+        let mut peaks = Vec::with_capacity(SOLVERS.len());
+        let mut factor_nnz = 0;
+        let mut model_matches = true;
+        for solver in SOLVERS {
+            let report = plan
+                .schedule_with(&engine, ScheduleSpec::default().solver(solver))
+                .expect("registered solver")
+                .execute(&engine)
+                .expect("SPD matrices factorize");
+            let numeric = report.numeric.expect("numeric stage enabled");
+            model_matches &= numeric.measured_peak_entries as i64 == numeric.model_peak_entries;
+            // The factorization is correct: the engine solves a system with a
+            // known answer and reports the residual.
+            assert!(
+                numeric.solve_error < 1e-6,
+                "{name}/{solver}: solve error {}",
+                numeric.solve_error
+            );
+            factor_nnz = numeric.factor_nnz;
+            peaks.push(numeric.measured_peak_entries);
+        }
         assert!(
             model_matches,
             "{name}: the model must predict the measured peak exactly"
         );
 
-        // The factorization is correct: solve a system and check the residual.
-        let n = matrix.n();
-        let expected: Vec<f64> = (0..n).map(|i| ((i % 11) as f64) - 5.0).collect();
-        let rhs = matrix.multiply(&expected);
-        let solution = solve(&optimal_run.factor, &rhs);
-        let error = solution
-            .iter()
-            .zip(&expected)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max);
-        assert!(error < 1e-6, "{name}: solve error {error}");
-
-        let saving = 100.0
-            * (1.0
-                - optimal_run.measured_peak_entries as f64
-                    / etree_run.measured_peak_entries as f64);
+        let n = plan.matrix_n();
+        let saving = 100.0 * (1.0 - peaks[2] as f64 / peaks[0] as f64);
         println!(
             "{:<18} {:>7} {:>12} {:>14} {:>14} {:>14} {:>7.1}%",
-            name,
-            n,
-            etree_run.factor_nnz,
-            etree_run.measured_peak_entries,
-            best_po_run.measured_peak_entries,
-            optimal_run.measured_peak_entries,
-            saving
+            name, n, factor_nnz, peaks[0], peaks[1], peaks[2], saving
         );
         rows.push_str(&format!(
             "{},{},{},{},{},{},{}\n",
-            name,
-            n,
-            etree_run.factor_nnz,
-            etree_run.measured_peak_entries,
-            best_po_run.measured_peak_entries,
-            optimal_run.measured_peak_entries,
-            model_matches
+            name, n, factor_nnz, peaks[0], peaks[1], peaks[2], model_matches
         ));
     }
 

@@ -26,7 +26,7 @@ fn run(args: ExperimentArgs) {
     println!("# {} instances of {}\n", corpus.len(), corpus.description);
 
     // Solver names from the registry (identical for every tree).
-    let solver_names: Vec<&'static str> = measurement_registry().names();
+    let solver_names: Vec<String> = measurement_registry().names();
     let mut times: Vec<Vec<f64>> = vec![Vec::with_capacity(corpus.len()); solver_names.len()];
     let header: Vec<String> = solver_names.iter().map(|s| format!("{s}_us")).collect();
     let mut rows = format!("instance,nodes,{}\n", header.join(","));
@@ -41,7 +41,8 @@ fn run(args: ExperimentArgs) {
         rows.push('\n');
     }
 
-    let profile = PerformanceProfile::from_costs(&solver_names, &times);
+    let name_refs: Vec<&str> = solver_names.iter().map(String::as_str).collect();
+    let profile = PerformanceProfile::from_costs(&name_refs, &times);
     println!("Figure 6 — performance profile of the running times (lower τ is better)");
     println!("{}", profile.to_ascii(5.0, 60));
     for (index, name) in profile.method_names().iter().enumerate() {

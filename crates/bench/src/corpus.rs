@@ -8,16 +8,22 @@
 //! matrix, and every (ordering, amalgamation) combination of that matrix
 //! produces one weighted assembly tree.
 //!
-//! Tree generation fans out over `std::thread::scope` because the symbolic
-//! pipeline (ordering + elimination tree + column counts) dominates the
-//! corpus construction time.
+//! Corpus construction goes through the `engine` facade: every (problem,
+//! size, ordering) cell is one [`engine::EngineConfig`] planned on the
+//! [`par_map`] pool, and the amalgamation sweep
+//! derives sibling plans with [`engine::Plan::reamalgamate`], which reuses
+//! the ordering, elimination tree and column counts instead of recomputing
+//! them per allowance.
 
+use engine::{Engine, EngineConfig};
 use ordering::OrderingMethod;
 use sparsemat::gen::ProblemKind;
-use symbolic::{assembly_instances, AssemblyInstance, PipelineConfig};
+use symbolic::PipelineConfig;
 use treemem::gadgets::harpoon_tower;
 use treemem::random::{comb, nested_dissection_etree, random_chain, reweight_paper};
 use treemem::Tree;
+
+use crate::parallel::{default_threads, par_map};
 
 /// One weighted tree of the corpus, with its provenance.
 #[derive(Debug, Clone)]
@@ -48,21 +54,6 @@ impl Corpus {
     /// Whether the corpus is empty.
     pub fn is_empty(&self) -> bool {
         self.trees.is_empty()
-    }
-}
-
-fn corpus_from_instances(description: &str, instances: Vec<AssemblyInstance>) -> Corpus {
-    let trees = instances
-        .into_iter()
-        .map(|instance| CorpusTree {
-            name: instance.name,
-            nodes: instance.assembly.tree.len(),
-            tree: instance.assembly.tree,
-        })
-        .collect();
-    Corpus {
-        description: description.to_string(),
-        trees,
     }
 }
 
@@ -103,31 +94,69 @@ pub fn quick_config() -> PipelineConfig {
 }
 
 /// Generate the assembly-tree corpus for the given configuration, fanning
-/// out over the available cores.
+/// one engine plan per (problem, size, ordering) cell over the available
+/// cores and deriving the amalgamation sweep from each plan.
+///
+/// The seeds and instance names follow the historical
+/// `symbolic::assembly_instances` recipe, so the corpus is bit-identical to
+/// the one the hand-stitched pipeline produced.
 pub fn corpus_for(config: &PipelineConfig, description: &str) -> Corpus {
-    // `assembly_instances` is already a simple loop; parallelise over
-    // (problem, size) chunks by splitting the configuration.
-    let mut sub_configs = Vec::new();
-    for &problem in &config.problems {
-        for &size in &config.sizes {
-            let mut sub = config.clone();
-            sub.problems = vec![problem];
-            sub.sizes = vec![size];
-            sub_configs.push(sub);
+    let engine = Engine::new();
+    let mut jobs: Vec<(ProblemKind, usize, OrderingMethod, u64)> = Vec::new();
+    for (problem_index, &problem) in config.problems.iter().enumerate() {
+        for (size_index, &size) in config.sizes.iter().enumerate() {
+            let seed = config
+                .seed
+                .wrapping_add(problem_index as u64)
+                .wrapping_mul(1_000_003)
+                .wrapping_add(size_index as u64);
+            for &ordering in &config.orderings {
+                jobs.push((problem, size, ordering, seed));
+            }
         }
     }
-    let mut collected: Vec<Vec<AssemblyInstance>> = Vec::with_capacity(sub_configs.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = sub_configs
-            .iter()
-            .map(|sub| scope.spawn(move || assembly_instances(sub)))
-            .collect();
-        for handle in handles {
-            collected.push(handle.join().expect("corpus worker panicked"));
-        }
-    });
-    let instances: Vec<AssemblyInstance> = collected.into_iter().flatten().collect();
-    corpus_from_instances(description, instances)
+    let threads = default_threads(jobs.len());
+    let per_job: Vec<Vec<CorpusTree>> =
+        par_map(&jobs, threads, |_, &(problem, size, ordering, seed)| {
+            let first = *config
+                .amalgamations
+                .first()
+                .expect("at least one amalgamation allowance");
+            let base = EngineConfig::generated(problem, size, seed)
+                .with_ordering(ordering)
+                .with_amalgamation(first);
+            let plan = engine.plan(&base).expect("corpus configuration is valid");
+            config
+                .amalgamations
+                .iter()
+                .map(|&amalgamation| {
+                    let derived;
+                    let plan = if amalgamation == first {
+                        &plan
+                    } else {
+                        derived = plan
+                            .reamalgamate(amalgamation)
+                            .expect("generated sources always re-amalgamate");
+                        &derived
+                    };
+                    CorpusTree {
+                        name: format!(
+                            "{}-{}-{}-a{}",
+                            problem.name(),
+                            plan.matrix_n(),
+                            ordering.name(),
+                            amalgamation
+                        ),
+                        nodes: plan.tree().len(),
+                        tree: plan.tree().clone(),
+                    }
+                })
+                .collect()
+        });
+    Corpus {
+        description: description.to_string(),
+        trees: per_job.into_iter().flatten().collect(),
+    }
 }
 
 /// The full corpus used by the experiments (unless `--quick` is passed).
@@ -236,6 +265,20 @@ pub fn random_corpus(base: &Corpus, variants_per_tree: usize, seed: u64) -> Corp
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn engine_built_corpus_matches_the_legacy_recipe() {
+        // The engine-planned corpus must be bit-identical (names and trees)
+        // to the historical hand-stitched `assembly_instances` pipeline.
+        let config = PipelineConfig::small();
+        let instances = symbolic::assembly_instances(&config);
+        let corpus = corpus_for(&config, "parity");
+        assert_eq!(corpus.len(), instances.len());
+        for (entry, instance) in corpus.trees.iter().zip(&instances) {
+            assert_eq!(entry.name, instance.name);
+            assert_eq!(entry.tree, instance.assembly.tree, "{}", entry.name);
+        }
+    }
 
     #[test]
     fn quick_corpus_is_nonempty_and_named_uniquely() {

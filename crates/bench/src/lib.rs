@@ -16,13 +16,16 @@
 //! | `exp_minio_sweep`      | full policies × solvers sweep (`BENCH_minio_sweep.json`) |
 //! | `exp_scaling`          | large-`p` scaling benchmark + CI regression gate (`BENCH_scaling.json`) |
 //! | `exp_all`              | everything above, with the quick corpus |
+//! | `factor_cli`           | one `engine::EngineConfig` end to end, `Report` as JSON |
 //!
-//! The library part of the crate holds the shared infrastructure: corpus
-//! generation (the synthetic replacement of the paper's UF-collection data
-//! set), timing helpers, report writing, a scoped-thread [`par_map`]
-//! primitive ([`parallel`]) and the parallel MinIO sweep engine ([`sweep`])
-//! that crosses {corpus × memory budgets × registered solvers × registered
-//! eviction policies}.
+//! The binaries construct their pipelines through the `engine` facade
+//! (prebuilt-tree plans for corpus sweeps, generated-matrix plans for the
+//! end-to-end experiments); the library part of the crate holds the shared
+//! infrastructure: corpus generation (planned through the engine, replacing
+//! the paper's UF-collection data set), timing helpers, report writing, the
+//! [`par_map`] re-export ([`parallel`], now living in `engine::parallel`)
+//! and the parallel MinIO sweep engine ([`sweep`]) that crosses {corpus ×
+//! memory budgets × registered solvers × registered eviction policies}.
 
 pub mod corpus;
 pub mod microbench;

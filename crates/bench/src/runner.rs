@@ -126,15 +126,14 @@ pub fn measurement_registry() -> SolverRegistry {
 /// The memory sizes at which the MinIO experiments are run for a given
 /// traversal: fractions of the way from the largest single-node requirement
 /// (below which no execution is possible) to the traversal's peak (above
-/// which no I/O is needed).
+/// which no I/O is needed).  Delegates to [`engine::MemoryBudget::resolve`],
+/// the single definition of the fraction convention.
 pub fn memory_sweep(tree: &Tree, traversal_peak: Size, fractions: &[f64]) -> Vec<Size> {
     let lower = tree.max_mem_req();
-    let upper = traversal_peak;
     fractions
         .iter()
         .map(|&fraction| {
-            let f = fraction.clamp(0.0, 1.0);
-            lower + (((upper - lower) as f64) * f).round() as Size
+            engine::MemoryBudget::FractionOfPeak(fraction).resolve(lower, traversal_peak)
         })
         .collect()
 }

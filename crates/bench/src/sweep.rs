@@ -219,7 +219,7 @@ pub fn run_sweep_with(
     config: &SweepConfig,
 ) -> SweepReport {
     let solver_names: Vec<String> = if config.solvers.is_empty() {
-        solvers.names().iter().map(|s| s.to_string()).collect()
+        solvers.names()
     } else {
         config.solvers.clone()
     };
@@ -233,19 +233,11 @@ pub fn run_sweep_with(
     // the config fails fast here instead of aborting a worker mid-sweep.
     let resolved_solvers: Vec<&dyn treemem::solver::MinMemSolver> = solver_names
         .iter()
-        .map(|name| {
-            solvers
-                .get(name)
-                .unwrap_or_else(|| panic!("unknown solver {name}"))
-        })
+        .map(|name| solvers.get_or_err(name).unwrap_or_else(|e| panic!("{e}")))
         .collect();
     let resolved_policies: Vec<&dyn minio::Policy> = policy_names
         .iter()
-        .map(|name| {
-            policies
-                .get(name)
-                .unwrap_or_else(|| panic!("unknown policy {name}"))
-        })
+        .map(|name| policies.get_or_err(name).unwrap_or_else(|e| panic!("{e}")))
         .collect();
 
     // One job per (tree, solver) pair.

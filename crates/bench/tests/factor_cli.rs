@@ -1,0 +1,105 @@
+//! End-to-end tests of the `factor_cli` binary: the happy path on a real
+//! MatrixMarket file and the error paths on malformed input.
+
+use std::process::Command;
+
+fn factor_cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_factor_cli"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("factor-cli-{}-{name}", std::process::id()));
+    std::fs::write(&path, contents).expect("temp file written");
+    path
+}
+
+#[test]
+fn runs_end_to_end_on_a_matrix_market_file() {
+    let pattern = sparsemat::gen::grid2d_5pt(6, 6);
+    let path = write_temp(
+        "grid.mtx",
+        &sparsemat::matrixmarket::write_pattern(&pattern),
+    );
+    let output = factor_cli()
+        .args(["--mtx", path.to_str().unwrap()])
+        .args(["--ordering", "amd", "--amalgamation", "4"])
+        .args(["--policy", "FirstFit", "--memory-fraction", "0.0"])
+        .arg("--print-config")
+        .output()
+        .expect("factor_cli runs");
+    std::fs::remove_file(&path).ok();
+    assert!(output.status.success(), "stderr: {}", text(&output.stderr));
+    let stdout = text(&output.stdout);
+    assert!(stdout.contains("\"schema\": \"engine_report/v1\""));
+    assert!(stdout.contains("\"matrix_n\": 36"));
+    assert!(stdout.contains("\"io_volume\":"));
+    assert!(stdout.contains("\"config_hash\":"));
+    // --print-config dumps a round-trippable configuration on stderr.
+    let config = engine::EngineConfig::from_json(&text(&output.stderr)).unwrap();
+    assert_eq!(config.policy, "FirstFit");
+}
+
+#[test]
+fn generated_problems_work_without_a_file() {
+    let output = factor_cli()
+        .args(["--kind", "grid2d", "--nodes", "100", "--seed", "7"])
+        .args(["--solver", "postorder", "--numeric"])
+        .output()
+        .expect("factor_cli runs");
+    assert!(output.status.success(), "stderr: {}", text(&output.stderr));
+    let stdout = text(&output.stdout);
+    assert!(stdout.contains("\"numeric\": {\"measured_peak_entries\":"));
+}
+
+#[test]
+fn truncated_header_is_a_clean_error() {
+    let path = write_temp("truncated.mtx", "%%MatrixMarket matrix\n");
+    let output = factor_cli()
+        .args(["--mtx", path.to_str().unwrap()])
+        .output()
+        .expect("factor_cli runs");
+    std::fs::remove_file(&path).ok();
+    assert!(!output.status.success());
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = text(&output.stderr);
+    assert!(
+        stderr.contains("bad MatrixMarket header"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn bad_entry_count_is_a_clean_error() {
+    // The size line announces 5 entries but only 2 follow.
+    let path = write_temp(
+        "short.mtx",
+        "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 5\n1 1\n2 1\n",
+    );
+    let output = factor_cli()
+        .args(["--mtx", path.to_str().unwrap()])
+        .output()
+        .expect("factor_cli runs");
+    std::fs::remove_file(&path).ok();
+    assert!(!output.status.success());
+    let stderr = text(&output.stderr);
+    assert!(
+        stderr.contains("fewer entries than announced"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn unknown_names_exit_with_the_registry_catalogue() {
+    let output = factor_cli()
+        .args(["--kind", "grid2d", "--nodes", "50", "--policy", "nope"])
+        .output()
+        .expect("factor_cli runs");
+    assert!(!output.status.success());
+    let stderr = text(&output.stderr);
+    assert!(stderr.contains("unknown policy 'nope'"), "stderr: {stderr}");
+    assert!(stderr.contains("LSNF"), "stderr lists the catalogue");
+}
+
+fn text(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).into_owned()
+}

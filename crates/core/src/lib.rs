@@ -66,12 +66,14 @@ pub mod liu;
 pub mod minmem;
 pub mod postorder;
 pub mod random;
+pub mod registry;
 pub mod solver;
 pub mod traversal;
 pub mod tree;
 pub mod variants;
 
 pub use error::{TraversalError, TreeError};
+pub use registry::UnknownName;
 pub use solver::{MinMemSolver, SolverRegistry};
 pub use traversal::{MemoryProfile, Traversal};
 pub use tree::{NodeId, Size, Tree, TreeBuilder};

@@ -25,6 +25,7 @@ use crate::brute::brute_force_optimal;
 use crate::liu::liu_exact;
 use crate::minmem::min_mem;
 use crate::postorder::{best_postorder, natural_postorder};
+use crate::registry::{get_or_unknown, UnknownName};
 use crate::tree::Tree;
 use crate::TraversalResult;
 
@@ -207,9 +208,17 @@ impl SolverRegistry {
             .map(|s| s.as_ref())
     }
 
-    /// Registered names, in registration order.
-    pub fn names(&self) -> Vec<&'static str> {
-        self.solvers.iter().map(|s| s.name()).collect()
+    /// Look a solver up by name, with a typed [`UnknownName`] error listing
+    /// the registered names on a miss.
+    pub fn get_or_err(&self, name: &str) -> Result<&dyn MinMemSolver, UnknownName> {
+        get_or_unknown("solver", name, self.get(name), || self.names())
+    }
+
+    /// Registered names, in registration order.  Returns owned `String`s —
+    /// the same signature as `minio::PolicyRegistry::names` — so generic
+    /// callers can treat the two catalogues uniformly.
+    pub fn names(&self) -> Vec<String> {
+        self.solvers.iter().map(|s| s.name().to_string()).collect()
     }
 
     /// Iterate over the solvers in registration order.
@@ -248,6 +257,10 @@ mod tests {
         );
         assert!(registry.get("liu").is_some());
         assert!(registry.get("nope").is_none());
+        assert!(registry.get_or_err("liu").is_ok());
+        let err = registry.get_or_err("nope").map(|_| ()).unwrap_err();
+        assert_eq!(err.kind, "solver");
+        assert_eq!(err.known, registry.names());
         assert!(!registry.is_empty());
     }
 

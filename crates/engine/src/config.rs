@@ -1,0 +1,463 @@
+//! The serializable problem description the engine plans from.
+//!
+//! An [`EngineConfig`] names everything the pipeline needs — where the
+//! problem comes from, how it is ordered and amalgamated, which MinMemory
+//! solver and eviction policy to use, and how much main memory the simulated
+//! execution gets — and round-trips through JSON
+//! ([`EngineConfig::to_json`] / [`EngineConfig::from_json`]), so whole
+//! experiment grids can be stored, shipped to a server, or replayed later.
+
+use ordering::OrderingMethod;
+use sparsemat::gen::ProblemKind;
+use treemem::tree::Size;
+use treemem::Tree;
+
+use crate::json::{escape, Json, JsonError};
+
+/// Where the problem comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProblemSource {
+    /// A synthetic matrix from one of the [`ProblemKind`] generators.
+    Generated {
+        /// The generator.
+        kind: ProblemKind,
+        /// Target number of unknowns.
+        nodes: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// A MatrixMarket coordinate file on disk.
+    MatrixMarket {
+        /// Path to the `.mtx` file.
+        path: String,
+    },
+    /// A prebuilt weighted tree: the ordering/symbolic stages are skipped and
+    /// the traversal stages run directly on it (used for gadget trees and
+    /// re-weighted corpora).
+    Prebuilt {
+        /// The tree.
+        tree: Tree,
+    },
+}
+
+/// The main-memory budget of the out-of-core stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MemoryBudget {
+    /// Enough memory for the chosen traversal: no I/O is ever needed.
+    Unlimited,
+    /// An absolute budget, in the tree's file-size units.
+    Absolute(Size),
+    /// A fraction of the way from the hardest feasible budget (the largest
+    /// single-node requirement, at `0.0`) to the chosen traversal's peak
+    /// (at `1.0`, where no I/O is needed) — the same convention as the
+    /// sweep engine's memory fractions.
+    FractionOfPeak(f64),
+}
+
+impl MemoryBudget {
+    /// Resolve the budget to an absolute memory size, given the hardest
+    /// feasible budget `lower` (the largest single-node requirement) and the
+    /// chosen traversal's `peak`.  This is the single definition of the
+    /// fraction convention; the sweep helpers delegate to it.
+    pub fn resolve(&self, lower: Size, peak: Size) -> Size {
+        match *self {
+            MemoryBudget::Unlimited => peak,
+            MemoryBudget::Absolute(size) => size,
+            MemoryBudget::FractionOfPeak(fraction) => {
+                let f = fraction.clamp(0.0, 1.0);
+                lower + (((peak - lower) as f64) * f).round() as Size
+            }
+        }
+    }
+}
+
+/// A full problem description; see the module docs.
+///
+/// ```
+/// use engine::{EngineConfig, MemoryBudget};
+/// use sparsemat::gen::ProblemKind;
+///
+/// let config = EngineConfig::generated(ProblemKind::Grid2d, 400, 42)
+///     .with_solver("minmem")
+///     .with_policy("FirstFit")
+///     .with_memory(MemoryBudget::FractionOfPeak(0.5));
+/// // The configuration round-trips through JSON bit-for-bit.
+/// let parsed = EngineConfig::from_json(&config.to_json()).unwrap();
+/// assert_eq!(parsed, config);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// The problem source.
+    pub source: ProblemSource,
+    /// Fill-reducing ordering (ignored for [`ProblemSource::Prebuilt`]).
+    pub ordering: OrderingMethod,
+    /// Relaxed-amalgamation allowance (ignored for prebuilt trees).
+    pub amalgamation: usize,
+    /// MinMemory solver name (resolved in the engine's `SolverRegistry`).
+    pub solver: String,
+    /// Eviction policy name (resolved in the engine's `PolicyRegistry`).
+    pub policy: String,
+    /// Main-memory budget of the out-of-core stage.
+    pub memory: MemoryBudget,
+    /// Whether `execute` also runs the numeric multifrontal factorization
+    /// (requires a matrix source).
+    pub numeric: bool,
+}
+
+impl EngineConfig {
+    /// A configuration for a generated problem, with default ordering
+    /// (minimum degree), no amalgamation, the `minmem` solver, the `LSNF`
+    /// policy, unlimited memory and no numeric run.
+    pub fn generated(kind: ProblemKind, nodes: usize, seed: u64) -> Self {
+        Self::with_source(ProblemSource::Generated { kind, nodes, seed })
+    }
+
+    /// A configuration reading a MatrixMarket file; defaults as in
+    /// [`EngineConfig::generated`].
+    pub fn matrix_market(path: impl Into<String>) -> Self {
+        Self::with_source(ProblemSource::MatrixMarket { path: path.into() })
+    }
+
+    /// A configuration for a prebuilt tree; defaults as in
+    /// [`EngineConfig::generated`].
+    pub fn prebuilt(tree: Tree) -> Self {
+        Self::with_source(ProblemSource::Prebuilt { tree })
+    }
+
+    fn with_source(source: ProblemSource) -> Self {
+        EngineConfig {
+            source,
+            ordering: OrderingMethod::MinimumDegree,
+            amalgamation: 1,
+            solver: "minmem".to_string(),
+            policy: "LSNF".to_string(),
+            memory: MemoryBudget::Unlimited,
+            numeric: false,
+        }
+    }
+
+    /// Set the ordering method.
+    pub fn with_ordering(mut self, ordering: OrderingMethod) -> Self {
+        self.ordering = ordering;
+        self
+    }
+
+    /// Set the relaxed-amalgamation allowance.
+    pub fn with_amalgamation(mut self, amalgamation: usize) -> Self {
+        self.amalgamation = amalgamation;
+        self
+    }
+
+    /// Set the solver name.
+    pub fn with_solver(mut self, solver: impl Into<String>) -> Self {
+        self.solver = solver.into();
+        self
+    }
+
+    /// Set the eviction policy name.
+    pub fn with_policy(mut self, policy: impl Into<String>) -> Self {
+        self.policy = policy.into();
+        self
+    }
+
+    /// Set the memory budget.
+    pub fn with_memory(mut self, memory: MemoryBudget) -> Self {
+        self.memory = memory;
+        self
+    }
+
+    /// Enable or disable the numeric factorization stage.
+    pub fn with_numeric(mut self, numeric: bool) -> Self {
+        self.numeric = numeric;
+        self
+    }
+
+    /// A short human-readable name of the problem source, used in reports.
+    pub fn source_name(&self) -> String {
+        match &self.source {
+            ProblemSource::Generated { kind, nodes, seed } => {
+                format!("{}-{}-s{}", kind.name(), nodes, seed)
+            }
+            ProblemSource::MatrixMarket { path } => path.clone(),
+            ProblemSource::Prebuilt { tree } => format!("prebuilt-{}", tree.len()),
+        }
+    }
+
+    /// Render the configuration as a JSON document (schema
+    /// `engine_config/v1`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"engine_config/v1\",\n");
+        match &self.source {
+            ProblemSource::Generated { kind, nodes, seed } => {
+                out.push_str(&format!(
+                    "  \"source\": {{\"type\": \"generated\", \"kind\": \"{}\", \
+                     \"nodes\": {nodes}, \"seed\": {seed}}},\n",
+                    kind.name()
+                ));
+            }
+            ProblemSource::MatrixMarket { path } => {
+                out.push_str(&format!(
+                    "  \"source\": {{\"type\": \"matrix_market\", \"path\": \"{}\"}},\n",
+                    escape(path)
+                ));
+            }
+            ProblemSource::Prebuilt { tree } => {
+                let parents: Vec<String> = tree
+                    .parents()
+                    .iter()
+                    .map(|p| match p {
+                        Some(parent) => parent.to_string(),
+                        None => "-1".to_string(),
+                    })
+                    .collect();
+                let files: Vec<String> = tree.files().iter().map(|f| f.to_string()).collect();
+                let weights: Vec<String> = tree.weights().iter().map(|w| w.to_string()).collect();
+                out.push_str(&format!(
+                    "  \"source\": {{\"type\": \"prebuilt\", \"parents\": [{}], \
+                     \"files\": [{}], \"weights\": [{}]}},\n",
+                    parents.join(","),
+                    files.join(","),
+                    weights.join(",")
+                ));
+            }
+        }
+        out.push_str(&format!("  \"ordering\": \"{}\",\n", self.ordering.name()));
+        out.push_str(&format!("  \"amalgamation\": {},\n", self.amalgamation));
+        out.push_str(&format!("  \"solver\": \"{}\",\n", escape(&self.solver)));
+        out.push_str(&format!("  \"policy\": \"{}\",\n", escape(&self.policy)));
+        match self.memory {
+            MemoryBudget::Unlimited => {
+                out.push_str("  \"memory\": {\"type\": \"unlimited\"},\n");
+            }
+            MemoryBudget::Absolute(size) => {
+                out.push_str(&format!(
+                    "  \"memory\": {{\"type\": \"absolute\", \"value\": {size}}},\n"
+                ));
+            }
+            MemoryBudget::FractionOfPeak(fraction) => {
+                // `{}` on f64 prints the shortest representation that parses
+                // back to the same value, so the round-trip is exact.
+                out.push_str(&format!(
+                    "  \"memory\": {{\"type\": \"fraction\", \"value\": {fraction}}},\n"
+                ));
+            }
+        }
+        out.push_str(&format!("  \"numeric\": {}\n", self.numeric));
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parse a configuration produced by [`EngineConfig::to_json`].
+    pub fn from_json(text: &str) -> Result<EngineConfig, ConfigParseError> {
+        let json = Json::parse(text)?;
+        let source = json.get("source").ok_or(missing("source"))?;
+        let source = match source.get("type").and_then(Json::as_str) {
+            Some("generated") => {
+                let kind_name = source
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .ok_or(missing("source.kind"))?;
+                let kind = ProblemKind::from_name(kind_name)
+                    .ok_or_else(|| invalid(format!("unknown problem kind '{kind_name}'")))?;
+                ProblemSource::Generated {
+                    kind,
+                    nodes: source
+                        .get("nodes")
+                        .and_then(Json::as_usize)
+                        .ok_or(missing("source.nodes"))?,
+                    seed: source
+                        .get("seed")
+                        .and_then(Json::as_u64)
+                        .ok_or(missing("source.seed"))?,
+                }
+            }
+            Some("matrix_market") => ProblemSource::MatrixMarket {
+                path: source
+                    .get("path")
+                    .and_then(Json::as_str)
+                    .ok_or(missing("source.path"))?
+                    .to_string(),
+            },
+            Some("prebuilt") => {
+                let parents = int_array(source, "parents")?;
+                let parents: Vec<Option<usize>> = parents
+                    .iter()
+                    .map(|&p| if p < 0 { None } else { Some(p as usize) })
+                    .collect();
+                let files = int_array(source, "files")?;
+                let weights = int_array(source, "weights")?;
+                let tree = Tree::from_parents(&parents, &files, &weights)
+                    .map_err(|e| invalid(format!("invalid prebuilt tree: {e}")))?;
+                ProblemSource::Prebuilt { tree }
+            }
+            other => {
+                return Err(invalid(format!("unknown source type {other:?}")));
+            }
+        };
+        let ordering_name = json
+            .get("ordering")
+            .and_then(Json::as_str)
+            .ok_or(missing("ordering"))?;
+        let ordering = OrderingMethod::from_name(ordering_name)
+            .ok_or_else(|| invalid(format!("unknown ordering '{ordering_name}'")))?;
+        let memory = json.get("memory").ok_or(missing("memory"))?;
+        let memory = match memory.get("type").and_then(Json::as_str) {
+            Some("unlimited") => MemoryBudget::Unlimited,
+            Some("absolute") => MemoryBudget::Absolute(
+                memory
+                    .get("value")
+                    .and_then(Json::as_i64)
+                    .ok_or(missing("memory.value"))?,
+            ),
+            Some("fraction") => MemoryBudget::FractionOfPeak(
+                memory
+                    .get("value")
+                    .and_then(Json::as_f64)
+                    .ok_or(missing("memory.value"))?,
+            ),
+            other => {
+                return Err(invalid(format!("unknown memory type {other:?}")));
+            }
+        };
+        Ok(EngineConfig {
+            source,
+            ordering,
+            amalgamation: json
+                .get("amalgamation")
+                .and_then(Json::as_usize)
+                .ok_or(missing("amalgamation"))?,
+            solver: json
+                .get("solver")
+                .and_then(Json::as_str)
+                .ok_or(missing("solver"))?
+                .to_string(),
+            policy: json
+                .get("policy")
+                .and_then(Json::as_str)
+                .ok_or(missing("policy"))?
+                .to_string(),
+            memory,
+            numeric: json
+                .get("numeric")
+                .and_then(Json::as_bool)
+                .ok_or(missing("numeric"))?,
+        })
+    }
+
+    /// A stable 64-bit FNV-1a hash of the canonical JSON form, as a
+    /// 16-character hex string.  Reports carry it as provenance so results
+    /// can be traced back to the exact configuration that produced them.
+    pub fn hash(&self) -> String {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in self.to_json().bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        format!("{hash:016x}")
+    }
+}
+
+fn int_array(json: &Json, key: &'static str) -> Result<Vec<i64>, ConfigParseError> {
+    json.get(key)
+        .and_then(Json::as_array)
+        .ok_or(missing(key))?
+        .iter()
+        .map(|v| {
+            v.as_i64()
+                .ok_or_else(|| invalid(format!("non-integer in '{key}'")))
+        })
+        .collect()
+}
+
+/// Errors raised while parsing an [`EngineConfig`] from JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigParseError {
+    /// The document is not valid JSON.
+    Json(JsonError),
+    /// A required field is missing or has the wrong type.
+    MissingField(&'static str),
+    /// A field has an invalid value.
+    Invalid(String),
+}
+
+fn missing(field: &'static str) -> ConfigParseError {
+    ConfigParseError::MissingField(field)
+}
+
+fn invalid(message: String) -> ConfigParseError {
+    ConfigParseError::Invalid(message)
+}
+
+impl std::fmt::Display for ConfigParseError {
+    fn fmt(&self, fmt: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigParseError::Json(err) => write!(fmt, "{err}"),
+            ConfigParseError::MissingField(field) => {
+                write!(fmt, "missing or mistyped field '{field}'")
+            }
+            ConfigParseError::Invalid(message) => write!(fmt, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigParseError {}
+
+impl From<JsonError> for ConfigParseError {
+    fn from(err: JsonError) -> Self {
+        ConfigParseError::Json(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treemem::gadgets::harpoon;
+
+    #[test]
+    fn every_source_kind_round_trips() {
+        let configs = vec![
+            EngineConfig::generated(ProblemKind::PowerLaw, 300, 0x9e37_79b9_7f4a_7c15)
+                .with_ordering(OrderingMethod::NestedDissection)
+                .with_amalgamation(16)
+                .with_solver("liu")
+                .with_policy("BestKComb")
+                .with_memory(MemoryBudget::FractionOfPeak(0.3751))
+                .with_numeric(true),
+            EngineConfig::matrix_market("data/with \"quotes\"\n.mtx")
+                .with_memory(MemoryBudget::Absolute(12_345)),
+            EngineConfig::prebuilt(harpoon(3, 300, 1)),
+        ];
+        for config in configs {
+            let parsed = EngineConfig::from_json(&config.to_json()).unwrap();
+            assert_eq!(parsed, config);
+            assert_eq!(parsed.hash(), config.hash());
+        }
+    }
+
+    #[test]
+    fn hashes_distinguish_configurations() {
+        let a = EngineConfig::generated(ProblemKind::Grid2d, 400, 1);
+        let b = a.clone().with_policy("FirstFit");
+        assert_ne!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_configs() {
+        assert!(matches!(
+            EngineConfig::from_json("not json"),
+            Err(ConfigParseError::Json(_))
+        ));
+        assert!(matches!(
+            EngineConfig::from_json("{}"),
+            Err(ConfigParseError::MissingField("source"))
+        ));
+        let bad_kind =
+            r#"{"source": {"type": "generated", "kind": "nope", "nodes": 10, "seed": 1}}"#;
+        assert!(matches!(
+            EngineConfig::from_json(bad_kind),
+            Err(ConfigParseError::Invalid(_))
+        ));
+    }
+}

@@ -1,0 +1,249 @@
+//! The serializable outcome of one engine run.
+
+use treemem::tree::{NodeId, Size};
+
+use crate::config::MemoryBudget;
+use crate::json::escape;
+
+/// Wall-clock seconds of every pipeline stage, measured with
+/// `perfprof::timing`.  Stages that did not run (e.g. ordering on a prebuilt
+/// tree, or the numeric stage when it is disabled) report `0.0`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageTimings {
+    /// Problem acquisition (generator / MatrixMarket parse).
+    pub generate_seconds: f64,
+    /// Fill-reducing ordering plus elimination tree and column counts.
+    pub ordering_seconds: f64,
+    /// Amalgamation into the weighted assembly tree.
+    pub symbolic_seconds: f64,
+    /// The MinMemory solver.
+    pub solver_seconds: f64,
+    /// The out-of-core simulation plus the divisible lower bound.
+    pub io_seconds: f64,
+    /// The numeric multifrontal factorization (0.0 when disabled).
+    pub numeric_seconds: f64,
+}
+
+/// Measurements of the numeric multifrontal factorization stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumericReport {
+    /// Peak live temporary entries measured during the execution.
+    pub measured_peak_entries: usize,
+    /// Peak predicted by the paper's per-column tree model for the same
+    /// traversal (the two must agree).
+    pub model_peak_entries: Size,
+    /// Nonzeros of the computed Cholesky factor.
+    pub factor_nnz: usize,
+    /// Max-norm error of solving a system with a known answer through the
+    /// computed factor (a correctness check on the factorization).
+    pub solve_error: f64,
+}
+
+/// Everything one plan → schedule → execute run produced, with provenance.
+///
+/// ```
+/// use engine::{Engine, EngineConfig};
+/// use treemem::gadgets::harpoon;
+///
+/// let engine = Engine::new();
+/// let report = engine
+///     .run(&EngineConfig::prebuilt(harpoon(3, 300, 1)))
+///     .unwrap();
+/// assert_eq!(report.solver, "minmem");
+/// assert_eq!(report.traversal.len(), report.nodes);
+/// // Reports serialize to JSON for storage and transport.
+/// assert!(report.to_json().contains("\"schema\": \"engine_report/v1\""));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// FNV-1a hash of the *effective* configuration's canonical JSON — the
+    /// plan's configuration with any `ScheduleSpec` overrides applied, so
+    /// replaying the hashed configuration reproduces exactly this report.
+    pub config_hash: String,
+    /// Human-readable problem-source name.
+    pub source: String,
+    /// Ordering method name.
+    pub ordering: String,
+    /// Relaxed-amalgamation allowance.
+    pub amalgamation: usize,
+    /// Solver that produced the traversal.
+    pub solver: String,
+    /// Eviction policy that produced the I/O schedule.
+    pub policy: String,
+    /// Number of nodes of the (assembly) tree.
+    pub nodes: usize,
+    /// Number of unknowns of the underlying matrix (0 for prebuilt trees).
+    pub matrix_n: usize,
+    /// Peak memory of the traversal (the MinMemory objective).
+    pub solver_peak: Size,
+    /// The resolved absolute memory budget of the simulated execution.
+    pub memory_budget: Size,
+    /// The budget as it was specified (absolute / fraction / unlimited).
+    pub budget_spec: MemoryBudget,
+    /// Volume written to secondary memory (the MinIO objective).
+    pub io_volume: Size,
+    /// Volume read back from secondary memory.
+    pub read_volume: Size,
+    /// Number of files written out.
+    pub files_written: usize,
+    /// Peak main-memory usage of the out-of-core execution.
+    pub io_peak_memory: Size,
+    /// Divisible-relaxation lower bound for this traversal and budget.
+    pub divisible_bound: Size,
+    /// The traversal (top-down order, root first).
+    pub traversal: Vec<NodeId>,
+    /// Numeric factorization measurements, when the stage ran.
+    pub numeric: Option<NumericReport>,
+    /// Per-stage wall-clock times.
+    pub timings: StageTimings,
+}
+
+impl Report {
+    /// Render the report as a JSON document (schema `engine_report/v1`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"engine_report/v1\",\n");
+        out.push_str(&format!(
+            "  \"config_hash\": \"{}\",\n",
+            escape(&self.config_hash)
+        ));
+        out.push_str(&format!("  \"source\": \"{}\",\n", escape(&self.source)));
+        out.push_str(&format!(
+            "  \"ordering\": \"{}\",\n",
+            escape(&self.ordering)
+        ));
+        out.push_str(&format!("  \"amalgamation\": {},\n", self.amalgamation));
+        out.push_str(&format!("  \"solver\": \"{}\",\n", escape(&self.solver)));
+        out.push_str(&format!("  \"policy\": \"{}\",\n", escape(&self.policy)));
+        out.push_str(&format!("  \"nodes\": {},\n", self.nodes));
+        out.push_str(&format!("  \"matrix_n\": {},\n", self.matrix_n));
+        out.push_str(&format!("  \"solver_peak\": {},\n", self.solver_peak));
+        out.push_str(&format!("  \"memory_budget\": {},\n", self.memory_budget));
+        let budget = match self.budget_spec {
+            MemoryBudget::Unlimited => "{\"type\": \"unlimited\"}".to_string(),
+            MemoryBudget::Absolute(size) => {
+                format!("{{\"type\": \"absolute\", \"value\": {size}}}")
+            }
+            MemoryBudget::FractionOfPeak(fraction) => {
+                format!("{{\"type\": \"fraction\", \"value\": {fraction}}}")
+            }
+        };
+        out.push_str(&format!("  \"budget_spec\": {budget},\n"));
+        out.push_str(&format!("  \"io_volume\": {},\n", self.io_volume));
+        out.push_str(&format!("  \"read_volume\": {},\n", self.read_volume));
+        out.push_str(&format!("  \"files_written\": {},\n", self.files_written));
+        out.push_str(&format!("  \"io_peak_memory\": {},\n", self.io_peak_memory));
+        out.push_str(&format!(
+            "  \"divisible_bound\": {},\n",
+            self.divisible_bound
+        ));
+        let order: Vec<String> = self.traversal.iter().map(|n| n.to_string()).collect();
+        out.push_str(&format!("  \"traversal\": [{}],\n", order.join(",")));
+        match &self.numeric {
+            Some(numeric) => out.push_str(&format!(
+                "  \"numeric\": {{\"measured_peak_entries\": {}, \
+                 \"model_peak_entries\": {}, \"factor_nnz\": {}, \
+                 \"solve_error\": {:e}}},\n",
+                numeric.measured_peak_entries,
+                numeric.model_peak_entries,
+                numeric.factor_nnz,
+                numeric.solve_error
+            )),
+            None => out.push_str("  \"numeric\": null,\n"),
+        }
+        out.push_str(&format!(
+            "  \"timings\": {{\"generate_seconds\": {:.6}, \"ordering_seconds\": {:.6}, \
+             \"symbolic_seconds\": {:.6}, \"solver_seconds\": {:.6}, \
+             \"io_seconds\": {:.6}, \"numeric_seconds\": {:.6}}}\n",
+            self.timings.generate_seconds,
+            self.timings.ordering_seconds,
+            self.timings.symbolic_seconds,
+            self.timings.solver_seconds,
+            self.timings.io_seconds,
+            self.timings.numeric_seconds
+        ));
+        out.push_str("}\n");
+        out
+    }
+
+    /// A deterministic identity of the result — every field except the
+    /// wall-clock timings — used by tests to assert that two runs produced
+    /// the same outcome (e.g. batch runs with different worker counts).
+    pub fn fingerprint(&self) -> String {
+        let mut stripped = self.clone();
+        stripped.timings = StageTimings::default();
+        stripped.to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    fn sample() -> Report {
+        Report {
+            config_hash: "0123456789abcdef".to_string(),
+            source: "grid2d-400-s42".to_string(),
+            ordering: "amd".to_string(),
+            amalgamation: 4,
+            solver: "minmem".to_string(),
+            policy: "LSNF".to_string(),
+            nodes: 10,
+            matrix_n: 400,
+            solver_peak: 123,
+            memory_budget: 100,
+            budget_spec: MemoryBudget::FractionOfPeak(0.5),
+            io_volume: 23,
+            read_volume: 23,
+            files_written: 2,
+            io_peak_memory: 99,
+            divisible_bound: 20,
+            traversal: vec![0, 2, 1],
+            numeric: Some(NumericReport {
+                measured_peak_entries: 500,
+                model_peak_entries: 500,
+                factor_nnz: 1234,
+                solve_error: 1e-12,
+            }),
+            timings: StageTimings {
+                solver_seconds: 0.25,
+                ..StageTimings::default()
+            },
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let report = sample();
+        let json = Json::parse(&report.to_json()).unwrap();
+        assert_eq!(
+            json.get("schema").and_then(Json::as_str),
+            Some("engine_report/v1")
+        );
+        assert_eq!(json.get("io_volume").and_then(Json::as_i64), Some(23));
+        assert_eq!(
+            json.get("traversal")
+                .and_then(Json::as_array)
+                .map(<[_]>::len),
+            Some(3)
+        );
+        assert_eq!(
+            json.get("numeric")
+                .and_then(|n| n.get("factor_nnz"))
+                .and_then(Json::as_usize),
+            Some(1234)
+        );
+    }
+
+    #[test]
+    fn fingerprints_ignore_timings_only() {
+        let a = sample();
+        let mut b = a.clone();
+        b.timings.solver_seconds = 99.0;
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.io_volume = 24;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+}

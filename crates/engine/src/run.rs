@@ -1,0 +1,859 @@
+//! The typed Plan → Schedule → Report flow.
+//!
+//! [`Engine::plan`] runs the *symbolic* half of the pipeline (problem
+//! acquisition, fill-reducing ordering, elimination tree, column counts,
+//! amalgamation) and returns a [`Plan`] — the reusable analysis object.
+//! [`Plan::schedule`] runs the *traversal* half (MinMemory solver plus the
+//! out-of-core MinIO simulation) and returns a [`Schedule`];
+//! [`Schedule::execute`] optionally adds the numeric multifrontal
+//! factorization and folds everything into a serializable [`Report`].
+//!
+//! A plan caches solver results by name, so sweeping many policies or memory
+//! budgets over the same traversal re-runs neither the symbolic analysis nor
+//! the solver — the "symbolic analysis reused across numeric runs" shape of
+//! production multifrontal codes.
+
+use std::sync::Mutex;
+
+use minio::{divisible_lower_bound, schedule_io_with, MinIoError, OutOfCoreRun, PolicyRegistry};
+use multifrontal::memory::per_column_model;
+use multifrontal::numeric::SymbolicStructure;
+use multifrontal::{instrumented_factorization, solve, FactorizationError};
+use sparsemat::gen::spd_matrix_from_pattern;
+use sparsemat::matrixmarket::{read_pattern, MatrixMarketError};
+use sparsemat::SparsePattern;
+use symbolic::{amalgamate, column_counts, elimination_tree, AssemblyTree, EliminationTree};
+use treemem::registry::UnknownName;
+use treemem::solver::SolverRegistry;
+use treemem::tree::{NodeId, Size};
+use treemem::{Traversal, TraversalResult, Tree};
+
+use crate::config::{EngineConfig, MemoryBudget, ProblemSource};
+use crate::parallel::{default_threads, par_map};
+use crate::report::{NumericReport, Report, StageTimings};
+
+/// Errors raised anywhere in the plan/schedule/execute flow.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A solver or policy name is not registered.
+    UnknownName(UnknownName),
+    /// The configuration is structurally invalid (zero allowance, NaN
+    /// fraction, ...).
+    InvalidConfig(String),
+    /// The MatrixMarket source could not be parsed.
+    MatrixMarket(MatrixMarketError),
+    /// The problem source could not be read from disk.
+    Io(String),
+    /// The out-of-core simulation failed (insufficient memory, invalid
+    /// traversal).
+    MinIo(MinIoError),
+    /// The numeric factorization failed.
+    Factorization(FactorizationError),
+    /// The numeric stage was requested but the source is a prebuilt tree,
+    /// which has no matrix to factorize.
+    NumericUnavailable,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, fmt: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownName(err) => write!(fmt, "{err}"),
+            EngineError::InvalidConfig(message) => write!(fmt, "invalid config: {message}"),
+            EngineError::MatrixMarket(err) => write!(fmt, "MatrixMarket input: {err}"),
+            EngineError::Io(message) => write!(fmt, "I/O: {message}"),
+            EngineError::MinIo(err) => write!(fmt, "out-of-core simulation: {err}"),
+            EngineError::Factorization(err) => write!(fmt, "numeric factorization: {err}"),
+            EngineError::NumericUnavailable => {
+                write!(fmt, "numeric factorization requires a matrix source")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<UnknownName> for EngineError {
+    fn from(err: UnknownName) -> Self {
+        EngineError::UnknownName(err)
+    }
+}
+
+impl From<MatrixMarketError> for EngineError {
+    fn from(err: MatrixMarketError) -> Self {
+        EngineError::MatrixMarket(err)
+    }
+}
+
+impl From<MinIoError> for EngineError {
+    fn from(err: MinIoError) -> Self {
+        EngineError::MinIo(err)
+    }
+}
+
+impl From<FactorizationError> for EngineError {
+    fn from(err: FactorizationError) -> Self {
+        EngineError::Factorization(err)
+    }
+}
+
+/// The facade over the whole matrix-to-traversal pipeline: a pair of
+/// registries plus the plan/schedule/execute drivers.
+///
+/// ```
+/// use engine::{Engine, EngineConfig};
+/// use treemem::gadgets::harpoon;
+///
+/// let engine = Engine::new();
+/// let config = EngineConfig::prebuilt(harpoon(3, 300, 1));
+/// let report = engine.run(&config).unwrap();
+/// assert_eq!(report.io_volume, 0); // unlimited memory: no eviction needed
+/// ```
+pub struct Engine {
+    solvers: SolverRegistry,
+    policies: PolicyRegistry,
+}
+
+impl Engine {
+    /// An engine with the built-in solver and policy registries.
+    pub fn new() -> Self {
+        Engine {
+            solvers: SolverRegistry::with_builtin(),
+            policies: PolicyRegistry::with_builtin(),
+        }
+    }
+
+    /// An engine with custom registries (downstream crates can register
+    /// their own solvers and policies before constructing the engine).
+    pub fn with_registries(solvers: SolverRegistry, policies: PolicyRegistry) -> Self {
+        Engine { solvers, policies }
+    }
+
+    /// The solver registry.
+    pub fn solvers(&self) -> &SolverRegistry {
+        &self.solvers
+    }
+
+    /// The policy registry.
+    pub fn policies(&self) -> &PolicyRegistry {
+        &self.policies
+    }
+
+    /// Validate `config` and run the symbolic half of the pipeline.
+    ///
+    /// Name resolution happens here, so a typo in the solver or policy name
+    /// fails fast with a typed [`UnknownName`] before any real work starts.
+    pub fn plan(&self, config: &EngineConfig) -> Result<Plan, EngineError> {
+        self.validate(config)?;
+        let mut timings = StageTimings::default();
+        let (pattern, generate_seconds) = timed(|| acquire_pattern(&config.source))?;
+        timings.generate_seconds = generate_seconds;
+        match pattern {
+            None => Ok(Plan {
+                config: config.clone(),
+                config_hash: config.hash(),
+                symbolic: None,
+                tree: PlanTree::Prebuilt,
+                timings,
+                solved: Mutex::new(Vec::new()),
+                bounds: Mutex::new(Vec::new()),
+                numeric_model: Mutex::new(None),
+            }),
+            Some(pattern) => {
+                let ((permuted, etree, counts), ordering_seconds) = timed_ok(|| {
+                    let perm = config.ordering.order(&pattern);
+                    let permuted = perm.apply(&pattern);
+                    let etree = elimination_tree(&permuted);
+                    let counts = column_counts(&permuted, &etree);
+                    (permuted, etree, counts)
+                });
+                timings.ordering_seconds = ordering_seconds;
+                let (assembly, symbolic_seconds) =
+                    timed_ok(|| amalgamate(&etree, &counts, config.amalgamation));
+                timings.symbolic_seconds = symbolic_seconds;
+                Ok(Plan {
+                    config: config.clone(),
+                    config_hash: config.hash(),
+                    symbolic: Some(SymbolicData {
+                        permuted,
+                        etree,
+                        counts,
+                    }),
+                    tree: PlanTree::Assembly(Box::new(assembly)),
+                    timings,
+                    solved: Mutex::new(Vec::new()),
+                    bounds: Mutex::new(Vec::new()),
+                    numeric_model: Mutex::new(None),
+                })
+            }
+        }
+    }
+
+    /// Convenience: plan, schedule and execute `config` in one call.
+    pub fn run(&self, config: &EngineConfig) -> Result<Report, EngineError> {
+        self.plan(config)?.schedule(self)?.execute(self)
+    }
+
+    /// Fan a batch of configurations over the [`par_map`] worker pool and
+    /// return one result per configuration, in input order.  `threads`
+    /// defaults to the available parallelism.
+    pub fn run_batch(
+        &self,
+        configs: &[EngineConfig],
+        threads: Option<usize>,
+    ) -> Vec<Result<Report, EngineError>> {
+        let threads = threads.unwrap_or_else(|| default_threads(configs.len()));
+        par_map(configs, threads, |_, config| self.run(config))
+    }
+
+    fn validate(&self, config: &EngineConfig) -> Result<(), EngineError> {
+        self.solvers.get_or_err(&config.solver)?;
+        self.policies.get_or_err(&config.policy)?;
+        if config.amalgamation == 0 {
+            return Err(EngineError::InvalidConfig(
+                "the amalgamation allowance must be at least 1".to_string(),
+            ));
+        }
+        if let MemoryBudget::FractionOfPeak(fraction) = config.memory {
+            if !fraction.is_finite() {
+                return Err(EngineError::InvalidConfig(format!(
+                    "memory fraction must be finite, got {fraction}"
+                )));
+            }
+        }
+        if config.numeric && matches!(config.source, ProblemSource::Prebuilt { .. }) {
+            return Err(EngineError::NumericUnavailable);
+        }
+        Ok(())
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+fn acquire_pattern(source: &ProblemSource) -> Result<Option<SparsePattern>, EngineError> {
+    match source {
+        ProblemSource::Generated { kind, nodes, seed } => Ok(Some(kind.generate(*nodes, *seed))),
+        ProblemSource::MatrixMarket { path } => {
+            let file = std::fs::File::open(path)
+                .map_err(|e| EngineError::Io(format!("cannot open {path}: {e}")))?;
+            Ok(Some(read_pattern(file)?))
+        }
+        ProblemSource::Prebuilt { .. } => Ok(None),
+    }
+}
+
+/// Time a fallible stage with `perfprof::timing` (one run, median == the
+/// run), returning the value and the wall-clock seconds.
+fn timed<T>(f: impl FnMut() -> Result<T, EngineError>) -> Result<(T, f64), EngineError> {
+    let (value, summary) = perfprof::timing::time_runs(1, f);
+    Ok((value?, summary.median_seconds))
+}
+
+/// Time an infallible stage.
+fn timed_ok<T>(f: impl FnMut() -> T) -> (T, f64) {
+    let (value, summary) = perfprof::timing::time_runs(1, f);
+    (value, summary.median_seconds)
+}
+
+struct SymbolicData {
+    permuted: SparsePattern,
+    etree: EliminationTree,
+    counts: Vec<usize>,
+}
+
+enum PlanTree {
+    Assembly(Box<AssemblyTree>),
+    /// The tree lives in `Plan::config`'s source; no second copy is kept.
+    Prebuilt,
+}
+
+/// The numeric substrate shared by every `execute` on one plan: the SPD
+/// matrix and the paper's per-column model tree, built once and cached.
+struct NumericModel {
+    matrix: sparsemat::SymmetricCsr,
+    model: Tree,
+    /// Bottom-up factorization orders cached by solver name.
+    orders: Mutex<Vec<(String, Vec<NodeId>)>>,
+}
+
+impl NumericModel {
+    /// The bottom-up factorization order of `solver` on the per-column
+    /// model, computed once per solver and cached.
+    fn order_for(&self, engine: &Engine, solver: &str) -> Result<Vec<NodeId>, EngineError> {
+        {
+            let cache = self.orders.lock().expect("order cache poisoned");
+            if let Some((_, order)) = cache.iter().find(|(name, _)| name == solver) {
+                return Ok(order.clone());
+            }
+        }
+        let entry = engine.solvers.get_or_err(solver)?;
+        if !entry.supports(&self.model) {
+            return Err(EngineError::InvalidConfig(format!(
+                "solver '{solver}' does not support the {}-node per-column model",
+                self.model.len()
+            )));
+        }
+        let order: Vec<NodeId> = entry.solve(&self.model).traversal.reversed().into_order();
+        let mut cache = self.orders.lock().expect("order cache poisoned");
+        if !cache.iter().any(|(name, _)| name == solver) {
+            cache.push((solver.to_string(), order.clone()));
+        }
+        Ok(order)
+    }
+}
+
+/// The reusable symbolic-analysis object: the weighted tree plus everything
+/// needed to derive schedules (and, for matrix sources, re-amalgamated
+/// sibling plans and numeric runs) without repeating the expensive stages.
+///
+/// ```
+/// use engine::{Engine, EngineConfig, MemoryBudget};
+/// use treemem::gadgets::harpoon;
+///
+/// let engine = Engine::new();
+/// let plan = engine
+///     .plan(&EngineConfig::prebuilt(harpoon(4, 400, 1)))
+///     .unwrap();
+/// // One plan, many schedules: the solver result is computed once and
+/// // cached, only the eviction simulation differs per policy.
+/// for policy in ["LSNF", "FirstFit", "GDSF"] {
+///     let schedule = plan
+///         .schedule_with(
+///             &engine,
+///             engine::ScheduleSpec::default()
+///                 .policy(policy)
+///                 .memory(MemoryBudget::FractionOfPeak(0.0)),
+///         )
+///         .unwrap();
+///     assert!(schedule.io_volume() >= schedule.divisible_bound());
+/// }
+/// ```
+pub struct Plan {
+    config: EngineConfig,
+    config_hash: String,
+    symbolic: Option<SymbolicData>,
+    tree: PlanTree,
+    timings: StageTimings,
+    /// Solver results cached by name: `(solver, result, seconds)`.
+    solved: Mutex<Vec<(String, TraversalResult, f64)>>,
+    /// Divisible lower bounds cached by `(solver, memory budget)`: the bound
+    /// depends only on the traversal and the budget, so policy sweeps reuse
+    /// it instead of recomputing an identical O(p log p) pass per policy.
+    bounds: Mutex<Vec<((String, Size), Size)>>,
+    /// The numeric substrate, built lazily by the first `execute` with the
+    /// numeric stage enabled and shared by all later ones.
+    numeric_model: Mutex<Option<std::sync::Arc<NumericModel>>>,
+}
+
+impl Plan {
+    /// The configuration this plan was built from.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The FNV-1a hash of the configuration (report provenance).
+    pub fn config_hash(&self) -> &str {
+        &self.config_hash
+    }
+
+    /// The weighted tree the traversal stages run on.
+    pub fn tree(&self) -> &Tree {
+        match &self.tree {
+            PlanTree::Assembly(assembly) => &assembly.tree,
+            PlanTree::Prebuilt => match &self.config.source {
+                ProblemSource::Prebuilt { tree } => tree,
+                _ => unreachable!("PlanTree::Prebuilt implies a prebuilt source"),
+            },
+        }
+    }
+
+    /// The assembly tree with its grouping metadata (`None` for prebuilt
+    /// sources).
+    pub fn assembly(&self) -> Option<&AssemblyTree> {
+        match &self.tree {
+            PlanTree::Assembly(assembly) => Some(assembly),
+            PlanTree::Prebuilt => None,
+        }
+    }
+
+    /// The permuted pattern the symbolic analysis ran on (`None` for
+    /// prebuilt sources).
+    pub fn permuted_pattern(&self) -> Option<&SparsePattern> {
+        self.symbolic.as_ref().map(|s| &s.permuted)
+    }
+
+    /// Number of unknowns of the underlying matrix (0 for prebuilt trees).
+    pub fn matrix_n(&self) -> usize {
+        self.symbolic.as_ref().map_or(0, |s| s.permuted.n())
+    }
+
+    /// Wall-clock seconds of the planning stages.
+    pub fn timings(&self) -> &StageTimings {
+        &self.timings
+    }
+
+    /// Derive a sibling plan with a different amalgamation allowance,
+    /// reusing the ordering, elimination tree and column counts (only the
+    /// amalgamation itself is recomputed).  Errors on prebuilt sources,
+    /// which have no symbolic analysis to re-amalgamate.
+    pub fn reamalgamate(&self, amalgamation: usize) -> Result<Plan, EngineError> {
+        if amalgamation == 0 {
+            return Err(EngineError::InvalidConfig(
+                "the amalgamation allowance must be at least 1".to_string(),
+            ));
+        }
+        let Some(symbolic) = &self.symbolic else {
+            return Err(EngineError::InvalidConfig(
+                "prebuilt sources have no symbolic analysis to re-amalgamate".to_string(),
+            ));
+        };
+        let config = self.config.clone().with_amalgamation(amalgamation);
+        let (assembly, symbolic_seconds) =
+            timed_ok(|| amalgamate(&symbolic.etree, &symbolic.counts, amalgamation));
+        let mut timings = self.timings.clone();
+        timings.symbolic_seconds = symbolic_seconds;
+        Ok(Plan {
+            config_hash: config.hash(),
+            config,
+            symbolic: Some(SymbolicData {
+                permuted: symbolic.permuted.clone(),
+                etree: symbolic.etree.clone(),
+                counts: symbolic.counts.clone(),
+            }),
+            tree: PlanTree::Assembly(Box::new(assembly)),
+            timings,
+            solved: Mutex::new(Vec::new()),
+            bounds: Mutex::new(Vec::new()),
+            numeric_model: Mutex::new(None),
+        })
+    }
+
+    /// Run (or fetch from the cache) the named solver on the plan's tree.
+    pub fn solve(
+        &self,
+        engine: &Engine,
+        solver: &str,
+    ) -> Result<(TraversalResult, f64), EngineError> {
+        {
+            let cache = self.solved.lock().expect("solver cache poisoned");
+            if let Some((_, result, seconds)) = cache.iter().find(|(name, _, _)| name == solver) {
+                return Ok((result.clone(), *seconds));
+            }
+        }
+        let entry = engine.solvers.get_or_err(solver)?;
+        if !entry.supports(self.tree()) {
+            return Err(EngineError::InvalidConfig(format!(
+                "solver '{solver}' does not support a tree of {} nodes",
+                self.tree().len()
+            )));
+        }
+        let (result, seconds) = timed_ok(|| entry.solve(self.tree()));
+        let mut cache = self.solved.lock().expect("solver cache poisoned");
+        if !cache.iter().any(|(name, _, _)| name == solver) {
+            cache.push((solver.to_string(), result.clone(), seconds));
+        }
+        Ok((result, seconds))
+    }
+
+    /// The divisible lower bound for `solver`'s traversal under `memory`,
+    /// computed once per (solver, budget) pair and cached: policy sweeps
+    /// share the bound instead of recomputing it per policy.
+    fn divisible_bound_cached(
+        &self,
+        solver: &str,
+        solved: &TraversalResult,
+        memory: Size,
+    ) -> Result<Size, MinIoError> {
+        {
+            let cache = self.bounds.lock().expect("bound cache poisoned");
+            if let Some((_, bound)) = cache
+                .iter()
+                .find(|((name, budget), _)| name == solver && *budget == memory)
+            {
+                return Ok(*bound);
+            }
+        }
+        let bound = divisible_lower_bound(self.tree(), &solved.traversal, memory)?;
+        let mut cache = self.bounds.lock().expect("bound cache poisoned");
+        if !cache
+            .iter()
+            .any(|((name, budget), _)| name == solver && *budget == memory)
+        {
+            cache.push(((solver.to_string(), memory), bound));
+        }
+        Ok(bound)
+    }
+
+    /// The numeric substrate (SPD matrix + per-column model), built on first
+    /// use and shared by every `execute` on this plan.
+    fn numeric_model(&self) -> Result<std::sync::Arc<NumericModel>, EngineError> {
+        {
+            let cache = self.numeric_model.lock().expect("numeric cache poisoned");
+            if let Some(model) = cache.as_ref() {
+                return Ok(model.clone());
+            }
+        }
+        let Some(symbolic) = &self.symbolic else {
+            return Err(EngineError::NumericUnavailable);
+        };
+        let seed = match &self.config.source {
+            ProblemSource::Generated { seed, .. } => *seed,
+            _ => 1,
+        };
+        let matrix = spd_matrix_from_pattern(&symbolic.permuted, seed);
+        let structure = SymbolicStructure::from_pattern(&matrix.pattern());
+        let model = per_column_model(&structure);
+        let built = std::sync::Arc::new(NumericModel {
+            matrix,
+            model,
+            orders: Mutex::new(Vec::new()),
+        });
+        let mut cache = self.numeric_model.lock().expect("numeric cache poisoned");
+        Ok(cache.get_or_insert_with(|| built).clone())
+    }
+
+    /// Produce the schedule described by the plan's own configuration.
+    pub fn schedule<'p>(&'p self, engine: &Engine) -> Result<Schedule<'p>, EngineError> {
+        self.schedule_with(engine, ScheduleSpec::default())
+    }
+
+    /// Produce a schedule with per-call overrides, reusing the plan (and the
+    /// cached solver traversal) across calls — the engine-level analogue of
+    /// a sweep cell.
+    pub fn schedule_with<'p>(
+        &'p self,
+        engine: &Engine,
+        spec: ScheduleSpec,
+    ) -> Result<Schedule<'p>, EngineError> {
+        let solver = spec.solver.unwrap_or_else(|| self.config.solver.clone());
+        let policy_name = spec.policy.unwrap_or_else(|| self.config.policy.clone());
+        let budget_spec = spec.memory.unwrap_or(self.config.memory);
+        let policy = engine.policies.get_or_err(&policy_name)?;
+        let (solved, solver_seconds) = self.solve(engine, &solver)?;
+
+        let tree = self.tree();
+        let memory_budget = budget_spec.resolve(tree.max_mem_req(), solved.peak);
+        let ((run, divisible_bound), io_seconds) = {
+            let (result, summary) = perfprof::timing::time_runs(1, || {
+                let run = schedule_io_with(tree, &solved.traversal, memory_budget, policy)?;
+                let bound = self.divisible_bound_cached(&solver, &solved, memory_budget)?;
+                Ok::<_, MinIoError>((run, bound))
+            });
+            (result?, summary.median_seconds)
+        };
+        // Provenance: the hash of the *effective* configuration.  When the
+        // spec overrides nothing this is the plan's own hash; otherwise the
+        // overrides are applied first, so replaying the hashed configuration
+        // reproduces exactly this schedule.
+        let config_hash = if solver == self.config.solver
+            && policy_name == self.config.policy
+            && budget_spec == self.config.memory
+        {
+            self.config_hash.clone()
+        } else {
+            self.config
+                .clone()
+                .with_solver(&solver)
+                .with_policy(&policy_name)
+                .with_memory(budget_spec)
+                .hash()
+        };
+        Ok(Schedule {
+            plan: self,
+            config_hash,
+            solver,
+            policy: policy_name,
+            traversal: solved.traversal,
+            solver_peak: solved.peak,
+            budget_spec,
+            memory_budget,
+            run,
+            divisible_bound,
+            solver_seconds,
+            io_seconds,
+        })
+    }
+}
+
+/// Per-call overrides for [`Plan::schedule_with`]; unset fields fall back to
+/// the plan's configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleSpec {
+    /// Solver-name override.
+    pub solver: Option<String>,
+    /// Policy-name override.
+    pub policy: Option<String>,
+    /// Memory-budget override.
+    pub memory: Option<MemoryBudget>,
+}
+
+impl ScheduleSpec {
+    /// Override the solver.
+    pub fn solver(mut self, name: impl Into<String>) -> Self {
+        self.solver = Some(name.into());
+        self
+    }
+
+    /// Override the policy.
+    pub fn policy(mut self, name: impl Into<String>) -> Self {
+        self.policy = Some(name.into());
+        self
+    }
+
+    /// Override the memory budget.
+    pub fn memory(mut self, memory: MemoryBudget) -> Self {
+        self.memory = Some(memory);
+        self
+    }
+}
+
+/// A solver traversal plus its simulated out-of-core execution, borrowed
+/// from the [`Plan`] that produced it.
+pub struct Schedule<'p> {
+    plan: &'p Plan,
+    /// Hash of the effective configuration (plan config + spec overrides).
+    config_hash: String,
+    solver: String,
+    policy: String,
+    traversal: Traversal,
+    solver_peak: Size,
+    budget_spec: MemoryBudget,
+    memory_budget: Size,
+    run: OutOfCoreRun,
+    divisible_bound: Size,
+    solver_seconds: f64,
+    io_seconds: f64,
+}
+
+impl Schedule<'_> {
+    /// The plan this schedule was derived from.
+    pub fn plan(&self) -> &Plan {
+        self.plan
+    }
+
+    /// The solver that produced the traversal.
+    pub fn solver(&self) -> &str {
+        &self.solver
+    }
+
+    /// The eviction policy that produced the I/O schedule.
+    pub fn policy(&self) -> &str {
+        &self.policy
+    }
+
+    /// The traversal (top-down order, root first).
+    pub fn traversal(&self) -> &Traversal {
+        &self.traversal
+    }
+
+    /// Peak memory of the traversal (the MinMemory objective).
+    pub fn peak(&self) -> Size {
+        self.solver_peak
+    }
+
+    /// The resolved absolute memory budget of the simulated execution.
+    pub fn memory_budget(&self) -> Size {
+        self.memory_budget
+    }
+
+    /// The simulated out-of-core run (I/O volume, eviction schedule, peak).
+    pub fn io_run(&self) -> &OutOfCoreRun {
+        &self.run
+    }
+
+    /// Volume written to secondary memory (the MinIO objective).
+    pub fn io_volume(&self) -> Size {
+        self.run.io_volume
+    }
+
+    /// The divisible-relaxation lower bound for this traversal and budget.
+    pub fn divisible_bound(&self) -> Size {
+        self.divisible_bound
+    }
+
+    /// Run the execution stage: fold the simulation into a [`Report`] and,
+    /// when the configuration asks for it, run the numeric multifrontal
+    /// factorization (solver traversal on the per-column model) and attach
+    /// its measurements.
+    pub fn execute(&self, engine: &Engine) -> Result<Report, EngineError> {
+        let plan = self.plan;
+        let mut timings = plan.timings.clone();
+        timings.solver_seconds = self.solver_seconds;
+        timings.io_seconds = self.io_seconds;
+
+        let numeric = if plan.config.numeric {
+            let (report, numeric_seconds) = {
+                let (result, summary) = perfprof::timing::time_runs(1, || self.run_numeric(engine));
+                (result?, summary.median_seconds)
+            };
+            timings.numeric_seconds = numeric_seconds;
+            Some(report)
+        } else {
+            None
+        };
+
+        Ok(Report {
+            config_hash: self.config_hash.clone(),
+            source: plan.config.source_name(),
+            ordering: plan.config.ordering.name().to_string(),
+            amalgamation: plan.config.amalgamation,
+            solver: self.solver.clone(),
+            policy: self.policy.clone(),
+            nodes: plan.tree().len(),
+            matrix_n: plan.matrix_n(),
+            solver_peak: self.solver_peak,
+            memory_budget: self.memory_budget,
+            budget_spec: self.budget_spec,
+            io_volume: self.run.io_volume,
+            read_volume: self.run.read_volume,
+            files_written: self.run.files_written,
+            io_peak_memory: self.run.peak_memory,
+            divisible_bound: self.divisible_bound,
+            traversal: self.traversal.order().to_vec(),
+            numeric,
+            timings,
+        })
+    }
+
+    fn run_numeric(&self, engine: &Engine) -> Result<NumericReport, EngineError> {
+        let numeric = self.plan.numeric_model()?;
+        let bottom_up = numeric.order_for(engine, &self.solver)?;
+        let stats = instrumented_factorization(&numeric.matrix, Some(&bottom_up))?;
+
+        // Validate the factorization by solving a system with a known answer.
+        let n = numeric.matrix.n();
+        let expected: Vec<f64> = (0..n).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        let rhs = numeric.matrix.multiply(&expected);
+        let solution = solve(&stats.factor, &rhs);
+        let solve_error = solution
+            .iter()
+            .zip(&expected)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+
+        Ok(NumericReport {
+            measured_peak_entries: stats.measured_peak_entries,
+            model_peak_entries: stats.model_peak_entries,
+            factor_nnz: stats.factor_nnz,
+            solve_error,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use ordering::OrderingMethod;
+    use sparsemat::gen::ProblemKind;
+    use treemem::gadgets::harpoon;
+
+    #[test]
+    fn unknown_names_fail_at_plan_time() {
+        let engine = Engine::new();
+        let config = EngineConfig::prebuilt(harpoon(3, 300, 1)).with_solver("nope");
+        match engine.plan(&config) {
+            Err(EngineError::UnknownName(err)) => assert_eq!(err.kind, "solver"),
+            other => panic!("expected UnknownName, got {other:?}", other = other.err()),
+        }
+        let config = EngineConfig::prebuilt(harpoon(3, 300, 1)).with_policy("nope");
+        match engine.plan(&config) {
+            Err(EngineError::UnknownName(err)) => assert_eq!(err.kind, "policy"),
+            other => panic!("expected UnknownName, got {other:?}", other = other.err()),
+        }
+    }
+
+    #[test]
+    fn prebuilt_plans_skip_the_symbolic_stages() {
+        let engine = Engine::new();
+        let tree = harpoon(4, 400, 1);
+        let plan = engine.plan(&EngineConfig::prebuilt(tree.clone())).unwrap();
+        assert_eq!(plan.tree(), &tree);
+        assert!(plan.assembly().is_none());
+        assert_eq!(plan.matrix_n(), 0);
+        assert!(plan.reamalgamate(4).is_err());
+    }
+
+    #[test]
+    fn solver_results_are_cached_per_plan() {
+        let engine = Engine::new();
+        let plan = engine
+            .plan(&EngineConfig::prebuilt(harpoon(4, 400, 1)))
+            .unwrap();
+        let (first, _) = plan.solve(&engine, "minmem").unwrap();
+        let (second, _) = plan.solve(&engine, "minmem").unwrap();
+        assert_eq!(first, second);
+        assert_eq!(plan.solved.lock().unwrap().len(), 1);
+        plan.solve(&engine, "postorder").unwrap();
+        assert_eq!(plan.solved.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn reamalgamation_reuses_the_symbolic_analysis() {
+        let engine = Engine::new();
+        let base = EngineConfig::generated(ProblemKind::Grid2d, 300, 21)
+            .with_ordering(OrderingMethod::NestedDissection)
+            .with_amalgamation(1);
+        let plan = engine.plan(&base).unwrap();
+        let relaxed = plan.reamalgamate(16).unwrap();
+        assert!(relaxed.tree().len() <= plan.tree().len());
+        // The derived plan matches a from-scratch plan bit for bit.
+        let direct = engine.plan(&base.clone().with_amalgamation(16)).unwrap();
+        assert_eq!(relaxed.tree(), direct.tree());
+        assert_eq!(relaxed.config_hash(), direct.config_hash());
+    }
+
+    #[test]
+    fn overridden_schedules_carry_the_effective_config_hash() {
+        let engine = Engine::new();
+        let config = EngineConfig::prebuilt(harpoon(4, 400, 1));
+        let plan = engine.plan(&config).unwrap();
+        // No overrides: the plan's own hash.
+        let report = plan.schedule(&engine).unwrap().execute(&engine).unwrap();
+        assert_eq!(report.config_hash, config.hash());
+        // Overrides: the hash of the configuration with the overrides
+        // applied, so the hash identifies what actually ran.
+        let spec = ScheduleSpec::default()
+            .solver("postorder")
+            .policy("GDSF")
+            .memory(MemoryBudget::FractionOfPeak(0.0));
+        let report = plan
+            .schedule_with(&engine, spec)
+            .unwrap()
+            .execute(&engine)
+            .unwrap();
+        let effective = config
+            .clone()
+            .with_solver("postorder")
+            .with_policy("GDSF")
+            .with_memory(MemoryBudget::FractionOfPeak(0.0));
+        assert_eq!(report.config_hash, effective.hash());
+        assert_ne!(report.config_hash, config.hash());
+    }
+
+    #[test]
+    fn numeric_stage_requires_a_matrix_source() {
+        let engine = Engine::new();
+        let config = EngineConfig::prebuilt(harpoon(3, 300, 1)).with_numeric(true);
+        assert!(matches!(
+            engine.plan(&config),
+            Err(EngineError::NumericUnavailable)
+        ));
+    }
+
+    #[test]
+    fn absolute_budgets_below_memreq_are_reported() {
+        let engine = Engine::new();
+        let tree = harpoon(3, 300, 1);
+        let too_small = tree.max_mem_req() - 1;
+        let config = EngineConfig::prebuilt(tree).with_memory(MemoryBudget::Absolute(too_small));
+        let plan = engine.plan(&config).unwrap();
+        assert!(matches!(
+            plan.schedule(&engine),
+            Err(EngineError::MinIo(MinIoError::InsufficientMemory { .. }))
+        ));
+    }
+}

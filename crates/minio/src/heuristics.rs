@@ -4,7 +4,7 @@
 //! The simulator executes a traversal step by step; when the next node `j`
 //! does not fit in the remaining main memory, a deficit `IOReq(j)` must be
 //! freed by writing already-produced files to secondary memory.  *Which*
-//! files to write is decided by a pluggable [`Policy`](crate::policy::Policy)
+//! files to write is decided by a pluggable [`Policy`]
 //! (see [`crate::policy`]): the simulator hands it the candidate files
 //! ordered latest use first and completes any shortfall with the LSNF rule.
 //!
@@ -151,7 +151,7 @@ pub struct OutOfCoreRun {
 /// memory `memory`, using `policy` to choose which files to evict.
 ///
 /// Returns the I/O volume, the eviction schedule (which can be re-validated
-/// with [`check_out_of_core`]) and the peak memory actually used.
+/// with [`crate::check_out_of_core`]) and the peak memory actually used.
 ///
 /// Fails with [`MinIoError::InsufficientMemory`] if some node's own memory
 /// requirement exceeds `memory` (no eviction can help in that case) and with

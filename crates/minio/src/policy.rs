@@ -651,6 +651,14 @@ impl PolicyRegistry {
             .map(|p| p.as_ref())
     }
 
+    /// Look a policy up by name, with a typed
+    /// [`UnknownName`](treemem::registry::UnknownName) error listing the
+    /// registered names on a miss — the same shape as
+    /// `treemem::SolverRegistry::get_or_err`.
+    pub fn get_or_err(&self, name: &str) -> Result<&dyn Policy, treemem::registry::UnknownName> {
+        treemem::registry::get_or_unknown("policy", name, self.get(name), || self.names())
+    }
+
     /// Registered names, in registration order.
     pub fn names(&self) -> Vec<String> {
         self.policies.iter().map(|p| p.name()).collect()
@@ -706,6 +714,10 @@ mod tests {
         assert_eq!(registry.len(), 9);
         assert!(registry.get("GDSF").is_some());
         assert!(registry.get("ARC").is_none());
+        assert!(registry.get_or_err("GDSF").is_ok());
+        let err = registry.get_or_err("ARC").map(|_| ()).unwrap_err();
+        assert_eq!(err.kind, "policy");
+        assert_eq!(err.known, registry.names());
     }
 
     #[test]

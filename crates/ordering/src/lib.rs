@@ -10,7 +10,7 @@
 //!   approximate degrees and element absorption (the AMD family);
 //! * [`nested_dissection`] — recursive bisection with BFS level-set
 //!   separators (the MeTiS family);
-//! * [`rcm`] — reverse Cuthill–McKee, a bandwidth-reducing ordering that
+//! * [`rcm()`] — reverse Cuthill–McKee, a bandwidth-reducing ordering that
 //!   produces chain-like elimination trees;
 //! * [`natural`] — the identity ordering.
 //!
@@ -43,7 +43,7 @@ pub enum OrderingMethod {
     MinimumDegree,
     /// Nested dissection ([`nested_dissection`]).
     NestedDissection,
-    /// Reverse Cuthill–McKee ([`rcm`]).
+    /// Reverse Cuthill–McKee ([`rcm()`]).
     ReverseCuthillMcKee,
 }
 
@@ -64,6 +64,12 @@ impl OrderingMethod {
             OrderingMethod::NestedDissection => "nd",
             OrderingMethod::ReverseCuthillMcKee => "rcm",
         }
+    }
+
+    /// Inverse of [`OrderingMethod::name`]: resolve a report name back to the
+    /// method (used by configuration parsers).
+    pub fn from_name(name: &str) -> Option<OrderingMethod> {
+        OrderingMethod::ALL.into_iter().find(|m| m.name() == name)
     }
 
     /// Compute the ordering of `pattern` with this method.

@@ -230,6 +230,12 @@ impl ProblemKind {
         }
     }
 
+    /// Inverse of [`ProblemKind::name`]: resolve a report name back to the
+    /// kind (used by configuration parsers).
+    pub fn from_name(name: &str) -> Option<ProblemKind> {
+        ProblemKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
     /// Generate an instance of roughly `target_n` unknowns.
     pub fn generate(&self, target_n: usize, seed: u64) -> SparsePattern {
         match self {
@@ -333,5 +339,13 @@ mod tests {
             assert!(pattern.n() >= 100, "{}: unexpectedly small", kind.name());
             assert!(pattern.is_symmetric());
         }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for kind in ProblemKind::ALL {
+            assert_eq!(ProblemKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(ProblemKind::from_name("nope"), None);
     }
 }

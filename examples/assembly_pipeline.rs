@@ -1,9 +1,11 @@
-//! The full sparse-factorization pipeline of the paper, end to end:
+//! The full sparse-factorization pipeline of the paper, end to end, through
+//! the `engine` facade:
 //!
 //! 1. generate a sparse SPD matrix (a 2-D grid Laplacian);
 //! 2. compute a fill-reducing ordering (minimum degree);
 //! 3. build the elimination tree, the column counts and the assembly tree
-//!    (with relaxed amalgamation);
+//!    (with relaxed amalgamation) — all of which `Engine::plan` does in one
+//!    call, with `Plan::reamalgamate` deriving the allowance sweep;
 //! 4. compare the best postorder with the optimal traversal on the assembly
 //!    tree;
 //! 5. run the *numeric* multifrontal factorization along both traversals and
@@ -14,33 +16,24 @@
 //! cargo run --release --example assembly_pipeline
 //! ```
 
-use multifrontal::memory::per_column_model;
-use multifrontal::numeric::SymbolicStructure;
-use multifrontal::{instrumented_factorization, solve};
-use ordering::OrderingMethod;
-use sparsemat::gen::{grid2d_matrix, ProblemKind};
-use symbolic::{assembly_tree_for, column_counts, elimination_tree};
-use treemem::minmem::min_mem;
-use treemem::postorder::best_postorder;
+use treemem_repro::prelude::*;
 
 fn main() {
-    // 1. The matrix: a 30 x 30 grid Laplacian (900 unknowns).
-    let pattern = ProblemKind::Grid2d.generate(900, 42);
+    let engine = Engine::new();
+
+    // 1-3. Matrix, ordering, elimination tree, column counts, assembly tree:
+    // one plan call; the numeric stage is enabled for step 5.
+    let config = EngineConfig::generated(ProblemKind::Grid2d, 900, 42)
+        .with_ordering(OrderingMethod::MinimumDegree)
+        .with_amalgamation(4)
+        .with_numeric(true);
+    let plan = engine.plan(&config).expect("valid configuration");
+    let pattern = plan.permuted_pattern().expect("matrix source");
     println!("matrix: n = {}, nnz = {}", pattern.n(), pattern.nnz());
 
-    // 2-3. Ordering, elimination tree, column counts, assembly tree.
-    let ordering = OrderingMethod::MinimumDegree;
-    let perm = ordering.order(&pattern);
-    let permuted = perm.apply(&pattern);
-    let etree = elimination_tree(&permuted);
-    let counts = column_counts(&permuted, &etree);
-    println!(
-        "factor: {} nonzeros, elimination tree height {}",
-        counts.iter().sum::<usize>(),
-        etree.height()
-    );
     for allowance in [1usize, 4, 16] {
-        let assembly = assembly_tree_for(&pattern, ordering, allowance);
+        let sibling = plan.reamalgamate(allowance).expect("matrix source");
+        let assembly = sibling.assembly().expect("matrix source");
         println!(
             "assembly tree with allowance {allowance:2}: {} nodes (compression {:.2})",
             assembly.len(),
@@ -48,54 +41,49 @@ fn main() {
         );
     }
 
-    // 4. MinMemory on the assembly tree.
-    let assembly = assembly_tree_for(&pattern, ordering, 4);
-    let tree = &assembly.tree;
-    let postorder = best_postorder(tree);
-    let optimal = min_mem(tree);
+    // 4. MinMemory on the assembly tree: one plan, two solvers (both cached).
+    let (postorder, _) = plan.solve(&engine, "postorder").unwrap();
+    let (optimal, _) = plan.solve(&engine, "minmem").unwrap();
     println!(
         "\nassembly tree ({} nodes): best postorder peak {}, optimal peak {} (ratio {:.3})",
-        tree.len(),
+        plan.tree().len(),
         postorder.peak,
         optimal.peak,
         postorder.peak as f64 / optimal.peak as f64
     );
 
-    // 5. Numeric factorization along both traversals, with instrumentation.
-    let matrix = grid2d_matrix(30, 30, 42);
-    let structure = SymbolicStructure::from_pattern(&matrix.pattern());
-    let model = per_column_model(&structure);
-    let postorder_order: Vec<usize> = best_postorder(&model).traversal.reversed().into_order();
-    let optimal_order: Vec<usize> = min_mem(&model).traversal.reversed().into_order();
-    let po_run = instrumented_factorization(&matrix, Some(&postorder_order)).unwrap();
-    let opt_run = instrumented_factorization(&matrix, Some(&optimal_order)).unwrap();
+    // 5. Numeric factorization along both traversals, with instrumentation:
+    // `execute` runs the multifrontal Cholesky on the per-column model and
+    // reports measured vs predicted peaks plus a solve check.
     println!("\nnumeric multifrontal factorization (per-column fronts, peaks in matrix entries):");
-    println!(
-        "  best postorder : measured {} / model {}",
-        po_run.measured_peak_entries, po_run.model_peak_entries
-    );
-    println!(
-        "  optimal        : measured {} / model {}",
-        opt_run.measured_peak_entries, opt_run.model_peak_entries
-    );
-    assert_eq!(
-        po_run.measured_peak_entries as i64,
-        po_run.model_peak_entries
-    );
-    assert_eq!(
-        opt_run.measured_peak_entries as i64,
-        opt_run.model_peak_entries
-    );
+    for solver in ["postorder", "minmem"] {
+        let report = plan
+            .schedule_with(&engine, ScheduleSpec::default().solver(solver))
+            .unwrap()
+            .execute(&engine)
+            .unwrap();
+        let numeric = report.numeric.expect("numeric stage enabled");
+        println!(
+            "  {solver:10}: measured {} / model {} (factor nnz {}, solve error {:.2e})",
+            numeric.measured_peak_entries,
+            numeric.model_peak_entries,
+            numeric.factor_nnz,
+            numeric.solve_error
+        );
+        assert_eq!(
+            numeric.measured_peak_entries as i64,
+            numeric.model_peak_entries
+        );
+        assert!(numeric.solve_error < 1e-8);
+    }
 
-    // And the factorization actually solves linear systems.
-    let expected: Vec<f64> = (0..matrix.n()).map(|i| (i % 5) as f64).collect();
-    let rhs = matrix.multiply(&expected);
-    let solution = solve(&opt_run.factor, &rhs);
-    let error = solution
-        .iter()
-        .zip(&expected)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max);
-    println!("\nsolve check: max error {error:.2e}");
-    assert!(error < 1e-8);
+    // The whole run is also available as one serializable report.
+    let report = engine.run(&config).expect("valid configuration");
+    println!(
+        "\nreport: config {}, stages (ordering {:.1} ms, solver {:.1} ms, numeric {:.1} ms)",
+        report.config_hash,
+        report.timings.ordering_seconds * 1e3,
+        report.timings.solver_seconds * 1e3,
+        report.timings.numeric_seconds * 1e3
+    );
 }

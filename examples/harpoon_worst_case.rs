@@ -9,8 +9,7 @@
 use treemem::gadgets::{
     harpoon_optimal_peak, harpoon_postorder_peak, harpoon_tower, harpoon_tower_postorder_peak,
 };
-use treemem::minmem::min_mem;
-use treemem::postorder::best_postorder;
+use treemem_repro::prelude::*;
 
 fn main() {
     let branches = 4;
@@ -22,13 +21,17 @@ fn main() {
         "{:>7} {:>9} {:>14} {:>14} {:>8}",
         "levels", "nodes", "postorder", "optimal", "ratio"
     );
+    let engine = Engine::new();
     for levels in 1..=5 {
         let tree = harpoon_tower(branches, big, eps, levels);
-        let postorder = best_postorder(&tree);
-        let optimal = min_mem(&tree);
+        let plan = engine
+            .plan(&EngineConfig::prebuilt(tree))
+            .expect("prebuilt trees always plan");
+        let (postorder, _) = plan.solve(&engine, "postorder").unwrap();
+        let (optimal, _) = plan.solve(&engine, "minmem").unwrap();
         println!(
             "{levels:>7} {:>9} {:>14} {:>14} {:>8.3}",
-            tree.len(),
+            plan.tree().len(),
             postorder.peak,
             optimal.peak,
             postorder.peak as f64 / optimal.peak as f64

@@ -1,71 +1,90 @@
-//! Out-of-core planning: when the main memory is smaller than the MinMemory
-//! value, compare **every registered eviction policy** (the six paper
-//! heuristics plus the cache-inspired ones) over a sweep of memory sizes,
-//! and every registered solver's traversal under First Fit.
+//! Out-of-core planning through the `engine` facade: when the main memory is
+//! smaller than the MinMemory value, compare **every registered eviction
+//! policy** (the six paper heuristics plus the cache-inspired ones) over a
+//! sweep of memory sizes, and every registered solver's traversal under
+//! First Fit — all from one reusable plan.
 //!
 //! Run with:
 //! ```text
 //! cargo run --release --example out_of_core
 //! ```
 
-use minio::{divisible_lower_bound, schedule_io_with, PolicyRegistry};
-use ordering::OrderingMethod;
-use sparsemat::gen::ProblemKind;
-use symbolic::assembly_tree_for;
-use treemem::minmem::min_mem;
-use treemem::solver::SolverRegistry;
+use treemem_repro::prelude::*;
 
 fn main() {
     // An assembly tree of a banded matrix ordered with nested dissection and
     // no amalgamation: the separators keep many contribution blocks alive at
     // once, so the optimal peak is well above the largest single front and
     // the out-of-core regime is interesting.
-    let pattern = ProblemKind::Banded.generate(900, 17);
-    let assembly = assembly_tree_for(&pattern, OrderingMethod::NestedDissection, 1);
-    let tree = &assembly.tree;
+    let engine = Engine::new();
+    let config = EngineConfig::generated(ProblemKind::Banded, 900, 17)
+        .with_ordering(OrderingMethod::NestedDissection)
+        .with_amalgamation(1)
+        .with_solver("minmem");
+    let plan = engine.plan(&config).expect("valid configuration");
 
-    let solvers = SolverRegistry::with_builtin();
-    let policies = PolicyRegistry::with_builtin();
-    let optimal = min_mem(tree);
+    let (optimal, _) = plan.solve(&engine, "minmem").unwrap();
     println!(
         "assembly tree: {} nodes, max MemReq {}, optimal peak {}",
-        tree.len(),
-        tree.max_mem_req(),
+        plan.tree().len(),
+        plan.tree().max_mem_req(),
         optimal.peak,
     );
 
     // Sweep the memory from the hardest feasible budget (max MemReq) towards
-    // the optimal peak, for every registered policy.
+    // the optimal peak, for every registered policy.  The plan caches the
+    // solver traversal, so each cell only pays for the simulation.
+    let policies = engine.policies().names();
     println!("\nI/O volume written to secondary memory (MinMem traversal):");
     print!("{:>10}", "memory");
-    for policy in policies.iter() {
-        print!("{:>11}", policy.name());
+    for policy in &policies {
+        print!("{policy:>11}");
     }
     println!("{:>11}", "divisible");
-    let lower = tree.max_mem_req();
     for step in 0..5 {
-        let memory = lower + (optimal.peak - lower) * step / 5;
-        print!("{memory:>10}");
-        for policy in policies.iter() {
-            let run = schedule_io_with(tree, &optimal.traversal, memory, policy).unwrap();
-            print!("{:>11}", run.io_volume);
+        let fraction = step as f64 / 5.0;
+        let mut memory = 0;
+        let mut bound = 0;
+        let mut volumes = Vec::with_capacity(policies.len());
+        for policy in &policies {
+            let schedule = plan
+                .schedule_with(
+                    &engine,
+                    ScheduleSpec::default()
+                        .policy(policy.as_str())
+                        .memory(MemoryBudget::FractionOfPeak(fraction)),
+                )
+                .unwrap();
+            memory = schedule.memory_budget();
+            bound = schedule.divisible_bound();
+            volumes.push(schedule.io_volume());
         }
-        let bound = divisible_lower_bound(tree, &optimal.traversal, memory).unwrap();
+        print!("{memory:>10}");
+        for volume in volumes {
+            print!("{volume:>11}");
+        }
         println!("{bound:>11}");
     }
 
     // Compare every solver's traversal under the First Fit policy at the
     // hardest budget, as in Figure 8 of the paper.
-    let first_fit = policies.get("FirstFit").expect("built-in policy");
+    let lower = plan.tree().max_mem_req();
     println!("\nI/O volume at memory = max MemReq ({lower}) with First Fit:");
-    for solver in solvers.iter().filter(|s| s.supports(tree)) {
-        let traversal = solver.solve(tree).traversal;
-        let run = schedule_io_with(tree, &traversal, lower, first_fit).unwrap();
+    for solver in engine.solvers().iter().filter(|s| s.supports(plan.tree())) {
+        let schedule = plan
+            .schedule_with(
+                &engine,
+                ScheduleSpec::default()
+                    .solver(solver.name())
+                    .policy("FirstFit")
+                    .memory(MemoryBudget::Absolute(lower)),
+            )
+            .unwrap();
         println!(
             "  {:15}: {:8} units in {:4} files",
             solver.name(),
-            run.io_volume,
-            run.files_written
+            schedule.io_volume(),
+            schedule.io_run().files_written
         );
     }
 }

@@ -1,17 +1,14 @@
-//! Quickstart: build a small tree workflow by hand, compare the MinMemory
-//! algorithms on it, and schedule an out-of-core execution when the memory is
-//! too small.
+//! Quickstart: build a small tree workflow by hand, run it through the
+//! `engine` facade, compare the MinMemory solvers on it, and schedule an
+//! out-of-core execution when the memory is too small.
 //!
 //! Run with:
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use minio::{schedule_io, EvictionPolicy};
-use treemem::liu::liu_exact;
-use treemem::minmem::min_mem;
-use treemem::postorder::{best_postorder, natural_postorder};
 use treemem::TreeBuilder;
+use treemem_repro::prelude::*;
 
 fn main() {
     // A small workflow: the root produces two files and each branch expands
@@ -30,41 +27,64 @@ fn main() {
     }
     let tree = builder.build().expect("hand-built tree is valid");
 
+    // One engine, one plan: the tree is handed to the facade as a prebuilt
+    // problem source, and every schedule below reuses the same plan.
+    let engine = Engine::new();
+    let plan = engine
+        .plan(&EngineConfig::prebuilt(tree))
+        .expect("prebuilt trees always plan");
     println!(
         "tree with {} nodes, largest single-node requirement {}",
-        tree.len(),
-        tree.max_mem_req()
+        plan.tree().len(),
+        plan.tree().max_mem_req()
     );
 
     // 1. MinMemory: how much main memory does an in-core execution need?
-    let natural = natural_postorder(&tree);
-    let postorder = best_postorder(&tree);
-    let liu = liu_exact(&tree);
-    let minmem = min_mem(&tree);
-    println!("natural postorder peak : {}", natural.peak);
-    println!("best postorder peak    : {}", postorder.peak);
-    println!("Liu exact optimum      : {}", liu.peak);
-    println!("MinMem exact optimum   : {}", minmem.peak);
-    assert_eq!(liu.peak, minmem.peak);
-    println!("optimal traversal      : {:?}", minmem.traversal.order());
+    // Solver results are cached per plan, so each solver runs exactly once.
+    for solver in ["natural", "postorder", "liu", "minmem"] {
+        let (result, _) = plan.solve(&engine, solver).expect("registered solver");
+        println!("{solver:10} peak: {}", result.peak);
+    }
+    let (optimal, _) = plan.solve(&engine, "minmem").unwrap();
+    let (liu, _) = plan.solve(&engine, "liu").unwrap();
+    assert_eq!(optimal.peak, liu.peak);
+    println!("optimal traversal      : {:?}", optimal.traversal.order());
 
     // 2. MinIO: with less memory than the optimum (but still enough for the
     // largest single node), how much data must be written to secondary
-    // storage?
-    let memory = tree.max_mem_req();
+    // storage?  Fraction 0.0 of the way from max MemReq to the peak is the
+    // hardest feasible budget.
     assert!(
-        memory < minmem.peak,
+        plan.tree().max_mem_req() < optimal.peak,
         "this workflow needs more than its largest node"
     );
-    for policy in [
-        EvictionPolicy::FirstFit,
-        EvictionPolicy::LastScheduledNodeFirst,
-    ] {
-        let run = schedule_io(&tree, &minmem.traversal, memory, policy)
+    for policy in ["FirstFit", "LSNF"] {
+        let schedule = plan
+            .schedule_with(
+                &engine,
+                ScheduleSpec::default()
+                    .policy(policy)
+                    .memory(MemoryBudget::FractionOfPeak(0.0)),
+            )
             .expect("memory is above the largest single-node requirement");
         println!(
-            "with memory {memory} and policy {policy}: {} units written out in {} file(s)",
-            run.io_volume, run.files_written
+            "with memory {} and policy {policy}: {} units written out in {} file(s)",
+            schedule.memory_budget(),
+            schedule.io_volume(),
+            schedule.io_run().files_written
         );
     }
+
+    // 3. The whole configuration round-trips through JSON, so the same run
+    // can be shipped to `factor_cli` or a batch server.
+    let config = EngineConfig::generated(ProblemKind::Grid2d, 400, 42)
+        .with_policy("FirstFit")
+        .with_memory(MemoryBudget::FractionOfPeak(0.0));
+    let parsed = EngineConfig::from_json(&config.to_json()).unwrap();
+    assert_eq!(parsed, config);
+    let report = engine.run(&config).unwrap();
+    println!(
+        "\ngrid2d-400 through the facade: peak {}, I/O {} (config {})",
+        report.solver_peak, report.io_volume, report.config_hash
+    );
 }

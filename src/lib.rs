@@ -2,9 +2,14 @@
 //!
 //! This crate re-exports the workspace members so the examples in
 //! `examples/` and the integration tests in `tests/` can exercise the whole
-//! stack through a single dependency.  The actual functionality lives in the
-//! member crates:
+//! stack through a single dependency.  The recommended entry point is the
+//! [`engine`] facade (also re-exported as [`prelude`]), which drives the
+//! whole matrix-to-traversal pipeline through one typed
+//! plan → schedule → execute flow.  The underlying functionality lives in
+//! the member crates:
 //!
+//! * [`engine`] — the unified `EngineConfig` → `Plan` → `Schedule` →
+//!   `Report` facade over everything below.
 //! * [`treemem`] — the paper's tree-traversal model and MinMemory algorithms.
 //! * [`minio`] — out-of-core scheduling heuristics (MinIO).
 //! * [`sparsemat`], [`ordering`], [`symbolic`] — the sparse-matrix substrate
@@ -12,6 +17,8 @@
 //! * [`perfprof`] — Dolan–Moré performance profiles.
 //! * [`multifrontal`] — traversal-driven multifrontal Cholesky simulator.
 
+pub use engine;
+pub use engine::prelude;
 pub use minio;
 pub use multifrontal;
 pub use ordering;

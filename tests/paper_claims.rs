@@ -113,10 +113,11 @@ fn theorem_2_gadget_links_io_to_two_partition() {
 /// algorithms always agree with each other.
 #[test]
 fn random_weights_make_postorder_suboptimal_more_often() {
+    use engine::{Engine, EngineConfig};
     use ordering::OrderingMethod;
     use sparsemat::gen::ProblemKind;
-    use symbolic::assembly_tree_for;
 
+    let engine = Engine::new();
     let mut assembly_suboptimal = 0;
     let mut random_suboptimal = 0;
     let mut trials = 0;
@@ -125,13 +126,13 @@ fn random_weights_make_postorder_suboptimal_more_often() {
         ProblemKind::Banded,
         ProblemKind::Random,
     ] {
-        let pattern = kind.generate(225, 17);
         for method in [
             OrderingMethod::MinimumDegree,
             OrderingMethod::NestedDissection,
         ] {
-            let assembly = assembly_tree_for(&pattern, method, 1);
-            let tree = &assembly.tree;
+            let config = EngineConfig::generated(kind, 225, 17).with_ordering(method);
+            let plan = engine.plan(&config).unwrap();
+            let tree = plan.tree();
             let po = best_postorder(tree);
             let opt = min_mem(tree);
             assert_eq!(opt.peak, liu_exact(tree).peak);

@@ -1,34 +1,37 @@
 //! Cross-crate integration tests: the full pipeline from a sparse matrix to
-//! traversals, out-of-core schedules and the numeric factorization.
+//! traversals, out-of-core schedules and the numeric factorization, driven
+//! through the `engine` facade.
 
-use minio::{check_out_of_core, divisible_lower_bound, schedule_io_with, PolicyRegistry};
-use multifrontal::memory::per_column_model;
+use engine::prelude::*;
+use minio::check_out_of_core;
 use multifrontal::numeric::SymbolicStructure;
-use multifrontal::{instrumented_factorization, solve};
 use ordering::OrderingMethod;
-use sparsemat::gen::{spd_matrix_from_pattern, ProblemKind};
-use symbolic::{assembly_tree_for, column_counts, elimination_tree};
-use treemem::minmem::min_mem;
-use treemem::postorder::best_postorder;
-use treemem::solver::SolverRegistry;
+use sparsemat::gen::ProblemKind;
+use symbolic::{column_counts, elimination_tree};
 
 /// The full symbolic pipeline produces trees on which every registered
 /// MinMemory solver satisfies all the paper's ordering relations, for every
 /// problem kind and every ordering method.
 #[test]
 fn minmemory_invariants_across_the_whole_corpus() {
-    let solvers = SolverRegistry::with_builtin();
+    let engine = Engine::new();
     for kind in ProblemKind::ALL {
-        let pattern = kind.generate(200, 3);
         for method in OrderingMethod::ALL {
             for allowance in [1usize, 4] {
-                let assembly = assembly_tree_for(&pattern, method, allowance);
-                let tree = &assembly.tree;
+                let config = EngineConfig::generated(kind, 200, 3)
+                    .with_ordering(method)
+                    .with_amalgamation(allowance);
+                let plan = engine.plan(&config).unwrap();
+                let tree = plan.tree();
                 let context = format!("{} / {} / a{}", kind.name(), method.name(), allowance);
-                let results: Vec<_> = solvers
+                let results: Vec<_> = engine
+                    .solvers()
                     .iter()
                     .filter(|s| s.supports(tree))
-                    .map(|s| (s.name(), s.is_exact(), s.solve(tree)))
+                    .map(|s| {
+                        let (result, _) = plan.solve(&engine, s.name()).unwrap();
+                        (s.name(), s.is_exact(), result)
+                    })
                     .collect();
                 let optimal = results
                     .iter()
@@ -73,102 +76,118 @@ fn minmemory_invariants_across_the_whole_corpus() {
     }
 }
 
-/// The elimination tree and column counts agree with the factor structure
-/// computed independently by the multifrontal crate.
+/// The elimination tree and column counts underlying an engine plan agree
+/// with the factor structure computed independently by the multifrontal
+/// crate.
 #[test]
 fn symbolic_structure_consistency() {
-    let pattern = ProblemKind::Grid3d.generate(350, 5);
-    let perm = OrderingMethod::MinimumDegree.order(&pattern);
-    let permuted = perm.apply(&pattern);
-    let etree = elimination_tree(&permuted);
-    let counts = column_counts(&permuted, &etree);
-    let structure = SymbolicStructure::from_pattern(&permuted);
+    let engine = Engine::new();
+    let config = EngineConfig::generated(ProblemKind::Grid3d, 350, 5)
+        .with_ordering(OrderingMethod::MinimumDegree);
+    let plan = engine.plan(&config).unwrap();
+    let permuted = plan.permuted_pattern().expect("matrix source");
+    let etree = elimination_tree(permuted);
+    let counts = column_counts(permuted, &etree);
+    let structure = SymbolicStructure::from_pattern(permuted);
     assert_eq!(structure.column_counts(), counts);
     assert_eq!(structure.etree.parents(), etree.parents());
 }
 
 /// Out-of-core schedules produced by every registered policy validate under
 /// the independent Algorithm-2 checker on assembly trees, and never beat the
-/// divisible lower bound.
+/// divisible lower bound.  One plan serves every (memory, policy) cell.
 #[test]
 fn minio_policies_are_consistent_on_assembly_trees() {
-    let policies = PolicyRegistry::with_builtin();
+    let engine = Engine::new();
     assert!(
-        policies.len() >= 9,
+        engine.policies().len() >= 9,
         "paper heuristics plus cache-inspired policies"
     );
-    let pattern = ProblemKind::Random.generate(300, 11);
-    let assembly = assembly_tree_for(&pattern, OrderingMethod::MinimumDegree, 1);
-    let tree = &assembly.tree;
-    let optimal = min_mem(tree);
-    let lower = tree.max_mem_req();
+    let config = EngineConfig::generated(ProblemKind::Random, 300, 11)
+        .with_ordering(OrderingMethod::MinimumDegree)
+        .with_amalgamation(1)
+        .with_solver("minmem");
+    let plan = engine.plan(&config).unwrap();
+    let tree = plan.tree();
     for step in 0..3 {
-        let memory = lower + (optimal.peak - lower) * step / 3;
-        let bound = divisible_lower_bound(tree, &optimal.traversal, memory).unwrap();
-        for policy in policies.iter() {
-            let name = policy.name();
-            let run = schedule_io_with(tree, &optimal.traversal, memory, policy).unwrap();
-            let check = check_out_of_core(tree, &optimal.traversal, &run.schedule, memory).unwrap();
-            assert_eq!(check.io_volume, run.io_volume, "{name}");
-            assert!(run.io_volume >= bound, "{name}");
-            assert!(run.peak_memory <= memory, "{name}");
+        let fraction = step as f64 / 3.0;
+        for policy in engine.policies().names() {
+            let schedule = plan
+                .schedule_with(
+                    &engine,
+                    ScheduleSpec::default()
+                        .policy(&policy)
+                        .memory(MemoryBudget::FractionOfPeak(fraction)),
+                )
+                .unwrap();
+            let run = schedule.io_run();
+            let check = check_out_of_core(
+                tree,
+                schedule.traversal(),
+                &run.schedule,
+                schedule.memory_budget(),
+            )
+            .unwrap();
+            assert_eq!(check.io_volume, run.io_volume, "{policy}");
+            assert!(run.io_volume >= schedule.divisible_bound(), "{policy}");
+            assert!(run.peak_memory <= schedule.memory_budget(), "{policy}");
         }
     }
 }
 
 /// The numeric multifrontal factorization driven by the optimal traversal of
-/// the per-column model uses exactly the memory the model predicts, and it
-/// solves linear systems correctly.
+/// the per-column model uses exactly the memory the model predicts, never
+/// more than the best postorder, and solves linear systems correctly.
 #[test]
 fn numeric_factorization_matches_the_model_end_to_end() {
-    let pattern = ProblemKind::Grid2d.generate(400, 9);
-    let matrix = spd_matrix_from_pattern(&pattern, 9);
-    let structure = SymbolicStructure::from_pattern(&matrix.pattern());
-    let model = per_column_model(&structure);
+    let engine = Engine::new();
+    let base = EngineConfig::generated(ProblemKind::Grid2d, 400, 9)
+        .with_ordering(OrderingMethod::Natural)
+        .with_numeric(true);
+    let optimal_run = engine
+        .run(&base.clone().with_solver("minmem"))
+        .unwrap()
+        .numeric
+        .expect("numeric stage ran");
+    let postorder_run = engine
+        .run(&base.with_solver("postorder"))
+        .unwrap()
+        .numeric
+        .expect("numeric stage ran");
 
-    let optimal_order: Vec<usize> = min_mem(&model).traversal.reversed().into_order();
-    let postorder_order: Vec<usize> = best_postorder(&model).traversal.reversed().into_order();
-    let optimal_run = instrumented_factorization(&matrix, Some(&optimal_order)).unwrap();
-    let postorder_run = instrumented_factorization(&matrix, Some(&postorder_order)).unwrap();
-
-    assert_eq!(
-        optimal_run.measured_peak_entries as i64,
-        optimal_run.model_peak_entries
-    );
-    assert_eq!(
-        postorder_run.measured_peak_entries as i64,
-        postorder_run.model_peak_entries
-    );
+    for run in [&optimal_run, &postorder_run] {
+        assert_eq!(run.measured_peak_entries as i64, run.model_peak_entries);
+        assert!(run.solve_error < 1e-7, "solve error {}", run.solve_error);
+    }
     assert!(optimal_run.measured_peak_entries <= postorder_run.measured_peak_entries);
-
-    let expected: Vec<f64> = (0..matrix.n())
-        .map(|i| ((i * 7) % 13) as f64 - 6.0)
-        .collect();
-    let rhs = matrix.multiply(&expected);
-    let solution = solve(&optimal_run.factor, &rhs);
-    let error = solution
-        .iter()
-        .zip(&expected)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max);
-    assert!(error < 1e-7, "solve error {error}");
+    assert_eq!(optimal_run.factor_nnz, postorder_run.factor_nnz);
 }
 
 /// Amalgamation trades tree size against node granularity but never changes
 /// the total amount of factor data hanging below the root by more than the
-/// grouping effect: sanity-check a few global invariants across allowances.
+/// grouping effect: sanity-check a few global invariants across allowances,
+/// derived from one plan via `reamalgamate`.
 #[test]
 fn amalgamation_invariants_across_allowances() {
-    let pattern = ProblemKind::Grid2d.generate(300, 21);
+    let engine = Engine::new();
+    let base = engine
+        .plan(
+            &EngineConfig::generated(ProblemKind::Grid2d, 300, 21)
+                .with_ordering(OrderingMethod::NestedDissection)
+                .with_amalgamation(1),
+        )
+        .unwrap();
+    let matrix_n = base.matrix_n();
     let mut previous_nodes = usize::MAX;
     for allowance in [1usize, 2, 4, 16] {
-        let assembly = assembly_tree_for(&pattern, OrderingMethod::NestedDissection, allowance);
+        let plan = base.reamalgamate(allowance).unwrap();
+        let assembly = plan.assembly().expect("matrix source");
         // Tree sizes shrink (weakly) as the allowance grows.
         assert!(assembly.len() <= previous_nodes);
         previous_nodes = assembly.len();
         // Every column of the matrix appears in exactly one group.
         let grouped: usize = assembly.eta.iter().sum();
-        assert_eq!(grouped, pattern.n());
+        assert_eq!(grouped, matrix_n);
         // Weights follow the paper's formulas.
         for g in 0..assembly.len() {
             if assembly.groups[g].is_empty() {
