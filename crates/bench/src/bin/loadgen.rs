@@ -1,0 +1,567 @@
+//! `loadgen` — replay seeded configuration mixes against a spawned server
+//! and emit `BENCH_server.json`.
+//!
+//! The binary boots `server::Server` in-process on an ephemeral port, then
+//! drives it over real loopback TCP through `server::client`:
+//!
+//! * `cache_speedup` — the headline measurement: cold `/report` requests
+//!   (distinct seeds, every one a plan-cache miss) versus hot repeats of one
+//!   configuration on the 10⁵-node nested-dissection corpus, asserting the
+//!   cached p50 is ≥5× lower and that a cache-hit report is identical to the
+//!   cold-path report up to wall-clock timings;
+//! * `hot_set_skew` — a small hot set with skewed popularity;
+//! * `parallel_hot` — the same hot set hammered from several client threads;
+//! * `mixed_kinds` — every problem kind across `/plan`, `/schedule` and
+//!   `/report`;
+//! * `cold_scan` — unique seeds overflowing the plan cache (evictions);
+//! * `malformed` — one request per fixed parser bug (depth bomb, broken
+//!   surrogate escape, raw control character) plus framing garbage,
+//!   asserting every one is answered with a 4xx and the server keeps
+//!   serving.
+//!
+//! Flags: `--quick` shrinks the corpus for the CI smoke job (and relaxes the
+//! ≥5× assertion, which needs the big corpus to be meaningful); `--out PATH`
+//! overrides the output path (default `BENCH_server.json` in the current
+//! directory, or `TREEMEM_SWEEP_DIR` if set).  Any violated invariant makes
+//! the process exit non-zero, so CI can gate on it directly.
+
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::time::Instant;
+
+use engine::json::Json;
+use engine::prelude::*;
+use perfprof::timing::{latency_summary, LatencySummary};
+use prng::{Rng, StdRng};
+use server::client::{self, ClientResponse};
+use server::{Server, ServerConfig, ServerHandle};
+use sparsemat::gen::ProblemKind;
+
+/// Cache capacity the server is spawned with; `cold_scan` issues more
+/// distinct configurations than this to force evictions.
+const CACHE_CAPACITY: usize = 16;
+/// The headline requirement: cached-plan p50 at least this many times lower.
+const REQUIRED_SPEEDUP: f64 = 5.0;
+
+struct Sizes {
+    mode: &'static str,
+    headline_nodes: usize,
+    headline_cold: usize,
+    headline_hot: usize,
+    hot_set_nodes: usize,
+    hot_set_requests: usize,
+    mixed_nodes: usize,
+    cold_scan_nodes: usize,
+    cold_scan_requests: usize,
+    enforce_speedup: bool,
+}
+
+const FULL: Sizes = Sizes {
+    mode: "full",
+    headline_nodes: 100_000,
+    headline_cold: 3,
+    headline_hot: 12,
+    hot_set_nodes: 5_000,
+    hot_set_requests: 60,
+    mixed_nodes: 1_500,
+    cold_scan_nodes: 2_000,
+    cold_scan_requests: 24,
+    enforce_speedup: true,
+};
+
+const QUICK: Sizes = Sizes {
+    mode: "quick",
+    headline_nodes: 10_000,
+    headline_cold: 2,
+    headline_hot: 6,
+    hot_set_nodes: 1_000,
+    hot_set_requests: 24,
+    mixed_nodes: 600,
+    cold_scan_nodes: 500,
+    cold_scan_requests: 20,
+    enforce_speedup: false,
+};
+
+/// Outcome of one scenario, serialised into the report.
+struct ScenarioResult {
+    name: &'static str,
+    requests: usize,
+    wall_seconds: f64,
+    latency: LatencySummary,
+    hit_latency: LatencySummary,
+    miss_latency: LatencySummary,
+    cache_hits: usize,
+    expected_4xx: usize,
+}
+
+fn scenario_json(result: &ScenarioResult) -> String {
+    format!(
+        "    {{\"name\": \"{}\", \"requests\": {}, \"wall_seconds\": {:.6}, \
+         \"throughput_rps\": {:.3}, \"cache_hits\": {}, \"expected_4xx\": {},\n     \
+         \"latency\": {},\n     \"hit_latency\": {},\n     \"miss_latency\": {}}}",
+        result.name,
+        result.requests,
+        result.wall_seconds,
+        result.requests as f64 / result.wall_seconds.max(1e-9),
+        result.cache_hits,
+        result.expected_4xx,
+        result.latency.to_json(),
+        result.hit_latency.to_json(),
+        result.miss_latency.to_json(),
+    )
+}
+
+/// A failed invariant: recorded, reported, and turned into a non-zero exit.
+struct Violations(Vec<String>);
+
+impl Violations {
+    fn check(&mut self, ok: bool, what: impl Into<String>) {
+        if !ok {
+            let what = what.into();
+            eprintln!("loadgen: VIOLATION: {what}");
+            self.0.push(what);
+        }
+    }
+}
+
+fn grid_config(nodes: usize, seed: u64) -> String {
+    EngineConfig::generated(ProblemKind::Grid2d, nodes, seed)
+        .with_ordering(OrderingMethod::NestedDissection)
+        .with_memory(MemoryBudget::FractionOfPeak(0.5))
+        .to_json()
+}
+
+/// POST expecting a 200; records latency and cache disposition.
+fn timed_post(
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+    violations: &mut Violations,
+) -> (f64, ClientResponse) {
+    let started = Instant::now();
+    let response = client::post(addr, path, body).unwrap_or_else(|e| {
+        eprintln!("loadgen: transport failure: {e}");
+        std::process::exit(1);
+    });
+    let seconds = started.elapsed().as_secs_f64();
+    violations.check(
+        response.status == 200,
+        format!(
+            "{path} answered {} ({})",
+            response.status,
+            response.body.trim()
+        ),
+    );
+    (seconds, response)
+}
+
+fn run_mix(
+    name: &'static str,
+    addr: SocketAddr,
+    requests: &[(&str, String)],
+    violations: &mut Violations,
+) -> ScenarioResult {
+    let started = Instant::now();
+    let mut samples = Vec::new();
+    let mut hit_samples = Vec::new();
+    let mut miss_samples = Vec::new();
+    for (path, body) in requests {
+        let (seconds, response) = timed_post(addr, path, body, violations);
+        samples.push(seconds);
+        if response.cache_hit() {
+            hit_samples.push(seconds);
+        } else {
+            miss_samples.push(seconds);
+        }
+    }
+    ScenarioResult {
+        name,
+        requests: requests.len(),
+        wall_seconds: started.elapsed().as_secs_f64(),
+        latency: latency_summary(&samples),
+        hit_latency: latency_summary(&hit_samples),
+        miss_latency: latency_summary(&miss_samples),
+        cache_hits: hit_samples.len(),
+        expected_4xx: 0,
+    }
+}
+
+/// The headline cold-vs-cached measurement plus the bit-identity check.
+fn cache_speedup(
+    addr: SocketAddr,
+    sizes: &Sizes,
+    violations: &mut Violations,
+) -> (ScenarioResult, String) {
+    let started = Instant::now();
+    let mut cold = Vec::new();
+    let mut hot = Vec::new();
+    let mut cold_body = String::new();
+    let mut hot_body = String::new();
+    for seed in 0..sizes.headline_cold as u64 {
+        let config = grid_config(sizes.headline_nodes, seed);
+        let (seconds, response) = timed_post(addr, "/report", &config, violations);
+        violations.check(
+            !response.cache_hit(),
+            format!("headline seed {seed} unexpectedly hit the cache"),
+        );
+        cold.push(seconds);
+        if seed == 0 {
+            cold_body = response.body;
+        }
+    }
+    let hot_config = grid_config(sizes.headline_nodes, 0);
+    for repeat in 0..sizes.headline_hot {
+        let (seconds, response) = timed_post(addr, "/report", &hot_config, violations);
+        violations.check(
+            response.cache_hit(),
+            format!("headline repeat {repeat} missed the cache"),
+        );
+        hot.push(seconds);
+        if repeat == 0 {
+            hot_body = response.body;
+        }
+    }
+
+    // A cache-hit report is the cold-path report, minus wall-clock noise.
+    let fingerprint_match = client::report_identity(&cold_body).is_some()
+        && client::report_identity(&cold_body) == client::report_identity(&hot_body);
+    violations.check(
+        fingerprint_match,
+        "cache-hit report differs from the cold-path report",
+    );
+
+    let cold_summary = latency_summary(&cold);
+    let hot_summary = latency_summary(&hot);
+    let speedup = cold_summary.p50_seconds / hot_summary.p50_seconds.max(1e-9);
+    if sizes.enforce_speedup {
+        violations.check(
+            speedup >= REQUIRED_SPEEDUP,
+            format!("cached-plan speedup {speedup:.1}x below the required {REQUIRED_SPEEDUP}x"),
+        );
+    }
+    println!(
+        "loadgen: headline {} nodes: cold p50 {:.4}s, cached p50 {:.4}s, speedup {:.1}x",
+        sizes.headline_nodes, cold_summary.p50_seconds, hot_summary.p50_seconds, speedup
+    );
+
+    let headline = format!(
+        "  \"headline\": {{\"corpus_nodes\": {}, \"cold_requests\": {}, \"hot_requests\": {}, \
+         \"cold_p50_seconds\": {:.6}, \"hot_p50_seconds\": {:.6}, \"speedup\": {:.3}, \
+         \"required_speedup\": {:.1}, \"speedup_enforced\": {}, \"fingerprint_match\": {}}},\n",
+        sizes.headline_nodes,
+        cold.len(),
+        hot.len(),
+        cold_summary.p50_seconds,
+        hot_summary.p50_seconds,
+        speedup,
+        REQUIRED_SPEEDUP,
+        sizes.enforce_speedup,
+        fingerprint_match,
+    );
+    let scenario = ScenarioResult {
+        name: "cache_speedup",
+        requests: cold.len() + hot.len(),
+        wall_seconds: started.elapsed().as_secs_f64(),
+        latency: latency_summary(&[cold.clone(), hot.clone()].concat()),
+        hit_latency: hot_summary,
+        miss_latency: cold_summary,
+        cache_hits: hot.len(),
+        expected_4xx: 0,
+    };
+    (scenario, headline)
+}
+
+fn hot_set_skew(addr: SocketAddr, sizes: &Sizes, violations: &mut Violations) -> ScenarioResult {
+    let mut rng = StdRng::seed_from_u64(0x10ad_6e11);
+    let hot_set: Vec<String> = (0..6)
+        .map(|seed| grid_config(sizes.hot_set_nodes, 100 + seed))
+        .collect();
+    let requests: Vec<(&str, String)> = (0..sizes.hot_set_requests)
+        .map(|_| {
+            // Skew: the minimum of two uniform draws favours low indices
+            // (index 0 ~ 30%, index 5 ~ 3%).
+            let pick = rng
+                .gen_range(0..hot_set.len())
+                .min(rng.gen_range(0..hot_set.len()));
+            ("/report", hot_set[pick].clone())
+        })
+        .collect();
+    run_mix("hot_set_skew", addr, &requests, violations)
+}
+
+fn parallel_hot(addr: SocketAddr, sizes: &Sizes, violations: &mut Violations) -> ScenarioResult {
+    let hot_set: Vec<String> = (0..4)
+        .map(|seed| grid_config(sizes.hot_set_nodes, 200 + seed))
+        .collect();
+    // Warm the cache so the parallel phase measures hit throughput.
+    for config in &hot_set {
+        timed_post(addr, "/report", config, violations);
+    }
+    let threads = 4;
+    let per_thread = (sizes.hot_set_requests / threads).max(3);
+    let started = Instant::now();
+    let mut all_samples: Vec<f64> = Vec::new();
+    let mut hits = 0usize;
+    std::thread::scope(|scope| {
+        let tasks: Vec<_> = (0..threads)
+            .map(|thread| {
+                let hot_set = &hot_set;
+                scope.spawn(move || {
+                    let mut samples = Vec::new();
+                    let mut hits = 0usize;
+                    let mut failures = 0usize;
+                    for i in 0..per_thread {
+                        let config = &hot_set[(thread + i) % hot_set.len()];
+                        let started = Instant::now();
+                        match client::post(addr, "/report", config) {
+                            Ok(response) if response.status == 200 => {
+                                samples.push(started.elapsed().as_secs_f64());
+                                if response.cache_hit() {
+                                    hits += 1;
+                                }
+                            }
+                            _ => failures += 1,
+                        }
+                    }
+                    (samples, hits, failures)
+                })
+            })
+            .collect();
+        for task in tasks {
+            let (samples, thread_hits, failures) = task.join().expect("client thread");
+            violations.check(
+                failures == 0,
+                format!("{failures} parallel requests failed"),
+            );
+            all_samples.extend(samples);
+            hits += thread_hits;
+        }
+    });
+    let summary = latency_summary(&all_samples);
+    ScenarioResult {
+        name: "parallel_hot",
+        requests: threads * per_thread,
+        wall_seconds: started.elapsed().as_secs_f64(),
+        latency: summary,
+        hit_latency: summary,
+        miss_latency: LatencySummary::default(),
+        cache_hits: hits,
+        expected_4xx: 0,
+    }
+}
+
+fn mixed_kinds(addr: SocketAddr, sizes: &Sizes, violations: &mut Violations) -> ScenarioResult {
+    let mut requests: Vec<(&str, String)> = Vec::new();
+    for (index, kind) in ProblemKind::ALL.iter().enumerate() {
+        let config = EngineConfig::generated(*kind, sizes.mixed_nodes, 7)
+            .with_ordering(OrderingMethod::NestedDissection)
+            .with_memory(MemoryBudget::FractionOfPeak(0.3))
+            .to_json();
+        // Same config through all three endpoints: the first call plans,
+        // the rest hit.
+        requests.push(("/plan", config.clone()));
+        requests.push(("/schedule", config.clone()));
+        requests.push(("/report", config));
+        // And one prebuilt-tree config interleaved for variety.
+        if index == 0 {
+            let prebuilt = EngineConfig::prebuilt(treemem::gadgets::harpoon(4, 400, 1))
+                .with_memory(MemoryBudget::FractionOfPeak(0.0))
+                .to_json();
+            requests.push(("/report", prebuilt));
+        }
+    }
+    run_mix("mixed_kinds", addr, &requests, violations)
+}
+
+fn cold_scan(addr: SocketAddr, sizes: &Sizes, violations: &mut Violations) -> ScenarioResult {
+    let requests: Vec<(&str, String)> = (0..sizes.cold_scan_requests as u64)
+        .map(|seed| ("/report", grid_config(sizes.cold_scan_nodes, 1_000 + seed)))
+        .collect();
+    let result = run_mix("cold_scan", addr, &requests, violations);
+    violations.check(
+        result.cache_hits == 0,
+        format!("cold scan saw {} unexpected cache hits", result.cache_hits),
+    );
+    result
+}
+
+fn malformed(addr: SocketAddr, violations: &mut Violations) -> ScenarioResult {
+    let started = Instant::now();
+    let depth_bomb = "[".repeat(100_000);
+    // One payload per fixed parser bug, plus assorted garbage.
+    let cases: Vec<(&str, String)> = vec![
+        ("depth bomb", depth_bomb),
+        (
+            "broken surrogate escape",
+            "{\"solver\": \"\\ud83d\\uzz00\"}".to_string(),
+        ),
+        ("raw control char", "{\"solver\": \"a\nb\"}".to_string()),
+        ("truncated number", "{\"amalgamation\": 1.}".to_string()),
+        (
+            "duplicate key",
+            "{\"solver\": \"minmem\", \"solver\": \"liu\"}".to_string(),
+        ),
+        ("not json", "colorless green ideas".to_string()),
+        ("empty body", String::new()),
+    ];
+    let mut samples = Vec::new();
+    let mut rejected = 0usize;
+    for (label, body) in &cases {
+        let request_started = Instant::now();
+        let response = client::post(addr, "/report", body).unwrap_or_else(|e| {
+            eprintln!("loadgen: transport failure on {label}: {e}");
+            std::process::exit(1);
+        });
+        samples.push(request_started.elapsed().as_secs_f64());
+        violations.check(
+            (400..500).contains(&response.status),
+            format!("{label} answered {} instead of a 4xx", response.status),
+        );
+        if (400..500).contains(&response.status) {
+            rejected += 1;
+        }
+    }
+    // Framing-level garbage (not even HTTP).
+    let response = client::exchange(addr, b"BOGUS\r\n\r\n").unwrap_or_else(|e| {
+        eprintln!("loadgen: transport failure on framing garbage: {e}");
+        std::process::exit(1);
+    });
+    violations.check(
+        response.status == 400,
+        format!("framing garbage answered {}", response.status),
+    );
+    rejected += usize::from(response.status == 400);
+    // The server survived all of it.
+    let health = client::get(addr, "/healthz").map(|r| r.status);
+    violations.check(
+        health.as_ref().copied().unwrap_or(0) == 200,
+        "server unhealthy after malformed barrage",
+    );
+    ScenarioResult {
+        name: "malformed",
+        requests: cases.len() + 1,
+        wall_seconds: started.elapsed().as_secs_f64(),
+        latency: latency_summary(&samples),
+        hit_latency: LatencySummary::default(),
+        miss_latency: LatencySummary::default(),
+        cache_hits: 0,
+        expected_4xx: rejected,
+    }
+}
+
+fn spawn_server() -> ServerHandle {
+    Server::spawn(ServerConfig {
+        cache_capacity: CACHE_CAPACITY,
+        ..ServerConfig::default()
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("loadgen: cannot boot the server: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut sizes = &FULL;
+    let mut out: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => sizes = &QUICK,
+            "--out" => match iter.next() {
+                Some(path) => out = Some(path.clone()),
+                None => {
+                    eprintln!("loadgen: --out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("usage: loadgen [--quick] [--out PATH]   (unknown flag {other})");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let handle = spawn_server();
+    let addr = handle.addr();
+    println!(
+        "loadgen: serving on http://{addr} ({} mode, cache capacity {CACHE_CAPACITY})",
+        sizes.mode
+    );
+    let mut violations = Violations(Vec::new());
+
+    let (headline_scenario, headline_json) = cache_speedup(addr, sizes, &mut violations);
+    let mut scenarios = vec![headline_scenario];
+    scenarios.push(hot_set_skew(addr, sizes, &mut violations));
+    scenarios.push(parallel_hot(addr, sizes, &mut violations));
+    scenarios.push(mixed_kinds(addr, sizes, &mut violations));
+    scenarios.push(cold_scan(addr, sizes, &mut violations));
+    scenarios.push(malformed(addr, &mut violations));
+
+    // Final server-side view: cache hit rate, eviction counts, stage
+    // latency percentiles.
+    let stats_body = client::get(addr, "/stats")
+        .map(|response| response.body)
+        .unwrap_or_else(|e| {
+            eprintln!("loadgen: /stats failed: {e}");
+            std::process::exit(1);
+        });
+    let stats = Json::parse(&stats_body).unwrap_or(Json::Null);
+    let cache_hits = stats
+        .get("cache")
+        .and_then(|c| c.get("hits"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let evictions = stats
+        .get("cache")
+        .and_then(|c| c.get("evictions"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    violations.check(cache_hits > 0, "server finished with zero cache hits");
+    violations.check(
+        evictions > 0,
+        "cold scan produced no cache evictions (capacity not exercised)",
+    );
+    violations.check(
+        handle.shutdown().is_ok(),
+        "server did not shut down cleanly",
+    );
+    println!("loadgen: clean shutdown, {cache_hits} cache hits, {evictions} evictions");
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"bench_server/v1\",\n");
+    let _ = writeln!(json, "  \"mode\": \"{}\",", sizes.mode);
+    let _ = writeln!(json, "  \"cache_capacity\": {CACHE_CAPACITY},");
+    json.push_str(&headline_json);
+    json.push_str("  \"scenarios\": [\n");
+    for (index, scenario) in scenarios.iter().enumerate() {
+        json.push_str(&scenario_json(scenario));
+        json.push_str(if index + 1 < scenarios.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
+    // Embed the final /stats document verbatim (it is already JSON).
+    let _ = writeln!(json, "  \"server_stats\": {}", stats_body.trim_end());
+    json.push_str("}\n");
+
+    let path = out.map(std::path::PathBuf::from).unwrap_or_else(|| {
+        std::env::var_os("TREEMEM_SWEEP_DIR")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| std::path::PathBuf::from("."))
+            .join("BENCH_server.json")
+    });
+    if let Err(error) = std::fs::write(&path, &json) {
+        eprintln!("loadgen: cannot write {}: {error}", path.display());
+        std::process::exit(1);
+    }
+    println!("loadgen: wrote {}", path.display());
+
+    if !violations.0.is_empty() {
+        eprintln!("loadgen: {} violated invariant(s)", violations.0.len());
+        std::process::exit(1);
+    }
+    println!("loadgen: all invariants held");
+}

@@ -1,0 +1,319 @@
+//! A bounded, TTL-aware LRU cache of [`Plan`]s keyed by effective-config
+//! hash.
+//!
+//! Planning — problem acquisition, fill-reducing ordering, elimination tree,
+//! column counts, amalgamation — dominates the cost of a request, while a
+//! [`Plan`] is immutable-after-build and internally caches its solver
+//! traversals and divisible bounds.  A server handling repeated
+//! configurations therefore wants exactly one `Plan` per distinct effective
+//! configuration, shared via [`Arc`] across worker threads; this module
+//! provides that cache plus the hit/miss/eviction counters the `/stats`
+//! endpoint reports.
+//!
+//! Eviction is classic LRU bounded by a capacity, with an optional
+//! time-to-live: an entry older than the TTL is dropped on access (counted
+//! separately from capacity evictions, so a sweep of `/stats` distinguishes
+//! "working set too big" from "entries aging out").
+//!
+//! ```
+//! use engine::{Engine, EngineConfig, PlanCache};
+//! use treemem::gadgets::harpoon;
+//!
+//! let engine = Engine::new();
+//! let cache = PlanCache::new(8, None);
+//! let config = EngineConfig::prebuilt(harpoon(3, 300, 1));
+//! let (_, hit) = cache.get_or_plan(&engine, &config).unwrap();
+//! assert!(!hit);
+//! let (_, hit) = cache.get_or_plan(&engine, &config).unwrap();
+//! assert!(hit);
+//! assert_eq!(cache.stats().hits, 1);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::config::EngineConfig;
+use crate::run::{Engine, EngineError, Plan};
+
+struct Entry {
+    key: String,
+    plan: Arc<Plan>,
+    inserted: Instant,
+}
+
+/// Point-in-time counters of a [`PlanCache`]; see the field docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing (or only an expired entry).
+    pub misses: u64,
+    /// Entries dropped to keep the cache within its capacity.
+    pub evictions: u64,
+    /// Entries dropped because they outlived the TTL.
+    pub expirations: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Maximum number of resident entries.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0.0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The shared plan cache; see the module docs.
+pub struct PlanCache {
+    /// Most-recently-used entries live at the *back* of the vector.
+    entries: Mutex<Vec<Entry>>,
+    /// Keys currently being planned by some caller (single-flight): other
+    /// callers of [`PlanCache::get_or_plan`] wait on [`PlanCache::settled`]
+    /// instead of planning the same configuration concurrently.
+    in_flight: Mutex<Vec<String>>,
+    /// Notified whenever a key leaves `in_flight`.
+    settled: Condvar,
+    capacity: usize,
+    ttl: Option<Duration>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    expirations: AtomicU64,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans (at least 1), each living at
+    /// most `ttl` (no expiry when `None`).
+    pub fn new(capacity: usize, ttl: Option<Duration>) -> Self {
+        PlanCache {
+            entries: Mutex::new(Vec::new()),
+            in_flight: Mutex::new(Vec::new()),
+            settled: Condvar::new(),
+            capacity: capacity.max(1),
+            ttl,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            expirations: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up the plan cached under `key`, refreshing its LRU position.
+    /// An expired entry is dropped and reported as a miss.
+    pub fn get(&self, key: &str) -> Option<Arc<Plan>> {
+        let mut entries = self.entries.lock().expect("plan cache poisoned");
+        match entries.iter().position(|entry| entry.key == key) {
+            Some(index) => {
+                if let Some(ttl) = self.ttl {
+                    if entries[index].inserted.elapsed() > ttl {
+                        entries.remove(index);
+                        self.expirations.fetch_add(1, Ordering::Relaxed);
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        return None;
+                    }
+                }
+                let entry = entries.remove(index);
+                let plan = entry.plan.clone();
+                entries.push(entry);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(plan)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert `plan` under `key` (most-recently-used position), evicting the
+    /// least-recently-used entry if the cache is full.  A concurrent insert
+    /// of the same key keeps the newer plan; the two are interchangeable
+    /// because planning is deterministic in the configuration.
+    pub fn insert(&self, key: impl Into<String>, plan: Arc<Plan>) {
+        let key = key.into();
+        let mut entries = self.entries.lock().expect("plan cache poisoned");
+        if let Some(index) = entries.iter().position(|entry| entry.key == key) {
+            entries.remove(index);
+        }
+        while entries.len() >= self.capacity {
+            entries.remove(0);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        entries.push(Entry {
+            key,
+            plan,
+            inserted: Instant::now(),
+        });
+    }
+
+    /// The cached plan for `config`'s effective-config hash, planning (and
+    /// inserting) on a miss.  Returns the shared plan and whether the lookup
+    /// hit.
+    ///
+    /// Misses are *single-flight*: concurrent callers with the same key
+    /// wait for the one planner instead of each re-running the expensive
+    /// ordering/symbolic stages, and then share its plan (reported as a
+    /// hit).  Planning happens outside every lock, so a slow plan never
+    /// blocks hits — or other misses — on different keys.
+    pub fn get_or_plan(
+        &self,
+        engine: &Engine,
+        config: &EngineConfig,
+    ) -> Result<(Arc<Plan>, bool), EngineError> {
+        let key = config.hash();
+        loop {
+            if let Some(plan) = self.get(&key) {
+                return Ok((plan, true));
+            }
+            let mut in_flight = self.in_flight.lock().expect("plan cache poisoned");
+            if !in_flight.contains(&key) {
+                // This caller becomes the planner for the key.
+                in_flight.push(key.clone());
+                break;
+            }
+            // Someone else is planning this key: wait until it settles,
+            // then retry the lookup (normally a hit; a miss again only if
+            // the planner failed or the entry was already evicted).
+            while in_flight.contains(&key) {
+                in_flight = self.settled.wait(in_flight).expect("plan cache poisoned");
+            }
+        }
+        let planned = engine.plan(config);
+        // Insert before the key settles, so woken waiters find the entry;
+        // settle unconditionally, so an error never wedges the key.
+        let result = planned.map(|plan| {
+            let plan = Arc::new(plan);
+            self.insert(key.clone(), plan.clone());
+            (plan, false)
+        });
+        let mut in_flight = self.in_flight.lock().expect("plan cache poisoned");
+        in_flight.retain(|flying| *flying != key);
+        drop(in_flight);
+        self.settled.notify_all();
+        result
+    }
+
+    /// Current counters (a consistent-enough snapshot for reporting).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            expirations: self.expirations.load(Ordering::Relaxed),
+            entries: self.entries.lock().expect("plan cache poisoned").len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Drop every entry (counters are kept).
+    pub fn clear(&self) {
+        self.entries.lock().expect("plan cache poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treemem::gadgets::harpoon;
+
+    fn config(seed: u64) -> EngineConfig {
+        EngineConfig::prebuilt(harpoon(3, 300, seed as treemem::tree::Size))
+    }
+
+    #[test]
+    fn plans_are_shared_on_hits() {
+        let engine = Engine::new();
+        let cache = PlanCache::new(4, None);
+        let (first, hit_a) = cache.get_or_plan(&engine, &config(1)).unwrap();
+        let (second, hit_b) = cache.get_or_plan(&engine, &config(1)).unwrap();
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let engine = Engine::new();
+        let cache = PlanCache::new(2, None);
+        let configs: Vec<EngineConfig> = (1..=3).map(config).collect();
+        cache.get_or_plan(&engine, &configs[0]).unwrap();
+        cache.get_or_plan(&engine, &configs[1]).unwrap();
+        // Touch 0 so 1 becomes the LRU victim.
+        cache.get_or_plan(&engine, &configs[0]).unwrap();
+        cache.get_or_plan(&engine, &configs[2]).unwrap();
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.get(&configs[0].hash()).is_some());
+        assert!(cache.get(&configs[1].hash()).is_none());
+        assert!(cache.get(&configs[2].hash()).is_some());
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let engine = Engine::new();
+        let cache = PlanCache::new(4, Some(Duration::from_millis(20)));
+        cache.get_or_plan(&engine, &config(1)).unwrap();
+        assert!(cache.get(&config(1).hash()).is_some());
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(cache.get(&config(1).hash()).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.expirations, 1);
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let engine = Engine::new();
+        let cache = PlanCache::new(4, None);
+        cache.get_or_plan(&engine, &config(1)).unwrap();
+        cache.clear();
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn planning_errors_pass_through() {
+        let engine = Engine::new();
+        let cache = PlanCache::new(4, None);
+        let bad = config(1).with_solver("nope");
+        assert!(cache.get_or_plan(&engine, &bad).is_err());
+        assert_eq!(cache.stats().entries, 0);
+        // The failed key settled: a later attempt plans again (and a valid
+        // config on the same cache is unaffected).
+        assert!(cache.get_or_plan(&engine, &bad).is_err());
+        assert!(cache.get_or_plan(&engine, &config(1)).is_ok());
+    }
+
+    #[test]
+    fn concurrent_misses_are_single_flight() {
+        let engine = Engine::new();
+        let cache = PlanCache::new(4, None);
+        let config = config(2);
+        // Every concurrent caller gets the *same* Arc: exactly one of them
+        // planned, the rest waited for it (or hit the cache afterwards).
+        let plans: Vec<Arc<Plan>> = std::thread::scope(|scope| {
+            let tasks: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| cache.get_or_plan(&engine, &config).unwrap().0))
+                .collect();
+            tasks
+                .into_iter()
+                .map(|task| task.join().expect("worker"))
+                .collect()
+        });
+        for plan in &plans {
+            assert!(Arc::ptr_eq(plan, &plans[0]));
+        }
+        assert_eq!(cache.stats().entries, 1);
+    }
+}

@@ -7,6 +7,20 @@
 //! writer helpers.  Only what the engine serialises is supported: objects,
 //! arrays, strings, booleans, `null`, and numbers (kept as their source text
 //! so 64-bit integers survive the trip without a detour through `f64`).
+//!
+//! The parser also reads documents from the network (`crates/server`), so it
+//! is hardened against hostile input: nesting depth is bounded by
+//! [`MAX_DEPTH`], numbers must match the JSON grammar exactly, strings may
+//! not contain raw control characters, objects reject duplicate keys, and
+//! `\u` surrogate pairs are combined (lone surrogates decode to U+FFFD).
+//! Every failure is a [`JsonError`] with a byte offset — never a panic or
+//! a stack overflow.
+
+/// Maximum container nesting depth accepted by [`Json::parse`].
+///
+/// Deeper documents fail with a [`JsonError`] instead of exhausting the call
+/// stack — `Json::parse(&"[".repeat(100_000))` is an error, not an abort.
+pub const MAX_DEPTH: usize = 128;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,7 +62,7 @@ impl Json {
     pub fn parse(text: &str) -> Result<Json, JsonError> {
         let bytes = text.as_bytes();
         let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(err(pos, "trailing characters after the document"));
@@ -144,12 +158,15 @@ fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), JsonError> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
     skip_ws(bytes, pos);
+    if depth > MAX_DEPTH {
+        return Err(err(*pos, format!("nesting deeper than {MAX_DEPTH} levels")));
+    }
     match bytes.get(*pos) {
         None => Err(err(*pos, "unexpected end of input")),
-        Some(b'{') => parse_object(bytes, pos),
-        Some(b'[') => parse_array(bytes, pos),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
         Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
         Some(b't') => parse_keyword(bytes, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
@@ -174,19 +191,58 @@ fn parse_keyword(
 
 fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     let start = *pos;
-    if bytes.get(*pos) == Some(&b'-') {
-        *pos += 1;
-    }
     while *pos < bytes.len()
         && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
     {
         *pos += 1;
     }
     let text = std::str::from_utf8(&bytes[start..*pos]).expect("digits are ASCII");
-    if text.is_empty() || text.parse::<f64>().is_err() {
+    if !is_valid_number(text.as_bytes()) {
         return Err(err(start, format!("invalid number '{text}'")));
     }
     Ok(Json::Num(text.to_string()))
+}
+
+/// Validate the exact JSON number grammar: `-? (0 | [1-9][0-9]*) (\.[0-9]+)?
+/// ([eE][+-]?[0-9]+)?`.  Rust's `f64::from_str` is laxer (it accepts `1.`,
+/// `.5`, `01`, `inf`, `NaN`), so network input is checked against the
+/// grammar instead of a parse attempt.
+fn is_valid_number(text: &[u8]) -> bool {
+    let mut i = 0;
+    if text.get(i) == Some(&b'-') {
+        i += 1;
+    }
+    match text.get(i) {
+        Some(b'0') => i += 1,
+        Some(b'1'..=b'9') => {
+            while matches!(text.get(i), Some(b'0'..=b'9')) {
+                i += 1;
+            }
+        }
+        _ => return false,
+    }
+    if text.get(i) == Some(&b'.') {
+        i += 1;
+        if !matches!(text.get(i), Some(b'0'..=b'9')) {
+            return false;
+        }
+        while matches!(text.get(i), Some(b'0'..=b'9')) {
+            i += 1;
+        }
+    }
+    if matches!(text.get(i), Some(b'e' | b'E')) {
+        i += 1;
+        if matches!(text.get(i), Some(b'+' | b'-')) {
+            i += 1;
+        }
+        if !matches!(text.get(i), Some(b'0'..=b'9')) {
+            return false;
+        }
+        while matches!(text.get(i), Some(b'0'..=b'9')) {
+            i += 1;
+        }
+    }
+    i == text.len()
 }
 
 fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
@@ -211,20 +267,22 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .and_then(|h| std::str::from_utf8(h).ok())
-                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| err(*pos, "invalid \\u escape"))?;
-                        // Surrogate pairs are not produced by our writer;
-                        // lone surrogates map to the replacement character.
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        *pos += 4;
+                        *pos += 1;
+                        out.push(parse_unicode_escape(bytes, pos)?);
+                        continue;
                     }
                     _ => return Err(err(*pos, "invalid escape")),
                 }
                 *pos += 1;
+            }
+            Some(&byte) if byte < 0x20 => {
+                // `escape()` never emits a raw control character, so
+                // accepting one here would break the parse∘escape bijection
+                // (and the JSON grammar forbids it anyway).
+                return Err(err(
+                    *pos,
+                    format!("raw control character 0x{byte:02x} in string"),
+                ));
             }
             Some(_) => {
                 // Consume one UTF-8 scalar (the input is a &str, so the
@@ -238,7 +296,53 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
     }
 }
 
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+/// Read the four hex digits of a `\u` escape.  `*pos` points at the first
+/// digit on entry and just past the last one on success.
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, JsonError> {
+    let hex = bytes
+        .get(*pos..*pos + 4)
+        .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+    // Exactly four ASCII hex digits: `from_str_radix` alone would also
+    // tolerate a leading `+`, which the JSON grammar does not.
+    if !hex.iter().all(u8::is_ascii_hexdigit) {
+        return Err(err(*pos, "invalid \\u escape"));
+    }
+    let text = std::str::from_utf8(hex).expect("hex digits are ASCII");
+    let code = u32::from_str_radix(text, 16).expect("validated hex digits");
+    *pos += 4;
+    Ok(code)
+}
+
+/// Decode one `\u` escape, combining a high surrogate with an immediately
+/// following `\uDC00..\uDFFF` low surrogate into the supplementary-plane
+/// scalar it encodes.  Lone (unpaired) surrogates decode to U+FFFD rather
+/// than failing, matching the usual lenient-decode behaviour.  `*pos` points
+/// just past the `u` on entry and past the last consumed digit on exit.
+fn parse_unicode_escape(bytes: &[u8], pos: &mut usize) -> Result<char, JsonError> {
+    let first = parse_hex4(bytes, pos)?;
+    if (0xD800..0xDC00).contains(&first) {
+        // High surrogate: only a directly adjacent `\uXXXX` low surrogate
+        // completes the pair; anything else leaves it lone (→ U+FFFD)
+        // without consuming the lookahead.
+        if bytes.get(*pos) == Some(&b'\\') && bytes.get(*pos + 1) == Some(&b'u') {
+            let mut ahead = *pos + 2;
+            let second = parse_hex4(bytes, &mut ahead)?;
+            if (0xDC00..0xE000).contains(&second) {
+                *pos = ahead;
+                let scalar = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                return Ok(char::from_u32(scalar).expect("surrogate pair decodes to a scalar"));
+            }
+        }
+        return Ok('\u{fffd}');
+    }
+    if (0xDC00..0xE000).contains(&first) {
+        // Lone low surrogate.
+        return Ok('\u{fffd}');
+    }
+    Ok(char::from_u32(first).expect("non-surrogate BMP code point"))
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
     expect(bytes, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(bytes, pos);
@@ -247,7 +351,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
         return Ok(Json::Arr(items));
     }
     loop {
-        items.push(parse_value(bytes, pos)?);
+        items.push(parse_value(bytes, pos, depth + 1)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
@@ -260,9 +364,13 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     }
 }
 
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
     expect(bytes, pos, b'{')?;
-    let mut fields = Vec::new();
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    // Seen keys, tracked separately so the duplicate check is O(1) per key —
+    // a linear rescan of `fields` would make a many-key object quadratic,
+    // a CPU sink on the network-facing parser.
+    let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
     skip_ws(bytes, pos);
     if bytes.get(*pos) == Some(&b'}') {
         *pos += 1;
@@ -270,10 +378,17 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     }
     loop {
         skip_ws(bytes, pos);
+        let key_offset = *pos;
         let key = parse_string(bytes, pos)?;
+        if !seen.insert(key.clone()) {
+            // Duplicate keys are legal JSON but a classic smuggling vector
+            // for configuration documents (one parser reads the first, one
+            // the last); reject them outright.
+            return Err(err(key_offset, format!("duplicate key \"{key}\"")));
+        }
         skip_ws(bytes, pos);
         expect(bytes, pos, b':')?;
-        let value = parse_value(bytes, pos)?;
+        let value = parse_value(bytes, pos, depth + 1)?;
         fields.push((key, value));
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
@@ -289,6 +404,10 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
 
 /// Escape a string for embedding in a JSON document (same rules as the
 /// report writers elsewhere in the workspace).
+///
+/// Every control character — C0 (which the grammar forbids raw), DEL, and
+/// the C1 range — is emitted as a `\u00XX` escape, so the output is printable
+/// and `parse(escape(s)) == s` for every `s`.
 pub fn escape(text: &str) -> String {
     let mut out = String::with_capacity(text.len());
     for c in text.chars() {
@@ -298,7 +417,7 @@ pub fn escape(text: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if c.is_control() => out.push_str(&format!("\\u{:04x}", c as u32)),
             c => out.push(c),
         }
     }
@@ -339,8 +458,80 @@ mod tests {
 
     #[test]
     fn escaping_round_trips() {
-        let text = "a\"b\\c\nd\te\u{1}";
+        let text = "a\"b\\c\nd\te\u{1}\u{7f}\u{9b}";
         let doc = format!("\"{}\"", escape(text));
         assert_eq!(Json::parse(&doc).unwrap().as_str(), Some(text));
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_an_abort() {
+        // Used to overflow the stack and abort the whole process.
+        for opener in ["[", "{\"k\":"] {
+            let bomb = opener.repeat(100_000);
+            let error = Json::parse(&bomb).unwrap_err();
+            assert!(error.message.contains("nesting"), "{error}");
+        }
+        // Depths at the limit still parse.
+        let depth = MAX_DEPTH;
+        let fine = format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+        assert!(Json::parse(&fine).is_ok());
+        let too_deep = format!("{}1{}", "[".repeat(depth + 1), "]".repeat(depth + 1));
+        assert!(Json::parse(&too_deep).is_err());
+    }
+
+    #[test]
+    fn surrogate_pairs_combine() {
+        // U+1F600 GRINNING FACE as an escaped surrogate pair — used to come
+        // out as two U+FFFD replacement characters.
+        assert_eq!(
+            Json::parse("\"\\ud83d\\ude00\"").unwrap().as_str(),
+            Some("😀")
+        );
+        // A raw non-BMP char round-trips through escape().
+        let doc = format!("\"{}\"", escape("😀"));
+        assert_eq!(Json::parse(&doc).unwrap().as_str(), Some("😀"));
+        // Lone surrogates (either half) decode to U+FFFD.
+        assert_eq!(
+            Json::parse(r#""\ud83dx""#).unwrap().as_str(),
+            Some("\u{fffd}x")
+        );
+        assert_eq!(
+            Json::parse(r#""\ude00""#).unwrap().as_str(),
+            Some("\u{fffd}")
+        );
+        // High surrogate followed by a non-surrogate escape keeps both.
+        assert_eq!(
+            Json::parse(r#""\ud83dA""#).unwrap().as_str(),
+            Some("\u{fffd}A")
+        );
+    }
+
+    #[test]
+    fn raw_control_characters_are_rejected() {
+        assert!(Json::parse("\"a\nb\"").is_err());
+        assert!(Json::parse("\"a\u{0}b\"").is_err());
+        // The escaped forms are fine.
+        assert_eq!(Json::parse(r#""a\nb""#).unwrap().as_str(), Some("a\nb"));
+    }
+
+    #[test]
+    fn numbers_follow_the_json_grammar() {
+        for bad in [
+            "1.", ".5", "01", "+5", "--1", "1e", "1e+", "-", "NaN", "Infinity", "1.e5",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+        for good in ["0", "-0", "10", "2.5e-1", "1e300", "0.3751", "1E+2"] {
+            assert!(Json::parse(good).is_ok(), "{good:?} should parse");
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        let error = Json::parse(r#"{"a": 1, "a": 2}"#).unwrap_err();
+        assert!(error.message.contains("duplicate key"), "{error}");
+        assert_eq!(error.offset, 9);
+        // Same key at different depths is fine.
+        assert!(Json::parse(r#"{"a": {"a": 1}}"#).is_ok());
     }
 }

@@ -17,7 +17,11 @@
 //!   multifrontal factorization, folded into a serializable [`Report`] with
 //!   per-stage wall-clock times and provenance;
 //! * [`Engine::run_batch`] — a whole `Vec<EngineConfig>` fanned over the
-//!   [`parallel::par_map`] worker pool for server-style throughput.
+//!   [`parallel::par_map`] worker pool for server-style throughput;
+//! * [`PlanCache`] — a bounded LRU (+ optional TTL) of `Arc<Plan>`s keyed by
+//!   effective-config hash, so repeated configurations skip the
+//!   ordering/symbolic stages entirely (the substrate of `crates/server`'s
+//!   plan cache).
 //!
 //! ```
 //! use engine::prelude::*;
@@ -35,18 +39,21 @@
 //! assert_eq!(report.config_hash, config.hash());
 //! ```
 
+pub mod cache;
 pub mod config;
 pub mod json;
 pub mod parallel;
 pub mod report;
 pub mod run;
 
+pub use cache::{CacheStats, PlanCache};
 pub use config::{ConfigParseError, EngineConfig, MemoryBudget, ProblemSource};
 pub use report::{NumericReport, Report, StageTimings};
 pub use run::{Engine, EngineError, Plan, Schedule, ScheduleSpec};
 
 /// Everything a typical engine user needs in scope.
 pub mod prelude {
+    pub use crate::cache::{CacheStats, PlanCache};
     pub use crate::config::{ConfigParseError, EngineConfig, MemoryBudget, ProblemSource};
     pub use crate::report::{NumericReport, Report, StageTimings};
     pub use crate::run::{Engine, EngineError, Plan, Schedule, ScheduleSpec};

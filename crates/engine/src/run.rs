@@ -634,6 +634,22 @@ impl Schedule<'_> {
         self.plan
     }
 
+    /// The FNV-1a hash of the effective configuration (the plan's
+    /// configuration with any [`ScheduleSpec`] overrides applied).
+    pub fn config_hash(&self) -> &str {
+        &self.config_hash
+    }
+
+    /// Per-stage wall-clock seconds up to and including this schedule: the
+    /// plan's stages plus the solver and I/O stages (`numeric_seconds`
+    /// stays 0.0 until [`Schedule::execute`] runs the numeric stage).
+    pub fn timings(&self) -> StageTimings {
+        let mut timings = self.plan.timings.clone();
+        timings.solver_seconds = self.solver_seconds;
+        timings.io_seconds = self.io_seconds;
+        timings
+    }
+
     /// The solver that produced the traversal.
     pub fn solver(&self) -> &str {
         &self.solver
@@ -680,9 +696,7 @@ impl Schedule<'_> {
     /// its measurements.
     pub fn execute(&self, engine: &Engine) -> Result<Report, EngineError> {
         let plan = self.plan;
-        let mut timings = plan.timings.clone();
-        timings.solver_seconds = self.solver_seconds;
-        timings.io_seconds = self.io_seconds;
+        let mut timings = self.timings();
 
         let numeric = if plan.config.numeric {
             let (report, numeric_seconds) = {

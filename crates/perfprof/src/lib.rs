@@ -22,4 +22,7 @@ pub mod timing;
 
 pub use profile::{PerformanceProfile, ProfilePoint};
 pub use stats::{ratio_statistics, RatioStatistics};
-pub use timing::{speedup, summarize_seconds, time_runs, TimingSummary};
+pub use timing::{
+    latency_summary, percentile, speedup, summarize_seconds, time_runs, LatencySummary,
+    TimingSummary,
+};

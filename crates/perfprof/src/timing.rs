@@ -61,6 +61,75 @@ pub fn speedup(baseline: &TimingSummary, improved: &TimingSummary) -> f64 {
     baseline.median_seconds / improved.median_seconds.max(1e-9)
 }
 
+/// Percentile summary of a latency distribution, for serving-style
+/// workloads (the `/stats` endpoint of `crates/server` and the `loadgen`
+/// scenarios) where the tail matters more than the median alone.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean, in seconds.
+    pub mean_seconds: f64,
+    /// 50th percentile, in seconds.
+    pub p50_seconds: f64,
+    /// 95th percentile, in seconds.
+    pub p95_seconds: f64,
+    /// 99th percentile, in seconds.
+    pub p99_seconds: f64,
+    /// Slowest sample, in seconds.
+    pub max_seconds: f64,
+}
+
+impl LatencySummary {
+    /// Render the summary as a JSON object fragment (used verbatim by the
+    /// server's `/stats` endpoint and the loadgen report).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\": {}, \"mean_seconds\": {:.9}, \"p50_seconds\": {:.9}, \
+             \"p95_seconds\": {:.9}, \"p99_seconds\": {:.9}, \"max_seconds\": {:.9}}}",
+            self.count,
+            self.mean_seconds,
+            self.p50_seconds,
+            self.p95_seconds,
+            self.p99_seconds,
+            self.max_seconds
+        )
+    }
+}
+
+/// The `q`-th percentile (`0.0 ..= 1.0`) of an **ascending-sorted** slice,
+/// by the nearest-rank method.  Returns `0.0` for an empty slice.
+pub fn percentile(sorted_ascending: &[f64], q: f64) -> f64 {
+    if sorted_ascending.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * sorted_ascending.len() as f64).ceil() as usize).max(1);
+    sorted_ascending[rank.min(sorted_ascending.len()) - 1]
+}
+
+/// Summarise raw latency samples (seconds).  An empty slice yields the
+/// all-zero summary rather than panicking — a server that has not yet
+/// received a request still has a well-formed `/stats` document.
+///
+/// # Panics
+/// Panics if a sample is NaN.
+pub fn latency_summary(samples: &[f64]) -> LatencySummary {
+    if samples.is_empty() {
+        return LatencySummary::default();
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+    LatencySummary {
+        count: sorted.len(),
+        mean_seconds: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        p50_seconds: percentile(&sorted, 0.50),
+        p95_seconds: percentile(&sorted, 0.95),
+        p99_seconds: percentile(&sorted, 0.99),
+        max_seconds: sorted[sorted.len() - 1],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,6 +154,31 @@ mod tests {
         assert_eq!(summary.runs, 5);
         assert!(summary.min_seconds <= summary.median_seconds);
         assert!(summary.median_seconds <= summary.max_seconds);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&sorted, 0.50), 50.0);
+        assert_eq!(percentile(&sorted, 0.95), 95.0);
+        assert_eq!(percentile(&sorted, 0.99), 99.0);
+        assert_eq!(percentile(&sorted, 1.0), 100.0);
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn latency_summary_of_known_samples() {
+        let samples: Vec<f64> = (1..=10).rev().map(|i| i as f64).collect();
+        let summary = latency_summary(&samples);
+        assert_eq!(summary.count, 10);
+        assert_eq!(summary.p50_seconds, 5.0);
+        assert_eq!(summary.p99_seconds, 10.0);
+        assert_eq!(summary.max_seconds, 10.0);
+        assert!((summary.mean_seconds - 5.5).abs() < 1e-12);
+        assert_eq!(latency_summary(&[]), LatencySummary::default());
+        assert!(summary.to_json().contains("\"count\": 10"));
     }
 
     #[test]

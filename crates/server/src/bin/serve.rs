@@ -1,0 +1,72 @@
+//! `serve` — boot the factorization service from the command line.
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--workers N] [--cache-capacity N]
+//!       [--cache-ttl-seconds S] [--max-body-bytes N]
+//! ```
+//!
+//! Binds (port 0 picks an ephemeral port, printed on stdout) and serves
+//! until the process is terminated.  See the README's "Serving" section for
+//! the endpoint reference and an example `curl` session.
+
+use std::time::Duration;
+
+use server::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve [--addr HOST:PORT] [--workers N] [--cache-capacity N]\n\
+         \x20      [--cache-ttl-seconds S] [--max-body-bytes N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> T {
+    let Some(value) = value else {
+        eprintln!("serve: {flag} needs a value");
+        usage();
+    };
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("serve: invalid value '{value}' for {flag}");
+        usage();
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:8080".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = parse("--addr", iter.next()),
+            "--workers" => config.workers = parse("--workers", iter.next()),
+            "--cache-capacity" => config.cache_capacity = parse("--cache-capacity", iter.next()),
+            "--cache-ttl-seconds" => {
+                config.cache_ttl = Some(Duration::from_secs(parse(
+                    "--cache-ttl-seconds",
+                    iter.next(),
+                )));
+            }
+            "--max-body-bytes" => config.max_body_bytes = parse("--max-body-bytes", iter.next()),
+            _ => usage(),
+        }
+    }
+    let workers = config.workers;
+    let handle = Server::spawn(config).unwrap_or_else(|error| {
+        eprintln!("serve: cannot bind: {error}");
+        std::process::exit(1);
+    });
+    println!(
+        "serving on http://{} ({workers} workers); endpoints: \
+         POST /plan /schedule /report, GET /healthz /stats",
+        handle.addr()
+    );
+    // Serve until the process is killed; the handle's Drop tears the
+    // listener and workers down if the main thread ever unwinds.
+    loop {
+        std::thread::park();
+    }
+}

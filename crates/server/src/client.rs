@@ -1,0 +1,120 @@
+//! A tiny blocking HTTP/1.1 client for exercising the server: one request
+//! per connection, mirroring the server's `Connection: close` framing.
+//! Used by the integration tests and by `bench`'s `loadgen` binary — it is
+//! a test/bench utility, not a general-purpose client.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A decoded response: status code, lower-cased headers, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Headers, names lower-cased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// First header named `name` (lower-case), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the response was served from the plan cache
+    /// (`X-Cache: hit`).
+    pub fn cache_hit(&self) -> bool {
+        self.header("x-cache") == Some("hit")
+    }
+}
+
+/// Errors of one exchange (connect/send/receive/decode).
+#[derive(Debug)]
+pub struct ClientError(pub String);
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, fmt: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(fmt, "HTTP client: {}", self.0)
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+fn fail(context: &str, error: impl std::fmt::Display) -> ClientError {
+    ClientError(format!("{context}: {error}"))
+}
+
+/// Send `raw` to `addr` and decode the single response.
+pub fn exchange(addr: SocketAddr, raw: &[u8]) -> Result<ClientResponse, ClientError> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))
+        .map_err(|e| fail("connect", e))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .map_err(|e| fail("timeout", e))?;
+    stream.write_all(raw).map_err(|e| fail("send", e))?;
+    let mut bytes = Vec::new();
+    stream
+        .read_to_end(&mut bytes)
+        .map_err(|e| fail("receive", e))?;
+    let text = String::from_utf8(bytes).map_err(|e| fail("decode", e))?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| ClientError("response has no header/body separator".to_string()))?;
+    let mut lines = head.lines();
+    let status = lines
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| ClientError("unparsable status line".to_string()))?;
+    let headers = lines
+        .filter_map(|line| line.split_once(':'))
+        .map(|(name, value)| (name.to_ascii_lowercase(), value.trim().to_string()))
+        .collect();
+    Ok(ClientResponse {
+        status,
+        headers,
+        body: body.to_string(),
+    })
+}
+
+/// `POST` a JSON body to `path`.
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> Result<ClientResponse, ClientError> {
+    exchange(
+        addr,
+        format!(
+            "POST {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+/// `GET` `path`.
+pub fn get(addr: SocketAddr, path: &str) -> Result<ClientResponse, ClientError> {
+    exchange(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nHost: loadgen\r\n\r\n").as_bytes(),
+    )
+}
+
+/// Parse a `/report` body and drop its wall-clock `timings` block: the
+/// deterministic identity of the report, as seen from the wire.  Two runs
+/// of the same effective configuration — cache hit or cold path — must
+/// compare equal under this projection (`None` if the body is not a JSON
+/// object).  The client-side analogue of `engine::Report::fingerprint`.
+pub fn report_identity(body: &str) -> Option<engine::json::Json> {
+    use engine::json::Json;
+    match Json::parse(body) {
+        Ok(Json::Obj(fields)) => Some(Json::Obj(
+            fields.into_iter().filter(|(k, _)| k != "timings").collect(),
+        )),
+        _ => None,
+    }
+}

@@ -1,0 +1,284 @@
+//! # server — factorization-as-a-service over the engine facade
+//!
+//! A dependency-free HTTP/1.1 JSON service on `std::net::TcpListener` that
+//! puts the `engine` crate's typed `EngineConfig → Plan → Schedule → Report`
+//! pipeline behind a network boundary: a request body is a configuration, a
+//! response body is a report, and identical configurations hit a shared
+//! [`engine::PlanCache`] instead of re-running the ordering and symbolic
+//! stages.
+//!
+//! ## Endpoints
+//!
+//! | method & path     | body            | result |
+//! |-------------------|-----------------|--------|
+//! | `POST /plan`      | `EngineConfig`  | effective-config hash, node counts, cache disposition |
+//! | `POST /schedule`  | `EngineConfig`  | traversal peak, memory budget, I/O volume, divisible bound |
+//! | `POST /report`    | `EngineConfig`  | the full `engine_report/v1` document |
+//! | `GET /healthz`    | —               | liveness probe |
+//! | `GET /stats`      | —               | cache hit rate, in-flight count, per-stage latency percentiles |
+//!
+//! `POST` responses carry `X-Cache: hit|miss` and `X-Config-Hash` headers;
+//! a cache-hit report is identical to the cold-path report for the same
+//! configuration except for wall-clock timings.
+//!
+//! Connections are accepted on one thread and executed on a fixed
+//! [`engine::parallel::WorkerPool`]; malformed requests (bad HTTP framing,
+//! invalid JSON, unknown names, depth bombs) are answered with 4xx JSON
+//! errors, and a handler panic is contained to a 500 on that connection.
+//!
+//! ```no_run
+//! use server::{Server, ServerConfig};
+//!
+//! let handle = Server::spawn(ServerConfig::default()).unwrap();
+//! println!("serving on http://{}", handle.addr());
+//! handle.shutdown().unwrap();
+//! ```
+
+pub mod client;
+pub mod http;
+pub mod service;
+pub mod stats;
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use engine::parallel::WorkerPool;
+use engine::PlanCache;
+
+use crate::http::{read_request, write_response, HttpError};
+use crate::service::{Response, Service};
+
+/// Tuning knobs of a [`Server`]; `Default` is sized for local use.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (the bound address is on
+    /// the [`ServerHandle`]).
+    pub addr: String,
+    /// Worker threads executing requests (at least 1).
+    pub workers: usize,
+    /// Maximum number of cached plans.
+    pub cache_capacity: usize,
+    /// Optional time-to-live of a cached plan.
+    pub cache_ttl: Option<Duration>,
+    /// Largest accepted request body, in bytes (prebuilt-tree configurations
+    /// inline three arrays per node, so this is generous by default).
+    pub max_body_bytes: usize,
+    /// Per-connection socket read/write timeout.
+    pub io_timeout: Duration,
+    /// Maximum number of accepted connections waiting for a worker; beyond
+    /// it, new connections are answered `503` immediately instead of
+    /// growing the queue (and the open-socket count) without bound.
+    pub max_backlog: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: engine::parallel::default_threads(usize::MAX),
+            cache_capacity: 64,
+            cache_ttl: None,
+            max_body_bytes: 64 * 1024 * 1024,
+            io_timeout: Duration::from_secs(10),
+            max_backlog: 1024,
+        }
+    }
+}
+
+/// The server factory; see the crate docs.  All the state lives in the
+/// [`ServerHandle`] returned by [`Server::spawn`].
+pub struct Server;
+
+impl Server {
+    /// Bind `config.addr`, spawn the accept thread plus the worker pool, and
+    /// return the handle used to query the bound address and to stop the
+    /// server.
+    pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let service = Arc::new(Service::new(
+            PlanCache::new(config.cache_capacity, config.cache_ttl),
+            workers,
+        ));
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let accept_service = service.clone();
+        let accept_shutdown = shutdown.clone();
+        let io_timeout = config.io_timeout;
+        let max_body_bytes = config.max_body_bytes;
+        let max_backlog = config.max_backlog.max(1);
+        let accept_thread = std::thread::Builder::new()
+            .name("server-accept".to_string())
+            .spawn(move || {
+                let pool = WorkerPool::new(workers);
+                for connection in listener.incoming() {
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(mut stream) = connection else { continue };
+                    let service = accept_service.clone();
+                    service
+                        .stats()
+                        .accepted_total
+                        .fetch_add(1, Ordering::Relaxed);
+                    if pool.backlog() >= max_backlog {
+                        // Shed load on the accept thread: every queued job
+                        // holds an open socket, so an unbounded queue would
+                        // let a flood of idle connections exhaust file
+                        // descriptors long before any worker times out.
+                        let response = Response::error(503, "server overloaded, retry later");
+                        service.stats().count_response(response.status);
+                        let _ = stream.set_write_timeout(Some(io_timeout));
+                        let _ = write_response(&mut stream, response.status, &[], &response.body);
+                        // The request was never read, so close gracefully
+                        // (same reset-vs-response race as in
+                        // `handle_connection`, with a tighter budget to keep
+                        // the accept thread responsive).
+                        graceful_close(&stream, Duration::from_millis(10));
+                        continue;
+                    }
+                    pool.submit(move || {
+                        handle_connection(&service, stream, io_timeout, max_body_bytes);
+                    });
+                }
+                pool.shutdown();
+            })
+            .expect("spawning the accept thread failed");
+
+        Ok(ServerHandle {
+            addr,
+            service,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+}
+
+/// A running server: the bound address plus the shutdown switch.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    service: Arc<Service>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound socket address (resolves port 0 to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service (stats and cache counters), mainly for tests and
+    /// the load generator.
+    pub fn service(&self) -> &Service {
+        &self.service
+    }
+
+    /// Stop accepting, finish the in-flight requests, and join every
+    /// thread.  Idempotent-ish: safe to call once; dropping the handle
+    /// without calling it aborts the accept loop the same way.
+    pub fn shutdown(mut self) -> std::io::Result<()> {
+        self.stop()
+    }
+
+    fn stop(&mut self) -> std::io::Result<()> {
+        let Some(accept_thread) = self.accept_thread.take() else {
+            return Ok(());
+        };
+        self.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop blocks in `accept`; poke it awake with a throwaway
+        // connection so it observes the flag.  A wildcard bind address
+        // (0.0.0.0 / ::) is not connectable on every platform, so the wake
+        // connection targets the loopback of the same family instead.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake {
+                SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+                SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
+        accept_thread
+            .join()
+            .map_err(|_| std::io::Error::other("accept thread panicked"))
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        let _ = self.stop();
+    }
+}
+
+/// Serve one connection: read a request, execute it (panics contained to a
+/// 500), write the single response, close.
+fn handle_connection(
+    service: &Service,
+    mut stream: TcpStream,
+    io_timeout: Duration,
+    max_body_bytes: usize,
+) {
+    let _ = stream.set_read_timeout(Some(io_timeout));
+    let _ = stream.set_write_timeout(Some(io_timeout));
+    service.stats().in_flight.fetch_add(1, Ordering::SeqCst);
+    let parsed = read_request(&mut stream, max_body_bytes);
+    let request_unread = parsed.is_err();
+    let response = match parsed {
+        Ok(request) => {
+            match std::panic::catch_unwind(AssertUnwindSafe(|| service.handle_request(&request))) {
+                Ok(response) => response,
+                Err(_) => {
+                    let response = Response::error(500, "request handler panicked");
+                    service.stats().count_response(response.status);
+                    response
+                }
+            }
+        }
+        Err(HttpError { status, message }) => {
+            let response = Response::error(status, &message);
+            service.stats().count_response(response.status);
+            response
+        }
+    };
+    let mut headers: Vec<(&str, &str)> = Vec::new();
+    if let Some(hit) = response.cache_hit {
+        headers.push(("X-Cache", if hit { "hit" } else { "miss" }));
+    }
+    if let Some(hash) = &response.config_hash {
+        headers.push(("X-Config-Hash", hash));
+    }
+    let _ = write_response(&mut stream, response.status, &headers, &response.body);
+    // The request is done before the peer is released: the decrement must
+    // happen-before the FIN below, so a client that saw our EOF never
+    // observes itself still counted in `/stats`.
+    service.stats().in_flight.fetch_sub(1, Ordering::SeqCst);
+    // Half-close so the peer's read loop sees EOF immediately...
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    if request_unread {
+        // ...and when the request was rejected before its body was fully
+        // read (413 and friends), drain briefly so the leftover bytes do
+        // not turn the close into a reset that races the response.
+        graceful_close(&stream, Duration::from_millis(50));
+    }
+}
+
+/// Drain leftover unread request bytes before the socket is dropped, so the
+/// close does not become a TCP reset that races (and can destroy) the
+/// just-written response.  Bounded in both time (per-read timeout) and
+/// volume, so a peer trickling an endless body cannot pin the caller.
+fn graceful_close(mut stream: &TcpStream, read_timeout: Duration) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let mut sink = [0u8; 1024];
+    let mut budget = 64 * 1024usize;
+    while budget > 0 {
+        match stream.read(&mut sink) {
+            Ok(n) if n > 0 => budget = budget.saturating_sub(n),
+            _ => break,
+        }
+    }
+}

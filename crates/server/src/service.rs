@@ -1,0 +1,402 @@
+//! Request routing and the endpoint handlers, independent of any socket:
+//! [`Service::handle_request`] maps a parsed [`Request`] to a [`Response`],
+//! which makes the whole API surface testable without binding a port.
+
+use std::time::Instant;
+
+use engine::json::escape;
+use engine::prelude::*;
+use engine::{CacheStats, PlanCache};
+
+use crate::http::{reason_phrase, Request};
+use crate::stats::ServerStats;
+
+/// Everything the handlers share: the engine, the plan cache, and the
+/// observability counters.
+pub struct Service {
+    engine: Engine,
+    cache: PlanCache,
+    stats: ServerStats,
+    workers: usize,
+}
+
+/// A response ready for framing: status, body, and the cache disposition
+/// (`Some(true)` = served from a cached plan) for the `X-Cache` header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body.
+    pub body: String,
+    /// Plan-cache disposition, when the endpoint consulted the cache.
+    pub cache_hit: Option<bool>,
+    /// Effective-config hash, when the endpoint resolved one.
+    pub config_hash: Option<String>,
+}
+
+impl Response {
+    fn ok(body: String) -> Self {
+        Response {
+            status: 200,
+            body,
+            cache_hit: None,
+            config_hash: None,
+        }
+    }
+
+    /// An error response with a JSON body naming the cause.
+    pub fn error(status: u16, message: &str) -> Self {
+        Response {
+            status,
+            body: format!(
+                "{{\"error\": \"{}\", \"status\": {status}, \"reason\": \"{}\"}}\n",
+                escape(message),
+                reason_phrase(status)
+            ),
+            cache_hit: None,
+            config_hash: None,
+        }
+    }
+}
+
+impl Service {
+    /// A service over the built-in registries with the given plan cache and
+    /// worker count (the latter only reported in `/stats`).
+    pub fn new(cache: PlanCache, workers: usize) -> Self {
+        Service {
+            engine: Engine::new(),
+            cache,
+            stats: ServerStats::new(),
+            workers,
+        }
+    }
+
+    /// The observability counters (shared with the connection layer).
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Current plan-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Route one parsed request to its handler.  Never panics on hostile
+    /// input: every failure is a status code plus a JSON error body.
+    pub fn handle_request(&self, request: &Request) -> Response {
+        let started = Instant::now();
+        let response = match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => Response::ok("{\"status\": \"ok\"}\n".to_string()),
+            ("GET", "/stats") => {
+                Response::ok(self.stats.to_json(&self.cache.stats(), self.workers))
+            }
+            ("POST", "/plan") => self.handle_plan(&request.body),
+            ("POST", "/schedule") => self.handle_schedule(&request.body),
+            ("POST", "/report") => self.handle_report(&request.body),
+            ("GET", "/plan" | "/schedule" | "/report") | ("POST", "/healthz" | "/stats") => {
+                Response::error(
+                    405,
+                    &format!("{} does not support {}", request.path, request.method),
+                )
+            }
+            _ => Response::error(404, &format!("no route for {}", request.path)),
+        };
+        let endpoint = request.path.trim_start_matches('/');
+        if response.status == 200 {
+            if let Some(recorder) = self.stats.endpoint(endpoint) {
+                recorder.record(started.elapsed().as_secs_f64());
+            }
+        }
+        self.stats.count_response(response.status);
+        response
+    }
+
+    /// Parse the body as an [`EngineConfig`], recording parse latency.
+    fn parse_config(&self, body: &[u8]) -> Result<EngineConfig, Response> {
+        let started = Instant::now();
+        let text = std::str::from_utf8(body)
+            .map_err(|_| Response::error(400, "request body is not UTF-8"))?;
+        let config = EngineConfig::from_json(text)
+            .map_err(|e| Response::error(400, &format!("invalid config: {e}")))?;
+        if let Some(recorder) = self.stats.stage("parse") {
+            recorder.record(started.elapsed().as_secs_f64());
+        }
+        Ok(config)
+    }
+
+    /// Fetch or build the plan for `config`, recording plan-stage latency on
+    /// misses.
+    fn plan_for(&self, config: &EngineConfig) -> Result<(std::sync::Arc<Plan>, bool), Response> {
+        let (plan, hit) = self
+            .cache
+            .get_or_plan(&self.engine, config)
+            .map_err(|e| engine_error_response(&e))?;
+        if !hit {
+            if let Some(recorder) = self.stats.stage("plan") {
+                let timings = plan.timings();
+                recorder.record(
+                    timings.generate_seconds + timings.ordering_seconds + timings.symbolic_seconds,
+                );
+            }
+        }
+        Ok((plan, hit))
+    }
+
+    fn handle_plan(&self, body: &[u8]) -> Response {
+        let config = match self.parse_config(body) {
+            Ok(config) => config,
+            Err(response) => return response,
+        };
+        let (plan, hit) = match self.plan_for(&config) {
+            Ok(result) => result,
+            Err(response) => return response,
+        };
+        let timings = plan.timings();
+        let body = format!(
+            "{{\n  \"schema\": \"engine_server_plan/v1\",\n  \"config_hash\": \"{}\",\n  \
+             \"cache\": \"{}\",\n  \"nodes\": {},\n  \"matrix_n\": {},\n  \
+             \"plan_seconds\": {:.6}\n}}\n",
+            escape(plan.config_hash()),
+            if hit { "hit" } else { "miss" },
+            plan.tree().len(),
+            plan.matrix_n(),
+            timings.generate_seconds + timings.ordering_seconds + timings.symbolic_seconds
+        );
+        Response {
+            cache_hit: Some(hit),
+            config_hash: Some(plan.config_hash().to_string()),
+            ..Response::ok(body)
+        }
+    }
+
+    fn handle_schedule(&self, body: &[u8]) -> Response {
+        let config = match self.parse_config(body) {
+            Ok(config) => config,
+            Err(response) => return response,
+        };
+        let (plan, hit) = match self.plan_for(&config) {
+            Ok(result) => result,
+            Err(response) => return response,
+        };
+        let schedule = match plan.schedule(&self.engine) {
+            Ok(schedule) => schedule,
+            Err(e) => return engine_error_response(&e),
+        };
+        self.record_schedule_stages(&schedule.timings(), None);
+        let body = format!(
+            "{{\n  \"schema\": \"engine_server_schedule/v1\",\n  \"config_hash\": \"{}\",\n  \
+             \"cache\": \"{}\",\n  \"solver\": \"{}\",\n  \"policy\": \"{}\",\n  \
+             \"solver_peak\": {},\n  \"memory_budget\": {},\n  \"io_volume\": {},\n  \
+             \"read_volume\": {},\n  \"files_written\": {},\n  \"io_peak_memory\": {},\n  \
+             \"divisible_bound\": {}\n}}\n",
+            escape(schedule.config_hash()),
+            if hit { "hit" } else { "miss" },
+            escape(schedule.solver()),
+            escape(schedule.policy()),
+            schedule.peak(),
+            schedule.memory_budget(),
+            schedule.io_volume(),
+            schedule.io_run().read_volume,
+            schedule.io_run().files_written,
+            schedule.io_run().peak_memory,
+            schedule.divisible_bound(),
+        );
+        Response {
+            cache_hit: Some(hit),
+            config_hash: Some(schedule.config_hash().to_string()),
+            ..Response::ok(body)
+        }
+    }
+
+    fn handle_report(&self, body: &[u8]) -> Response {
+        let config = match self.parse_config(body) {
+            Ok(config) => config,
+            Err(response) => return response,
+        };
+        let (plan, hit) = match self.plan_for(&config) {
+            Ok(result) => result,
+            Err(response) => return response,
+        };
+        let report = match plan
+            .schedule(&self.engine)
+            .and_then(|schedule| schedule.execute(&self.engine))
+        {
+            Ok(report) => report,
+            Err(e) => return engine_error_response(&e),
+        };
+        self.record_schedule_stages(&report.timings, Some(&report));
+        Response {
+            cache_hit: Some(hit),
+            config_hash: Some(report.config_hash.clone()),
+            ..Response::ok(report.to_json())
+        }
+    }
+
+    fn record_schedule_stages(&self, timings: &StageTimings, report: Option<&Report>) {
+        if let Some(recorder) = self.stats.stage("solver") {
+            recorder.record(timings.solver_seconds);
+        }
+        if let Some(recorder) = self.stats.stage("io") {
+            recorder.record(timings.io_seconds);
+        }
+        if let Some(report) = report {
+            if report.numeric.is_some() {
+                if let Some(recorder) = self.stats.stage("numeric") {
+                    recorder.record(timings.numeric_seconds);
+                }
+            }
+        }
+    }
+}
+
+/// Map an [`EngineError`] to a response: everything the client caused is a
+/// 4xx, infrastructure faults are 500.
+fn engine_error_response(error: &EngineError) -> Response {
+    let status = match error {
+        EngineError::UnknownName(_)
+        | EngineError::InvalidConfig(_)
+        | EngineError::MatrixMarket(_)
+        | EngineError::NumericUnavailable => 400,
+        // A structurally valid request whose simulation is infeasible
+        // (e.g. a budget below the largest node requirement).
+        EngineError::MinIo(_) => 422,
+        EngineError::Io(_) | EngineError::Factorization(_) => 500,
+    };
+    Response::error(status, &error.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::json::Json;
+
+    fn service() -> Service {
+        Service::new(PlanCache::new(8, None), 2)
+    }
+
+    fn post(service: &Service, path: &str, body: &str) -> Response {
+        service.handle_request(&Request {
+            method: "POST".to_string(),
+            path: path.to_string(),
+            body: body.as_bytes().to_vec(),
+        })
+    }
+
+    fn get(service: &Service, path: &str) -> Response {
+        service.handle_request(&Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            body: Vec::new(),
+        })
+    }
+
+    fn sample_config() -> String {
+        EngineConfig::generated(sparsemat::gen::ProblemKind::Grid2d, 100, 7)
+            .with_memory(MemoryBudget::FractionOfPeak(0.5))
+            .to_json()
+    }
+
+    #[test]
+    fn healthz_and_stats_respond() {
+        let service = service();
+        assert_eq!(get(&service, "/healthz").status, 200);
+        let stats = get(&service, "/stats");
+        assert_eq!(stats.status, 200);
+        assert!(Json::parse(&stats.body).is_ok());
+    }
+
+    #[test]
+    fn unknown_routes_and_methods() {
+        let service = service();
+        assert_eq!(get(&service, "/nope").status, 404);
+        assert_eq!(get(&service, "/plan").status, 405);
+        assert_eq!(post(&service, "/healthz", "").status, 405);
+    }
+
+    #[test]
+    fn plan_twice_hits_the_cache() {
+        let service = service();
+        let config = sample_config();
+        let first = post(&service, "/plan", &config);
+        assert_eq!(first.status, 200, "{}", first.body);
+        assert_eq!(first.cache_hit, Some(false));
+        let second = post(&service, "/plan", &config);
+        assert_eq!(second.cache_hit, Some(true));
+        assert_eq!(first.config_hash, second.config_hash);
+        let parsed = Json::parse(&second.body).unwrap();
+        assert_eq!(parsed.get("cache").and_then(Json::as_str), Some("hit"));
+        assert_eq!(service.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn report_is_identical_on_hit_and_miss_up_to_timings() {
+        let service = service();
+        let config = sample_config();
+        let cold = post(&service, "/report", &config);
+        let hot = post(&service, "/report", &config);
+        assert_eq!(cold.status, 200, "{}", cold.body);
+        assert_eq!((cold.cache_hit, hot.cache_hit), (Some(false), Some(true)));
+        assert!(crate::client::report_identity(&cold.body).is_some());
+        assert_eq!(
+            crate::client::report_identity(&cold.body),
+            crate::client::report_identity(&hot.body)
+        );
+    }
+
+    #[test]
+    fn schedule_records_real_stage_latencies() {
+        let service = service();
+        let response = post(&service, "/schedule", &sample_config());
+        assert_eq!(response.status, 200, "{}", response.body);
+        // The solver and I/O stages actually ran, so their recorded
+        // latencies are real measurements, not zeros.
+        for stage in ["solver", "io"] {
+            let summary = service.stats().stage(stage).unwrap().summary();
+            assert_eq!(summary.count, 1, "{stage}");
+            assert!(summary.max_seconds > 0.0, "{stage} recorded 0.0");
+        }
+    }
+
+    #[test]
+    fn schedule_reports_io_numbers() {
+        let service = service();
+        let response = post(&service, "/schedule", &sample_config());
+        assert_eq!(response.status, 200, "{}", response.body);
+        let json = Json::parse(&response.body).unwrap();
+        assert!(json.get("io_volume").and_then(Json::as_u64).is_some());
+        assert!(json.get("divisible_bound").and_then(Json::as_u64).is_some());
+    }
+
+    #[test]
+    fn malformed_bodies_are_400s() {
+        let service = service();
+        let depth_bomb = "[".repeat(100_000);
+        for body in [
+            "",
+            "not json",
+            "{}",
+            depth_bomb.as_str(),
+            "{\"source\": \"\u{1}\"}", // raw control char
+            r#"{"source": {"type": "generated", "kind": "nope"}}"#,
+        ] {
+            let response = post(&service, "/report", body);
+            let label = &body[..body.len().min(30)];
+            assert_eq!(response.status, 400, "{label:?} -> {}", response.body);
+            assert!(Json::parse(&response.body).is_ok());
+        }
+        // Unknown registry names are 400s too.
+        let bad = EngineConfig::generated(sparsemat::gen::ProblemKind::Grid2d, 50, 1)
+            .with_solver("no-such-solver")
+            .to_json();
+        assert_eq!(post(&service, "/report", &bad).status, 400);
+    }
+
+    #[test]
+    fn infeasible_budgets_are_422s() {
+        let config = EngineConfig::prebuilt(treemem::gadgets::harpoon(3, 300, 1))
+            .with_memory(MemoryBudget::Absolute(1));
+        let service = service();
+        let response = post(&service, "/schedule", &config.to_json());
+        assert_eq!(response.status, 422, "{}", response.body);
+    }
+}

@@ -1,0 +1,240 @@
+//! Serving-side observability: request counters and bounded latency
+//! recorders, summarised for the `/stats` endpoint.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use perfprof::timing::{latency_summary, LatencySummary};
+
+/// Retain at most this many recent samples per recorder (a ring buffer):
+/// the summaries describe the recent window, and memory stays bounded no
+/// matter how long the server runs.
+const RECORDER_CAPACITY: usize = 65_536;
+
+/// A bounded ring of latency samples.
+pub struct LatencyRecorder {
+    samples: Mutex<RecorderRing>,
+}
+
+struct RecorderRing {
+    ring: Vec<f64>,
+    /// Total samples ever recorded; `ring[next % capacity]` is overwritten.
+    recorded: usize,
+}
+
+impl LatencyRecorder {
+    fn new() -> Self {
+        LatencyRecorder {
+            samples: Mutex::new(RecorderRing {
+                ring: Vec::new(),
+                recorded: 0,
+            }),
+        }
+    }
+
+    /// Record one sample, in seconds.
+    pub fn record(&self, seconds: f64) {
+        let mut inner = self.samples.lock().expect("latency recorder poisoned");
+        if inner.ring.len() < RECORDER_CAPACITY {
+            inner.ring.push(seconds);
+        } else {
+            let slot = inner.recorded % RECORDER_CAPACITY;
+            inner.ring[slot] = seconds;
+        }
+        inner.recorded += 1;
+    }
+
+    /// Percentile summary of the retained window.
+    pub fn summary(&self) -> LatencySummary {
+        let inner = self.samples.lock().expect("latency recorder poisoned");
+        latency_summary(&inner.ring)
+    }
+}
+
+/// Names of the per-request-stage recorders, in report order.  `parse` is
+/// body parsing + validation, `plan` the ordering/symbolic stages (cache
+/// misses only), `solver`/`io`/`numeric` the schedule and execute stages.
+pub const STAGE_NAMES: [&str; 5] = ["parse", "plan", "solver", "io", "numeric"];
+
+/// Names of the latency-tracked endpoints, in report order.
+pub const ENDPOINT_NAMES: [&str; 3] = ["plan", "schedule", "report"];
+
+/// All counters and recorders of one running server.
+pub struct ServerStats {
+    started: Instant,
+    /// Requests currently being parsed or executed.
+    pub in_flight: AtomicUsize,
+    /// Connections accepted over the server's lifetime.
+    pub accepted_total: AtomicU64,
+    /// Responses by status class.
+    pub responses_2xx: AtomicU64,
+    /// 4xx responses (client errors, including every malformed document).
+    pub responses_4xx: AtomicU64,
+    /// 5xx responses (handler panics and I/O faults).
+    pub responses_5xx: AtomicU64,
+    endpoints: [LatencyRecorder; ENDPOINT_NAMES.len()],
+    stages: [LatencyRecorder; STAGE_NAMES.len()],
+}
+
+impl ServerStats {
+    pub(crate) fn new() -> Self {
+        ServerStats {
+            started: Instant::now(),
+            in_flight: AtomicUsize::new(0),
+            accepted_total: AtomicU64::new(0),
+            responses_2xx: AtomicU64::new(0),
+            responses_4xx: AtomicU64::new(0),
+            responses_5xx: AtomicU64::new(0),
+            endpoints: std::array::from_fn(|_| LatencyRecorder::new()),
+            stages: std::array::from_fn(|_| LatencyRecorder::new()),
+        }
+    }
+
+    /// Count one response with `status`.
+    pub fn count_response(&self, status: u16) {
+        let counter = match status / 100 {
+            2 => &self.responses_2xx,
+            4 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The whole-request latency recorder of `endpoint` (an
+    /// [`ENDPOINT_NAMES`] entry), if it is tracked.
+    pub fn endpoint(&self, endpoint: &str) -> Option<&LatencyRecorder> {
+        ENDPOINT_NAMES
+            .iter()
+            .position(|name| *name == endpoint)
+            .map(|index| &self.endpoints[index])
+    }
+
+    /// The per-stage latency recorder of `stage` (a [`STAGE_NAMES`] entry),
+    /// if it is tracked.
+    pub fn stage(&self, stage: &str) -> Option<&LatencyRecorder> {
+        STAGE_NAMES
+            .iter()
+            .position(|name| *name == stage)
+            .map(|index| &self.stages[index])
+    }
+
+    /// Render everything (plus the given cache counters and worker count) as
+    /// the `/stats` JSON document (schema `engine_server_stats/v1`).
+    pub fn to_json(&self, cache: &engine::CacheStats, workers: usize) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": \"engine_server_stats/v1\",\n");
+        out.push_str(&format!(
+            "  \"uptime_seconds\": {:.3},\n",
+            self.started.elapsed().as_secs_f64()
+        ));
+        out.push_str(&format!("  \"workers\": {workers},\n"));
+        out.push_str(&format!(
+            "  \"in_flight\": {},\n",
+            self.in_flight.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "  \"accepted_total\": {},\n",
+            self.accepted_total.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "  \"responses\": {{\"status_2xx\": {}, \"status_4xx\": {}, \"status_5xx\": {}}},\n",
+            self.responses_2xx.load(Ordering::Relaxed),
+            self.responses_4xx.load(Ordering::Relaxed),
+            self.responses_5xx.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.6}, \
+             \"evictions\": {}, \"expirations\": {}, \"entries\": {}, \"capacity\": {}}},\n",
+            cache.hits,
+            cache.misses,
+            cache.hit_rate(),
+            cache.evictions,
+            cache.expirations,
+            cache.entries,
+            cache.capacity
+        ));
+        out.push_str("  \"endpoints\": {");
+        for (index, name) in ENDPOINT_NAMES.iter().enumerate() {
+            if index > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "\"{name}\": {}",
+                self.endpoints[index].summary().to_json()
+            ));
+        }
+        out.push_str("},\n  \"stages\": {");
+        for (index, name) in STAGE_NAMES.iter().enumerate() {
+            if index > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "\"{name}\": {}",
+                self.stages[index].summary().to_json()
+            ));
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::json::Json;
+
+    #[test]
+    fn recorder_summarises_and_stays_bounded() {
+        let recorder = LatencyRecorder::new();
+        for i in 1..=100 {
+            recorder.record(i as f64);
+        }
+        let summary = recorder.summary();
+        assert_eq!(summary.count, 100);
+        assert_eq!(summary.p50_seconds, 50.0);
+        assert_eq!(summary.p99_seconds, 99.0);
+    }
+
+    #[test]
+    fn stats_json_parses_and_carries_the_counters() {
+        let stats = ServerStats::new();
+        stats.count_response(200);
+        stats.count_response(400);
+        stats.count_response(500);
+        stats.endpoint("plan").unwrap().record(0.25);
+        stats.stage("parse").unwrap().record(0.001);
+        assert!(stats.endpoint("nope").is_none());
+        let cache = engine::CacheStats {
+            hits: 3,
+            misses: 1,
+            capacity: 8,
+            ..Default::default()
+        };
+        let doc = stats.to_json(&cache, 4);
+        let json = Json::parse(&doc).unwrap();
+        assert_eq!(
+            json.get("schema").and_then(Json::as_str),
+            Some("engine_server_stats/v1")
+        );
+        assert_eq!(
+            json.get("responses")
+                .and_then(|r| r.get("status_4xx"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            json.get("cache")
+                .and_then(|c| c.get("hits"))
+                .and_then(Json::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            json.get("endpoints")
+                .and_then(|e| e.get("plan"))
+                .and_then(|p| p.get("count"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+}

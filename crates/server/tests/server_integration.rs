@@ -1,0 +1,266 @@
+//! End-to-end tests over a real socket: boot the server on an ephemeral
+//! port, drive it with a tiny raw-TCP HTTP client, and assert on status
+//! codes, cache behaviour, report identity, and clean shutdown.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use engine::json::Json;
+use engine::prelude::*;
+use server::client;
+use server::{Server, ServerConfig};
+use sparsemat::gen::ProblemKind;
+
+/// One raw HTTP exchange: returns (status, headers, body).
+fn exchange(addr: SocketAddr, request: &str) -> (u16, Vec<(String, String)>, String) {
+    let response = client::exchange(addr, request.as_bytes()).expect("exchange");
+    (response.status, response.headers, response.body)
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, Vec<(String, String)>, String) {
+    let response = client::post(addr, path, body).expect("post");
+    (response.status, response.headers, response.body)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, Vec<(String, String)>, String) {
+    let response = client::get(addr, path).expect("get");
+    (response.status, response.headers, response.body)
+}
+
+fn header<'h>(headers: &'h [(String, String)], name: &str) -> Option<&'h str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn grid_config(nodes: usize, seed: u64) -> String {
+    EngineConfig::generated(ProblemKind::Grid2d, nodes, seed)
+        .with_memory(MemoryBudget::FractionOfPeak(0.5))
+        .to_json()
+}
+
+fn spawn_default() -> server::ServerHandle {
+    Server::spawn(ServerConfig::default()).expect("server boots")
+}
+
+#[test]
+fn healthz_and_stats_over_tcp() {
+    let handle = spawn_default();
+    let (status, _, body) = get(handle.addr(), "/healthz");
+    assert_eq!(status, 200);
+    assert!(body.contains("ok"));
+    let (status, _, body) = get(handle.addr(), "/stats");
+    assert_eq!(status, 200);
+    let stats = Json::parse(&body).expect("stats is JSON");
+    assert_eq!(
+        stats.get("schema").and_then(Json::as_str),
+        Some("engine_server_stats/v1")
+    );
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn cached_reports_match_cold_reports_exactly() {
+    let handle = spawn_default();
+    let config = grid_config(150, 3);
+
+    let (status, cold_headers, cold_body) = post(handle.addr(), "/report", &config);
+    assert_eq!(status, 200, "{cold_body}");
+    assert_eq!(header(&cold_headers, "x-cache"), Some("miss"));
+
+    let (status, hot_headers, hot_body) = post(handle.addr(), "/report", &config);
+    assert_eq!(status, 200, "{hot_body}");
+    assert_eq!(header(&hot_headers, "x-cache"), Some("hit"));
+
+    // Same effective-config hash on the wire...
+    assert_eq!(
+        header(&cold_headers, "x-config-hash"),
+        header(&hot_headers, "x-config-hash")
+    );
+    // ...and identical documents except for the wall-clock timings.
+    assert!(client::report_identity(&cold_body).is_some());
+    assert_eq!(
+        client::report_identity(&cold_body),
+        client::report_identity(&hot_body)
+    );
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn plan_schedule_report_share_the_cache() {
+    let handle = spawn_default();
+    let config = grid_config(120, 9);
+    let (status, headers, _) = post(handle.addr(), "/plan", &config);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-cache"), Some("miss"));
+    for path in ["/schedule", "/report"] {
+        let (status, headers, body) = post(handle.addr(), path, &config);
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(header(&headers, "x-cache"), Some("hit"), "{path}");
+    }
+    let (_, _, stats_body) = get(handle.addr(), "/stats");
+    let stats = Json::parse(&stats_body).unwrap();
+    let cache = stats.get("cache").expect("cache section");
+    assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(2));
+    assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(1));
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn malformed_requests_get_4xx_not_crashes() {
+    let handle = spawn_default();
+    let addr = handle.addr();
+
+    // The three fixed parser bugs, as network payloads.
+    let depth_bomb = "[".repeat(100_000);
+    let (status, _, body) = post(addr, "/report", &depth_bomb);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("nesting"), "{body}");
+
+    let truncated_escape = "{\"solver\": \"\\u12\"}";
+    let (status, _, body) = post(addr, "/plan", truncated_escape);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("escape"), "{body}");
+
+    // The surrogate-pair fix, observed end to end: an escaped pair decodes
+    // to the real U+1F600, so the unknown-solver error echoes the emoji
+    // (the pre-fix parser would have produced two U+FFFD instead).
+    let emoji_solver =
+        grid_config(100, 5).replace("\"solver\": \"minmem\"", "\"solver\": \"\\ud83d\\ude00\"");
+    let (status, _, body) = post(addr, "/plan", &emoji_solver);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("😀"), "{body}");
+
+    let raw_control = "{\"solver\": \"a\nb\"}";
+    let (status, _, body) = post(addr, "/plan", raw_control);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("control"), "{body}");
+
+    // Framing-level garbage.
+    let (status, _, _) = exchange(addr, "BOGUS\r\n\r\n");
+    assert_eq!(status, 400);
+    let (status, _, _) = get(addr, "/no-such-route");
+    assert_eq!(status, 404);
+
+    // The server is still alive and serving after all of that.
+    let (status, _, _) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    let (_, _, stats_body) = get(addr, "/stats");
+    let stats = Json::parse(&stats_body).unwrap();
+    let responses = stats.get("responses").unwrap();
+    assert!(responses.get("status_4xx").and_then(Json::as_u64).unwrap() >= 5);
+    assert_eq!(responses.get("status_5xx").and_then(Json::as_u64), Some(0));
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn oversized_bodies_are_rejected_with_413() {
+    let handle = Server::spawn(ServerConfig {
+        max_body_bytes: 1024,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let big = " ".repeat(4096);
+    let (status, _, _) = post(handle.addr(), "/plan", &big);
+    assert_eq!(status, 413);
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn capacity_evictions_show_up_in_stats() {
+    let handle = Server::spawn(ServerConfig {
+        cache_capacity: 2,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    for seed in 0..4 {
+        let (status, _, body) = post(handle.addr(), "/plan", &grid_config(100, seed));
+        assert_eq!(status, 200, "{body}");
+    }
+    let (_, _, stats_body) = get(handle.addr(), "/stats");
+    let stats = Json::parse(&stats_body).unwrap();
+    let cache = stats.get("cache").unwrap();
+    assert_eq!(cache.get("entries").and_then(Json::as_u64), Some(2));
+    assert_eq!(cache.get("evictions").and_then(Json::as_u64), Some(2));
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn ttl_expiry_forces_a_replan() {
+    let handle = Server::spawn(ServerConfig {
+        cache_ttl: Some(Duration::from_millis(30)),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let config = grid_config(100, 77);
+    let (_, headers, _) = post(handle.addr(), "/plan", &config);
+    assert_eq!(header(&headers, "x-cache"), Some("miss"));
+    std::thread::sleep(Duration::from_millis(80));
+    let (_, headers, _) = post(handle.addr(), "/plan", &config);
+    assert_eq!(header(&headers, "x-cache"), Some("miss"));
+    let (_, _, stats_body) = get(handle.addr(), "/stats");
+    let stats = Json::parse(&stats_body).unwrap();
+    assert_eq!(
+        stats
+            .get("cache")
+            .and_then(|c| c.get("expirations"))
+            .and_then(Json::as_u64),
+        Some(1)
+    );
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn concurrent_clients_all_get_answers() {
+    let handle = Server::spawn(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+    std::thread::scope(|scope| {
+        let tasks: Vec<_> = (0..16)
+            .map(|i| {
+                scope.spawn(move || {
+                    let config = grid_config(100, (i % 4) as u64);
+                    let (status, _, body) = post(addr, "/report", &config);
+                    assert_eq!(status, 200, "{body}");
+                })
+            })
+            .collect();
+        for task in tasks {
+            task.join().expect("client thread");
+        }
+    });
+    let (_, _, stats_body) = get(addr, "/stats");
+    let stats = Json::parse(&stats_body).unwrap();
+    // 4 distinct configurations, 16 requests: at least 12 cache hits.
+    let hits = stats
+        .get("cache")
+        .and_then(|c| c.get("hits"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(hits >= 12, "only {hits} cache hits");
+    // Every client finished, so the only in-flight request is the /stats
+    // request reporting itself.
+    assert_eq!(stats.get("in_flight").and_then(Json::as_u64), Some(1));
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn prebuilt_tree_configs_run_end_to_end() {
+    let handle = spawn_default();
+    let config = EngineConfig::prebuilt(treemem::gadgets::harpoon(4, 400, 1))
+        .with_memory(MemoryBudget::FractionOfPeak(0.0))
+        .to_json();
+    let (status, _, body) = post(handle.addr(), "/report", &config);
+    assert_eq!(status, 200, "{body}");
+    let report = Json::parse(&body).unwrap();
+    assert_eq!(
+        report.get("schema").and_then(Json::as_str),
+        Some("engine_report/v1")
+    );
+    assert!(report.get("io_volume").and_then(Json::as_u64).unwrap() > 0);
+    handle.shutdown().expect("clean shutdown");
+}
