@@ -39,6 +39,8 @@
 //!   replacement, Liu's x⁺/x⁻ model, in-tree ↔ out-tree reversal);
 //! * [`gadgets`] — the harpoon trees of Theorem 1 and the 2-Partition
 //!   gadget of Theorem 2;
+//! * [`partition`] — proportional-mapping-style subtree cuts for parallel
+//!   execution (subtree tasks below the cut, a sequential merge above);
 //! * [`random`] — random tree generation and the random re-weighting used in
 //!   Section VI-E of the paper.
 //!
@@ -64,6 +66,7 @@ pub mod error;
 pub mod gadgets;
 pub mod liu;
 pub mod minmem;
+pub mod partition;
 pub mod postorder;
 pub mod random;
 pub mod registry;
@@ -73,6 +76,7 @@ pub mod tree;
 pub mod variants;
 
 pub use error::{TraversalError, TreeError};
+pub use partition::{proportional_cut, Partition};
 pub use registry::UnknownName;
 pub use solver::{MinMemSolver, SolverRegistry};
 pub use traversal::{MemoryProfile, Traversal};

@@ -71,6 +71,146 @@ impl MemoryBudget {
     }
 }
 
+/// How the parallel execution layer shares memory between concurrent
+/// subtree tasks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BudgetShare {
+    /// No shared budget: tasks are admitted as soon as a worker is free.
+    Unbounded,
+    /// The budget is this multiple of the *sequential* model peak of the
+    /// chosen traversal (the MinMemory bound), in matrix entries.
+    MultipleOfSequentialPeak(f64),
+    /// An absolute budget in matrix entries.
+    Entries(u64),
+}
+
+impl BudgetShare {
+    /// Resolve the budget to absolute matrix entries, given the sequential
+    /// model peak of the chosen traversal.
+    pub fn resolve(&self, sequential_peak_entries: u64) -> Option<u64> {
+        match *self {
+            BudgetShare::Unbounded => None,
+            BudgetShare::MultipleOfSequentialPeak(multiple) => {
+                Some((sequential_peak_entries as f64 * multiple).ceil() as u64)
+            }
+            BudgetShare::Entries(entries) => Some(entries),
+        }
+    }
+}
+
+/// The parallel execution section of an [`EngineConfig`]: worker count, cut
+/// granularity and budget-sharing mode for the numeric multifrontal stage.
+///
+/// `workers == 0` (the default) keeps the numeric stage sequential.  With
+/// `workers >= 1` the per-column tree is cut into at most `max_tasks`
+/// balanced subtrees (`treemem::partition::proportional_cut`) that are
+/// factored concurrently under the shared budget, followed by a sequential
+/// merge phase above the cut.  The cut depends on `max_tasks` but *not* on
+/// `workers`, so reports are bit-identical (modulo timings and runtime
+/// memory measurements) across worker counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParallelConfig {
+    /// Worker threads for the numeric stage (0 = sequential execution).
+    pub workers: usize,
+    /// Maximum number of subtree tasks the cut may produce.
+    pub max_tasks: usize,
+    /// Budget-sharing mode of the concurrent tasks.
+    pub budget: BudgetShare,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            workers: 0,
+            max_tasks: 64,
+            budget: BudgetShare::Unbounded,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// A parallel section with `workers` workers and default cut/budget.
+    pub fn with_workers(workers: usize) -> Self {
+        ParallelConfig {
+            workers,
+            ..ParallelConfig::default()
+        }
+    }
+
+    /// Set the cut granularity.
+    pub fn with_max_tasks(mut self, max_tasks: usize) -> Self {
+        self.max_tasks = max_tasks;
+        self
+    }
+
+    /// Set the budget-sharing mode.
+    pub fn with_budget(mut self, budget: BudgetShare) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Whether the parallel execution layer is active.
+    pub fn enabled(&self) -> bool {
+        self.workers >= 1
+    }
+
+    fn to_json_fragment(self) -> String {
+        let budget = match self.budget {
+            BudgetShare::Unbounded => "{\"type\": \"unbounded\"}".to_string(),
+            // A non-finite multiple would render as bare `NaN`/`inf` — not
+            // JSON.  Serialize it as `null` so the document stays
+            // well-formed; the parser then reports the missing value and
+            // plan-time validation rejects the multiple anyway.
+            BudgetShare::MultipleOfSequentialPeak(multiple) if !multiple.is_finite() => {
+                "{\"type\": \"multiple\", \"value\": null}".to_string()
+            }
+            BudgetShare::MultipleOfSequentialPeak(multiple) => {
+                format!("{{\"type\": \"multiple\", \"value\": {multiple}}}")
+            }
+            BudgetShare::Entries(entries) => {
+                format!("{{\"type\": \"entries\", \"value\": {entries}}}")
+            }
+        };
+        format!(
+            "{{\"workers\": {}, \"max_tasks\": {}, \"budget\": {budget}}}",
+            self.workers, self.max_tasks
+        )
+    }
+
+    fn from_json(json: &Json) -> Result<ParallelConfig, ConfigParseError> {
+        let budget = json.get("budget").ok_or(missing("parallel.budget"))?;
+        let budget = match budget.get("type").and_then(Json::as_str) {
+            Some("unbounded") => BudgetShare::Unbounded,
+            Some("multiple") => BudgetShare::MultipleOfSequentialPeak(
+                budget
+                    .get("value")
+                    .and_then(Json::as_f64)
+                    .ok_or(missing("parallel.budget.value"))?,
+            ),
+            Some("entries") => BudgetShare::Entries(
+                budget
+                    .get("value")
+                    .and_then(Json::as_u64)
+                    .ok_or(missing("parallel.budget.value"))?,
+            ),
+            other => {
+                return Err(invalid(format!("unknown parallel budget type {other:?}")));
+            }
+        };
+        Ok(ParallelConfig {
+            workers: json
+                .get("workers")
+                .and_then(Json::as_usize)
+                .ok_or(missing("parallel.workers"))?,
+            max_tasks: json
+                .get("max_tasks")
+                .and_then(Json::as_usize)
+                .ok_or(missing("parallel.max_tasks"))?,
+            budget,
+        })
+    }
+}
+
 /// A full problem description; see the module docs.
 ///
 /// ```
@@ -102,6 +242,8 @@ pub struct EngineConfig {
     /// Whether `execute` also runs the numeric multifrontal factorization
     /// (requires a matrix source).
     pub numeric: bool,
+    /// Parallel execution of the numeric stage (off by default).
+    pub parallel: ParallelConfig,
 }
 
 impl EngineConfig {
@@ -133,6 +275,7 @@ impl EngineConfig {
             policy: "LSNF".to_string(),
             memory: MemoryBudget::Unlimited,
             numeric: false,
+            parallel: ParallelConfig::default(),
         }
     }
 
@@ -169,6 +312,13 @@ impl EngineConfig {
     /// Enable or disable the numeric factorization stage.
     pub fn with_numeric(mut self, numeric: bool) -> Self {
         self.numeric = numeric;
+        self
+    }
+
+    /// Set the parallel execution section (implies nothing about `numeric`;
+    /// parallel execution additionally requires the numeric stage).
+    pub fn with_parallel(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = parallel;
         self
     }
 
@@ -244,7 +394,11 @@ impl EngineConfig {
                 ));
             }
         }
-        out.push_str(&format!("  \"numeric\": {}\n", self.numeric));
+        out.push_str(&format!("  \"numeric\": {},\n", self.numeric));
+        out.push_str(&format!(
+            "  \"parallel\": {}\n",
+            self.parallel.to_json_fragment()
+        ));
         out.push_str("}\n");
         out
     }
@@ -343,6 +497,12 @@ impl EngineConfig {
                 .get("numeric")
                 .and_then(Json::as_bool)
                 .ok_or(missing("numeric"))?,
+            // Absent in documents written before the parallel layer existed;
+            // the default (sequential) section keeps them parseable.
+            parallel: match json.get("parallel") {
+                Some(section) => ParallelConfig::from_json(section)?,
+                None => ParallelConfig::default(),
+            },
         })
     }
 
@@ -441,6 +601,86 @@ mod tests {
         let a = EngineConfig::generated(ProblemKind::Grid2d, 400, 1);
         let b = a.clone().with_policy("FirstFit");
         assert_ne!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn parallel_sections_round_trip() {
+        let sections = [
+            ParallelConfig::default(),
+            ParallelConfig::with_workers(4),
+            ParallelConfig::with_workers(8)
+                .with_max_tasks(17)
+                .with_budget(BudgetShare::MultipleOfSequentialPeak(1.75)),
+            ParallelConfig::with_workers(2).with_budget(BudgetShare::Entries(123_456)),
+        ];
+        for parallel in sections {
+            let config = EngineConfig::generated(ProblemKind::Grid2d, 200, 1)
+                .with_numeric(true)
+                .with_parallel(parallel);
+            let parsed = EngineConfig::from_json(&config.to_json()).unwrap();
+            assert_eq!(parsed, config);
+        }
+    }
+
+    #[test]
+    fn parallel_section_changes_the_hash() {
+        // The effective-config hash must distinguish a serial request from a
+        // parallel one, or a plan cache would serve the wrong plan.
+        let serial = EngineConfig::generated(ProblemKind::Grid2d, 200, 1).with_numeric(true);
+        let parallel = serial
+            .clone()
+            .with_parallel(ParallelConfig::with_workers(4));
+        assert_ne!(serial.hash(), parallel.hash());
+        let rebudgeted = serial
+            .clone()
+            .with_parallel(ParallelConfig::with_workers(4).with_budget(BudgetShare::Entries(10)));
+        assert_ne!(parallel.hash(), rebudgeted.hash());
+    }
+
+    #[test]
+    fn documents_without_a_parallel_section_still_parse() {
+        // Configs serialized before the parallel layer existed have no
+        // "parallel" key; they must keep parsing with the default section.
+        let config = EngineConfig::generated(ProblemKind::Grid2d, 200, 1);
+        let legacy: String = config
+            .to_json()
+            .lines()
+            .filter(|line| !line.contains("\"parallel\""))
+            .collect::<Vec<_>>()
+            .join("\n")
+            .replace("\"numeric\": false,", "\"numeric\": false");
+        let parsed = EngineConfig::from_json(&legacy).unwrap();
+        assert_eq!(parsed, config);
+    }
+
+    #[test]
+    fn non_finite_budget_multiples_still_serialize_to_valid_json() {
+        // A bare NaN/inf is not JSON; the serializer must stay well-formed
+        // even for a configuration that validation will reject later.
+        for multiple in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let config = EngineConfig::generated(ProblemKind::Grid2d, 100, 1).with_parallel(
+                ParallelConfig::with_workers(2)
+                    .with_budget(BudgetShare::MultipleOfSequentialPeak(multiple)),
+            );
+            let json = config.to_json();
+            assert!(crate::json::Json::parse(&json).is_ok(), "{json}");
+            // The round-trip fails with a *typed* parse error, not a JSON
+            // syntax error.
+            assert!(matches!(
+                EngineConfig::from_json(&json),
+                Err(ConfigParseError::MissingField("parallel.budget.value"))
+            ));
+        }
+    }
+
+    #[test]
+    fn budget_share_resolves_against_the_sequential_peak() {
+        assert_eq!(BudgetShare::Unbounded.resolve(1000), None);
+        assert_eq!(
+            BudgetShare::MultipleOfSequentialPeak(1.5).resolve(1000),
+            Some(1500)
+        );
+        assert_eq!(BudgetShare::Entries(7).resolve(1000), Some(7));
     }
 
     #[test]

@@ -43,19 +43,24 @@ pub mod cache;
 pub mod config;
 pub mod json;
 pub mod parallel;
+mod parexec;
 pub mod report;
 pub mod run;
 
 pub use cache::{CacheStats, PlanCache};
-pub use config::{ConfigParseError, EngineConfig, MemoryBudget, ProblemSource};
-pub use report::{NumericReport, Report, StageTimings};
+pub use config::{
+    BudgetShare, ConfigParseError, EngineConfig, MemoryBudget, ParallelConfig, ProblemSource,
+};
+pub use report::{NumericReport, ParallelReport, Report, StageTimings};
 pub use run::{Engine, EngineError, Plan, Schedule, ScheduleSpec};
 
 /// Everything a typical engine user needs in scope.
 pub mod prelude {
     pub use crate::cache::{CacheStats, PlanCache};
-    pub use crate::config::{ConfigParseError, EngineConfig, MemoryBudget, ProblemSource};
-    pub use crate::report::{NumericReport, Report, StageTimings};
+    pub use crate::config::{
+        BudgetShare, ConfigParseError, EngineConfig, MemoryBudget, ParallelConfig, ProblemSource,
+    };
+    pub use crate::report::{NumericReport, ParallelReport, Report, StageTimings};
     pub use crate::run::{Engine, EngineError, Plan, Schedule, ScheduleSpec};
     pub use minio::PolicyRegistry;
     pub use ordering::OrderingMethod;

@@ -1,0 +1,295 @@
+//! The parallel numeric execution layer: proportional-mapping cut, a
+//! budget-aware work-stealing scheduler on the [`WorkerPool`], and the
+//! sequential merge phase above the cut.
+//!
+//! The flow mirrors a production parallel multifrontal code:
+//!
+//! 1. **Cut** — `treemem::partition::proportional_cut` splits the per-column
+//!    model tree into at most `max_tasks` work-balanced subtrees; the nodes
+//!    above the cut form the sequential merge set.  The cut depends only on
+//!    the tree and `max_tasks`, never on the worker count.
+//! 2. **Subtree phase** — `workers` pool threads drain a shared task queue,
+//!    largest task first.  Admission goes through the
+//!    [`BudgetLedger`](multifrontal::BudgetLedger): a worker reserves a
+//!    task's statically modeled peak before starting, takes a *smaller*
+//!    pending task when the largest would overshoot the shared budget,
+//!    blocks when nothing fits while other tasks run, and force-admits the
+//!    smallest candidate when the ledger is idle (so an undersized budget
+//!    degrades to sequential execution instead of deadlocking).  Every
+//!    worker factors its subtrees with a private
+//!    [`FrontArena`](multifrontal::FrontArena).
+//! 3. **Merge phase** — the caller's thread absorbs the finished tasks'
+//!    root contribution blocks and eliminates the above-cut columns in the
+//!    chosen traversal's order.
+//!
+//! The computed factor is bit-identical for every worker count (including
+//! the sequential path), because each front assembles its children blocks in
+//! tree order regardless of which worker produced them.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use multifrontal::parallel::{
+    assemble_factor, factor_columns, modeled_peak_entries, BudgetLedger, ReserveSelection,
+};
+use multifrontal::{CholeskyFactor, ContributionStore, FactorColumn, FactorizationError};
+use treemem::partition::{default_node_work, proportional_cut};
+use treemem::variants::bottom_up_peak;
+use treemem::Traversal;
+
+use crate::config::ParallelConfig;
+use crate::parallel::WorkerPool;
+use crate::report::ParallelReport;
+use crate::run::{EngineError, NumericModel};
+
+/// What one finished subtree task hands back to the orchestrator.
+struct TaskDone {
+    columns: Vec<FactorColumn>,
+    blocks: ContributionStore,
+    seconds: f64,
+}
+
+/// Why a subtree task did not finish.  Panics are caught per task: the
+/// `WorkerPool` would otherwise swallow the payload, leave the results slot
+/// empty and surface only a misleading secondary "task never ran" panic in
+/// the orchestrator.
+enum TaskFailure {
+    Factorization(FactorizationError),
+    Panic(String),
+}
+
+impl TaskFailure {
+    fn into_engine_error(self, task: usize) -> EngineError {
+        match self {
+            TaskFailure::Factorization(error) => EngineError::Factorization(error),
+            TaskFailure::Panic(message) => {
+                EngineError::Internal(format!("parallel subtree task {task} panicked: {message}"))
+            }
+        }
+    }
+}
+
+/// Render a `catch_unwind` payload (almost always a `&str` or `String`).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Everything the pool workers share.
+struct Shared {
+    numeric: Arc<NumericModel>,
+    children: Vec<Vec<usize>>,
+    task_orders: Vec<Vec<usize>>,
+    task_peaks: Vec<u64>,
+    /// Remaining task ids, in admission-preference order (largest work
+    /// first — the same order `partition.roots` uses).
+    queue: Mutex<Vec<usize>>,
+    ledger: BudgetLedger,
+    results: Mutex<Vec<Option<Result<TaskDone, TaskFailure>>>>,
+}
+
+/// One pool worker: drain the queue through the budget gate.  Returns this
+/// worker's busy seconds.
+fn worker_loop(shared: &Shared) -> f64 {
+    let mut arena = multifrontal::FrontArena::new();
+    let mut busy = 0.0;
+    loop {
+        let task = loop {
+            let mut queue = shared.queue.lock().expect("parallel task queue poisoned");
+            if queue.is_empty() {
+                return busy;
+            }
+            let amounts: Vec<u64> = queue.iter().map(|&t| shared.task_peaks[t]).collect();
+            match shared.ledger.select_and_reserve(&amounts) {
+                ReserveSelection::Selected(index) => break queue.remove(index),
+                ReserveSelection::Blocked(generation) => {
+                    drop(queue);
+                    shared.ledger.wait_past(generation);
+                }
+            }
+        };
+        let started = Instant::now();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            factor_columns(
+                &shared.numeric.matrix,
+                &shared.numeric.structure,
+                &shared.children,
+                &shared.task_orders[task],
+                ContributionStore::new(),
+                &shared.ledger,
+                &mut arena,
+            )
+        }));
+        let seconds = started.elapsed().as_secs_f64();
+        busy += seconds;
+        let stored = match outcome {
+            Ok(Ok(done)) => {
+                shared
+                    .ledger
+                    .finish_task(shared.task_peaks[task], done.block_entries);
+                Ok(TaskDone {
+                    columns: done.columns,
+                    blocks: done.blocks,
+                    seconds,
+                })
+            }
+            Ok(Err(error)) => {
+                shared.ledger.finish_task(shared.task_peaks[task], 0);
+                Err(TaskFailure::Factorization(error))
+            }
+            Err(payload) => {
+                // Releasing the reservation keeps the other workers live;
+                // the orchestrator turns this into a typed error.
+                shared.ledger.finish_task(shared.task_peaks[task], 0);
+                Err(TaskFailure::Panic(panic_message(payload)))
+            }
+        };
+        shared.results.lock().expect("parallel results poisoned")[task] = Some(stored);
+    }
+}
+
+/// Run the numeric factorization of `numeric` along the bottom-up `order`
+/// with the parallel execution layer; see the module docs.
+pub(crate) fn execute_parallel(
+    numeric: &Arc<NumericModel>,
+    order: &[usize],
+    parallel: &ParallelConfig,
+) -> Result<(CholeskyFactor, ParallelReport), EngineError> {
+    let started = Instant::now();
+    let n = numeric.matrix.n();
+    let structure = &numeric.structure;
+    let counts = structure.column_counts();
+    let parents: Vec<Option<usize>> = (0..n).map(|j| structure.etree.parent(j)).collect();
+    let children = structure.etree.children();
+
+    // The cut, on the per-column model tree whose `f + n = µ²` is exactly
+    // the flop-proportional work estimate.
+    let work = default_node_work(&numeric.model);
+    let partition = proportional_cut(&numeric.model, parallel.max_tasks, &work);
+    let mut task_orders: Vec<Vec<usize>> = vec![Vec::new(); partition.task_count()];
+    let mut merge_order: Vec<usize> = Vec::with_capacity(partition.above_cut.len());
+    for &j in order {
+        match partition.task_of[j] {
+            Some(task) => task_orders[task].push(j),
+            None => merge_order.push(j),
+        }
+    }
+
+    // Static peaks: exact for this kernel, so reservations are tight.
+    let mut task_peaks = Vec::with_capacity(task_orders.len());
+    let mut task_retained = Vec::with_capacity(task_orders.len());
+    for task_order in &task_orders {
+        let (peak, retained) = modeled_peak_entries(&counts, &parents, &children, task_order, 0);
+        task_peaks.push(peak);
+        task_retained.push(retained);
+    }
+    let merge_initial: u64 = task_retained.iter().sum();
+    let (merge_peak, _) =
+        modeled_peak_entries(&counts, &parents, &children, &merge_order, merge_initial);
+
+    let sequential_peak = bottom_up_peak(&numeric.model, &Traversal::new(order.to_vec()))
+        .map_err(|_| EngineError::Factorization(FactorizationError::InvalidTraversal))?;
+    let budget_entries = parallel.budget.resolve(sequential_peak.max(0) as u64);
+    let oversized_tasks = match budget_entries {
+        Some(budget) => task_peaks.iter().filter(|&&peak| peak > budget).count(),
+        None => 0,
+    };
+
+    let task_count = task_orders.len();
+    let shared = Arc::new(Shared {
+        numeric: numeric.clone(),
+        children,
+        task_orders,
+        task_peaks,
+        queue: Mutex::new((0..task_count).collect()),
+        ledger: BudgetLedger::new(budget_entries),
+        results: Mutex::new((0..task_count).map(|_| None).collect()),
+    });
+
+    // Subtree phase: one draining loop per pool worker.
+    let workers = parallel.workers.max(1);
+    let busy = Arc::new(Mutex::new(vec![0.0f64; workers]));
+    let pool = WorkerPool::new(workers);
+    for worker in 0..workers {
+        let shared = shared.clone();
+        let busy = busy.clone();
+        pool.submit(move || {
+            let seconds = worker_loop(&shared);
+            busy.lock().expect("busy ledger poisoned")[worker] = seconds;
+        });
+    }
+    pool.shutdown();
+
+    let shared = Arc::try_unwrap(shared)
+        .unwrap_or_else(|_| unreachable!("all workers joined; no clone outlives the pool"));
+    let results = shared.results.into_inner().expect("results poisoned");
+    let mut task_seconds = Vec::with_capacity(task_count);
+    let mut merge_blocks = ContributionStore::new();
+    let mut parts: Vec<FactorColumn> = Vec::with_capacity(n);
+    for (task, slot) in results.into_iter().enumerate() {
+        let done = slot
+            .ok_or_else(|| {
+                EngineError::Internal(format!("parallel subtree task {task} never ran"))
+            })?
+            .map_err(|failure| failure.into_engine_error(task))?;
+        task_seconds.push(done.seconds);
+        merge_blocks.absorb(done.blocks);
+        parts.extend(done.columns);
+    }
+
+    // Merge phase: sequential, on the caller's thread.
+    let merge_started = Instant::now();
+    let merge_outcome = factor_columns(
+        &shared.numeric.matrix,
+        &shared.numeric.structure,
+        &shared.children,
+        &merge_order,
+        merge_blocks,
+        &shared.ledger,
+        &mut multifrontal::FrontArena::new(),
+    )
+    .map_err(EngineError::Factorization)?;
+    let merge_seconds = merge_started.elapsed().as_secs_f64();
+    shared.ledger.release_retained(merge_initial);
+    debug_assert!(merge_outcome.blocks.is_empty());
+    parts.extend(merge_outcome.columns);
+
+    let factor = assemble_factor(n, parts).map_err(EngineError::Factorization)?;
+
+    let wall_seconds = started.elapsed().as_secs_f64();
+    let worker_busy_seconds = Arc::try_unwrap(busy)
+        .expect("all workers joined")
+        .into_inner()
+        .expect("busy ledger poisoned");
+    let longest_task = task_seconds.iter().copied().fold(0.0f64, f64::max);
+    let total_busy: f64 = worker_busy_seconds.iter().sum::<f64>() + merge_seconds;
+    let report = ParallelReport {
+        max_tasks: parallel.max_tasks,
+        subtree_count: task_count,
+        above_cut_nodes: merge_order.len(),
+        sequential_peak_entries: sequential_peak,
+        budget_entries,
+        max_task_peak_entries: shared.task_peaks.iter().copied().max().unwrap_or(0),
+        merge_peak_entries: merge_peak,
+        oversized_tasks,
+        workers: parallel.workers,
+        measured_peak_entries: shared.ledger.measured_peak_entries(),
+        forced_admissions: shared.ledger.forced_admissions(),
+        wall_seconds,
+        critical_path_seconds: longest_task + merge_seconds,
+        merge_seconds,
+        task_seconds,
+        worker_busy_seconds,
+        utilization: if wall_seconds > 0.0 {
+            total_busy / (workers as f64 * wall_seconds)
+        } else {
+            0.0
+        },
+    };
+    Ok((factor, report))
+}

@@ -5,6 +5,113 @@ use treemem::tree::{NodeId, Size};
 use crate::config::MemoryBudget;
 use crate::json::escape;
 
+/// Measurements of the parallel (subtree-concurrent) numeric execution.
+///
+/// The fields split into two groups.  The *plan* fields (cut shape, static
+/// peaks, resolved budget, oversized-task count) depend only on the
+/// configuration's `max_tasks`/`budget` and the traversal — never on the
+/// worker count or the scheduling — so they are part of the report's
+/// deterministic identity.  The *runtime* fields (worker count, measured
+/// peak, forced admissions, all timings and utilization) vary with the
+/// machine and the interleaving; [`Report::fingerprint`] zeroes them, which
+/// is what makes reports bit-comparable across worker counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelReport {
+    /// Cut granularity the partition was computed with.
+    pub max_tasks: usize,
+    /// Number of subtree tasks the cut produced.
+    pub subtree_count: usize,
+    /// Number of columns above the cut (the sequential merge phase).
+    pub above_cut_nodes: usize,
+    /// The sequential MinMemory bound: the model peak of the chosen
+    /// traversal executed sequentially, in matrix entries.
+    pub sequential_peak_entries: Size,
+    /// The resolved shared budget in matrix entries (`None` = unbounded).
+    pub budget_entries: Option<u64>,
+    /// Largest statically modeled peak over the subtree tasks.
+    pub max_task_peak_entries: u64,
+    /// Statically modeled peak of the merge phase (inherited blocks plus
+    /// above-cut fronts).
+    pub merge_peak_entries: u64,
+    /// Tasks whose static peak exceeds the budget on their own (each such
+    /// task is run alone — the degrade-to-sequential path).
+    pub oversized_tasks: usize,
+    /// Worker threads the run was configured with (runtime).
+    pub workers: usize,
+    /// Measured high-water mark of live entries across all workers
+    /// (runtime: depends on the interleaving).
+    pub measured_peak_entries: u64,
+    /// Times the ledger force-admitted a task over budget because nothing
+    /// was running (runtime).
+    pub forced_admissions: u64,
+    /// Wall-clock of the whole parallel execution (tasks + merge).
+    pub wall_seconds: f64,
+    /// Longest task plus the merge phase: the chain no worker count can
+    /// beat.
+    pub critical_path_seconds: f64,
+    /// Wall-clock of the sequential merge phase.
+    pub merge_seconds: f64,
+    /// Per-task wall-clock seconds, in task order (largest subtree first).
+    pub task_seconds: Vec<f64>,
+    /// Busy seconds per worker.
+    pub worker_busy_seconds: Vec<f64>,
+    /// Total busy time (tasks + merge) over `workers × wall_seconds`.
+    pub utilization: f64,
+}
+
+impl ParallelReport {
+    /// Zero every runtime-dependent field (see the type docs), leaving only
+    /// the deterministic plan fields.
+    fn strip_runtime(&mut self) {
+        self.workers = 0;
+        self.measured_peak_entries = 0;
+        self.forced_admissions = 0;
+        self.wall_seconds = 0.0;
+        self.critical_path_seconds = 0.0;
+        self.merge_seconds = 0.0;
+        self.task_seconds = Vec::new();
+        self.worker_busy_seconds = Vec::new();
+        self.utilization = 0.0;
+    }
+
+    /// Render the report as a JSON object fragment.
+    pub fn to_json_fragment(&self) -> String {
+        let budget = match self.budget_entries {
+            Some(entries) => entries.to_string(),
+            None => "null".to_string(),
+        };
+        let seconds_array = |values: &[f64]| -> String {
+            let rendered: Vec<String> = values.iter().map(|s| format!("{s:.6}")).collect();
+            format!("[{}]", rendered.join(","))
+        };
+        format!(
+            "{{\"max_tasks\": {}, \"subtree_count\": {}, \"above_cut_nodes\": {}, \
+             \"sequential_peak_entries\": {}, \"budget_entries\": {budget}, \
+             \"max_task_peak_entries\": {}, \"merge_peak_entries\": {}, \
+             \"oversized_tasks\": {}, \"workers\": {}, \"measured_peak_entries\": {}, \
+             \"forced_admissions\": {}, \"wall_seconds\": {:.6}, \
+             \"critical_path_seconds\": {:.6}, \"merge_seconds\": {:.6}, \
+             \"task_seconds\": {}, \"worker_busy_seconds\": {}, \"utilization\": {:.6}}}",
+            self.max_tasks,
+            self.subtree_count,
+            self.above_cut_nodes,
+            self.sequential_peak_entries,
+            self.max_task_peak_entries,
+            self.merge_peak_entries,
+            self.oversized_tasks,
+            self.workers,
+            self.measured_peak_entries,
+            self.forced_admissions,
+            self.wall_seconds,
+            self.critical_path_seconds,
+            self.merge_seconds,
+            seconds_array(&self.task_seconds),
+            seconds_array(&self.worker_busy_seconds),
+            self.utilization,
+        )
+    }
+}
+
 /// Wall-clock seconds of every pipeline stage, measured with
 /// `perfprof::timing`.  Stages that did not run (e.g. ordering on a prebuilt
 /// tree, or the numeric stage when it is disabled) report `0.0`.
@@ -94,6 +201,9 @@ pub struct Report {
     pub traversal: Vec<NodeId>,
     /// Numeric factorization measurements, when the stage ran.
     pub numeric: Option<NumericReport>,
+    /// Parallel execution measurements, when the numeric stage ran with
+    /// `workers >= 1`.
+    pub parallel: Option<ParallelReport>,
     /// Per-stage wall-clock times.
     pub timings: StageTimings,
 }
@@ -152,6 +262,15 @@ impl Report {
             )),
             None => out.push_str("  \"numeric\": null,\n"),
         }
+        match &self.parallel {
+            Some(parallel) => {
+                out.push_str(&format!(
+                    "  \"parallel\": {},\n",
+                    parallel.to_json_fragment()
+                ));
+            }
+            None => out.push_str("  \"parallel\": null,\n"),
+        }
         out.push_str(&format!(
             "  \"timings\": {{\"generate_seconds\": {:.6}, \"ordering_seconds\": {:.6}, \
              \"symbolic_seconds\": {:.6}, \"solver_seconds\": {:.6}, \
@@ -167,12 +286,29 @@ impl Report {
         out
     }
 
-    /// A deterministic identity of the result — every field except the
-    /// wall-clock timings — used by tests to assert that two runs produced
-    /// the same outcome (e.g. batch runs with different worker counts).
+    /// A deterministic identity of the result — every field except the run's
+    /// provenance (`config_hash`), the wall-clock timings and the
+    /// runtime-dependent parallel measurements — used by tests to assert
+    /// that two runs produced the same outcome (e.g. parallel runs with
+    /// different worker counts, whose configurations — and therefore config
+    /// hashes — legitimately differ while the outcome must not).
+    ///
+    /// For parallel runs the measured peak depends on how the scheduler
+    /// interleaved tasks, so `numeric.measured_peak_entries` and the
+    /// [`ParallelReport`] runtime fields are zeroed alongside the timings;
+    /// everything else — traversal, I/O schedule, factor size, solve
+    /// residual, the cut shape and the static peaks — must be bit-identical
+    /// for any worker count.
     pub fn fingerprint(&self) -> String {
         let mut stripped = self.clone();
+        stripped.config_hash = String::new();
         stripped.timings = StageTimings::default();
+        if let Some(parallel) = &mut stripped.parallel {
+            parallel.strip_runtime();
+            if let Some(numeric) = &mut stripped.numeric {
+                numeric.measured_peak_entries = 0;
+            }
+        }
         stripped.to_json()
     }
 }
@@ -207,10 +343,33 @@ mod tests {
                 factor_nnz: 1234,
                 solve_error: 1e-12,
             }),
+            parallel: None,
             timings: StageTimings {
                 solver_seconds: 0.25,
                 ..StageTimings::default()
             },
+        }
+    }
+
+    fn sample_parallel() -> ParallelReport {
+        ParallelReport {
+            max_tasks: 8,
+            subtree_count: 8,
+            above_cut_nodes: 3,
+            sequential_peak_entries: 400,
+            budget_entries: Some(800),
+            max_task_peak_entries: 120,
+            merge_peak_entries: 300,
+            oversized_tasks: 0,
+            workers: 4,
+            measured_peak_entries: 612,
+            forced_admissions: 0,
+            wall_seconds: 0.5,
+            critical_path_seconds: 0.3,
+            merge_seconds: 0.1,
+            task_seconds: vec![0.1; 8],
+            worker_busy_seconds: vec![0.2; 4],
+            utilization: 0.8,
         }
     }
 
@@ -245,5 +404,49 @@ mod tests {
         assert_eq!(a.fingerprint(), b.fingerprint());
         b.io_volume = 24;
         assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn parallel_json_includes_the_parallel_section() {
+        let mut report = sample();
+        report.parallel = Some(sample_parallel());
+        let json = Json::parse(&report.to_json()).unwrap();
+        let parallel = json.get("parallel").unwrap();
+        assert_eq!(parallel.get("workers").and_then(Json::as_usize), Some(4));
+        assert_eq!(
+            parallel.get("subtree_count").and_then(Json::as_usize),
+            Some(8)
+        );
+        assert_eq!(
+            parallel.get("budget_entries").and_then(Json::as_u64),
+            Some(800)
+        );
+    }
+
+    #[test]
+    fn fingerprints_ignore_parallel_runtime_but_not_the_cut() {
+        let mut a = sample();
+        a.parallel = Some(sample_parallel());
+        // Different worker count, interleaving-dependent peak and timings:
+        // the same run outcome.
+        let mut b = a.clone();
+        {
+            let parallel = b.parallel.as_mut().unwrap();
+            parallel.workers = 8;
+            parallel.measured_peak_entries = 700;
+            parallel.forced_admissions = 2;
+            parallel.wall_seconds = 9.0;
+            parallel.worker_busy_seconds = vec![0.1; 8];
+            parallel.utilization = 0.2;
+        }
+        b.numeric.as_mut().unwrap().measured_peak_entries = 999;
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // A different cut is a different outcome.
+        b.parallel.as_mut().unwrap().subtree_count = 9;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // So is a different static peak or budget.
+        let mut c = a.clone();
+        c.parallel.as_mut().unwrap().budget_entries = None;
+        assert_ne!(a.fingerprint(), c.fingerprint());
     }
 }

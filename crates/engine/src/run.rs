@@ -16,9 +16,9 @@
 use std::sync::Mutex;
 
 use minio::{divisible_lower_bound, schedule_io_with, MinIoError, OutOfCoreRun, PolicyRegistry};
-use multifrontal::memory::per_column_model;
+use multifrontal::memory::{instrumented_factorization_with_structure, per_column_model};
 use multifrontal::numeric::SymbolicStructure;
-use multifrontal::{instrumented_factorization, solve, FactorizationError};
+use multifrontal::{solve, CholeskyFactor, FactorizationError};
 use sparsemat::gen::spd_matrix_from_pattern;
 use sparsemat::matrixmarket::{read_pattern, MatrixMarketError};
 use sparsemat::SparsePattern;
@@ -28,9 +28,10 @@ use treemem::solver::SolverRegistry;
 use treemem::tree::{NodeId, Size};
 use treemem::{Traversal, TraversalResult, Tree};
 
-use crate::config::{EngineConfig, MemoryBudget, ProblemSource};
+use crate::config::{BudgetShare, EngineConfig, MemoryBudget, ParallelConfig, ProblemSource};
 use crate::parallel::{default_threads, par_map};
-use crate::report::{NumericReport, Report, StageTimings};
+use crate::parexec::execute_parallel;
+use crate::report::{NumericReport, ParallelReport, Report, StageTimings};
 
 /// Errors raised anywhere in the plan/schedule/execute flow.
 #[derive(Debug)]
@@ -52,6 +53,9 @@ pub enum EngineError {
     /// The numeric stage was requested but the source is a prebuilt tree,
     /// which has no matrix to factorize.
     NumericUnavailable,
+    /// An execution-layer invariant broke (e.g. a panic inside a parallel
+    /// subtree task).  Never the client's fault.
+    Internal(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -66,6 +70,7 @@ impl std::fmt::Display for EngineError {
             EngineError::NumericUnavailable => {
                 write!(fmt, "numeric factorization requires a matrix source")
             }
+            EngineError::Internal(message) => write!(fmt, "internal error: {message}"),
         }
     }
 }
@@ -223,6 +228,7 @@ impl Engine {
         if config.numeric && matches!(config.source, ProblemSource::Prebuilt { .. }) {
             return Err(EngineError::NumericUnavailable);
         }
+        validate_parallel(&config.parallel, config.numeric)?;
         Ok(())
     }
 }
@@ -231,6 +237,54 @@ impl Default for Engine {
     fn default() -> Self {
         Engine::new()
     }
+}
+
+/// Hard cap on requested workers.  Each worker is a real OS thread spawned
+/// eagerly by the pool, and configurations arrive over the network: without
+/// a cap, one cheap request asking for millions of workers exhausts
+/// PIDs/memory for the whole host.  64 comfortably covers the machines this
+/// targets; oversubscription beyond the core count buys nothing anyway.
+const MAX_PARALLEL_WORKERS: usize = 64;
+
+/// Hard cap on the cut granularity: the scheduler's admission scan is
+/// O(pending tasks) per pick, so the queue must stay small; far beyond the
+/// worker cap there is no balance benefit either.
+const MAX_PARALLEL_TASKS: usize = 4096;
+
+fn validate_parallel(parallel: &ParallelConfig, numeric: bool) -> Result<(), EngineError> {
+    if !parallel.enabled() {
+        return Ok(());
+    }
+    if !numeric {
+        return Err(EngineError::InvalidConfig(
+            "parallel execution requires the numeric stage".to_string(),
+        ));
+    }
+    if parallel.workers > MAX_PARALLEL_WORKERS {
+        return Err(EngineError::InvalidConfig(format!(
+            "at most {MAX_PARALLEL_WORKERS} parallel workers are supported, got {}",
+            parallel.workers
+        )));
+    }
+    if parallel.max_tasks == 0 {
+        return Err(EngineError::InvalidConfig(
+            "the parallel cut needs at least one task".to_string(),
+        ));
+    }
+    if parallel.max_tasks > MAX_PARALLEL_TASKS {
+        return Err(EngineError::InvalidConfig(format!(
+            "at most {MAX_PARALLEL_TASKS} parallel tasks are supported, got {}",
+            parallel.max_tasks
+        )));
+    }
+    if let BudgetShare::MultipleOfSequentialPeak(multiple) = parallel.budget {
+        if !multiple.is_finite() || multiple <= 0.0 {
+            return Err(EngineError::InvalidConfig(format!(
+                "the parallel budget multiple must be finite and positive, got {multiple}"
+            )));
+        }
+    }
+    Ok(())
 }
 
 fn acquire_pattern(source: &ProblemSource) -> Result<Option<SparsePattern>, EngineError> {
@@ -271,10 +325,13 @@ enum PlanTree {
 }
 
 /// The numeric substrate shared by every `execute` on one plan: the SPD
-/// matrix and the paper's per-column model tree, built once and cached.
-struct NumericModel {
-    matrix: sparsemat::SymmetricCsr,
-    model: Tree,
+/// matrix, its symbolic factor structure and the paper's per-column model
+/// tree, built once and cached.  `pub(crate)` so the parallel execution
+/// layer ([`crate::parexec`]) can share it across pool workers via `Arc`.
+pub(crate) struct NumericModel {
+    pub(crate) matrix: sparsemat::SymmetricCsr,
+    pub(crate) structure: SymbolicStructure,
+    pub(crate) model: Tree,
     /// Bottom-up factorization orders cached by solver name.
     orders: Mutex<Vec<(String, Vec<NodeId>)>>,
 }
@@ -508,6 +565,7 @@ impl Plan {
         let model = per_column_model(&structure);
         let built = std::sync::Arc::new(NumericModel {
             matrix,
+            structure,
             model,
             orders: Mutex::new(Vec::new()),
         });
@@ -531,6 +589,8 @@ impl Plan {
         let solver = spec.solver.unwrap_or_else(|| self.config.solver.clone());
         let policy_name = spec.policy.unwrap_or_else(|| self.config.policy.clone());
         let budget_spec = spec.memory.unwrap_or(self.config.memory);
+        let parallel = spec.parallel.unwrap_or(self.config.parallel);
+        validate_parallel(&parallel, self.config.numeric)?;
         let policy = engine.policies.get_or_err(&policy_name)?;
         let (solved, solver_seconds) = self.solve(engine, &solver)?;
 
@@ -551,6 +611,7 @@ impl Plan {
         let config_hash = if solver == self.config.solver
             && policy_name == self.config.policy
             && budget_spec == self.config.memory
+            && parallel == self.config.parallel
         {
             self.config_hash.clone()
         } else {
@@ -559,6 +620,7 @@ impl Plan {
                 .with_solver(&solver)
                 .with_policy(&policy_name)
                 .with_memory(budget_spec)
+                .with_parallel(parallel)
                 .hash()
         };
         Ok(Schedule {
@@ -566,6 +628,7 @@ impl Plan {
             config_hash,
             solver,
             policy: policy_name,
+            parallel,
             traversal: solved.traversal,
             solver_peak: solved.peak,
             budget_spec,
@@ -588,6 +651,8 @@ pub struct ScheduleSpec {
     pub policy: Option<String>,
     /// Memory-budget override.
     pub memory: Option<MemoryBudget>,
+    /// Parallel-execution override (worker-count sweeps share one plan).
+    pub parallel: Option<ParallelConfig>,
 }
 
 impl ScheduleSpec {
@@ -608,6 +673,12 @@ impl ScheduleSpec {
         self.memory = Some(memory);
         self
     }
+
+    /// Override the parallel execution section.
+    pub fn parallel(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = Some(parallel);
+        self
+    }
 }
 
 /// A solver traversal plus its simulated out-of-core execution, borrowed
@@ -618,6 +689,7 @@ pub struct Schedule<'p> {
     config_hash: String,
     solver: String,
     policy: String,
+    parallel: ParallelConfig,
     traversal: Traversal,
     solver_peak: Size,
     budget_spec: MemoryBudget,
@@ -698,15 +770,16 @@ impl Schedule<'_> {
         let plan = self.plan;
         let mut timings = self.timings();
 
-        let numeric = if plan.config.numeric {
-            let (report, numeric_seconds) = {
+        let (numeric, parallel) = if plan.config.numeric {
+            let (result, numeric_seconds) = {
                 let (result, summary) = perfprof::timing::time_runs(1, || self.run_numeric(engine));
                 (result?, summary.median_seconds)
             };
             timings.numeric_seconds = numeric_seconds;
-            Some(report)
+            let (numeric_report, parallel_report) = result;
+            (Some(numeric_report), parallel_report)
         } else {
-            None
+            (None, None)
         };
 
         Ok(Report {
@@ -728,33 +801,56 @@ impl Schedule<'_> {
             divisible_bound: self.divisible_bound,
             traversal: self.traversal.order().to_vec(),
             numeric,
+            parallel,
             timings,
         })
     }
 
-    fn run_numeric(&self, engine: &Engine) -> Result<NumericReport, EngineError> {
+    fn run_numeric(
+        &self,
+        engine: &Engine,
+    ) -> Result<(NumericReport, Option<ParallelReport>), EngineError> {
         let numeric = self.plan.numeric_model()?;
         let bottom_up = numeric.order_for(engine, &self.solver)?;
-        let stats = instrumented_factorization(&numeric.matrix, Some(&bottom_up))?;
 
-        // Validate the factorization by solving a system with a known answer.
-        let n = numeric.matrix.n();
-        let expected: Vec<f64> = (0..n).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
-        let rhs = numeric.matrix.multiply(&expected);
-        let solution = solve(&stats.factor, &rhs);
-        let solve_error = solution
-            .iter()
-            .zip(&expected)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max);
+        if self.parallel.enabled() {
+            let (factor, parallel_report) = execute_parallel(&numeric, &bottom_up, &self.parallel)?;
+            let numeric_report = NumericReport {
+                measured_peak_entries: parallel_report.measured_peak_entries as usize,
+                model_peak_entries: parallel_report.sequential_peak_entries,
+                factor_nnz: factor.nnz(),
+                solve_error: solve_check(&numeric.matrix, &factor),
+            };
+            return Ok((numeric_report, Some(parallel_report)));
+        }
 
-        Ok(NumericReport {
+        let stats = instrumented_factorization_with_structure(
+            &numeric.matrix,
+            &numeric.structure,
+            Some(&bottom_up),
+        )?;
+        let numeric_report = NumericReport {
             measured_peak_entries: stats.measured_peak_entries,
             model_peak_entries: stats.model_peak_entries,
             factor_nnz: stats.factor_nnz,
-            solve_error,
-        })
+            solve_error: solve_check(&numeric.matrix, &stats.factor),
+        };
+        Ok((numeric_report, None))
     }
+}
+
+/// Validate a factorization by solving a system with a known answer,
+/// returning the max-norm error of the recovered solution.
+fn solve_check(matrix: &sparsemat::SymmetricCsr, factor: &CholeskyFactor) -> f64 {
+    let n = matrix.n();
+    let expected: Vec<f64> = (0..n).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+    let rhs = matrix.multiply(&expected);
+    let solution = solve(factor, &rhs);
+    solution
+        .iter()
+        .zip(&expected)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max)
 }
 
 #[cfg(test)]
@@ -846,6 +942,46 @@ mod tests {
             .with_memory(MemoryBudget::FractionOfPeak(0.0));
         assert_eq!(report.config_hash, effective.hash());
         assert_ne!(report.config_hash, config.hash());
+    }
+
+    #[test]
+    fn hostile_parallel_sections_are_rejected_at_plan_time() {
+        let engine = Engine::new();
+        let base = EngineConfig::generated(ProblemKind::Grid2d, 100, 1).with_numeric(true);
+        // A network request must not be able to spawn unbounded OS threads
+        // or an unbounded task queue.
+        for parallel in [
+            crate::config::ParallelConfig::with_workers(10_000_000),
+            crate::config::ParallelConfig::with_workers(MAX_PARALLEL_WORKERS + 1),
+            crate::config::ParallelConfig::with_workers(2).with_max_tasks(0),
+            crate::config::ParallelConfig::with_workers(2).with_max_tasks(MAX_PARALLEL_TASKS + 1),
+            crate::config::ParallelConfig::with_workers(2)
+                .with_budget(crate::config::BudgetShare::MultipleOfSequentialPeak(-1.0)),
+            crate::config::ParallelConfig::with_workers(2).with_budget(
+                crate::config::BudgetShare::MultipleOfSequentialPeak(f64::NAN),
+            ),
+        ] {
+            let config = base.clone().with_parallel(parallel);
+            assert!(
+                matches!(engine.plan(&config), Err(EngineError::InvalidConfig(_))),
+                "{parallel:?} must be rejected"
+            );
+        }
+        // The caps themselves are accepted.
+        let config = base
+            .clone()
+            .with_parallel(crate::config::ParallelConfig::with_workers(
+                MAX_PARALLEL_WORKERS,
+            ));
+        assert!(engine.plan(&config).is_ok());
+        // Parallel execution without the numeric stage is rejected too.
+        let config = base
+            .with_numeric(false)
+            .with_parallel(crate::config::ParallelConfig::with_workers(2));
+        assert!(matches!(
+            engine.plan(&config),
+            Err(EngineError::InvalidConfig(_))
+        ));
     }
 
     #[test]

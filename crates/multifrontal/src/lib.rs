@@ -19,14 +19,20 @@
 //! * [`memory`] — an instrumented execution that measures the real peak
 //!   memory (in matrix entries) of a traversal and checks it against the
 //!   prediction of the abstract tree model of the `treemem` crate, closing
-//!   the loop between the paper's model and an actual factorization.
+//!   the loop between the paper's model and an actual factorization;
+//! * [`parallel`] — the building blocks of the subtree-parallel execution
+//!   layer: the shared memory-budget ledger, per-worker frontal-matrix
+//!   arenas, and the partial (subtree / merge-phase) factorization.
 
 pub mod dense;
 pub mod memory;
 pub mod numeric;
+pub mod parallel;
 
-pub use dense::DenseMatrix;
+pub use dense::{DenseMatrix, FrontArena};
 pub use memory::{instrumented_factorization, FactorizationStats};
 pub use numeric::{
-    multifrontal_cholesky, solve, CholeskyFactor, FactorizationError, SymbolicStructure,
+    multifrontal_cholesky, solve, CholeskyFactor, ContributionStore, FactorColumn,
+    FactorizationError, SymbolicStructure,
 };
+pub use parallel::{BudgetLedger, ReserveSelection, SubtreeOutcome};

@@ -118,6 +118,16 @@ pub fn instrumented_factorization(
     order: Option<&[usize]>,
 ) -> Result<FactorizationStats, FactorizationError> {
     let structure = SymbolicStructure::from_pattern(&matrix.pattern());
+    instrumented_factorization_with_structure(matrix, &structure, order)
+}
+
+/// [`instrumented_factorization`] with a precomputed symbolic structure, for
+/// callers (like the engine's plan cache) that already paid for it.
+pub fn instrumented_factorization_with_structure(
+    matrix: &SymmetricCsr,
+    structure: &SymbolicStructure,
+    order: Option<&[usize]>,
+) -> Result<FactorizationStats, FactorizationError> {
     let default_order;
     let order = match order {
         Some(order) => order,
@@ -127,8 +137,8 @@ pub fn instrumented_factorization(
         }
     };
     let mut tracker = MemoryTracker::default();
-    let factor = factorize_with_observer(matrix, &structure, order, &mut tracker)?;
-    let model_tree = per_column_model(&structure);
+    let factor = factorize_with_observer(matrix, structure, order, &mut tracker)?;
+    let model_tree = per_column_model(structure);
     let traversal = Traversal::new(order.to_vec());
     let model_peak = bottom_up_peak(&model_tree, &traversal)
         .map_err(|_| FactorizationError::InvalidTraversal)?;

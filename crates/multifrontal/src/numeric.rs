@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use sparsemat::{SparsePattern, SymmetricCsr};
 use symbolic::etree::{elimination_tree, etree_postorder, EliminationTree};
 
-use crate::dense::DenseMatrix;
+use crate::dense::{DenseMatrix, FrontArena};
 
 /// The row structure of every column of the Cholesky factor, together with
 /// the elimination tree it was derived from.
@@ -139,6 +139,60 @@ impl FrontalObserver for NoOpObserver {
     fn contribution_consumed(&mut self, _entries: usize) {}
 }
 
+/// One computed column of the factor: `(column, row indices, values)` with
+/// the diagonal first.  Partial factorizations (subtree tasks) return their
+/// columns in this form so they can be scattered into a [`CholeskyFactor`]
+/// once every task has finished.
+pub type FactorColumn = (usize, Vec<usize>, Vec<f64>);
+
+/// Contribution blocks waiting for their parent column, keyed by the column
+/// that produced them.
+///
+/// In a sequential factorization this is a private map of the kernel; in the
+/// parallel execution layer it is also the hand-off vehicle between a
+/// finished subtree task (whose root block stays pending) and the sequential
+/// merge phase above the cut, which absorbs every task's leftovers before it
+/// starts.
+#[derive(Debug, Default)]
+pub struct ContributionStore {
+    blocks: HashMap<usize, (Vec<usize>, DenseMatrix)>,
+}
+
+impl ContributionStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        ContributionStore::default()
+    }
+
+    /// Number of pending blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether no block is pending.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Total number of matrix entries held by the pending blocks.
+    pub fn total_entries(&self) -> u64 {
+        self.blocks.values().map(|(_, cb)| cb.len() as u64).sum()
+    }
+
+    fn insert(&mut self, column: usize, rows: Vec<usize>, block: DenseMatrix) {
+        self.blocks.insert(column, (rows, block));
+    }
+
+    fn remove(&mut self, column: usize) -> Option<(Vec<usize>, DenseMatrix)> {
+        self.blocks.remove(&column)
+    }
+
+    /// Move every block of `other` into `self`.
+    pub fn absorb(&mut self, other: ContributionStore) {
+        self.blocks.extend(other.blocks);
+    }
+}
+
 /// Multifrontal Cholesky factorization of `matrix`, driven by the given
 /// bottom-up traversal (children before parents).  When `traversal` is `None`
 /// the postorder of the elimination tree is used, which is what a classical
@@ -188,16 +242,61 @@ pub(crate) fn factorize_with_observer(
     }
 
     let children = structure.etree.children();
+    let mut pending = ContributionStore::new();
+    let mut arena = FrontArena::new();
+    let mut parts: Vec<FactorColumn> = Vec::with_capacity(n);
+    eliminate_columns(
+        matrix,
+        structure,
+        &children,
+        order,
+        &mut pending,
+        &mut parts,
+        observer,
+        &mut arena,
+    )?;
+
     let mut factor_columns: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut factor_values: Vec<Vec<f64>> = vec![Vec::new(); n];
-    // Contribution blocks waiting for their parent: column -> (rows, dense values).
-    let mut pending: HashMap<usize, (Vec<usize>, DenseMatrix)> = HashMap::new();
+    for (j, rows, values) in parts {
+        factor_columns[j] = rows;
+        factor_values[j] = values;
+    }
+    Ok(CholeskyFactor {
+        columns: factor_columns,
+        values: factor_values,
+    })
+}
 
+/// The per-column elimination loop over an arbitrary *subset* of columns.
+///
+/// `order` must be bottom-up *within the subset*: whenever a child of `j`
+/// (in the elimination tree) also belongs to `order`, it appears before `j`.
+/// Contribution blocks of children outside the subset must already sit in
+/// `pending` (the parallel layer passes the finished subtree tasks' root
+/// blocks this way); a child whose block is neither pending nor produced in
+/// this call is a scheduling error and yields `InvalidTraversal`.
+///
+/// Computed factor columns are appended to `out`; blocks produced for
+/// parents outside the subset remain in `pending` when the call returns.
+/// Every front and every *consumed* block is recycled through `arena`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn eliminate_columns(
+    matrix: &SymmetricCsr,
+    structure: &SymbolicStructure,
+    children: &[Vec<usize>],
+    order: &[usize],
+    pending: &mut ContributionStore,
+    out: &mut Vec<FactorColumn>,
+    observer: &mut dyn FrontalObserver,
+    arena: &mut FrontArena,
+) -> Result<(), FactorizationError> {
     for &j in order {
         let rows = &structure.columns[j];
         let front_dim = rows.len();
-        let mut front = DenseMatrix::zeros(front_dim);
-        observer.front_allocated(front.len());
+        let mut front = arena.take(front_dim);
+        let front_entries = front.len();
+        observer.front_allocated(front_entries);
 
         // Local position of every global row index of this front.
         let local: HashMap<usize, usize> = rows
@@ -213,19 +312,30 @@ pub(crate) fn factorize_with_observer(
             front.add(li, 0, v);
         }
 
-        // Extend-add the children contribution blocks.
+        // Extend-add the children contribution blocks, in child order (the
+        // assembly order — and with it the floating-point result — depends
+        // only on the tree, never on which task or worker produced a block).
         for &c in &children[j] {
-            if let Some((cb_rows, cb)) = pending.remove(&c) {
-                for (a, &ga) in cb_rows.iter().enumerate() {
-                    let la = local[&ga];
-                    for (b, &gb) in cb_rows.iter().enumerate().skip(a) {
-                        let lb = local[&gb];
-                        // Store in the lower triangle of the front.
-                        let (hi, lo) = if lb >= la { (lb, la) } else { (la, lb) };
-                        front.add(hi, lo, cb.get(b, a));
+            match pending.remove(c) {
+                Some((cb_rows, cb)) => {
+                    for (a, &ga) in cb_rows.iter().enumerate() {
+                        let la = local[&ga];
+                        for (b, &gb) in cb_rows.iter().enumerate().skip(a) {
+                            let lb = local[&gb];
+                            // Store in the lower triangle of the front.
+                            let (hi, lo) = if lb >= la { (lb, la) } else { (la, lb) };
+                            front.add(hi, lo, cb.get(b, a));
+                        }
                     }
+                    observer.contribution_consumed(cb.len());
+                    arena.recycle(cb);
                 }
-                observer.contribution_consumed(cb.len());
+                // A child with a multi-row column always produces a block;
+                // not finding it means the schedule violated the tree order.
+                None if structure.columns[c].len() > 1 => {
+                    return Err(FactorizationError::InvalidTraversal);
+                }
+                None => {}
             }
         }
 
@@ -235,30 +345,27 @@ pub(crate) fn factorize_with_observer(
             .map_err(|_| FactorizationError::NotPositiveDefinite { column: j })?;
 
         // Extract the factor column.
-        factor_columns[j] = rows.clone();
-        factor_values[j] = (0..front_dim).map(|i| front.get(i, 0)).collect();
+        let values: Vec<f64> = (0..front_dim).map(|i| front.get(i, 0)).collect();
 
         // Extract the contribution block (trailing (dim-1) x (dim-1) block).
         let cb_dim = front_dim - 1;
         let cb_entries = cb_dim * cb_dim;
         if cb_dim > 0 && structure.etree.parent(j).is_some() {
-            let mut cb = DenseMatrix::zeros(cb_dim);
+            let mut cb = arena.take(cb_dim);
             for a in 0..cb_dim {
                 for b in a..cb_dim {
                     cb.set(b, a, front.get(b + 1, a + 1));
                 }
             }
-            pending.insert(j, (rows[1..].to_vec(), cb));
-            observer.front_released(front.len(), cb_entries);
+            pending.insert(j, rows[1..].to_vec(), cb);
+            observer.front_released(front_entries, cb_entries);
         } else {
-            observer.front_released(front.len(), 0);
+            observer.front_released(front_entries, 0);
         }
+        arena.recycle(front);
+        out.push((j, rows.clone(), values));
     }
-
-    Ok(CholeskyFactor {
-        columns: factor_columns,
-        values: factor_values,
-    })
+    Ok(())
 }
 
 /// Solve `A x = b` given the Cholesky factor of `A` (forward substitution

@@ -260,7 +260,7 @@ fn engine_error_response(error: &EngineError) -> Response {
         // A structurally valid request whose simulation is infeasible
         // (e.g. a budget below the largest node requirement).
         EngineError::MinIo(_) => 422,
-        EngineError::Io(_) | EngineError::Factorization(_) => 500,
+        EngineError::Io(_) | EngineError::Factorization(_) | EngineError::Internal(_) => 500,
     };
     Response::error(status, &error.to_string())
 }
@@ -389,6 +389,53 @@ mod tests {
             .with_solver("no-such-solver")
             .to_json();
         assert_eq!(post(&service, "/report", &bad).status, 400);
+    }
+
+    #[test]
+    fn parallel_requests_flow_through_the_existing_endpoints() {
+        let service = service();
+        let serial =
+            EngineConfig::generated(sparsemat::gen::ProblemKind::Grid2d, 100, 7).with_numeric(true);
+        let parallel = serial
+            .clone()
+            .with_parallel(engine::ParallelConfig::with_workers(2).with_max_tasks(8));
+
+        // The serial and parallel configurations are distinct cache entries
+        // (distinct effective-config hashes), so a cached serial plan is
+        // never served for a parallel request.
+        let cold_serial = post(&service, "/report", &serial.to_json());
+        assert_eq!(cold_serial.status, 200, "{}", cold_serial.body);
+        let cold_parallel = post(&service, "/report", &parallel.to_json());
+        assert_eq!(cold_parallel.status, 200, "{}", cold_parallel.body);
+        assert_eq!(cold_parallel.cache_hit, Some(false));
+        assert_ne!(cold_serial.config_hash, cold_parallel.config_hash);
+
+        // The report carries the parallel section with real measurements.
+        let json = Json::parse(&cold_parallel.body).unwrap();
+        let section = json.get("parallel").expect("parallel section present");
+        assert_eq!(section.get("workers").and_then(Json::as_usize), Some(2));
+        assert!(section
+            .get("subtree_count")
+            .and_then(Json::as_usize)
+            .is_some_and(|count| count >= 1));
+        // The serial report keeps a null parallel section.
+        let serial_json = Json::parse(&cold_serial.body).unwrap();
+        assert!(matches!(
+            serial_json.get("parallel"),
+            Some(Json::Null) | None
+        ));
+
+        // A repeat of the parallel request hits its own cache entry.
+        let hot = post(&service, "/report", &parallel.to_json());
+        assert_eq!(hot.cache_hit, Some(true));
+        assert_eq!(hot.config_hash, cold_parallel.config_hash);
+
+        // Parallel execution without the numeric stage is a client error.
+        let invalid = serial
+            .clone()
+            .with_numeric(false)
+            .with_parallel(engine::ParallelConfig::with_workers(2));
+        assert_eq!(post(&service, "/report", &invalid.to_json()).status, 400);
     }
 
     #[test]

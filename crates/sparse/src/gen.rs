@@ -195,6 +195,13 @@ pub fn grid2d_matrix(nx: usize, ny: usize, seed: u64) -> SymmetricCsr {
 pub enum ProblemKind {
     /// 5-point 2-D grid.
     Grid2d,
+    /// 5-point 2-D grid with a 16:1 aspect ratio.  Nested-dissection
+    /// separators stay bounded by the short side, so the elimination tree is
+    /// bushy with many balanced subtrees — the shape anisotropic meshes
+    /// produce in practice, and the regime where subtree-level parallelism
+    /// pays off (a square grid concentrates half its factorization work in
+    /// the top separators, which no subtree cut can parallelize).
+    Grid2dWide,
     /// 9-point 2-D grid.
     Grid2d9,
     /// 7-point 3-D grid.
@@ -209,8 +216,9 @@ pub enum ProblemKind {
 
 impl ProblemKind {
     /// All problem kinds.
-    pub const ALL: [ProblemKind; 6] = [
+    pub const ALL: [ProblemKind; 7] = [
         ProblemKind::Grid2d,
+        ProblemKind::Grid2dWide,
         ProblemKind::Grid2d9,
         ProblemKind::Grid3d,
         ProblemKind::Banded,
@@ -222,6 +230,7 @@ impl ProblemKind {
     pub fn name(&self) -> &'static str {
         match self {
             ProblemKind::Grid2d => "grid2d",
+            ProblemKind::Grid2dWide => "grid2dwide",
             ProblemKind::Grid2d9 => "grid2d9",
             ProblemKind::Grid3d => "grid3d",
             ProblemKind::Banded => "banded",
@@ -242,6 +251,11 @@ impl ProblemKind {
             ProblemKind::Grid2d => {
                 let side = (target_n as f64).sqrt().round().max(2.0) as usize;
                 grid2d_5pt(side, side)
+            }
+            ProblemKind::Grid2dWide => {
+                let short = ((target_n as f64) / 16.0).sqrt().round().max(2.0) as usize;
+                let long = (target_n / short).max(2);
+                grid2d_5pt(long, short)
             }
             ProblemKind::Grid2d9 => {
                 let side = (target_n as f64).sqrt().round().max(2.0) as usize;
