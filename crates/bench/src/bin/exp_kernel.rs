@@ -1,0 +1,519 @@
+//! Numeric-kernel benchmark: the cache-blocked `FrontKernel::Blocked`
+//! against the scalar `FrontKernel::Reference` on dense fronts and on the
+//! supernodal front corpus, emitting `BENCH_kernel.json`.
+//!
+//! Two kinds of cells are recorded:
+//!
+//! * `dense` — one full Cholesky factorization of an SPD front of a given
+//!   size, per kernel (`dense-512/blocked`), reported in GFLOP/s;
+//! * `corpus` — the *supernodal replay*: the nested-dissection-ordered,
+//!   relaxed-amalgamated (allowance 16) assembly tree of a generated
+//!   problem is reduced to its multiset of front shapes `(dim, pivots)`,
+//!   and each distinct shape is timed as the partial factorization the
+//!   multifrontal loop actually performs (`partial_cholesky(pivots)` on a
+//!   `dim × dim` front), weighted by its multiplicity.  The flop-weighted
+//!   aggregate over the corpus (2-D + 3-D grids) is the honest "kernel
+//!   speedup on the workload" number — small fronts where blocking cannot
+//!   pay are counted at exactly the rate the factorization visits them.
+//!
+//! The aggregate corpus speedup is gated: below [`SPEEDUP_FLOOR_FULL`]
+//! (full corpus) or [`SPEEDUP_FLOOR_QUICK`] (`--quick`) the run exits
+//! non-zero.  Before any timing, both kernels factor every dense size once
+//! and the results are compared entry by entry, so a kernel that got fast
+//! by getting wrong cannot pass.
+//!
+//! Flags: `--quick` shrinks the corpus for the CI smoke job; `--check
+//! <reference.json>` compares cells against checked-in reference timings
+//! (machine-rescaled via the calibration workload) and fails on a
+//! [`REGRESSION_FACTOR`]× regression, exactly like `exp_scaling`.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use multifrontal::{DenseMatrix, FrontKernel, DEFAULT_BLOCK};
+use ordering::OrderingMethod;
+use perfprof::time_runs;
+use sparsemat::gen::ProblemKind;
+use symbolic::{amalgamate, column_counts, elimination_tree};
+
+/// A cell regressing more than this factor against the reference fails the
+/// `--check` gate (generous, to tolerate CI runner noise).
+const REGRESSION_FACTOR: f64 = 3.0;
+/// Reference cells faster than this are skipped by `--check`.
+const CHECK_FLOOR_SECONDS: f64 = 0.002;
+/// The blocked kernel must beat the scalar reference by at least this
+/// factor, flop-weighted over the full supernodal corpus (the PR's
+/// acceptance bar).
+const SPEEDUP_FLOOR_FULL: f64 = 3.0;
+/// The reduced corpus has smaller top separators, so the bar is lower; the
+/// full bar is enforced by the checked-in `BENCH_kernel.json`.
+const SPEEDUP_FLOOR_QUICK: f64 = 1.5;
+/// Relaxed-amalgamation allowance for the corpus assembly trees (the
+/// paper's largest allowance; the one production-shaped fronts come from).
+const AMALGAMATION: usize = 16;
+
+struct Sizes {
+    mode: &'static str,
+    dense: &'static [usize],
+    corpus_nodes: usize,
+    floor: f64,
+}
+
+const FULL: Sizes = Sizes {
+    mode: "full",
+    dense: &[32, 64, 128, 256, 512, 1024, 2048],
+    corpus_nodes: 100_000,
+    floor: SPEEDUP_FLOOR_FULL,
+};
+
+const QUICK: Sizes = Sizes {
+    mode: "quick",
+    dense: &[32, 64, 128, 256, 512],
+    corpus_nodes: 30_000,
+    floor: SPEEDUP_FLOOR_QUICK,
+};
+
+/// Same fixed CPU-bound workload as `exp_scaling`: `--check` rescales the
+/// reference timings by the ratio of the two calibration measurements.
+fn calibration_seconds() -> f64 {
+    let (_, timing) = time_runs(3, || {
+        let mut acc: u64 = 0x9e37_79b9_7f4a_7c15;
+        for i in 0..50_000_000u64 {
+            acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(i);
+        }
+        std::hint::black_box(acc)
+    });
+    timing.median_seconds
+}
+
+/// A deterministic dense SPD front (diagonally dominant, xorshift64* fill).
+fn spd_front(n: usize, seed: u64) -> DenseMatrix {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let mut front = DenseMatrix::zeros(n);
+    for j in 0..n {
+        for i in j..n {
+            let value = next();
+            front.set(i, j, value);
+            if i == j {
+                front.set(i, i, value.abs() + n as f64);
+            }
+        }
+    }
+    front
+}
+
+/// Flops of a partial Cholesky eliminating `s` pivots of a `d × d` front.
+fn partial_flops(d: f64, s: f64) -> f64 {
+    (s * d * d - d * s * s + s * s * s / 3.0).max(1.0)
+}
+
+/// Best-of-rounds per-factorization seconds: repeats cheap shapes until the
+/// measurement outweighs timer noise, timing only the kernel (clones are
+/// outside the clock).
+fn time_kernel(base: &DenseMatrix, kernel: FrontKernel, pivots: usize, flops: f64) -> f64 {
+    let reps = ((20_000_000.0 / flops) as usize).clamp(1, 500);
+    let rounds = if reps > 1 { 3 } else { 2 };
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let mut total = 0.0;
+        for _ in 0..reps {
+            let mut front = base.clone();
+            let started = Instant::now();
+            kernel
+                .apply(std::hint::black_box(&mut front), pivots)
+                .expect("SPD by construction");
+            total += started.elapsed().as_secs_f64();
+            std::hint::black_box(&front);
+        }
+        best = best.min(total / reps as f64);
+    }
+    best
+}
+
+struct Cell {
+    name: String,
+    kind: &'static str,
+    n: usize,
+    pivots: usize,
+    seconds: f64,
+    gflops: f64,
+}
+
+struct CorpusRow {
+    name: String,
+    nodes: usize,
+    fronts: usize,
+    shapes: usize,
+    biggest_front: usize,
+    flops: f64,
+    reference_seconds: f64,
+    blocked_seconds: f64,
+}
+
+impl CorpusRow {
+    fn speedup(&self) -> f64 {
+        self.reference_seconds / self.blocked_seconds.max(1e-12)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check_path = args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let sizes = if quick { &QUICK } else { &FULL };
+    println!(
+        "# kernel benchmark ({} mode): blocked (block {DEFAULT_BLOCK}) vs reference",
+        sizes.mode
+    );
+
+    let calibration = calibration_seconds();
+    println!("calibration workload: {:.3} ms", calibration * 1e3);
+
+    parity_check(sizes);
+
+    let mut cells: Vec<Cell> = Vec::new();
+    dense_cells(sizes, &mut cells);
+    let rows = corpus_cells(sizes, &mut cells);
+
+    println!("\n{:<30} {:>12} {:>10}", "cell", "median", "GFLOP/s");
+    for cell in &cells {
+        println!(
+            "{:<30} {:>9.3} ms {:>10.2}",
+            cell.name,
+            cell.seconds * 1e3,
+            cell.gflops
+        );
+    }
+
+    let total_flops: f64 = rows.iter().map(|r| r.flops).sum();
+    let total_reference: f64 = rows.iter().map(|r| r.reference_seconds).sum();
+    let total_blocked: f64 = rows.iter().map(|r| r.blocked_seconds).sum();
+    let aggregate = total_reference / total_blocked.max(1e-12);
+    println!("\nsupernodal corpus (amalgamation {AMALGAMATION}):");
+    for row in &rows {
+        println!(
+            "  {:<18} fronts {:>6} (biggest {:>4}) {:.2e} flops: \
+             ref {:>8.3}s  blocked {:>8.3}s  speedup {:.2}x",
+            row.name,
+            row.fronts,
+            row.biggest_front,
+            row.flops,
+            row.reference_seconds,
+            row.blocked_seconds,
+            row.speedup()
+        );
+    }
+    println!(
+        "  aggregate: {total_flops:.2e} flops, ref {total_reference:.3}s, \
+         blocked {total_blocked:.3}s, speedup {aggregate:.2}x (floor {:.1}x)",
+        sizes.floor
+    );
+
+    let json = render_json(quick, calibration, &cells, &rows, aggregate, sizes.floor);
+    let directory = std::env::var_os("TREEMEM_SWEEP_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let path = directory.join("BENCH_kernel.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nWrote {}", path.display()),
+        Err(err) => {
+            eprintln!("could not write {}: {err}", path.display());
+            std::process::exit(1);
+        }
+    }
+
+    if aggregate < sizes.floor {
+        eprintln!(
+            "kernel speedup {aggregate:.2}x is below the required {:.1}x floor",
+            sizes.floor
+        );
+        std::process::exit(1);
+    }
+
+    if let Some(reference) = check_path {
+        std::process::exit(check_against_reference(&reference, calibration, &cells));
+    }
+}
+
+/// Factor every dense size with both kernels and compare the results: the
+/// blocked kernel must agree with the reference to tight floating-point
+/// tolerance before any of its timings count.
+fn parity_check(sizes: &Sizes) {
+    for &n in sizes.dense {
+        let base = spd_front(n, n as u64);
+        let mut reference = base.clone();
+        let mut blocked = base.clone();
+        FrontKernel::Reference.apply(&mut reference, n).unwrap();
+        FrontKernel::default().apply(&mut blocked, n).unwrap();
+        let mut worst = 0.0f64;
+        for j in 0..n {
+            for i in j..n {
+                let a = reference.get(i, j);
+                let b = blocked.get(i, j);
+                worst = worst.max((a - b).abs() / a.abs().max(1.0));
+            }
+        }
+        assert!(
+            worst < 1e-12,
+            "kernel parity violated at n={n}: relative error {worst:e}"
+        );
+    }
+    println!("parity: blocked matches reference on all dense sizes");
+}
+
+fn dense_cells(sizes: &Sizes, cells: &mut Vec<Cell>) {
+    for &n in sizes.dense {
+        let base = spd_front(n, n as u64);
+        let flops = partial_flops(n as f64, n as f64);
+        for (label, kernel) in [
+            ("reference", FrontKernel::Reference),
+            ("blocked", FrontKernel::default()),
+        ] {
+            let seconds = time_kernel(&base, kernel, n, flops);
+            cells.push(Cell {
+                name: format!("dense-{n}/{label}"),
+                kind: "dense",
+                n,
+                pivots: n,
+                seconds,
+                gflops: flops / seconds / 1e9,
+            });
+        }
+    }
+}
+
+/// The supernodal replay described in the module docs: per problem kind,
+/// collect the amalgamated front-shape multiset, time each distinct shape
+/// once per kernel, and weight by multiplicity.
+fn corpus_cells(sizes: &Sizes, cells: &mut Vec<Cell>) -> Vec<CorpusRow> {
+    let mut rows = Vec::new();
+    for kind in [ProblemKind::Grid2d, ProblemKind::Grid3d] {
+        let name = format!("{kind:?}").to_lowercase();
+        let pattern = kind.generate(sizes.corpus_nodes, 7);
+        let permuted = OrderingMethod::NestedDissection
+            .order(&pattern)
+            .apply(&pattern);
+        let etree = elimination_tree(&permuted);
+        let counts = column_counts(&permuted, &etree);
+        let assembly = amalgamate(&etree, &counts, AMALGAMATION);
+
+        let mut shapes: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut fronts = 0usize;
+        for node in 0..assembly.len() {
+            let eta = assembly.eta[node];
+            if eta == 0 {
+                continue; // virtual root
+            }
+            let dim = assembly.mu[node] + eta - 1;
+            *shapes.entry((dim, eta)).or_insert(0) += 1;
+            fronts += 1;
+        }
+        let mut shapes: Vec<((usize, usize), usize)> = shapes.into_iter().collect();
+        shapes.sort_unstable();
+
+        let mut flops_total = 0.0f64;
+        let mut reference_seconds = 0.0f64;
+        let mut blocked_seconds = 0.0f64;
+        for &((dim, pivots), count) in &shapes {
+            let flops = partial_flops(dim as f64, pivots as f64);
+            flops_total += flops * count as f64;
+            let base = spd_front(dim, (dim * 31 + pivots) as u64);
+            reference_seconds +=
+                time_kernel(&base, FrontKernel::Reference, pivots, flops) * count as f64;
+            blocked_seconds +=
+                time_kernel(&base, FrontKernel::default(), pivots, flops) * count as f64;
+        }
+        let biggest_front = shapes.iter().map(|&((dim, _), _)| dim).max().unwrap_or(0);
+        let row = CorpusRow {
+            name: format!("{name}-{}", sizes.corpus_nodes),
+            nodes: permuted.n(),
+            fronts,
+            shapes: shapes.len(),
+            biggest_front,
+            flops: flops_total,
+            reference_seconds,
+            blocked_seconds,
+        };
+        for (label, seconds) in [
+            ("reference", reference_seconds),
+            ("blocked", blocked_seconds),
+        ] {
+            cells.push(Cell {
+                name: format!("corpus-{}/{label}", row.name),
+                kind: "corpus",
+                n: row.nodes,
+                pivots: biggest_front,
+                seconds,
+                gflops: flops_total / seconds / 1e9,
+            });
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+fn render_json(
+    quick: bool,
+    calibration: f64,
+    cells: &[Cell],
+    rows: &[CorpusRow],
+    aggregate: f64,
+    floor: f64,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"kernel/v1\",\n");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"calibration_seconds\": {calibration:.6},");
+    let _ = writeln!(out, "  \"default_block\": {DEFAULT_BLOCK},");
+    let _ = writeln!(out, "  \"amalgamation\": {AMALGAMATION},");
+    out.push_str("  \"cells\": [\n");
+    for (index, cell) in cells.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"kind\": \"{}\", \"n\": {}, \"pivots\": {}, \
+             \"seconds\": {:.6}, \"gflops\": {:.3}}}{}",
+            cell.name,
+            cell.kind,
+            cell.n,
+            cell.pivots,
+            cell.seconds,
+            cell.gflops,
+            if index + 1 < cells.len() { "," } else { "" },
+        );
+    }
+    out.push_str("  ],\n  \"corpus\": [\n");
+    for (index, row) in rows.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"nodes\": {}, \"fronts\": {}, \"shapes\": {}, \
+             \"biggest_front\": {}, \"flops\": {:.3e}, \"reference_seconds\": {:.6}, \
+             \"blocked_seconds\": {:.6}, \"speedup\": {:.3}}}{}",
+            row.name,
+            row.nodes,
+            row.fronts,
+            row.shapes,
+            row.biggest_front,
+            row.flops,
+            row.reference_seconds,
+            row.blocked_seconds,
+            row.speedup(),
+            if index + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    let total_flops: f64 = rows.iter().map(|r| r.flops).sum();
+    let total_reference: f64 = rows.iter().map(|r| r.reference_seconds).sum();
+    let total_blocked: f64 = rows.iter().map(|r| r.blocked_seconds).sum();
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"aggregate\": {{\"flops\": {total_flops:.3e}, \
+         \"reference_seconds\": {total_reference:.6}, \
+         \"blocked_seconds\": {total_blocked:.6}, \"speedup\": {aggregate:.3}, \
+         \"required_speedup\": {floor:.1}}}"
+    );
+    out.push_str("}\n");
+    out
+}
+
+/// Parse `"name": "..."` / `"seconds": ...` pairs out of a reference
+/// `BENCH_kernel.json` (one cell per line, as written by [`render_json`]).
+fn parse_reference(contents: &str) -> Vec<(String, f64)> {
+    let mut cells = Vec::new();
+    for line in contents.lines() {
+        let Some(name) = extract_str(line, "\"name\": \"") else {
+            continue;
+        };
+        let Some(seconds) = extract_f64(line, "\"seconds\": ") else {
+            continue;
+        };
+        cells.push((name, seconds));
+    }
+    cells
+}
+
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let start = line.find(key)? + key.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+fn extract_f64(line: &str, key: &str) -> Option<f64> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && c != '+' && c != 'e' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Compare measured cells against the checked-in reference, rescaled by the
+/// calibration ratio; any cell more than [`REGRESSION_FACTOR`]× slower
+/// fails (same contract as `exp_scaling`).
+fn check_against_reference(path: &str, calibration: f64, cells: &[Cell]) -> i32 {
+    let contents = match std::fs::read_to_string(path) {
+        Ok(contents) => contents,
+        Err(err) => {
+            eprintln!("could not read reference timings {path}: {err}");
+            return 1;
+        }
+    };
+    let reference = parse_reference(&contents);
+    if reference.is_empty() {
+        eprintln!("reference file {path} contains no cells");
+        return 1;
+    }
+    let scale = match extract_f64(&contents, "\"calibration_seconds\": ") {
+        Some(ref_calibration) if ref_calibration > 0.0 => calibration / ref_calibration,
+        _ => {
+            eprintln!("reference file {path} has no calibration; comparing unscaled");
+            1.0
+        }
+    };
+    println!(
+        "\n## regression check against {path} (limit {REGRESSION_FACTOR}x, machine scale {scale:.2})"
+    );
+    let mut compared = 0usize;
+    let mut failures = 0usize;
+    for cell in cells {
+        let Some((_, raw_ref)) = reference.iter().find(|(name, _)| *name == cell.name) else {
+            continue;
+        };
+        if *raw_ref < CHECK_FLOOR_SECONDS {
+            continue;
+        }
+        compared += 1;
+        let ref_seconds = raw_ref * scale;
+        let ratio = cell.seconds / ref_seconds;
+        let verdict = if ratio > REGRESSION_FACTOR {
+            failures += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {:<30} ref {:>9.3} ms  now {:>9.3} ms  ratio {:>5.2}  {}",
+            cell.name,
+            ref_seconds * 1e3,
+            cell.seconds * 1e3,
+            ratio,
+            verdict
+        );
+    }
+    println!("compared {compared} cells, {failures} regression(s)");
+    if compared == 0 {
+        eprintln!("no reference cell was comparable; refusing to pass an empty gate");
+        return 1;
+    }
+    i32::from(failures > 0)
+}

@@ -14,6 +14,10 @@
 //! * `mixed_kinds` — every problem kind across `/plan`, `/schedule` and
 //!   `/report`;
 //! * `cold_scan` — unique seeds overflowing the plan cache (evictions);
+//! * `solve_throughput` — one cold numeric `/report` computes and caches a
+//!   factor, then `POST /solve` is hammered against it: every solve must be
+//!   a factor-cache hit with a green residual, and the hot solve p50 must
+//!   sit far below the cold factorization;
 //! * `malformed` — one request per fixed parser bug (depth bomb, broken
 //!   surrogate escape, raw control character) plus framing garbage,
 //!   asserting every one is answered with a 4xx and the server keeps
@@ -53,6 +57,8 @@ struct Sizes {
     mixed_nodes: usize,
     cold_scan_nodes: usize,
     cold_scan_requests: usize,
+    solve_nodes: usize,
+    solve_requests: usize,
     enforce_speedup: bool,
 }
 
@@ -66,6 +72,8 @@ const FULL: Sizes = Sizes {
     mixed_nodes: 1_500,
     cold_scan_nodes: 2_000,
     cold_scan_requests: 24,
+    solve_nodes: 50_000,
+    solve_requests: 40,
     enforce_speedup: true,
 };
 
@@ -79,6 +87,8 @@ const QUICK: Sizes = Sizes {
     mixed_nodes: 600,
     cold_scan_nodes: 500,
     cold_scan_requests: 20,
+    solve_nodes: 2_000,
+    solve_requests: 12,
     enforce_speedup: false,
 };
 
@@ -385,6 +395,107 @@ fn cold_scan(addr: SocketAddr, sizes: &Sizes, violations: &mut Violations) -> Sc
     result
 }
 
+/// One cold numeric `/report` to compute and cache the factor, then a
+/// hammer of `POST /solve` requests against it: the serving story of the
+/// blocked kernel — factorize once, answer solves from the cache.
+fn solve_throughput(
+    addr: SocketAddr,
+    sizes: &Sizes,
+    violations: &mut Violations,
+) -> (ScenarioResult, String) {
+    let started = Instant::now();
+    let config = EngineConfig::generated(ProblemKind::Grid2d, sizes.solve_nodes, 31)
+        .with_ordering(OrderingMethod::NestedDissection)
+        .with_numeric(true)
+        .to_json();
+    let (cold_seconds, response) = timed_post(addr, "/report", &config, violations);
+    violations.check(
+        !response.cache_hit(),
+        "solve corpus report unexpectedly hit the plan cache",
+    );
+    let Some(hash) = response.header("x-config-hash").map(str::to_string) else {
+        violations.check(false, "numeric report carried no X-Config-Hash header");
+        return (
+            ScenarioResult {
+                name: "solve_throughput",
+                requests: 1,
+                wall_seconds: started.elapsed().as_secs_f64(),
+                latency: latency_summary(&[cold_seconds]),
+                hit_latency: LatencySummary::default(),
+                miss_latency: LatencySummary::default(),
+                cache_hits: 0,
+                expected_4xx: 0,
+            },
+            String::new(),
+        );
+    };
+
+    let mut solves = Vec::new();
+    let mut worst_residual = 0.0f64;
+    for request in 0..sizes.solve_requests {
+        let body = format!(
+            "{{\"config_hash\": \"{hash}\", \"count\": 4, \"seed\": {}}}",
+            request + 1
+        );
+        let (seconds, response) = timed_post(addr, "/solve", &body, violations);
+        violations.check(
+            response.cache_hit(),
+            format!("hot solve {request} missed the factor cache"),
+        );
+        let residual = Json::parse(&response.body)
+            .ok()
+            .and_then(|json| json.get("max_residual").and_then(Json::as_f64))
+            .unwrap_or(f64::INFINITY);
+        violations.check(
+            residual < 1e-6,
+            format!("solve {request} residual {residual:e} above 1e-6"),
+        );
+        worst_residual = worst_residual.max(residual);
+        solves.push(seconds);
+    }
+
+    let solve_summary = latency_summary(&solves);
+    let speedup = cold_seconds / solve_summary.p50_seconds.max(1e-9);
+    if sizes.enforce_speedup {
+        violations.check(
+            speedup >= REQUIRED_SPEEDUP,
+            format!(
+                "hot /solve p50 only {speedup:.1}x below the cold factorization \
+                 (required {REQUIRED_SPEEDUP}x)"
+            ),
+        );
+    }
+    println!(
+        "loadgen: solve {} nodes: cold report {:.4}s, hot solve p50 {:.4}s ({:.0}x), \
+         worst residual {:.2e}",
+        sizes.solve_nodes, cold_seconds, solve_summary.p50_seconds, speedup, worst_residual
+    );
+
+    let headline = format!(
+        "  \"solve\": {{\"corpus_nodes\": {}, \"rhs_per_request\": 4, \"solve_requests\": {}, \
+         \"cold_report_seconds\": {:.6}, \"hot_solve_p50_seconds\": {:.6}, \"speedup\": {:.3}, \
+         \"speedup_enforced\": {}, \"worst_residual\": {:e}}},\n",
+        sizes.solve_nodes,
+        solves.len(),
+        cold_seconds,
+        solve_summary.p50_seconds,
+        speedup,
+        sizes.enforce_speedup,
+        worst_residual,
+    );
+    let scenario = ScenarioResult {
+        name: "solve_throughput",
+        requests: 1 + solves.len(),
+        wall_seconds: started.elapsed().as_secs_f64(),
+        latency: latency_summary(&[vec![cold_seconds], solves.clone()].concat()),
+        hit_latency: solve_summary,
+        miss_latency: latency_summary(&[cold_seconds]),
+        cache_hits: solves.len(),
+        expected_4xx: 0,
+    };
+    (scenario, headline)
+}
+
 fn malformed(addr: SocketAddr, violations: &mut Violations) -> ScenarioResult {
     let started = Instant::now();
     let depth_bomb = "[".repeat(100_000);
@@ -496,6 +607,8 @@ fn main() {
     scenarios.push(parallel_hot(addr, sizes, &mut violations));
     scenarios.push(mixed_kinds(addr, sizes, &mut violations));
     scenarios.push(cold_scan(addr, sizes, &mut violations));
+    let (solve_scenario, solve_json) = solve_throughput(addr, sizes, &mut violations);
+    scenarios.push(solve_scenario);
     scenarios.push(malformed(addr, &mut violations));
 
     // Final server-side view: cache hit rate, eviction counts, stage
@@ -533,6 +646,7 @@ fn main() {
     let _ = writeln!(json, "  \"mode\": \"{}\",", sizes.mode);
     let _ = writeln!(json, "  \"cache_capacity\": {CACHE_CAPACITY},");
     json.push_str(&headline_json);
+    json.push_str(&solve_json);
     json.push_str("  \"scenarios\": [\n");
     for (index, scenario) in scenarios.iter().enumerate() {
         json.push_str(&scenario_json(scenario));

@@ -211,6 +211,173 @@ impl ParallelConfig {
     }
 }
 
+/// Where the right-hand sides of the solve stage come from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveRhs {
+    /// `count` deterministic pseudo-random right-hand sides derived from
+    /// `seed` (entries in `[-1, 1)`), generated after the factorization so
+    /// the problem dimension is known.
+    Generated {
+        /// Number of right-hand sides.
+        count: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Explicit right-hand-side vectors, each of the problem dimension.
+    Vectors(Vec<Vec<f64>>),
+}
+
+/// The solve section of an [`EngineConfig`]: whether `execute` follows the
+/// numeric factorization with forward/backward substitution, what
+/// right-hand sides it solves, and whether the residual is checked.
+///
+/// Solving requires the numeric stage (`numeric: true`); the batch is
+/// processed through [`multifrontal::CholeskyFactor::solve_batch`], so a
+/// `k`-column batch costs one pass over the factor, not `k`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveConfig {
+    /// Whether the solve stage runs at all.
+    pub enabled: bool,
+    /// The right-hand sides.
+    pub rhs: SolveRhs,
+    /// Whether to compute the max-norm residual `‖Ax − b‖∞` per right-hand
+    /// side (costs one symmetric multiply each).
+    pub check_residual: bool,
+}
+
+impl Default for SolveConfig {
+    fn default() -> Self {
+        SolveConfig {
+            enabled: false,
+            rhs: SolveRhs::Generated { count: 1, seed: 1 },
+            check_residual: true,
+        }
+    }
+}
+
+impl SolveConfig {
+    /// An enabled solve section with `count` generated right-hand sides.
+    pub fn generated(count: usize, seed: u64) -> Self {
+        SolveConfig {
+            enabled: true,
+            rhs: SolveRhs::Generated { count, seed },
+            check_residual: true,
+        }
+    }
+
+    /// An enabled solve section with explicit right-hand sides.
+    pub fn vectors(vectors: Vec<Vec<f64>>) -> Self {
+        SolveConfig {
+            enabled: true,
+            rhs: SolveRhs::Vectors(vectors),
+            check_residual: true,
+        }
+    }
+
+    /// Enable or disable the residual check.
+    pub fn with_check(mut self, check_residual: bool) -> Self {
+        self.check_residual = check_residual;
+        self
+    }
+
+    /// Number of right-hand sides this section asks for.
+    pub fn rhs_count(&self) -> usize {
+        match &self.rhs {
+            SolveRhs::Generated { count, .. } => *count,
+            SolveRhs::Vectors(vectors) => vectors.len(),
+        }
+    }
+
+    fn to_json_fragment(&self) -> String {
+        let rhs = match &self.rhs {
+            SolveRhs::Generated { count, seed } => {
+                format!("{{\"type\": \"generated\", \"count\": {count}, \"seed\": {seed}}}")
+            }
+            SolveRhs::Vectors(vectors) => {
+                let rendered: Vec<String> = vectors
+                    .iter()
+                    .map(|vector| {
+                        let entries: Vec<String> = vector
+                            .iter()
+                            // Non-finite entries are not JSON; `null` keeps
+                            // the document well-formed and the parser then
+                            // reports the mistyped entry (validation rejects
+                            // non-finite right-hand sides anyway).
+                            .map(|v| {
+                                if v.is_finite() {
+                                    format!("{v}")
+                                } else {
+                                    "null".to_string()
+                                }
+                            })
+                            .collect();
+                        format!("[{}]", entries.join(","))
+                    })
+                    .collect();
+                format!(
+                    "{{\"type\": \"vectors\", \"values\": [{}]}}",
+                    rendered.join(",")
+                )
+            }
+        };
+        format!(
+            "{{\"enabled\": {}, \"rhs\": {rhs}, \"check_residual\": {}}}",
+            self.enabled, self.check_residual
+        )
+    }
+
+    fn from_json(json: &Json) -> Result<SolveConfig, ConfigParseError> {
+        let rhs = json.get("rhs").ok_or(missing("solve.rhs"))?;
+        let rhs = match rhs.get("type").and_then(Json::as_str) {
+            Some("generated") => SolveRhs::Generated {
+                count: rhs
+                    .get("count")
+                    .and_then(Json::as_usize)
+                    .ok_or(missing("solve.rhs.count"))?,
+                seed: rhs
+                    .get("seed")
+                    .and_then(Json::as_u64)
+                    .ok_or(missing("solve.rhs.seed"))?,
+            },
+            Some("vectors") => {
+                let values = rhs
+                    .get("values")
+                    .and_then(Json::as_array)
+                    .ok_or(missing("solve.rhs.values"))?;
+                let vectors: Result<Vec<Vec<f64>>, ConfigParseError> = values
+                    .iter()
+                    .map(|vector| {
+                        vector
+                            .as_array()
+                            .ok_or(missing("solve.rhs.values"))?
+                            .iter()
+                            .map(|v| {
+                                v.as_f64()
+                                    .ok_or_else(|| invalid("non-numeric RHS entry".to_string()))
+                            })
+                            .collect()
+                    })
+                    .collect();
+                SolveRhs::Vectors(vectors?)
+            }
+            other => {
+                return Err(invalid(format!("unknown solve rhs type {other:?}")));
+            }
+        };
+        Ok(SolveConfig {
+            enabled: json
+                .get("enabled")
+                .and_then(Json::as_bool)
+                .ok_or(missing("solve.enabled"))?,
+            rhs,
+            check_residual: json
+                .get("check_residual")
+                .and_then(Json::as_bool)
+                .ok_or(missing("solve.check_residual"))?,
+        })
+    }
+}
+
 /// A full problem description; see the module docs.
 ///
 /// ```
@@ -242,6 +409,8 @@ pub struct EngineConfig {
     /// Whether `execute` also runs the numeric multifrontal factorization
     /// (requires a matrix source).
     pub numeric: bool,
+    /// The solve stage (off by default; requires `numeric`).
+    pub solve: SolveConfig,
     /// Parallel execution of the numeric stage (off by default).
     pub parallel: ParallelConfig,
 }
@@ -275,6 +444,7 @@ impl EngineConfig {
             policy: "LSNF".to_string(),
             memory: MemoryBudget::Unlimited,
             numeric: false,
+            solve: SolveConfig::default(),
             parallel: ParallelConfig::default(),
         }
     }
@@ -312,6 +482,13 @@ impl EngineConfig {
     /// Enable or disable the numeric factorization stage.
     pub fn with_numeric(mut self, numeric: bool) -> Self {
         self.numeric = numeric;
+        self
+    }
+
+    /// Set the solve section (solving additionally requires the numeric
+    /// stage).
+    pub fn with_solve(mut self, solve: SolveConfig) -> Self {
+        self.solve = solve;
         self
     }
 
@@ -395,6 +572,10 @@ impl EngineConfig {
             }
         }
         out.push_str(&format!("  \"numeric\": {},\n", self.numeric));
+        out.push_str(&format!(
+            "  \"solve\": {},\n",
+            self.solve.to_json_fragment()
+        ));
         out.push_str(&format!(
             "  \"parallel\": {}\n",
             self.parallel.to_json_fragment()
@@ -497,6 +678,12 @@ impl EngineConfig {
                 .get("numeric")
                 .and_then(Json::as_bool)
                 .ok_or(missing("numeric"))?,
+            // Absent in documents written before the solve stage existed;
+            // the default (disabled) section keeps them parseable.
+            solve: match json.get("solve") {
+                Some(section) => SolveConfig::from_json(section)?,
+                None => SolveConfig::default(),
+            },
             // Absent in documents written before the parallel layer existed;
             // the default (sequential) section keeps them parseable.
             parallel: match json.get("parallel") {
@@ -623,6 +810,61 @@ mod tests {
     }
 
     #[test]
+    fn solve_sections_round_trip() {
+        let sections = [
+            SolveConfig::default(),
+            SolveConfig::generated(4, 99),
+            SolveConfig::generated(1, 0).with_check(false),
+            SolveConfig::vectors(vec![vec![1.0, -2.5, 0.125], vec![0.0, 3.0, -1.0]]),
+        ];
+        for solve in sections {
+            let config = EngineConfig::generated(ProblemKind::Grid2d, 200, 1)
+                .with_numeric(true)
+                .with_solve(solve);
+            let parsed = EngineConfig::from_json(&config.to_json()).unwrap();
+            assert_eq!(parsed, config);
+        }
+    }
+
+    #[test]
+    fn solve_section_changes_the_hash() {
+        // A cached factor keyed by config hash must never be shared between
+        // a request that solves and one that does not.
+        let plain = EngineConfig::generated(ProblemKind::Grid2d, 200, 1).with_numeric(true);
+        let solving = plain.clone().with_solve(SolveConfig::generated(2, 7));
+        assert_ne!(plain.hash(), solving.hash());
+        let unchecked = plain
+            .clone()
+            .with_solve(SolveConfig::generated(2, 7).with_check(false));
+        assert_ne!(solving.hash(), unchecked.hash());
+    }
+
+    #[test]
+    fn documents_without_a_solve_section_still_parse() {
+        let config = EngineConfig::generated(ProblemKind::Grid2d, 200, 1);
+        let legacy: String = config
+            .to_json()
+            .lines()
+            .filter(|line| !line.contains("\"solve\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = EngineConfig::from_json(&legacy).unwrap();
+        assert_eq!(parsed, config);
+    }
+
+    #[test]
+    fn non_finite_rhs_entries_still_serialize_to_valid_json() {
+        let config = EngineConfig::generated(ProblemKind::Grid2d, 100, 1)
+            .with_solve(SolveConfig::vectors(vec![vec![1.0, f64::NAN]]));
+        let json = config.to_json();
+        assert!(crate::json::Json::parse(&json).is_ok(), "{json}");
+        assert!(matches!(
+            EngineConfig::from_json(&json),
+            Err(ConfigParseError::Invalid(_))
+        ));
+    }
+
+    #[test]
     fn parallel_section_changes_the_hash() {
         // The effective-config hash must distinguish a serial request from a
         // parallel one, or a plan cache would serve the wrong plan.
@@ -640,12 +882,13 @@ mod tests {
     #[test]
     fn documents_without_a_parallel_section_still_parse() {
         // Configs serialized before the parallel layer existed have no
-        // "parallel" key; they must keep parsing with the default section.
+        // "parallel" key (and predate the solve section too); they must keep
+        // parsing with the default sections.
         let config = EngineConfig::generated(ProblemKind::Grid2d, 200, 1);
         let legacy: String = config
             .to_json()
             .lines()
-            .filter(|line| !line.contains("\"parallel\""))
+            .filter(|line| !line.contains("\"parallel\"") && !line.contains("\"solve\""))
             .collect::<Vec<_>>()
             .join("\n")
             .replace("\"numeric\": false,", "\"numeric\": false");

@@ -50,18 +50,20 @@ pub mod run;
 pub use cache::{CacheStats, PlanCache};
 pub use config::{
     BudgetShare, ConfigParseError, EngineConfig, MemoryBudget, ParallelConfig, ProblemSource,
+    SolveConfig, SolveRhs,
 };
-pub use report::{NumericReport, ParallelReport, Report, StageTimings};
-pub use run::{Engine, EngineError, Plan, Schedule, ScheduleSpec};
+pub use report::{NumericReport, ParallelReport, Report, SolveReport, StageTimings};
+pub use run::{Engine, EngineError, FactorHandle, Plan, Schedule, ScheduleSpec, MAX_SOLVE_RHS};
 
 /// Everything a typical engine user needs in scope.
 pub mod prelude {
     pub use crate::cache::{CacheStats, PlanCache};
     pub use crate::config::{
         BudgetShare, ConfigParseError, EngineConfig, MemoryBudget, ParallelConfig, ProblemSource,
+        SolveConfig, SolveRhs,
     };
-    pub use crate::report::{NumericReport, ParallelReport, Report, StageTimings};
-    pub use crate::run::{Engine, EngineError, Plan, Schedule, ScheduleSpec};
+    pub use crate::report::{NumericReport, ParallelReport, Report, SolveReport, StageTimings};
+    pub use crate::run::{Engine, EngineError, FactorHandle, Plan, Schedule, ScheduleSpec};
     pub use minio::PolicyRegistry;
     pub use ordering::OrderingMethod;
     pub use sparsemat::gen::ProblemKind;

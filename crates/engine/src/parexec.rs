@@ -30,9 +30,11 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use multifrontal::parallel::{
-    assemble_factor, factor_columns, modeled_peak_entries, BudgetLedger, ReserveSelection,
+    assemble_factor, factor_columns_with, modeled_peak_entries, BudgetLedger, ReserveSelection,
 };
-use multifrontal::{CholeskyFactor, ContributionStore, FactorColumn, FactorizationError};
+use multifrontal::{
+    CholeskyFactor, ContributionStore, FactorColumn, FactorizationError, FrontKernel,
+};
 use treemem::partition::{default_node_work, proportional_cut};
 use treemem::variants::bottom_up_peak;
 use treemem::Traversal;
@@ -91,6 +93,10 @@ struct Shared {
     queue: Mutex<Vec<usize>>,
     ledger: BudgetLedger,
     results: Mutex<Vec<Option<Result<TaskDone, TaskFailure>>>>,
+    /// The dense elimination kernel every task (and the merge phase) runs.
+    /// One shared choice, per-worker arenas: the kernel never carries state,
+    /// so the bit-identical-across-worker-counts guarantee is untouched.
+    kernel: FrontKernel,
 }
 
 /// One pool worker: drain the queue through the budget gate.  Returns this
@@ -115,7 +121,7 @@ fn worker_loop(shared: &Shared) -> f64 {
         };
         let started = Instant::now();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            factor_columns(
+            factor_columns_with(
                 &shared.numeric.matrix,
                 &shared.numeric.structure,
                 &shared.children,
@@ -123,6 +129,7 @@ fn worker_loop(shared: &Shared) -> f64 {
                 ContributionStore::new(),
                 &shared.ledger,
                 &mut arena,
+                shared.kernel,
             )
         }));
         let seconds = started.elapsed().as_secs_f64();
@@ -209,6 +216,7 @@ pub(crate) fn execute_parallel(
         queue: Mutex::new((0..task_count).collect()),
         ledger: BudgetLedger::new(budget_entries),
         results: Mutex::new((0..task_count).map(|_| None).collect()),
+        kernel: FrontKernel::default(),
     });
 
     // Subtree phase: one draining loop per pool worker.
@@ -244,7 +252,7 @@ pub(crate) fn execute_parallel(
 
     // Merge phase: sequential, on the caller's thread.
     let merge_started = Instant::now();
-    let merge_outcome = factor_columns(
+    let merge_outcome = factor_columns_with(
         &shared.numeric.matrix,
         &shared.numeric.structure,
         &shared.children,
@@ -252,6 +260,7 @@ pub(crate) fn execute_parallel(
         merge_blocks,
         &shared.ledger,
         &mut multifrontal::FrontArena::new(),
+        shared.kernel,
     )
     .map_err(EngineError::Factorization)?;
     let merge_seconds = merge_started.elapsed().as_secs_f64();

@@ -129,6 +129,20 @@ pub struct StageTimings {
     pub io_seconds: f64,
     /// The numeric multifrontal factorization (0.0 when disabled).
     pub numeric_seconds: f64,
+    /// The batched triangular solve plus the optional residual check (0.0
+    /// when the solve stage is disabled).
+    pub solve_seconds: f64,
+}
+
+/// Measurements of the solve stage (batched forward/backward substitution
+/// through the computed factor).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveReport {
+    /// Number of right-hand sides solved in the batch.
+    pub rhs_count: usize,
+    /// Largest max-norm residual `‖Ax − b‖∞` over the batch, when the
+    /// residual check was enabled.
+    pub max_residual: Option<f64>,
 }
 
 /// Measurements of the numeric multifrontal factorization stage.
@@ -201,6 +215,8 @@ pub struct Report {
     pub traversal: Vec<NodeId>,
     /// Numeric factorization measurements, when the stage ran.
     pub numeric: Option<NumericReport>,
+    /// Solve-stage measurements, when the solve stage ran.
+    pub solve: Option<SolveReport>,
     /// Parallel execution measurements, when the numeric stage ran with
     /// `workers >= 1`.
     pub parallel: Option<ParallelReport>,
@@ -262,6 +278,25 @@ impl Report {
             )),
             None => out.push_str("  \"numeric\": null,\n"),
         }
+        match &self.solve {
+            Some(solve) => {
+                let residual = match solve.max_residual {
+                    // A non-finite residual would not be JSON; `null` keeps
+                    // the document well-formed (it cannot be confused with
+                    // "check disabled", which omits the whole field).
+                    Some(value) if value.is_finite() => format!("{value:e}"),
+                    Some(_) => "null".to_string(),
+                    None => "null".to_string(),
+                };
+                out.push_str(&format!(
+                    "  \"solve\": {{\"rhs_count\": {}, \"residual_checked\": {}, \
+                     \"max_residual\": {residual}}},\n",
+                    solve.rhs_count,
+                    solve.max_residual.is_some()
+                ));
+            }
+            None => out.push_str("  \"solve\": null,\n"),
+        }
         match &self.parallel {
             Some(parallel) => {
                 out.push_str(&format!(
@@ -274,13 +309,15 @@ impl Report {
         out.push_str(&format!(
             "  \"timings\": {{\"generate_seconds\": {:.6}, \"ordering_seconds\": {:.6}, \
              \"symbolic_seconds\": {:.6}, \"solver_seconds\": {:.6}, \
-             \"io_seconds\": {:.6}, \"numeric_seconds\": {:.6}}}\n",
+             \"io_seconds\": {:.6}, \"numeric_seconds\": {:.6}, \
+             \"solve_seconds\": {:.6}}}\n",
             self.timings.generate_seconds,
             self.timings.ordering_seconds,
             self.timings.symbolic_seconds,
             self.timings.solver_seconds,
             self.timings.io_seconds,
-            self.timings.numeric_seconds
+            self.timings.numeric_seconds,
+            self.timings.solve_seconds
         ));
         out.push_str("}\n");
         out
@@ -343,6 +380,7 @@ mod tests {
                 factor_nnz: 1234,
                 solve_error: 1e-12,
             }),
+            solve: None,
             parallel: None,
             timings: StageTimings {
                 solver_seconds: 0.25,
@@ -403,6 +441,53 @@ mod tests {
         b.timings.solver_seconds = 99.0;
         assert_eq!(a.fingerprint(), b.fingerprint());
         b.io_volume = 24;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn solve_json_includes_the_solve_section() {
+        let mut report = sample();
+        report.solve = Some(SolveReport {
+            rhs_count: 3,
+            max_residual: Some(4.5e-13),
+        });
+        report.timings.solve_seconds = 0.01;
+        let json = Json::parse(&report.to_json()).unwrap();
+        let solve = json.get("solve").unwrap();
+        assert_eq!(solve.get("rhs_count").and_then(Json::as_usize), Some(3));
+        assert_eq!(
+            solve.get("residual_checked").and_then(Json::as_bool),
+            Some(true)
+        );
+        assert!(solve.get("max_residual").and_then(Json::as_f64).unwrap() < 1e-12);
+        // With the check disabled the residual renders as null but the
+        // section still reports the batch size.
+        report.solve = Some(SolveReport {
+            rhs_count: 1,
+            max_residual: None,
+        });
+        let json = Json::parse(&report.to_json()).unwrap();
+        let solve = json.get("solve").unwrap();
+        assert_eq!(
+            solve.get("residual_checked").and_then(Json::as_bool),
+            Some(false)
+        );
+        assert!(solve.get("max_residual").and_then(Json::as_f64).is_none());
+    }
+
+    #[test]
+    fn fingerprints_keep_the_solve_outcome() {
+        // The solve stage is deterministic (bit-identical factor, seeded
+        // right-hand sides), so its outcome is part of the identity.
+        let mut a = sample();
+        a.solve = Some(SolveReport {
+            rhs_count: 2,
+            max_residual: Some(1e-14),
+        });
+        let mut b = a.clone();
+        b.timings.solve_seconds = 42.0;
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.solve.as_mut().unwrap().rhs_count = 3;
         assert_ne!(a.fingerprint(), b.fingerprint());
     }
 

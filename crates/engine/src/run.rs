@@ -28,10 +28,12 @@ use treemem::solver::SolverRegistry;
 use treemem::tree::{NodeId, Size};
 use treemem::{Traversal, TraversalResult, Tree};
 
-use crate::config::{BudgetShare, EngineConfig, MemoryBudget, ParallelConfig, ProblemSource};
+use crate::config::{
+    BudgetShare, EngineConfig, MemoryBudget, ParallelConfig, ProblemSource, SolveConfig, SolveRhs,
+};
 use crate::parallel::{default_threads, par_map};
 use crate::parexec::execute_parallel;
-use crate::report::{NumericReport, ParallelReport, Report, StageTimings};
+use crate::report::{NumericReport, ParallelReport, Report, SolveReport, StageTimings};
 
 /// Errors raised anywhere in the plan/schedule/execute flow.
 #[derive(Debug)]
@@ -229,6 +231,7 @@ impl Engine {
             return Err(EngineError::NumericUnavailable);
         }
         validate_parallel(&config.parallel, config.numeric)?;
+        validate_solve(&config.solve, config.numeric)?;
         Ok(())
     }
 }
@@ -285,6 +288,60 @@ fn validate_parallel(parallel: &ParallelConfig, numeric: bool) -> Result<(), Eng
         }
     }
     Ok(())
+}
+
+/// Hard cap on the solve batch.  Right-hand sides arrive over the network
+/// as explicit vectors or a generated count: without a cap, one request
+/// asking for millions of columns allocates gigabytes before any real work
+/// starts.
+pub const MAX_SOLVE_RHS: usize = 4096;
+
+fn validate_solve(solve: &SolveConfig, numeric: bool) -> Result<(), EngineError> {
+    if !solve.enabled {
+        return Ok(());
+    }
+    if !numeric {
+        return Err(EngineError::InvalidConfig(
+            "the solve stage requires the numeric stage".to_string(),
+        ));
+    }
+    let count = solve.rhs_count();
+    if count == 0 {
+        return Err(EngineError::InvalidConfig(
+            "the solve stage needs at least one right-hand side".to_string(),
+        ));
+    }
+    if count > MAX_SOLVE_RHS {
+        return Err(EngineError::InvalidConfig(format!(
+            "at most {MAX_SOLVE_RHS} right-hand sides are supported, got {count}"
+        )));
+    }
+    if let SolveRhs::Vectors(vectors) = &solve.rhs {
+        for vector in vectors {
+            if vector.iter().any(|value| !value.is_finite()) {
+                return Err(EngineError::InvalidConfig(
+                    "right-hand sides must be finite".to_string(),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A deterministic column-major batch of `count` right-hand sides of
+/// dimension `n`, entries in `[-1, 1)` (xorshift64*; independent of any
+/// external generator so the solve stage is reproducible from the
+/// configuration alone).
+fn generated_rhs_batch(n: usize, count: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut batch = Vec::with_capacity(n * count);
+    for _ in 0..n * count {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        batch.push((state >> 11) as f64 / (1u64 << 52) as f64 - 1.0);
+    }
+    batch
 }
 
 fn acquire_pattern(source: &ProblemSource) -> Result<Option<SparsePattern>, EngineError> {
@@ -764,25 +821,54 @@ impl Schedule<'_> {
 
     /// Run the execution stage: fold the simulation into a [`Report`] and,
     /// when the configuration asks for it, run the numeric multifrontal
-    /// factorization (solver traversal on the per-column model) and attach
-    /// its measurements.
+    /// factorization (solver traversal on the per-column model) and the
+    /// batched solve stage, attaching their measurements.
     pub fn execute(&self, engine: &Engine) -> Result<Report, EngineError> {
+        Ok(self.execute_with_factor(engine)?.0)
+    }
+
+    /// [`Schedule::execute`], additionally handing back the computed factor
+    /// as a reusable [`FactorHandle`] (when the numeric stage ran) so
+    /// callers — the HTTP server's factor cache above all — can serve later
+    /// solves against it without re-running the factorization.
+    pub fn execute_with_factor(
+        &self,
+        engine: &Engine,
+    ) -> Result<(Report, Option<FactorHandle>), EngineError> {
         let plan = self.plan;
         let mut timings = self.timings();
 
-        let (numeric, parallel) = if plan.config.numeric {
+        let (numeric, parallel, handle) = if plan.config.numeric {
             let (result, numeric_seconds) = {
                 let (result, summary) = perfprof::timing::time_runs(1, || self.run_numeric(engine));
                 (result?, summary.median_seconds)
             };
             timings.numeric_seconds = numeric_seconds;
-            let (numeric_report, parallel_report) = result;
-            (Some(numeric_report), parallel_report)
+            let (numeric_report, parallel_report, factor) = result;
+            let handle = FactorHandle {
+                numeric: plan.numeric_model()?,
+                factor,
+            };
+            (Some(numeric_report), parallel_report, Some(handle))
         } else {
-            (None, None)
+            (None, None, None)
         };
 
-        Ok(Report {
+        let solve = if plan.config.solve.enabled {
+            // Plan-time validation guarantees the numeric stage ran; the
+            // error path is defensive.
+            let handle = handle.as_ref().ok_or_else(|| {
+                EngineError::InvalidConfig("the solve stage requires the numeric stage".to_string())
+            })?;
+            let (result, summary) =
+                perfprof::timing::time_runs(1, || self.run_solve(&plan.config.solve, handle));
+            timings.solve_seconds = summary.median_seconds;
+            Some(result?)
+        } else {
+            None
+        };
+
+        let report = Report {
             config_hash: self.config_hash.clone(),
             source: plan.config.source_name(),
             ordering: plan.config.ordering.name().to_string(),
@@ -801,15 +887,17 @@ impl Schedule<'_> {
             divisible_bound: self.divisible_bound,
             traversal: self.traversal.order().to_vec(),
             numeric,
+            solve,
             parallel,
             timings,
-        })
+        };
+        Ok((report, handle))
     }
 
     fn run_numeric(
         &self,
         engine: &Engine,
-    ) -> Result<(NumericReport, Option<ParallelReport>), EngineError> {
+    ) -> Result<(NumericReport, Option<ParallelReport>, CholeskyFactor), EngineError> {
         let numeric = self.plan.numeric_model()?;
         let bottom_up = numeric.order_for(engine, &self.solver)?;
 
@@ -821,7 +909,7 @@ impl Schedule<'_> {
                 factor_nnz: factor.nnz(),
                 solve_error: solve_check(&numeric.matrix, &factor),
             };
-            return Ok((numeric_report, Some(parallel_report)));
+            return Ok((numeric_report, Some(parallel_report), factor));
         }
 
         let stats = instrumented_factorization_with_structure(
@@ -835,7 +923,117 @@ impl Schedule<'_> {
             factor_nnz: stats.factor_nnz,
             solve_error: solve_check(&numeric.matrix, &stats.factor),
         };
-        Ok((numeric_report, None))
+        Ok((numeric_report, None, stats.factor))
+    }
+
+    /// The solve stage: materialize the configured right-hand sides, solve
+    /// the whole batch in one pass over the factor, and (optionally) check
+    /// the residual.
+    fn run_solve(
+        &self,
+        config: &SolveConfig,
+        handle: &FactorHandle,
+    ) -> Result<SolveReport, EngineError> {
+        let n = handle.n();
+        let mut batch: Vec<f64> = match &config.rhs {
+            SolveRhs::Generated { count, seed } => generated_rhs_batch(n, *count, *seed),
+            SolveRhs::Vectors(vectors) => {
+                for vector in vectors {
+                    if vector.len() != n {
+                        return Err(EngineError::InvalidConfig(format!(
+                            "right-hand side length {} does not match the problem dimension {n}",
+                            vector.len()
+                        )));
+                    }
+                }
+                let mut batch = Vec::with_capacity(n * vectors.len());
+                for vector in vectors {
+                    batch.extend_from_slice(vector);
+                }
+                batch
+            }
+        };
+        let rhs_count = config.rhs_count();
+        let original = config.check_residual.then(|| batch.clone());
+        handle.solve_batch(&mut batch)?;
+        let max_residual = original.map(|rhs| handle.max_residual(&rhs, &batch));
+        Ok(SolveReport {
+            rhs_count,
+            max_residual,
+        })
+    }
+}
+
+/// A computed Cholesky factor bundled with its problem, detached from the
+/// borrowed [`Schedule`]: the unit the HTTP server caches and serves
+/// `POST /solve` requests from.  Obtained via
+/// [`Schedule::execute_with_factor`].
+pub struct FactorHandle {
+    numeric: std::sync::Arc<NumericModel>,
+    factor: CholeskyFactor,
+}
+
+impl FactorHandle {
+    /// The problem dimension.
+    pub fn n(&self) -> usize {
+        self.numeric.matrix.n()
+    }
+
+    /// Nonzeros of the factor.
+    pub fn factor_nnz(&self) -> usize {
+        self.factor.nnz()
+    }
+
+    /// A deterministic column-major batch of `count` generated right-hand
+    /// sides (the same generator the solve stage uses for
+    /// [`SolveRhs::Generated`]).
+    pub fn generated_rhs(&self, count: usize, seed: u64) -> Vec<f64> {
+        generated_rhs_batch(self.n(), count, seed)
+    }
+
+    /// Solve `A X = B` in place for a column-major batch `B` of one or more
+    /// right-hand sides.  The batch length must be a positive multiple of
+    /// [`FactorHandle::n`] and at most the engine's right-hand-side cap;
+    /// entries must be finite.
+    pub fn solve_batch(&self, batch: &mut [f64]) -> Result<(), EngineError> {
+        let n = self.n();
+        if n == 0 || batch.is_empty() || !batch.len().is_multiple_of(n) {
+            return Err(EngineError::InvalidConfig(format!(
+                "the batch length {} must be a positive multiple of the problem dimension {n}",
+                batch.len()
+            )));
+        }
+        if batch.len() / n > MAX_SOLVE_RHS {
+            return Err(EngineError::InvalidConfig(format!(
+                "at most {MAX_SOLVE_RHS} right-hand sides are supported, got {}",
+                batch.len() / n
+            )));
+        }
+        if batch.iter().any(|value| !value.is_finite()) {
+            return Err(EngineError::InvalidConfig(
+                "right-hand sides must be finite".to_string(),
+            ));
+        }
+        self.factor.solve_batch(batch);
+        Ok(())
+    }
+
+    /// Largest max-norm residual `‖A x_j − b_j‖∞` over a solved batch,
+    /// given the original right-hand sides.
+    pub fn max_residual(&self, rhs: &[f64], solutions: &[f64]) -> f64 {
+        let n = self.n();
+        assert_eq!(rhs.len(), solutions.len(), "batch lengths must match");
+        let mut worst = 0.0f64;
+        if n == 0 {
+            return worst;
+        }
+        for (b, x) in rhs.chunks_exact(n).zip(solutions.chunks_exact(n)) {
+            let ax = self.numeric.matrix.multiply(x);
+            for (lhs, rhs_entry) in ax.iter().zip(b) {
+                worst = worst.max((lhs - rhs_entry).abs());
+            }
+        }
+        worst
     }
 }
 
@@ -992,6 +1190,123 @@ mod tests {
             engine.plan(&config),
             Err(EngineError::NumericUnavailable)
         ));
+    }
+
+    #[test]
+    fn solve_stage_reports_a_green_residual() {
+        let engine = Engine::new();
+        let config = EngineConfig::generated(ProblemKind::Grid2d, 144, 9)
+            .with_numeric(true)
+            .with_solve(SolveConfig::generated(3, 42));
+        let plan = engine.plan(&config).unwrap();
+        let (report, handle) = plan
+            .schedule(&engine)
+            .unwrap()
+            .execute_with_factor(&engine)
+            .unwrap();
+        let solve = report.solve.expect("solve stage ran");
+        assert_eq!(solve.rhs_count, 3);
+        let residual = solve.max_residual.expect("residual checked");
+        assert!(residual.is_finite() && residual < 1e-8, "{residual}");
+        assert!(report.timings.solve_seconds > 0.0);
+        let handle = handle.expect("numeric stage hands back a factor");
+        assert_eq!(handle.n(), report.matrix_n);
+        assert!(handle.factor_nnz() > 0);
+    }
+
+    #[test]
+    fn batched_solves_match_single_solves() {
+        let engine = Engine::new();
+        let config = EngineConfig::generated(ProblemKind::Grid3d, 64, 5).with_numeric(true);
+        let plan = engine.plan(&config).unwrap();
+        let (_, handle) = plan
+            .schedule(&engine)
+            .unwrap()
+            .execute_with_factor(&engine)
+            .unwrap();
+        let handle = handle.unwrap();
+        let n = handle.n();
+        let batch = handle.generated_rhs(4, 77);
+        let mut solved = batch.clone();
+        handle.solve_batch(&mut solved).unwrap();
+        for (column, expected) in batch.chunks_exact(n).zip(solved.chunks_exact(n)) {
+            let mut single = column.to_vec();
+            handle.solve_batch(&mut single).unwrap();
+            assert_eq!(single, expected, "batched column must match single solve");
+        }
+    }
+
+    #[test]
+    fn explicit_right_hand_sides_round_through_the_solve_stage() {
+        let engine = Engine::new();
+        let base = EngineConfig::generated(ProblemKind::Banded, 12, 3).with_numeric(true);
+        let vectors = vec![vec![1.0; 12], (0..12).map(|i| i as f64 - 6.0).collect()];
+        let config = base
+            .clone()
+            .with_solve(SolveConfig::vectors(vectors.clone()));
+        let plan = engine.plan(&config).unwrap();
+        let report = plan.schedule(&engine).unwrap().execute(&engine).unwrap();
+        let solve = report.solve.unwrap();
+        assert_eq!(solve.rhs_count, 2);
+        assert!(solve.max_residual.unwrap() < 1e-10);
+        // A wrong-length vector passes plan-time validation (lengths are
+        // only known once the matrix exists) but fails at execute time.
+        let config = base.with_solve(SolveConfig::vectors(vec![vec![1.0; 5]]));
+        let plan = engine.plan(&config).unwrap();
+        assert!(matches!(
+            plan.schedule(&engine).unwrap().execute(&engine),
+            Err(EngineError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn hostile_solve_sections_are_rejected_at_plan_time() {
+        let engine = Engine::new();
+        let base = EngineConfig::generated(ProblemKind::Grid2d, 100, 1).with_numeric(true);
+        for solve in [
+            SolveConfig::generated(0, 1),
+            SolveConfig::generated(MAX_SOLVE_RHS + 1, 1),
+            SolveConfig::vectors(vec![]),
+            SolveConfig::vectors(vec![vec![f64::NAN; 4]]),
+        ] {
+            let config = base.clone().with_solve(solve.clone());
+            assert!(
+                matches!(engine.plan(&config), Err(EngineError::InvalidConfig(_))),
+                "{solve:?} must be rejected"
+            );
+        }
+        // Solving requires the numeric stage.
+        let config = base
+            .with_numeric(false)
+            .with_solve(SolveConfig::generated(1, 1));
+        assert!(matches!(
+            engine.plan(&config),
+            Err(EngineError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn factor_handles_validate_caller_batches() {
+        let engine = Engine::new();
+        let config = EngineConfig::generated(ProblemKind::Banded, 10, 2).with_numeric(true);
+        let plan = engine.plan(&config).unwrap();
+        let (_, handle) = plan
+            .schedule(&engine)
+            .unwrap()
+            .execute_with_factor(&engine)
+            .unwrap();
+        let handle = handle.unwrap();
+        for mut bad in [
+            vec![],
+            vec![1.0; 7],
+            vec![f64::INFINITY; 10],
+            vec![0.5; 10 * (MAX_SOLVE_RHS + 1)],
+        ] {
+            assert!(matches!(
+                handle.solve_batch(&mut bad),
+                Err(EngineError::InvalidConfig(_))
+            ));
+        }
     }
 
     #[test]

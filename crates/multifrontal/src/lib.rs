@@ -29,10 +29,10 @@ pub mod memory;
 pub mod numeric;
 pub mod parallel;
 
-pub use dense::{DenseMatrix, FrontArena};
+pub use dense::{DenseMatrix, FrontArena, FrontKernel, DEFAULT_BLOCK};
 pub use memory::{instrumented_factorization, FactorizationStats};
 pub use numeric::{
-    multifrontal_cholesky, solve, CholeskyFactor, ContributionStore, FactorColumn,
-    FactorizationError, SymbolicStructure,
+    multifrontal_cholesky, multifrontal_cholesky_with, solve, solve_into, CholeskyFactor,
+    ContributionStore, FactorColumn, FactorizationError, SymbolicStructure,
 };
 pub use parallel::{BudgetLedger, ReserveSelection, SubtreeOutcome};

@@ -137,7 +137,13 @@ pub fn instrumented_factorization_with_structure(
         }
     };
     let mut tracker = MemoryTracker::default();
-    let factor = factorize_with_observer(matrix, structure, order, &mut tracker)?;
+    let factor = factorize_with_observer(
+        matrix,
+        structure,
+        order,
+        &mut tracker,
+        crate::dense::FrontKernel::default(),
+    )?;
     let model_tree = per_column_model(structure);
     let traversal = Traversal::new(order.to_vec());
     let model_peak = bottom_up_peak(&model_tree, &traversal)

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use sparsemat::{SparsePattern, SymmetricCsr};
 use symbolic::etree::{elimination_tree, etree_postorder, EliminationTree};
 
-use crate::dense::{DenseMatrix, FrontArena};
+use crate::dense::{DenseMatrix, FrontArena, FrontKernel};
 
 /// The row structure of every column of the Cholesky factor, together with
 /// the elimination tree it was derived from.
@@ -98,6 +98,51 @@ impl CholeskyFactor {
     /// Number of stored nonzeros.
     pub fn nnz(&self) -> usize {
         self.columns.iter().map(Vec::len).sum()
+    }
+
+    /// Solve `A x = b` for `k` right-hand sides stored column-major in
+    /// `rhs` (`rhs.len() == k · n`), in place: on return `rhs` holds the
+    /// solutions.  The factor traversal is shared across the batch — each
+    /// column of `L` is walked once per substitution sweep, not once per
+    /// right-hand side — and the per-column operation order is exactly that
+    /// of [`solve`], so a batched solve is bit-identical to `k` single
+    /// solves.  No allocation happens on this path.
+    pub fn solve_batch(&self, rhs: &mut [f64]) {
+        let n = self.n();
+        if n == 0 {
+            assert!(rhs.is_empty(), "right-hand sides of an empty factor");
+            return;
+        }
+        assert_eq!(
+            rhs.len() % n,
+            0,
+            "batched right-hand sides must be whole length-n columns"
+        );
+        let count = rhs.len() / n;
+        // Forward: L y = b, all columns of the batch per factor column.
+        for j in 0..n {
+            let diagonal = self.values[j][0];
+            for c in 0..count {
+                let x = &mut rhs[c * n..(c + 1) * n];
+                x[j] /= diagonal;
+                let xj = x[j];
+                for (&i, &v) in self.columns[j].iter().zip(&self.values[j]).skip(1) {
+                    x[i] -= v * xj;
+                }
+            }
+        }
+        // Backward: Lᵀ x = y.
+        for j in (0..n).rev() {
+            let diagonal = self.values[j][0];
+            for c in 0..count {
+                let x = &mut rhs[c * n..(c + 1) * n];
+                let mut sum = x[j];
+                for (&i, &v) in self.columns[j].iter().zip(&self.values[j]).skip(1) {
+                    sum -= v * x[i];
+                }
+                x[j] = sum / diagonal;
+            }
+        }
     }
 
     /// Reconstruct `L Lᵀ` as a dense matrix (tests only).
@@ -201,6 +246,18 @@ pub fn multifrontal_cholesky(
     matrix: &SymmetricCsr,
     traversal: Option<&[usize]>,
 ) -> Result<CholeskyFactor, FactorizationError> {
+    multifrontal_cholesky_with(matrix, traversal, FrontKernel::default())
+}
+
+/// [`multifrontal_cholesky`] with an explicit dense elimination kernel —
+/// the hook the kernel benchmark and the parity tests use to run the same
+/// factorization under [`FrontKernel::Reference`] and
+/// [`FrontKernel::Blocked`].
+pub fn multifrontal_cholesky_with(
+    matrix: &SymmetricCsr,
+    traversal: Option<&[usize]>,
+    kernel: FrontKernel,
+) -> Result<CholeskyFactor, FactorizationError> {
     let structure = SymbolicStructure::from_pattern(&matrix.pattern());
     let default_order;
     let order = match traversal {
@@ -210,7 +267,7 @@ pub fn multifrontal_cholesky(
             &default_order
         }
     };
-    factorize_with_observer(matrix, &structure, order, &mut NoOpObserver)
+    factorize_with_observer(matrix, &structure, order, &mut NoOpObserver, kernel)
 }
 
 /// The factorization kernel, parameterised by an observer (see
@@ -220,6 +277,7 @@ pub(crate) fn factorize_with_observer(
     structure: &SymbolicStructure,
     order: &[usize],
     observer: &mut dyn FrontalObserver,
+    kernel: FrontKernel,
 ) -> Result<CholeskyFactor, FactorizationError> {
     let n = matrix.n();
     if order.len() != n {
@@ -254,6 +312,7 @@ pub(crate) fn factorize_with_observer(
         &mut parts,
         observer,
         &mut arena,
+        kernel,
     )?;
 
     let mut factor_columns: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -290,6 +349,7 @@ pub(crate) fn eliminate_columns(
     out: &mut Vec<FactorColumn>,
     observer: &mut dyn FrontalObserver,
     arena: &mut FrontArena,
+    kernel: FrontKernel,
 ) -> Result<(), FactorizationError> {
     for &j in order {
         let rows = &structure.columns[j];
@@ -340,8 +400,8 @@ pub(crate) fn eliminate_columns(
         }
 
         // Eliminate the fully-summed variable (the first row/column).
-        front
-            .partial_cholesky(1)
+        kernel
+            .apply(&mut front, 1)
             .map_err(|_| FactorizationError::NotPositiveDefinite { column: j })?;
 
         // Extract the factor column.
@@ -369,28 +429,21 @@ pub(crate) fn eliminate_columns(
 }
 
 /// Solve `A x = b` given the Cholesky factor of `A` (forward substitution
-/// with `L`, then backward substitution with `Lᵀ`).
-pub fn solve(factor: &CholeskyFactor, b: &[f64]) -> Vec<f64> {
+/// with `L`, then backward substitution with `Lᵀ`), writing the solution
+/// into `x` without allocating — callers on the hot path recycle `x` across
+/// solves.
+pub fn solve_into(factor: &CholeskyFactor, b: &[f64], x: &mut [f64]) {
     let n = factor.n();
     assert_eq!(b.len(), n);
-    let mut x = b.to_vec();
-    // Forward: L y = b.
-    for j in 0..n {
-        let diagonal = factor.values[j][0];
-        x[j] /= diagonal;
-        let xj = x[j];
-        for (&i, &v) in factor.columns[j].iter().zip(&factor.values[j]).skip(1) {
-            x[i] -= v * xj;
-        }
-    }
-    // Backward: Lᵀ x = y.
-    for j in (0..n).rev() {
-        let mut sum = x[j];
-        for (&i, &v) in factor.columns[j].iter().zip(&factor.values[j]).skip(1) {
-            sum -= v * x[i];
-        }
-        x[j] = sum / factor.values[j][0];
-    }
+    assert_eq!(x.len(), n);
+    x.copy_from_slice(b);
+    factor.solve_batch(x);
+}
+
+/// Allocating convenience wrapper over [`solve_into`].
+pub fn solve(factor: &CholeskyFactor, b: &[f64]) -> Vec<f64> {
+    let mut x = vec![0.0; factor.n()];
+    solve_into(factor, b, &mut x);
     x
 }
 
@@ -458,6 +511,50 @@ mod tests {
                 assert!((va - vb).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn reference_and_blocked_kernels_factor_bitwise_identically() {
+        // The multifrontal path eliminates one pivot per front, where the
+        // blocked kernel collapses to the reference operation order — the
+        // whole factor must therefore match bit for bit.
+        let matrix = spd_matrix_from_pattern(&random_spd_pattern(100, 3.5, 21), 21);
+        let blocked = multifrontal_cholesky_with(&matrix, None, FrontKernel::default()).unwrap();
+        let reference = multifrontal_cholesky_with(&matrix, None, FrontKernel::Reference).unwrap();
+        for j in 0..matrix.n() {
+            assert_eq!(blocked.columns[j], reference.columns[j]);
+            assert_eq!(blocked.values[j], reference.values[j], "column {j}");
+        }
+    }
+
+    #[test]
+    fn solve_batch_is_bit_identical_to_repeated_single_solves() {
+        let matrix = grid2d_matrix(7, 5, 9);
+        let n = matrix.n();
+        let factor = multifrontal_cholesky(&matrix, None).unwrap();
+        let count = 4;
+        let mut batch: Vec<f64> = (0..count * n)
+            .map(|i| ((i * 31 + 7) % 23) as f64 - 11.0)
+            .collect();
+        let singles: Vec<Vec<f64>> = (0..count)
+            .map(|c| solve(&factor, &batch[c * n..(c + 1) * n]))
+            .collect();
+        factor.solve_batch(&mut batch);
+        for (c, single) in singles.iter().enumerate() {
+            assert_eq!(&batch[c * n..(c + 1) * n], single.as_slice(), "rhs {c}");
+        }
+    }
+
+    #[test]
+    fn solve_into_reuses_the_output_buffer() {
+        let matrix = grid2d_matrix(4, 4, 2);
+        let n = matrix.n();
+        let factor = multifrontal_cholesky(&matrix, None).unwrap();
+        let expected: Vec<f64> = (0..n).map(|i| (i % 5) as f64 - 2.0).collect();
+        let rhs = matrix.multiply(&expected);
+        let mut x = vec![f64::NAN; n];
+        solve_into(&factor, &rhs, &mut x);
+        assert_eq!(x, solve(&factor, &rhs));
     }
 
     #[test]

@@ -31,7 +31,7 @@ use std::sync::{Condvar, Mutex};
 
 use sparsemat::SymmetricCsr;
 
-use crate::dense::FrontArena;
+use crate::dense::{FrontArena, FrontKernel};
 use crate::numeric::{
     eliminate_columns, CholeskyFactor, ContributionStore, FactorColumn, FactorizationError,
     FrontalObserver, SymbolicStructure,
@@ -233,6 +233,34 @@ pub fn factor_columns(
     ledger: &BudgetLedger,
     arena: &mut FrontArena,
 ) -> Result<SubtreeOutcome, FactorizationError> {
+    factor_columns_with(
+        matrix,
+        structure,
+        children,
+        order,
+        blocks_in,
+        ledger,
+        arena,
+        FrontKernel::default(),
+    )
+}
+
+/// [`factor_columns`] with an explicit dense elimination kernel.  The
+/// kernel choice (and with it the panel width) rides alongside the
+/// per-worker `arena`: both are plain per-task state, so switching kernels
+/// changes neither the arena's retention bound nor the assembly order the
+/// bit-reproducibility guarantee rests on.
+#[allow(clippy::too_many_arguments)]
+pub fn factor_columns_with(
+    matrix: &SymmetricCsr,
+    structure: &SymbolicStructure,
+    children: &[Vec<usize>],
+    order: &[usize],
+    blocks_in: ContributionStore,
+    ledger: &BudgetLedger,
+    arena: &mut FrontArena,
+    kernel: FrontKernel,
+) -> Result<SubtreeOutcome, FactorizationError> {
     let mut pending = blocks_in;
     let mut columns = Vec::with_capacity(order.len());
     let mut observer = LedgerObserver { ledger };
@@ -245,6 +273,7 @@ pub fn factor_columns(
         &mut columns,
         &mut observer,
         arena,
+        kernel,
     )?;
     let block_entries = pending.total_entries();
     Ok(SubtreeOutcome {

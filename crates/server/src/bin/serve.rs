@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! serve [--addr HOST:PORT] [--workers N] [--cache-capacity N]
-//!       [--cache-ttl-seconds S] [--max-body-bytes N]
+//!       [--cache-ttl-seconds S] [--factor-cache-capacity N]
+//!       [--max-body-bytes N]
 //! ```
 //!
 //! Binds (port 0 picks an ephemeral port, printed on stdout) and serves
@@ -16,7 +17,8 @@ use server::{Server, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--addr HOST:PORT] [--workers N] [--cache-capacity N]\n\
-         \x20      [--cache-ttl-seconds S] [--max-body-bytes N]"
+         \x20      [--cache-ttl-seconds S] [--factor-cache-capacity N]\n\
+         \x20      [--max-body-bytes N]"
     );
     std::process::exit(2);
 }
@@ -50,6 +52,9 @@ fn main() {
                     iter.next(),
                 )));
             }
+            "--factor-cache-capacity" => {
+                config.factor_cache_capacity = parse("--factor-cache-capacity", iter.next());
+            }
             "--max-body-bytes" => config.max_body_bytes = parse("--max-body-bytes", iter.next()),
             _ => usage(),
         }
@@ -61,7 +66,7 @@ fn main() {
     });
     println!(
         "serving on http://{} ({workers} workers); endpoints: \
-         POST /plan /schedule /report, GET /healthz /stats",
+         POST /plan /schedule /report /solve, GET /healthz /stats",
         handle.addr()
     );
     // Serve until the process is killed; the handle's Drop tears the

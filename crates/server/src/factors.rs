@@ -1,0 +1,158 @@
+//! A bounded LRU of computed Cholesky factors, keyed by effective-config
+//! hash: the substrate of `POST /solve`.
+//!
+//! Every `/report` run with the numeric stage enabled deposits its
+//! [`engine::FactorHandle`] here, and a later `/solve` resolves the hash to
+//! the cached factor without re-running the factorization — that is the
+//! whole point of the endpoint: the expensive part (ordering, symbolic
+//! analysis, numeric factorization) happens once, the cheap part (two
+//! triangular solves per right-hand side) happens per request.
+//!
+//! Factors are big — `factor_nnz` doubles — so the cache is strictly
+//! bounded by entry count and evicts least-recently-used.  Unlike the plan
+//! cache there is no TTL: a factor never goes stale (the configuration hash
+//! pins problem, ordering, and kernel bit-for-bit).
+
+use std::sync::{Arc, Mutex};
+
+use engine::FactorHandle;
+
+/// Counters for the `/stats` document.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FactorCacheStats {
+    /// `/solve` requests answered from the cache.
+    pub hits: u64,
+    /// `/solve` requests whose hash had no cached factor (404s).
+    pub misses: u64,
+    /// Factors evicted to respect the capacity.
+    pub evictions: u64,
+    /// Factors currently cached.
+    pub entries: usize,
+    /// Maximum number of cached factors.
+    pub capacity: usize,
+}
+
+struct FactorCacheInner {
+    /// Most-recently-used last; linear scans are fine at the capacities
+    /// this cache runs at (a handful of factors, each megabytes).
+    entries: Vec<(String, Arc<FactorHandle>)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// The bounded factor cache; see the module docs.
+pub struct FactorCache {
+    inner: Mutex<FactorCacheInner>,
+    capacity: usize,
+}
+
+impl FactorCache {
+    /// A cache retaining at most `capacity` factors (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        FactorCache {
+            inner: Mutex::new(FactorCacheInner {
+                entries: Vec::new(),
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Look up the factor of `config_hash`, marking it most recently used.
+    pub fn get(&self, config_hash: &str) -> Option<Arc<FactorHandle>> {
+        let mut inner = self.inner.lock().expect("factor cache poisoned");
+        match inner
+            .entries
+            .iter()
+            .position(|(hash, _)| hash == config_hash)
+        {
+            Some(index) => {
+                let entry = inner.entries.remove(index);
+                let handle = entry.1.clone();
+                inner.entries.push(entry);
+                inner.hits += 1;
+                Some(handle)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Cache `handle` under `config_hash` (replacing any previous factor of
+    /// the same hash), evicting the least recently used entry when full.
+    pub fn insert(&self, config_hash: &str, handle: Arc<FactorHandle>) {
+        let mut inner = self.inner.lock().expect("factor cache poisoned");
+        if let Some(index) = inner
+            .entries
+            .iter()
+            .position(|(hash, _)| hash == config_hash)
+        {
+            inner.entries.remove(index);
+        } else if inner.entries.len() >= self.capacity {
+            inner.entries.remove(0);
+            inner.evictions += 1;
+        }
+        inner.entries.push((config_hash.to_string(), handle));
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> FactorCacheStats {
+        let inner = self.inner.lock().expect("factor cache poisoned");
+        FactorCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::prelude::*;
+
+    fn handle(seed: u64) -> Arc<FactorHandle> {
+        let engine = Engine::new();
+        let config = EngineConfig::generated(sparsemat::gen::ProblemKind::Banded, 12, seed)
+            .with_numeric(true);
+        let plan = engine.plan(&config).unwrap();
+        let (_, handle) = plan
+            .schedule(&engine)
+            .unwrap()
+            .execute_with_factor(&engine)
+            .unwrap();
+        Arc::new(handle.unwrap())
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_factor() {
+        let cache = FactorCache::new(2);
+        cache.insert("a", handle(1));
+        cache.insert("b", handle(2));
+        assert!(cache.get("a").is_some()); // "b" is now coldest
+        cache.insert("c", handle(3));
+        assert!(cache.get("b").is_none());
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn reinsertion_replaces_without_eviction() {
+        let cache = FactorCache::new(2);
+        cache.insert("a", handle(1));
+        cache.insert("a", handle(4));
+        assert_eq!(cache.stats().entries, 1);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+}

@@ -14,12 +14,20 @@
 //! | `POST /plan`      | `EngineConfig`  | effective-config hash, node counts, cache disposition |
 //! | `POST /schedule`  | `EngineConfig`  | traversal peak, memory budget, I/O volume, divisible bound |
 //! | `POST /report`    | `EngineConfig`  | the full `engine_report/v1` document |
+//! | `POST /solve`     | solve request   | batched triangular solves against a cached factor |
 //! | `GET /healthz`    | —               | liveness probe |
-//! | `GET /stats`      | —               | cache hit rate, in-flight count, per-stage latency percentiles |
+//! | `GET /stats`      | —               | cache hit rates, in-flight count, per-stage latency percentiles |
 //!
 //! `POST` responses carry `X-Cache: hit|miss` and `X-Config-Hash` headers;
 //! a cache-hit report is identical to the cold-path report for the same
 //! configuration except for wall-clock timings.
+//!
+//! A numeric `/report` deposits its Cholesky factor in a bounded
+//! [`factors::FactorCache`]; `POST /solve` then names that report's
+//! `X-Config-Hash` in its body (`{"config_hash": "...", "count": 8}` or
+//! explicit `"vectors"`) and gets the batched solve — two triangular
+//! sweeps per right-hand side — without re-running the factorization.
+//! An unknown hash is a 404 (`X-Cache: miss`).
 //!
 //! Connections are accepted on one thread and executed on a fixed
 //! [`engine::parallel::WorkerPool`]; malformed requests (bad HTTP framing,
@@ -35,6 +43,7 @@
 //! ```
 
 pub mod client;
+pub mod factors;
 pub mod http;
 pub mod service;
 pub mod stats;
@@ -64,6 +73,10 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Optional time-to-live of a cached plan.
     pub cache_ttl: Option<Duration>,
+    /// Maximum number of cached Cholesky factors (`POST /solve` resolves
+    /// against this cache).  Factors are much bigger than plans, so the
+    /// default is deliberately small.
+    pub factor_cache_capacity: usize,
     /// Largest accepted request body, in bytes (prebuilt-tree configurations
     /// inline three arrays per node, so this is generous by default).
     pub max_body_bytes: usize,
@@ -82,6 +95,7 @@ impl Default for ServerConfig {
             workers: engine::parallel::default_threads(usize::MAX),
             cache_capacity: 64,
             cache_ttl: None,
+            factor_cache_capacity: 8,
             max_body_bytes: 64 * 1024 * 1024,
             io_timeout: Duration::from_secs(10),
             max_backlog: 1024,
@@ -103,6 +117,7 @@ impl Server {
         let workers = config.workers.max(1);
         let service = Arc::new(Service::new(
             PlanCache::new(config.cache_capacity, config.cache_ttl),
+            crate::factors::FactorCache::new(config.factor_cache_capacity),
             workers,
         ));
         let shutdown = Arc::new(AtomicBool::new(false));

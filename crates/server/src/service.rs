@@ -2,20 +2,23 @@
 //! [`Service::handle_request`] maps a parsed [`Request`] to a [`Response`],
 //! which makes the whole API surface testable without binding a port.
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use engine::json::escape;
+use engine::json::{escape, Json};
 use engine::prelude::*;
-use engine::{CacheStats, PlanCache};
+use engine::{CacheStats, PlanCache, MAX_SOLVE_RHS};
 
+use crate::factors::{FactorCache, FactorCacheStats};
 use crate::http::{reason_phrase, Request};
 use crate::stats::ServerStats;
 
-/// Everything the handlers share: the engine, the plan cache, and the
-/// observability counters.
+/// Everything the handlers share: the engine, the plan and factor caches,
+/// and the observability counters.
 pub struct Service {
     engine: Engine,
     cache: PlanCache,
+    factors: FactorCache,
     stats: ServerStats,
     workers: usize,
 }
@@ -60,12 +63,14 @@ impl Response {
 }
 
 impl Service {
-    /// A service over the built-in registries with the given plan cache and
-    /// worker count (the latter only reported in `/stats`).
-    pub fn new(cache: PlanCache, workers: usize) -> Self {
+    /// A service over the built-in registries with the given plan and
+    /// factor caches and worker count (the latter only reported in
+    /// `/stats`).
+    pub fn new(cache: PlanCache, factors: FactorCache, workers: usize) -> Self {
         Service {
             engine: Engine::new(),
             cache,
+            factors,
             stats: ServerStats::new(),
             workers,
         }
@@ -81,24 +86,31 @@ impl Service {
         self.cache.stats()
     }
 
+    /// Current factor-cache counters.
+    pub fn factor_cache_stats(&self) -> FactorCacheStats {
+        self.factors.stats()
+    }
+
     /// Route one parsed request to its handler.  Never panics on hostile
     /// input: every failure is a status code plus a JSON error body.
     pub fn handle_request(&self, request: &Request) -> Response {
         let started = Instant::now();
         let response = match (request.method.as_str(), request.path.as_str()) {
             ("GET", "/healthz") => Response::ok("{\"status\": \"ok\"}\n".to_string()),
-            ("GET", "/stats") => {
-                Response::ok(self.stats.to_json(&self.cache.stats(), self.workers))
-            }
+            ("GET", "/stats") => Response::ok(self.stats.to_json(
+                &self.cache.stats(),
+                &self.factors.stats(),
+                self.workers,
+            )),
             ("POST", "/plan") => self.handle_plan(&request.body),
             ("POST", "/schedule") => self.handle_schedule(&request.body),
             ("POST", "/report") => self.handle_report(&request.body),
-            ("GET", "/plan" | "/schedule" | "/report") | ("POST", "/healthz" | "/stats") => {
-                Response::error(
-                    405,
-                    &format!("{} does not support {}", request.path, request.method),
-                )
-            }
+            ("POST", "/solve") => self.handle_solve(&request.body),
+            ("GET", "/plan" | "/schedule" | "/report" | "/solve")
+            | ("POST", "/healthz" | "/stats") => Response::error(
+                405,
+                &format!("{} does not support {}", request.path, request.method),
+            ),
             _ => Response::error(404, &format!("no route for {}", request.path)),
         };
         let endpoint = request.path.trim_start_matches('/');
@@ -217,18 +229,178 @@ impl Service {
             Ok(result) => result,
             Err(response) => return response,
         };
-        let report = match plan
+        let (report, factor) = match plan
             .schedule(&self.engine)
-            .and_then(|schedule| schedule.execute(&self.engine))
+            .and_then(|schedule| schedule.execute_with_factor(&self.engine))
         {
-            Ok(report) => report,
+            Ok(result) => result,
             Err(e) => return engine_error_response(&e),
         };
+        // Deposit the factor so later `POST /solve` requests can resolve
+        // this configuration's hash without re-factorizing.
+        if let Some(factor) = factor {
+            self.factors.insert(&report.config_hash, Arc::new(factor));
+        }
         self.record_schedule_stages(&report.timings, Some(&report));
         Response {
             cache_hit: Some(hit),
             config_hash: Some(report.config_hash.clone()),
             ..Response::ok(report.to_json())
+        }
+    }
+
+    /// `POST /solve`: resolve a cached factor by effective-config hash and
+    /// solve a batch of right-hand sides against it.
+    ///
+    /// The body is a JSON object: `config_hash` (required — the
+    /// `X-Config-Hash` of a previous numeric `/report`), then either
+    /// `vectors` (an array of length-`n` arrays) or `count`/`seed` for
+    /// generated right-hand sides, plus the flags `check_residual`
+    /// (default true) and `return_solutions` (default false).  An unknown
+    /// hash is a 404 with `X-Cache: miss`; a hit carries `X-Cache: hit`.
+    fn handle_solve(&self, body: &[u8]) -> Response {
+        let parse_started = Instant::now();
+        let Ok(text) = std::str::from_utf8(body) else {
+            return Response::error(400, "request body is not UTF-8");
+        };
+        let json = match Json::parse(text) {
+            Ok(json) => json,
+            Err(e) => return Response::error(400, &format!("invalid solve request: {e}")),
+        };
+        let Some(config_hash) = json.get("config_hash").and_then(Json::as_str) else {
+            return Response::error(
+                400,
+                "solve requests need a \"config_hash\" string naming a previous numeric report",
+            );
+        };
+        let check_residual = json
+            .get("check_residual")
+            .and_then(Json::as_bool)
+            .unwrap_or(true);
+        let return_solutions = json
+            .get("return_solutions")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        if let Some(recorder) = self.stats.stage("parse") {
+            recorder.record(parse_started.elapsed().as_secs_f64());
+        }
+
+        let Some(factor) = self.factors.get(config_hash) else {
+            return Response {
+                cache_hit: Some(false),
+                config_hash: Some(config_hash.to_string()),
+                ..Response::error(
+                    404,
+                    &format!(
+                        "no cached factor for config_hash '{config_hash}'; \
+                         POST /report with \"numeric\": true first"
+                    ),
+                )
+            };
+        };
+        let n = factor.n();
+
+        let mut batch: Vec<f64>;
+        if let Some(vectors) = json.get("vectors") {
+            let Some(vectors) = vectors.as_array() else {
+                return Response::error(400, "\"vectors\" must be an array of number arrays");
+            };
+            if vectors.is_empty() || vectors.len() > MAX_SOLVE_RHS {
+                return Response::error(
+                    400,
+                    &format!(
+                        "between 1 and {MAX_SOLVE_RHS} right-hand sides are supported, got {}",
+                        vectors.len()
+                    ),
+                );
+            }
+            batch = Vec::with_capacity(n * vectors.len());
+            for vector in vectors {
+                let Some(entries) = vector.as_array() else {
+                    return Response::error(400, "\"vectors\" must be an array of number arrays");
+                };
+                if entries.len() != n {
+                    return Response::error(
+                        400,
+                        &format!(
+                            "right-hand side length {} does not match the problem dimension {n}",
+                            entries.len()
+                        ),
+                    );
+                }
+                for entry in entries {
+                    match entry.as_f64() {
+                        Some(value) if value.is_finite() => batch.push(value),
+                        _ => {
+                            return Response::error(400, "right-hand sides must be finite numbers")
+                        }
+                    }
+                }
+            }
+        } else {
+            let count = json.get("count").and_then(Json::as_usize).unwrap_or(1);
+            let seed = json.get("seed").and_then(Json::as_u64).unwrap_or(1);
+            if count == 0 || count > MAX_SOLVE_RHS {
+                return Response::error(
+                    400,
+                    &format!(
+                        "between 1 and {MAX_SOLVE_RHS} right-hand sides are supported, got {count}"
+                    ),
+                );
+            }
+            batch = factor.generated_rhs(count, seed);
+        }
+        let rhs_count = batch.len() / n.max(1);
+
+        let solve_started = Instant::now();
+        let original = check_residual.then(|| batch.clone());
+        if let Err(e) = factor.solve_batch(&mut batch) {
+            return engine_error_response(&e);
+        }
+        let max_residual = original.map(|rhs| factor.max_residual(&rhs, &batch));
+        let solve_seconds = solve_started.elapsed().as_secs_f64();
+        if let Some(recorder) = self.stats.stage("solve") {
+            recorder.record(solve_seconds);
+        }
+
+        let mut body = format!(
+            "{{\n  \"schema\": \"engine_server_solve/v1\",\n  \"config_hash\": \"{}\",\n  \
+             \"cache\": \"hit\",\n  \"n\": {n},\n  \"rhs_count\": {rhs_count},\n  \
+             \"factor_nnz\": {},\n  \"solve_seconds\": {:.6},\n  \"max_residual\": {}",
+            escape(config_hash),
+            factor.factor_nnz(),
+            solve_seconds,
+            match max_residual {
+                Some(value) if value.is_finite() => format!("{value:e}"),
+                _ => "null".to_string(),
+            },
+        );
+        if return_solutions {
+            body.push_str(",\n  \"solutions\": [");
+            for (index, column) in batch.chunks_exact(n).enumerate() {
+                if index > 0 {
+                    body.push_str(", ");
+                }
+                body.push('[');
+                for (position, value) in column.iter().enumerate() {
+                    if position > 0 {
+                        body.push_str(", ");
+                    }
+                    if value.is_finite() {
+                        body.push_str(&format!("{value:e}"));
+                    } else {
+                        body.push_str("null");
+                    }
+                }
+                body.push(']');
+            }
+            body.push(']');
+        }
+        body.push_str("\n}\n");
+        Response {
+            cache_hit: Some(true),
+            config_hash: Some(config_hash.to_string()),
+            ..Response::ok(body)
         }
     }
 
@@ -243,6 +415,11 @@ impl Service {
             if report.numeric.is_some() {
                 if let Some(recorder) = self.stats.stage("numeric") {
                     recorder.record(timings.numeric_seconds);
+                }
+            }
+            if report.solve.is_some() {
+                if let Some(recorder) = self.stats.stage("solve") {
+                    recorder.record(timings.solve_seconds);
                 }
             }
         }
@@ -271,7 +448,7 @@ mod tests {
     use engine::json::Json;
 
     fn service() -> Service {
-        Service::new(PlanCache::new(8, None), 2)
+        Service::new(PlanCache::new(8, None), FactorCache::new(4), 2)
     }
 
     fn post(service: &Service, path: &str, body: &str) -> Response {
@@ -436,6 +613,126 @@ mod tests {
             .with_numeric(false)
             .with_parallel(engine::ParallelConfig::with_workers(2));
         assert_eq!(post(&service, "/report", &invalid.to_json()).status, 400);
+    }
+
+    /// Run a numeric `/report` and return its config hash (the `/solve`
+    /// key).
+    fn factored_hash(service: &Service) -> String {
+        let config = EngineConfig::generated(sparsemat::gen::ProblemKind::Grid2d, 100, 7)
+            .with_numeric(true)
+            .to_json();
+        let response = post(service, "/report", &config);
+        assert_eq!(response.status, 200, "{}", response.body);
+        response.config_hash.expect("report carries its hash")
+    }
+
+    #[test]
+    fn solve_resolves_a_cached_factor() {
+        let service = service();
+        let hash = factored_hash(&service);
+        let body = format!("{{\"config_hash\": \"{hash}\", \"count\": 3, \"seed\": 9}}");
+        let response = post(&service, "/solve", &body);
+        assert_eq!(response.status, 200, "{}", response.body);
+        assert_eq!(response.cache_hit, Some(true));
+        assert_eq!(response.config_hash, Some(hash.clone()));
+        let json = Json::parse(&response.body).unwrap();
+        assert_eq!(json.get("rhs_count").and_then(Json::as_usize), Some(3));
+        let residual = json
+            .get("max_residual")
+            .and_then(Json::as_f64)
+            .expect("residual checked by default");
+        assert!(residual < 1e-8, "{residual}");
+        assert!(json.get("solutions").is_none(), "not requested");
+        // The solve stage latency was recorded.
+        assert_eq!(service.stats().stage("solve").unwrap().summary().count, 1);
+        assert_eq!(service.factor_cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn solve_returns_solutions_for_explicit_vectors() {
+        let service = service();
+        let hash = factored_hash(&service);
+        let rhs: Vec<String> = (0..100).map(|i| format!("{}.0", i % 5)).collect();
+        let body = format!(
+            "{{\"config_hash\": \"{hash}\", \"vectors\": [[{}]], \"return_solutions\": true}}",
+            rhs.join(", ")
+        );
+        let response = post(&service, "/solve", &body);
+        assert_eq!(response.status, 200, "{}", response.body);
+        let json = Json::parse(&response.body).unwrap();
+        let solutions = json.get("solutions").and_then(Json::as_array).unwrap();
+        assert_eq!(solutions.len(), 1);
+        assert_eq!(solutions[0].as_array().unwrap().len(), 100);
+        assert!(json.get("max_residual").and_then(Json::as_f64).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn unknown_hashes_are_404s_with_a_miss_disposition() {
+        let service = service();
+        let response = post(&service, "/solve", "{\"config_hash\": \"deadbeef\"}");
+        assert_eq!(response.status, 404, "{}", response.body);
+        assert_eq!(response.cache_hit, Some(false));
+        assert!(Json::parse(&response.body).is_ok());
+        assert_eq!(service.factor_cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn malformed_solve_requests_are_400s() {
+        let service = service();
+        let hash = factored_hash(&service);
+        let wrong_length = format!("{{\"config_hash\": \"{hash}\", \"vectors\": [[1.0, 2.0]]}}");
+        let not_numbers = format!("{{\"config_hash\": \"{hash}\", \"vectors\": [\"x\"]}}");
+        let empty_vectors = format!("{{\"config_hash\": \"{hash}\", \"vectors\": []}}");
+        let zero_count = format!("{{\"config_hash\": \"{hash}\", \"count\": 0}}");
+        let huge_count = format!("{{\"config_hash\": \"{hash}\", \"count\": 1000000}}");
+        for body in [
+            "",                     // not JSON at all
+            "not json",             // ditto
+            "{}",                   // no config_hash
+            "{\"config_hash\": 7}", // hash is not a string
+            wrong_length.as_str(),  // RHS length mismatch
+            not_numbers.as_str(),   // RHS entries are not arrays
+            empty_vectors.as_str(), // zero right-hand sides
+            zero_count.as_str(),    // ditto, generated
+            huge_count.as_str(),    // over the batch cap
+        ] {
+            let response = post(&service, "/solve", body);
+            let label = &body[..body.len().min(40)];
+            assert_eq!(response.status, 400, "{label:?} -> {}", response.body);
+            assert!(Json::parse(&response.body).is_ok());
+        }
+        // Wrong method.
+        assert_eq!(get(&service, "/solve").status, 405);
+        // The factor survives the barrage.
+        let good = format!("{{\"config_hash\": \"{hash}\"}}");
+        assert_eq!(post(&service, "/solve", &good).status, 200);
+    }
+
+    #[test]
+    fn reports_without_the_numeric_stage_deposit_no_factor() {
+        let service = service();
+        let config = sample_config(); // numeric disabled
+        let response = post(&service, "/report", &config);
+        assert_eq!(response.status, 200, "{}", response.body);
+        let hash = response.config_hash.unwrap();
+        let body = format!("{{\"config_hash\": \"{hash}\"}}");
+        assert_eq!(post(&service, "/solve", &body).status, 404);
+    }
+
+    #[test]
+    fn solve_enabled_reports_carry_the_solve_section() {
+        let service = service();
+        let config = EngineConfig::generated(sparsemat::gen::ProblemKind::Grid2d, 100, 7)
+            .with_numeric(true)
+            .with_solve(engine::SolveConfig::generated(2, 5))
+            .to_json();
+        let response = post(&service, "/report", &config);
+        assert_eq!(response.status, 200, "{}", response.body);
+        let json = Json::parse(&response.body).unwrap();
+        let solve = json.get("solve").expect("solve section present");
+        assert_eq!(solve.get("rhs_count").and_then(Json::as_usize), Some(2));
+        assert!(solve.get("max_residual").and_then(Json::as_f64).unwrap() < 1e-8);
+        assert_eq!(service.stats().stage("solve").unwrap().summary().count, 1);
     }
 
     #[test]

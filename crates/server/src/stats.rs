@@ -54,11 +54,13 @@ impl LatencyRecorder {
 
 /// Names of the per-request-stage recorders, in report order.  `parse` is
 /// body parsing + validation, `plan` the ordering/symbolic stages (cache
-/// misses only), `solver`/`io`/`numeric` the schedule and execute stages.
-pub const STAGE_NAMES: [&str; 5] = ["parse", "plan", "solver", "io", "numeric"];
+/// misses only), `solver`/`io`/`numeric` the schedule and execute stages,
+/// `solve` the batched triangular solves (`/solve` and solve-enabled
+/// reports).
+pub const STAGE_NAMES: [&str; 6] = ["parse", "plan", "solver", "io", "numeric", "solve"];
 
 /// Names of the latency-tracked endpoints, in report order.
-pub const ENDPOINT_NAMES: [&str; 3] = ["plan", "schedule", "report"];
+pub const ENDPOINT_NAMES: [&str; 4] = ["plan", "schedule", "report", "solve"];
 
 /// All counters and recorders of one running server.
 pub struct ServerStats {
@@ -121,7 +123,12 @@ impl ServerStats {
 
     /// Render everything (plus the given cache counters and worker count) as
     /// the `/stats` JSON document (schema `engine_server_stats/v1`).
-    pub fn to_json(&self, cache: &engine::CacheStats, workers: usize) -> String {
+    pub fn to_json(
+        &self,
+        cache: &engine::CacheStats,
+        factors: &crate::factors::FactorCacheStats,
+        workers: usize,
+    ) -> String {
         let mut out = String::new();
         out.push_str("{\n  \"schema\": \"engine_server_stats/v1\",\n");
         out.push_str(&format!(
@@ -153,6 +160,11 @@ impl ServerStats {
             cache.expirations,
             cache.entries,
             cache.capacity
+        ));
+        out.push_str(&format!(
+            "  \"factor_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+             \"entries\": {}, \"capacity\": {}}},\n",
+            factors.hits, factors.misses, factors.evictions, factors.entries, factors.capacity
         ));
         out.push_str("  \"endpoints\": {");
         for (index, name) in ENDPOINT_NAMES.iter().enumerate() {
@@ -211,7 +223,12 @@ mod tests {
             capacity: 8,
             ..Default::default()
         };
-        let doc = stats.to_json(&cache, 4);
+        let factors = crate::factors::FactorCacheStats {
+            hits: 2,
+            capacity: 8,
+            ..Default::default()
+        };
+        let doc = stats.to_json(&cache, &factors, 4);
         let json = Json::parse(&doc).unwrap();
         assert_eq!(
             json.get("schema").and_then(Json::as_str),
@@ -229,6 +246,17 @@ mod tests {
                 .and_then(Json::as_u64),
             Some(3)
         );
+        assert_eq!(
+            json.get("factor_cache")
+                .and_then(|c| c.get("hits"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        assert!(json
+            .get("stages")
+            .and_then(|s| s.get("solve"))
+            .and_then(|s| s.get("count"))
+            .is_some());
         assert_eq!(
             json.get("endpoints")
                 .and_then(|e| e.get("plan"))

@@ -264,3 +264,37 @@ fn prebuilt_tree_configs_run_end_to_end() {
     assert!(report.get("io_volume").and_then(Json::as_u64).unwrap() > 0);
     handle.shutdown().expect("clean shutdown");
 }
+
+#[test]
+fn solve_round_trips_over_tcp() {
+    let handle = spawn_default();
+    let config = EngineConfig::generated(ProblemKind::Grid2d, 120, 11)
+        .with_numeric(true)
+        .to_json();
+    let (status, headers, body) = post(handle.addr(), "/report", &config);
+    assert_eq!(status, 200, "{body}");
+    let hash = header(&headers, "x-config-hash")
+        .expect("hash header")
+        .to_string();
+
+    // Hot solve against the cached factor.
+    let solve_body = format!("{{\"config_hash\": \"{hash}\", \"count\": 2, \"seed\": 3}}");
+    let (status, headers, body) = post(handle.addr(), "/solve", &solve_body);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(header(&headers, "x-cache"), Some("hit"));
+    let json = Json::parse(&body).expect("solve response is JSON");
+    assert_eq!(json.get("rhs_count").and_then(Json::as_usize), Some(2));
+    assert!(json.get("max_residual").and_then(Json::as_f64).unwrap() < 1e-8);
+
+    // Unknown hash: 404 with a miss disposition.
+    let (status, headers, _) = post(handle.addr(), "/solve", "{\"config_hash\": \"nope\"}");
+    assert_eq!(status, 404);
+    assert_eq!(header(&headers, "x-cache"), Some("miss"));
+
+    // The factor cache shows up in /stats.
+    let (_, _, stats_body) = get(handle.addr(), "/stats");
+    let stats = Json::parse(&stats_body).unwrap();
+    let factor_cache = stats.get("factor_cache").expect("factor_cache section");
+    assert_eq!(factor_cache.get("hits").and_then(Json::as_u64), Some(1));
+    handle.shutdown().expect("clean shutdown");
+}
