@@ -560,6 +560,281 @@ fn malformed(addr: SocketAddr, violations: &mut Violations) -> ScenarioResult {
     }
 }
 
+/// The fault plan the chaos pass arms: six rules over six distinct points,
+/// mixing all three actions (sleep, panic, drop) across the planning,
+/// scheduling, and numeric layers.  Each rule fires exactly once.
+const CHAOS_FAULT_PLAN: &str = "sleep:40@plan:ordering,panic@plan:symbolic#2,\
+     panic@execute:numeric#2,drop@parexec:task#2,panic@arena:alloc#3,sleep:30@schedule:io";
+
+/// POST with chaos-mode retries: 5xx (an injected fault landed on this
+/// request) and transport failures retry after a short pause, 503/504
+/// honor `Retry-After`.  Returns the final response plus how many 5xx
+/// responses were absorbed along the way.
+fn chaos_post(addr: SocketAddr, path: &str, body: &str) -> (ClientResponse, usize) {
+    let mut absorbed_5xx = 0usize;
+    for _ in 0..4 {
+        match client::post(addr, path, body) {
+            Ok(response) if response.status >= 500 => {
+                absorbed_5xx += 1;
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            Ok(response) if response.status == 503 => {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            Ok(response) => return (response, absorbed_5xx),
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(25)),
+        }
+    }
+    let last = client::post_with_retry(addr, path, body, 2, std::time::Duration::from_millis(100))
+        .unwrap_or_else(|e| {
+            eprintln!("loadgen: chaos transport failure on {path}: {e}");
+            std::process::exit(1);
+        });
+    (last, absorbed_5xx)
+}
+
+/// The chaos harness: collect uninjected reference reports from a fresh
+/// server, then arm the fault-injection registry and fire ≥200 mixed
+/// requests at a second server while a sidecar thread polls `/healthz`.
+/// Afterwards the faults are cleared and every configuration must recover:
+/// identical reports, working cache, and a deadline probe that turns into
+/// a prompt 504.
+fn chaos(sizes: &Sizes, violations: &mut Violations) -> (ScenarioResult, String) {
+    let started = Instant::now();
+
+    // The request mix: plain, numeric, parallel-numeric, prebuilt, and a
+    // plan-only configuration.  Sized well below the headline corpus so
+    // ≥200 requests stay tractable.
+    let nodes = sizes.hot_set_nodes;
+    let plain = grid_config(nodes, 900);
+    let numeric = EngineConfig::generated(ProblemKind::Grid2d, nodes.min(2_000), 901)
+        .with_numeric(true)
+        .to_json();
+    let parallel = EngineConfig::generated(ProblemKind::Grid2d, nodes.min(2_000), 902)
+        .with_numeric(true)
+        .with_parallel(engine::ParallelConfig::with_workers(2).with_max_tasks(8))
+        .to_json();
+    let prebuilt = EngineConfig::prebuilt(treemem::gadgets::harpoon(4, 400, 1))
+        .with_memory(MemoryBudget::FractionOfPeak(0.0))
+        .to_json();
+    let plan_only = grid_config(nodes.min(2_000), 903);
+    let reports: Vec<&String> = vec![&plain, &numeric, &parallel, &prebuilt];
+
+    // Reference pass: a fresh, fault-free server establishes the ground
+    // truth every later report must match bit-for-bit (minus timings).
+    engine::faultinject::clear();
+    let reference = spawn_server();
+    let mut reference_identity = Vec::new();
+    for config in &reports {
+        let (_, response) = timed_post(reference.addr(), "/report", config, violations);
+        let identity = client::report_fingerprint(&response.body);
+        violations.check(identity.is_some(), "reference report is not a JSON object");
+        reference_identity.push(identity);
+    }
+    violations.check(
+        reference.shutdown().is_ok(),
+        "reference server did not shut down cleanly",
+    );
+
+    // Chaos pass: arm the fault plan, boot the victim server, and start the
+    // health poller.
+    let injected_before = engine::faultinject::injected();
+    let rules = engine::faultinject::parse_plan(CHAOS_FAULT_PLAN).unwrap_or_else(|e| {
+        eprintln!("loadgen: bad chaos fault plan: {e}");
+        std::process::exit(1);
+    });
+    let rule_count = rules.len();
+    engine::faultinject::install(rules);
+    let handle = spawn_server();
+    let addr = handle.addr();
+
+    let stop_poller = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let poller = {
+        let stop = std::sync::Arc::clone(&stop_poller);
+        std::thread::spawn(move || {
+            let mut probes = 0usize;
+            let mut unhealthy = 0usize;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                match client::get(addr, "/healthz") {
+                    Ok(response) if response.status == 200 => {}
+                    _ => unhealthy += 1,
+                }
+                probes += 1;
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            (probes, unhealthy)
+        })
+    };
+
+    let total_requests = 220usize.max(40 * reports.len());
+    let mut samples = Vec::new();
+    let mut hit_samples = Vec::new();
+    let mut miss_samples = Vec::new();
+    let mut absorbed_5xx = 0usize;
+    let mut final_failures = 0usize;
+    let mut solve_hash: Option<String> = None;
+    for index in 0..total_requests {
+        let slot = index % (reports.len() + 2);
+        let request_started = Instant::now();
+        let (response, fivexx) = match slot {
+            s if s < reports.len() => chaos_post(addr, "/report", reports[s]),
+            s if s == reports.len() => chaos_post(addr, "/plan", &plan_only),
+            _ => match &solve_hash {
+                Some(hash) => {
+                    let body =
+                        format!("{{\"config_hash\": \"{hash}\", \"count\": 2, \"seed\": {index}}}");
+                    chaos_post(addr, "/solve", &body)
+                }
+                None => chaos_post(addr, "/report", &numeric),
+            },
+        };
+        let seconds = request_started.elapsed().as_secs_f64();
+        absorbed_5xx += fivexx;
+        samples.push(seconds);
+        if response.cache_hit() {
+            hit_samples.push(seconds);
+        } else {
+            miss_samples.push(seconds);
+        }
+        if response.status != 200 {
+            final_failures += 1;
+        } else if slot < reports.len() {
+            // Every successful report — retried past an injected fault or
+            // not — is bit-identical to the uninjected reference.
+            violations.check(
+                client::report_fingerprint(&response.body) == reference_identity[slot],
+                format!("chaos report for mix slot {slot} diverged from the reference"),
+            );
+            // Parallel runs never exceed their ledger budget except via the
+            // documented idle force-admission path.
+            if slot == 2 {
+                if let Ok(json) = Json::parse(&response.body) {
+                    if let Some(section) = json.get("parallel") {
+                        let budget = section.get("budget_entries").and_then(Json::as_u64);
+                        let peak = section
+                            .get("measured_peak_entries")
+                            .and_then(Json::as_u64)
+                            .unwrap_or(0);
+                        let forced = section
+                            .get("forced_admissions")
+                            .and_then(Json::as_u64)
+                            .unwrap_or(0);
+                        if let Some(budget) = budget {
+                            violations.check(
+                                peak <= budget || forced > 0,
+                                format!("budget overrun: peak {peak} > budget {budget} without forced admissions"),
+                            );
+                        }
+                    }
+                }
+            }
+            if slot == 1 && solve_hash.is_none() {
+                solve_hash = response.header("x-config-hash").map(str::to_string);
+            }
+        }
+    }
+    let injected = engine::faultinject::injected() - injected_before;
+    violations.check(
+        injected >= 4,
+        format!("only {injected} of {rule_count} chaos faults fired"),
+    );
+    // Every terminal failure (after retries) must be attributable to an
+    // injected fault; the mix itself contains nothing malformed.
+    violations.check(
+        absorbed_5xx as u64 + final_failures as u64 <= injected,
+        format!(
+            "{absorbed_5xx} retried + {final_failures} terminal failures exceed the {injected} injected faults"
+        ),
+    );
+    violations.check(
+        final_failures == 0,
+        format!("{final_failures} requests failed even after retries"),
+    );
+
+    // Recovery: faults cleared, every configuration serves again, repeats
+    // hit the cache, and the reports still match the fresh-server truth.
+    engine::faultinject::clear();
+    for (slot, config) in reports.iter().enumerate() {
+        let (_, first) = timed_post(addr, "/report", config, violations);
+        violations.check(
+            client::report_fingerprint(&first.body) == reference_identity[slot],
+            format!("post-chaos report for mix slot {slot} diverged from the reference"),
+        );
+        let (_, second) = timed_post(addr, "/report", config, violations);
+        violations.check(
+            second.cache_hit(),
+            format!("post-chaos repeat of mix slot {slot} missed the plan cache"),
+        );
+    }
+
+    // Deadline probe: a cold headline-sized configuration under a 50 ms
+    // deadline answers 504 promptly (the strict 2x bound holds in release
+    // full mode; quick/debug runs get generous slack), and the very next
+    // uninjected request for the same configuration completes.
+    let deadline_config = grid_config(sizes.headline_nodes, 990);
+    let probe_started = Instant::now();
+    let probe = client::post_with_headers(
+        addr,
+        "/report",
+        &[("X-Deadline-Ms", "50")],
+        &deadline_config,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("loadgen: deadline probe transport failure: {e}");
+        std::process::exit(1);
+    });
+    let probe_seconds = probe_started.elapsed().as_secs_f64();
+    violations.check(
+        probe.status == 504,
+        format!("deadline probe answered {} instead of 504", probe.status),
+    );
+    let probe_bound = if sizes.enforce_speedup { 0.100 } else { 1.0 };
+    violations.check(
+        probe_seconds <= probe_bound,
+        format!("deadline probe took {probe_seconds:.3}s, over the {probe_bound:.3}s bound"),
+    );
+    let (_, after) = timed_post(addr, "/report", &deadline_config, violations);
+    violations.check(
+        after.status == 200,
+        "request after the expired deadline did not complete",
+    );
+
+    stop_poller.store(true, std::sync::atomic::Ordering::Relaxed);
+    let (health_probes, unhealthy) = poller.join().expect("health poller");
+    violations.check(
+        unhealthy == 0,
+        format!("{unhealthy} of {health_probes} /healthz probes failed during chaos"),
+    );
+    violations.check(
+        handle.shutdown().is_ok(),
+        "chaos server did not shut down cleanly",
+    );
+    println!(
+        "loadgen: chaos: {total_requests} requests, {injected} faults fired, \
+         {absorbed_5xx} retried 5xx, {health_probes} health probes, \
+         deadline probe {probe_seconds:.3}s"
+    );
+
+    let headline = format!(
+        "  \"chaos\": {{\"requests\": {total_requests}, \"fault_rules\": {rule_count}, \
+         \"faults_fired\": {injected}, \"retried_5xx\": {absorbed_5xx}, \
+         \"terminal_failures\": {final_failures}, \"health_probes\": {health_probes}, \
+         \"unhealthy_probes\": {unhealthy}, \"deadline_probe_seconds\": {probe_seconds:.6}, \
+         \"deadline_probe_bound_seconds\": {probe_bound:.3}}},\n"
+    );
+    let scenario = ScenarioResult {
+        name: "chaos",
+        requests: total_requests,
+        wall_seconds: started.elapsed().as_secs_f64(),
+        latency: latency_summary(&samples),
+        hit_latency: latency_summary(&hit_samples),
+        miss_latency: latency_summary(&miss_samples),
+        cache_hits: hit_samples.len(),
+        expected_4xx: 0,
+    };
+    (scenario, headline)
+}
+
 fn spawn_server() -> ServerHandle {
     Server::spawn(ServerConfig {
         cache_capacity: CACHE_CAPACITY,
@@ -571,13 +846,50 @@ fn spawn_server() -> ServerHandle {
     })
 }
 
+/// `loadgen chaos [--quick]`: run only the chaos harness and write
+/// `BENCH_server_chaos.json`.  Any violated invariant exits non-zero.
+fn run_chaos_mode(sizes: &Sizes, out: Option<String>) {
+    println!("loadgen: chaos mode ({})", sizes.mode);
+    let mut violations = Violations(Vec::new());
+    let (scenario, chaos_json) = chaos(sizes, &mut violations);
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"bench_server_chaos/v1\",\n");
+    let _ = writeln!(json, "  \"mode\": \"{}\",", sizes.mode);
+    let _ = writeln!(json, "  \"fault_plan\": \"{}\",", CHAOS_FAULT_PLAN);
+    json.push_str(&chaos_json);
+    json.push_str("  \"scenarios\": [\n");
+    json.push_str(&scenario_json(&scenario));
+    json.push_str("\n  ]\n}\n");
+
+    let path = out.map(std::path::PathBuf::from).unwrap_or_else(|| {
+        std::env::var_os("TREEMEM_SWEEP_DIR")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| std::path::PathBuf::from("."))
+            .join("BENCH_server_chaos.json")
+    });
+    if let Err(error) = std::fs::write(&path, &json) {
+        eprintln!("loadgen: cannot write {}: {error}", path.display());
+        std::process::exit(1);
+    }
+    println!("loadgen: wrote {}", path.display());
+
+    if !violations.0.is_empty() {
+        eprintln!("loadgen: {} violated invariant(s)", violations.0.len());
+        std::process::exit(1);
+    }
+    println!("loadgen: all chaos invariants held");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut sizes = &FULL;
     let mut out: Option<String> = None;
+    let mut chaos_mode = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "chaos" => chaos_mode = true,
             "--quick" => sizes = &QUICK,
             "--out" => match iter.next() {
                 Some(path) => out = Some(path.clone()),
@@ -587,10 +899,15 @@ fn main() {
                 }
             },
             other => {
-                eprintln!("usage: loadgen [--quick] [--out PATH]   (unknown flag {other})");
+                eprintln!("usage: loadgen [chaos] [--quick] [--out PATH]   (unknown flag {other})");
                 std::process::exit(2);
             }
         }
+    }
+
+    if chaos_mode {
+        run_chaos_mode(sizes, out);
+        return;
     }
 
     let handle = spawn_server();

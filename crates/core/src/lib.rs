@@ -63,6 +63,7 @@
 
 pub mod brute;
 pub mod error;
+pub mod faultinject;
 pub mod gadgets;
 pub mod liu;
 pub mod minmem;

@@ -56,6 +56,31 @@ pub trait MinMemSolver: Send + Sync {
     /// # Panics
     /// May panic when `supports(tree)` is false.
     fn solve(&self, tree: &Tree) -> TraversalResult;
+
+    /// [`MinMemSolver::solve`] with a cooperative stop probe.  The built-in
+    /// solvers run in milliseconds even at 10⁵ nodes, so the default checks
+    /// the probe only on entry and on exit (bounding the cancellation
+    /// latency by one solve); a solver with a genuinely long inner loop can
+    /// override this to poll mid-solve.  `None` means the probe fired and
+    /// the result was discarded.
+    fn solve_with_stop(
+        &self,
+        tree: &Tree,
+        stop: Option<&dyn Fn() -> bool>,
+    ) -> Option<TraversalResult> {
+        if let Some(probe) = stop {
+            if probe() {
+                return None;
+            }
+        }
+        let result = self.solve(tree);
+        if let Some(probe) = stop {
+            if probe() {
+                return None;
+            }
+        }
+        Some(result)
+    }
 }
 
 /// Liu's best postorder ([`best_postorder`]); the ordering used by practical

@@ -33,6 +33,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::cancel::CancelToken;
 use crate::config::EngineConfig;
 use crate::run::{Engine, EngineError, Plan};
 
@@ -168,36 +169,81 @@ impl PlanCache {
         engine: &Engine,
         config: &EngineConfig,
     ) -> Result<(Arc<Plan>, bool), EngineError> {
+        self.get_or_plan_with_cancel(engine, config, None)
+    }
+
+    /// [`PlanCache::get_or_plan`] under a [`CancelToken`]: the token is
+    /// threaded into [`Engine::plan_with_cancel`], and a caller *waiting* on
+    /// another planner's in-flight key polls the token too, so its own
+    /// deadline fires even while someone else does the planning.
+    pub fn get_or_plan_with_cancel(
+        &self,
+        engine: &Engine,
+        config: &EngineConfig,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(Arc<Plan>, bool), EngineError> {
         let key = config.hash();
+        self.single_flight(&key, cancel, || engine.plan_with_cancel(config, cancel))
+    }
+
+    /// The single-flight core: at most one caller plans `key` at a time;
+    /// the others wait for it to settle and then share its entry.  The key
+    /// settles on *every* exit from the planner — success, typed error, or
+    /// panic (via [`SettleGuard`]) — so no outcome can wedge later callers.
+    fn single_flight(
+        &self,
+        key: &str,
+        cancel: Option<&CancelToken>,
+        plan: impl FnOnce() -> Result<Plan, EngineError>,
+    ) -> Result<(Arc<Plan>, bool), EngineError> {
         loop {
-            if let Some(plan) = self.get(&key) {
+            if let Some(plan) = self.get(key) {
                 return Ok((plan, true));
             }
             let mut in_flight = self.in_flight.lock().expect("plan cache poisoned");
-            if !in_flight.contains(&key) {
+            if !in_flight.iter().any(|flying| flying == key) {
                 // This caller becomes the planner for the key.
-                in_flight.push(key.clone());
+                in_flight.push(key.to_string());
                 break;
             }
             // Someone else is planning this key: wait until it settles,
             // then retry the lookup (normally a hit; a miss again only if
-            // the planner failed or the entry was already evicted).
-            while in_flight.contains(&key) {
-                in_flight = self.settled.wait(in_flight).expect("plan cache poisoned");
+            // the planner failed or the entry was already evicted).  With a
+            // token, wait in slices so this caller's own deadline fires
+            // even though someone else does the work.
+            while in_flight.iter().any(|flying| flying == key) {
+                match cancel {
+                    Some(token) => {
+                        if token.is_cancelled() {
+                            return Err(EngineError::Cancelled {
+                                stage: "plan",
+                                elapsed: token.elapsed(),
+                            });
+                        }
+                        let (guard, _) = self
+                            .settled
+                            .wait_timeout(in_flight, Duration::from_millis(25))
+                            .expect("plan cache poisoned");
+                        in_flight = guard;
+                    }
+                    None => {
+                        in_flight = self.settled.wait(in_flight).expect("plan cache poisoned");
+                    }
+                }
             }
         }
-        let planned = engine.plan(config);
-        // Insert before the key settles, so woken waiters find the entry;
-        // settle unconditionally, so an error never wedges the key.
+        // From here on the key MUST settle no matter how the planner exits;
+        // the guard handles the panic path (a planner that unwinds must not
+        // leave its waiters blocked forever).
+        let guard = SettleGuard { cache: self, key };
+        let planned = plan();
+        // Insert before the key settles, so woken waiters find the entry.
         let result = planned.map(|plan| {
             let plan = Arc::new(plan);
-            self.insert(key.clone(), plan.clone());
+            self.insert(key.to_string(), plan.clone());
             (plan, false)
         });
-        let mut in_flight = self.in_flight.lock().expect("plan cache poisoned");
-        in_flight.retain(|flying| *flying != key);
-        drop(in_flight);
-        self.settled.notify_all();
+        drop(guard);
         result
     }
 
@@ -216,6 +262,28 @@ impl PlanCache {
     /// Drop every entry (counters are kept).
     pub fn clear(&self) {
         self.entries.lock().expect("plan cache poisoned").clear();
+    }
+}
+
+/// Removes `key` from the in-flight set and wakes the waiters on drop, so
+/// the key settles even when the planner panics.  Uses `into_inner` on a
+/// poisoned lock: this drop runs *during* that very unwind, and panicking
+/// again would abort the process.
+struct SettleGuard<'c> {
+    cache: &'c PlanCache,
+    key: &'c str,
+}
+
+impl Drop for SettleGuard<'_> {
+    fn drop(&mut self) {
+        let mut in_flight = self
+            .cache
+            .in_flight
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        in_flight.retain(|flying| flying != self.key);
+        drop(in_flight);
+        self.cache.settled.notify_all();
     }
 }
 
@@ -293,6 +361,74 @@ mod tests {
         // config on the same cache is unaffected).
         assert!(cache.get_or_plan(&engine, &bad).is_err());
         assert!(cache.get_or_plan(&engine, &config(1)).is_ok());
+    }
+
+    #[test]
+    fn a_panicking_planner_settles_the_key_and_unblocks_waiters() {
+        let engine = Engine::new();
+        let cache = PlanCache::new(4, None);
+        let config = config(5);
+        let key = config.hash();
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|scope| {
+            // Thread A becomes the planner, proves a second caller is on its
+            // way in, then dies mid-plan.
+            let panicker = scope.spawn(|| {
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    cache.single_flight(&key, None, || {
+                        barrier.wait();
+                        std::thread::sleep(Duration::from_millis(30));
+                        panic!("injected planner panic");
+                    })
+                }));
+                assert!(outcome.is_err(), "the planner panic must propagate");
+            });
+            barrier.wait();
+            // Thread B (this one): before the fix, A's unwind left the key
+            // in `in_flight` forever and this call never returned.
+            let (plan, hit) = cache
+                .single_flight(&key, None, || engine.plan(&config))
+                .expect("the second caller plans after the panic settles");
+            assert!(!hit, "the panicked attempt cached nothing");
+            assert_eq!(plan.config_hash(), key);
+            panicker.join().expect("panic was caught inside the thread");
+        });
+        assert_eq!(cache.stats().entries, 1);
+        // The in-flight set is empty again: a third caller hits the cache.
+        let (_, hit) = cache.get_or_plan(&engine, &config).unwrap();
+        assert!(hit);
+    }
+
+    #[test]
+    fn waiters_honor_their_own_deadline_while_another_caller_plans() {
+        let engine = Engine::new();
+        let cache = PlanCache::new(4, None);
+        let config = config(6);
+        let key = config.hash();
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|scope| {
+            let slow = scope.spawn(|| {
+                cache
+                    .single_flight(&key, None, || {
+                        barrier.wait();
+                        std::thread::sleep(Duration::from_millis(200));
+                        engine.plan(&config)
+                    })
+                    .unwrap()
+            });
+            barrier.wait();
+            // An already-expired token: the waiter must give up long before
+            // the slow planner finishes.
+            let token = crate::cancel::CancelToken::with_deadline(Duration::ZERO);
+            let started = std::time::Instant::now();
+            let result = cache.get_or_plan_with_cancel(&engine, &config, Some(&token));
+            assert!(
+                matches!(result, Err(EngineError::Cancelled { stage: "plan", .. })),
+                "the waiter's own deadline fires while someone else plans"
+            );
+            assert!(started.elapsed() < Duration::from_millis(150));
+            slow.join().expect("the slow planner finishes normally");
+        });
     }
 
     #[test]

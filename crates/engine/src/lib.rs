@@ -40,6 +40,7 @@
 //! ```
 
 pub mod cache;
+pub mod cancel;
 pub mod config;
 pub mod json;
 pub mod parallel;
@@ -47,7 +48,12 @@ mod parexec;
 pub mod report;
 pub mod run;
 
+/// Re-exported fault-injection registry (the chaos harness arms it from the
+/// serving layer, the lower crates fire the points).
+pub use treemem::faultinject;
+
 pub use cache::{CacheStats, PlanCache};
+pub use cancel::CancelToken;
 pub use config::{
     BudgetShare, ConfigParseError, EngineConfig, MemoryBudget, ParallelConfig, ProblemSource,
     SolveConfig, SolveRhs,
@@ -58,6 +64,7 @@ pub use run::{Engine, EngineError, FactorHandle, Plan, Schedule, ScheduleSpec, M
 /// Everything a typical engine user needs in scope.
 pub mod prelude {
     pub use crate::cache::{CacheStats, PlanCache};
+    pub use crate::cancel::CancelToken;
     pub use crate::config::{
         BudgetShare, ConfigParseError, EngineConfig, MemoryBudget, ParallelConfig, ProblemSource,
         SolveConfig, SolveRhs,

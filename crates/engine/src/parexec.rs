@@ -39,6 +39,7 @@ use treemem::partition::{default_node_work, proportional_cut};
 use treemem::variants::bottom_up_peak;
 use treemem::Traversal;
 
+use crate::cancel::CancelToken;
 use crate::config::ParallelConfig;
 use crate::parallel::WorkerPool;
 use crate::report::ParallelReport;
@@ -97,6 +98,15 @@ struct Shared {
     /// One shared choice, per-worker arenas: the kernel never carries state,
     /// so the bit-identical-across-worker-counts guarantee is untouched.
     kernel: FrontKernel,
+    /// The caller's cancellation token, polled between tasks and (through
+    /// the stop probe) every few dozen columns inside one.
+    cancel: Option<CancelToken>,
+}
+
+impl Shared {
+    fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
 }
 
 /// One pool worker: drain the queue through the budget gate.  Returns this
@@ -104,8 +114,22 @@ struct Shared {
 fn worker_loop(shared: &Shared) -> f64 {
     let mut arena = multifrontal::FrontArena::new();
     let mut busy = 0.0;
+    let probe;
+    let stop: Option<&dyn Fn() -> bool> = match &shared.cancel {
+        Some(token) => {
+            probe = move || token.is_cancelled();
+            Some(&probe)
+        }
+        None => None,
+    };
     loop {
         let task = loop {
+            if shared.is_cancelled() {
+                // Wake (and drain) every worker blocked on the budget gate;
+                // the orchestrator reports the typed cancellation.
+                shared.ledger.cancel();
+                return busy;
+            }
             let mut queue = shared.queue.lock().expect("parallel task queue poisoned");
             if queue.is_empty() {
                 return busy;
@@ -115,10 +139,32 @@ fn worker_loop(shared: &Shared) -> f64 {
                 ReserveSelection::Selected(index) => break queue.remove(index),
                 ReserveSelection::Blocked(generation) => {
                     drop(queue);
-                    shared.ledger.wait_past(generation);
+                    if !shared.ledger.wait_past(generation) {
+                        // The ledger was cancelled while we were blocked.
+                        return busy;
+                    }
                 }
             }
         };
+        // Fault point "parexec:task".  The reservation is already held, so
+        // both the injected panic and the injected drop must release it —
+        // otherwise the chaos harness would wedge the budget gate instead of
+        // testing it.
+        match std::panic::catch_unwind(|| treemem::faultinject::fire("parexec:task")) {
+            Ok(treemem::faultinject::FaultSignal::Continue) => {}
+            Ok(treemem::faultinject::FaultSignal::Drop) => {
+                // Injected task loss: leave the result slot empty,
+                // exercising the orchestrator's "task never ran" path.
+                shared.ledger.finish_task(shared.task_peaks[task], 0);
+                continue;
+            }
+            Err(payload) => {
+                shared.ledger.finish_task(shared.task_peaks[task], 0);
+                shared.results.lock().expect("parallel results poisoned")[task] =
+                    Some(Err(TaskFailure::Panic(panic_message(payload))));
+                continue;
+            }
+        }
         let started = Instant::now();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             factor_columns_with(
@@ -130,6 +176,7 @@ fn worker_loop(shared: &Shared) -> f64 {
                 &shared.ledger,
                 &mut arena,
                 shared.kernel,
+                stop,
             )
         }));
         let seconds = started.elapsed().as_secs_f64();
@@ -166,6 +213,7 @@ pub(crate) fn execute_parallel(
     numeric: &Arc<NumericModel>,
     order: &[usize],
     parallel: &ParallelConfig,
+    cancel: Option<&CancelToken>,
 ) -> Result<(CholeskyFactor, ParallelReport), EngineError> {
     let started = Instant::now();
     let n = numeric.matrix.n();
@@ -217,6 +265,7 @@ pub(crate) fn execute_parallel(
         ledger: BudgetLedger::new(budget_entries),
         results: Mutex::new((0..task_count).map(|_| None).collect()),
         kernel: FrontKernel::default(),
+        cancel: cancel.cloned(),
     });
 
     // Subtree phase: one draining loop per pool worker.
@@ -232,6 +281,15 @@ pub(crate) fn execute_parallel(
         });
     }
     pool.shutdown();
+
+    if let Some(token) = cancel {
+        if token.is_cancelled() {
+            return Err(EngineError::Cancelled {
+                stage: "numeric",
+                elapsed: token.elapsed(),
+            });
+        }
+    }
 
     let shared = Arc::try_unwrap(shared)
         .unwrap_or_else(|_| unreachable!("all workers joined; no clone outlives the pool"));
@@ -252,6 +310,14 @@ pub(crate) fn execute_parallel(
 
     // Merge phase: sequential, on the caller's thread.
     let merge_started = Instant::now();
+    let merge_probe;
+    let merge_stop: Option<&dyn Fn() -> bool> = match cancel {
+        Some(token) => {
+            merge_probe = move || token.is_cancelled();
+            Some(&merge_probe)
+        }
+        None => None,
+    };
     let merge_outcome = factor_columns_with(
         &shared.numeric.matrix,
         &shared.numeric.structure,
@@ -261,8 +327,15 @@ pub(crate) fn execute_parallel(
         &shared.ledger,
         &mut multifrontal::FrontArena::new(),
         shared.kernel,
+        merge_stop,
     )
-    .map_err(EngineError::Factorization)?;
+    .map_err(|err| match err {
+        FactorizationError::Cancelled => EngineError::Cancelled {
+            stage: "numeric",
+            elapsed: cancel.map_or(std::time::Duration::ZERO, CancelToken::elapsed),
+        },
+        other => EngineError::Factorization(other),
+    })?;
     let merge_seconds = merge_started.elapsed().as_secs_f64();
     shared.ledger.release_retained(merge_initial);
     debug_assert!(merge_outcome.blocks.is_empty());

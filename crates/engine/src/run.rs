@@ -14,9 +14,12 @@
 //! production multifrontal codes.
 
 use std::sync::Mutex;
+use std::time::Duration;
 
-use minio::{divisible_lower_bound, schedule_io_with, MinIoError, OutOfCoreRun, PolicyRegistry};
-use multifrontal::memory::{instrumented_factorization_with_structure, per_column_model};
+use minio::{
+    divisible_lower_bound, schedule_io_with_stop, MinIoError, OutOfCoreRun, PolicyRegistry,
+};
+use multifrontal::memory::{instrumented_factorization_with_stop, per_column_model};
 use multifrontal::numeric::SymbolicStructure;
 use multifrontal::{solve, CholeskyFactor, FactorizationError};
 use sparsemat::gen::spd_matrix_from_pattern;
@@ -28,6 +31,7 @@ use treemem::solver::SolverRegistry;
 use treemem::tree::{NodeId, Size};
 use treemem::{Traversal, TraversalResult, Tree};
 
+use crate::cancel::CancelToken;
 use crate::config::{
     BudgetShare, EngineConfig, MemoryBudget, ParallelConfig, ProblemSource, SolveConfig, SolveRhs,
 };
@@ -58,6 +62,17 @@ pub enum EngineError {
     /// An execution-layer invariant broke (e.g. a panic inside a parallel
     /// subtree task).  Never the client's fault.
     Internal(String),
+    /// The run was cancelled cooperatively (deadline or explicit
+    /// [`CancelToken::cancel`]), noticed by the named stage after `elapsed`
+    /// wall-clock time.
+    Cancelled {
+        /// The pipeline stage that observed the cancellation (`"plan"`,
+        /// `"ordering"`, `"symbolic"`, `"solver"`, `"io"`, `"numeric"`,
+        /// `"solve"`).
+        stage: &'static str,
+        /// Wall-clock time from token creation to the observation.
+        elapsed: Duration,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -73,6 +88,11 @@ impl std::fmt::Display for EngineError {
                 write!(fmt, "numeric factorization requires a matrix source")
             }
             EngineError::Internal(message) => write!(fmt, "internal error: {message}"),
+            EngineError::Cancelled { stage, elapsed } => write!(
+                fmt,
+                "cancelled in the {stage} stage after {:.1} ms",
+                elapsed.as_secs_f64() * 1e3
+            ),
         }
     }
 }
@@ -150,7 +170,20 @@ impl Engine {
     /// Name resolution happens here, so a typo in the solver or policy name
     /// fails fast with a typed [`UnknownName`] before any real work starts.
     pub fn plan(&self, config: &EngineConfig) -> Result<Plan, EngineError> {
+        self.plan_with_cancel(config, None)
+    }
+
+    /// [`Engine::plan`] under a [`CancelToken`]: the ordering stage polls the
+    /// token every few hundred eliminations, and the stage boundaries check
+    /// it too, so a fired token (deadline or explicit cancel) unwinds with
+    /// [`EngineError::Cancelled`] instead of finishing the analysis.
+    pub fn plan_with_cancel(
+        &self,
+        config: &EngineConfig,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Plan, EngineError> {
         self.validate(config)?;
+        check(cancel, "plan")?;
         let mut timings = StageTimings::default();
         let (pattern, generate_seconds) = timed(|| acquire_pattern(&config.source))?;
         timings.generate_seconds = generate_seconds;
@@ -166,14 +199,29 @@ impl Engine {
                 numeric_model: Mutex::new(None),
             }),
             Some(pattern) => {
-                let ((permuted, etree, counts), ordering_seconds) = timed_ok(|| {
-                    let perm = config.ordering.order(&pattern);
+                fire_fault("plan:ordering");
+                check(cancel, "ordering")?;
+                let probe;
+                let stop: Option<&dyn Fn() -> bool> = match cancel {
+                    Some(token) => {
+                        probe = move || token.is_cancelled();
+                        Some(&probe)
+                    }
+                    None => None,
+                };
+                let (ordered, ordering_seconds) = timed_ok(|| {
+                    let perm = config.ordering.order_with_stop(&pattern, stop)?;
                     let permuted = perm.apply(&pattern);
                     let etree = elimination_tree(&permuted);
                     let counts = column_counts(&permuted, &etree);
-                    (permuted, etree, counts)
+                    Some((permuted, etree, counts))
                 });
                 timings.ordering_seconds = ordering_seconds;
+                let Some((permuted, etree, counts)) = ordered else {
+                    return Err(cancelled(cancel, "ordering"));
+                };
+                fire_fault("plan:symbolic");
+                check(cancel, "symbolic")?;
                 let (assembly, symbolic_seconds) =
                     timed_ok(|| amalgamate(&etree, &counts, config.amalgamation));
                 timings.symbolic_seconds = symbolic_seconds;
@@ -354,6 +402,30 @@ fn acquire_pattern(source: &ProblemSource) -> Result<Option<SparsePattern>, Engi
         }
         ProblemSource::Prebuilt { .. } => Ok(None),
     }
+}
+
+/// Typed cancellation error for `stage` (zero elapsed without a token; that
+/// combination never happens in practice because only tokens cancel).
+fn cancelled(cancel: Option<&CancelToken>, stage: &'static str) -> EngineError {
+    EngineError::Cancelled {
+        stage,
+        elapsed: cancel.map_or(Duration::ZERO, CancelToken::elapsed),
+    }
+}
+
+/// Check the token at a stage boundary.
+fn check(cancel: Option<&CancelToken>, stage: &'static str) -> Result<(), EngineError> {
+    match cancel {
+        Some(token) if token.is_cancelled() => Err(cancelled(cancel, stage)),
+        _ => Ok(()),
+    }
+}
+
+/// Hit a [`treemem::faultinject`] point.  The pipeline stages have no
+/// drop-able unit of work, so a `Drop` rule here is a no-op; `Panic` and
+/// `SleepMs` act inside `fire` itself.
+fn fire_fault(point: &str) {
+    let _ = treemem::faultinject::fire(point);
 }
 
 /// Time a fallible stage with `perfprof::timing` (one run, median == the
@@ -551,6 +623,17 @@ impl Plan {
         engine: &Engine,
         solver: &str,
     ) -> Result<(TraversalResult, f64), EngineError> {
+        self.solve_with_cancel(engine, solver, None)
+    }
+
+    /// [`Plan::solve`] under a [`CancelToken`]; a fired token yields
+    /// [`EngineError::Cancelled`] instead of a traversal.
+    pub fn solve_with_cancel(
+        &self,
+        engine: &Engine,
+        solver: &str,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(TraversalResult, f64), EngineError> {
         {
             let cache = self.solved.lock().expect("solver cache poisoned");
             if let Some((_, result, seconds)) = cache.iter().find(|(name, _, _)| name == solver) {
@@ -564,7 +647,19 @@ impl Plan {
                 self.tree().len()
             )));
         }
-        let (result, seconds) = timed_ok(|| entry.solve(self.tree()));
+        fire_fault("schedule:solver");
+        let probe;
+        let stop: Option<&dyn Fn() -> bool> = match cancel {
+            Some(token) => {
+                probe = move || token.is_cancelled();
+                Some(&probe)
+            }
+            None => None,
+        };
+        let (result, seconds) = timed_ok(|| entry.solve_with_stop(self.tree(), stop));
+        let Some(result) = result else {
+            return Err(cancelled(cancel, "solver"));
+        };
         let mut cache = self.solved.lock().expect("solver cache poisoned");
         if !cache.iter().any(|(name, _, _)| name == solver) {
             cache.push((solver.to_string(), result.clone(), seconds));
@@ -643,23 +738,54 @@ impl Plan {
         engine: &Engine,
         spec: ScheduleSpec,
     ) -> Result<Schedule<'p>, EngineError> {
+        self.schedule_with_cancel(engine, spec, None)
+    }
+
+    /// [`Plan::schedule_with`] under a [`CancelToken`]: the solver checks the
+    /// token at its boundaries and the out-of-core simulation polls it every
+    /// few thousand steps.
+    pub fn schedule_with_cancel<'p>(
+        &'p self,
+        engine: &Engine,
+        spec: ScheduleSpec,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Schedule<'p>, EngineError> {
         let solver = spec.solver.unwrap_or_else(|| self.config.solver.clone());
         let policy_name = spec.policy.unwrap_or_else(|| self.config.policy.clone());
         let budget_spec = spec.memory.unwrap_or(self.config.memory);
         let parallel = spec.parallel.unwrap_or(self.config.parallel);
         validate_parallel(&parallel, self.config.numeric)?;
         let policy = engine.policies.get_or_err(&policy_name)?;
-        let (solved, solver_seconds) = self.solve(engine, &solver)?;
+        let (solved, solver_seconds) = self.solve_with_cancel(engine, &solver, cancel)?;
 
+        fire_fault("schedule:io");
+        check(cancel, "io")?;
+        let probe;
+        let stop: Option<&dyn Fn() -> bool> = match cancel {
+            Some(token) => {
+                probe = move || token.is_cancelled();
+                Some(&probe)
+            }
+            None => None,
+        };
         let tree = self.tree();
         let memory_budget = budget_spec.resolve(tree.max_mem_req(), solved.peak);
         let ((run, divisible_bound), io_seconds) = {
             let (result, summary) = perfprof::timing::time_runs(1, || {
-                let run = schedule_io_with(tree, &solved.traversal, memory_budget, policy)?;
-                let bound = self.divisible_bound_cached(&solver, &solved, memory_budget)?;
+                let run =
+                    schedule_io_with_stop(tree, &solved.traversal, memory_budget, policy, stop)?;
+                let bound = match &run {
+                    Some(_) => {
+                        Some(self.divisible_bound_cached(&solver, &solved, memory_budget)?)
+                    }
+                    None => None,
+                };
                 Ok::<_, MinIoError>((run, bound))
             });
             (result?, summary.median_seconds)
+        };
+        let (Some(run), Some(divisible_bound)) = (run, divisible_bound) else {
+            return Err(cancelled(cancel, "io"));
         };
         // Provenance: the hash of the *effective* configuration.  When the
         // spec overrides nothing this is the plan's own hash; otherwise the
@@ -835,12 +961,27 @@ impl Schedule<'_> {
         &self,
         engine: &Engine,
     ) -> Result<(Report, Option<FactorHandle>), EngineError> {
+        self.execute_with_factor_cancel(engine, None)
+    }
+
+    /// [`Schedule::execute_with_factor`] under a [`CancelToken`]: the numeric
+    /// column loop (sequential and work-stealing parallel alike) polls the
+    /// token every few dozen columns, so a fired deadline stops the
+    /// factorization mid-flight with [`EngineError::Cancelled`].
+    pub fn execute_with_factor_cancel(
+        &self,
+        engine: &Engine,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(Report, Option<FactorHandle>), EngineError> {
         let plan = self.plan;
         let mut timings = self.timings();
 
         let (numeric, parallel, handle) = if plan.config.numeric {
+            fire_fault("execute:numeric");
+            check(cancel, "numeric")?;
             let (result, numeric_seconds) = {
-                let (result, summary) = perfprof::timing::time_runs(1, || self.run_numeric(engine));
+                let (result, summary) =
+                    perfprof::timing::time_runs(1, || self.run_numeric(engine, cancel));
                 (result?, summary.median_seconds)
             };
             timings.numeric_seconds = numeric_seconds;
@@ -855,6 +996,7 @@ impl Schedule<'_> {
         };
 
         let solve = if plan.config.solve.enabled {
+            check(cancel, "solve")?;
             // Plan-time validation guarantees the numeric stage ran; the
             // error path is defensive.
             let handle = handle.as_ref().ok_or_else(|| {
@@ -897,12 +1039,14 @@ impl Schedule<'_> {
     fn run_numeric(
         &self,
         engine: &Engine,
+        cancel: Option<&CancelToken>,
     ) -> Result<(NumericReport, Option<ParallelReport>, CholeskyFactor), EngineError> {
         let numeric = self.plan.numeric_model()?;
         let bottom_up = numeric.order_for(engine, &self.solver)?;
 
         if self.parallel.enabled() {
-            let (factor, parallel_report) = execute_parallel(&numeric, &bottom_up, &self.parallel)?;
+            let (factor, parallel_report) =
+                execute_parallel(&numeric, &bottom_up, &self.parallel, cancel)?;
             let numeric_report = NumericReport {
                 measured_peak_entries: parallel_report.measured_peak_entries as usize,
                 model_peak_entries: parallel_report.sequential_peak_entries,
@@ -912,11 +1056,24 @@ impl Schedule<'_> {
             return Ok((numeric_report, Some(parallel_report), factor));
         }
 
-        let stats = instrumented_factorization_with_structure(
+        let probe;
+        let stop: Option<&dyn Fn() -> bool> = match cancel {
+            Some(token) => {
+                probe = move || token.is_cancelled();
+                Some(&probe)
+            }
+            None => None,
+        };
+        let stats = instrumented_factorization_with_stop(
             &numeric.matrix,
             &numeric.structure,
             Some(&bottom_up),
-        )?;
+            stop,
+        )
+        .map_err(|err| match err {
+            FactorizationError::Cancelled => cancelled(cancel, "numeric"),
+            other => EngineError::Factorization(other),
+        })?;
         let numeric_report = NumericReport {
             measured_peak_entries: stats.measured_peak_entries,
             model_peak_entries: stats.model_peak_entries,
@@ -1307,6 +1464,63 @@ mod tests {
                 Err(EngineError::InvalidConfig(_))
             ));
         }
+    }
+
+    #[test]
+    fn an_expired_deadline_cancels_planning_before_work_starts() {
+        let engine = Engine::new();
+        let config = EngineConfig::generated(ProblemKind::Grid2d, 2500, 1)
+            .with_ordering(OrderingMethod::NestedDissection);
+        let token = crate::cancel::CancelToken::with_deadline(Duration::ZERO);
+        match engine.plan_with_cancel(&config, Some(&token)) {
+            Err(EngineError::Cancelled { stage, .. }) => assert_eq!(stage, "plan"),
+            other => panic!("expected Cancelled, got {:?}", other.err()),
+        }
+        // Without a token the same config plans fine.
+        assert!(engine.plan(&config).is_ok());
+    }
+
+    #[test]
+    fn a_fired_token_cancels_the_schedule_and_execute_stages() {
+        let engine = Engine::new();
+        let config = EngineConfig::generated(ProblemKind::Grid2d, 400, 3).with_numeric(true);
+        let plan = engine.plan(&config).unwrap();
+        let token = crate::cancel::CancelToken::new();
+        token.cancel();
+        match plan.schedule_with_cancel(&engine, ScheduleSpec::default(), Some(&token)) {
+            Err(EngineError::Cancelled { stage, elapsed }) => {
+                assert_eq!(stage, "solver");
+                assert!(elapsed >= Duration::ZERO);
+            }
+            other => panic!("expected Cancelled, got {:?}", other.err()),
+        }
+        // A schedule produced without a token still cancels at execute time.
+        let schedule = plan.schedule(&engine).unwrap();
+        match schedule.execute_with_factor_cancel(&engine, Some(&token)) {
+            Err(EngineError::Cancelled { stage, .. }) => assert_eq!(stage, "numeric"),
+            other => panic!("expected Cancelled, got {:?}", other.err()),
+        }
+        // The plan is unpoisoned: a token-free execute completes.
+        assert!(schedule.execute(&engine).is_ok());
+    }
+
+    #[test]
+    fn parallel_execution_honors_cancellation() {
+        let engine = Engine::new();
+        let config = EngineConfig::generated(ProblemKind::Grid2d, 900, 7)
+            .with_numeric(true)
+            .with_parallel(crate::config::ParallelConfig::with_workers(2));
+        let plan = engine.plan(&config).unwrap();
+        let schedule = plan.schedule(&engine).unwrap();
+        let token = crate::cancel::CancelToken::new();
+        token.cancel();
+        match schedule.execute_with_factor_cancel(&engine, Some(&token)) {
+            Err(EngineError::Cancelled { stage, .. }) => assert_eq!(stage, "numeric"),
+            other => panic!("expected Cancelled, got {:?}", other.err()),
+        }
+        // And the same schedule still completes without a token, with the
+        // budget ledger drained (a wedged gate would hang this call).
+        assert!(schedule.execute(&engine).is_ok());
     }
 
     #[test]

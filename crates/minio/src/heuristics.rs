@@ -174,6 +174,25 @@ pub fn schedule_io_with(
     memory: Size,
     policy: &dyn Policy,
 ) -> Result<OutOfCoreRun, MinIoError> {
+    schedule_io_with_stop(tree, traversal, memory, policy, None)
+        .map(|run| run.expect("no stop probe, cannot be cancelled"))
+}
+
+/// How many simulated steps run between two stop-probe checks in
+/// [`schedule_io_with_stop`]; bounds the cancellation latency to a fraction
+/// of a millisecond at the simulator's step rate.
+const STOP_CHECK_INTERVAL: usize = 1024;
+
+/// [`schedule_io_with`] with a cooperative stop probe, checked every 1024
+/// simulated steps.  `Ok(None)` means the probe
+/// fired and the partial simulation was discarded.
+pub fn schedule_io_with_stop(
+    tree: &Tree,
+    traversal: &Traversal,
+    memory: Size,
+    policy: &dyn Policy,
+    stop: Option<&dyn Fn() -> bool>,
+) -> Result<Option<OutOfCoreRun>, MinIoError> {
     traversal.check_precedence(tree)?;
     let positions = traversal.positions(tree.len())?;
     let order = traversal.order();
@@ -202,6 +221,13 @@ pub fn schedule_io_with(
     let mut taken: Vec<bool> = Vec::new();
 
     for (step, &node) in order.iter().enumerate() {
+        if step % STOP_CHECK_INTERVAL == 0 {
+            if let Some(probe) = stop {
+                if probe() {
+                    return Ok(None);
+                }
+            }
+        }
         // Read the node's input file back first if it was evicted earlier.
         if evicted[node] && !resident[node] {
             resident[node] = true;
@@ -303,13 +329,13 @@ pub fn schedule_io_with(
         debug_assert_eq!(check.peak_memory, peak);
     }
 
-    Ok(OutOfCoreRun {
+    Ok(Some(OutOfCoreRun {
         io_volume,
         read_volume: io_volume,
         files_written,
         peak_memory: peak,
         schedule,
-    })
+    }))
 }
 
 /// The original (seed) implementation of [`schedule_io_with`]: at every

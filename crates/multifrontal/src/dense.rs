@@ -579,7 +579,14 @@ impl FrontArena {
     }
 
     /// A zeroed `n × n` matrix, reusing a pooled buffer when one is spare.
+    ///
+    /// Instrumented as fault point `arena:alloc`: a `drop` or `panic` rule
+    /// simulates an allocation failure here, unwinding out of the numeric
+    /// column loop (caught by the worker pool or the server's panic fence).
     pub(crate) fn take(&mut self, n: usize) -> DenseMatrix {
+        if treemem::faultinject::fire("arena:alloc") == treemem::faultinject::FaultSignal::Drop {
+            panic!("faultinject: injected allocation failure at arena:alloc ({n}x{n} front)");
+        }
         match self.pool.pop() {
             Some(buffer) => {
                 self.pooled_entries -= buffer.capacity();

@@ -128,6 +128,18 @@ pub fn instrumented_factorization_with_structure(
     structure: &SymbolicStructure,
     order: Option<&[usize]>,
 ) -> Result<FactorizationStats, FactorizationError> {
+    instrumented_factorization_with_stop(matrix, structure, order, None)
+}
+
+/// [`instrumented_factorization_with_structure`] with a cooperative stop
+/// probe, forwarded into the per-column elimination loop; a fired probe
+/// yields [`FactorizationError::Cancelled`].
+pub fn instrumented_factorization_with_stop(
+    matrix: &SymmetricCsr,
+    structure: &SymbolicStructure,
+    order: Option<&[usize]>,
+    stop: Option<&dyn Fn() -> bool>,
+) -> Result<FactorizationStats, FactorizationError> {
     let default_order;
     let order = match order {
         Some(order) => order,
@@ -143,6 +155,7 @@ pub fn instrumented_factorization_with_structure(
         order,
         &mut tracker,
         crate::dense::FrontKernel::default(),
+        stop,
     )?;
     let model_tree = per_column_model(structure);
     let traversal = Traversal::new(order.to_vec());

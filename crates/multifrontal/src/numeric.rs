@@ -57,6 +57,12 @@ impl SymbolicStructure {
     }
 }
 
+/// Columns eliminated between two stop-probe checks in
+/// [`eliminate_columns`].  Fronts take microseconds to tens of
+/// microseconds each, so this bounds the cancellation latency to a few
+/// milliseconds while keeping the probe off the per-column fast path.
+pub(crate) const STOP_CHECK_COLUMNS: usize = 64;
+
 /// Errors of the numeric factorization.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FactorizationError {
@@ -65,6 +71,9 @@ pub enum FactorizationError {
     NotPositiveDefinite { column: usize },
     /// The supplied traversal is not a valid bottom-up ordering.
     InvalidTraversal,
+    /// A cooperative stop probe fired mid-factorization; all partial work
+    /// was discarded.
+    Cancelled,
 }
 
 impl std::fmt::Display for FactorizationError {
@@ -74,6 +83,7 @@ impl std::fmt::Display for FactorizationError {
                 write!(fmt, "matrix is not positive definite (column {column})")
             }
             FactorizationError::InvalidTraversal => write!(fmt, "invalid bottom-up traversal"),
+            FactorizationError::Cancelled => write!(fmt, "factorization cancelled"),
         }
     }
 }
@@ -267,17 +277,19 @@ pub fn multifrontal_cholesky_with(
             &default_order
         }
     };
-    factorize_with_observer(matrix, &structure, order, &mut NoOpObserver, kernel)
+    factorize_with_observer(matrix, &structure, order, &mut NoOpObserver, kernel, None)
 }
 
 /// The factorization kernel, parameterised by an observer (see
-/// [`crate::memory`] for the instrumented version).
+/// [`crate::memory`] for the instrumented version) and an optional
+/// cooperative stop probe (checked every [`STOP_CHECK_COLUMNS`] columns).
 pub(crate) fn factorize_with_observer(
     matrix: &SymmetricCsr,
     structure: &SymbolicStructure,
     order: &[usize],
     observer: &mut dyn FrontalObserver,
     kernel: FrontKernel,
+    stop: Option<&dyn Fn() -> bool>,
 ) -> Result<CholeskyFactor, FactorizationError> {
     let n = matrix.n();
     if order.len() != n {
@@ -313,6 +325,7 @@ pub(crate) fn factorize_with_observer(
         observer,
         &mut arena,
         kernel,
+        stop,
     )?;
 
     let mut factor_columns: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -339,6 +352,11 @@ pub(crate) fn factorize_with_observer(
 /// Computed factor columns are appended to `out`; blocks produced for
 /// parents outside the subset remain in `pending` when the call returns.
 /// Every front and every *consumed* block is recycled through `arena`.
+///
+/// `stop` is a cooperative cancellation probe, checked once per
+/// [`STOP_CHECK_COLUMNS`] eliminated columns; when it fires the loop
+/// returns [`FactorizationError::Cancelled`] and the partial columns in
+/// `out`/`pending` must be discarded by the caller.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn eliminate_columns(
     matrix: &SymmetricCsr,
@@ -350,8 +368,16 @@ pub(crate) fn eliminate_columns(
     observer: &mut dyn FrontalObserver,
     arena: &mut FrontArena,
     kernel: FrontKernel,
+    stop: Option<&dyn Fn() -> bool>,
 ) -> Result<(), FactorizationError> {
-    for &j in order {
+    for (step, &j) in order.iter().enumerate() {
+        if step % STOP_CHECK_COLUMNS == 0 {
+            if let Some(probe) = stop {
+                if probe() {
+                    return Err(FactorizationError::Cancelled);
+                }
+            }
+        }
         let rows = &structure.columns[j];
         let front_dim = rows.len();
         let mut front = arena.take(front_dim);

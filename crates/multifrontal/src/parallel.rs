@@ -56,6 +56,9 @@ struct Gate {
     /// Bumped on every release, so blocked workers can detect progress
     /// without missed wakeups.
     generation: u64,
+    /// Set by [`BudgetLedger::cancel`]: blocked workers stop waiting and
+    /// drain instead of retrying.
+    cancelled: bool,
 }
 
 /// The shared memory accountant of a parallel factorization; see the module
@@ -79,6 +82,7 @@ impl BudgetLedger {
                 reserved: 0,
                 running: 0,
                 generation: 0,
+                cancelled: false,
             }),
             released: Condvar::new(),
             live_entries: AtomicI64::new(0),
@@ -156,12 +160,35 @@ impl BudgetLedger {
     }
 
     /// Block until some release happened after `generation` was observed
-    /// (returns immediately if one already did).
-    pub fn wait_past(&self, generation: u64) {
+    /// (returns immediately if one already did) **or** the ledger was
+    /// cancelled.  Returns `false` on cancellation: the waiter must drain
+    /// instead of retrying its reservation.
+    #[must_use = "a false return means the ledger was cancelled"]
+    pub fn wait_past(&self, generation: u64) -> bool {
         let mut gate = self.gate.lock().expect("budget ledger poisoned");
-        while gate.generation <= generation {
+        while gate.generation <= generation && !gate.cancelled {
             gate = self.released.wait(gate).expect("budget ledger poisoned");
         }
+        !gate.cancelled
+    }
+
+    /// Cancel the ledger: every current and future [`wait_past`] waiter
+    /// wakes immediately and is told to drain.  Reservations are left
+    /// untouched — running tasks still release them on their own way out,
+    /// so the accounting stays consistent while the pool shuts down.
+    ///
+    /// [`wait_past`]: BudgetLedger::wait_past
+    pub fn cancel(&self) {
+        let mut gate = self.gate.lock().expect("budget ledger poisoned");
+        gate.cancelled = true;
+        gate.generation += 1;
+        drop(gate);
+        self.released.notify_all();
+    }
+
+    /// Whether [`BudgetLedger::cancel`] was called.
+    pub fn is_cancelled(&self) -> bool {
+        self.gate.lock().expect("budget ledger poisoned").cancelled
     }
 
     /// Currently reserved entries (tests and diagnostics).
@@ -242,14 +269,18 @@ pub fn factor_columns(
         ledger,
         arena,
         FrontKernel::default(),
+        None,
     )
 }
 
-/// [`factor_columns`] with an explicit dense elimination kernel.  The
-/// kernel choice (and with it the panel width) rides alongside the
-/// per-worker `arena`: both are plain per-task state, so switching kernels
-/// changes neither the arena's retention bound nor the assembly order the
-/// bit-reproducibility guarantee rests on.
+/// [`factor_columns`] with an explicit dense elimination kernel and an
+/// optional cooperative stop probe (checked every few dozen columns inside
+/// the elimination loop; a fired probe yields
+/// [`FactorizationError::Cancelled`]).  The kernel choice (and with it the
+/// panel width) rides alongside the per-worker `arena`: both are plain
+/// per-task state, so switching kernels changes neither the arena's
+/// retention bound nor the assembly order the bit-reproducibility guarantee
+/// rests on.
 #[allow(clippy::too_many_arguments)]
 pub fn factor_columns_with(
     matrix: &SymmetricCsr,
@@ -260,6 +291,7 @@ pub fn factor_columns_with(
     ledger: &BudgetLedger,
     arena: &mut FrontArena,
     kernel: FrontKernel,
+    stop: Option<&dyn Fn() -> bool>,
 ) -> Result<SubtreeOutcome, FactorizationError> {
     let mut pending = blocks_in;
     let mut columns = Vec::with_capacity(order.len());
@@ -274,6 +306,7 @@ pub fn factor_columns_with(
         &mut observer,
         arena,
         kernel,
+        stop,
     )?;
     let block_entries = pending.total_entries();
     Ok(SubtreeOutcome {
@@ -415,7 +448,7 @@ mod tests {
         let waiter = {
             let ledger = ledger.clone();
             std::thread::spawn(move || {
-                ledger.wait_past(generation);
+                assert!(ledger.wait_past(generation), "woken by a release");
                 ledger.select_and_reserve(&[60])
             })
         };
@@ -424,6 +457,30 @@ mod tests {
             waiter.join().expect("waiter survived"),
             ReserveSelection::Selected(0)
         );
+    }
+
+    #[test]
+    fn cancellation_wakes_and_drains_blocked_waiters() {
+        let ledger = std::sync::Arc::new(BudgetLedger::new(Some(100)));
+        assert_eq!(
+            ledger.select_and_reserve(&[100]),
+            ReserveSelection::Selected(0)
+        );
+        let ReserveSelection::Blocked(generation) = ledger.select_and_reserve(&[60]) else {
+            panic!("expected Blocked");
+        };
+        let waiter = {
+            let ledger = ledger.clone();
+            std::thread::spawn(move || ledger.wait_past(generation))
+        };
+        ledger.cancel();
+        assert!(!waiter.join().expect("waiter survived"), "told to drain");
+        assert!(ledger.is_cancelled());
+        // A waiter arriving after the cancellation drains immediately too.
+        assert!(!ledger.wait_past(u64::MAX));
+        // Reservations still release cleanly on the way out.
+        ledger.finish_task(100, 0);
+        assert_eq!(ledger.reserved(), 0);
     }
 
     #[test]

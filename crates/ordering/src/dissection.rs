@@ -10,7 +10,7 @@
 
 use sparsemat::SparsePattern;
 
-use crate::mindeg::minimum_degree;
+use crate::mindeg::minimum_degree_with_stop;
 use crate::perm::Permutation;
 use crate::rcm::{bfs_levels, pseudo_peripheral};
 
@@ -19,26 +19,42 @@ const DISSECTION_CUTOFF: usize = 32;
 
 /// Compute a nested-dissection ordering of `pattern`.
 pub fn nested_dissection(pattern: &SparsePattern) -> Permutation {
+    nested_dissection_with_stop(pattern, None).expect("no stop probe, cannot be cancelled")
+}
+
+/// [`nested_dissection`] with a cooperative stop probe, checked at every
+/// recursion step and inside the leaf minimum-degree orderings.  Returns
+/// `None` — discarding all partial work — as soon as the probe fires.
+pub fn nested_dissection_with_stop(
+    pattern: &SparsePattern,
+    stop: Option<&dyn Fn() -> bool>,
+) -> Option<Permutation> {
     let n = pattern.n();
     let mut order = Vec::with_capacity(n);
     let mut active = vec![true; n];
     let all: Vec<usize> = (0..n).collect();
-    dissect(pattern, &all, &mut active, &mut order);
+    dissect(pattern, &all, &mut active, &mut order, stop)?;
     debug_assert_eq!(order.len(), n);
-    Permutation::from_new_to_old(order)
+    Some(Permutation::from_new_to_old(order))
 }
 
 /// Recursively order the vertices of `component` (all currently active),
-/// appending to `order` (separators last).
+/// appending to `order` (separators last).  `None` means the stop probe
+/// fired mid-recursion and `order` holds partial garbage.
 fn dissect(
     pattern: &SparsePattern,
     component: &[usize],
     active: &mut Vec<bool>,
     order: &mut Vec<usize>,
-) {
+    stop: Option<&dyn Fn() -> bool>,
+) -> Option<()> {
+    if let Some(probe) = stop {
+        if probe() {
+            return None;
+        }
+    }
     if component.len() <= DISSECTION_CUTOFF {
-        order_with_minimum_degree(pattern, component, order);
-        return;
+        return order_with_minimum_degree(pattern, component, order, stop);
     }
 
     // Split the component into its connected pieces first (a previous
@@ -46,9 +62,9 @@ fn dissect(
     let pieces = connected_pieces(pattern, component, active);
     if pieces.len() > 1 {
         for piece in pieces {
-            dissect(pattern, &piece, active, order);
+            dissect(pattern, &piece, active, order, stop)?;
         }
-        return;
+        return Some(());
     }
 
     // Single connected piece: find a separator from the BFS levels of a
@@ -57,8 +73,7 @@ fn dissect(
     let (levels, eccentricity) = bfs_levels(pattern, start, active);
     if eccentricity < 2 {
         // Dense little blob: no useful separator.
-        order_with_minimum_degree(pattern, component, order);
-        return;
+        return order_with_minimum_degree(pattern, component, order, stop);
     }
     let middle = eccentricity / 2;
     let separator: Vec<usize> = component
@@ -72,8 +87,7 @@ fn dissect(
         .filter(|&v| levels[v] != middle)
         .collect();
     if separator.is_empty() || rest.is_empty() {
-        order_with_minimum_degree(pattern, component, order);
-        return;
+        return order_with_minimum_degree(pattern, component, order, stop);
     }
 
     // Deactivate the separator, recurse on what remains, then order the
@@ -83,9 +97,9 @@ fn dissect(
     }
     let pieces = connected_pieces(pattern, &rest, active);
     for piece in pieces {
-        dissect(pattern, &piece, active, order);
+        dissect(pattern, &piece, active, order, stop)?;
     }
-    order_with_minimum_degree(pattern, &separator, order);
+    order_with_minimum_degree(pattern, &separator, order, stop)
 }
 
 /// Connected pieces of `vertices` in the subgraph induced by `active`.
@@ -119,11 +133,17 @@ fn connected_pieces(
 }
 
 /// Order the induced subgraph on `vertices` with minimum degree and append
-/// the result (in original labels) to `order`.
-fn order_with_minimum_degree(pattern: &SparsePattern, vertices: &[usize], order: &mut Vec<usize>) {
+/// the result (in original labels) to `order`.  `None` if the stop probe
+/// fired.
+fn order_with_minimum_degree(
+    pattern: &SparsePattern,
+    vertices: &[usize],
+    order: &mut Vec<usize>,
+    stop: Option<&dyn Fn() -> bool>,
+) -> Option<()> {
     if vertices.len() <= 1 {
         order.extend_from_slice(vertices);
-        return;
+        return Some(());
     }
     // Build the induced subgraph with local labels.
     let mut local_of = std::collections::HashMap::new();
@@ -141,16 +161,17 @@ fn order_with_minimum_degree(pattern: &SparsePattern, vertices: &[usize], order:
         }
     }
     let induced = SparsePattern::from_edges(vertices.len(), &edges);
-    let local_perm = minimum_degree(&induced);
+    let local_perm = minimum_degree_with_stop(&induced, stop)?;
     for k in 0..vertices.len() {
         order.push(vertices[local_perm.new_to_old(k)]);
     }
+    Some(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::mindeg::fill_in;
+    use crate::mindeg::{fill_in, minimum_degree};
     use sparsemat::gen::{grid2d_5pt, grid3d_7pt, random_spd_pattern};
 
     #[test]
@@ -197,6 +218,16 @@ mod tests {
         let pattern = SparsePattern::from_edges(80, &[(0, 1), (40, 41), (41, 42)]);
         let perm = nested_dissection(&pattern);
         assert_eq!(perm.len(), 80);
+    }
+
+    #[test]
+    fn stop_probe_cancels_and_a_quiet_probe_changes_nothing() {
+        let pattern = grid2d_5pt(14, 14);
+        assert!(nested_dissection_with_stop(&pattern, Some(&|| true)).is_none());
+        assert_eq!(
+            nested_dissection_with_stop(&pattern, Some(&|| false)),
+            Some(nested_dissection(&pattern))
+        );
     }
 
     #[test]

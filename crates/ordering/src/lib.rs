@@ -22,8 +22,8 @@ pub mod mindeg;
 pub mod perm;
 pub mod rcm;
 
-pub use dissection::nested_dissection;
-pub use mindeg::minimum_degree;
+pub use dissection::{nested_dissection, nested_dissection_with_stop};
+pub use mindeg::{minimum_degree, minimum_degree_with_stop};
 pub use perm::Permutation;
 pub use rcm::rcm;
 
@@ -74,11 +74,32 @@ impl OrderingMethod {
 
     /// Compute the ordering of `pattern` with this method.
     pub fn order(&self, pattern: &SparsePattern) -> Permutation {
+        self.order_with_stop(pattern, None)
+            .expect("no stop probe, cannot be cancelled")
+    }
+
+    /// [`OrderingMethod::order`] with a cooperative stop probe.  The two
+    /// expensive methods (minimum degree, nested dissection) poll the probe
+    /// from inside their elimination loops; the cheap ones (natural, RCM)
+    /// only check it on entry.  `None` means the probe fired and the
+    /// partial ordering was discarded.
+    pub fn order_with_stop(
+        &self,
+        pattern: &SparsePattern,
+        stop: Option<&dyn Fn() -> bool>,
+    ) -> Option<Permutation> {
+        if let Some(probe) = stop {
+            if probe() {
+                return None;
+            }
+        }
         match self {
-            OrderingMethod::Natural => natural(pattern.n()),
-            OrderingMethod::MinimumDegree => minimum_degree(pattern),
-            OrderingMethod::NestedDissection => nested_dissection(pattern),
-            OrderingMethod::ReverseCuthillMcKee => rcm(pattern),
+            OrderingMethod::Natural => Some(natural(pattern.n())),
+            OrderingMethod::MinimumDegree => mindeg::minimum_degree_with_stop(pattern, stop),
+            OrderingMethod::NestedDissection => {
+                dissection::nested_dissection_with_stop(pattern, stop)
+            }
+            OrderingMethod::ReverseCuthillMcKee => Some(rcm(pattern)),
         }
     }
 }

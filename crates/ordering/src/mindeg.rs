@@ -18,14 +18,30 @@ use sparsemat::SparsePattern;
 
 use crate::perm::Permutation;
 
+/// How many eliminations happen between two stop-probe checks.  Probes are
+/// a dynamic call, so they are amortised over a batch of pivots; at typical
+/// elimination rates this bounds the cancellation latency well below a
+/// millisecond.
+const STOP_CHECK_INTERVAL: usize = 256;
+
 /// Compute a minimum-degree ordering of `pattern`.
 ///
 /// Returns the elimination order in new-to-old convention.  Deterministic:
 /// ties are broken by vertex index.
 pub fn minimum_degree(pattern: &SparsePattern) -> Permutation {
+    minimum_degree_with_stop(pattern, None).expect("no stop probe, cannot be cancelled")
+}
+
+/// [`minimum_degree`] with a cooperative stop probe, checked every 256
+/// eliminations.  Returns `None` — discarding all
+/// partial work — as soon as the probe reports `true`.
+pub fn minimum_degree_with_stop(
+    pattern: &SparsePattern,
+    stop: Option<&dyn Fn() -> bool>,
+) -> Option<Permutation> {
     let n = pattern.n();
     if n == 0 {
-        return Permutation::identity(0);
+        return Some(Permutation::identity(0));
     }
 
     // Variable adjacency (to other variables) and element adjacency.
@@ -44,6 +60,13 @@ pub fn minimum_degree(pattern: &SparsePattern) -> Permutation {
     let mut stamp = vec![usize::MAX; n];
 
     while order.len() < n {
+        if order.len() % STOP_CHECK_INTERVAL == 0 {
+            if let Some(stop) = stop {
+                if stop() {
+                    return None;
+                }
+            }
+        }
         // Pop the variable with the smallest (cached) degree, skipping stale
         // heap entries.
         let pivot = loop {
@@ -105,7 +128,7 @@ pub fn minimum_degree(pattern: &SparsePattern) -> Permutation {
         element_adjacency[pivot].clear();
     }
 
-    Permutation::from_new_to_old(order)
+    Some(Permutation::from_new_to_old(order))
 }
 
 /// Length of the variable list of element `e`, taking into account that the
@@ -204,6 +227,16 @@ mod tests {
         assert!(
             fill_md < fill_natural,
             "minimum degree ({fill_md}) should beat natural ({fill_natural}) on a grid"
+        );
+    }
+
+    #[test]
+    fn stop_probe_cancels_and_a_quiet_probe_changes_nothing() {
+        let pattern = grid2d_5pt(20, 20);
+        assert!(minimum_degree_with_stop(&pattern, Some(&|| true)).is_none());
+        assert_eq!(
+            minimum_degree_with_stop(&pattern, Some(&|| false)),
+            Some(minimum_degree(&pattern))
         );
     }
 

@@ -3,12 +3,17 @@
 //! ```text
 //! serve [--addr HOST:PORT] [--workers N] [--cache-capacity N]
 //!       [--cache-ttl-seconds S] [--factor-cache-capacity N]
-//!       [--max-body-bytes N]
+//!       [--max-body-bytes N] [--default-deadline-ms MS]
+//!       [--max-deadline-ms MS]
 //! ```
 //!
 //! Binds (port 0 picks an ephemeral port, printed on stdout) and serves
 //! until the process is terminated.  See the README's "Serving" section for
 //! the endpoint reference and an example `curl` session.
+//!
+//! Setting the `TREEMEM_FAULT_PLAN` environment variable arms the
+//! fault-injection registry at boot (chaos testing only; the format is
+//! `action@point#nth[,...]`, e.g. `sleep:40@plan:ordering,panic@execute:numeric#2`).
 
 use std::time::Duration;
 
@@ -18,7 +23,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: serve [--addr HOST:PORT] [--workers N] [--cache-capacity N]\n\
          \x20      [--cache-ttl-seconds S] [--factor-cache-capacity N]\n\
-         \x20      [--max-body-bytes N]"
+         \x20      [--max-body-bytes N] [--default-deadline-ms MS]\n\
+         \x20      [--max-deadline-ms MS]"
     );
     std::process::exit(2);
 }
@@ -56,7 +62,34 @@ fn main() {
                 config.factor_cache_capacity = parse("--factor-cache-capacity", iter.next());
             }
             "--max-body-bytes" => config.max_body_bytes = parse("--max-body-bytes", iter.next()),
+            "--default-deadline-ms" => {
+                config.default_deadline = Some(Duration::from_millis(parse(
+                    "--default-deadline-ms",
+                    iter.next(),
+                )));
+            }
+            "--max-deadline-ms" => {
+                config.max_deadline = Some(Duration::from_millis(parse(
+                    "--max-deadline-ms",
+                    iter.next(),
+                )));
+            }
             _ => usage(),
+        }
+    }
+    if let Ok(spec) = std::env::var("TREEMEM_FAULT_PLAN") {
+        match engine::faultinject::parse_plan(&spec) {
+            Ok(rules) => {
+                eprintln!(
+                    "serve: TREEMEM_FAULT_PLAN armed {} fault rule(s)",
+                    rules.len()
+                );
+                engine::faultinject::install(rules);
+            }
+            Err(error) => {
+                eprintln!("serve: invalid TREEMEM_FAULT_PLAN '{spec}': {error}");
+                std::process::exit(2);
+            }
         }
     }
     let workers = config.workers;

@@ -85,15 +85,65 @@ pub fn exchange(addr: SocketAddr, raw: &[u8]) -> Result<ClientResponse, ClientEr
 
 /// `POST` a JSON body to `path`.
 pub fn post(addr: SocketAddr, path: &str, body: &str) -> Result<ClientResponse, ClientError> {
-    exchange(
-        addr,
-        format!(
-            "POST {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Type: application/json\r\n\
-             Content-Length: {}\r\n\r\n{body}",
-            body.len()
-        )
-        .as_bytes(),
-    )
+    post_with_headers(addr, path, &[], body)
+}
+
+/// `POST` a JSON body to `path` with extra request headers (e.g.
+/// `X-Deadline-Ms`).
+pub fn post_with_headers(
+    addr: SocketAddr,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+) -> Result<ClientResponse, ClientError> {
+    let mut raw = format!(
+        "POST {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\n",
+        body.len()
+    );
+    for (name, value) in headers {
+        raw.push_str(&format!("{name}: {value}\r\n"));
+    }
+    raw.push_str("\r\n");
+    raw.push_str(body);
+    exchange(addr, raw.as_bytes())
+}
+
+/// `POST` with retries: transport errors and transient statuses (503 shed
+/// load, 504 expired deadline) back off exponentially from 10 ms, doubling
+/// per attempt and capped at `max_backoff`.  A `Retry-After` header (whole
+/// seconds, as the server sends) overrides the computed backoff, still
+/// under the same cap.  Returns the first conclusive response, or the last
+/// transient outcome once `attempts` are exhausted.
+pub fn post_with_retry(
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+    attempts: usize,
+    max_backoff: Duration,
+) -> Result<ClientResponse, ClientError> {
+    let mut backoff = Duration::from_millis(10);
+    let mut last: Option<Result<ClientResponse, ClientError>> = None;
+    for attempt in 0..attempts.max(1) {
+        if attempt > 0 {
+            std::thread::sleep(backoff.min(max_backoff));
+            backoff = backoff.saturating_mul(2);
+        }
+        match post(addr, path, body) {
+            Ok(response) if response.status == 503 || response.status == 504 => {
+                if let Some(seconds) = response
+                    .header("retry-after")
+                    .and_then(|value| value.parse::<u64>().ok())
+                {
+                    backoff = Duration::from_secs(seconds).min(max_backoff);
+                }
+                last = Some(Ok(response));
+            }
+            Ok(response) => return Ok(response),
+            Err(error) => last = Some(Err(error)),
+        }
+    }
+    last.expect("attempts is at least 1")
 }
 
 /// `GET` `path`.
@@ -117,4 +167,53 @@ pub fn report_identity(body: &str) -> Option<engine::json::Json> {
         )),
         _ => None,
     }
+}
+
+/// [`report_identity`] for parallel-enabled reports: additionally drops the
+/// runtime-dependent fields of the `parallel` section (wall clocks, worker
+/// count, scheduler-dependent peaks) and, when a parallel section is
+/// present, `numeric.measured_peak_entries` — the wire-side analogue of
+/// `engine::Report::fingerprint`.
+pub fn report_fingerprint(body: &str) -> Option<engine::json::Json> {
+    use engine::json::Json;
+    const VOLATILE_PARALLEL: [&str; 9] = [
+        "workers",
+        "measured_peak_entries",
+        "forced_admissions",
+        "wall_seconds",
+        "critical_path_seconds",
+        "merge_seconds",
+        "task_seconds",
+        "worker_busy_seconds",
+        "utilization",
+    ];
+    let Ok(Json::Obj(fields)) = Json::parse(body) else {
+        return None;
+    };
+    let parallel_active = fields
+        .iter()
+        .any(|(key, value)| key == "parallel" && matches!(value, Json::Obj(_)));
+    let projected = fields
+        .into_iter()
+        .filter(|(key, _)| key != "timings")
+        .map(|(key, value)| {
+            let value = match (key.as_str(), value) {
+                ("parallel", Json::Obj(inner)) => Json::Obj(
+                    inner
+                        .into_iter()
+                        .filter(|(name, _)| !VOLATILE_PARALLEL.contains(&name.as_str()))
+                        .collect(),
+                ),
+                ("numeric", Json::Obj(inner)) if parallel_active => Json::Obj(
+                    inner
+                        .into_iter()
+                        .filter(|(name, _)| name != "measured_peak_entries")
+                        .collect(),
+                ),
+                (_, value) => value,
+            };
+            (key, value)
+        })
+        .collect();
+    Some(Json::Obj(projected))
 }

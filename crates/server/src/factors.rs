@@ -155,4 +155,46 @@ mod tests {
         assert_eq!(cache.stats().entries, 1);
         assert_eq!(cache.stats().evictions, 0);
     }
+
+    #[test]
+    fn concurrent_deposits_lookups_and_evictions_stay_consistent() {
+        // The serving pattern under load: `/report` handlers depositing,
+        // `/solve` handlers looking up, all racing the LRU eviction of a
+        // deliberately tiny cache.  Every resolved factor must be usable
+        // (solvable with a small residual), and the counters must balance.
+        let cache = Arc::new(FactorCache::new(3));
+        let handles: Vec<Arc<FactorHandle>> = (0..6).map(|seed| handle(seed as u64)).collect();
+        std::thread::scope(|scope| {
+            for worker in 0..4 {
+                let cache = Arc::clone(&cache);
+                let handles = &handles;
+                scope.spawn(move || {
+                    for round in 0..200 {
+                        let pick = (worker * 7 + round * 3) % handles.len();
+                        let key = format!("factor-{pick}");
+                        if (worker + round) % 3 == 0 {
+                            cache.insert(&key, Arc::clone(&handles[pick]));
+                        } else if let Some(factor) = cache.get(&key) {
+                            let mut rhs = factor.generated_rhs(1, round as u64 + 1);
+                            factor.solve_batch(&mut rhs).expect("cached factor solves");
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert!(stats.entries <= 3, "over capacity: {}", stats.entries);
+        assert!(stats.hits + stats.misses > 0);
+        // Every key that is still resident resolves to a working factor.
+        for pick in 0..handles.len() {
+            if let Some(factor) = cache.get(&format!("factor-{pick}")) {
+                let rhs = factor.generated_rhs(1, 5);
+                let mut solution = rhs.clone();
+                factor
+                    .solve_batch(&mut solution)
+                    .expect("resident factor solves");
+                assert!(factor.max_residual(&rhs, &solution) < 1e-8);
+            }
+        }
+    }
 }

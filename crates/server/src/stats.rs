@@ -62,6 +62,12 @@ pub const STAGE_NAMES: [&str; 6] = ["parse", "plan", "solver", "io", "numeric", 
 /// Names of the latency-tracked endpoints, in report order.
 pub const ENDPOINT_NAMES: [&str; 4] = ["plan", "schedule", "report", "solve"];
 
+/// Stages a cooperative cancellation can be observed in (the `stage` field
+/// of `EngineError::Cancelled`), plus a trailing catch-all slot.
+pub const CANCEL_STAGE_NAMES: [&str; 8] = [
+    "plan", "ordering", "symbolic", "solver", "io", "numeric", "solve", "other",
+];
+
 /// All counters and recorders of one running server.
 pub struct ServerStats {
     started: Instant,
@@ -77,6 +83,7 @@ pub struct ServerStats {
     pub responses_5xx: AtomicU64,
     endpoints: [LatencyRecorder; ENDPOINT_NAMES.len()],
     stages: [LatencyRecorder; STAGE_NAMES.len()],
+    cancelled: [AtomicU64; CANCEL_STAGE_NAMES.len()],
 }
 
 impl ServerStats {
@@ -90,7 +97,34 @@ impl ServerStats {
             responses_5xx: AtomicU64::new(0),
             endpoints: std::array::from_fn(|_| LatencyRecorder::new()),
             stages: std::array::from_fn(|_| LatencyRecorder::new()),
+            cancelled: std::array::from_fn(|_| AtomicU64::new(0)),
         }
+    }
+
+    /// Count one cancellation observed in `stage` (unknown stages land in
+    /// the `"other"` slot so nothing is silently dropped).
+    pub fn count_cancelled(&self, stage: &str) {
+        let index = CANCEL_STAGE_NAMES
+            .iter()
+            .position(|name| *name == stage)
+            .unwrap_or(CANCEL_STAGE_NAMES.len() - 1);
+        self.cancelled[index].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cancellations counted in `stage` so far.
+    pub fn cancelled_in(&self, stage: &str) -> u64 {
+        CANCEL_STAGE_NAMES
+            .iter()
+            .position(|name| *name == stage)
+            .map_or(0, |index| self.cancelled[index].load(Ordering::Relaxed))
+    }
+
+    /// Cancellations counted across every stage.
+    pub fn cancelled_total(&self) -> u64 {
+        self.cancelled
+            .iter()
+            .map(|counter| counter.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Count one response with `status`.
@@ -184,6 +218,14 @@ impl ServerStats {
             out.push_str(&format!(
                 "\"{name}\": {}",
                 self.stages[index].summary().to_json()
+            ));
+        }
+        out.push_str("},\n  \"cancelled\": {");
+        out.push_str(&format!("\"total\": {}", self.cancelled_total()));
+        for (index, name) in CANCEL_STAGE_NAMES.iter().enumerate() {
+            out.push_str(&format!(
+                ", \"{name}\": {}",
+                self.cancelled[index].load(Ordering::Relaxed)
             ));
         }
         out.push_str("}\n}\n");

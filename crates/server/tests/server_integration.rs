@@ -249,6 +249,31 @@ fn concurrent_clients_all_get_answers() {
 }
 
 #[test]
+fn deadlines_expire_to_504_with_retry_after_and_recovery() {
+    let handle = spawn_default();
+    let addr = handle.addr();
+    let config = grid_config(10_000, 21);
+    let expired = client::post_with_headers(addr, "/report", &[("X-Deadline-Ms", "1")], &config)
+        .expect("exchange");
+    assert_eq!(expired.status, 504, "{}", expired.body);
+    assert_eq!(expired.header("retry-after"), Some("1"));
+    // The cancelled plan left no wedged cache key: the retrying client gets
+    // a full answer for the same configuration.
+    let retry = client::post_with_retry(addr, "/report", &config, 3, Duration::from_millis(50))
+        .expect("retry");
+    assert_eq!(retry.status, 200, "{}", retry.body);
+    // The cancellation is visible in /stats.
+    let (_, _, stats_body) = get(addr, "/stats");
+    let stats = Json::parse(&stats_body).unwrap();
+    assert!(stats
+        .get("cancelled")
+        .and_then(|c| c.get("total"))
+        .and_then(Json::as_u64)
+        .is_some_and(|total| total >= 1));
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
 fn prebuilt_tree_configs_run_end_to_end() {
     let handle = spawn_default();
     let config = EngineConfig::prebuilt(treemem::gadgets::harpoon(4, 400, 1))
