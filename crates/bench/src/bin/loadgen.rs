@@ -23,6 +23,17 @@
 //!   asserting every one is answered with a 4xx and the server keeps
 //!   serving.
 //!
+//! `loadgen distributed` is the multi-*process* scenario: it spawns the
+//! `serve` binary as a coordinator plus two `--role worker` processes on
+//! loopback, factors the nested-dissection corpus (10⁶ nodes full, 10⁵
+//! quick) through `POST /report` with a `distributed` section, and gates
+//! the merged factor's bit-identity against a single-process reference
+//! server (identical `factor_nnz` and bit-identical seeded-solve
+//! `max_residual`).  A chaos pass then SIGKILLs a lease-holding worker
+//! mid-job and requires the job to complete via lease re-issue with zero
+//! orphaned leases and zero non-injected 5xx.  The result is
+//! `BENCH_distributed.json`.
+//!
 //! Flags: `--quick` shrinks the corpus for the CI smoke job (and relaxes the
 //! ≥5× assertion, which needs the big corpus to be meaningful); `--out PATH`
 //! overrides the output path (default `BENCH_server.json` in the current
@@ -881,15 +892,551 @@ fn run_chaos_mode(sizes: &Sizes, out: Option<String>) {
     println!("loadgen: all chaos invariants held");
 }
 
+/// A spawned `serve` process (coordinator or worker), killed on drop so a
+/// violated invariant cannot leak orphan processes into CI.
+struct ManagedProc {
+    label: String,
+    child: std::process::Child,
+}
+
+impl Drop for ManagedProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Locate the `serve` binary: `TREEMEM_SERVE_BIN` when set, otherwise next
+/// to the running `loadgen` (both are workspace bins, so one
+/// `cargo build --release` puts them side by side).
+fn serve_binary() -> std::path::PathBuf {
+    let path = std::env::var_os("TREEMEM_SERVE_BIN")
+        .map(std::path::PathBuf::from)
+        .or_else(|| {
+            std::env::current_exe()
+                .ok()
+                .and_then(|exe| Some(exe.parent()?.join("serve")))
+        });
+    match path {
+        Some(path) if path.is_file() => path,
+        Some(path) => {
+            eprintln!(
+                "loadgen: serve binary not found at {} (build it, or set TREEMEM_SERVE_BIN)",
+                path.display()
+            );
+            std::process::exit(1);
+        }
+        None => {
+            eprintln!("loadgen: cannot locate the serve binary; set TREEMEM_SERVE_BIN");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Boot a coordinator on an ephemeral loopback port and parse the bound
+/// address from its `serving on http://…` banner.
+fn spawn_coordinator(bin: &std::path::Path) -> (ManagedProc, SocketAddr) {
+    use std::io::BufRead as _;
+    // Contribution frames scale with factor nnz: at 10⁶ nodes a single
+    // frame runs to ~100 MB of hex floats, far past the interactive-scale
+    // default body cap, so the coordinator gets a 1 GiB ceiling.
+    let mut child = std::process::Command::new(bin)
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "4",
+            "--max-body-bytes",
+            "1073741824",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| {
+            eprintln!("loadgen: cannot spawn coordinator: {e}");
+            std::process::exit(1);
+        });
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                eprintln!("loadgen: coordinator exited before printing its address");
+                std::process::exit(1);
+            }
+            Ok(_) => {
+                if let Some(rest) = line.split("http://").nth(1) {
+                    let text = rest.split_whitespace().next().unwrap_or("");
+                    match text.parse::<SocketAddr>() {
+                        Ok(addr) => break addr,
+                        Err(_) => {
+                            eprintln!("loadgen: unparsable coordinator address '{text}'");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("loadgen: cannot read coordinator stdout: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    // Drain any further output so the coordinator can never block on a full
+    // pipe.
+    std::thread::spawn(move || {
+        let _ = std::io::copy(&mut reader, &mut std::io::sink());
+    });
+    (
+        ManagedProc {
+            label: "coordinator".to_string(),
+            child,
+        },
+        addr,
+    )
+}
+
+/// Spawn one `serve --role worker` process; `fault_plan` arms
+/// `TREEMEM_FAULT_PLAN` in the child (the chaos victim).
+fn spawn_worker(
+    bin: &std::path::Path,
+    addr: SocketAddr,
+    worker_id: &str,
+    fault_plan: Option<&str>,
+) -> ManagedProc {
+    let mut command = std::process::Command::new(bin);
+    command
+        .args([
+            "--role",
+            "worker",
+            "--coordinator",
+            &addr.to_string(),
+            "--worker-id",
+            worker_id,
+        ])
+        .stdout(std::process::Stdio::null());
+    if let Some(plan) = fault_plan {
+        command.env("TREEMEM_FAULT_PLAN", plan);
+    }
+    let child = command.spawn().unwrap_or_else(|e| {
+        eprintln!("loadgen: cannot spawn worker {worker_id}: {e}");
+        std::process::exit(1);
+    });
+    ManagedProc {
+        label: worker_id.to_string(),
+        child,
+    }
+}
+
+/// The deterministic identity of one seeded `/solve` answer: the factor's
+/// nonzero count and the residual's exact bits (`{:e}` round-trips `f64`
+/// through the parser, so parsed equality is bit equality).
+fn solve_identity(addr: SocketAddr, hash: &str, violations: &mut Violations) -> Option<(u64, u64)> {
+    let body = format!("{{\"config_hash\": \"{hash}\", \"count\": 2, \"seed\": 11}}");
+    let (_, response) = timed_post(addr, "/solve", &body, violations);
+    let json = Json::parse(&response.body).ok()?;
+    let nnz = json.get("factor_nnz").and_then(Json::as_u64)?;
+    let residual = json.get("max_residual").and_then(Json::as_f64)?;
+    violations.check(
+        residual.is_finite() && residual < 1e-6,
+        format!("solve residual {residual:e} above 1e-6"),
+    );
+    Some((nnz, residual.to_bits()))
+}
+
+/// One distributed `/report` against the coordinator: returns the wall
+/// time, the config hash, and the `distributed` section of the report.
+fn distributed_report(
+    addr: SocketAddr,
+    config: &str,
+    deadline_ms: u64,
+    violations: &mut Violations,
+) -> (f64, Option<String>, Option<Json>) {
+    // A body-level deadline below the client read timeout: a wedged cluster
+    // surfaces as a 504 violation instead of a transport error.  The caller
+    // sizes the deadline to the run (the full 10⁶-node order serializes
+    // coordinator and workers on small hosts, so interactive-scale budgets
+    // do not apply).
+    let body = format!("{{\"deadline_ms\": {deadline_ms}, {}", &config[1..]);
+    let read_timeout = std::time::Duration::from_millis(deadline_ms + 30_000);
+    let started = Instant::now();
+    let response =
+        client::post_with_timeout(addr, "/report", &body, read_timeout).unwrap_or_else(|e| {
+            eprintln!("loadgen: distributed report transport failure: {e}");
+            std::process::exit(1);
+        });
+    let seconds = started.elapsed().as_secs_f64();
+    violations.check(
+        response.status == 200,
+        format!(
+            "distributed /report answered {} ({})",
+            response.status,
+            response.body.trim()
+        ),
+    );
+    let hash = response.header("x-config-hash").map(str::to_string);
+    let section = Json::parse(&response.body)
+        .ok()
+        .and_then(|json| json.get("distributed").cloned());
+    (seconds, hash, section)
+}
+
+/// Poll `GET /internal/job/{id}` until at least one task has been claimed
+/// (the chaos victim is the only live worker, so the claim is its lease).
+fn wait_for_claim(addr: SocketAddr, job: u64, deadline_ms: u64, violations: &mut Violations) {
+    let deadline = Instant::now() + std::time::Duration::from_millis(deadline_ms);
+    loop {
+        if let Ok(response) = client::get(addr, &format!("/internal/job/{job}")) {
+            if response.status == 200 {
+                let claimed = Json::parse(&response.body)
+                    .ok()
+                    .and_then(|json| json.get("claimed").and_then(Json::as_u64))
+                    .unwrap_or(0);
+                if claimed >= 1 {
+                    return;
+                }
+            }
+        }
+        if Instant::now() >= deadline {
+            violations.check(
+                false,
+                format!("job {job} saw no claim within {deadline_ms}ms"),
+            );
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+}
+
+fn distributed_gate(
+    label: &str,
+    section: Option<&Json>,
+    identity: Option<(u64, u64)>,
+    reference: (u64, u64),
+    violations: &mut Violations,
+) {
+    let Some(section) = section else {
+        violations.check(
+            false,
+            format!("{label} report carries no distributed section"),
+        );
+        return;
+    };
+    violations.check(
+        section.get("workers").and_then(Json::as_u64).unwrap_or(0) >= 2,
+        format!("{label} run used fewer than 2 workers"),
+    );
+    match identity {
+        Some(identity) => violations.check(
+            identity == reference,
+            format!(
+                "{label} merged factor diverged from the single-process reference \
+                 (nnz {} vs {}, residual bits {:#x} vs {:#x})",
+                identity.0, reference.0, identity.1, reference.1
+            ),
+        ),
+        None => violations.check(false, format!("{label} solve answer was unparsable")),
+    }
+}
+
+/// `loadgen distributed [--quick]`: the multi-process scenario described in
+/// the module docs.  Writes `BENCH_distributed.json`; any violated
+/// invariant exits non-zero.
+fn run_distributed_mode(sizes: &Sizes, out: Option<String>) {
+    let nodes = if sizes.mode == "full" {
+        1_000_000
+    } else {
+        100_000
+    };
+    let tasks = 8usize;
+    // Every timing knob scales with the order: on a small host the full
+    // 10⁶-node run serializes coordinator and both workers onto a couple of
+    // cores, so per-subtree wall time — which every lease must comfortably
+    // exceed, or healthy contributions go stale and the job livelocks on
+    // requeues — grows far past the quick-mode values.
+    // The dominant term in a worker's *first* lease is planning, not
+    // factoring: each worker process plans the configuration once, after
+    // its first claim (the task frame carries the config, and the worker's
+    // plan cache is empty until then).  At 10⁶ nodes nested-dissection
+    // planning alone runs ~400 s per process on a small host, so the clean
+    // lease must sit far above it or healthy first tasks expire.
+    let (deadline_ms, clean_lease_ms, chaos_lease_ms) = if sizes.mode == "full" {
+        (2_400_000, 1_500_000, 600_000)
+    } else {
+        (110_000, 30_000, 10_000)
+    };
+    println!(
+        "loadgen: distributed mode ({}, {nodes} nodes, {tasks} tasks, 2 workers)",
+        sizes.mode
+    );
+    let mut violations = Violations(Vec::new());
+
+    let base = EngineConfig::generated(ProblemKind::Grid2d, nodes, 42)
+        .with_ordering(OrderingMethod::NestedDissection)
+        .with_numeric(true);
+
+    // Single-process ground truth: factor the same configuration in-process
+    // and record the seeded-solve identity every distributed run must match.
+    let reference_server = spawn_server();
+    let started = Instant::now();
+    // The reference factorization is subject to the same order-scaled wall
+    // time as the distributed passes, so it shares their read timeout
+    // rather than the interactive 120 s default.
+    let response = client::post_with_timeout(
+        reference_server.addr(),
+        "/report",
+        &base.to_json(),
+        std::time::Duration::from_millis(deadline_ms + 30_000),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("loadgen: reference report transport failure: {e}");
+        std::process::exit(1);
+    });
+    let reference_seconds = started.elapsed().as_secs_f64();
+    violations.check(
+        response.status == 200,
+        format!(
+            "/report answered {} ({})",
+            response.status,
+            response.body.trim()
+        ),
+    );
+    let reference = response
+        .header("x-config-hash")
+        .map(str::to_string)
+        .and_then(|hash| solve_identity(reference_server.addr(), &hash, &mut violations));
+    let Some(reference) = reference else {
+        violations.check(false, "single-process reference run failed");
+        eprintln!("loadgen: cannot establish the reference factor; aborting");
+        std::process::exit(1);
+    };
+    violations.check(
+        reference_server.shutdown().is_ok(),
+        "reference server did not shut down cleanly",
+    );
+    println!(
+        "loadgen: reference factor in {reference_seconds:.3}s ({} nnz)",
+        reference.0
+    );
+
+    let bin = serve_binary();
+    let (coordinator, addr) = spawn_coordinator(&bin);
+    let workers = vec![
+        spawn_worker(&bin, addr, "w0", None),
+        spawn_worker(&bin, addr, "w1", None),
+    ];
+
+    // Clean pass: both workers alive, a lease no healthy worker can miss.
+    let clean_config = base
+        .clone()
+        .with_distributed(
+            engine::DistributedConfig::with_tasks(tasks).with_lease_ms(clean_lease_ms),
+        )
+        .to_json();
+    let (clean_seconds, clean_hash, clean_section) =
+        distributed_report(addr, &clean_config, deadline_ms, &mut violations);
+    let clean_identity = clean_hash
+        .as_deref()
+        .and_then(|hash| solve_identity(addr, hash, &mut violations));
+    distributed_gate(
+        "clean",
+        clean_section.as_ref(),
+        clean_identity,
+        reference,
+        &mut violations,
+    );
+    for (field, expected) in [("lease_expiries", 0), ("tasks_requeued", 0)] {
+        violations.check(
+            clean_section
+                .as_ref()
+                .and_then(|s| s.get(field))
+                .and_then(Json::as_u64)
+                == Some(expected),
+            format!("clean run has nonzero {field}"),
+        );
+    }
+    println!(
+        "loadgen: clean distributed report in {clean_seconds:.3}s \
+         ({:.2}x the single-process reference)",
+        clean_seconds / reference_seconds.max(1e-9)
+    );
+
+    // Chaos pass: retire the healthy workers, hand the job to a victim that
+    // stalls forever on its first claim, SIGKILL it while it holds the
+    // lease, then let fresh workers finish the job via lease re-issue.
+    for worker in workers {
+        println!("loadgen: retiring healthy worker {}", worker.label);
+        drop(worker);
+    }
+    let victim_plan = "sleep:600000@parexec:task";
+    let victim = spawn_worker(&bin, addr, "w-victim", Some(victim_plan));
+    let chaos_config = base
+        .with_distributed(
+            engine::DistributedConfig::with_tasks(tasks).with_lease_ms(chaos_lease_ms),
+        )
+        .to_json();
+    let chaos_handle = std::thread::spawn(move || {
+        let mut violations = Violations(Vec::new());
+        let result = distributed_report(addr, &chaos_config, deadline_ms, &mut violations);
+        (result, violations.0)
+    });
+    // Jobs number from 1 per coordinator: the clean pass was job 1.  The
+    // claim only lands after the coordinator re-plans the chaos config, so
+    // the wait shares the report deadline.
+    wait_for_claim(addr, 2, deadline_ms, &mut violations);
+    println!("loadgen: victim claimed a lease; killing it mid-job");
+    drop(victim);
+    let replacements = vec![
+        spawn_worker(&bin, addr, "w2", None),
+        spawn_worker(&bin, addr, "w3", None),
+    ];
+    let ((chaos_seconds, chaos_hash, chaos_section), chaos_violations) =
+        chaos_handle.join().expect("chaos report thread");
+    violations.0.extend(chaos_violations);
+    let chaos_identity = chaos_hash
+        .as_deref()
+        .and_then(|hash| solve_identity(addr, hash, &mut violations));
+    distributed_gate(
+        "chaos",
+        chaos_section.as_ref(),
+        chaos_identity,
+        reference,
+        &mut violations,
+    );
+    for field in ["lease_expiries", "tasks_requeued"] {
+        violations.check(
+            chaos_section
+                .as_ref()
+                .and_then(|s| s.get(field))
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+                >= 1,
+            format!("chaos run recorded no {field} despite the killed worker"),
+        );
+    }
+    println!("loadgen: chaos distributed report in {chaos_seconds:.3}s after lease re-issue");
+
+    // Cluster book-keeping: counters reconcile (zero orphaned leases) and
+    // the only injected fault produced no server-side 5xx.
+    let stats_body = client::get(addr, "/stats")
+        .map(|response| response.body)
+        .unwrap_or_else(|e| {
+            eprintln!("loadgen: coordinator /stats failed: {e}");
+            std::process::exit(1);
+        });
+    let stats = Json::parse(&stats_body).unwrap_or(Json::Null);
+    let cluster = |field: &str| {
+        stats
+            .get("cluster")
+            .and_then(|c| c.get(field))
+            .and_then(Json::as_u64)
+            .unwrap_or(u64::MAX)
+    };
+    violations.check(
+        cluster("tasks_claimed") == cluster("tasks_completed") + cluster("lease_expiries"),
+        format!(
+            "orphaned leases: {} claimed vs {} completed + {} expired",
+            cluster("tasks_claimed"),
+            cluster("tasks_completed"),
+            cluster("lease_expiries")
+        ),
+    );
+    violations.check(
+        cluster("jobs_completed") == cluster("jobs_started"),
+        "a job is still live on the coordinator",
+    );
+    violations.check(
+        stats
+            .get("responses")
+            .and_then(|r| r.get("status_5xx"))
+            .and_then(Json::as_u64)
+            == Some(0),
+        "coordinator answered a non-injected 5xx",
+    );
+    drop(replacements);
+    drop(coordinator);
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"bench_distributed/v1\",\n");
+    let _ = writeln!(json, "  \"mode\": \"{}\",", sizes.mode);
+    let _ = writeln!(
+        json,
+        "  \"corpus_nodes\": {nodes},\n  \"tasks\": {tasks},\n  \"worker_processes\": 2,"
+    );
+    let _ = writeln!(
+        json,
+        "  \"reference\": {{\"report_seconds\": {reference_seconds:.6}, \
+         \"factor_nnz\": {}, \"residual_bits\": \"{:#018x}\"}},",
+        reference.0, reference.1
+    );
+    // Re-render the load-bearing counters of each run's distributed
+    // section (the parser keeps no serializer around).
+    let section_json = |section: &Option<Json>| {
+        let Some(section) = section else {
+            return "null".to_string();
+        };
+        let field = |name: &str| section.get(name).and_then(Json::as_f64).unwrap_or(f64::NAN);
+        format!(
+            "{{\"workers\": {}, \"subtree_count\": {}, \"lease_expiries\": {}, \
+             \"tasks_requeued\": {}, \"contribution_bytes\": {}, \
+             \"wall_seconds\": {:.6}, \"merge_seconds\": {:.6}}}",
+            field("workers"),
+            field("subtree_count"),
+            field("lease_expiries"),
+            field("tasks_requeued"),
+            field("contribution_bytes"),
+            field("wall_seconds"),
+            field("merge_seconds"),
+        )
+    };
+    let _ = writeln!(
+        json,
+        "  \"clean\": {{\"report_seconds\": {clean_seconds:.6}, \"bit_identical\": {}, \
+         \"distributed\": {}}},",
+        clean_identity == Some(reference),
+        section_json(&clean_section)
+    );
+    let _ = writeln!(
+        json,
+        "  \"chaos\": {{\"report_seconds\": {chaos_seconds:.6}, \"bit_identical\": {}, \
+         \"fault_plan\": \"{victim_plan}\", \"distributed\": {}}},",
+        chaos_identity == Some(reference),
+        section_json(&chaos_section)
+    );
+    let _ = writeln!(json, "  \"coordinator_stats\": {}", stats_body.trim_end());
+    json.push_str("}\n");
+
+    let path = out.map(std::path::PathBuf::from).unwrap_or_else(|| {
+        std::env::var_os("TREEMEM_SWEEP_DIR")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| std::path::PathBuf::from("."))
+            .join("BENCH_distributed.json")
+    });
+    if let Err(error) = std::fs::write(&path, &json) {
+        eprintln!("loadgen: cannot write {}: {error}", path.display());
+        std::process::exit(1);
+    }
+    println!("loadgen: wrote {}", path.display());
+
+    if !violations.0.is_empty() {
+        eprintln!("loadgen: {} violated invariant(s)", violations.0.len());
+        std::process::exit(1);
+    }
+    println!("loadgen: all distributed invariants held");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut sizes = &FULL;
     let mut out: Option<String> = None;
     let mut chaos_mode = false;
+    let mut distributed_mode = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "chaos" => chaos_mode = true,
+            "distributed" => distributed_mode = true,
             "--quick" => sizes = &QUICK,
             "--out" => match iter.next() {
                 Some(path) => out = Some(path.clone()),
@@ -899,12 +1446,19 @@ fn main() {
                 }
             },
             other => {
-                eprintln!("usage: loadgen [chaos] [--quick] [--out PATH]   (unknown flag {other})");
+                eprintln!(
+                    "usage: loadgen [chaos|distributed] [--quick] [--out PATH]   \
+                     (unknown flag {other})"
+                );
                 std::process::exit(2);
             }
         }
     }
 
+    if distributed_mode {
+        run_distributed_mode(sizes, out);
+        return;
+    }
     if chaos_mode {
         run_chaos_mode(sizes, out);
         return;

@@ -52,6 +52,33 @@ impl Partition {
     pub fn merge_work(&self, work: &[u64]) -> u64 {
         self.above_cut.iter().map(|&i| work[i]).sum()
     }
+
+    /// Split a bottom-up node `order` into one per-task sub-order plus the
+    /// above-cut merge order, preserving `order`'s relative sequence inside
+    /// every piece.  Because each task owns a whole subtree and `order` is
+    /// bottom-up, every piece is itself a valid bottom-up traversal of its
+    /// node subset — this is the splitter both the in-process parallel
+    /// executor and the distributed coordinator use, so the two schedule the
+    /// exact same column sequences.
+    ///
+    /// # Panics
+    /// Panics if `order.len() != self.task_of.len()`.
+    pub fn split_order(&self, order: &[usize]) -> (Vec<Vec<usize>>, Vec<usize>) {
+        assert_eq!(
+            order.len(),
+            self.task_of.len(),
+            "one order entry per partitioned node"
+        );
+        let mut task_orders: Vec<Vec<usize>> = vec![Vec::new(); self.task_count()];
+        let mut merge_order: Vec<usize> = Vec::with_capacity(self.above_cut.len());
+        for &node in order {
+            match self.task_of[node] {
+                Some(task) => task_orders[task].push(node),
+                None => merge_order.push(node),
+            }
+        }
+        (task_orders, merge_order)
+    }
 }
 
 /// A default per-node work estimate: `max(f(i) + n(i), 1)`.  For the
@@ -267,6 +294,59 @@ mod tests {
         let a = proportional_cut(&tree, 16, &work);
         let b = proportional_cut(&tree, 16, &work);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn split_order_partitions_a_bottom_up_order_without_reordering() {
+        let tree = nested_dissection_etree(2_000, 11);
+        let work = default_node_work(&tree);
+        let partition = proportional_cut(&tree, 8, &work);
+        let order = tree.dfs_bottomup();
+        let (task_orders, merge_order) = partition.split_order(&order);
+        assert_eq!(task_orders.len(), partition.task_count());
+        // The merge order is the above-cut set in source-order sequence.
+        let expected_merge: Vec<usize> = order
+            .iter()
+            .copied()
+            .filter(|&node| partition.task_of[node].is_none())
+            .collect();
+        assert_eq!(merge_order, expected_merge);
+        {
+            let mut sorted = merge_order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, partition.above_cut);
+        }
+        // Every node appears exactly once across the pieces.
+        let mut seen = vec![false; tree.len()];
+        for piece in task_orders.iter().chain(std::iter::once(&merge_order)) {
+            for &node in piece {
+                assert!(!seen[node], "node {node} split into two pieces");
+                seen[node] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Each piece preserves the relative sequence of the source order.
+        let position: Vec<usize> = {
+            let mut p = vec![0usize; tree.len()];
+            for (at, &node) in order.iter().enumerate() {
+                p[node] = at;
+            }
+            p
+        };
+        for piece in task_orders.iter().chain(std::iter::once(&merge_order)) {
+            for pair in piece.windows(2) {
+                assert!(position[pair[0]] < position[pair[1]]);
+            }
+        }
+        // And each task piece covers exactly its owned nodes.
+        for (task, piece) in task_orders.iter().enumerate() {
+            let owned = partition
+                .task_of
+                .iter()
+                .filter(|&&t| t == Some(task))
+                .count();
+            assert_eq!(piece.len(), owned);
+        }
     }
 
     #[test]

@@ -1,0 +1,675 @@
+//! Coordinator-side job registry: task leases, epochs and re-issue.
+//!
+//! A **job** is one distributed factorization: the coordinator plans the
+//! cut, registers the per-task column orders and modeled peaks here, and
+//! then workers drive the state machine over HTTP:
+//!
+//! ```text
+//!            claim                    contribute (epoch match)
+//! Pending ────────────▶ Leased{deadline} ────────────▶ Done
+//!    ▲                      │
+//!    └──────────────────────┘ lease reaped past its monotonic deadline
+//! ```
+//!
+//! Two decisions carry the fault-tolerance story:
+//!
+//! * **Deadlines are monotonic.**  Lease deadlines come from
+//!   [`engine::monotonic_millis`], never wall time — an NTP step or a
+//!   suspended laptop must not mass-expire (or immortalize) leases.
+//! * **Epochs fence stale work.**  A task's epoch increments on *every*
+//!   claim, so a contribution from a worker whose lease was reaped and
+//!   re-issued echoes an old epoch and is rejected with a typed error
+//!   (HTTP 409 at the serving layer).  The re-issued lease's work is the
+//!   bit-identical computation, so dropping the stale copy is lossless.
+//!
+//! Claims are gated by the job's [`BudgetLedger`]: a worker only receives a
+//! task when its modeled peak fits the cluster-level memory budget next to
+//! the peaks of currently-leased tasks and the retained contribution blocks
+//! of finished ones.  The ledger force-admits the smallest pending task
+//! when nothing is running, so a budget below the largest subtree degrades
+//! to sequential issue instead of deadlocking the cluster.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use engine::{monotonic_millis, CancelToken, DistributedRuntime, SubtreeParts};
+use multifrontal::parallel::{BudgetLedger, ReserveSelection};
+
+use crate::stats::{bump, ClusterStats};
+use crate::wire::{ClaimReply, Contribution, SubtreeTask};
+
+/// Everything the coordinator knows about a job at registration time.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Canonical engine-configuration JSON (workers re-derive the matrix
+    /// and symbolic structure from this).
+    pub config_json: String,
+    /// Lease duration per claim, milliseconds.
+    pub lease_ms: u64,
+    /// Bottom-up column order of each subtree task.
+    pub task_orders: Vec<Vec<usize>>,
+    /// Modeled peak entries of each task (the ledger reservation).
+    pub task_peaks: Vec<u64>,
+    /// Cluster-level memory budget in entries, if bounded.
+    pub budget_entries: Option<u64>,
+}
+
+/// Why a contribution was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContributeError {
+    /// No job with that id (finished jobs are removed after the merge).
+    UnknownJob,
+    /// Task index out of range for the job's cut.
+    UnknownTask,
+    /// The contribution echoes an epoch older than the current lease —
+    /// the sender's lease was reaped and the task re-issued.
+    StaleEpoch,
+    /// The task already has an accepted contribution.
+    AlreadyDone,
+}
+
+impl std::fmt::Display for ContributeError {
+    fn fmt(&self, fmt: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContributeError::UnknownJob => write!(fmt, "unknown job"),
+            ContributeError::UnknownTask => write!(fmt, "unknown task"),
+            ContributeError::StaleEpoch => {
+                write!(fmt, "stale lease epoch: the task was re-issued")
+            }
+            ContributeError::AlreadyDone => write!(fmt, "task already completed"),
+        }
+    }
+}
+
+impl std::error::Error for ContributeError {}
+
+/// Why [`Job::wait_for_completion`] gave up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitError {
+    /// The caller's timeout elapsed before every task completed.
+    TimedOut,
+    /// The caller's cancel token fired.
+    Cancelled,
+}
+
+#[derive(Debug)]
+enum Phase {
+    Pending,
+    Leased { deadline_ms: u64 },
+    Done,
+}
+
+#[derive(Debug)]
+struct TaskState {
+    order: Vec<usize>,
+    peak: u64,
+    phase: Phase,
+    /// Increments on every claim; the fence against stale contributions.
+    epoch: u64,
+    parts: Option<SubtreeParts>,
+}
+
+#[derive(Debug, Default)]
+struct JobState {
+    tasks: Vec<TaskState>,
+    completed: usize,
+    claimed: u64,
+    requeued: u64,
+    lease_expiries: u64,
+    contribution_bytes: u64,
+    /// Per-worker busy seconds, in first-claim order for this job.
+    worker_busy: Vec<(String, f64)>,
+}
+
+impl JobState {
+    /// Move every lease past its deadline back to `Pending`, releasing its
+    /// ledger reservation and bumping the epoch so late contributions from
+    /// the dead lease are fenced out.
+    fn reap_expired(&mut self, now_ms: u64, ledger: &BudgetLedger, stats: &ClusterStats) {
+        for task in &mut self.tasks {
+            if let Phase::Leased { deadline_ms } = task.phase {
+                if now_ms >= deadline_ms {
+                    task.phase = Phase::Pending;
+                    task.epoch += 1;
+                    ledger.finish_task(task.peak, 0);
+                    self.lease_expiries += 1;
+                    self.requeued += 1;
+                    bump(&stats.lease_expiries);
+                    bump(&stats.tasks_requeued);
+                }
+            }
+        }
+    }
+}
+
+/// One registered distributed factorization.
+pub struct Job {
+    id: u64,
+    config_json: String,
+    lease_ms: u64,
+    ledger: BudgetLedger,
+    state: Mutex<JobState>,
+    progress: Condvar,
+    started: Instant,
+    stats: Arc<ClusterStats>,
+}
+
+impl Job {
+    /// The coordinator-assigned id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Number of subtree tasks in the cut.
+    pub fn task_count(&self) -> usize {
+        self.state.lock().expect("job state poisoned").tasks.len()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, JobState> {
+        self.state.lock().expect("job state poisoned")
+    }
+
+    /// Try to lease one pending task to `worker`.  Returns `None` when
+    /// nothing is claimable right now — either every remaining task is
+    /// leased out, or the budget gate is closed while other leases run.
+    /// Never blocks beyond the state lock: HTTP handlers call this.
+    pub fn try_claim(&self, worker: &str) -> Option<SubtreeTask> {
+        let now_ms = monotonic_millis();
+        let mut state = self.lock();
+        state.reap_expired(now_ms, &self.ledger, &self.stats);
+        let pending: Vec<usize> = state
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, task)| matches!(task.phase, Phase::Pending))
+            .map(|(index, _)| index)
+            .collect();
+        if pending.is_empty() {
+            return None;
+        }
+        let peaks: Vec<u64> = pending
+            .iter()
+            .map(|&index| state.tasks[index].peak)
+            .collect();
+        let chosen = match self.ledger.select_and_reserve(&peaks) {
+            ReserveSelection::Selected(slot) => pending[slot],
+            ReserveSelection::Blocked(_) => return None,
+        };
+        let task = &mut state.tasks[chosen];
+        task.phase = Phase::Leased {
+            deadline_ms: now_ms.saturating_add(self.lease_ms),
+        };
+        task.epoch += 1;
+        let issued = SubtreeTask {
+            job: self.id,
+            task: chosen,
+            epoch: task.epoch,
+            lease_ms: self.lease_ms,
+            config: self.config_json.clone(),
+            order: task.order.clone(),
+        };
+        state.claimed += 1;
+        if !state.worker_busy.iter().any(|(name, _)| name == worker) {
+            state.worker_busy.push((worker.to_string(), 0.0));
+        }
+        bump(&self.stats.tasks_claimed);
+        self.stats.note_worker(worker);
+        Some(issued)
+    }
+
+    /// Accept one task's output, if its lease epoch is still current.
+    /// `frame_bytes` is the size of the contribution frame, for the
+    /// transfer-volume counters.
+    pub fn contribute(
+        &self,
+        contribution: Contribution,
+        frame_bytes: u64,
+    ) -> Result<(), ContributeError> {
+        let mut state = self.lock();
+        // Reap first so a contribution racing its own expired lease is
+        // consistently judged stale rather than winning the race.
+        state.reap_expired(monotonic_millis(), &self.ledger, &self.stats);
+        let task_count = state.tasks.len();
+        let task = state
+            .tasks
+            .get_mut(contribution.task)
+            .ok_or(ContributeError::UnknownTask)?;
+        match task.phase {
+            Phase::Done => {
+                bump(&self.stats.stale_contributions);
+                return Err(ContributeError::AlreadyDone);
+            }
+            Phase::Pending => {
+                bump(&self.stats.stale_contributions);
+                return Err(ContributeError::StaleEpoch);
+            }
+            Phase::Leased { .. } if contribution.epoch != task.epoch => {
+                bump(&self.stats.stale_contributions);
+                return Err(ContributeError::StaleEpoch);
+            }
+            Phase::Leased { .. } => {}
+        }
+        // The task's peak reservation shrinks to the contribution blocks it
+        // leaves behind for the merge; those stay reserved until the
+        // coordinator absorbs them (`release_retained` after the wait).
+        self.ledger
+            .finish_task(task.peak, contribution.parts.block_entries);
+        task.phase = Phase::Done;
+        task.parts = Some(contribution.parts);
+        state.completed += 1;
+        state.contribution_bytes += frame_bytes;
+        if let Some(slot) = state
+            .worker_busy
+            .iter_mut()
+            .find(|(name, _)| name == &contribution.worker)
+        {
+            slot.1 += contribution.busy_seconds;
+        } else {
+            state
+                .worker_busy
+                .push((contribution.worker.clone(), contribution.busy_seconds));
+        }
+        bump(&self.stats.tasks_completed);
+        self.stats
+            .contribution_bytes
+            .fetch_add(frame_bytes, Ordering::Relaxed);
+        if state.completed == task_count {
+            bump(&self.stats.jobs_completed);
+        }
+        drop(state);
+        self.progress.notify_all();
+        Ok(())
+    }
+
+    /// Block until every task has an accepted contribution, reaping expired
+    /// leases while waiting so dead workers' tasks go back on the queue.
+    /// Returns the parts in task order plus the runtime half of the
+    /// distributed report, and releases the retained ledger reservations.
+    pub fn wait_for_completion(
+        &self,
+        timeout_ms: Option<u64>,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(Vec<SubtreeParts>, DistributedRuntime), WaitError> {
+        let wait_started = monotonic_millis();
+        // Wake often enough to reap leases promptly, but at least every
+        // 50ms so cancellation stays responsive.
+        let tick = std::time::Duration::from_millis((self.lease_ms / 4).clamp(5, 50));
+        let mut state = self.lock();
+        loop {
+            state.reap_expired(monotonic_millis(), &self.ledger, &self.stats);
+            if state.completed == state.tasks.len() {
+                break;
+            }
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                return Err(WaitError::Cancelled);
+            }
+            if let Some(limit) = timeout_ms {
+                if monotonic_millis().saturating_sub(wait_started) >= limit {
+                    return Err(WaitError::TimedOut);
+                }
+            }
+            let (next, _) = self
+                .progress
+                .wait_timeout(state, tick)
+                .expect("job state poisoned");
+            state = next;
+        }
+        let mut parts = Vec::with_capacity(state.tasks.len());
+        let mut retained = 0u64;
+        for task in &mut state.tasks {
+            let taken = task.parts.take().expect("completed task without parts");
+            retained += taken.block_entries;
+            parts.push(taken);
+        }
+        debug_assert_eq!(
+            state.claimed,
+            state.completed as u64 + state.lease_expiries,
+            "every claim must end in a contribution or an expiry"
+        );
+        let runtime = DistributedRuntime {
+            workers: state.worker_busy.len(),
+            tasks_requeued: state.requeued,
+            lease_expiries: state.lease_expiries,
+            contribution_bytes: state.contribution_bytes,
+            claim_wall_seconds: self.started.elapsed().as_secs_f64(),
+            worker_busy_seconds: state.worker_busy.iter().map(|(_, busy)| *busy).collect(),
+        };
+        drop(state);
+        self.ledger.release_retained(retained);
+        Ok((parts, runtime))
+    }
+
+    /// Render progress as the `/internal/job/{id}` JSON document.
+    pub fn progress_json(&self) -> String {
+        let mut state = self.lock();
+        state.reap_expired(monotonic_millis(), &self.ledger, &self.stats);
+        let leased = state
+            .tasks
+            .iter()
+            .filter(|task| matches!(task.phase, Phase::Leased { .. }))
+            .count();
+        format!(
+            "{{\"job\": {}, \"tasks\": {}, \"completed\": {}, \"leased\": {}, \
+             \"pending\": {}, \"claimed\": {}, \"requeued\": {}, \"lease_expiries\": {}, \
+             \"contribution_bytes\": {}, \"done\": {}}}",
+            self.id,
+            state.tasks.len(),
+            state.completed,
+            leased,
+            state.tasks.len() - state.completed - leased,
+            state.claimed,
+            state.requeued,
+            state.lease_expiries,
+            state.contribution_bytes,
+            state.completed == state.tasks.len(),
+        )
+    }
+}
+
+/// All live jobs of one coordinator process.
+pub struct JobRegistry {
+    jobs: Mutex<Vec<Arc<Job>>>,
+    next_id: AtomicU64,
+    stats: Arc<ClusterStats>,
+}
+
+impl JobRegistry {
+    /// An empty registry sharing `stats` with the serving layer.
+    pub fn new(stats: Arc<ClusterStats>) -> JobRegistry {
+        JobRegistry {
+            jobs: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(1),
+            stats,
+        }
+    }
+
+    /// The shared counter block.
+    pub fn stats(&self) -> &Arc<ClusterStats> {
+        &self.stats
+    }
+
+    /// Register a job; its tasks become claimable immediately.
+    pub fn register(&self, spec: JobSpec) -> Arc<Job> {
+        assert_eq!(
+            spec.task_orders.len(),
+            spec.task_peaks.len(),
+            "one peak per task order"
+        );
+        let tasks = spec
+            .task_orders
+            .into_iter()
+            .zip(spec.task_peaks)
+            .map(|(order, peak)| TaskState {
+                order,
+                peak,
+                phase: Phase::Pending,
+                epoch: 0,
+                parts: None,
+            })
+            .collect();
+        let job = Arc::new(Job {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            config_json: spec.config_json,
+            lease_ms: spec.lease_ms,
+            ledger: BudgetLedger::new(spec.budget_entries),
+            state: Mutex::new(JobState {
+                tasks,
+                ..JobState::default()
+            }),
+            progress: Condvar::new(),
+            started: Instant::now(),
+            stats: Arc::clone(&self.stats),
+        });
+        self.jobs
+            .lock()
+            .expect("job list poisoned")
+            .push(Arc::clone(&job));
+        bump(&self.stats.jobs_started);
+        job
+    }
+
+    /// Answer one worker claim poll: the first job (registration order)
+    /// with a claimable task wins; `Wait` when jobs exist but nothing is
+    /// claimable right now; `Idle` when no job needs work.
+    pub fn claim(&self, worker: &str) -> ClaimReply {
+        let jobs: Vec<Arc<Job>> = self.jobs.lock().expect("job list poisoned").clone();
+        let mut any_incomplete = false;
+        for job in jobs {
+            if let Some(task) = job.try_claim(worker) {
+                return ClaimReply::Task(Box::new(task));
+            }
+            let state = job.lock();
+            any_incomplete |= state.completed < state.tasks.len();
+        }
+        if any_incomplete {
+            ClaimReply::Wait {
+                retry_ms: self.suggested_retry_ms(),
+            }
+        } else {
+            ClaimReply::Idle
+        }
+    }
+
+    fn suggested_retry_ms(&self) -> u64 {
+        // A fraction of the shortest live lease keeps re-issued tasks from
+        // sitting unclaimed; clamp so workers neither spin nor stall.
+        let jobs = self.jobs.lock().expect("job list poisoned");
+        let shortest = jobs.iter().map(|job| job.lease_ms).min().unwrap_or(1_000);
+        (shortest / 4).clamp(10, 500)
+    }
+
+    /// Route a contribution to its job.
+    pub fn contribute(
+        &self,
+        contribution: Contribution,
+        frame_bytes: u64,
+    ) -> Result<(), ContributeError> {
+        let job = self
+            .job(contribution.job)
+            .ok_or(ContributeError::UnknownJob)?;
+        job.contribute(contribution, frame_bytes)
+    }
+
+    /// Look up a live job.
+    pub fn job(&self, id: u64) -> Option<Arc<Job>> {
+        self.jobs
+            .lock()
+            .expect("job list poisoned")
+            .iter()
+            .find(|job| job.id == id)
+            .cloned()
+    }
+
+    /// Drop a finished (or abandoned) job; subsequent contributions answer
+    /// `UnknownJob`.
+    pub fn remove(&self, id: u64) {
+        self.jobs
+            .lock()
+            .expect("job list poisoned")
+            .retain(|job| job.id != id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::contribution_frame;
+    use multifrontal::ContributionStore;
+
+    fn registry() -> JobRegistry {
+        JobRegistry::new(Arc::new(ClusterStats::new()))
+    }
+
+    fn spec(orders: Vec<Vec<usize>>, peaks: Vec<u64>, budget: Option<u64>) -> JobSpec {
+        JobSpec {
+            config_json: "{}".to_string(),
+            lease_ms: 10_000,
+            task_orders: orders,
+            task_peaks: peaks,
+            budget_entries: budget,
+        }
+    }
+
+    fn parts(entries: u64) -> SubtreeParts {
+        SubtreeParts {
+            columns: vec![(0, vec![0], vec![1.0])],
+            blocks: ContributionStore::new(),
+            block_entries: entries,
+        }
+    }
+
+    fn contribution_for(task: &SubtreeTask, entries: u64) -> (Contribution, u64) {
+        contribution_from(task, "w-test", entries)
+    }
+
+    fn contribution_from(task: &SubtreeTask, worker: &str, entries: u64) -> (Contribution, u64) {
+        let frame = contribution_frame(
+            task.job,
+            task.task,
+            task.epoch,
+            worker,
+            0.25,
+            &parts(entries),
+        );
+        let bytes = frame.len() as u64;
+        (Contribution::from_frame(&frame).unwrap(), bytes)
+    }
+
+    #[test]
+    fn the_full_lease_lifecycle_reconciles() {
+        let registry = registry();
+        let job = registry.register(spec(vec![vec![0], vec![1]], vec![5, 5], None));
+        let first = job.try_claim("w-a").unwrap();
+        let second = job.try_claim("w-b").unwrap();
+        assert_ne!(first.task, second.task);
+        assert!(job.try_claim("w-a").is_none());
+
+        let (contribution, bytes) = contribution_from(&first, "w-a", 3);
+        registry.contribute(contribution, bytes).unwrap();
+        let (contribution, bytes) = contribution_from(&second, "w-b", 2);
+        registry.contribute(contribution, bytes).unwrap();
+
+        let (parts, runtime) = job.wait_for_completion(Some(1_000), None).unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(runtime.workers, 2);
+        assert_eq!(runtime.lease_expiries, 0);
+        assert_eq!(runtime.tasks_requeued, 0);
+        assert!(runtime.contribution_bytes > 0);
+
+        let snapshot = registry.stats().snapshot();
+        assert_eq!(snapshot.tasks_claimed, 2);
+        assert_eq!(snapshot.tasks_completed, 2);
+        assert_eq!(snapshot.jobs_completed, 1);
+        assert_eq!(
+            snapshot.tasks_claimed,
+            snapshot.tasks_completed + snapshot.lease_expiries
+        );
+    }
+
+    #[test]
+    fn expired_leases_requeue_and_fence_out_the_old_epoch() {
+        let registry = registry();
+        let job = registry.register(JobSpec {
+            lease_ms: 10,
+            ..spec(vec![vec![0]], vec![5], None)
+        });
+        let stale = job.try_claim("w-dead").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+
+        // The reap happens on the next claim: the task is re-issued with a
+        // fresh epoch to a surviving worker.
+        let reissued = job.try_claim("w-alive").unwrap();
+        assert_eq!(reissued.task, stale.task);
+        assert!(reissued.epoch > stale.epoch);
+
+        // The dead worker's late contribution is fenced out...
+        let (late, bytes) = contribution_for(&stale, 1);
+        assert_eq!(
+            registry.contribute(late, bytes),
+            Err(ContributeError::StaleEpoch)
+        );
+        // ...and the re-issued lease's copy is accepted.
+        let (fresh, bytes) = contribution_for(&reissued, 1);
+        registry.contribute(fresh, bytes).unwrap();
+        let (fresh_again, bytes) = contribution_for(&reissued, 1);
+        assert_eq!(
+            registry.contribute(fresh_again, bytes),
+            Err(ContributeError::AlreadyDone)
+        );
+
+        let (_, runtime) = job.wait_for_completion(Some(1_000), None).unwrap();
+        assert_eq!(runtime.lease_expiries, 1);
+        assert_eq!(runtime.tasks_requeued, 1);
+        let snapshot = registry.stats().snapshot();
+        assert_eq!(snapshot.stale_contributions, 2);
+        assert_eq!(
+            snapshot.tasks_claimed,
+            snapshot.tasks_completed + snapshot.lease_expiries
+        );
+    }
+
+    #[test]
+    fn the_budget_gate_serializes_claims_that_do_not_fit_together() {
+        let registry = registry();
+        let job = registry.register(spec(vec![vec![0], vec![1]], vec![8, 6], Some(10)));
+        let first = job.try_claim("w-a").unwrap();
+        assert_eq!(first.task, 0);
+        // 8 reserved + 6 requested > 10 while a lease runs: gate closed.
+        assert!(job.try_claim("w-b").is_none());
+        match registry.claim("w-b") {
+            ClaimReply::Wait { retry_ms } => assert!(retry_ms >= 10),
+            other => panic!("expected Wait, got {other:?}"),
+        }
+        // Finishing the first task retains 4 entries of blocks; 4 + 6 = 10
+        // now fits and the second task becomes claimable.
+        let (contribution, bytes) = contribution_for(&first, 4);
+        registry.contribute(contribution, bytes).unwrap();
+        let second = job.try_claim("w-b").unwrap();
+        assert_eq!(second.task, 1);
+        let (contribution, bytes) = contribution_for(&second, 0);
+        registry.contribute(contribution, bytes).unwrap();
+        job.wait_for_completion(Some(1_000), None).unwrap();
+    }
+
+    #[test]
+    fn waits_time_out_and_cancel_cleanly() {
+        let registry = registry();
+        let job = registry.register(spec(vec![vec![0]], vec![1], None));
+        assert!(matches!(
+            job.wait_for_completion(Some(30), None),
+            Err(WaitError::TimedOut)
+        ));
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        assert!(matches!(
+            job.wait_for_completion(None, Some(&cancel)),
+            Err(WaitError::Cancelled)
+        ));
+    }
+
+    #[test]
+    fn unknown_jobs_and_tasks_are_typed_errors() {
+        let registry = registry();
+        let job = registry.register(spec(vec![vec![0]], vec![1], None));
+        let task = job.try_claim("w").unwrap();
+        let (mut contribution, bytes) = contribution_for(&task, 0);
+        contribution.job = 999;
+        assert_eq!(
+            registry.contribute(contribution, bytes),
+            Err(ContributeError::UnknownJob)
+        );
+        let (mut contribution, bytes) = contribution_for(&task, 0);
+        contribution.task = 7;
+        assert_eq!(
+            registry.contribute(contribution, bytes),
+            Err(ContributeError::UnknownTask)
+        );
+        registry.remove(job.id());
+        assert!(registry.job(job.id()).is_none());
+        match registry.claim("w") {
+            ClaimReply::Idle => {}
+            other => panic!("expected Idle, got {other:?}"),
+        }
+    }
+}

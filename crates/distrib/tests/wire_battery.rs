@@ -1,0 +1,202 @@
+//! Seeded property battery for the distributed wire format.
+//!
+//! Three properties, each over many seeded random instances:
+//!
+//! 1. **Round-trip exactness** — tasks and contribution frames decode back
+//!    to bit-identical payloads (floats compared by `to_bits`, not `==`).
+//! 2. **NaN-freedom** — non-finite floats cannot cross the wire in either
+//!    direction: the encoder writes raw bit patterns, the decoder rejects
+//!    them with a typed error.
+//! 3. **Hostility tolerance** — truncating, padding, or corrupting a valid
+//!    frame at any byte yields a typed [`WireError`] (the serving layer's
+//!    clean 400), never a panic.
+
+use distrib::{
+    contribution_frame, decode_frame, encode_frame, ClaimReply, Contribution, SubtreeTask,
+    WireError,
+};
+use engine::{EngineConfig, SubtreeParts};
+use multifrontal::{ContributionStore, DenseMatrix};
+use ordering::OrderingMethod;
+use prng::{Rng, StdRng};
+use sparsemat::gen::ProblemKind;
+
+fn random_finite(rng: &mut StdRng) -> f64 {
+    // Spread across magnitudes and signs; always finite.
+    let magnitude = 10f64.powi(rng.gen_range(-30i32..=30));
+    let value = (rng.gen::<f64>() * 2.0 - 1.0) * magnitude;
+    if value.is_finite() {
+        value
+    } else {
+        0.0
+    }
+}
+
+fn random_parts(rng: &mut StdRng) -> SubtreeParts {
+    let column_count = rng.gen_range(0usize..=12);
+    let mut columns = Vec::with_capacity(column_count);
+    for _ in 0..column_count {
+        let column = rng.gen_range(0usize..100_000);
+        let height = rng.gen_range(1usize..=8);
+        let rows: Vec<usize> = (0..height)
+            .map(|_| rng.gen_range(0usize..1 << 20))
+            .collect();
+        let values: Vec<f64> = (0..height).map(|_| random_finite(rng)).collect();
+        columns.push((column, rows, values));
+    }
+    let mut blocks = ContributionStore::new();
+    let mut block_entries = 0u64;
+    let block_count = rng.gen_range(0usize..=4);
+    let mut used: Vec<usize> = Vec::new();
+    for _ in 0..block_count {
+        let column = rng.gen_range(0usize..10_000);
+        if used.contains(&column) {
+            continue;
+        }
+        used.push(column);
+        let n = rng.gen_range(1usize..=5);
+        let rows: Vec<usize> = (0..n).map(|i| column + i).collect();
+        let values: Vec<f64> = (0..n * n).map(|_| random_finite(rng)).collect();
+        block_entries += (n * n) as u64;
+        blocks.insert_block(column, rows, DenseMatrix::from_column_major(n, values));
+    }
+    SubtreeParts {
+        columns,
+        blocks,
+        block_entries,
+    }
+}
+
+fn assert_parts_bit_identical(decoded: &SubtreeParts, original: &SubtreeParts) {
+    assert_eq!(decoded.columns.len(), original.columns.len());
+    for ((ca, ra, va), (cb, rb, vb)) in decoded.columns.iter().zip(&original.columns) {
+        assert_eq!(ca, cb);
+        assert_eq!(ra, rb);
+        assert_eq!(va.len(), vb.len());
+        assert!(va.iter().zip(vb).all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+    assert_eq!(decoded.block_entries, original.block_entries);
+    let decoded_blocks = decoded.blocks.sorted_blocks();
+    let original_blocks = original.blocks.sorted_blocks();
+    assert_eq!(decoded_blocks.len(), original_blocks.len());
+    for ((ca, ra, ba), (cb, rb, bb)) in decoded_blocks.iter().zip(&original_blocks) {
+        assert_eq!(ca, cb);
+        assert_eq!(ra, rb);
+        assert_eq!(ba.n(), bb.n());
+        assert!(ba
+            .column_major()
+            .iter()
+            .zip(bb.column_major())
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+}
+
+#[test]
+fn random_tasks_round_trip_exactly() {
+    let config = EngineConfig::generated(ProblemKind::Grid2d, 400, 11)
+        .with_ordering(OrderingMethod::NestedDissection)
+        .with_numeric(true);
+    let mut rng = StdRng::seed_from_u64(0x5eed_0001);
+    for _ in 0..64 {
+        let order_len = rng.gen_range(1usize..=64);
+        let task = SubtreeTask {
+            job: rng.gen::<u64>(),
+            task: rng.gen_range(0usize..4096),
+            epoch: rng.gen::<u64>(),
+            lease_ms: rng.gen_range(10u64..=3_600_000),
+            config: config.to_json(),
+            order: (0..order_len)
+                .map(|_| rng.gen_range(0usize..1 << 20))
+                .collect(),
+        };
+        match ClaimReply::from_frame(&task.to_frame()).unwrap() {
+            ClaimReply::Task(parsed) => assert_eq!(*parsed, task),
+            other => panic!("expected a task, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn random_contributions_round_trip_bit_for_bit() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0002);
+    for round in 0..48 {
+        let parts = random_parts(&mut rng);
+        let frame = contribution_frame(
+            round,
+            rng.gen_range(0usize..4096),
+            rng.gen::<u64>(),
+            &format!("worker-{round}"),
+            rng.gen::<f64>() * 100.0,
+            &parts,
+        );
+        let decoded = Contribution::from_frame(&frame).unwrap();
+        assert_eq!(decoded.job, round);
+        assert_eq!(decoded.worker, format!("worker-{round}"));
+        assert_parts_bit_identical(&decoded.parts, &parts);
+    }
+}
+
+#[test]
+fn non_finite_floats_cannot_cross_the_wire() {
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let parts = SubtreeParts {
+            columns: vec![(0, vec![0], vec![bad])],
+            blocks: ContributionStore::new(),
+            block_entries: 0,
+        };
+        let frame = contribution_frame(1, 0, 1, "w", 0.0, &parts);
+        assert!(matches!(
+            Contribution::from_frame(&frame),
+            Err(WireError::NonFinite(_))
+        ));
+    }
+}
+
+#[test]
+fn mangled_frames_never_panic() {
+    let parts = SubtreeParts {
+        columns: vec![(3, vec![3, 5], vec![2.0, -0.25])],
+        blocks: ContributionStore::new(),
+        block_entries: 0,
+    };
+    let frame = contribution_frame(2, 1, 3, "w-0", 1.5, &parts);
+
+    // Every truncation point is a typed error.
+    for cut in 0..frame.len() {
+        assert!(Contribution::from_frame(&frame[..cut]).is_err());
+    }
+    // Padding is a typed error.
+    let mut padded = frame.clone();
+    padded.extend_from_slice(b"garbage");
+    assert!(matches!(
+        Contribution::from_frame(&padded),
+        Err(WireError::TrailingBytes { .. })
+    ));
+
+    // Seeded single-byte corruption: decode must return, never panic.
+    // (Many corruptions still decode fine — e.g. a flipped value bit — so
+    // only absence of panics and of non-finite leaks is asserted.)
+    let mut rng = StdRng::seed_from_u64(0x5eed_0003);
+    for _ in 0..500 {
+        let mut mangled = frame.clone();
+        let at = rng.gen_range(0usize..mangled.len());
+        mangled[at] = rng.gen_range(0u64..=255) as u8;
+        if let Ok(contribution) = Contribution::from_frame(&mangled) {
+            for (_, _, values) in &contribution.parts.columns {
+                assert!(values.iter().all(|value| value.is_finite()));
+            }
+        }
+    }
+}
+
+#[test]
+fn oversized_declared_lengths_are_rejected_before_allocation() {
+    let huge = format!("distrib_wire/v1 {}\n", usize::MAX);
+    assert!(matches!(
+        decode_frame(huge.as_bytes()),
+        Err(WireError::Oversized { .. })
+    ));
+    // A frame at exactly the declared size of its body still decodes.
+    let ok = encode_frame("{}");
+    assert_eq!(decode_frame(&ok).unwrap(), "{}");
+}

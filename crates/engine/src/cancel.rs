@@ -28,8 +28,26 @@
 //! ```
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+/// The process-wide monotonic anchor behind [`monotonic_millis`], pinned on
+/// first use.
+static MONOTONIC_ANCHOR: OnceLock<Instant> = OnceLock::new();
+
+/// Milliseconds elapsed since a process-wide monotonic anchor (the first
+/// call in this process).
+///
+/// This is the clock the distributed coordinator stamps task leases with.
+/// Leases must never use wall time (`SystemTime`): an NTP step or a
+/// suspended laptop would expire every outstanding lease at once — or worse,
+/// push expiries into the future so a dead worker's task is never re-issued.
+/// `Instant` is monotonic by contract, and anchoring once per process makes
+/// the values cheap to store, compare, and subtract as plain `u64`s.
+pub fn monotonic_millis() -> u64 {
+    let anchor = *MONOTONIC_ANCHOR.get_or_init(Instant::now);
+    Instant::now().duration_since(anchor).as_millis() as u64
+}
 
 struct Inner {
     flag: AtomicBool,
@@ -144,5 +162,15 @@ mod tests {
     fn huge_budgets_saturate_instead_of_panicking() {
         let token = CancelToken::with_deadline(Duration::MAX);
         assert!(!token.is_cancelled());
+    }
+
+    #[test]
+    fn monotonic_millis_never_goes_backwards() {
+        let a = monotonic_millis();
+        let b = monotonic_millis();
+        std::thread::sleep(Duration::from_millis(5));
+        let c = monotonic_millis();
+        assert!(b >= a);
+        assert!(c >= b + 4, "slept 5ms but clock advanced {}ms", c - b);
     }
 }

@@ -96,6 +96,44 @@ impl BudgetShare {
             BudgetShare::Entries(entries) => Some(entries),
         }
     }
+
+    fn to_json_fragment(self) -> String {
+        match self {
+            BudgetShare::Unbounded => "{\"type\": \"unbounded\"}".to_string(),
+            // A non-finite multiple would render as bare `NaN`/`inf` — not
+            // JSON.  Serialize it as `null` so the document stays
+            // well-formed; the parser then reports the missing value and
+            // plan-time validation rejects the multiple anyway.
+            BudgetShare::MultipleOfSequentialPeak(multiple) if !multiple.is_finite() => {
+                "{\"type\": \"multiple\", \"value\": null}".to_string()
+            }
+            BudgetShare::MultipleOfSequentialPeak(multiple) => {
+                format!("{{\"type\": \"multiple\", \"value\": {multiple}}}")
+            }
+            BudgetShare::Entries(entries) => {
+                format!("{{\"type\": \"entries\", \"value\": {entries}}}")
+            }
+        }
+    }
+
+    fn from_json(json: &Json, field: &'static str) -> Result<BudgetShare, ConfigParseError> {
+        Ok(match json.get("type").and_then(Json::as_str) {
+            Some("unbounded") => BudgetShare::Unbounded,
+            Some("multiple") => BudgetShare::MultipleOfSequentialPeak(
+                json.get("value")
+                    .and_then(Json::as_f64)
+                    .ok_or(missing(field))?,
+            ),
+            Some("entries") => BudgetShare::Entries(
+                json.get("value")
+                    .and_then(Json::as_u64)
+                    .ok_or(missing(field))?,
+            ),
+            other => {
+                return Err(invalid(format!("unknown budget type {other:?} in {field}")));
+            }
+        })
+    }
 }
 
 /// The parallel execution section of an [`EngineConfig`]: worker count, cut
@@ -155,48 +193,17 @@ impl ParallelConfig {
     }
 
     fn to_json_fragment(self) -> String {
-        let budget = match self.budget {
-            BudgetShare::Unbounded => "{\"type\": \"unbounded\"}".to_string(),
-            // A non-finite multiple would render as bare `NaN`/`inf` — not
-            // JSON.  Serialize it as `null` so the document stays
-            // well-formed; the parser then reports the missing value and
-            // plan-time validation rejects the multiple anyway.
-            BudgetShare::MultipleOfSequentialPeak(multiple) if !multiple.is_finite() => {
-                "{\"type\": \"multiple\", \"value\": null}".to_string()
-            }
-            BudgetShare::MultipleOfSequentialPeak(multiple) => {
-                format!("{{\"type\": \"multiple\", \"value\": {multiple}}}")
-            }
-            BudgetShare::Entries(entries) => {
-                format!("{{\"type\": \"entries\", \"value\": {entries}}}")
-            }
-        };
         format!(
-            "{{\"workers\": {}, \"max_tasks\": {}, \"budget\": {budget}}}",
-            self.workers, self.max_tasks
+            "{{\"workers\": {}, \"max_tasks\": {}, \"budget\": {}}}",
+            self.workers,
+            self.max_tasks,
+            self.budget.to_json_fragment()
         )
     }
 
     fn from_json(json: &Json) -> Result<ParallelConfig, ConfigParseError> {
         let budget = json.get("budget").ok_or(missing("parallel.budget"))?;
-        let budget = match budget.get("type").and_then(Json::as_str) {
-            Some("unbounded") => BudgetShare::Unbounded,
-            Some("multiple") => BudgetShare::MultipleOfSequentialPeak(
-                budget
-                    .get("value")
-                    .and_then(Json::as_f64)
-                    .ok_or(missing("parallel.budget.value"))?,
-            ),
-            Some("entries") => BudgetShare::Entries(
-                budget
-                    .get("value")
-                    .and_then(Json::as_u64)
-                    .ok_or(missing("parallel.budget.value"))?,
-            ),
-            other => {
-                return Err(invalid(format!("unknown parallel budget type {other:?}")));
-            }
-        };
+        let budget = BudgetShare::from_json(budget, "parallel.budget.value")?;
         Ok(ParallelConfig {
             workers: json
                 .get("workers")
@@ -207,6 +214,95 @@ impl ParallelConfig {
                 .and_then(Json::as_usize)
                 .ok_or(missing("parallel.max_tasks"))?,
             budget,
+        })
+    }
+}
+
+/// The distributed execution section of an [`EngineConfig`]: how many
+/// subtree tasks one factorization is sharded into across worker
+/// *processes*, the cluster-level memory budget their admissions share, and
+/// the lease under which the coordinator hands a task out.
+///
+/// `tasks == 0` (the default) keeps execution in-process.  With
+/// `tasks >= 2` a coordinator `serve` process plans the problem, cuts the
+/// per-column tree into at most `tasks` balanced subtrees, and hands them to
+/// worker processes over the internal claim/contribute endpoints; the
+/// coordinator then merges the above-cut columns in tree order, so the
+/// factor is bit-identical to the single-process path.  Like the in-process
+/// cut, the task set depends only on the plan and `tasks` — never on how
+/// many worker processes happen to be attached.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistributedConfig {
+    /// Maximum number of subtree tasks to shard into (0 = not distributed).
+    pub tasks: usize,
+    /// Cluster-level budget the coordinator's ledger admits tasks under.
+    pub budget: BudgetShare,
+    /// Lease duration per claimed task, in milliseconds (monotonic clock):
+    /// a worker that neither contributes nor extends within the lease is
+    /// presumed dead and its task is re-issued.
+    pub lease_ms: u64,
+}
+
+impl Default for DistributedConfig {
+    fn default() -> Self {
+        DistributedConfig {
+            tasks: 0,
+            budget: BudgetShare::Unbounded,
+            lease_ms: 30_000,
+        }
+    }
+}
+
+impl DistributedConfig {
+    /// A distributed section sharding into at most `tasks` subtree tasks,
+    /// with an unbounded budget and the default 30 s lease.
+    pub fn with_tasks(tasks: usize) -> Self {
+        DistributedConfig {
+            tasks,
+            ..DistributedConfig::default()
+        }
+    }
+
+    /// Set the cluster-level budget-sharing mode.
+    pub fn with_budget(mut self, budget: BudgetShare) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Set the task lease duration in milliseconds.
+    pub fn with_lease_ms(mut self, lease_ms: u64) -> Self {
+        self.lease_ms = lease_ms;
+        self
+    }
+
+    /// Whether distributed execution is requested (sharding needs at least
+    /// two tasks to mean anything).
+    pub fn enabled(&self) -> bool {
+        self.tasks >= 2
+    }
+
+    fn to_json_fragment(self) -> String {
+        format!(
+            "{{\"tasks\": {}, \"budget\": {}, \"lease_ms\": {}}}",
+            self.tasks,
+            self.budget.to_json_fragment(),
+            self.lease_ms
+        )
+    }
+
+    fn from_json(json: &Json) -> Result<DistributedConfig, ConfigParseError> {
+        let budget = json.get("budget").ok_or(missing("distributed.budget"))?;
+        let budget = BudgetShare::from_json(budget, "distributed.budget.value")?;
+        Ok(DistributedConfig {
+            tasks: json
+                .get("tasks")
+                .and_then(Json::as_usize)
+                .ok_or(missing("distributed.tasks"))?,
+            budget,
+            lease_ms: json
+                .get("lease_ms")
+                .and_then(Json::as_u64)
+                .ok_or(missing("distributed.lease_ms"))?,
         })
     }
 }
@@ -413,6 +509,9 @@ pub struct EngineConfig {
     pub solve: SolveConfig,
     /// Parallel execution of the numeric stage (off by default).
     pub parallel: ParallelConfig,
+    /// Distributed (multi-process) execution of the numeric stage (off by
+    /// default).
+    pub distributed: DistributedConfig,
 }
 
 impl EngineConfig {
@@ -446,6 +545,7 @@ impl EngineConfig {
             numeric: false,
             solve: SolveConfig::default(),
             parallel: ParallelConfig::default(),
+            distributed: DistributedConfig::default(),
         }
     }
 
@@ -496,6 +596,13 @@ impl EngineConfig {
     /// parallel execution additionally requires the numeric stage).
     pub fn with_parallel(mut self, parallel: ParallelConfig) -> Self {
         self.parallel = parallel;
+        self
+    }
+
+    /// Set the distributed execution section (distributed execution
+    /// additionally requires the numeric stage).
+    pub fn with_distributed(mut self, distributed: DistributedConfig) -> Self {
+        self.distributed = distributed;
         self
     }
 
@@ -576,10 +683,24 @@ impl EngineConfig {
             "  \"solve\": {},\n",
             self.solve.to_json_fragment()
         ));
-        out.push_str(&format!(
-            "  \"parallel\": {}\n",
-            self.parallel.to_json_fragment()
-        ));
+        // The distributed section is emitted only when it differs from the
+        // default: the config hash is FNV-1a over these bytes, and every
+        // config written before the section existed must keep its hash.
+        if self.distributed == DistributedConfig::default() {
+            out.push_str(&format!(
+                "  \"parallel\": {}\n",
+                self.parallel.to_json_fragment()
+            ));
+        } else {
+            out.push_str(&format!(
+                "  \"parallel\": {},\n",
+                self.parallel.to_json_fragment()
+            ));
+            out.push_str(&format!(
+                "  \"distributed\": {}\n",
+                self.distributed.to_json_fragment()
+            ));
+        }
         out.push_str("}\n");
         out
     }
@@ -689,6 +810,12 @@ impl EngineConfig {
             parallel: match json.get("parallel") {
                 Some(section) => ParallelConfig::from_json(section)?,
                 None => ParallelConfig::default(),
+            },
+            // Absent in documents that never requested distributed
+            // execution; default on parse.
+            distributed: match json.get("distributed") {
+                Some(section) => DistributedConfig::from_json(section)?,
+                None => DistributedConfig::default(),
             },
         })
     }
@@ -914,6 +1041,61 @@ mod tests {
                 Err(ConfigParseError::MissingField("parallel.budget.value"))
             ));
         }
+    }
+
+    #[test]
+    fn distributed_sections_round_trip() {
+        let sections = [
+            DistributedConfig::with_tasks(2),
+            DistributedConfig::with_tasks(64)
+                .with_budget(BudgetShare::MultipleOfSequentialPeak(1.25))
+                .with_lease_ms(2_000),
+            DistributedConfig::with_tasks(8).with_budget(BudgetShare::Entries(9_999)),
+        ];
+        for distributed in sections {
+            let config = EngineConfig::generated(ProblemKind::Grid2d, 200, 1)
+                .with_numeric(true)
+                .with_distributed(distributed);
+            let parsed = EngineConfig::from_json(&config.to_json()).unwrap();
+            assert_eq!(parsed, config);
+        }
+    }
+
+    #[test]
+    fn distributed_section_changes_the_hash() {
+        // A factor cached from a local run may be *reused* by a distributed
+        // run only via an explicit lookup, never by hash collision.
+        let local = EngineConfig::generated(ProblemKind::Grid2d, 200, 1).with_numeric(true);
+        let sharded = local
+            .clone()
+            .with_distributed(DistributedConfig::with_tasks(4));
+        assert_ne!(local.hash(), sharded.hash());
+        let released = local
+            .clone()
+            .with_distributed(DistributedConfig::with_tasks(4).with_lease_ms(1_000));
+        assert_ne!(sharded.hash(), released.hash());
+    }
+
+    #[test]
+    fn default_distributed_sections_leave_the_document_unchanged() {
+        // Emitting the section only when non-default keeps every pre-existing
+        // config hash stable.
+        let config = EngineConfig::generated(ProblemKind::Grid2d, 200, 1).with_numeric(true);
+        let explicit_default = config
+            .clone()
+            .with_distributed(DistributedConfig::default());
+        assert_eq!(config.to_json(), explicit_default.to_json());
+        assert!(!config.to_json().contains("\"distributed\""));
+        assert_eq!(config.hash(), explicit_default.hash());
+        let parsed = EngineConfig::from_json(&config.to_json()).unwrap();
+        assert_eq!(parsed.distributed, DistributedConfig::default());
+    }
+
+    #[test]
+    fn distributed_enablement_needs_at_least_two_tasks() {
+        assert!(!DistributedConfig::default().enabled());
+        assert!(!DistributedConfig::with_tasks(1).enabled());
+        assert!(DistributedConfig::with_tasks(2).enabled());
     }
 
     #[test]

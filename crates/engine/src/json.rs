@@ -285,12 +285,22 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                 ));
             }
             Some(_) => {
-                // Consume one UTF-8 scalar (the input is a &str, so the
-                // byte stream is valid UTF-8).
-                let rest = std::str::from_utf8(&bytes[*pos..]).expect("input is valid UTF-8");
-                let c = rest.chars().next().expect("non-empty");
-                out.push(c);
-                *pos += c.len_utf8();
+                // Consume the whole run of plain bytes in one step.  The
+                // delimiters (quote, backslash, controls) are ASCII, so the
+                // run ends on a char boundary and the chunk is valid UTF-8
+                // (the input is a &str).  Validating per chunk keeps the
+                // parser linear; validating the remainder per character
+                // would be quadratic — megabyte hex strings in contribution
+                // frames turned exactly that into a multi-hour CPU spin.
+                let start = *pos;
+                while let Some(&byte) = bytes.get(*pos) {
+                    if byte == b'"' || byte == b'\\' || byte < 0x20 {
+                        break;
+                    }
+                    *pos += 1;
+                }
+                let chunk = std::str::from_utf8(&bytes[start..*pos]).expect("input is valid UTF-8");
+                out.push_str(chunk);
             }
         }
     }
@@ -477,6 +487,20 @@ mod tests {
         assert!(Json::parse(&fine).is_ok());
         let too_deep = format!("{}1{}", "[".repeat(depth + 1), "]".repeat(depth + 1));
         assert!(Json::parse(&too_deep).is_err());
+    }
+
+    #[test]
+    fn megabyte_strings_parse_in_linear_time() {
+        // Contribution frames carry multi-megabyte hex strings.  The string
+        // scanner used to re-validate the entire remaining document for
+        // every character consumed — quadratic, and a multi-hour CPU spin
+        // at this size.  The parse below finishes instantly when the
+        // scanner is linear and effectively hangs the suite when it is not.
+        let payload = "0123456789abcdef".repeat(128 * 1024); // 2 MiB
+        let doc = format!("{{\"values\": \"{payload}\", \"tail\": \"é\\n\"}}");
+        let json = Json::parse(&doc).unwrap();
+        assert_eq!(json.get("values").unwrap().as_str(), Some(payload.as_str()));
+        assert_eq!(json.get("tail").unwrap().as_str(), Some("é\n"));
     }
 
     #[test]

@@ -53,24 +53,34 @@ pub mod run;
 pub use treemem::faultinject;
 
 pub use cache::{CacheStats, PlanCache};
-pub use cancel::CancelToken;
+pub use cancel::{monotonic_millis, CancelToken};
 pub use config::{
-    BudgetShare, ConfigParseError, EngineConfig, MemoryBudget, ParallelConfig, ProblemSource,
-    SolveConfig, SolveRhs,
+    BudgetShare, ConfigParseError, DistributedConfig, EngineConfig, MemoryBudget, ParallelConfig,
+    ProblemSource, SolveConfig, SolveRhs,
 };
-pub use report::{NumericReport, ParallelReport, Report, SolveReport, StageTimings};
-pub use run::{Engine, EngineError, FactorHandle, Plan, Schedule, ScheduleSpec, MAX_SOLVE_RHS};
+pub use report::{
+    DistributedReport, NumericReport, ParallelReport, Report, SolveReport, StageTimings,
+};
+pub use run::{
+    DistributedCut, DistributedRuntime, Engine, EngineError, FactorHandle, Plan, Schedule,
+    ScheduleSpec, SubtreeParts, MAX_SOLVE_RHS,
+};
 
 /// Everything a typical engine user needs in scope.
 pub mod prelude {
     pub use crate::cache::{CacheStats, PlanCache};
     pub use crate::cancel::CancelToken;
     pub use crate::config::{
-        BudgetShare, ConfigParseError, EngineConfig, MemoryBudget, ParallelConfig, ProblemSource,
-        SolveConfig, SolveRhs,
+        BudgetShare, ConfigParseError, DistributedConfig, EngineConfig, MemoryBudget,
+        ParallelConfig, ProblemSource, SolveConfig, SolveRhs,
     };
-    pub use crate::report::{NumericReport, ParallelReport, Report, SolveReport, StageTimings};
-    pub use crate::run::{Engine, EngineError, FactorHandle, Plan, Schedule, ScheduleSpec};
+    pub use crate::report::{
+        DistributedReport, NumericReport, ParallelReport, Report, SolveReport, StageTimings,
+    };
+    pub use crate::run::{
+        DistributedCut, DistributedRuntime, Engine, EngineError, FactorHandle, Plan, Schedule,
+        ScheduleSpec, SubtreeParts,
+    };
     pub use minio::PolicyRegistry;
     pub use ordering::OrderingMethod;
     pub use sparsemat::gen::ProblemKind;

@@ -40,10 +40,93 @@ use treemem::variants::bottom_up_peak;
 use treemem::Traversal;
 
 use crate::cancel::CancelToken;
-use crate::config::ParallelConfig;
+use crate::config::{BudgetShare, ParallelConfig};
 use crate::parallel::WorkerPool;
 use crate::report::ParallelReport;
 use crate::run::{EngineError, NumericModel};
+
+/// The deterministic part of a parallel (or distributed) execution: the cut,
+/// the per-piece column orders, and the statically modeled memory peaks the
+/// budget ledger gates on.  Depends only on the plan, the traversal order,
+/// `max_tasks` and the budget share — never on worker counts or timing — so
+/// the in-process executor and the distributed coordinator derive the exact
+/// same task set from the same configuration.
+pub(crate) struct CutPlan {
+    /// Bottom-up column order of each subtree task (largest work first).
+    pub task_orders: Vec<Vec<usize>>,
+    /// Statically modeled peak live entries of each task.
+    pub task_peaks: Vec<u64>,
+    /// Entries each task retains (its pending root contribution blocks).
+    pub task_retained: Vec<u64>,
+    /// Bottom-up column order of the sequential merge phase.
+    pub merge_order: Vec<usize>,
+    /// Live entries already held when the merge starts (Σ task_retained).
+    pub merge_initial: u64,
+    /// Statically modeled peak of the merge phase (including the retained
+    /// task root blocks).
+    pub merge_peak: u64,
+    /// Peak of the plain sequential execution along the same order.
+    pub sequential_peak: i64,
+    /// The resolved budget (`None` = unbounded).
+    pub budget_entries: Option<u64>,
+    /// Tasks whose static peak alone exceeds the budget (forced admissions).
+    pub oversized_tasks: usize,
+}
+
+impl CutPlan {
+    /// Cut `numeric`'s model tree along `order` into at most `max_tasks`
+    /// pieces and resolve `budget` against the sequential peak.
+    pub fn compute(
+        numeric: &NumericModel,
+        order: &[usize],
+        max_tasks: usize,
+        budget: &BudgetShare,
+    ) -> Result<CutPlan, EngineError> {
+        let n = numeric.matrix.n();
+        let structure = &numeric.structure;
+        let counts = structure.column_counts();
+        let parents: Vec<Option<usize>> = (0..n).map(|j| structure.etree.parent(j)).collect();
+        let children = structure.etree.children();
+
+        // The cut, on the per-column model tree whose `f + n = µ²` is
+        // exactly the flop-proportional work estimate.
+        let work = default_node_work(&numeric.model);
+        let partition = proportional_cut(&numeric.model, max_tasks, &work);
+        let (task_orders, merge_order) = partition.split_order(order);
+
+        // Static peaks: exact for this kernel, so reservations are tight.
+        let mut task_peaks = Vec::with_capacity(task_orders.len());
+        let mut task_retained = Vec::with_capacity(task_orders.len());
+        for task_order in &task_orders {
+            let (peak, retained) =
+                modeled_peak_entries(&counts, &parents, &children, task_order, 0);
+            task_peaks.push(peak);
+            task_retained.push(retained);
+        }
+        let merge_initial: u64 = task_retained.iter().sum();
+        let (merge_peak, _) =
+            modeled_peak_entries(&counts, &parents, &children, &merge_order, merge_initial);
+
+        let sequential_peak = bottom_up_peak(&numeric.model, &Traversal::new(order.to_vec()))
+            .map_err(|_| EngineError::Factorization(FactorizationError::InvalidTraversal))?;
+        let budget_entries = budget.resolve(sequential_peak.max(0) as u64);
+        let oversized_tasks = match budget_entries {
+            Some(budget) => task_peaks.iter().filter(|&&peak| peak > budget).count(),
+            None => 0,
+        };
+        Ok(CutPlan {
+            task_orders,
+            task_peaks,
+            task_retained,
+            merge_order,
+            merge_initial,
+            merge_peak,
+            sequential_peak,
+            budget_entries,
+            oversized_tasks,
+        })
+    }
+}
 
 /// What one finished subtree task hands back to the orchestrator.
 struct TaskDone {
@@ -217,43 +300,19 @@ pub(crate) fn execute_parallel(
 ) -> Result<(CholeskyFactor, ParallelReport), EngineError> {
     let started = Instant::now();
     let n = numeric.matrix.n();
-    let structure = &numeric.structure;
-    let counts = structure.column_counts();
-    let parents: Vec<Option<usize>> = (0..n).map(|j| structure.etree.parent(j)).collect();
-    let children = structure.etree.children();
-
-    // The cut, on the per-column model tree whose `f + n = µ²` is exactly
-    // the flop-proportional work estimate.
-    let work = default_node_work(&numeric.model);
-    let partition = proportional_cut(&numeric.model, parallel.max_tasks, &work);
-    let mut task_orders: Vec<Vec<usize>> = vec![Vec::new(); partition.task_count()];
-    let mut merge_order: Vec<usize> = Vec::with_capacity(partition.above_cut.len());
-    for &j in order {
-        match partition.task_of[j] {
-            Some(task) => task_orders[task].push(j),
-            None => merge_order.push(j),
-        }
-    }
-
-    // Static peaks: exact for this kernel, so reservations are tight.
-    let mut task_peaks = Vec::with_capacity(task_orders.len());
-    let mut task_retained = Vec::with_capacity(task_orders.len());
-    for task_order in &task_orders {
-        let (peak, retained) = modeled_peak_entries(&counts, &parents, &children, task_order, 0);
-        task_peaks.push(peak);
-        task_retained.push(retained);
-    }
-    let merge_initial: u64 = task_retained.iter().sum();
-    let (merge_peak, _) =
-        modeled_peak_entries(&counts, &parents, &children, &merge_order, merge_initial);
-
-    let sequential_peak = bottom_up_peak(&numeric.model, &Traversal::new(order.to_vec()))
-        .map_err(|_| EngineError::Factorization(FactorizationError::InvalidTraversal))?;
-    let budget_entries = parallel.budget.resolve(sequential_peak.max(0) as u64);
-    let oversized_tasks = match budget_entries {
-        Some(budget) => task_peaks.iter().filter(|&&peak| peak > budget).count(),
-        None => 0,
-    };
+    let children = numeric.structure.etree.children();
+    let cut = CutPlan::compute(numeric, order, parallel.max_tasks, &parallel.budget)?;
+    let CutPlan {
+        task_orders,
+        task_peaks,
+        task_retained: _,
+        merge_order,
+        merge_initial,
+        merge_peak,
+        sequential_peak,
+        budget_entries,
+        oversized_tasks,
+    } = cut;
 
     let task_count = task_orders.len();
     let shared = Arc::new(Shared {
@@ -309,39 +368,17 @@ pub(crate) fn execute_parallel(
     }
 
     // Merge phase: sequential, on the caller's thread.
-    let merge_started = Instant::now();
-    let merge_probe;
-    let merge_stop: Option<&dyn Fn() -> bool> = match cancel {
-        Some(token) => {
-            merge_probe = move || token.is_cancelled();
-            Some(&merge_probe)
-        }
-        None => None,
-    };
-    let merge_outcome = factor_columns_with(
-        &shared.numeric.matrix,
-        &shared.numeric.structure,
+    let (factor, merge_seconds) = merge_and_assemble(
+        &shared.numeric,
         &shared.children,
         &merge_order,
         merge_blocks,
+        merge_initial,
         &shared.ledger,
-        &mut multifrontal::FrontArena::new(),
         shared.kernel,
-        merge_stop,
-    )
-    .map_err(|err| match err {
-        FactorizationError::Cancelled => EngineError::Cancelled {
-            stage: "numeric",
-            elapsed: cancel.map_or(std::time::Duration::ZERO, CancelToken::elapsed),
-        },
-        other => EngineError::Factorization(other),
-    })?;
-    let merge_seconds = merge_started.elapsed().as_secs_f64();
-    shared.ledger.release_retained(merge_initial);
-    debug_assert!(merge_outcome.blocks.is_empty());
-    parts.extend(merge_outcome.columns);
-
-    let factor = assemble_factor(n, parts).map_err(EngineError::Factorization)?;
+        cancel,
+        parts,
+    )?;
 
     let wall_seconds = started.elapsed().as_secs_f64();
     let worker_busy_seconds = Arc::try_unwrap(busy)
@@ -374,4 +411,57 @@ pub(crate) fn execute_parallel(
         },
     };
     Ok((factor, report))
+}
+
+/// The sequential merge phase shared by the in-process executor and the
+/// distributed coordinator: eliminate the above-cut columns (the finished
+/// tasks' root contribution blocks must already sit in `merge_blocks`, in
+/// task order), release the `merge_initial` retained entries from `ledger`,
+/// and assemble the final factor from `parts` plus the merge columns.
+/// Returns the factor and the merge wall-clock seconds.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn merge_and_assemble(
+    numeric: &NumericModel,
+    children: &[Vec<usize>],
+    merge_order: &[usize],
+    merge_blocks: ContributionStore,
+    merge_initial: u64,
+    ledger: &BudgetLedger,
+    kernel: FrontKernel,
+    cancel: Option<&CancelToken>,
+    mut parts: Vec<FactorColumn>,
+) -> Result<(CholeskyFactor, f64), EngineError> {
+    let merge_started = Instant::now();
+    let merge_probe;
+    let merge_stop: Option<&dyn Fn() -> bool> = match cancel {
+        Some(token) => {
+            merge_probe = move || token.is_cancelled();
+            Some(&merge_probe)
+        }
+        None => None,
+    };
+    let merge_outcome = factor_columns_with(
+        &numeric.matrix,
+        &numeric.structure,
+        children,
+        merge_order,
+        merge_blocks,
+        ledger,
+        &mut multifrontal::FrontArena::new(),
+        kernel,
+        merge_stop,
+    )
+    .map_err(|err| match err {
+        FactorizationError::Cancelled => EngineError::Cancelled {
+            stage: "numeric",
+            elapsed: cancel.map_or(std::time::Duration::ZERO, CancelToken::elapsed),
+        },
+        other => EngineError::Factorization(other),
+    })?;
+    let merge_seconds = merge_started.elapsed().as_secs_f64();
+    ledger.release_retained(merge_initial);
+    debug_assert!(merge_outcome.blocks.is_empty());
+    parts.extend(merge_outcome.columns);
+    let factor = assemble_factor(numeric.matrix.n(), parts).map_err(EngineError::Factorization)?;
+    Ok((factor, merge_seconds))
 }

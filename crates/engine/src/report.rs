@@ -112,6 +112,102 @@ impl ParallelReport {
     }
 }
 
+/// Measurements of the distributed (multi-process) numeric execution.
+///
+/// Same split as [`ParallelReport`]: the *plan* fields (cut shape, static
+/// peaks, resolved budget, lease duration) are a pure function of the
+/// configuration and the traversal, while the *runtime* fields (worker
+/// processes seen, per-worker timings, requeues, lease expiries, bytes
+/// moved) depend on cluster dynamics and are zeroed by
+/// [`Report::fingerprint`] — which is exactly what makes a distributed
+/// report bit-comparable to the single-process run of the same plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedReport {
+    /// Cut granularity the partition was computed with (`distributed.tasks`).
+    pub max_tasks: usize,
+    /// Number of subtree tasks the cut produced.
+    pub subtree_count: usize,
+    /// Number of columns above the cut (merged by the coordinator).
+    pub above_cut_nodes: usize,
+    /// The sequential MinMemory bound of the chosen traversal, in entries.
+    pub sequential_peak_entries: Size,
+    /// The resolved cluster budget in matrix entries (`None` = unbounded).
+    pub budget_entries: Option<u64>,
+    /// Largest statically modeled peak over the subtree tasks.
+    pub max_task_peak_entries: u64,
+    /// Statically modeled peak of the coordinator's merge phase.
+    pub merge_peak_entries: u64,
+    /// Tasks whose static peak exceeds the budget on their own.
+    pub oversized_tasks: usize,
+    /// Lease duration per claimed task, in milliseconds.
+    pub lease_ms: u64,
+    /// Distinct worker processes that claimed at least one task (runtime).
+    pub workers: usize,
+    /// Tasks re-issued after a lease expiry (runtime).
+    pub tasks_requeued: u64,
+    /// Leases that expired before a contribution arrived (runtime).
+    pub lease_expiries: u64,
+    /// Serialized contribution bytes received from workers (runtime).
+    pub contribution_bytes: u64,
+    /// Wall-clock of the whole distributed execution (runtime).
+    pub wall_seconds: f64,
+    /// Wall-clock of the coordinator's sequential merge phase (runtime).
+    pub merge_seconds: f64,
+    /// Busy seconds per worker process, in first-claim order (runtime).
+    pub worker_busy_seconds: Vec<f64>,
+}
+
+impl DistributedReport {
+    /// Zero every runtime-dependent field (see the type docs), leaving only
+    /// the deterministic plan fields.
+    fn strip_runtime(&mut self) {
+        self.workers = 0;
+        self.tasks_requeued = 0;
+        self.lease_expiries = 0;
+        self.contribution_bytes = 0;
+        self.wall_seconds = 0.0;
+        self.merge_seconds = 0.0;
+        self.worker_busy_seconds = Vec::new();
+    }
+
+    /// Render the report as a JSON object fragment.
+    pub fn to_json_fragment(&self) -> String {
+        let budget = match self.budget_entries {
+            Some(entries) => entries.to_string(),
+            None => "null".to_string(),
+        };
+        let seconds: Vec<String> = self
+            .worker_busy_seconds
+            .iter()
+            .map(|s| format!("{s:.6}"))
+            .collect();
+        format!(
+            "{{\"max_tasks\": {}, \"subtree_count\": {}, \"above_cut_nodes\": {}, \
+             \"sequential_peak_entries\": {}, \"budget_entries\": {budget}, \
+             \"max_task_peak_entries\": {}, \"merge_peak_entries\": {}, \
+             \"oversized_tasks\": {}, \"lease_ms\": {}, \"workers\": {}, \
+             \"tasks_requeued\": {}, \"lease_expiries\": {}, \
+             \"contribution_bytes\": {}, \"wall_seconds\": {:.6}, \
+             \"merge_seconds\": {:.6}, \"worker_busy_seconds\": [{}]}}",
+            self.max_tasks,
+            self.subtree_count,
+            self.above_cut_nodes,
+            self.sequential_peak_entries,
+            self.max_task_peak_entries,
+            self.merge_peak_entries,
+            self.oversized_tasks,
+            self.lease_ms,
+            self.workers,
+            self.tasks_requeued,
+            self.lease_expiries,
+            self.contribution_bytes,
+            self.wall_seconds,
+            self.merge_seconds,
+            seconds.join(","),
+        )
+    }
+}
+
 /// Wall-clock seconds of every pipeline stage, measured with
 /// `perfprof::timing`.  Stages that did not run (e.g. ordering on a prebuilt
 /// tree, or the numeric stage when it is disabled) report `0.0`.
@@ -220,6 +316,9 @@ pub struct Report {
     /// Parallel execution measurements, when the numeric stage ran with
     /// `workers >= 1`.
     pub parallel: Option<ParallelReport>,
+    /// Distributed execution measurements, when the numeric stage was
+    /// sharded across worker processes (`distributed.tasks >= 2`).
+    pub distributed: Option<DistributedReport>,
     /// Per-stage wall-clock times.
     pub timings: StageTimings,
 }
@@ -306,6 +405,15 @@ impl Report {
             }
             None => out.push_str("  \"parallel\": null,\n"),
         }
+        match &self.distributed {
+            Some(distributed) => {
+                out.push_str(&format!(
+                    "  \"distributed\": {},\n",
+                    distributed.to_json_fragment()
+                ));
+            }
+            None => out.push_str("  \"distributed\": null,\n"),
+        }
         out.push_str(&format!(
             "  \"timings\": {{\"generate_seconds\": {:.6}, \"ordering_seconds\": {:.6}, \
              \"symbolic_seconds\": {:.6}, \"solver_seconds\": {:.6}, \
@@ -346,6 +454,12 @@ impl Report {
                 numeric.measured_peak_entries = 0;
             }
         }
+        if let Some(distributed) = &mut stripped.distributed {
+            distributed.strip_runtime();
+            if let Some(numeric) = &mut stripped.numeric {
+                numeric.measured_peak_entries = 0;
+            }
+        }
         stripped.to_json()
     }
 }
@@ -382,6 +496,7 @@ mod tests {
             }),
             solve: None,
             parallel: None,
+            distributed: None,
             timings: StageTimings {
                 solver_seconds: 0.25,
                 ..StageTimings::default()
@@ -408,6 +523,27 @@ mod tests {
             task_seconds: vec![0.1; 8],
             worker_busy_seconds: vec![0.2; 4],
             utilization: 0.8,
+        }
+    }
+
+    fn sample_distributed() -> DistributedReport {
+        DistributedReport {
+            max_tasks: 16,
+            subtree_count: 16,
+            above_cut_nodes: 5,
+            sequential_peak_entries: 400,
+            budget_entries: Some(800),
+            max_task_peak_entries: 120,
+            merge_peak_entries: 300,
+            oversized_tasks: 0,
+            lease_ms: 30_000,
+            workers: 2,
+            tasks_requeued: 1,
+            lease_expiries: 1,
+            contribution_bytes: 65_536,
+            wall_seconds: 0.7,
+            merge_seconds: 0.2,
+            worker_busy_seconds: vec![0.3, 0.25],
         }
     }
 
@@ -506,6 +642,57 @@ mod tests {
             parallel.get("budget_entries").and_then(Json::as_u64),
             Some(800)
         );
+    }
+
+    #[test]
+    fn distributed_json_includes_the_distributed_section() {
+        let mut report = sample();
+        report.distributed = Some(sample_distributed());
+        let json = Json::parse(&report.to_json()).unwrap();
+        let distributed = json.get("distributed").unwrap();
+        assert_eq!(distributed.get("workers").and_then(Json::as_usize), Some(2));
+        assert_eq!(
+            distributed.get("subtree_count").and_then(Json::as_usize),
+            Some(16)
+        );
+        assert_eq!(
+            distributed.get("lease_ms").and_then(Json::as_u64),
+            Some(30_000)
+        );
+        assert_eq!(
+            distributed
+                .get("worker_busy_seconds")
+                .and_then(Json::as_array)
+                .map(<[_]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn fingerprints_ignore_distributed_runtime_but_not_the_cut() {
+        let mut a = sample();
+        a.distributed = Some(sample_distributed());
+        // Different cluster dynamics — worker count, requeues, expiries,
+        // timings, bytes on the wire: the same run outcome.
+        let mut b = a.clone();
+        {
+            let distributed = b.distributed.as_mut().unwrap();
+            distributed.workers = 7;
+            distributed.tasks_requeued = 9;
+            distributed.lease_expiries = 9;
+            distributed.contribution_bytes = 1;
+            distributed.wall_seconds = 99.0;
+            distributed.merge_seconds = 42.0;
+            distributed.worker_busy_seconds = vec![1.0; 7];
+        }
+        b.numeric.as_mut().unwrap().measured_peak_entries = 999;
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // A different cut or lease policy is a different outcome.
+        b.distributed.as_mut().unwrap().subtree_count = 17;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = a.clone();
+        c.distributed.as_mut().unwrap().lease_ms = 1;
+        assert_ne!(a.fingerprint(), c.fingerprint());
     }
 
     #[test]

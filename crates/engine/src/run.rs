@@ -21,7 +21,11 @@ use minio::{
 };
 use multifrontal::memory::{instrumented_factorization_with_stop, per_column_model};
 use multifrontal::numeric::SymbolicStructure;
-use multifrontal::{solve, CholeskyFactor, FactorizationError};
+use multifrontal::parallel::{factor_columns_with, BudgetLedger};
+use multifrontal::{
+    solve, CholeskyFactor, ContributionStore, FactorColumn, FactorizationError, FrontArena,
+    FrontKernel,
+};
 use sparsemat::gen::spd_matrix_from_pattern;
 use sparsemat::matrixmarket::{read_pattern, MatrixMarketError};
 use sparsemat::SparsePattern;
@@ -33,11 +37,14 @@ use treemem::{Traversal, TraversalResult, Tree};
 
 use crate::cancel::CancelToken;
 use crate::config::{
-    BudgetShare, EngineConfig, MemoryBudget, ParallelConfig, ProblemSource, SolveConfig, SolveRhs,
+    BudgetShare, DistributedConfig, EngineConfig, MemoryBudget, ParallelConfig, ProblemSource,
+    SolveConfig, SolveRhs,
 };
 use crate::parallel::{default_threads, par_map};
-use crate::parexec::execute_parallel;
-use crate::report::{NumericReport, ParallelReport, Report, SolveReport, StageTimings};
+use crate::parexec::{execute_parallel, merge_and_assemble, CutPlan};
+use crate::report::{
+    DistributedReport, NumericReport, ParallelReport, Report, SolveReport, StageTimings,
+};
 
 /// Errors raised anywhere in the plan/schedule/execute flow.
 #[derive(Debug)]
@@ -279,6 +286,7 @@ impl Engine {
             return Err(EngineError::NumericUnavailable);
         }
         validate_parallel(&config.parallel, config.numeric)?;
+        validate_distributed(&config.distributed, config.numeric)?;
         validate_solve(&config.solve, config.numeric)?;
         Ok(())
     }
@@ -332,6 +340,49 @@ fn validate_parallel(parallel: &ParallelConfig, numeric: bool) -> Result<(), Eng
         if !multiple.is_finite() || multiple <= 0.0 {
             return Err(EngineError::InvalidConfig(format!(
                 "the parallel budget multiple must be finite and positive, got {multiple}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Lease-duration floor.  A lease shorter than this expires before a worker
+/// can even deserialize the task, so every task would be requeued forever.
+const MIN_DISTRIBUTED_LEASE_MS: u64 = 10;
+
+/// Lease-duration ceiling (one hour).  A longer lease means a dead worker
+/// wedges its task — and therefore the whole job — for longer than any
+/// sane request deadline; configurations arrive over the network.
+const MAX_DISTRIBUTED_LEASE_MS: u64 = 3_600_000;
+
+fn validate_distributed(distributed: &DistributedConfig, numeric: bool) -> Result<(), EngineError> {
+    if !distributed.enabled() {
+        return Ok(());
+    }
+    if !numeric {
+        return Err(EngineError::InvalidConfig(
+            "distributed execution requires the numeric stage".to_string(),
+        ));
+    }
+    if distributed.tasks > MAX_PARALLEL_TASKS {
+        return Err(EngineError::InvalidConfig(format!(
+            "at most {MAX_PARALLEL_TASKS} distributed tasks are supported, got {}",
+            distributed.tasks
+        )));
+    }
+    if distributed.lease_ms < MIN_DISTRIBUTED_LEASE_MS
+        || distributed.lease_ms > MAX_DISTRIBUTED_LEASE_MS
+    {
+        return Err(EngineError::InvalidConfig(format!(
+            "the distributed lease must be between {MIN_DISTRIBUTED_LEASE_MS} and \
+             {MAX_DISTRIBUTED_LEASE_MS} ms, got {}",
+            distributed.lease_ms
+        )));
+    }
+    if let BudgetShare::MultipleOfSequentialPeak(multiple) = distributed.budget {
+        if !multiple.is_finite() || multiple <= 0.0 {
+            return Err(EngineError::InvalidConfig(format!(
+                "the distributed budget multiple must be finite and positive, got {multiple}"
             )));
         }
     }
@@ -725,6 +776,70 @@ impl Plan {
         Ok(cache.get_or_insert_with(|| built).clone())
     }
 
+    /// Factor one subtree task of a distributed run: the worker-process side
+    /// of [`Schedule::distributed_cut`].  `order` is the task's bottom-up
+    /// column order exactly as the coordinator issued it; the worker derives
+    /// the same matrix and symbolic structure from the same configuration,
+    /// so the produced columns and contribution blocks are bit-identical to
+    /// what the single-process executor would compute for those columns.
+    ///
+    /// `order` arrives over the network, so it is validated (bounds,
+    /// duplicates) before touching the kernel; a malformed order yields a
+    /// typed error, never a panic.
+    pub fn factor_subtree(
+        &self,
+        order: &[usize],
+        cancel: Option<&CancelToken>,
+    ) -> Result<SubtreeParts, EngineError> {
+        let numeric = self.numeric_model()?;
+        let n = numeric.matrix.n();
+        let mut seen = vec![false; n];
+        for &column in order {
+            if column >= n {
+                return Err(EngineError::InvalidConfig(format!(
+                    "subtree column {column} is out of range for an n = {n} problem"
+                )));
+            }
+            if std::mem::replace(&mut seen[column], true) {
+                return Err(EngineError::InvalidConfig(format!(
+                    "subtree column {column} appears twice in the task order"
+                )));
+            }
+        }
+        let children = numeric.structure.etree.children();
+        // Unbounded ledger: the *cluster* budget was enforced when the
+        // coordinator admitted this task's claim; locally it only measures.
+        let ledger = BudgetLedger::new(None);
+        let probe;
+        let stop: Option<&dyn Fn() -> bool> = match cancel {
+            Some(token) => {
+                probe = move || token.is_cancelled();
+                Some(&probe)
+            }
+            None => None,
+        };
+        let outcome = factor_columns_with(
+            &numeric.matrix,
+            &numeric.structure,
+            &children,
+            order,
+            ContributionStore::new(),
+            &ledger,
+            &mut FrontArena::new(),
+            FrontKernel::default(),
+            stop,
+        )
+        .map_err(|err| match err {
+            FactorizationError::Cancelled => cancelled(cancel, "numeric"),
+            other => EngineError::Factorization(other),
+        })?;
+        Ok(SubtreeParts {
+            columns: outcome.columns,
+            blocks: outcome.blocks,
+            block_entries: outcome.block_entries,
+        })
+    }
+
     /// Produce the schedule described by the plan's own configuration.
     pub fn schedule<'p>(&'p self, engine: &Engine) -> Result<Schedule<'p>, EngineError> {
         self.schedule_with(engine, ScheduleSpec::default())
@@ -1031,6 +1146,7 @@ impl Schedule<'_> {
             numeric,
             solve,
             parallel,
+            distributed: None,
             timings,
         };
         Ok((report, handle))
@@ -1119,6 +1235,242 @@ impl Schedule<'_> {
             max_residual,
         })
     }
+
+    /// The deterministic distributed cut of this schedule: the subtree task
+    /// set a coordinator hands to worker processes.  Depends only on the
+    /// plan, the solver's traversal and the `distributed` configuration
+    /// section — never on how many workers are attached — which is what
+    /// makes the merged factor bit-identical to the single-process
+    /// [`Schedule::execute`].
+    ///
+    /// Errors unless the configuration enables distributed execution
+    /// (`distributed.tasks >= 2`) and the numeric stage.
+    pub fn distributed_cut(&self, engine: &Engine) -> Result<DistributedCut, EngineError> {
+        let distributed = self.plan.config.distributed;
+        if !distributed.enabled() {
+            return Err(EngineError::InvalidConfig(
+                "the distributed cut needs distributed.tasks >= 2".to_string(),
+            ));
+        }
+        let numeric = self.plan.numeric_model()?;
+        let order = numeric.order_for(engine, &self.solver)?;
+        let cut = CutPlan::compute(&numeric, &order, distributed.tasks, &distributed.budget)?;
+        Ok(DistributedCut {
+            cut,
+            max_tasks: distributed.tasks,
+            lease_ms: distributed.lease_ms,
+        })
+    }
+
+    /// The coordinator's final phase of a distributed run: absorb the
+    /// workers' per-task contributions (in task order), eliminate the
+    /// above-cut columns sequentially, assemble the factor, run the solve
+    /// stage, and fold everything into a [`Report`] whose `distributed`
+    /// section carries the cut plus the supplied cluster `runtime`
+    /// measurements.
+    ///
+    /// `contributions[t]` must be the [`SubtreeParts`] of task `t` of `cut`
+    /// (the order [`DistributedCut::task_order`] reports) — merging in task
+    /// order is what keeps the factor bit-identical to the single-process
+    /// path.
+    pub fn execute_distributed(
+        &self,
+        _engine: &Engine,
+        cut: DistributedCut,
+        contributions: Vec<SubtreeParts>,
+        runtime: DistributedRuntime,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(Report, Option<FactorHandle>), EngineError> {
+        let started = std::time::Instant::now();
+        let plan = self.plan;
+        let mut timings = self.timings();
+        if contributions.len() != cut.task_count() {
+            return Err(EngineError::Internal(format!(
+                "distributed merge expected {} task contributions, got {}",
+                cut.task_count(),
+                contributions.len()
+            )));
+        }
+        check(cancel, "numeric")?;
+
+        let numeric = plan.numeric_model()?;
+        let children = numeric.structure.etree.children();
+        let mut merge_blocks = ContributionStore::new();
+        let mut parts: Vec<FactorColumn> = Vec::with_capacity(numeric.matrix.n());
+        for done in contributions {
+            merge_blocks.absorb(done.blocks);
+            parts.extend(done.columns);
+        }
+
+        // The cluster-level budget gated task *claims* (in the coordinator's
+        // job ledger); the merge itself is sequential and local, so it runs
+        // on a fresh unbounded ledger that only measures.
+        let ledger = BudgetLedger::new(None);
+        let (factor, merge_seconds) = merge_and_assemble(
+            &numeric,
+            &children,
+            &cut.cut.merge_order,
+            merge_blocks,
+            cut.cut.merge_initial,
+            &ledger,
+            FrontKernel::default(),
+            cancel,
+            parts,
+        )?;
+        timings.numeric_seconds = started.elapsed().as_secs_f64();
+
+        let numeric_report = NumericReport {
+            // The coordinator physically holds the retained root blocks
+            // while the merge fronts come and go on top of them.
+            measured_peak_entries: (cut.cut.merge_initial + ledger.measured_peak_entries())
+                as usize,
+            model_peak_entries: cut.cut.sequential_peak,
+            factor_nnz: factor.nnz(),
+            solve_error: solve_check(&numeric.matrix, &factor),
+        };
+        let distributed_report = DistributedReport {
+            max_tasks: cut.max_tasks,
+            subtree_count: cut.cut.task_orders.len(),
+            above_cut_nodes: cut.cut.merge_order.len(),
+            sequential_peak_entries: cut.cut.sequential_peak,
+            budget_entries: cut.cut.budget_entries,
+            max_task_peak_entries: cut.cut.task_peaks.iter().copied().max().unwrap_or(0),
+            merge_peak_entries: cut.cut.merge_peak,
+            oversized_tasks: cut.cut.oversized_tasks,
+            lease_ms: cut.lease_ms,
+            workers: runtime.workers,
+            tasks_requeued: runtime.tasks_requeued,
+            lease_expiries: runtime.lease_expiries,
+            contribution_bytes: runtime.contribution_bytes,
+            wall_seconds: runtime.claim_wall_seconds + started.elapsed().as_secs_f64(),
+            merge_seconds,
+            worker_busy_seconds: runtime.worker_busy_seconds,
+        };
+        let handle = FactorHandle {
+            numeric: numeric.clone(),
+            factor,
+        };
+
+        let solve = if plan.config.solve.enabled {
+            check(cancel, "solve")?;
+            let (result, summary) =
+                perfprof::timing::time_runs(1, || self.run_solve(&plan.config.solve, &handle));
+            timings.solve_seconds = summary.median_seconds;
+            Some(result?)
+        } else {
+            None
+        };
+
+        let report = Report {
+            config_hash: self.config_hash.clone(),
+            source: plan.config.source_name(),
+            ordering: plan.config.ordering.name().to_string(),
+            amalgamation: plan.config.amalgamation,
+            solver: self.solver.clone(),
+            policy: self.policy.clone(),
+            nodes: plan.tree().len(),
+            matrix_n: plan.matrix_n(),
+            solver_peak: self.solver_peak,
+            memory_budget: self.memory_budget,
+            budget_spec: self.budget_spec,
+            io_volume: self.run.io_volume,
+            read_volume: self.run.read_volume,
+            files_written: self.run.files_written,
+            io_peak_memory: self.run.peak_memory,
+            divisible_bound: self.divisible_bound,
+            traversal: self.traversal.order().to_vec(),
+            numeric: Some(numeric_report),
+            solve,
+            parallel: None,
+            distributed: Some(distributed_report),
+            timings,
+        };
+        Ok((report, Some(handle)))
+    }
+}
+
+/// The deterministic coordinator-side cut of one scheduled factorization
+/// into subtree tasks, obtained via [`Schedule::distributed_cut`].  The
+/// per-task column orders are what travels to the workers; the static peaks
+/// are what the coordinator's budget ledger gates claims on.
+pub struct DistributedCut {
+    cut: CutPlan,
+    max_tasks: usize,
+    lease_ms: u64,
+}
+
+impl DistributedCut {
+    /// Number of subtree tasks the cut produced.
+    pub fn task_count(&self) -> usize {
+        self.cut.task_orders.len()
+    }
+
+    /// Bottom-up column order of task `task` (what a worker factors).
+    pub fn task_order(&self, task: usize) -> &[usize] {
+        &self.cut.task_orders[task]
+    }
+
+    /// Statically modeled peak live entries of task `task` (the claim-time
+    /// budget reservation).
+    pub fn task_peak_entries(&self, task: usize) -> u64 {
+        self.cut.task_peaks[task]
+    }
+
+    /// Entries task `task` retains after finishing (its root contribution
+    /// blocks, held until the merge consumes them).
+    pub fn task_retained_entries(&self, task: usize) -> u64 {
+        self.cut.task_retained[task]
+    }
+
+    /// The resolved cluster budget in matrix entries (`None` = unbounded).
+    pub fn budget_entries(&self) -> Option<u64> {
+        self.cut.budget_entries
+    }
+
+    /// Number of columns above the cut (merged by the coordinator).
+    pub fn above_cut_nodes(&self) -> usize {
+        self.cut.merge_order.len()
+    }
+
+    /// The configured lease duration per claimed task, in milliseconds.
+    pub fn lease_ms(&self) -> u64 {
+        self.lease_ms
+    }
+}
+
+/// What one worker hands back for one subtree task: the task's finished
+/// factor columns, the contribution blocks its roots leave for the merge
+/// phase, and the entry count of those blocks (the budget the task retains).
+/// Produced by [`Plan::factor_subtree`]; consumed in task order by
+/// [`Schedule::execute_distributed`].
+#[derive(Debug)]
+pub struct SubtreeParts {
+    /// Finished factor columns `(column, rows, values)`.
+    pub columns: Vec<FactorColumn>,
+    /// Root contribution blocks for the merge phase.
+    pub blocks: ContributionStore,
+    /// Total entries of `blocks`.
+    pub block_entries: u64,
+}
+
+/// Cluster-dynamics measurements the coordinator's job machinery feeds into
+/// [`Schedule::execute_distributed`]; they land in the report's
+/// [`DistributedReport`] runtime fields.
+#[derive(Debug, Clone, Default)]
+pub struct DistributedRuntime {
+    /// Distinct worker processes that claimed at least one task.
+    pub workers: usize,
+    /// Tasks re-issued after a lease expiry.
+    pub tasks_requeued: u64,
+    /// Leases that expired before a contribution arrived.
+    pub lease_expiries: u64,
+    /// Serialized contribution bytes received from workers.
+    pub contribution_bytes: u64,
+    /// Wall-clock seconds of the claim/contribute phase (the merge phase's
+    /// own wall-clock is added by `execute_distributed`).
+    pub claim_wall_seconds: f64,
+    /// Busy seconds per worker process, in first-claim order.
+    pub worker_busy_seconds: Vec<f64>,
 }
 
 /// A computed Cholesky factor bundled with its problem, detached from the
@@ -1139,6 +1491,12 @@ impl FactorHandle {
     /// Nonzeros of the factor.
     pub fn factor_nnz(&self) -> usize {
         self.factor.nnz()
+    }
+
+    /// The computed factor itself (bit-identity gates compare two handles'
+    /// factors directly).
+    pub fn factor(&self) -> &CholeskyFactor {
+        &self.factor
     }
 
     /// A deterministic column-major batch of `count` generated right-hand
@@ -1521,6 +1879,124 @@ mod tests {
         // And the same schedule still completes without a token, with the
         // budget ledger drained (a wedged gate would hang this call).
         assert!(schedule.execute(&engine).is_ok());
+    }
+
+    #[test]
+    fn distributed_merge_is_bit_identical_to_the_single_process_factor() {
+        let engine = Engine::new();
+        let base = EngineConfig::generated(ProblemKind::Grid2d, 900, 13)
+            .with_ordering(OrderingMethod::NestedDissection)
+            .with_numeric(true)
+            .with_solve(SolveConfig::generated(2, 5));
+        // Reference: the plain single-process execution.
+        let reference_plan = engine.plan(&base).unwrap();
+        let (reference_report, reference_handle) = reference_plan
+            .schedule(&engine)
+            .unwrap()
+            .execute_with_factor(&engine)
+            .unwrap();
+        let reference_handle = reference_handle.unwrap();
+        // Distributed: cut, factor every task independently (as worker
+        // processes would), merge.  Different task counts simulate different
+        // cluster shapes; every one must reproduce the factor bit for bit.
+        for tasks in [2, 5, 16] {
+            let config = base
+                .clone()
+                .with_distributed(crate::config::DistributedConfig::with_tasks(tasks));
+            let plan = engine.plan(&config).unwrap();
+            let schedule = plan.schedule(&engine).unwrap();
+            let cut = schedule.distributed_cut(&engine).unwrap();
+            assert!(cut.task_count() >= 1 && cut.task_count() <= tasks);
+            let contributions: Vec<SubtreeParts> = (0..cut.task_count())
+                .map(|task| plan.factor_subtree(cut.task_order(task), None).unwrap())
+                .collect();
+            let (report, handle) = schedule
+                .execute_distributed(
+                    &engine,
+                    cut,
+                    contributions,
+                    DistributedRuntime::default(),
+                    None,
+                )
+                .unwrap();
+            let handle = handle.unwrap();
+            assert_eq!(
+                handle.factor().columns,
+                reference_handle.factor().columns,
+                "structure must match at {tasks} tasks"
+            );
+            assert_eq!(
+                handle.factor().values,
+                reference_handle.factor().values,
+                "values must be bit-identical at {tasks} tasks"
+            );
+            let distributed = report.distributed.as_ref().expect("distributed section");
+            assert_eq!(distributed.max_tasks, tasks);
+            // The deterministic outcome (factor size, solve residual) matches
+            // the reference run's too.
+            assert_eq!(
+                report.numeric.as_ref().unwrap().factor_nnz,
+                reference_report.numeric.as_ref().unwrap().factor_nnz
+            );
+            assert_eq!(
+                report.solve.as_ref().unwrap().max_residual,
+                reference_report.solve.as_ref().unwrap().max_residual,
+                "seeded solve through a bit-identical factor is bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_subtree_orders_are_rejected_without_panicking() {
+        let engine = Engine::new();
+        let config = EngineConfig::generated(ProblemKind::Grid2d, 100, 1)
+            .with_numeric(true)
+            .with_distributed(crate::config::DistributedConfig::with_tasks(2));
+        let plan = engine.plan(&config).unwrap();
+        // Out-of-range column.
+        assert!(matches!(
+            plan.factor_subtree(&[0, 1_000_000], None),
+            Err(EngineError::InvalidConfig(_))
+        ));
+        // Duplicate column.
+        assert!(matches!(
+            plan.factor_subtree(&[3, 3], None),
+            Err(EngineError::InvalidConfig(_))
+        ));
+        // Not bottom-up within the subset: a typed kernel error, no panic.
+        assert!(matches!(
+            plan.factor_subtree(&[99, 0], None),
+            Err(EngineError::Factorization(_))
+        ));
+    }
+
+    #[test]
+    fn hostile_distributed_sections_are_rejected_at_plan_time() {
+        let engine = Engine::new();
+        let base = EngineConfig::generated(ProblemKind::Grid2d, 100, 1).with_numeric(true);
+        for distributed in [
+            crate::config::DistributedConfig::with_tasks(MAX_PARALLEL_TASKS + 1),
+            crate::config::DistributedConfig::with_tasks(2).with_lease_ms(0),
+            crate::config::DistributedConfig::with_tasks(2)
+                .with_lease_ms(MAX_DISTRIBUTED_LEASE_MS + 1),
+            crate::config::DistributedConfig::with_tasks(2).with_budget(
+                crate::config::BudgetShare::MultipleOfSequentialPeak(f64::NAN),
+            ),
+        ] {
+            let config = base.clone().with_distributed(distributed);
+            assert!(
+                matches!(engine.plan(&config), Err(EngineError::InvalidConfig(_))),
+                "{distributed:?} must be rejected"
+            );
+        }
+        // Distributed execution requires the numeric stage.
+        let config = base
+            .with_numeric(false)
+            .with_distributed(crate::config::DistributedConfig::with_tasks(2));
+        assert!(matches!(
+            engine.plan(&config),
+            Err(EngineError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -95,6 +95,22 @@ impl DenseMatrix {
         self.n
     }
 
+    /// The backing column-major storage (`n²` entries), read-only — the
+    /// distributed wire encoder walks it to serialize contribution blocks.
+    pub fn column_major(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Rebuild a matrix from its column-major storage (the inverse of
+    /// [`column_major`](DenseMatrix::column_major)).
+    ///
+    /// # Panics
+    /// Panics unless `values.len() == n²`.
+    pub fn from_column_major(n: usize, values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), n * n, "column-major payload must be n²");
+        DenseMatrix { n, values }
+    }
+
     /// Number of stored entries (`n²`), the memory footprint used by the
     /// instrumentation.
     pub fn len(&self) -> usize {
@@ -805,6 +821,19 @@ mod tests {
         a.symmetric_multiply_into(&[1.0, 1.0, 1.0], &mut y);
         assert_eq!(y, vec![8.0, 10.0, 11.0]);
         assert_eq!(a.symmetric_multiply(&[1.0, 1.0, 1.0]), y);
+    }
+
+    #[test]
+    fn column_major_round_trips() {
+        let a = spd_3x3();
+        let rebuilt = DenseMatrix::from_column_major(3, a.column_major().to_vec());
+        assert_eq!(rebuilt, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "column-major payload must be n²")]
+    fn from_column_major_rejects_wrong_lengths() {
+        let _ = DenseMatrix::from_column_major(3, vec![0.0; 8]);
     }
 
     #[test]

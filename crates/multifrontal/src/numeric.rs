@@ -246,6 +246,27 @@ impl ContributionStore {
     pub fn absorb(&mut self, other: ContributionStore) {
         self.blocks.extend(other.blocks);
     }
+
+    /// Insert a block reconstructed from an external representation (the
+    /// distributed wire format).  `rows` are the global row indices of the
+    /// pending update and `block` its dense lower-triangular payload; an
+    /// existing block for `column` is replaced.
+    pub fn insert_block(&mut self, column: usize, rows: Vec<usize>, block: DenseMatrix) {
+        self.insert(column, rows, block);
+    }
+
+    /// The pending blocks sorted by producing column — the deterministic
+    /// iteration order the wire encoder relies on (`HashMap` iteration order
+    /// would leak into the frame bytes otherwise).
+    pub fn sorted_blocks(&self) -> Vec<(usize, &[usize], &DenseMatrix)> {
+        let mut blocks: Vec<(usize, &[usize], &DenseMatrix)> = self
+            .blocks
+            .iter()
+            .map(|(&column, (rows, block))| (column, rows.as_slice(), block))
+            .collect();
+        blocks.sort_unstable_by_key(|&(column, _, _)| column);
+        blocks
+    }
 }
 
 /// Multifrontal Cholesky factorization of `matrix`, driven by the given
@@ -600,6 +621,29 @@ mod tests {
             multifrontal_cholesky(&matrix, Some(&top_down)).unwrap_err(),
             FactorizationError::InvalidTraversal
         );
+    }
+
+    #[test]
+    fn contribution_store_round_trips_through_the_public_accessors() {
+        let mut store = ContributionStore::new();
+        let mut block = DenseMatrix::zeros(2);
+        block.set(0, 0, 1.5);
+        block.set(1, 0, -2.0);
+        store.insert_block(7, vec![8, 9], block.clone());
+        store.insert_block(3, vec![4, 5], DenseMatrix::zeros(2));
+        let sorted = store.sorted_blocks();
+        assert_eq!(sorted.len(), 2);
+        // Deterministic column order, independent of HashMap iteration.
+        assert_eq!(sorted[0].0, 3);
+        assert_eq!(sorted[1].0, 7);
+        assert_eq!(sorted[1].1, &[8, 9]);
+        assert_eq!(sorted[1].2, &block);
+        let mut rebuilt = ContributionStore::new();
+        for (column, rows, payload) in sorted {
+            rebuilt.insert_block(column, rows.to_vec(), payload.clone());
+        }
+        assert_eq!(rebuilt.len(), store.len());
+        assert_eq!(rebuilt.total_entries(), store.total_entries());
     }
 
     #[test]

@@ -5,18 +5,28 @@
 //!       [--cache-ttl-seconds S] [--factor-cache-capacity N]
 //!       [--max-body-bytes N] [--default-deadline-ms MS]
 //!       [--max-deadline-ms MS]
+//! serve --role worker --coordinator HOST:PORT [--worker-id NAME]
 //! ```
 //!
-//! Binds (port 0 picks an ephemeral port, printed on stdout) and serves
-//! until the process is terminated.  See the README's "Serving" section for
-//! the endpoint reference and an example `curl` session.
+//! The default role, `coordinator`, binds (port 0 picks an ephemeral port,
+//! printed on stdout) and serves until the process is terminated.  See the
+//! README's "Serving" and "Distributed execution" sections for the endpoint
+//! reference and example sessions.
+//!
+//! `--role worker` runs no listener at all: the process polls the named
+//! coordinator's `/internal/claim`, factors leased subtree tasks, and
+//! streams contributions back until killed.
 //!
 //! Setting the `TREEMEM_FAULT_PLAN` environment variable arms the
 //! fault-injection registry at boot (chaos testing only; the format is
 //! `action@point#nth[,...]`, e.g. `sleep:40@plan:ordering,panic@execute:numeric#2`).
+//! Worker processes honor it too — `drop@parexec:task` makes a worker
+//! abandon leases, the chaos harness's simulated crash.
 
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::time::Duration;
 
+use server::worker::{run_worker, HttpTransport, WorkerOptions};
 use server::{Server, ServerConfig};
 
 fn usage() -> ! {
@@ -24,7 +34,8 @@ fn usage() -> ! {
         "usage: serve [--addr HOST:PORT] [--workers N] [--cache-capacity N]\n\
          \x20      [--cache-ttl-seconds S] [--factor-cache-capacity N]\n\
          \x20      [--max-body-bytes N] [--default-deadline-ms MS]\n\
-         \x20      [--max-deadline-ms MS]"
+         \x20      [--max-deadline-ms MS]\n\
+         \x20  or: serve --role worker --coordinator HOST:PORT [--worker-id NAME]"
     );
     std::process::exit(2);
 }
@@ -46,9 +57,15 @@ fn main() {
         addr: "127.0.0.1:8080".to_string(),
         ..ServerConfig::default()
     };
+    let mut role = "coordinator".to_string();
+    let mut coordinator: Option<String> = None;
+    let mut worker_id: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--role" => role = parse("--role", iter.next()),
+            "--coordinator" => coordinator = Some(parse("--coordinator", iter.next())),
+            "--worker-id" => worker_id = Some(parse("--worker-id", iter.next())),
             "--addr" => config.addr = parse("--addr", iter.next()),
             "--workers" => config.workers = parse("--workers", iter.next()),
             "--cache-capacity" => config.cache_capacity = parse("--cache-capacity", iter.next()),
@@ -92,6 +109,14 @@ fn main() {
             }
         }
     }
+    match role.as_str() {
+        "coordinator" => {}
+        "worker" => run_worker_role(coordinator, worker_id),
+        other => {
+            eprintln!("serve: unknown role '{other}' (coordinator or worker)");
+            usage();
+        }
+    }
     let workers = config.workers;
     let handle = Server::spawn(config).unwrap_or_else(|error| {
         eprintln!("serve: cannot bind: {error}");
@@ -107,4 +132,28 @@ fn main() {
     loop {
         std::thread::park();
     }
+}
+
+/// `--role worker`: resolve the coordinator address and run the claim loop
+/// until the process is killed.  Never returns.
+fn run_worker_role(coordinator: Option<String>, worker_id: Option<String>) -> ! {
+    let Some(coordinator) = coordinator else {
+        eprintln!("serve: --role worker needs --coordinator HOST:PORT");
+        usage();
+    };
+    let addr: SocketAddr = coordinator
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut addrs| addrs.next())
+        .unwrap_or_else(|| {
+            eprintln!("serve: cannot resolve coordinator address '{coordinator}'");
+            std::process::exit(1);
+        });
+    let worker_id = worker_id.unwrap_or_else(|| format!("worker-{}", std::process::id()));
+    println!("worker '{worker_id}' polling http://{addr}");
+    let transport = HttpTransport::new(addr);
+    // Unbounded: a long-lived worker survives coordinator restarts and idle
+    // stretches alike, and dies only with the process.
+    run_worker(&transport, &WorkerOptions::named(&worker_id));
+    unreachable!("an unbounded worker loop never exits");
 }

@@ -50,12 +50,25 @@ fn fail(context: &str, error: impl std::fmt::Display) -> ClientError {
     ClientError(format!("{context}: {error}"))
 }
 
-/// Send `raw` to `addr` and decode the single response.
+/// Send `raw` to `addr` and decode the single response, giving the server
+/// two minutes to answer.
 pub fn exchange(addr: SocketAddr, raw: &[u8]) -> Result<ClientResponse, ClientError> {
+    exchange_with_timeout(addr, raw, Duration::from_secs(120))
+}
+
+/// [`exchange`] with an explicit read timeout, for requests that legitimately
+/// block far longer than interactive ones — a distributed `/report` waits for
+/// every worker contribution, which at large orders outlives any
+/// interactive-scale budget.
+pub fn exchange_with_timeout(
+    addr: SocketAddr,
+    raw: &[u8],
+    read_timeout: Duration,
+) -> Result<ClientResponse, ClientError> {
     let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))
         .map_err(|e| fail("connect", e))?;
     stream
-        .set_read_timeout(Some(Duration::from_secs(120)))
+        .set_read_timeout(Some(read_timeout))
         .map_err(|e| fail("timeout", e))?;
     stream.write_all(raw).map_err(|e| fail("send", e))?;
     let mut bytes = Vec::new();
@@ -88,6 +101,16 @@ pub fn post(addr: SocketAddr, path: &str, body: &str) -> Result<ClientResponse, 
     post_with_headers(addr, path, &[], body)
 }
 
+/// [`post`] with an explicit read timeout (see [`exchange_with_timeout`]).
+pub fn post_with_timeout(
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+    read_timeout: Duration,
+) -> Result<ClientResponse, ClientError> {
+    exchange_with_timeout(addr, encode_post(path, &[], body).as_bytes(), read_timeout)
+}
+
 /// `POST` a JSON body to `path` with extra request headers (e.g.
 /// `X-Deadline-Ms`).
 pub fn post_with_headers(
@@ -96,6 +119,10 @@ pub fn post_with_headers(
     headers: &[(&str, &str)],
     body: &str,
 ) -> Result<ClientResponse, ClientError> {
+    exchange(addr, encode_post(path, headers, body).as_bytes())
+}
+
+fn encode_post(path: &str, headers: &[(&str, &str)], body: &str) -> String {
     let mut raw = format!(
         "POST {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Type: application/json\r\n\
          Content-Length: {}\r\n",
@@ -106,15 +133,18 @@ pub fn post_with_headers(
     }
     raw.push_str("\r\n");
     raw.push_str(body);
-    exchange(addr, raw.as_bytes())
+    raw
 }
 
-/// `POST` with retries: transport errors and transient statuses (503 shed
-/// load, 504 expired deadline) back off exponentially from 10 ms, doubling
-/// per attempt and capped at `max_backoff`.  A `Retry-After` header (whole
-/// seconds, as the server sends) overrides the computed backoff, still
-/// under the same cap.  Returns the first conclusive response, or the last
-/// transient outcome once `attempts` are exhausted.
+/// `POST` with retries: transport errors — connection-refused included, so
+/// a worker racing its coordinator's boot just keeps dialing — and
+/// transient statuses (503 shed load, 504 expired deadline) back off
+/// exponentially from 10 ms, doubling per attempt with ±25% jitter and
+/// capped at `max_backoff`.  A `Retry-After` header (whole seconds, as the
+/// server sends) overrides the computed backoff, still under the same cap.
+/// Returns the first conclusive response, the last transient *response*
+/// once `attempts` are exhausted, or — when the final attempt also died in
+/// transport — an error naming the attempt count.
 pub fn post_with_retry(
     addr: SocketAddr,
     path: &str,
@@ -122,11 +152,12 @@ pub fn post_with_retry(
     attempts: usize,
     max_backoff: Duration,
 ) -> Result<ClientResponse, ClientError> {
+    let attempts = attempts.max(1);
     let mut backoff = Duration::from_millis(10);
     let mut last: Option<Result<ClientResponse, ClientError>> = None;
-    for attempt in 0..attempts.max(1) {
+    for attempt in 0..attempts {
         if attempt > 0 {
-            std::thread::sleep(backoff.min(max_backoff));
+            std::thread::sleep(jittered(backoff.min(max_backoff)));
             backoff = backoff.saturating_mul(2);
         }
         match post(addr, path, body) {
@@ -143,7 +174,23 @@ pub fn post_with_retry(
             Err(error) => last = Some(Err(error)),
         }
     }
-    last.expect("attempts is at least 1")
+    match last.expect("attempts is at least 1") {
+        Ok(response) => Ok(response),
+        Err(ClientError(message)) => Err(ClientError(format!(
+            "giving up after {attempts} attempts: {message}"
+        ))),
+    }
+}
+
+/// Scale `base` by a random factor in `[0.75, 1.25)`, freshly seeded from
+/// the OS per call: a fleet of workers that all saw the same refusal must
+/// not re-dial the coordinator in lockstep.
+fn jittered(base: Duration) -> Duration {
+    use std::collections::hash_map::RandomState;
+    use std::hash::{BuildHasher, Hasher};
+    let bits = RandomState::new().build_hasher().finish();
+    let fraction = (bits >> 11) as f64 / (1u64 << 53) as f64;
+    base.mul_f64(0.75 + 0.5 * fraction)
 }
 
 /// `GET` `path`.
@@ -169,10 +216,11 @@ pub fn report_identity(body: &str) -> Option<engine::json::Json> {
     }
 }
 
-/// [`report_identity`] for parallel-enabled reports: additionally drops the
-/// runtime-dependent fields of the `parallel` section (wall clocks, worker
-/// count, scheduler-dependent peaks) and, when a parallel section is
-/// present, `numeric.measured_peak_entries` — the wire-side analogue of
+/// [`report_identity`] for parallel- or distributed-enabled reports:
+/// additionally drops the runtime-dependent fields of the `parallel` and
+/// `distributed` sections (wall clocks, worker counts, requeue counters,
+/// transfer volumes) and, when either section is present,
+/// `numeric.measured_peak_entries` — the wire-side analogue of
 /// `engine::Report::fingerprint`.
 pub fn report_fingerprint(body: &str) -> Option<engine::json::Json> {
     use engine::json::Json;
@@ -187,12 +235,21 @@ pub fn report_fingerprint(body: &str) -> Option<engine::json::Json> {
         "worker_busy_seconds",
         "utilization",
     ];
+    const VOLATILE_DISTRIBUTED: [&str; 7] = [
+        "workers",
+        "tasks_requeued",
+        "lease_expiries",
+        "contribution_bytes",
+        "wall_seconds",
+        "merge_seconds",
+        "worker_busy_seconds",
+    ];
     let Ok(Json::Obj(fields)) = Json::parse(body) else {
         return None;
     };
-    let parallel_active = fields
-        .iter()
-        .any(|(key, value)| key == "parallel" && matches!(value, Json::Obj(_)));
+    let runtime_active = fields.iter().any(|(key, value)| {
+        (key == "parallel" || key == "distributed") && matches!(value, Json::Obj(_))
+    });
     let projected = fields
         .into_iter()
         .filter(|(key, _)| key != "timings")
@@ -204,7 +261,13 @@ pub fn report_fingerprint(body: &str) -> Option<engine::json::Json> {
                         .filter(|(name, _)| !VOLATILE_PARALLEL.contains(&name.as_str()))
                         .collect(),
                 ),
-                ("numeric", Json::Obj(inner)) if parallel_active => Json::Obj(
+                ("distributed", Json::Obj(inner)) => Json::Obj(
+                    inner
+                        .into_iter()
+                        .filter(|(name, _)| !VOLATILE_DISTRIBUTED.contains(&name.as_str()))
+                        .collect(),
+                ),
+                ("numeric", Json::Obj(inner)) if runtime_active => Json::Obj(
                     inner
                         .into_iter()
                         .filter(|(name, _)| name != "measured_peak_entries")

@@ -16,7 +16,17 @@
 //! | `POST /report`    | `EngineConfig`  | the full `engine_report/v1` document |
 //! | `POST /solve`     | solve request   | batched triangular solves against a cached factor |
 //! | `GET /healthz`    | —               | liveness probe |
-//! | `GET /stats`      | —               | cache hit rates, in-flight count, per-stage latency percentiles |
+//! | `GET /stats`      | —               | cache hit rates, in-flight count, per-stage latency percentiles, cluster counters |
+//! | `POST /internal/claim` | claim frame | lease one subtree task of a distributed job to a worker |
+//! | `POST /internal/contribute` | contribution frame | absorb a worker's factored subtree columns and blocks |
+//! | `GET /internal/job/{id}` | —        | progress of one live distributed job |
+//!
+//! A `/report` whose configuration enables the `distributed` section does
+//! not factor locally: the coordinator parks the cut's subtree tasks in a
+//! job registry, worker *processes* (`serve --role worker`) claim and
+//! factor them under leased budget reservations, and the request blocks
+//! until the merged — bit-identical — factor is assembled (see
+//! [`worker`] and the `distrib` crate).
 //!
 //! `POST` responses carry `X-Cache: hit|miss` and `X-Config-Hash` headers;
 //! a cache-hit report is identical to the cold-path report for the same
@@ -47,6 +57,7 @@ pub mod factors;
 pub mod http;
 pub mod service;
 pub mod stats;
+pub mod worker;
 
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};

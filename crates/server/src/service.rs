@@ -5,6 +5,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use distrib::{ClaimRequest, ContributeError, Contribution, JobRegistry, JobSpec, WaitError};
 use engine::json::{escape, Json};
 use engine::prelude::*;
 use engine::{CacheStats, CancelToken, PlanCache, MAX_SOLVE_RHS};
@@ -14,12 +15,15 @@ use crate::http::{reason_phrase, Request};
 use crate::stats::ServerStats;
 
 /// Everything the handlers share: the engine, the plan and factor caches,
-/// and the observability counters.
+/// the distributed-job registry, and the observability counters.
 pub struct Service {
     engine: Engine,
     cache: PlanCache,
     factors: FactorCache,
     stats: ServerStats,
+    /// Coordinator state for distributed runs: live jobs, leases, cluster
+    /// counters.
+    registry: JobRegistry,
     workers: usize,
     /// Deadline applied when a request names none.
     default_deadline: Option<Duration>,
@@ -77,6 +81,7 @@ impl Service {
             cache,
             factors,
             stats: ServerStats::new(),
+            registry: JobRegistry::new(Arc::new(distrib::ClusterStats::new())),
             workers,
             default_deadline: None,
             max_deadline: None,
@@ -95,6 +100,11 @@ impl Service {
     /// The observability counters (shared with the connection layer).
     pub fn stats(&self) -> &ServerStats {
         &self.stats
+    }
+
+    /// The distributed-job registry (coordinator state).
+    pub fn registry(&self) -> &JobRegistry {
+        &self.registry
     }
 
     /// Current plan-cache counters.
@@ -133,12 +143,17 @@ impl Service {
                 &self.cache.stats(),
                 &self.factors.stats(),
                 self.workers,
+                &self.registry.stats().snapshot(),
             )),
             ("POST", "/plan") => self.handle_plan(&request.body, header_deadline),
             ("POST", "/schedule") => self.handle_schedule(&request.body, header_deadline),
             ("POST", "/report") => self.handle_report(&request.body, header_deadline),
             ("POST", "/solve") => self.handle_solve(&request.body, header_deadline),
+            ("POST", "/internal/claim") => self.handle_claim(&request.body),
+            ("POST", "/internal/contribute") => self.handle_contribute(&request.body),
+            ("GET", path) if path.starts_with("/internal/job/") => self.handle_job(path),
             ("GET", "/plan" | "/schedule" | "/report" | "/solve")
+            | ("GET", "/internal/claim" | "/internal/contribute")
             | ("POST", "/healthz" | "/stats") => Response::error(
                 405,
                 &format!("{} does not support {}", request.path, request.method),
@@ -300,6 +315,9 @@ impl Service {
             Ok(config) => config,
             Err(response) => return response,
         };
+        if config.distributed.enabled() {
+            return self.handle_report_distributed(&config, cancel.as_ref());
+        }
         let (plan, hit) = match self.plan_for(&config, cancel.as_ref()) {
             Ok(result) => result,
             Err(response) => return response,
@@ -321,6 +339,122 @@ impl Service {
             cache_hit: Some(hit),
             config_hash: Some(report.config_hash.clone()),
             ..Response::ok(report.to_json())
+        }
+    }
+
+    /// `POST /report` with a distributed section: plan and cut once, park
+    /// the subtree tasks in the job registry for worker processes to claim,
+    /// and block until every contribution is in, then merge above the cut
+    /// and answer with the ordinary report document (plus its `distributed`
+    /// section).  The merged factor is bit-identical to the single-process
+    /// path, so it is deposited for `/solve` exactly like a local one.
+    fn handle_report_distributed(
+        &self,
+        config: &EngineConfig,
+        cancel: Option<&CancelToken>,
+    ) -> Response {
+        let (plan, hit) = match self.plan_for(config, cancel) {
+            Ok(result) => result,
+            Err(response) => return response,
+        };
+        let schedule =
+            match plan.schedule_with_cancel(&self.engine, ScheduleSpec::default(), cancel) {
+                Ok(schedule) => schedule,
+                Err(e) => return self.engine_error(&e),
+            };
+        let cut = match schedule.distributed_cut(&self.engine) {
+            Ok(cut) => cut,
+            Err(e) => return self.engine_error(&e),
+        };
+        let job = self.registry.register(JobSpec {
+            config_json: config.to_json(),
+            lease_ms: cut.lease_ms(),
+            task_orders: (0..cut.task_count())
+                .map(|task| cut.task_order(task).to_vec())
+                .collect(),
+            task_peaks: (0..cut.task_count())
+                .map(|task| cut.task_peak_entries(task))
+                .collect(),
+            budget_entries: cut.budget_entries(),
+        });
+        let waited = job.wait_for_completion(None, cancel);
+        // Whatever happened, the job leaves the registry: late contributions
+        // answer 404 rather than piling up parts nobody will merge.
+        self.registry.remove(job.id());
+        let (contributions, runtime) = match waited {
+            Ok(result) => result,
+            Err(WaitError::Cancelled) => {
+                self.stats.count_cancelled("distributed");
+                return Response::error(
+                    504,
+                    "deadline expired while waiting for worker contributions",
+                );
+            }
+            Err(WaitError::TimedOut) => {
+                return Response::error(504, "timed out waiting for worker contributions");
+            }
+        };
+        let (report, factor) =
+            match schedule.execute_distributed(&self.engine, cut, contributions, runtime, cancel) {
+                Ok(result) => result,
+                Err(e) => return self.engine_error(&e),
+            };
+        if let Some(factor) = factor {
+            self.factors.insert(&report.config_hash, Arc::new(factor));
+        }
+        self.record_schedule_stages(&report.timings, Some(&report));
+        Response {
+            cache_hit: Some(hit),
+            config_hash: Some(report.config_hash.clone()),
+            ..Response::ok(report.to_json())
+        }
+    }
+
+    /// `POST /internal/claim`: answer one worker's poll with a leased task,
+    /// a wait hint, or idle.  The body and reply are wire frames, not bare
+    /// JSON (see [`distrib::wire`]).
+    fn handle_claim(&self, body: &[u8]) -> Response {
+        let claim = match ClaimRequest::from_frame(body) {
+            Ok(claim) => claim,
+            Err(e) => return Response::error(400, &format!("bad claim frame: {e}")),
+        };
+        let frame = self.registry.claim(&claim.worker).to_frame();
+        Response::ok(String::from_utf8(frame).expect("wire frames are UTF-8"))
+    }
+
+    /// `POST /internal/contribute`: absorb one task's factored columns and
+    /// contribution blocks.  Frames that fail to decode are 400s; stale
+    /// lease epochs and duplicate completions are 409s (the worker drops
+    /// its copy — the re-issued lease recomputes identical bits).
+    fn handle_contribute(&self, body: &[u8]) -> Response {
+        let frame_bytes = body.len() as u64;
+        let contribution = match Contribution::from_frame(body) {
+            Ok(contribution) => contribution,
+            Err(e) => return Response::error(400, &format!("bad contribution frame: {e}")),
+        };
+        let (job, task) = (contribution.job, contribution.task);
+        match self.registry.contribute(contribution, frame_bytes) {
+            Ok(()) => Response::ok(format!(
+                "{{\"status\": \"accepted\", \"job\": {job}, \"task\": {task}}}\n"
+            )),
+            Err(error @ (ContributeError::UnknownJob | ContributeError::UnknownTask)) => {
+                Response::error(404, &error.to_string())
+            }
+            Err(error) => Response::error(409, &error.to_string()),
+        }
+    }
+
+    /// `GET /internal/job/{id}`: progress of one live job.
+    fn handle_job(&self, path: &str) -> Response {
+        let id = path
+            .strip_prefix("/internal/job/")
+            .and_then(|rest| rest.parse::<u64>().ok());
+        let Some(id) = id else {
+            return Response::error(400, "job ids are decimal integers");
+        };
+        match self.registry.job(id) {
+            Some(job) => Response::ok(format!("{}\n", job.progress_json())),
+            None => Response::error(404, &format!("no live job {id}")),
         }
     }
 
@@ -991,5 +1125,213 @@ mod tests {
         let service = service();
         let response = post(&service, "/schedule", &config.to_json());
         assert_eq!(response.status, 422, "{}", response.body);
+    }
+
+    // ---- distributed execution over the internal endpoints ----
+
+    use crate::worker::{run_worker, InProcessTransport, WorkerOptions};
+    use distrib::ClaimReply;
+
+    /// Block until the coordinator has registered `count` jobs (a
+    /// distributed `/report` is in flight on another thread).
+    fn wait_for_jobs(service: &Service, count: u64) {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while service.registry().stats().snapshot().jobs_started < count {
+            assert!(Instant::now() < deadline, "no job appeared within 30s");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// The text from the `"solutions"` key onward: value-for-value equal
+    /// formatting implies bit-identical solution vectors.
+    fn solutions_text(body: &str) -> &str {
+        body.split("\"solutions\"")
+            .nth(1)
+            .expect("solutions present")
+    }
+
+    #[test]
+    fn distributed_reports_merge_bit_identically_to_local_runs() {
+        let service = Arc::new(service());
+        let local = EngineConfig::generated(sparsemat::gen::ProblemKind::Grid2d, 900, 7)
+            .with_numeric(true)
+            .with_solve(engine::SolveConfig::generated(2, 5));
+        let sharded = local
+            .clone()
+            .with_distributed(engine::DistributedConfig::with_tasks(4));
+
+        // The distributed report blocks until workers contribute, so it
+        // runs on its own thread (bounded by a body deadline, in case the
+        // protocol wedges).
+        let body = format!("{{\"deadline_ms\": 60000, {}", &sharded.to_json()[1..]);
+        let coordinator = Arc::clone(&service);
+        let report = std::thread::spawn(move || post(&coordinator, "/report", &body));
+        wait_for_jobs(&service, 1);
+
+        // One in-process worker drains the job through the real endpoints.
+        let transport = InProcessTransport(Arc::clone(&service));
+        let summary = run_worker(&transport, &WorkerOptions::named("w-0").exit_when_idle(3));
+        let response = report.join().expect("report thread");
+        assert_eq!(response.status, 200, "{}", response.body);
+        assert_eq!(summary.tasks_completed, 4);
+        assert_eq!(summary.transport_errors, 0);
+
+        let json = Json::parse(&response.body).unwrap();
+        let section = json.get("distributed").expect("distributed section");
+        assert_eq!(section.get("workers").and_then(Json::as_usize), Some(1));
+        assert_eq!(
+            section.get("subtree_count").and_then(Json::as_usize),
+            Some(4)
+        );
+        assert_eq!(
+            section.get("lease_expiries").and_then(Json::as_u64),
+            Some(0)
+        );
+
+        // The merged factor answers /solve bit-for-bit like the local one.
+        let reference = post(&service, "/report", &local.to_json());
+        assert_eq!(reference.status, 200, "{}", reference.body);
+        let sharded_hash = response.config_hash.expect("distributed hash");
+        let local_hash = reference.config_hash.expect("local hash");
+        assert_ne!(sharded_hash, local_hash, "distinct cache identities");
+        let rhs: Vec<String> = (0..900).map(|i| format!("{}.5", i % 7)).collect();
+        let solve_body = |hash: &str| {
+            format!(
+                "{{\"config_hash\": \"{hash}\", \"vectors\": [[{}]], \
+                 \"return_solutions\": true}}",
+                rhs.join(", ")
+            )
+        };
+        let merged = post(&service, "/solve", &solve_body(&sharded_hash));
+        let reference = post(&service, "/solve", &solve_body(&local_hash));
+        assert_eq!(merged.status, 200, "{}", merged.body);
+        assert_eq!(reference.status, 200, "{}", reference.body);
+        assert_eq!(
+            solutions_text(&merged.body),
+            solutions_text(&reference.body),
+            "distributed solve diverged from the local factor"
+        );
+
+        // Satellite invariant: the cluster counters reconcile to the task
+        // count, and /stats carries them.
+        let snapshot = service.registry().stats().snapshot();
+        assert_eq!(snapshot.tasks_completed, 4);
+        assert_eq!(
+            snapshot.tasks_claimed,
+            snapshot.tasks_completed + snapshot.lease_expiries
+        );
+        assert_eq!(snapshot.jobs_completed, snapshot.jobs_started);
+        let stats = Json::parse(&get(&service, "/stats").body).unwrap();
+        let cluster = stats.get("cluster").expect("cluster section");
+        assert_eq!(
+            cluster.get("tasks_completed").and_then(Json::as_u64),
+            Some(snapshot.tasks_completed)
+        );
+        assert_eq!(
+            cluster
+                .get("workers")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn expired_leases_reissue_tasks_and_fence_late_contributions_with_409() {
+        let service = Arc::new(service());
+        let config = EngineConfig::generated(sparsemat::gen::ProblemKind::Grid2d, 400, 3)
+            .with_numeric(true)
+            .with_distributed(engine::DistributedConfig::with_tasks(2).with_lease_ms(500));
+        let body = format!("{{\"deadline_ms\": 60000, {}", &config.to_json()[1..]);
+        let coordinator = Arc::clone(&service);
+        let report = std::thread::spawn(move || post(&coordinator, "/report", &body));
+        wait_for_jobs(&service, 1);
+
+        // A slow worker claims a task over the real endpoint, computes it,
+        // but only contributes after its lease expired.
+        let claim = distrib::ClaimRequest {
+            worker: "w-slow".to_string(),
+        }
+        .to_frame();
+        let claimed = post(
+            &service,
+            "/internal/claim",
+            std::str::from_utf8(&claim).unwrap(),
+        );
+        assert_eq!(claimed.status, 200, "{}", claimed.body);
+        let task = match ClaimReply::from_frame(claimed.body.as_bytes()).unwrap() {
+            ClaimReply::Task(task) => task,
+            other => panic!("expected a task, got {other:?}"),
+        };
+        let engine = Engine::new();
+        let late_config = EngineConfig::from_json(&task.config).unwrap();
+        let plan = engine.plan(&late_config).unwrap();
+        let parts = plan.factor_subtree(&task.order, None).unwrap();
+        let late =
+            distrib::contribution_frame(task.job, task.task, task.epoch, "w-slow", 0.1, &parts);
+        let late = String::from_utf8(late).unwrap();
+        std::thread::sleep(Duration::from_millis(800));
+        let rejected = post(&service, "/internal/contribute", &late);
+        assert_eq!(rejected.status, 409, "{}", rejected.body);
+
+        // A healthy worker completes the job via re-issue...
+        let transport = InProcessTransport(Arc::clone(&service));
+        let summary = run_worker(
+            &transport,
+            &WorkerOptions::named("w-alive").exit_when_idle(3),
+        );
+        let response = report.join().expect("report thread");
+        assert_eq!(response.status, 200, "{}", response.body);
+        assert_eq!(summary.stale_rejections, 0);
+        let json = Json::parse(&response.body).unwrap();
+        let section = json.get("distributed").expect("distributed section");
+        assert!(section
+            .get("lease_expiries")
+            .and_then(Json::as_u64)
+            .is_some_and(|expiries| expiries >= 1));
+        assert!(section
+            .get("tasks_requeued")
+            .and_then(Json::as_u64)
+            .is_some_and(|requeued| requeued >= 1));
+
+        // ...after which the job is gone: the same late frame is now a 404.
+        assert_eq!(post(&service, "/internal/contribute", &late).status, 404);
+        let snapshot = service.registry().stats().snapshot();
+        assert!(snapshot.stale_contributions >= 1);
+        assert_eq!(
+            snapshot.tasks_claimed,
+            snapshot.tasks_completed + snapshot.lease_expiries
+        );
+    }
+
+    #[test]
+    fn internal_endpoints_reject_garbage_and_unknown_jobs_cleanly() {
+        let service = service();
+        // Claim and contribute frames that fail to decode are 400s.
+        for body in ["", "not a frame", "distrib_wire/v1 4\nhuge"] {
+            assert_eq!(post(&service, "/internal/claim", body).status, 400);
+            assert_eq!(post(&service, "/internal/contribute", body).status, 400);
+        }
+        // An idle coordinator answers claims with an idle frame.
+        let claim = distrib::ClaimRequest {
+            worker: "w".to_string(),
+        }
+        .to_frame();
+        let reply = post(
+            &service,
+            "/internal/claim",
+            std::str::from_utf8(&claim).unwrap(),
+        );
+        assert_eq!(reply.status, 200);
+        assert!(matches!(
+            ClaimReply::from_frame(reply.body.as_bytes()),
+            Ok(ClaimReply::Idle)
+        ));
+        // Unknown and malformed job ids.
+        assert_eq!(get(&service, "/internal/job/99").status, 404);
+        assert_eq!(get(&service, "/internal/job/xyz").status, 400);
+        // Wrong methods.
+        assert_eq!(get(&service, "/internal/claim").status, 405);
+        assert_eq!(get(&service, "/internal/contribute").status, 405);
     }
 }

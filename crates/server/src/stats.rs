@@ -64,8 +64,16 @@ pub const ENDPOINT_NAMES: [&str; 4] = ["plan", "schedule", "report", "solve"];
 
 /// Stages a cooperative cancellation can be observed in (the `stage` field
 /// of `EngineError::Cancelled`), plus a trailing catch-all slot.
-pub const CANCEL_STAGE_NAMES: [&str; 8] = [
-    "plan", "ordering", "symbolic", "solver", "io", "numeric", "solve", "other",
+pub const CANCEL_STAGE_NAMES: [&str; 9] = [
+    "plan",
+    "ordering",
+    "symbolic",
+    "solver",
+    "io",
+    "numeric",
+    "distributed",
+    "solve",
+    "other",
 ];
 
 /// All counters and recorders of one running server.
@@ -155,13 +163,15 @@ impl ServerStats {
             .map(|index| &self.stages[index])
     }
 
-    /// Render everything (plus the given cache counters and worker count) as
-    /// the `/stats` JSON document (schema `engine_server_stats/v1`).
+    /// Render everything (plus the given cache counters, worker count, and
+    /// distributed-cluster snapshot) as the `/stats` JSON document (schema
+    /// `engine_server_stats/v1`).
     pub fn to_json(
         &self,
         cache: &engine::CacheStats,
         factors: &crate::factors::FactorCacheStats,
         workers: usize,
+        cluster: &distrib::ClusterSnapshot,
     ) -> String {
         let mut out = String::new();
         out.push_str("{\n  \"schema\": \"engine_server_stats/v1\",\n");
@@ -220,7 +230,9 @@ impl ServerStats {
                 self.stages[index].summary().to_json()
             ));
         }
-        out.push_str("},\n  \"cancelled\": {");
+        out.push_str("},\n  \"cluster\": ");
+        out.push_str(&cluster.to_json_fragment());
+        out.push_str(",\n  \"cancelled\": {");
         out.push_str(&format!("\"total\": {}", self.cancelled_total()));
         for (index, name) in CANCEL_STAGE_NAMES.iter().enumerate() {
             out.push_str(&format!(
@@ -270,7 +282,9 @@ mod tests {
             capacity: 8,
             ..Default::default()
         };
-        let doc = stats.to_json(&cache, &factors, 4);
+        let cluster = distrib::ClusterStats::new();
+        cluster.note_worker("w-0");
+        let doc = stats.to_json(&cache, &factors, 4, &cluster.snapshot());
         let json = Json::parse(&doc).unwrap();
         assert_eq!(
             json.get("schema").and_then(Json::as_str),
@@ -304,6 +318,13 @@ mod tests {
                 .and_then(|e| e.get("plan"))
                 .and_then(|p| p.get("count"))
                 .and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            json.get("cluster")
+                .and_then(|c| c.get("workers"))
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
             Some(1)
         );
     }

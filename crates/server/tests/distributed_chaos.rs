@@ -1,0 +1,186 @@
+//! Chaos and retry tests for distributed execution over real sockets.
+//!
+//! These live in their own integration-test binary because the fault
+//! registry is process-global: a `sleep@parexec:task` rule armed here would
+//! stall any other test that happens to factor in parallel.  Process
+//! isolation (one binary = one process) keeps the blast radius to this
+//! file.
+
+use std::net::{SocketAddr, TcpListener};
+use std::time::Duration;
+
+use engine::json::Json;
+use engine::prelude::*;
+use server::client;
+use server::worker::{run_worker, HttpTransport, WorkerOptions, WorkerSummary};
+use server::{Server, ServerConfig};
+use sparsemat::gen::ProblemKind;
+
+/// Reserve an ephemeral port, then free it: the classic boot-race setup.
+/// The port can in principle be re-bound by another process in the gap, but
+/// loopback ephemeral churn makes that vanishingly rare in practice.
+fn probed_free_addr() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("probe bind");
+    listener.local_addr().expect("probe addr")
+}
+
+/// A distributed numeric grid configuration with a body-level deadline so a
+/// wedged test fails rather than hangs.
+fn distributed_body(nodes: usize, seed: u64, tasks: usize, lease_ms: u64) -> String {
+    let config = EngineConfig::generated(ProblemKind::Grid2d, nodes, seed)
+        .with_numeric(true)
+        .with_distributed(engine::DistributedConfig::with_tasks(tasks).with_lease_ms(lease_ms));
+    format!("{{\"deadline_ms\": 60000, {}", &config.to_json()[1..])
+}
+
+/// Satellite 2 regression: a worker stalled past its lease by an injected
+/// `sleep@parexec:task` fault must not wedge the job — the lease expires on
+/// the monotonic clock, the task is re-issued to the healthy worker, the
+/// report completes, and the sleeper's late contribution is fenced off
+/// (stale epoch or already-removed job), never merged.
+#[test]
+fn injected_sleep_past_lease_reissues_the_task_and_fences_the_sleeper() {
+    // Stall the *first* task claim in this process for 3.5 s against a 1 s
+    // lease.  The lease must stay comfortably above debug-build subtree
+    // factoring time or every healthy contribution would itself go stale.
+    engine::faultinject::install(
+        engine::faultinject::parse_plan("sleep:3500@parexec:task").expect("plan parses"),
+    );
+
+    let handle = Server::spawn(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    })
+    .expect("server boots");
+    let addr = handle.addr();
+    let body = distributed_body(400, 5, 2, 1_000);
+
+    let report = std::thread::spawn(move || client::post(addr, "/report", &body).expect("report"));
+    // Two workers race for the two tasks; whichever claims first eats the
+    // injected sleep.  Generous idle bounds: both must outlive the stall.
+    let workers: Vec<_> = ["chaos-a", "chaos-b"]
+        .into_iter()
+        .map(|name| {
+            std::thread::spawn(move || {
+                run_worker(
+                    &HttpTransport::new(addr),
+                    &WorkerOptions::named(name).exit_when_idle(100),
+                )
+            })
+        })
+        .collect();
+
+    let report = report.join().expect("report thread");
+    assert_eq!(report.status, 200, "{}", report.body);
+    let json = Json::parse(&report.body).expect("report is JSON");
+    let distributed = json.get("distributed").expect("distributed section");
+    assert_eq!(
+        distributed.get("subtree_count").and_then(Json::as_u64),
+        Some(2)
+    );
+    assert!(
+        distributed
+            .get("lease_expiries")
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= 1,
+        "the stalled worker's lease must expire"
+    );
+    assert!(
+        distributed
+            .get("tasks_requeued")
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= 1,
+        "the expired task must be re-issued"
+    );
+
+    let summaries: Vec<WorkerSummary> = workers
+        .into_iter()
+        .map(|worker| worker.join().expect("worker thread"))
+        .collect();
+    assert_eq!(engine::faultinject::injected(), 1, "exactly one stall");
+    engine::faultinject::clear();
+
+    // Both tasks completed exactly once across the fleet, and the sleeper's
+    // late frame was fenced: rejected as stale (409) if the job was still
+    // live, or refused outright (404) if it had already been merged and
+    // retired.  `tasks_completed` counts only accepted contributions, so a
+    // double merge would show up as a third completion.
+    let completed: u64 = summaries.iter().map(|s| s.tasks_completed).sum();
+    let fenced: u64 = summaries
+        .iter()
+        .map(|s| s.stale_rejections + s.transport_errors)
+        .sum();
+    assert_eq!(completed, 2, "{summaries:?}");
+    assert!(
+        fenced >= 1,
+        "late contribution must be fenced: {summaries:?}"
+    );
+    assert_eq!(summaries.iter().map(|s| s.factor_errors).sum::<u64>(), 0);
+
+    // No non-injected failure anywhere: the only 5xx the server may emit
+    // here is none at all, and the cluster counters reconcile (zero
+    // orphaned leases).
+    let stats = client::get(addr, "/stats").expect("stats");
+    let stats = Json::parse(&stats.body).expect("stats is JSON");
+    assert_eq!(
+        stats
+            .get("responses")
+            .and_then(|r| r.get("status_5xx"))
+            .and_then(Json::as_u64),
+        Some(0)
+    );
+    let cluster = stats.get("cluster").expect("cluster section");
+    let claimed = cluster.get("tasks_claimed").and_then(Json::as_u64).unwrap();
+    let completed = cluster
+        .get("tasks_completed")
+        .and_then(Json::as_u64)
+        .unwrap();
+    let expiries = cluster
+        .get("lease_expiries")
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert_eq!(claimed, completed + expiries, "orphaned leases");
+    assert_eq!(
+        cluster.get("jobs_completed").and_then(Json::as_u64),
+        cluster.get("jobs_started").and_then(Json::as_u64)
+    );
+    handle.shutdown().expect("clean shutdown");
+}
+
+/// Satellite 1: a worker started *before* its coordinator must ride out the
+/// connection-refused window on retries and succeed once the listener is
+/// up, instead of dying on the first refusal.
+#[test]
+fn post_with_retry_rides_out_a_late_booting_coordinator() {
+    let addr = probed_free_addr();
+    let boot = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(300));
+        Server::spawn(ServerConfig {
+            addr: addr.to_string(),
+            ..ServerConfig::default()
+        })
+        .expect("late boot")
+    });
+    let config = EngineConfig::generated(ProblemKind::Grid2d, 100, 1).to_json();
+    // Backoff doubles from 10 ms, so a dozen attempts cover the 300 ms boot
+    // gap many times over.
+    let response = client::post_with_retry(addr, "/plan", &config, 12, Duration::from_millis(500))
+        .expect("retries reach the booted server");
+    assert_eq!(response.status, 200, "{}", response.body);
+    let handle = boot.join().expect("boot thread");
+    handle.shutdown().expect("clean shutdown");
+}
+
+/// Satellite 1: when every attempt dies in transport, the error surfaces
+/// the retry-count cap so operators can tell exhaustion from a one-shot
+/// failure.
+#[test]
+fn post_with_retry_exhaustion_names_the_attempt_count() {
+    let addr = probed_free_addr();
+    let error = client::post_with_retry(addr, "/plan", "{}", 3, Duration::from_millis(20))
+        .expect_err("nothing is listening");
+    let message = error.to_string();
+    assert!(message.contains("giving up after 3 attempts"), "{message}");
+}
