@@ -1,0 +1,17 @@
+//! conformance-fixture: path=crates/engine/src/fake_stage_ok.rs
+//! Negative fixture for `cancel-poll-coverage`: a roster fault point with a
+//! cancellation poll in the same stage must produce zero findings.
+
+use engine::cancel::{check, CancelToken, Cancelled};
+use treemem::faultinject::fire;
+
+pub fn covered_stage(cancel: Option<&CancelToken>) -> Result<(), Cancelled> {
+    fire("execute:numeric");
+    check(cancel, "numeric")?;
+    Ok(())
+}
+
+pub fn polled_stage(token: &CancelToken) -> bool {
+    fire("parexec:task");
+    !token.is_cancelled()
+}

@@ -1,0 +1,29 @@
+//! conformance-fixture: path=crates/server/src/fake_handler.rs
+//! Seeded violations for `no-panic-in-request-path`: unwrap, expect, panic!,
+//! and slice indexing in server code, next to the non-panicking forms that
+//! must NOT be flagged.
+
+pub fn handle(body: Option<&str>, bytes: &[u8]) -> String {
+    let body = body.unwrap(); //~ no-panic-in-request-path
+    let first = bytes[0]; //~ no-panic-in-request-path
+    if first == b'{' {
+        panic!("bad frame"); //~ no-panic-in-request-path
+    }
+    body.to_string()
+}
+
+pub fn parse(value: &str) -> usize {
+    value.parse().expect("numeric field") //~ no-panic-in-request-path
+}
+
+pub fn route(index: usize) -> &'static str {
+    match index {
+        0 => "solve",
+        _ => unreachable!("router enumerates all endpoints"), //~ no-panic-in-request-path
+    }
+}
+
+pub fn fallback(value: Option<usize>, bytes: &[u8]) -> usize {
+    // The non-panicking forms: unwrap_or_else and .get() are fine.
+    value.unwrap_or_else(|| bytes.get(0).copied().unwrap_or_default().into())
+}

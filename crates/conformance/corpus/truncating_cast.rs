@@ -1,0 +1,31 @@
+//! conformance-fixture: path=crates/distrib/src/wire.rs
+//! Seeded violations for `no-truncating-casts`: numeric `as` casts in wire
+//! decoding, next to lossless conversions that must NOT be flagged.
+
+pub fn decode_len(value: u64) -> usize {
+    value as usize //~ no-truncating-casts
+}
+
+pub fn decode_row(value: u64) -> u32 {
+    (value & 0xFFFF_FFFF) as u32 //~ no-truncating-casts
+}
+
+pub fn widen_checked(value: u32) -> u64 {
+    // Lossless `From` widening is the blessed pattern.
+    u64::from(value)
+}
+
+pub fn rename_is_not_a_cast() {
+    // `as` in imports must not be flagged.
+    use std::collections::BTreeMap as Map;
+    let _ = Map::<u64, u64>::new();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_cast() {
+        let v: u64 = 9;
+        assert_eq!(v as usize, 9);
+    }
+}

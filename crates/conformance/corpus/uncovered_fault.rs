@@ -1,0 +1,14 @@
+//! conformance-fixture: path=crates/engine/src/fake_stage.rs
+//! Seeded violations for `cancel-poll-coverage`: a roster point with no
+//! cancellation poll anywhere nearby, and a point name missing from the
+//! roster entirely. This file must contain no poll tokens at all.
+
+use treemem::faultinject::fire;
+
+pub fn uncovered_stage() {
+    fire("schedule:io"); //~ cancel-poll-coverage
+}
+
+pub fn unregistered_point() {
+    fire("fake:unregistered"); //~ cancel-poll-coverage
+}

@@ -1,0 +1,30 @@
+//! conformance-fixture: path=crates/multifrontal/src/fake_kernel.rs
+//! Seeded violations for `unsafe-needs-safety`: an unannotated unsafe block
+//! and an unannotated unsafe fn, next to a correctly annotated block that
+//! must NOT be flagged.
+
+pub fn dispatch(values: &mut [f64]) {
+    unsafe { scale(values) } //~ unsafe-needs-safety
+}
+
+pub fn dispatch_annotated(values: &mut [f64]) {
+    // SAFETY: the slice is exclusively borrowed and `scale` touches only its
+    // own elements.
+    unsafe { scale(values) }
+}
+
+unsafe fn scale(values: &mut [f64]) { //~ unsafe-needs-safety
+    for v in values.iter_mut() {
+        *v *= 2.0;
+    }
+}
+
+// SAFETY: annotated through an attribute sandwich — the comment sits above
+// the attributes, which the rule must skip over.
+#[inline(never)]
+#[cold]
+unsafe fn scale_cold(values: &mut [f64]) {
+    for v in values.iter_mut() {
+        *v *= 0.5;
+    }
+}

@@ -1,0 +1,38 @@
+//! conformance-fixture: path=crates/distrib/src/fake_lease.rs
+//! Seeded violations for `monotonic-time-only`: SystemTime anywhere, and
+//! Instant::now() inside distrib lease code.
+
+use std::time::{Duration, Instant, SystemTime}; //~ monotonic-time-only
+
+pub struct FakeLease {
+    pub deadline_ms: u64,
+}
+
+pub fn lease_start_wall() -> Duration {
+    let now = SystemTime::now(); //~ monotonic-time-only
+    now.duration_since(std::time::UNIX_EPOCH).unwrap_or_default()
+}
+
+pub fn lease_start_instant() -> Instant {
+    Instant::now() //~ monotonic-time-only
+}
+
+pub fn lease_from_anchor(now_ms: u64, ttl_ms: u64) -> FakeLease {
+    // The blessed pattern: callers pass a timestamp taken from the
+    // monotonic_millis() anchor; no clock is consulted here.
+    FakeLease {
+        deadline_ms: now_ms.saturating_add(ttl_ms),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn test_code_may_measure_time() {
+        // Instant::now() in a test region is allowed.
+        let started = Instant::now();
+        assert!(started.elapsed().as_secs() < 60);
+    }
+}

@@ -1,0 +1,134 @@
+//! Workspace conformance scanner.
+//!
+//! ```text
+//! exp_conformance                 # self-test the rules, then scan the workspace
+//! exp_conformance --scan-only     # skip the corpus self-test
+//! exp_conformance --self-test     # corpus self-test only
+//! exp_conformance --explain RULE  # print one rule's rationale
+//! exp_conformance --list          # list all rules
+//! exp_conformance --root DIR      # scan an explicit workspace root
+//! ```
+//!
+//! Exit status is non-zero when any violation is found or any rule goes
+//! blind on the seeded corpus.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    let mut self_test = true;
+    let mut scan = true;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--explain" => {
+                let Some(name) = args.next() else {
+                    eprintln!("--explain needs a rule name; try --list");
+                    return ExitCode::from(2);
+                };
+                return explain(&name);
+            }
+            "--list" => {
+                for rule in conformance::RULES {
+                    println!("{:<28} {}", rule.name, rule.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--self-test" => {
+                scan = false;
+            }
+            "--scan-only" => {
+                self_test = false;
+            }
+            "--root" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("--root needs a directory");
+                    return ExitCode::from(2);
+                };
+                root = Some(PathBuf::from(dir));
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: exp_conformance [--self-test|--scan-only] [--explain RULE] [--list] [--root DIR]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|cwd| conformance::find_workspace_root(&cwd))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "could not locate a workspace root (no Cargo.toml with [workspace]); use --root"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failed = false;
+
+    if self_test {
+        let report = conformance::run_self_test(&root);
+        for (rule, count) in &report.expected_per_rule {
+            println!("self-test: rule {rule:<28} seeded violations flagged: {count}");
+        }
+        if report.passed() {
+            println!("self-test: PASS — no rule is blind, no rule overfires on the corpus");
+        } else {
+            for failure in &report.failures {
+                eprintln!("self-test: FAIL {failure}");
+            }
+            failed = true;
+        }
+    }
+
+    if scan {
+        match conformance::scan_workspace(&root) {
+            Ok(violations) if violations.is_empty() => {
+                println!(
+                    "scan: PASS — zero conformance violations in {}",
+                    root.display()
+                );
+            }
+            Ok(violations) => {
+                for v in &violations {
+                    eprintln!("{}", v.render());
+                }
+                eprintln!("scan: FAIL — {} violation(s)", violations.len());
+                failed = true;
+            }
+            Err(err) => {
+                eprintln!("scan: error walking {}: {err}", root.display());
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn explain(name: &str) -> ExitCode {
+    match conformance::rule_by_name(name) {
+        Some(rule) => {
+            println!("{} — {}\n", rule.name, rule.summary);
+            println!("{}", rule.explain);
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("unknown rule `{name}`; known rules:");
+            for rule in conformance::RULES {
+                eprintln!("  {}", rule.name);
+            }
+            ExitCode::from(2)
+        }
+    }
+}

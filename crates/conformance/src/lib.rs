@@ -1,0 +1,49 @@
+//! # conformance — workspace-invariant static analysis
+//!
+//! The repository's correctness story leans on invariants that `rustc` and
+//! clippy cannot express: leases must use the monotonic clock, wire decoding
+//! must not truncate, the serving path must not panic, every `unsafe` block
+//! needs a written justification, and every fault-injection point needs a
+//! cancellation poll in its stage. This crate is a small, dependency-free
+//! static analyzer that machine-checks those invariants on every workspace
+//! `.rs` file, with its own lexer (strings, nested comments, `#[cfg(test)]`
+//! regions) so rules never fire inside literals, comments, or test code they
+//! should ignore.
+//!
+//! Three entry points share the same engine:
+//!
+//! * the `exp_conformance` binary (CI `conformance` job, `--explain <rule>`,
+//!   `--self-test`);
+//! * the tier-1 `tests/conformance.rs` mirror at the workspace root;
+//! * this library, for the crate's own unit and corpus tests.
+
+pub mod corpus;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use std::fs;
+use std::path::Path;
+
+pub use corpus::{run_self_test, SelfTestReport};
+pub use lexer::LexedFile;
+pub use rules::{rule_by_name, Violation, ALLOWLIST, RULES};
+pub use walk::find_workspace_root;
+
+/// Scan every workspace `.rs` file under `root` and return the violations
+/// that survive the allowlist (plus stale-allowlist findings).
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let paths = walk::workspace_rs_files(root)?;
+    let mut files = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = fs::read_to_string(root.join(&path))?;
+        files.push((path, LexedFile::lex(&text)));
+    }
+    let mut findings = Vec::new();
+    for (path, lexed) in &files {
+        rules::check_file(path, lexed, &mut findings);
+    }
+    let mut kept = rules::apply_allowlist(findings, &files);
+    kept.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(kept)
+}

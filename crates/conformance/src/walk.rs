@@ -1,0 +1,61 @@
+//! Workspace file discovery.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory names that are never scanned: build output, VCS metadata, and
+/// the seeded violation corpus (whose files violate rules on purpose).
+const SKIP_DIRS: &[&str] = &["target", ".git", "corpus"];
+
+/// Collect every `.rs` file under `root`, returned as workspace-relative
+/// paths with `/` separators, sorted for deterministic reports.
+pub fn workspace_rs_files(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    collect(root, root, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn collect(root: &Path, dir: &Path, files: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect(root, &path, files)?;
+        } else if name.ends_with(".rs") {
+            files.push(relative_unix(root, &path));
+        }
+    }
+    Ok(())
+}
+
+fn relative_unix(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Find the workspace root by walking up from `start` until a directory
+/// containing a `Cargo.toml` with a `[workspace]` table is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

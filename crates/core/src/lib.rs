@@ -72,6 +72,7 @@ pub mod postorder;
 pub mod random;
 pub mod registry;
 pub mod solver;
+pub mod sync;
 pub mod traversal;
 pub mod tree;
 pub mod variants;

@@ -30,11 +30,11 @@
 //! to sequential issue instead of deadlocking the cluster.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::sync::Arc;
 
 use engine::{monotonic_millis, CancelToken, DistributedRuntime, SubtreeParts};
 use multifrontal::parallel::{BudgetLedger, ReserveSelection};
+use treemem::sync::{TrackedCondvar, TrackedGuard, TrackedMutex};
 
 use crate::stats::{bump, ClusterStats};
 use crate::wire::{ClaimReply, Contribution, SubtreeTask};
@@ -149,9 +149,11 @@ pub struct Job {
     config_json: String,
     lease_ms: u64,
     ledger: BudgetLedger,
-    state: Mutex<JobState>,
-    progress: Condvar,
-    started: Instant,
+    state: TrackedMutex<JobState>,
+    progress: TrackedCondvar,
+    /// Monotonic registration instant ([`monotonic_millis`]), so the
+    /// claim-wall clock survives NTP steps like the lease deadlines do.
+    started_ms: u64,
     stats: Arc<ClusterStats>,
 }
 
@@ -163,11 +165,11 @@ impl Job {
 
     /// Number of subtree tasks in the cut.
     pub fn task_count(&self) -> usize {
-        self.state.lock().expect("job state poisoned").tasks.len()
+        self.state.lock().tasks.len()
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, JobState> {
-        self.state.lock().expect("job state poisoned")
+    fn lock(&self) -> TrackedGuard<'_, JobState> {
+        self.state.lock()
     }
 
     /// Try to lease one pending task to `worker`.  Returns `None` when
@@ -309,10 +311,7 @@ impl Job {
                     return Err(WaitError::TimedOut);
                 }
             }
-            let (next, _) = self
-                .progress
-                .wait_timeout(state, tick)
-                .expect("job state poisoned");
+            let (next, _) = self.progress.wait_timeout(state, tick);
             state = next;
         }
         let mut parts = Vec::with_capacity(state.tasks.len());
@@ -332,7 +331,7 @@ impl Job {
             tasks_requeued: state.requeued,
             lease_expiries: state.lease_expiries,
             contribution_bytes: state.contribution_bytes,
-            claim_wall_seconds: self.started.elapsed().as_secs_f64(),
+            claim_wall_seconds: monotonic_millis().saturating_sub(self.started_ms) as f64 / 1e3,
             worker_busy_seconds: state.worker_busy.iter().map(|(_, busy)| *busy).collect(),
         };
         drop(state);
@@ -369,7 +368,7 @@ impl Job {
 
 /// All live jobs of one coordinator process.
 pub struct JobRegistry {
-    jobs: Mutex<Vec<Arc<Job>>>,
+    jobs: TrackedMutex<Vec<Arc<Job>>>,
     next_id: AtomicU64,
     stats: Arc<ClusterStats>,
 }
@@ -378,7 +377,7 @@ impl JobRegistry {
     /// An empty registry sharing `stats` with the serving layer.
     pub fn new(stats: Arc<ClusterStats>) -> JobRegistry {
         JobRegistry {
-            jobs: Mutex::new(Vec::new()),
+            jobs: TrackedMutex::new(Vec::new(), "job-registry.jobs"),
             next_id: AtomicU64::new(1),
             stats,
         }
@@ -413,18 +412,18 @@ impl JobRegistry {
             config_json: spec.config_json,
             lease_ms: spec.lease_ms,
             ledger: BudgetLedger::new(spec.budget_entries),
-            state: Mutex::new(JobState {
-                tasks,
-                ..JobState::default()
-            }),
-            progress: Condvar::new(),
-            started: Instant::now(),
+            state: TrackedMutex::new(
+                JobState {
+                    tasks,
+                    ..JobState::default()
+                },
+                "job.state",
+            ),
+            progress: TrackedCondvar::new(),
+            started_ms: monotonic_millis(),
             stats: Arc::clone(&self.stats),
         });
-        self.jobs
-            .lock()
-            .expect("job list poisoned")
-            .push(Arc::clone(&job));
+        self.jobs.lock().push(Arc::clone(&job));
         bump(&self.stats.jobs_started);
         job
     }
@@ -433,7 +432,7 @@ impl JobRegistry {
     /// with a claimable task wins; `Wait` when jobs exist but nothing is
     /// claimable right now; `Idle` when no job needs work.
     pub fn claim(&self, worker: &str) -> ClaimReply {
-        let jobs: Vec<Arc<Job>> = self.jobs.lock().expect("job list poisoned").clone();
+        let jobs: Vec<Arc<Job>> = self.jobs.lock().clone();
         let mut any_incomplete = false;
         for job in jobs {
             if let Some(task) = job.try_claim(worker) {
@@ -454,7 +453,7 @@ impl JobRegistry {
     fn suggested_retry_ms(&self) -> u64 {
         // A fraction of the shortest live lease keeps re-issued tasks from
         // sitting unclaimed; clamp so workers neither spin nor stall.
-        let jobs = self.jobs.lock().expect("job list poisoned");
+        let jobs = self.jobs.lock();
         let shortest = jobs.iter().map(|job| job.lease_ms).min().unwrap_or(1_000);
         (shortest / 4).clamp(10, 500)
     }
@@ -473,21 +472,13 @@ impl JobRegistry {
 
     /// Look up a live job.
     pub fn job(&self, id: u64) -> Option<Arc<Job>> {
-        self.jobs
-            .lock()
-            .expect("job list poisoned")
-            .iter()
-            .find(|job| job.id == id)
-            .cloned()
+        self.jobs.lock().iter().find(|job| job.id == id).cloned()
     }
 
     /// Drop a finished (or abandoned) job; subsequent contributions answer
     /// `UnknownJob`.
     pub fn remove(&self, id: u64) {
-        self.jobs
-            .lock()
-            .expect("job list poisoned")
-            .retain(|job| job.id != id);
+        self.jobs.lock().retain(|job| job.id != id);
     }
 }
 

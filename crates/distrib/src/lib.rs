@@ -32,6 +32,6 @@ pub mod wire;
 pub use job::{ContributeError, Job, JobRegistry, JobSpec, WaitError};
 pub use stats::{ClusterSnapshot, ClusterStats};
 pub use wire::{
-    contribution_frame, decode_frame, encode_frame, ClaimReply, ClaimRequest, Contribution,
-    SubtreeTask, WireError, MAX_FRAME_BYTES, WIRE_SCHEMA,
+    contribution_frame, decode_frame, encode_frame, frame_string, ClaimReply, ClaimRequest,
+    Contribution, SubtreeTask, WireError, MAX_FRAME_BYTES, WIRE_SCHEMA,
 };

@@ -10,10 +10,11 @@
 //! or its lease was reaped and the task re-issued.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+
+use treemem::sync::TrackedMutex;
 
 /// Shared counter block; one per coordinator process.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ClusterStats {
     /// Jobs registered with the coordinator.
     pub jobs_started: AtomicU64,
@@ -31,7 +32,23 @@ pub struct ClusterStats {
     pub stale_contributions: AtomicU64,
     /// Accepted contribution payload bytes (frame bodies).
     pub contribution_bytes: AtomicU64,
-    workers: Mutex<Vec<String>>,
+    workers: TrackedMutex<Vec<String>>,
+}
+
+impl Default for ClusterStats {
+    fn default() -> ClusterStats {
+        ClusterStats {
+            jobs_started: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+            tasks_claimed: AtomicU64::new(0),
+            tasks_completed: AtomicU64::new(0),
+            tasks_requeued: AtomicU64::new(0),
+            lease_expiries: AtomicU64::new(0),
+            stale_contributions: AtomicU64::new(0),
+            contribution_bytes: AtomicU64::new(0),
+            workers: TrackedMutex::new(Vec::new(), "cluster-stats.workers"),
+        }
+    }
 }
 
 /// A point-in-time copy of [`ClusterStats`], safe to render after the
@@ -67,7 +84,7 @@ impl ClusterStats {
     /// Record a worker identity; returns its roster index (first-claim
     /// order), which jobs use for per-worker busy-time accounting.
     pub fn note_worker(&self, worker: &str) -> usize {
-        let mut roster = self.workers.lock().expect("worker roster poisoned");
+        let mut roster = self.workers.lock();
         if let Some(index) = roster.iter().position(|known| known == worker) {
             index
         } else {
@@ -87,7 +104,7 @@ impl ClusterStats {
             lease_expiries: self.lease_expiries.load(Ordering::Relaxed),
             stale_contributions: self.stale_contributions.load(Ordering::Relaxed),
             contribution_bytes: self.contribution_bytes.load(Ordering::Relaxed),
-            workers: self.workers.lock().expect("worker roster poisoned").clone(),
+            workers: self.workers.lock().clone(),
         }
     }
 }

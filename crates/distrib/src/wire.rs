@@ -108,6 +108,14 @@ impl From<JsonError> for WireError {
     }
 }
 
+/// A frame as a `String`, for transports that post text bodies.  Frames are
+/// built from JSON text and therefore always valid UTF-8; the lossy
+/// conversion exists so a hypothetical violation degrades a payload instead
+/// of panicking a request handler.
+pub fn frame_string(frame: &[u8]) -> String {
+    String::from_utf8_lossy(frame).into_owned()
+}
+
 /// Wrap a JSON body into one length-prefixed frame.
 pub fn encode_frame(body: &str) -> Vec<u8> {
     let mut frame = Vec::with_capacity(body.len() + WIRE_SCHEMA.len() + 16);
@@ -208,7 +216,8 @@ pub fn parse_hex_u32s(text: &str, field: &'static str) -> Result<Vec<usize>, Wir
     for chunk in text.as_bytes().chunks_exact(8) {
         let digits = std::str::from_utf8(chunk).map_err(|_| WireError::BadHex(field))?;
         let value = u32::from_str_radix(digits, 16).map_err(|_| WireError::BadHex(field))?;
-        values.push(value as usize);
+        let wide = usize::try_from(value).map_err(|_| WireError::BadHex(field))?;
+        values.push(wide);
     }
     Ok(values)
 }

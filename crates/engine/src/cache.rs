@@ -30,8 +30,10 @@
 //! ```
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use treemem::sync::{TrackedCondvar, TrackedMutex};
 
 use crate::cancel::CancelToken;
 use crate::config::EngineConfig;
@@ -75,13 +77,13 @@ impl CacheStats {
 /// The shared plan cache; see the module docs.
 pub struct PlanCache {
     /// Most-recently-used entries live at the *back* of the vector.
-    entries: Mutex<Vec<Entry>>,
+    entries: TrackedMutex<Vec<Entry>>,
     /// Keys currently being planned by some caller (single-flight): other
     /// callers of [`PlanCache::get_or_plan`] wait on [`PlanCache::settled`]
     /// instead of planning the same configuration concurrently.
-    in_flight: Mutex<Vec<String>>,
+    in_flight: TrackedMutex<Vec<String>>,
     /// Notified whenever a key leaves `in_flight`.
-    settled: Condvar,
+    settled: TrackedCondvar,
     capacity: usize,
     ttl: Option<Duration>,
     hits: AtomicU64,
@@ -95,9 +97,9 @@ impl PlanCache {
     /// most `ttl` (no expiry when `None`).
     pub fn new(capacity: usize, ttl: Option<Duration>) -> Self {
         PlanCache {
-            entries: Mutex::new(Vec::new()),
-            in_flight: Mutex::new(Vec::new()),
-            settled: Condvar::new(),
+            entries: TrackedMutex::new(Vec::new(), "plan-cache.entries"),
+            in_flight: TrackedMutex::new(Vec::new(), "plan-cache.in-flight"),
+            settled: TrackedCondvar::new(),
             capacity: capacity.max(1),
             ttl,
             hits: AtomicU64::new(0),
@@ -110,7 +112,7 @@ impl PlanCache {
     /// Look up the plan cached under `key`, refreshing its LRU position.
     /// An expired entry is dropped and reported as a miss.
     pub fn get(&self, key: &str) -> Option<Arc<Plan>> {
-        let mut entries = self.entries.lock().expect("plan cache poisoned");
+        let mut entries = self.entries.lock();
         match entries.iter().position(|entry| entry.key == key) {
             Some(index) => {
                 if let Some(ttl) = self.ttl {
@@ -140,7 +142,7 @@ impl PlanCache {
     /// because planning is deterministic in the configuration.
     pub fn insert(&self, key: impl Into<String>, plan: Arc<Plan>) {
         let key = key.into();
-        let mut entries = self.entries.lock().expect("plan cache poisoned");
+        let mut entries = self.entries.lock();
         if let Some(index) = entries.iter().position(|entry| entry.key == key) {
             entries.remove(index);
         }
@@ -200,7 +202,7 @@ impl PlanCache {
             if let Some(plan) = self.get(key) {
                 return Ok((plan, true));
             }
-            let mut in_flight = self.in_flight.lock().expect("plan cache poisoned");
+            let mut in_flight = self.in_flight.lock();
             if !in_flight.iter().any(|flying| flying == key) {
                 // This caller becomes the planner for the key.
                 in_flight.push(key.to_string());
@@ -222,12 +224,11 @@ impl PlanCache {
                         }
                         let (guard, _) = self
                             .settled
-                            .wait_timeout(in_flight, Duration::from_millis(25))
-                            .expect("plan cache poisoned");
+                            .wait_timeout(in_flight, Duration::from_millis(25));
                         in_flight = guard;
                     }
                     None => {
-                        in_flight = self.settled.wait(in_flight).expect("plan cache poisoned");
+                        in_flight = self.settled.wait(in_flight);
                     }
                 }
             }
@@ -254,20 +255,20 @@ impl PlanCache {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             expirations: self.expirations.load(Ordering::Relaxed),
-            entries: self.entries.lock().expect("plan cache poisoned").len(),
+            entries: self.entries.lock().len(),
             capacity: self.capacity,
         }
     }
 
     /// Drop every entry (counters are kept).
     pub fn clear(&self) {
-        self.entries.lock().expect("plan cache poisoned").clear();
+        self.entries.lock().clear();
     }
 }
 
 /// Removes `key` from the in-flight set and wakes the waiters on drop, so
-/// the key settles even when the planner panics.  Uses `into_inner` on a
-/// poisoned lock: this drop runs *during* that very unwind, and panicking
+/// the key settles even when the planner panics.  [`TrackedMutex::lock`] is
+/// poison-tolerant: this drop runs *during* that very unwind, and panicking
 /// again would abort the process.
 struct SettleGuard<'c> {
     cache: &'c PlanCache,
@@ -276,11 +277,7 @@ struct SettleGuard<'c> {
 
 impl Drop for SettleGuard<'_> {
     fn drop(&mut self) {
-        let mut in_flight = self
-            .cache
-            .in_flight
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut in_flight = self.cache.in_flight.lock();
         in_flight.retain(|flying| flying != self.key);
         drop(in_flight);
         self.cache.settled.notify_all();

@@ -13,6 +13,13 @@ use engine::prelude::*;
 use prng::{Rng, StdRng};
 use treemem::random::random_attachment_tree;
 
+// Miri runs this battery for parser memory-safety, not statistical
+// coverage; the native case counts would take hours under interpretation.
+const BOMB_DEPTH: usize = if cfg!(miri) { 2_000 } else { 50_000 };
+const GARBAGE_ROUNDS: usize = if cfg!(miri) { 100 } else { 2_000 };
+const CONFIG_ROUNDS: usize = if cfg!(miri) { 10 } else { 300 };
+const ESCAPE_ROUNDS: usize = if cfg!(miri) { 100 } else { 2_000 };
+
 /// Parse and demand a `JsonError` whose offset points into (or just past)
 /// the document.
 fn expect_error(doc: &str) -> JsonError {
@@ -75,12 +82,12 @@ fn bad_escapes() {
 #[test]
 fn deep_nesting_returns_an_error() {
     for opener in ["[", "{\"k\":", "[[", "[{\"k\":"] {
-        let bomb = opener.repeat(50_000);
+        let bomb = opener.repeat(BOMB_DEPTH);
         let error = expect_error(&bomb);
         assert!(error.message.contains("nesting"), "{error}");
     }
     // A mixed close-delimiter bomb, for good measure.
-    let mixed: String = (0..60_000)
+    let mixed: String = (0..BOMB_DEPTH)
         .map(|i| if i % 2 == 0 { "[" } else { "{\"x\":" })
         .collect();
     expect_error(&mixed);
@@ -144,7 +151,7 @@ fn seeded_random_garbage_never_panics() {
     let alphabet: Vec<char> = "{}[]\",:0123456789.eE+-truefalsn \\u\nд😀\u{1}"
         .chars()
         .collect();
-    for _ in 0..2_000 {
+    for _ in 0..GARBAGE_ROUNDS {
         let len = rng.gen_range(0..60usize);
         let doc: String = (0..len)
             .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
@@ -202,7 +209,7 @@ fn random_config(rng: &mut StdRng) -> EngineConfig {
 #[test]
 fn generated_configs_round_trip_exactly() {
     let mut rng = StdRng::seed_from_u64(0xc0ff_ee00);
-    for case in 0..300 {
+    for case in 0..CONFIG_ROUNDS {
         let config = random_config(&mut rng);
         let json = config.to_json();
         let parsed =
@@ -217,7 +224,7 @@ fn generated_configs_round_trip_exactly() {
 #[test]
 fn escape_parse_is_a_bijection_on_random_strings() {
     let mut rng = StdRng::seed_from_u64(0xdead_f00d);
-    for _ in 0..2_000 {
+    for _ in 0..ESCAPE_ROUNDS {
         let text = random_string(&mut rng);
         let doc = format!("\"{}\"", escape(&text));
         assert_eq!(

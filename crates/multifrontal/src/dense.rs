@@ -430,7 +430,9 @@ fn axpy_tile4(
     sources: [&[f64]; 4],
     l: [[f64; 4]; 4],
 ) {
-    #[cfg(target_arch = "x86_64")]
+    // Miri has no cpuid and rejects `#[target_feature]` calls, so it always
+    // exercises the portable loop below.
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
         // SAFETY: the required CPU features were just detected.
         unsafe { axpy_tile4_fma(d0, d1, d2, d3, sources, l) };
@@ -457,7 +459,10 @@ fn axpy_tile4(
 /// chained FNMA ops, doubling the flop rate of the no-FMA baseline.  Only
 /// reachable from the multi-pivot (already ULP-bounded, never bit-pinned)
 /// Schur path, and only after runtime feature detection.
-#[cfg(target_arch = "x86_64")]
+// SAFETY: `unsafe` only because of `#[target_feature]` — the body is plain
+// safe slice code, and the sole caller dispatches here strictly after
+// `is_x86_feature_detected!("avx2")` and `("fma")` both report true.
+#[cfg(all(target_arch = "x86_64", not(miri)))]
 #[target_feature(enable = "avx2", enable = "fma")]
 #[allow(clippy::too_many_arguments)]
 unsafe fn axpy_tile4_fma(
@@ -509,7 +514,7 @@ unsafe fn axpy_tile4_fma(
 /// the blocked panel triangular solve.
 #[inline]
 fn axpy_quad(dst: &mut [f64], sources: [&[f64]; 4], l: [f64; 4]) {
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
         // SAFETY: the required CPU features were just detected.
         unsafe { axpy_quad_fma(dst, sources, l) };
@@ -528,7 +533,9 @@ fn axpy_quad(dst: &mut [f64], sources: [&[f64]; 4], l: [f64; 4]) {
 }
 
 /// [`axpy_quad`] under AVX2+FMA; see [`axpy_tile4_fma`].
-#[cfg(target_arch = "x86_64")]
+// SAFETY: `unsafe` only because of `#[target_feature]`; the sole caller
+// dispatches here strictly after runtime AVX2+FMA detection.
+#[cfg(all(target_arch = "x86_64", not(miri)))]
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn axpy_quad_fma(dst: &mut [f64], sources: [&[f64]; 4], l: [f64; 4]) {
     let len = dst.len();

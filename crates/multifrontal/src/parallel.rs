@@ -27,9 +27,9 @@
 //!   [`CholeskyFactor`].
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
 
 use sparsemat::SymmetricCsr;
+use treemem::sync::{TrackedCondvar, TrackedMutex};
 
 use crate::dense::{FrontArena, FrontKernel};
 use crate::numeric::{
@@ -65,8 +65,8 @@ struct Gate {
 /// docs.  All sizes are in matrix entries, the unit of the per-column model.
 pub struct BudgetLedger {
     budget: Option<u64>,
-    gate: Mutex<Gate>,
-    released: Condvar,
+    gate: TrackedMutex<Gate>,
+    released: TrackedCondvar,
     live_entries: AtomicI64,
     peak_entries: AtomicI64,
     forced: AtomicU64,
@@ -78,13 +78,16 @@ impl BudgetLedger {
     pub fn new(budget: Option<u64>) -> Self {
         BudgetLedger {
             budget,
-            gate: Mutex::new(Gate {
-                reserved: 0,
-                running: 0,
-                generation: 0,
-                cancelled: false,
-            }),
-            released: Condvar::new(),
+            gate: TrackedMutex::new(
+                Gate {
+                    reserved: 0,
+                    running: 0,
+                    generation: 0,
+                    cancelled: false,
+                },
+                "budget-ledger.gate",
+            ),
+            released: TrackedCondvar::new(),
             live_entries: AtomicI64::new(0),
             peak_entries: AtomicI64::new(0),
             forced: AtomicU64::new(0),
@@ -108,7 +111,7 @@ impl BudgetLedger {
     /// Panics if `candidates` is empty.
     pub fn select_and_reserve(&self, candidates: &[u64]) -> ReserveSelection {
         assert!(!candidates.is_empty(), "no candidate to admit");
-        let mut gate = self.gate.lock().expect("budget ledger poisoned");
+        let mut gate = self.gate.lock();
         let admitted = match self.budget {
             None => 0,
             Some(budget) => {
@@ -139,7 +142,7 @@ impl BudgetLedger {
     /// `reserved` to `retained` (the contribution blocks it leaves behind
     /// for the merge phase) and blocked workers are woken.
     pub fn finish_task(&self, reserved: u64, retained: u64) {
-        let mut gate = self.gate.lock().expect("budget ledger poisoned");
+        let mut gate = self.gate.lock();
         gate.reserved = gate
             .reserved
             .saturating_sub(reserved.saturating_sub(retained));
@@ -152,7 +155,7 @@ impl BudgetLedger {
     /// Drop a retained reservation (after the merge phase consumed the
     /// blocks).
     pub fn release_retained(&self, retained: u64) {
-        let mut gate = self.gate.lock().expect("budget ledger poisoned");
+        let mut gate = self.gate.lock();
         gate.reserved = gate.reserved.saturating_sub(retained);
         gate.generation += 1;
         drop(gate);
@@ -165,9 +168,9 @@ impl BudgetLedger {
     /// instead of retrying its reservation.
     #[must_use = "a false return means the ledger was cancelled"]
     pub fn wait_past(&self, generation: u64) -> bool {
-        let mut gate = self.gate.lock().expect("budget ledger poisoned");
+        let mut gate = self.gate.lock();
         while gate.generation <= generation && !gate.cancelled {
-            gate = self.released.wait(gate).expect("budget ledger poisoned");
+            gate = self.released.wait(gate);
         }
         !gate.cancelled
     }
@@ -179,7 +182,7 @@ impl BudgetLedger {
     ///
     /// [`wait_past`]: BudgetLedger::wait_past
     pub fn cancel(&self) {
-        let mut gate = self.gate.lock().expect("budget ledger poisoned");
+        let mut gate = self.gate.lock();
         gate.cancelled = true;
         gate.generation += 1;
         drop(gate);
@@ -188,12 +191,12 @@ impl BudgetLedger {
 
     /// Whether [`BudgetLedger::cancel`] was called.
     pub fn is_cancelled(&self) -> bool {
-        self.gate.lock().expect("budget ledger poisoned").cancelled
+        self.gate.lock().cancelled
     }
 
     /// Currently reserved entries (tests and diagnostics).
     pub fn reserved(&self) -> u64 {
-        self.gate.lock().expect("budget ledger poisoned").reserved
+        self.gate.lock().reserved
     }
 
     /// How often the gate had to force-admit a task over budget because

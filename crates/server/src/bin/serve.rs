@@ -155,5 +155,8 @@ fn run_worker_role(coordinator: Option<String>, worker_id: Option<String>) -> ! 
     // Unbounded: a long-lived worker survives coordinator restarts and idle
     // stretches alike, and dies only with the process.
     run_worker(&transport, &WorkerOptions::named(&worker_id));
-    unreachable!("an unbounded worker loop never exits");
+    // An unbounded claim loop never exits; returning here means something is
+    // deeply wrong, so fail the process rather than limp on.
+    eprintln!("serve: worker claim loop exited unexpectedly");
+    std::process::exit(1);
 }

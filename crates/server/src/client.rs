@@ -174,10 +174,15 @@ pub fn post_with_retry(
             Err(error) => last = Some(Err(error)),
         }
     }
-    match last.expect("attempts is at least 1") {
-        Ok(response) => Ok(response),
-        Err(ClientError(message)) => Err(ClientError(format!(
+    match last {
+        Some(Ok(response)) => Ok(response),
+        Some(Err(ClientError(message))) => Err(ClientError(format!(
             "giving up after {attempts} attempts: {message}"
+        ))),
+        // `attempts` is clamped to at least 1, so the loop always records an
+        // outcome; keep the impossible case a typed error, not a panic.
+        None => Err(ClientError(format!(
+            "giving up after {attempts} attempts with no response"
         ))),
     }
 }

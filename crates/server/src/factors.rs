@@ -13,9 +13,10 @@
 //! cache there is no TTL: a factor never goes stale (the configuration hash
 //! pins problem, ordering, and kernel bit-for-bit).
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use engine::FactorHandle;
+use treemem::sync::TrackedMutex;
 
 /// Counters for the `/stats` document.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -43,7 +44,7 @@ struct FactorCacheInner {
 
 /// The bounded factor cache; see the module docs.
 pub struct FactorCache {
-    inner: Mutex<FactorCacheInner>,
+    inner: TrackedMutex<FactorCacheInner>,
     capacity: usize,
 }
 
@@ -51,19 +52,22 @@ impl FactorCache {
     /// A cache retaining at most `capacity` factors (at least 1).
     pub fn new(capacity: usize) -> Self {
         FactorCache {
-            inner: Mutex::new(FactorCacheInner {
-                entries: Vec::new(),
-                hits: 0,
-                misses: 0,
-                evictions: 0,
-            }),
+            inner: TrackedMutex::new(
+                FactorCacheInner {
+                    entries: Vec::new(),
+                    hits: 0,
+                    misses: 0,
+                    evictions: 0,
+                },
+                "factor-cache.inner",
+            ),
             capacity: capacity.max(1),
         }
     }
 
     /// Look up the factor of `config_hash`, marking it most recently used.
     pub fn get(&self, config_hash: &str) -> Option<Arc<FactorHandle>> {
-        let mut inner = self.inner.lock().expect("factor cache poisoned");
+        let mut inner = self.inner.lock();
         match inner
             .entries
             .iter()
@@ -86,7 +90,7 @@ impl FactorCache {
     /// Cache `handle` under `config_hash` (replacing any previous factor of
     /// the same hash), evicting the least recently used entry when full.
     pub fn insert(&self, config_hash: &str, handle: Arc<FactorHandle>) {
-        let mut inner = self.inner.lock().expect("factor cache poisoned");
+        let mut inner = self.inner.lock();
         if let Some(index) = inner
             .entries
             .iter()
@@ -102,7 +106,7 @@ impl FactorCache {
 
     /// Current counters.
     pub fn stats(&self) -> FactorCacheStats {
-        let inner = self.inner.lock().expect("factor cache poisoned");
+        let inner = self.inner.lock();
         FactorCacheStats {
             hits: inner.hits,
             misses: inner.misses,

@@ -419,7 +419,7 @@ impl Service {
             Err(e) => return Response::error(400, &format!("bad claim frame: {e}")),
         };
         let frame = self.registry.claim(&claim.worker).to_frame();
-        Response::ok(String::from_utf8(frame).expect("wire frames are UTF-8"))
+        Response::ok(distrib::frame_string(&frame))
     }
 
     /// `POST /internal/contribute`: absorb one task's factored columns and

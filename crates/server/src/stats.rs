@@ -2,10 +2,10 @@
 //! recorders, summarised for the `/stats` endpoint.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
 use perfprof::timing::{latency_summary, LatencySummary};
+use treemem::sync::TrackedMutex;
 
 /// Retain at most this many recent samples per recorder (a ring buffer):
 /// the summaries describe the recent window, and memory stays bounded no
@@ -14,7 +14,7 @@ const RECORDER_CAPACITY: usize = 65_536;
 
 /// A bounded ring of latency samples.
 pub struct LatencyRecorder {
-    samples: Mutex<RecorderRing>,
+    samples: TrackedMutex<RecorderRing>,
 }
 
 struct RecorderRing {
@@ -26,16 +26,19 @@ struct RecorderRing {
 impl LatencyRecorder {
     fn new() -> Self {
         LatencyRecorder {
-            samples: Mutex::new(RecorderRing {
-                ring: Vec::new(),
-                recorded: 0,
-            }),
+            samples: TrackedMutex::new(
+                RecorderRing {
+                    ring: Vec::new(),
+                    recorded: 0,
+                },
+                "server-stats.latency-ring",
+            ),
         }
     }
 
     /// Record one sample, in seconds.
     pub fn record(&self, seconds: f64) {
-        let mut inner = self.samples.lock().expect("latency recorder poisoned");
+        let mut inner = self.samples.lock();
         if inner.ring.len() < RECORDER_CAPACITY {
             inner.ring.push(seconds);
         } else {
@@ -47,7 +50,7 @@ impl LatencyRecorder {
 
     /// Percentile summary of the retained window.
     pub fn summary(&self) -> LatencySummary {
-        let inner = self.samples.lock().expect("latency recorder poisoned");
+        let inner = self.samples.lock();
         latency_summary(&inner.ring)
     }
 }

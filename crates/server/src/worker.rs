@@ -21,7 +21,7 @@ use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use distrib::{contribution_frame, ClaimReply, ClaimRequest};
+use distrib::{contribution_frame, frame_string, ClaimReply, ClaimRequest};
 use engine::faultinject::FaultSignal;
 use engine::{Engine, PlanCache};
 
@@ -151,7 +151,7 @@ pub fn run_worker(transport: &dyn Transport, options: &WorkerOptions) -> WorkerS
             worker: options.worker_id.clone(),
         }
         .to_frame();
-        let claim = String::from_utf8(claim).expect("wire frames are UTF-8");
+        let claim = frame_string(&claim);
         let reply = match transport.post("/internal/claim", &claim) {
             Ok((200, body)) => match ClaimReply::from_frame(body.as_bytes()) {
                 Ok(reply) => reply,
@@ -223,7 +223,7 @@ pub fn run_worker(transport: &dyn Transport, options: &WorkerOptions) -> WorkerS
             busy.elapsed().as_secs_f64(),
             &parts,
         );
-        let frame = String::from_utf8(frame).expect("wire frames are UTF-8");
+        let frame = frame_string(&frame);
         match transport.post("/internal/contribute", &frame) {
             Ok((200, _)) => summary.tasks_completed += 1,
             Ok((409, _)) => summary.stale_rejections += 1,

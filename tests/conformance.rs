@@ -1,0 +1,44 @@
+//! Tier-1 mirror of the `exp_conformance` binary: the workspace must scan
+//! clean, and every rule must still catch its seeded corpus violations (a
+//! rule that goes blind is itself a regression).  CI's `conformance` job
+//! runs the binary for fast standalone feedback; this test pins the same
+//! two checks into `cargo test` so a violation cannot land even when CI is
+//! skipped.
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn the_workspace_scans_clean() {
+    let violations = conformance::scan_workspace(workspace_root()).expect("workspace scan runs");
+    assert!(
+        violations.is_empty(),
+        "conformance violations:\n{}",
+        violations
+            .iter()
+            .map(conformance::Violation::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn every_rule_catches_its_seeded_corpus() {
+    let report = conformance::run_self_test(workspace_root());
+    assert!(
+        report.passed(),
+        "conformance self-test failures:\n{}",
+        report.failures.join("\n")
+    );
+    for (rule, expected) in &report.expected_per_rule {
+        assert!(
+            *expected > 0,
+            "rule `{rule}` has no seeded corpus violation — it could go \
+             blind without anyone noticing; add a fixture under \
+             crates/conformance/corpus/"
+        );
+    }
+}
