@@ -1426,17 +1426,118 @@ fn run_distributed_mode(sizes: &Sizes, out: Option<String>) {
     println!("loadgen: all distributed invariants held");
 }
 
+/// `loadgen traces`: replay the {trace × policy × capacity} cache matrix in
+/// plan-stub mode, run the end-to-end HTTP tenant pass, enforce the gates
+/// (GDSF ≥ LRU on mixed, zero quota violations, clean accounting), and in
+/// `--check` mode pin quick-run cells against the committed reference.
+fn run_traces_mode(quick: bool, check: bool, write_reference: bool, out: Option<String>) {
+    use bench::traces;
+
+    if (check || write_reference) && !quick {
+        eprintln!("loadgen: the reference pins quick-mode cells; add --quick");
+        std::process::exit(2);
+    }
+    let mode = if quick { "quick" } else { "full" };
+    println!("loadgen: replaying cache trace matrix ({mode} mode)");
+    let mut violations = Violations(Vec::new());
+
+    let matrix = traces::run_matrix(quick);
+    for cell in &matrix {
+        println!(
+            "loadgen:   {:<8} {:<8} {:>5.2}% capacity -> hit rate {:>6.2}% \
+             ({} evictions, {} uncacheable)",
+            cell.trace,
+            cell.policy,
+            cell.fraction * 100.0,
+            cell.hit_rate() * 100.0,
+            cell.evictions,
+            cell.uncacheable,
+        );
+    }
+    let deep = if quick {
+        Vec::new()
+    } else {
+        println!("loadgen: deep section (mixed trace at 200k requests per policy)");
+        traces::run_deep()
+    };
+    let gate_violations = traces::check_gates(&matrix, &deep);
+    for violation in &gate_violations {
+        violations.check(false, violation);
+    }
+
+    println!("loadgen: end-to-end HTTP pass (tenants acme + zeta over X-Tenant)");
+    let http = traces::run_http_pass(quick);
+    for violation in &http.violations {
+        violations.check(false, violation);
+    }
+    println!(
+        "loadgen: HTTP pass sent {} requests, zeta scored {} hits under acme's flood",
+        http.requests, http.zeta_hits
+    );
+
+    if write_reference {
+        let path = traces::reference_path();
+        if let Err(error) = std::fs::write(&path, traces::reference_json(&matrix)) {
+            eprintln!("loadgen: cannot write {}: {error}", path.display());
+            std::process::exit(1);
+        }
+        println!("loadgen: wrote reference {}", path.display());
+    }
+    if check {
+        let path = traces::reference_path();
+        match std::fs::read_to_string(&path) {
+            Ok(reference) => {
+                for mismatch in traces::check_reference(&matrix, &reference) {
+                    violations.check(false, &mismatch);
+                }
+                println!(
+                    "loadgen: reference identity checked against {}",
+                    path.display()
+                );
+            }
+            Err(error) => {
+                violations.check(false, format!("cannot read {}: {error}", path.display()));
+            }
+        }
+    }
+
+    let json = traces::bench_json(mode, &matrix, &deep, &http, &gate_violations);
+    let path = out.map(std::path::PathBuf::from).unwrap_or_else(|| {
+        std::env::var_os("TREEMEM_SWEEP_DIR")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| std::path::PathBuf::from("."))
+            .join("BENCH_cache.json")
+    });
+    if let Err(error) = std::fs::write(&path, &json) {
+        eprintln!("loadgen: cannot write {}: {error}", path.display());
+        std::process::exit(1);
+    }
+    println!("loadgen: wrote {}", path.display());
+
+    if !violations.0.is_empty() {
+        eprintln!("loadgen: {} violated invariant(s)", violations.0.len());
+        std::process::exit(1);
+    }
+    println!("loadgen: all cache-trace invariants held");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut sizes = &FULL;
     let mut out: Option<String> = None;
     let mut chaos_mode = false;
     let mut distributed_mode = false;
+    let mut traces_mode = false;
+    let mut check_reference = false;
+    let mut write_reference = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "chaos" => chaos_mode = true,
             "distributed" => distributed_mode = true,
+            "traces" => traces_mode = true,
+            "--check" => check_reference = true,
+            "--write-reference" => write_reference = true,
             "--quick" => sizes = &QUICK,
             "--out" => match iter.next() {
                 Some(path) => out = Some(path.clone()),
@@ -1447,7 +1548,7 @@ fn main() {
             },
             other => {
                 eprintln!(
-                    "usage: loadgen [chaos|distributed] [--quick] [--out PATH]   \
+                    "usage: loadgen [chaos|distributed|traces] [--quick] [--check] [--out PATH]   \
                      (unknown flag {other})"
                 );
                 std::process::exit(2);
@@ -1455,6 +1556,19 @@ fn main() {
         }
     }
 
+    if (check_reference || write_reference) && !traces_mode {
+        eprintln!("loadgen: --check/--write-reference only apply to the traces mode");
+        std::process::exit(2);
+    }
+    if traces_mode {
+        run_traces_mode(
+            std::ptr::eq(sizes, &QUICK),
+            check_reference,
+            write_reference,
+            out,
+        );
+        return;
+    }
     if distributed_mode {
         run_distributed_mode(sizes, out);
         return;

@@ -33,6 +33,7 @@ pub mod parallel;
 pub mod report;
 pub mod runner;
 pub mod sweep;
+pub mod traces;
 
 pub use corpus::{
     corpus_for, default_config, default_corpus, quick_config, quick_corpus, random_corpus,

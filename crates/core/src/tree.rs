@@ -193,6 +193,19 @@ impl Tree {
         Ok(())
     }
 
+    /// Approximate heap footprint of the tree in bytes: the summed capacity
+    /// of its CSR arrays and per-node aggregates.  Used by the serving
+    /// caches to charge plans byte-accurate footprints.
+    pub fn heap_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let options = self.parent.len() * size_of::<Option<NodeId>>();
+        let indices = (self.child_starts.len() + self.child_list.len()) * size_of::<usize>();
+        let sizes =
+            (self.f.len() + self.n.len() + self.children_file_sum.len() + self.mem_req.len())
+                * size_of::<Size>();
+        (options + indices + sizes) as u64
+    }
+
     /// Number of nodes in the tree (written `p` in the paper).
     #[inline]
     pub fn len(&self) -> usize {

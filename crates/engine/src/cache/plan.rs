@@ -1,5 +1,5 @@
-//! A bounded, TTL-aware LRU cache of [`Plan`]s keyed by effective-config
-//! hash.
+//! A single-flight, TTL-aware cache of [`Plan`]s keyed by effective-config
+//! hash, built on [`CacheCore`].
 //!
 //! Planning — problem acquisition, fill-reducing ordering, elimination tree,
 //! column counts, amalgamation — dominates the cost of a request, while a
@@ -7,13 +7,24 @@
 //! traversals and divisible bounds.  A server handling repeated
 //! configurations therefore wants exactly one `Plan` per distinct effective
 //! configuration, shared via [`Arc`] across worker threads; this module
-//! provides that cache plus the hit/miss/eviction counters the `/stats`
-//! endpoint reports.
+//! provides that cache plus the counters the `/stats` endpoint reports.
 //!
-//! Eviction is classic LRU bounded by a capacity, with an optional
-//! time-to-live: an entry older than the TTL is dropped on access (counted
-//! separately from capacity evictions, so a sweep of `/stats` distinguishes
-//! "working set too big" from "entries aging out").
+//! Two sizing modes:
+//!
+//! * [`PlanCache::new`] — the legacy count-bounded LRU (capacity in entries,
+//!   optional TTL), bit-compatible with the historical cache;
+//! * [`PlanCache::with_config`] — the production mode: a byte budget, any
+//!   registered eviction policy, per-tenant quotas and a fair-share floor.
+//!   Entry footprints come from [`Plan::approx_heap_bytes`] at insert time.
+//!
+//! Misses stay *single-flight* in both modes: concurrent callers with the
+//! same key wait for the one planner instead of re-running the expensive
+//! symbolic stages.  When admission control leaves a plan uncacheable (over
+//! quota, contended, too large), the planner parks it on a small sideline
+//! shelf so the waiters of that very flight still share the plan instead of
+//! stampeding into N repeated plans — the shelf is consulted only after an
+//! in-flight wait, never on the fast path, so it cannot serve stale data to
+//! fresh lookups.
 //!
 //! ```
 //! use engine::{Engine, EngineConfig, PlanCache};
@@ -29,132 +40,133 @@
 //! assert_eq!(cache.stats().hits, 1);
 //! ```
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use treemem::registry::UnknownName;
 use treemem::sync::{TrackedCondvar, TrackedMutex};
 
+use super::core::{Admission, CacheConfig, CacheCore};
+use super::policy::ServingPolicyRegistry;
+use super::CacheStats;
 use crate::cancel::CancelToken;
 use crate::config::EngineConfig;
 use crate::run::{Engine, EngineError, Plan};
 
-struct Entry {
-    key: String,
-    plan: Arc<Plan>,
-    inserted: Instant,
+/// The tenant requests fall under when no `X-Tenant` header names one.
+pub const DEFAULT_TENANT: &str = "public";
+
+/// How many uncacheable plans the sideline shelf holds for their waiters.
+const SIDELINE_LEN: usize = 8;
+
+/// Construction parameters for the byte-sized plan cache.
+#[derive(Debug, Clone)]
+pub struct PlanCacheConfig {
+    /// Eviction policy name (see [`ServingPolicyRegistry::with_builtin`]).
+    pub policy: String,
+    /// Byte budget for cached plans.
+    pub bytes_capacity: u64,
+    /// Optional legacy entry bound on top of the byte budget.
+    pub max_entries: Option<usize>,
+    /// Optional time-to-live.
+    pub ttl: Option<Duration>,
+    /// Per-tenant byte quota.
+    pub tenant_quota_bytes: Option<u64>,
+    /// Fair-share floor fraction in `[0, 1]`.
+    pub tenant_floor: f64,
 }
 
-/// Point-in-time counters of a [`PlanCache`]; see the field docs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct CacheStats {
-    /// Lookups that found a live entry.
-    pub hits: u64,
-    /// Lookups that found nothing (or only an expired entry).
-    pub misses: u64,
-    /// Entries dropped to keep the cache within its capacity.
-    pub evictions: u64,
-    /// Entries dropped because they outlived the TTL.
-    pub expirations: u64,
-    /// Entries currently resident.
-    pub entries: usize,
-    /// Maximum number of resident entries.
-    pub capacity: usize,
-}
-
-impl CacheStats {
-    /// Hits as a fraction of all lookups (0.0 when nothing was looked up).
-    pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.hits as f64 / total as f64
+impl Default for PlanCacheConfig {
+    fn default() -> Self {
+        PlanCacheConfig {
+            policy: "GDSF".to_string(),
+            bytes_capacity: u64::MAX,
+            max_entries: None,
+            ttl: None,
+            tenant_quota_bytes: None,
+            tenant_floor: 0.0,
         }
     }
 }
 
 /// The shared plan cache; see the module docs.
 pub struct PlanCache {
-    /// Most-recently-used entries live at the *back* of the vector.
-    entries: TrackedMutex<Vec<Entry>>,
+    core: CacheCore<Plan>,
     /// Keys currently being planned by some caller (single-flight): other
     /// callers of [`PlanCache::get_or_plan`] wait on [`PlanCache::settled`]
     /// instead of planning the same configuration concurrently.
     in_flight: TrackedMutex<Vec<String>>,
     /// Notified whenever a key leaves `in_flight`.
     settled: TrackedCondvar,
-    capacity: usize,
-    ttl: Option<Duration>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    expirations: AtomicU64,
+    /// Uncacheable plans parked for the waiters of their flight; entries
+    /// are dropped when a new flight for the key starts.
+    sideline: TrackedMutex<Vec<(String, Arc<Plan>)>>,
 }
 
 impl PlanCache {
-    /// A cache holding at most `capacity` plans (at least 1), each living at
-    /// most `ttl` (no expiry when `None`).
+    /// The legacy count-bounded LRU: at most `capacity` plans (at least 1),
+    /// each living at most `ttl` (no expiry when `None`).
     pub fn new(capacity: usize, ttl: Option<Duration>) -> Self {
-        PlanCache {
-            entries: TrackedMutex::new(Vec::new(), "plan-cache.entries"),
+        let config = PlanCacheConfig {
+            policy: "LRU".to_string(),
+            bytes_capacity: u64::MAX,
+            max_entries: Some(capacity.max(1)),
+            ttl,
+            ..PlanCacheConfig::default()
+        };
+        match Self::with_config(config) {
+            Ok(cache) => cache,
+            // "LRU" is always registered; keep the legacy constructor
+            // infallible.
+            Err(_) => unreachable!("the LRU policy is built in"),
+        }
+    }
+
+    /// A byte-sized cache evicting via any registered policy.
+    pub fn with_config(config: PlanCacheConfig) -> Result<Self, UnknownName> {
+        let registry = ServingPolicyRegistry::with_builtin();
+        let core = CacheCore::new(
+            CacheConfig {
+                policy: config.policy,
+                bytes_capacity: config.bytes_capacity,
+                max_entries: config.max_entries,
+                ttl: config.ttl,
+                tenant_quota_bytes: config.tenant_quota_bytes,
+                tenant_floor: config.tenant_floor,
+                lock_class: "plan-cache.entries",
+            },
+            &registry,
+        )?;
+        Ok(PlanCache {
+            core,
             in_flight: TrackedMutex::new(Vec::new(), "plan-cache.in-flight"),
             settled: TrackedCondvar::new(),
-            capacity: capacity.max(1),
-            ttl,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            expirations: AtomicU64::new(0),
-        }
+            sideline: TrackedMutex::new(Vec::new(), "plan-cache.sideline"),
+        })
     }
 
-    /// Look up the plan cached under `key`, refreshing its LRU position.
-    /// An expired entry is dropped and reported as a miss.
+    /// Look up the plan cached under `key` for the default tenant,
+    /// refreshing recency.  An expired entry drops and reports as a miss.
     pub fn get(&self, key: &str) -> Option<Arc<Plan>> {
-        let mut entries = self.entries.lock();
-        match entries.iter().position(|entry| entry.key == key) {
-            Some(index) => {
-                if let Some(ttl) = self.ttl {
-                    if entries[index].inserted.elapsed() > ttl {
-                        entries.remove(index);
-                        self.expirations.fetch_add(1, Ordering::Relaxed);
-                        self.misses.fetch_add(1, Ordering::Relaxed);
-                        return None;
-                    }
-                }
-                let entry = entries.remove(index);
-                let plan = entry.plan.clone();
-                entries.push(entry);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(plan)
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-        }
+        self.core.get(key, DEFAULT_TENANT)
     }
 
-    /// Insert `plan` under `key` (most-recently-used position), evicting the
-    /// least-recently-used entry if the cache is full.  A concurrent insert
-    /// of the same key keeps the newer plan; the two are interchangeable
-    /// because planning is deterministic in the configuration.
+    /// [`PlanCache::get`] on behalf of `tenant`.
+    pub fn get_for(&self, key: &str, tenant: &str) -> Option<Arc<Plan>> {
+        self.core.get(key, tenant)
+    }
+
+    /// Insert `plan` under `key` for the default tenant.
     pub fn insert(&self, key: impl Into<String>, plan: Arc<Plan>) {
         let key = key.into();
-        let mut entries = self.entries.lock();
-        if let Some(index) = entries.iter().position(|entry| entry.key == key) {
-            entries.remove(index);
-        }
-        while entries.len() >= self.capacity {
-            entries.remove(0);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
-        }
-        entries.push(Entry {
-            key,
-            plan,
-            inserted: Instant::now(),
-        });
+        self.insert_for(&key, DEFAULT_TENANT, plan);
+    }
+
+    /// Insert `plan` under `key`, charged to `tenant`; the footprint is
+    /// estimated from the plan.  Returns the admission verdict.
+    pub fn insert_for(&self, key: &str, tenant: &str, plan: Arc<Plan>) -> Admission {
+        let bytes = plan.approx_heap_bytes();
+        self.core.insert(key, tenant, plan, bytes)
     }
 
     /// The cached plan for `config`'s effective-config hash, planning (and
@@ -171,7 +183,7 @@ impl PlanCache {
         engine: &Engine,
         config: &EngineConfig,
     ) -> Result<(Arc<Plan>, bool), EngineError> {
-        self.get_or_plan_with_cancel(engine, config, None)
+        self.get_or_plan_for(engine, config, DEFAULT_TENANT, None)
     }
 
     /// [`PlanCache::get_or_plan`] under a [`CancelToken`]: the token is
@@ -184,8 +196,22 @@ impl PlanCache {
         config: &EngineConfig,
         cancel: Option<&CancelToken>,
     ) -> Result<(Arc<Plan>, bool), EngineError> {
+        self.get_or_plan_for(engine, config, DEFAULT_TENANT, cancel)
+    }
+
+    /// [`PlanCache::get_or_plan_with_cancel`] on behalf of `tenant`: hits,
+    /// misses and the inserted plan's bytes are charged to it.
+    pub fn get_or_plan_for(
+        &self,
+        engine: &Engine,
+        config: &EngineConfig,
+        tenant: &str,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(Arc<Plan>, bool), EngineError> {
         let key = config.hash();
-        self.single_flight(&key, cancel, || engine.plan_with_cancel(config, cancel))
+        self.single_flight(&key, tenant, cancel, || {
+            engine.plan_with_cancel(config, cancel)
+        })
     }
 
     /// The single-flight core: at most one caller plans `key` at a time;
@@ -195,24 +221,29 @@ impl PlanCache {
     fn single_flight(
         &self,
         key: &str,
+        tenant: &str,
         cancel: Option<&CancelToken>,
         plan: impl FnOnce() -> Result<Plan, EngineError>,
     ) -> Result<(Arc<Plan>, bool), EngineError> {
         loop {
-            if let Some(plan) = self.get(key) {
+            if let Some(plan) = self.core.get(key, tenant) {
                 return Ok((plan, true));
             }
             let mut in_flight = self.in_flight.lock();
             if !in_flight.iter().any(|flying| flying == key) {
-                // This caller becomes the planner for the key.
+                // This caller becomes the planner for the key.  Any parked
+                // result of a previous flight is stale now.
                 in_flight.push(key.to_string());
+                drop(in_flight);
+                self.sideline.lock().retain(|(parked, _)| parked != key);
                 break;
             }
             // Someone else is planning this key: wait until it settles,
             // then retry the lookup (normally a hit; a miss again only if
-            // the planner failed or the entry was already evicted).  With a
-            // token, wait in slices so this caller's own deadline fires
-            // even though someone else does the work.
+            // the planner failed or the entry went uncacheable — the
+            // sideline shelf covers the latter).  With a token, wait in
+            // slices so this caller's own deadline fires even though
+            // someone else does the work.
             while in_flight.iter().any(|flying| flying == key) {
                 match cancel {
                     Some(token) => {
@@ -232,6 +263,18 @@ impl PlanCache {
                     }
                 }
             }
+            drop(in_flight);
+            // The flight settled without caching (admission control):
+            // share the parked plan instead of re-planning.
+            let parked = self
+                .sideline
+                .lock()
+                .iter()
+                .find(|(parked, _)| parked == key)
+                .map(|(_, plan)| plan.clone());
+            if let Some(plan) = parked {
+                return Ok((plan, true));
+            }
         }
         // From here on the key MUST settle no matter how the planner exits;
         // the guard handles the panic path (a planner that unwinds must not
@@ -241,28 +284,34 @@ impl PlanCache {
         // Insert before the key settles, so woken waiters find the entry.
         let result = planned.map(|plan| {
             let plan = Arc::new(plan);
-            self.insert(key.to_string(), plan.clone());
+            if !self.insert_for(key, tenant, plan.clone()).is_cached() {
+                let mut sideline = self.sideline.lock();
+                sideline.retain(|(parked, _)| parked != key);
+                sideline.push((key.to_string(), plan.clone()));
+                let excess = sideline.len().saturating_sub(SIDELINE_LEN);
+                sideline.drain(..excess);
+            }
             (plan, false)
         });
         drop(guard);
         result
     }
 
-    /// Current counters (a consistent-enough snapshot for reporting).
+    /// Current counters (a consistent snapshot for reporting).
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            expirations: self.expirations.load(Ordering::Relaxed),
-            entries: self.entries.lock().len(),
-            capacity: self.capacity,
-        }
+        self.core.stats()
+    }
+
+    /// Audit the byte/tenant accounting; see
+    /// [`CacheCore::validate_accounting`].
+    pub fn validate_accounting(&self) -> Result<(), String> {
+        self.core.validate_accounting()
     }
 
     /// Drop every entry (counters are kept).
     pub fn clear(&self) {
-        self.entries.lock().clear();
+        self.core.clear();
+        self.sideline.lock().clear();
     }
 }
 
@@ -305,6 +354,8 @@ mod tests {
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(stats.policy, "LRU");
+        assert!(stats.bytes_used > 0, "plans carry a byte footprint");
     }
 
     #[test]
@@ -372,7 +423,7 @@ mod tests {
             // way in, then dies mid-plan.
             let panicker = scope.spawn(|| {
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    cache.single_flight(&key, None, || {
+                    cache.single_flight(&key, DEFAULT_TENANT, None, || {
                         barrier.wait();
                         std::thread::sleep(Duration::from_millis(30));
                         panic!("injected planner panic");
@@ -384,7 +435,7 @@ mod tests {
             // Thread B (this one): before the fix, A's unwind left the key
             // in `in_flight` forever and this call never returned.
             let (plan, hit) = cache
-                .single_flight(&key, None, || engine.plan(&config))
+                .single_flight(&key, DEFAULT_TENANT, None, || engine.plan(&config))
                 .expect("the second caller plans after the panic settles");
             assert!(!hit, "the panicked attempt cached nothing");
             assert_eq!(plan.config_hash(), key);
@@ -406,7 +457,7 @@ mod tests {
         std::thread::scope(|scope| {
             let slow = scope.spawn(|| {
                 cache
-                    .single_flight(&key, None, || {
+                    .single_flight(&key, DEFAULT_TENANT, None, || {
                         barrier.wait();
                         std::thread::sleep(Duration::from_millis(200));
                         engine.plan(&config)
@@ -448,5 +499,68 @@ mod tests {
             assert!(Arc::ptr_eq(plan, &plans[0]));
         }
         assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn uncacheable_plans_are_still_shared_within_their_flight() {
+        let engine = Engine::new();
+        // A one-byte budget: every plan is too large to cache.
+        let cache = PlanCache::with_config(PlanCacheConfig {
+            policy: "GDSF".to_string(),
+            bytes_capacity: 1,
+            ..PlanCacheConfig::default()
+        })
+        .unwrap();
+        let config = config(3);
+        let barrier = std::sync::Barrier::new(2);
+        let plans: Vec<Arc<Plan>> = std::thread::scope(|scope| {
+            let a = scope.spawn(|| {
+                cache
+                    .single_flight(&config.hash(), DEFAULT_TENANT, None, || {
+                        barrier.wait();
+                        // Give the waiter time to join the flight.
+                        std::thread::sleep(Duration::from_millis(50));
+                        engine.plan(&config)
+                    })
+                    .unwrap()
+                    .0
+            });
+            let b = scope.spawn(|| {
+                barrier.wait();
+                std::thread::sleep(Duration::from_millis(5));
+                cache.get_or_plan(&engine, &config).unwrap().0
+            });
+            vec![a.join().expect("planner"), b.join().expect("waiter")]
+        });
+        // The waiter shared the planner's sidelined Arc: no second plan.
+        assert!(Arc::ptr_eq(&plans[0], &plans[1]));
+        assert_eq!(cache.stats().entries, 0, "nothing was cached");
+        assert!(cache.stats().uncacheable >= 1);
+    }
+
+    #[test]
+    fn byte_mode_charges_tenants_and_reports_them() {
+        let engine = Engine::new();
+        let cache = PlanCache::with_config(PlanCacheConfig {
+            bytes_capacity: 1 << 30,
+            ..PlanCacheConfig::default()
+        })
+        .unwrap();
+        cache
+            .get_or_plan_for(&engine, &config(1), "alice", None)
+            .unwrap();
+        cache
+            .get_or_plan_for(&engine, &config(1), "bob", None)
+            .unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.policy, "GDSF");
+        assert_eq!(stats.per_tenant.len(), 2);
+        let alice = &stats.per_tenant[0];
+        assert_eq!(alice.tenant, "alice");
+        assert_eq!(alice.entries, 1, "the plan is charged to its inserter");
+        assert!(alice.bytes > 0);
+        let bob = &stats.per_tenant[1];
+        assert_eq!((bob.entries, bob.hits), (0, 1), "bob shares alice's plan");
+        cache.validate_accounting().unwrap();
     }
 }

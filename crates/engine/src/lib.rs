@@ -52,7 +52,10 @@ pub mod run;
 /// serving layer, the lower crates fire the points).
 pub use treemem::faultinject;
 
-pub use cache::{CacheStats, PlanCache};
+pub use cache::{
+    fingerprint64, Admission, CacheConfig, CacheCore, CacheStats, PlanCache, PlanCacheConfig,
+    ServingPolicy, ServingPolicyRegistry, TenantUsage, DEFAULT_TENANT,
+};
 pub use cancel::{monotonic_millis, CancelToken};
 pub use config::{
     BudgetShare, ConfigParseError, DistributedConfig, EngineConfig, MemoryBudget, ParallelConfig,
@@ -68,7 +71,7 @@ pub use run::{
 
 /// Everything a typical engine user needs in scope.
 pub mod prelude {
-    pub use crate::cache::{CacheStats, PlanCache};
+    pub use crate::cache::{CacheStats, PlanCache, PlanCacheConfig};
     pub use crate::cancel::CancelToken;
     pub use crate::config::{
         BudgetShare, ConfigParseError, DistributedConfig, EngineConfig, MemoryBudget,

@@ -517,6 +517,19 @@ pub(crate) struct NumericModel {
 }
 
 impl NumericModel {
+    /// Approximate heap footprint in bytes (matrix, symbolic structure,
+    /// per-column model tree and the cached factorization orders).
+    pub(crate) fn heap_bytes(&self) -> u64 {
+        let mut bytes =
+            self.matrix.heap_bytes() + self.structure.heap_bytes() + self.model.heap_bytes();
+        let orders = self.orders.lock().expect("order cache poisoned");
+        for (name, order) in orders.iter() {
+            bytes += name.len() as u64;
+            bytes += (order.len() * std::mem::size_of::<NodeId>()) as u64;
+        }
+        bytes
+    }
+
     /// The bottom-up factorization order of `solver` on the per-column
     /// model, computed once per solver and cached.
     fn order_for(&self, engine: &Engine, solver: &str) -> Result<Vec<NodeId>, EngineError> {
@@ -630,6 +643,52 @@ impl Plan {
     /// Wall-clock seconds of the planning stages.
     pub fn timings(&self) -> &StageTimings {
         &self.timings
+    }
+
+    /// Approximate heap footprint of the plan in bytes: the tree (or
+    /// assembly tree with its grouping metadata), the symbolic analysis,
+    /// the cached solver traversals, and the numeric substrate if one was
+    /// built.  Estimated from array lengths at call time — the serving
+    /// caches charge entries by this value at insert, so footprints are
+    /// byte-accurate for the dominant CSR/factor arrays while later lazy
+    /// fills (a new solver's traversal) are charged on re-insert only.
+    pub fn approx_heap_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let mut bytes = size_of::<Plan>() as u64 + self.config_hash.len() as u64;
+        match &self.tree {
+            PlanTree::Assembly(assembly) => {
+                bytes += assembly.tree.heap_bytes();
+                let groups: usize = assembly
+                    .groups
+                    .iter()
+                    .map(|g| g.len() * size_of::<usize>() + size_of::<Vec<usize>>())
+                    .sum();
+                bytes += groups as u64;
+                bytes += ((assembly.eta.len() + assembly.mu.len()) * size_of::<usize>()) as u64;
+            }
+            PlanTree::Prebuilt => {
+                bytes += self.tree().heap_bytes();
+            }
+        }
+        if let Some(symbolic) = &self.symbolic {
+            bytes += symbolic.permuted.heap_bytes();
+            bytes += (symbolic.etree.len() * size_of::<Option<usize>>()) as u64;
+            bytes += (symbolic.counts.len() * size_of::<usize>()) as u64;
+        }
+        {
+            let solved = self.solved.lock().expect("solver cache poisoned");
+            for (name, result, _) in solved.iter() {
+                bytes += name.len() as u64;
+                bytes += (result.traversal.len() * size_of::<NodeId>()) as u64;
+            }
+        }
+        {
+            let numeric = self.numeric_model.lock().expect("numeric model poisoned");
+            if let Some(model) = numeric.as_ref() {
+                bytes += model.heap_bytes();
+            }
+        }
+        bytes
     }
 
     /// Derive a sibling plan with a different amalgamation allowance,
@@ -1497,6 +1556,14 @@ impl FactorHandle {
     /// factors directly).
     pub fn factor(&self) -> &CholeskyFactor {
         &self.factor
+    }
+
+    /// Approximate heap footprint in bytes: the factor's arrays plus the
+    /// shared numeric substrate.  The factor cache charges deposits by this
+    /// value, so one 10⁶-node factor weighs as much as it actually is
+    /// instead of counting like one small entry.
+    pub fn approx_heap_bytes(&self) -> u64 {
+        self.factor.heap_bytes() + self.numeric.heap_bytes()
     }
 
     /// A deterministic column-major batch of `count` generated right-hand

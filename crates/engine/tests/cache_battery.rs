@@ -1,0 +1,236 @@
+//! Seeded property battery for the shared serving-cache core.
+//!
+//! Every policy in the builtin registry — native online implementations and
+//! simulation heuristics served through the bridge alike — is driven through
+//! the same churn workloads, and the properties the serving layer depends on
+//! are asserted the same way for all of them:
+//!
+//! * byte accounting never drifts (the internal audit passes at every
+//!   sampled point, under churn and after TTL expiry);
+//! * the byte capacity is never exceeded, no matter what the policy picks;
+//! * per-tenant quotas confine each tenant's resident bytes;
+//! * the fair-share floor keeps a well-behaved tenant's working set
+//!   resident through another tenant's scan flood.
+//!
+//! Workloads are seeded (`prng::StdRng`), so a failure here reproduces
+//! bit-for-bit with the printed policy name and seed.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use engine::cache::{CacheConfig, CacheCore, ServingPolicyRegistry};
+use prng::{Rng, StdRng};
+
+const KIB: u64 = 1024;
+
+fn core_with(
+    registry: &ServingPolicyRegistry,
+    policy: &str,
+    config: CacheConfig,
+) -> CacheCore<u64> {
+    let config = CacheConfig {
+        policy: policy.to_string(),
+        lock_class: "cache-battery.inner",
+        ..config
+    };
+    CacheCore::new(config, registry)
+        .unwrap_or_else(|e| panic!("policy '{policy}' must be registered: {e}"))
+}
+
+/// The audit that every sampled point of every workload must pass.
+fn audit(core: &CacheCore<u64>, policy: &str, capacity: u64, quota: Option<u64>) {
+    core.validate_accounting()
+        .unwrap_or_else(|e| panic!("policy '{policy}': accounting drifted: {e}"));
+    let stats = core.stats();
+    assert!(
+        stats.bytes_used <= capacity,
+        "policy '{policy}': {} bytes resident exceeds the {capacity}-byte capacity",
+        stats.bytes_used
+    );
+    if let Some(quota) = quota {
+        for tenant in &stats.per_tenant {
+            assert!(
+                tenant.bytes <= quota,
+                "policy '{policy}': tenant '{}' holds {} bytes over its {quota}-byte quota",
+                tenant.tenant,
+                tenant.bytes
+            );
+        }
+    }
+}
+
+#[test]
+fn every_policy_keeps_accounting_and_capacity_under_churn() {
+    let registry = ServingPolicyRegistry::with_builtin();
+    let capacity = 256 * KIB;
+    for policy in registry.names() {
+        let core = core_with(
+            &registry,
+            &policy,
+            CacheConfig {
+                bytes_capacity: capacity,
+                ..CacheConfig::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(0xBA77E2);
+        for round in 0..4_000u64 {
+            let key = format!("k{}", rng.gen_range(0..600));
+            if core.get(&key, "public").is_none() {
+                // 1–24 KiB entries: far smaller than capacity, so the cache
+                // churns through many evictions without ever being trivially
+                // empty or trivially full.
+                let bytes = rng.gen_range(KIB..24 * KIB);
+                core.insert(&key, "public", Arc::new(round), bytes);
+            }
+            if round % 251 == 0 {
+                audit(&core, &policy, capacity, None);
+            }
+        }
+        audit(&core, &policy, capacity, None);
+        let stats = core.stats();
+        assert!(
+            stats.evictions > 0,
+            "policy '{policy}': churn produced no evictions (capacity never exercised)"
+        );
+        assert!(
+            stats.hits > 0,
+            "policy '{policy}': churn produced no hits (working set never resident)"
+        );
+    }
+}
+
+#[test]
+fn every_policy_confines_tenants_to_their_quota() {
+    let registry = ServingPolicyRegistry::with_builtin();
+    let capacity = 256 * KIB;
+    let quota = capacity / 4;
+    for policy in registry.names() {
+        let core = core_with(
+            &registry,
+            &policy,
+            CacheConfig {
+                bytes_capacity: capacity,
+                tenant_quota_bytes: Some(quota),
+                ..CacheConfig::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(0x900DA);
+        let tenants = ["alpha", "beta", "gamma"];
+        for round in 0..3_000u64 {
+            let tenant = tenants[rng.gen_range(0..tenants.len())];
+            let key = format!("{tenant}:{}", rng.gen_range(0..200));
+            if core.get(&key, tenant).is_none() {
+                let bytes = rng.gen_range(KIB..16 * KIB);
+                core.insert(&key, tenant, Arc::new(round), bytes);
+            }
+            if round % 199 == 0 {
+                audit(&core, &policy, capacity, Some(quota));
+            }
+        }
+        audit(&core, &policy, capacity, Some(quota));
+    }
+}
+
+#[test]
+fn every_policy_expires_ttl_entries_without_accounting_drift() {
+    let registry = ServingPolicyRegistry::with_builtin();
+    let capacity = 256 * KIB;
+    for policy in registry.names() {
+        let core = core_with(
+            &registry,
+            &policy,
+            CacheConfig {
+                bytes_capacity: capacity,
+                ttl: Some(Duration::from_millis(25)),
+                ..CacheConfig::default()
+            },
+        );
+        for index in 0..8u64 {
+            let key = format!("t{index}");
+            core.insert(&key, "public", Arc::new(index), 4 * KIB);
+        }
+        std::thread::sleep(Duration::from_millis(60));
+        for index in 0..8u64 {
+            let key = format!("t{index}");
+            assert!(
+                core.get(&key, "public").is_none(),
+                "policy '{policy}': '{key}' survived past its TTL"
+            );
+        }
+        audit(&core, &policy, capacity, None);
+        let stats = core.stats();
+        assert!(
+            stats.expirations >= 8,
+            "policy '{policy}': only {} expirations recorded for 8 dead entries",
+            stats.expirations
+        );
+        assert_eq!(
+            stats.entries, 0,
+            "policy '{policy}': expired entries still resident"
+        );
+    }
+}
+
+/// The tenant-isolation property the serving layer advertises: with the
+/// fair-share floor armed, one tenant's scan flood cannot evict another
+/// tenant's working set below its floor share.  Asserted for every policy —
+/// the floor is enforced by the core's candidate filter, upstream of
+/// whatever the policy would pick.
+#[test]
+fn scan_flood_cannot_push_another_tenant_below_the_floor() {
+    let registry = ServingPolicyRegistry::with_builtin();
+    let capacity = 1024 * KIB;
+    let floor = 0.8;
+    for policy in registry.names() {
+        let core = core_with(
+            &registry,
+            &policy,
+            CacheConfig {
+                bytes_capacity: capacity,
+                tenant_floor: floor,
+                ..CacheConfig::default()
+            },
+        );
+        // Tenant beta parks a working set of 40 × 10 KiB = 400 KiB, right at
+        // its two-tenant floor share (0.8 × 1 MiB / 2 = 409.6 KiB).
+        let hot: Vec<String> = (0..40).map(|i| format!("hot{i}")).collect();
+        for (index, key) in hot.iter().enumerate() {
+            let admission = core.insert(key, "beta", Arc::new(index as u64), 10 * KIB);
+            assert!(
+                admission.is_cached(),
+                "policy '{policy}': beta's working set did not fit an empty cache"
+            );
+        }
+        // Tenant alpha floods 300 one-shot 50 KiB entries — 15 MiB through a
+        // 1 MiB cache.  Without the floor this wipes beta out completely.
+        let mut rng = StdRng::seed_from_u64(0xF100D);
+        for index in 0..300u64 {
+            let bytes = rng.gen_range(40 * KIB..60 * KIB);
+            core.insert(&format!("scan{index}"), "alpha", Arc::new(index), bytes);
+        }
+        audit(&core, &policy, capacity, None);
+        let stats = core.stats();
+        let beta_bytes = stats
+            .per_tenant
+            .iter()
+            .find(|t| t.tenant == "beta")
+            .map(|t| t.bytes)
+            .unwrap_or(0);
+        let floor_bytes = (floor * capacity as f64 / 2.0) as u64;
+        assert!(
+            beta_bytes >= floor_bytes.saturating_sub(10 * KIB),
+            "policy '{policy}': alpha's flood pushed beta to {beta_bytes} bytes, \
+             below the {floor_bytes}-byte fair-share floor"
+        );
+        // And the survivors actually serve: replaying the hot set hits for
+        // at least the floor's worth of entries.
+        let hits = hot
+            .iter()
+            .filter(|key| core.get(key, "beta").is_some())
+            .count();
+        assert!(
+            hits * 10 * KIB as usize >= floor_bytes.saturating_sub(10 * KIB) as usize,
+            "policy '{policy}': only {hits}/40 of beta's hot set survived the flood"
+        );
+    }
+}

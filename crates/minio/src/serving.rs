@@ -1,0 +1,300 @@
+//! Bridge from the simulation-oriented [`Policy`] trait to an
+//! online cache.
+//!
+//! The nine registered eviction policies were written for the MinIO
+//! *simulator*: they select victims from an [`EvictionContext`] describing a
+//! tree traversal whose future is fully known (`positions` says exactly when
+//! every resident file will be used next).  An online serving cache knows no
+//! future — only the past (insertion time, last access, hit counts) — but the
+//! two worlds line up once the cache *predicts* a next-use distance per
+//! resident entry and presents the prediction in the shape the policies
+//! already understand.
+//!
+//! [`select_victims`] does exactly that.  For one eviction decision it:
+//!
+//! 1. predicts a next-use distance for every resident entry from its
+//!    recency/frequency history (stale, rarely-hit entries are predicted to be
+//!    used furthest in the future),
+//! 2. lays the entries out as the leaves of a synthetic one-level "star" tree
+//!    whose traversal consumes them in predicted order (furthest-predicted
+//!    leaf scheduled last — i.e. first in the latest-use-first candidate
+//!    order the policies require),
+//! 3. runs the policy's [`EvictionSession`](crate::EvictionSession) over that context exactly as the
+//!    simulator would, and
+//! 4. completes any shortfall with [`lsnf_fill`], mirroring the simulator's
+//!    engine-side completion, so every registered policy is safe to drive a
+//!    real cache.
+//!
+//! The bridged decision is deterministic: ties in the predicted ordering are
+//! broken by slot id, and the synthetic tree is rebuilt from scratch per call
+//! so no state leaks between decisions.  Stateful policies (S3-FIFO keeps
+//! per-node residency queues keyed by the synthetic node ids) degrade to
+//! their fallback behaviour under this bridge; callers that want their full
+//! behaviour online should implement a native serving policy instead and
+//! reserve the bridge for the stateless heuristics.
+
+use crate::policy::{lsnf_fill, Candidate, EvictionContext, Policy};
+use treemem::traversal::Traversal;
+use treemem::tree::{NodeId, Size, Tree};
+
+/// One resident cache entry offered to a bridged eviction decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResidentFile {
+    /// Caller-stable identifier returned in the victim list.
+    pub slot: u64,
+    /// Byte footprint of the entry (clamped to at least one byte).
+    pub bytes: u64,
+    /// Monotonic tick at which the entry was inserted.
+    pub inserted_tick: u64,
+    /// Monotonic tick of the most recent access (insert counts as an access).
+    pub last_access_tick: u64,
+    /// Number of cache hits the entry has served.
+    pub hits: u64,
+}
+
+impl ResidentFile {
+    /// Predicted steps until the next use, from recency and frequency: the
+    /// staleness (ticks since last access) scaled down for frequently hit
+    /// entries, the classic inter-arrival estimate.  Larger means "used
+    /// further in the future", i.e. a better eviction victim.
+    fn predicted_distance(&self, now_tick: u64) -> u64 {
+        let staleness = now_tick.saturating_sub(self.last_access_tick);
+        staleness / (self.hits + 1)
+    }
+}
+
+/// Ask a simulation policy for eviction victims among `residents`, freeing at
+/// least `deficit_bytes`.  Returns the chosen entries' `slot` ids.
+///
+/// The selection is completed with the latest-scheduled-node-first rule when
+/// the policy's own picks fall short (exactly like the MinIO simulator), so
+/// the result always frees at least `deficit_bytes` whenever the residents
+/// collectively hold that much.  An empty resident list returns no victims.
+pub fn select_victims(
+    policy: &dyn Policy,
+    residents: &[ResidentFile],
+    now_tick: u64,
+    deficit_bytes: u64,
+) -> Vec<u64> {
+    if residents.is_empty() || deficit_bytes == 0 {
+        return Vec::new();
+    }
+
+    // Latest-predicted-use first, the candidate order the policies contract
+    // on.  Ties fall back to plain staleness, then slot id for determinism.
+    let mut ordered: Vec<&ResidentFile> = residents.iter().collect();
+    ordered.sort_by(|a, b| {
+        let da = a.predicted_distance(now_tick);
+        let db = b.predicted_distance(now_tick);
+        db.cmp(&da)
+            .then_with(|| {
+                let sa = now_tick.saturating_sub(a.last_access_tick);
+                let sb = now_tick.saturating_sub(b.last_access_tick);
+                sb.cmp(&sa)
+            })
+            .then_with(|| a.slot.cmp(&b.slot))
+    });
+
+    // `produced_at` is what LRU-style policies age by in the simulator: the
+    // step the file appeared.  Online, the closest analogue is the last
+    // access, so candidates are ranked by it (oldest access = rank 0).
+    let mut access_rank: Vec<usize> = (0..ordered.len()).collect();
+    access_rank.sort_by(|&a, &b| {
+        ordered[a]
+            .last_access_tick
+            .cmp(&ordered[b].last_access_tick)
+            .then_with(|| ordered[a].slot.cmp(&ordered[b].slot))
+    });
+    let mut produced_at = vec![0usize; ordered.len()];
+    for (rank, &idx) in access_rank.iter().enumerate() {
+        produced_at[idx] = rank;
+    }
+
+    // Synthetic star tree: every resident entry is a leaf, one root consumes
+    // them all.  The traversal schedules the leaves in *reverse* candidate
+    // order so candidate 0 (furthest predicted use) executes last among the
+    // leaves, making the simulator's `distance_to_use` agree with the
+    // predicted ordering.
+    let k = ordered.len();
+    let root: NodeId = k;
+    let mut parents: Vec<Option<NodeId>> = vec![Some(root); k];
+    parents.push(None);
+    let mut files: Vec<Size> = ordered
+        .iter()
+        .map(|r| Size::try_from(r.bytes.max(1)).unwrap_or(Size::MAX))
+        .collect();
+    files.push(0);
+    let weights: Vec<Size> = vec![1; k + 1];
+    let tree = match Tree::from_parents(&parents, &files, &weights) {
+        Ok(tree) => tree,
+        // Unreachable for a star tree; fall back to the universal rule so a
+        // serving cache can never be left without victims.
+        Err(_) => return fallback_lsnf(&ordered, deficit_bytes),
+    };
+    let mut order: Vec<NodeId> = (0..k).rev().collect();
+    order.push(root);
+    let traversal = Traversal::new(order);
+    let positions = match traversal.positions(tree.len()) {
+        Ok(positions) => positions,
+        Err(_) => return fallback_lsnf(&ordered, deficit_bytes),
+    };
+
+    let candidates: Vec<Candidate> = ordered
+        .iter()
+        .enumerate()
+        .map(|(i, r)| Candidate {
+            node: i,
+            size: Size::try_from(r.bytes.max(1)).unwrap_or(Size::MAX),
+            produced_at: produced_at[i],
+        })
+        .collect();
+    let deficit = Size::try_from(deficit_bytes).unwrap_or(Size::MAX).max(1);
+    let ctx = EvictionContext {
+        tree: &tree,
+        positions: &positions,
+        step: 0,
+        node: root,
+        deficit,
+        candidates: &candidates,
+    };
+
+    let mut session = policy.session(&tree, &traversal);
+    let raw = session.select(&ctx);
+
+    // Sanitize exactly like the simulator: drop out-of-range and duplicate
+    // indices, then complete any shortfall latest-use-first.
+    let mut taken = vec![false; k];
+    let mut selected = Vec::new();
+    let mut freed: Size = 0;
+    for idx in raw {
+        if idx < k && !taken[idx] {
+            taken[idx] = true;
+            freed = freed.saturating_add(candidates[idx].size);
+            selected.push(idx);
+        }
+    }
+    if freed < deficit {
+        let skip: Vec<usize> = selected.clone();
+        for idx in lsnf_fill(&candidates, deficit - freed, &skip) {
+            if idx < k && !taken[idx] {
+                taken[idx] = true;
+                selected.push(idx);
+            }
+        }
+    }
+    selected.into_iter().map(|idx| ordered[idx].slot).collect()
+}
+
+/// Last-resort completion when the synthetic context cannot be built: walk
+/// the predicted-furthest-first ordering directly.
+fn fallback_lsnf(ordered: &[&ResidentFile], deficit_bytes: u64) -> Vec<u64> {
+    let mut freed: u64 = 0;
+    let mut victims = Vec::new();
+    for r in ordered {
+        if freed >= deficit_bytes {
+            break;
+        }
+        freed = freed.saturating_add(r.bytes.max(1));
+        victims.push(r.slot);
+    }
+    victims
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyRegistry;
+
+    fn resident(slot: u64, bytes: u64, last_access: u64, hits: u64) -> ResidentFile {
+        ResidentFile {
+            slot,
+            bytes,
+            inserted_tick: 0,
+            last_access_tick: last_access,
+            hits,
+        }
+    }
+
+    #[test]
+    fn lsnf_bridge_evicts_stalest_first() {
+        let registry = PolicyRegistry::with_builtin();
+        let lsnf = registry.get("LSNF").unwrap();
+        // Slot 1 is stalest (last access 0), slot 3 hottest.
+        let residents = vec![
+            resident(1, 100, 0, 0),
+            resident(2, 100, 50, 0),
+            resident(3, 100, 90, 0),
+        ];
+        let victims = select_victims(lsnf, &residents, 100, 150);
+        assert_eq!(victims, vec![1, 2]);
+    }
+
+    #[test]
+    fn frequency_protects_recently_useful_entries() {
+        let registry = PolicyRegistry::with_builtin();
+        let lsnf = registry.get("LSNF").unwrap();
+        // Equal staleness, but slot 2 has served many hits: its predicted
+        // next use is sooner, so slot 1 goes first.
+        let residents = vec![resident(1, 100, 40, 0), resident(2, 100, 40, 9)];
+        let victims = select_victims(lsnf, &residents, 100, 50);
+        assert_eq!(victims, vec![1]);
+    }
+
+    #[test]
+    fn first_fit_picks_a_single_covering_entry() {
+        let registry = PolicyRegistry::with_builtin();
+        let first_fit = registry.get("FirstFit").unwrap();
+        // The stalest entry is too small to cover the deficit alone; FirstFit
+        // should jump to the first one that does.
+        let residents = vec![
+            resident(1, 10, 0, 0),
+            resident(2, 500, 20, 0),
+            resident(3, 10, 90, 0),
+        ];
+        let victims = select_victims(first_fit, &residents, 100, 400);
+        assert_eq!(victims, vec![2]);
+    }
+
+    #[test]
+    fn every_builtin_policy_frees_the_deficit() {
+        let registry = PolicyRegistry::with_builtin();
+        let residents: Vec<ResidentFile> = (0..20)
+            .map(|i| resident(i, 64 + 32 * (i % 5), i * 3, i % 4))
+            .collect();
+        let total: u64 = residents.iter().map(|r| r.bytes).sum();
+        for policy in registry.iter() {
+            for &deficit in &[1u64, 100, 500, total] {
+                let victims = select_victims(policy, &residents, 100, deficit);
+                let freed: u64 = victims
+                    .iter()
+                    .map(|slot| {
+                        residents
+                            .iter()
+                            .find(|r| r.slot == *slot)
+                            .map(|r| r.bytes)
+                            .unwrap_or(0)
+                    })
+                    .sum();
+                assert!(
+                    freed >= deficit.min(total),
+                    "policy {} freed {freed} of deficit {deficit}",
+                    policy.name()
+                );
+                // No duplicates.
+                let mut sorted = victims.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), victims.len(), "policy {}", policy.name());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_residents_and_zero_deficit_are_no_ops() {
+        let registry = PolicyRegistry::with_builtin();
+        let lsnf = registry.get("LSNF").unwrap();
+        assert!(select_victims(lsnf, &[], 10, 100).is_empty());
+        let residents = vec![resident(1, 100, 0, 0)];
+        assert!(select_victims(lsnf, &residents, 10, 0).is_empty());
+    }
+}

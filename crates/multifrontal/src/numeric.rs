@@ -19,6 +19,20 @@ pub struct SymbolicStructure {
 }
 
 impl SymbolicStructure {
+    /// Approximate heap footprint in bytes (column row-index lists, `Vec`
+    /// headers and the elimination tree's parent array).
+    pub fn heap_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let payload: usize = self
+            .columns
+            .iter()
+            .map(|c| c.len() * size_of::<usize>())
+            .sum();
+        let headers = self.columns.len() * size_of::<Vec<usize>>();
+        let etree = self.etree.len() * size_of::<Option<usize>>();
+        (payload + headers + etree) as u64
+    }
+
     /// Compute the full symbolic structure of the factor of `pattern`
     /// (already permuted into elimination order).
     pub fn from_pattern(pattern: &SparsePattern) -> Self {
@@ -108,6 +122,17 @@ impl CholeskyFactor {
     /// Number of stored nonzeros.
     pub fn nnz(&self) -> usize {
         self.columns.iter().map(Vec::len).sum()
+    }
+
+    /// Approximate heap footprint in bytes: one `usize` row index and one
+    /// `f64` value per stored nonzero, plus the per-column `Vec` headers.
+    /// The serving caches charge factors by this estimate.
+    pub fn heap_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let nnz = self.nnz();
+        let payload = nnz * (size_of::<usize>() + size_of::<f64>());
+        let headers = (self.columns.len() + self.values.len()) * size_of::<Vec<usize>>();
+        (payload + headers) as u64
     }
 
     /// Solve `A x = b` for `k` right-hand sides stored column-major in

@@ -1,12 +1,21 @@
 //! `serve` — boot the factorization service from the command line.
 //!
 //! ```text
-//! serve [--addr HOST:PORT] [--workers N] [--cache-capacity N]
-//!       [--cache-ttl-seconds S] [--factor-cache-capacity N]
-//!       [--max-body-bytes N] [--default-deadline-ms MS]
-//!       [--max-deadline-ms MS]
+//! serve [--addr HOST:PORT] [--workers N] [--cache-policy NAME]
+//!       [--cache-bytes N] [--factor-cache-bytes N]
+//!       [--tenant-quota-bytes N] [--tenant-floor F]
+//!       [--cache-ttl-seconds S] [--max-body-bytes N]
+//!       [--default-deadline-ms MS] [--max-deadline-ms MS]
 //! serve --role worker --coordinator HOST:PORT [--worker-id NAME]
 //! ```
+//!
+//! Caches are sized in **bytes** (`--cache-bytes` for plans,
+//! `--factor-cache-bytes` for factors) and evict through any registered
+//! serving policy (`--cache-policy`; `GDSF` by default in byte mode).  The
+//! pre-byte-budget flags `--cache-capacity N` and
+//! `--factor-cache-capacity N` are deprecated aliases that map N entries
+//! to a byte budget (16 MiB per plan slot, 64 MiB per factor slot) with a
+//! boot-time warning.
 //!
 //! The default role, `coordinator`, binds (port 0 picks an ephemeral port,
 //! printed on stdout) and serves until the process is terminated.  See the
@@ -29,13 +38,22 @@ use std::time::Duration;
 use server::worker::{run_worker, HttpTransport, WorkerOptions};
 use server::{Server, ServerConfig};
 
+/// Byte budget one slot of the deprecated `--cache-capacity` flag maps to.
+const PLAN_SLOT_BYTES: u64 = 16 * 1024 * 1024;
+/// Byte budget one slot of the deprecated `--factor-cache-capacity` flag
+/// maps to (factors are much bigger than plans).
+const FACTOR_SLOT_BYTES: u64 = 64 * 1024 * 1024;
+
 fn usage() -> ! {
     eprintln!(
-        "usage: serve [--addr HOST:PORT] [--workers N] [--cache-capacity N]\n\
-         \x20      [--cache-ttl-seconds S] [--factor-cache-capacity N]\n\
-         \x20      [--max-body-bytes N] [--default-deadline-ms MS]\n\
-         \x20      [--max-deadline-ms MS]\n\
-         \x20  or: serve --role worker --coordinator HOST:PORT [--worker-id NAME]"
+        "usage: serve [--addr HOST:PORT] [--workers N] [--cache-policy NAME]\n\
+         \x20      [--cache-bytes N] [--factor-cache-bytes N]\n\
+         \x20      [--tenant-quota-bytes N] [--tenant-floor F]\n\
+         \x20      [--cache-ttl-seconds S] [--max-body-bytes N]\n\
+         \x20      [--default-deadline-ms MS] [--max-deadline-ms MS]\n\
+         \x20  or: serve --role worker --coordinator HOST:PORT [--worker-id NAME]\n\
+         deprecated: --cache-capacity N / --factor-cache-capacity N\n\
+         \x20      (entry counts; mapped to byte budgets at boot)"
     );
     std::process::exit(2);
 }
@@ -68,7 +86,35 @@ fn main() {
             "--worker-id" => worker_id = Some(parse("--worker-id", iter.next())),
             "--addr" => config.addr = parse("--addr", iter.next()),
             "--workers" => config.workers = parse("--workers", iter.next()),
-            "--cache-capacity" => config.cache_capacity = parse("--cache-capacity", iter.next()),
+            "--cache-policy" => {
+                config.cache.policy = Some(parse("--cache-policy", iter.next()));
+            }
+            "--cache-bytes" => {
+                config.cache.plan_bytes = Some(parse("--cache-bytes", iter.next()));
+            }
+            "--factor-cache-bytes" => {
+                config.cache.factor_bytes = Some(parse("--factor-cache-bytes", iter.next()));
+            }
+            "--tenant-quota-bytes" => {
+                config.cache.tenant_quota_bytes = Some(parse("--tenant-quota-bytes", iter.next()));
+            }
+            "--tenant-floor" => {
+                let floor: f64 = parse("--tenant-floor", iter.next());
+                if !(0.0..=1.0).contains(&floor) {
+                    eprintln!("serve: --tenant-floor must be within [0, 1], got {floor}");
+                    usage();
+                }
+                config.cache.tenant_floor = floor;
+            }
+            "--cache-capacity" => {
+                let entries: u64 = parse("--cache-capacity", iter.next());
+                let bytes = entries.saturating_mul(PLAN_SLOT_BYTES).max(PLAN_SLOT_BYTES);
+                eprintln!(
+                    "serve: --cache-capacity is deprecated; mapping {entries} plan slot(s) \
+                     to --cache-bytes {bytes}"
+                );
+                config.cache.plan_bytes = Some(bytes);
+            }
             "--cache-ttl-seconds" => {
                 config.cache_ttl = Some(Duration::from_secs(parse(
                     "--cache-ttl-seconds",
@@ -76,7 +122,15 @@ fn main() {
                 )));
             }
             "--factor-cache-capacity" => {
-                config.factor_cache_capacity = parse("--factor-cache-capacity", iter.next());
+                let entries: u64 = parse("--factor-cache-capacity", iter.next());
+                let bytes = entries
+                    .saturating_mul(FACTOR_SLOT_BYTES)
+                    .max(FACTOR_SLOT_BYTES);
+                eprintln!(
+                    "serve: --factor-cache-capacity is deprecated; mapping {entries} factor \
+                     slot(s) to --factor-cache-bytes {bytes}"
+                );
+                config.cache.factor_bytes = Some(bytes);
             }
             "--max-body-bytes" => config.max_body_bytes = parse("--max-body-bytes", iter.next()),
             "--default-deadline-ms" => {

@@ -1,5 +1,5 @@
-//! A bounded LRU of computed Cholesky factors, keyed by effective-config
-//! hash: the substrate of `POST /solve`.
+//! A byte-sized cache of computed Cholesky factors, keyed by
+//! effective-config hash: the substrate of `POST /solve`.
 //!
 //! Every `/report` run with the numeric stage enabled deposits its
 //! [`engine::FactorHandle`] here, and a later `/solve` resolves the hash to
@@ -8,112 +8,139 @@
 //! analysis, numeric factorization) happens once, the cheap part (two
 //! triangular solves per right-hand side) happens per request.
 //!
-//! Factors are big — `factor_nnz` doubles — so the cache is strictly
-//! bounded by entry count and evicts least-recently-used.  Unlike the plan
-//! cache there is no TTL: a factor never goes stale (the configuration hash
-//! pins problem, ordering, and kernel bit-for-bit).
+//! The cache is a thin wrapper over [`engine::CacheCore`]: capacity is a
+//! **byte budget** sized from [`engine::FactorHandle::approx_heap_bytes`]
+//! (a single 10⁶-node factor can dwarf hundreds of small ones, so counting
+//! entries misrepresents pressure by orders of magnitude), eviction runs
+//! through any registered serving policy, and deposits are charged to the
+//! tenant that reported them.  The legacy count-bounded constructor
+//! ([`FactorCache::new`]) keeps the historical LRU semantics for existing
+//! callers and tests.  There is no TTL: a factor never goes stale (the
+//! configuration hash pins problem, ordering, and kernel bit-for-bit).
 
 use std::sync::Arc;
 
-use engine::FactorHandle;
-use treemem::sync::TrackedMutex;
+use engine::cache::{Admission, CacheConfig, CacheCore, ServingPolicyRegistry};
+use engine::{CacheStats, FactorHandle, DEFAULT_TENANT};
+use treemem::registry::UnknownName;
 
-/// Counters for the `/stats` document.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct FactorCacheStats {
-    /// `/solve` requests answered from the cache.
-    pub hits: u64,
-    /// `/solve` requests whose hash had no cached factor (404s).
-    pub misses: u64,
-    /// Factors evicted to respect the capacity.
-    pub evictions: u64,
-    /// Factors currently cached.
-    pub entries: usize,
-    /// Maximum number of cached factors.
-    pub capacity: usize,
+/// Construction parameters for the byte-sized factor cache.
+#[derive(Debug, Clone)]
+pub struct FactorCacheConfig {
+    /// Eviction policy name (see
+    /// [`ServingPolicyRegistry::with_builtin`]).
+    pub policy: String,
+    /// Byte budget for cached factors.
+    pub bytes_capacity: u64,
+    /// Optional legacy entry bound on top of the byte budget.
+    pub max_entries: Option<usize>,
+    /// Per-tenant byte quota.
+    pub tenant_quota_bytes: Option<u64>,
+    /// Fair-share floor fraction in `[0, 1]`.
+    pub tenant_floor: f64,
 }
 
-struct FactorCacheInner {
-    /// Most-recently-used last; linear scans are fine at the capacities
-    /// this cache runs at (a handful of factors, each megabytes).
-    entries: Vec<(String, Arc<FactorHandle>)>,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
+impl Default for FactorCacheConfig {
+    fn default() -> Self {
+        FactorCacheConfig {
+            policy: "GDSF".to_string(),
+            bytes_capacity: u64::MAX,
+            max_entries: None,
+            tenant_quota_bytes: None,
+            tenant_floor: 0.0,
+        }
+    }
 }
 
-/// The bounded factor cache; see the module docs.
+/// The factor cache; see the module docs.
 pub struct FactorCache {
-    inner: TrackedMutex<FactorCacheInner>,
-    capacity: usize,
+    core: CacheCore<FactorHandle>,
 }
 
 impl FactorCache {
-    /// A cache retaining at most `capacity` factors (at least 1).
+    /// The legacy count-bounded LRU: at most `capacity` factors (at least
+    /// 1), unlimited bytes.
     pub fn new(capacity: usize) -> Self {
-        FactorCache {
-            inner: TrackedMutex::new(
-                FactorCacheInner {
-                    entries: Vec::new(),
-                    hits: 0,
-                    misses: 0,
-                    evictions: 0,
-                },
-                "factor-cache.inner",
-            ),
-            capacity: capacity.max(1),
+        let config = FactorCacheConfig {
+            policy: "LRU".to_string(),
+            bytes_capacity: u64::MAX,
+            max_entries: Some(capacity.max(1)),
+            ..FactorCacheConfig::default()
+        };
+        match Self::with_config(config) {
+            Ok(cache) => cache,
+            // "LRU" is always registered; keep the legacy constructor
+            // infallible without a panic path in server code.
+            Err(_) => FactorCache {
+                core: CacheCore::with_policy(
+                    CacheConfig {
+                        max_entries: Some(capacity.max(1)),
+                        lock_class: "factor-cache.inner",
+                        ..CacheConfig::default()
+                    },
+                    &engine::cache::policy::CountLru,
+                ),
+            },
         }
+    }
+
+    /// A byte-sized cache evicting via any registered policy.
+    pub fn with_config(config: FactorCacheConfig) -> Result<Self, UnknownName> {
+        let registry = ServingPolicyRegistry::with_builtin();
+        let core = CacheCore::new(
+            CacheConfig {
+                policy: config.policy,
+                bytes_capacity: config.bytes_capacity,
+                max_entries: config.max_entries,
+                ttl: None,
+                tenant_quota_bytes: config.tenant_quota_bytes,
+                tenant_floor: config.tenant_floor,
+                lock_class: "factor-cache.inner",
+            },
+            &registry,
+        )?;
+        Ok(FactorCache { core })
     }
 
     /// Look up the factor of `config_hash`, marking it most recently used.
     pub fn get(&self, config_hash: &str) -> Option<Arc<FactorHandle>> {
-        let mut inner = self.inner.lock();
-        match inner
-            .entries
-            .iter()
-            .position(|(hash, _)| hash == config_hash)
-        {
-            Some(index) => {
-                let entry = inner.entries.remove(index);
-                let handle = entry.1.clone();
-                inner.entries.push(entry);
-                inner.hits += 1;
-                Some(handle)
-            }
-            None => {
-                inner.misses += 1;
-                None
-            }
-        }
+        self.core.get(config_hash, DEFAULT_TENANT)
+    }
+
+    /// [`FactorCache::get`] on behalf of `tenant`.
+    pub fn get_for(&self, config_hash: &str, tenant: &str) -> Option<Arc<FactorHandle>> {
+        self.core.get(config_hash, tenant)
     }
 
     /// Cache `handle` under `config_hash` (replacing any previous factor of
-    /// the same hash), evicting the least recently used entry when full.
+    /// the same hash), evicting through the configured policy when space is
+    /// needed.
     pub fn insert(&self, config_hash: &str, handle: Arc<FactorHandle>) {
-        let mut inner = self.inner.lock();
-        if let Some(index) = inner
-            .entries
-            .iter()
-            .position(|(hash, _)| hash == config_hash)
-        {
-            inner.entries.remove(index);
-        } else if inner.entries.len() >= self.capacity {
-            inner.entries.remove(0);
-            inner.evictions += 1;
-        }
-        inner.entries.push((config_hash.to_string(), handle));
+        self.insert_for(config_hash, DEFAULT_TENANT, handle);
+    }
+
+    /// [`FactorCache::insert`] charged to `tenant`; the footprint comes
+    /// from [`engine::FactorHandle::approx_heap_bytes`].  Returns the
+    /// admission verdict (an over-quota deposit is served-but-uncached).
+    pub fn insert_for(
+        &self,
+        config_hash: &str,
+        tenant: &str,
+        handle: Arc<FactorHandle>,
+    ) -> Admission {
+        let bytes = handle.approx_heap_bytes();
+        self.core.insert(config_hash, tenant, handle, bytes)
     }
 
     /// Current counters.
-    pub fn stats(&self) -> FactorCacheStats {
-        let inner = self.inner.lock();
-        FactorCacheStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            evictions: inner.evictions,
-            entries: inner.entries.len(),
-            capacity: self.capacity,
-        }
+    pub fn stats(&self) -> CacheStats {
+        self.core.stats()
+    }
+
+    /// Audit the byte/tenant accounting; see
+    /// [`engine::CacheCore::validate_accounting`].
+    pub fn validate_accounting(&self) -> Result<(), String> {
+        self.core.validate_accounting()
     }
 }
 
@@ -122,9 +149,9 @@ mod tests {
     use super::*;
     use engine::prelude::*;
 
-    fn handle(seed: u64) -> Arc<FactorHandle> {
+    fn sized_handle(seed: u64, n: usize) -> Arc<FactorHandle> {
         let engine = Engine::new();
-        let config = EngineConfig::generated(sparsemat::gen::ProblemKind::Banded, 12, seed)
+        let config = EngineConfig::generated(sparsemat::gen::ProblemKind::Banded, n, seed)
             .with_numeric(true);
         let plan = engine.plan(&config).unwrap();
         let (_, handle) = plan
@@ -133,6 +160,10 @@ mod tests {
             .execute_with_factor(&engine)
             .unwrap();
         Arc::new(handle.unwrap())
+    }
+
+    fn handle(seed: u64) -> Arc<FactorHandle> {
+        sized_handle(seed, 12)
     }
 
     #[test]
@@ -149,6 +180,7 @@ mod tests {
         assert_eq!(stats.evictions, 1);
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.entries, 2);
+        assert!(stats.bytes_used > 0, "factors carry byte footprints");
     }
 
     #[test]
@@ -158,6 +190,56 @@ mod tests {
         cache.insert("a", handle(4));
         assert_eq!(cache.stats().entries, 1);
         assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn byte_budget_accounts_lopsided_factor_sizes() {
+        // Regression for the count-based accounting: a 10× larger problem
+        // yields a far heavier factor, and a byte-bounded cache must make
+        // it displace several small ones — not count it as "one entry".
+        let small: Vec<Arc<FactorHandle>> = (0..4).map(|s| sized_handle(s, 12)).collect();
+        let big = sized_handle(9, 400);
+        let small_bytes = small[0].approx_heap_bytes();
+        let big_bytes = big.approx_heap_bytes();
+        assert!(
+            big_bytes > 4 * small_bytes,
+            "a 400-unknown factor ({big_bytes}B) must dwarf a 12-unknown one ({small_bytes}B)"
+        );
+        // Budget: all four small factors fit; the big one fits only after
+        // evicting more than one of them.
+        let budget = 4 * small_bytes + big_bytes - 1;
+        let cache = FactorCache::with_config(FactorCacheConfig {
+            policy: "LRU".to_string(),
+            bytes_capacity: budget,
+            ..FactorCacheConfig::default()
+        })
+        .unwrap();
+        for (i, h) in small.iter().enumerate() {
+            cache.insert(&format!("small-{i}"), Arc::clone(h));
+        }
+        assert_eq!(cache.stats().entries, 4);
+        cache.insert("big", Arc::clone(&big));
+        let stats = cache.stats();
+        assert!(cache.get("big").is_some());
+        assert!(
+            stats.evictions >= 1,
+            "the big factor must evict by bytes, not slots"
+        );
+        assert!(stats.bytes_used <= budget, "byte budget respected");
+        cache.validate_accounting().unwrap();
+    }
+
+    #[test]
+    fn oversized_factor_is_served_but_not_cached() {
+        let big = sized_handle(3, 400);
+        let cache = FactorCache::with_config(FactorCacheConfig {
+            bytes_capacity: big.approx_heap_bytes() / 2,
+            ..FactorCacheConfig::default()
+        })
+        .unwrap();
+        assert!(!cache.insert_for("big", "public", big).is_cached());
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().uncacheable, 1);
     }
 
     #[test]
@@ -189,6 +271,7 @@ mod tests {
         let stats = cache.stats();
         assert!(stats.entries <= 3, "over capacity: {}", stats.entries);
         assert!(stats.hits + stats.misses > 0);
+        cache.validate_accounting().unwrap();
         // Every key that is still resident resolves to a working factor.
         for pick in 0..handles.len() {
             if let Some(factor) = cache.get(&format!("factor-{pick}")) {

@@ -104,6 +104,50 @@ pub struct ServerConfig {
     /// ask for no deadline are bounded by it, and requested deadlines are
     /// clamped down to it.
     pub max_deadline: Option<Duration>,
+    /// Byte-sized cache settings; the default keeps the legacy
+    /// count-bounded LRU behaviour of `cache_capacity` /
+    /// `factor_cache_capacity`.
+    pub cache: CacheSettings,
+}
+
+/// The `cache` section of the boot configuration: policy selection, byte
+/// budgets, and tenant quotas for the plan and factor caches.
+///
+/// `Default` leaves everything unset, which keeps the caches in their
+/// legacy count-bounded LRU mode.  Setting a byte budget switches the
+/// corresponding cache to byte-accurate accounting under `policy`
+/// (default `"GDSF"`), replacing the entry bound.
+#[derive(Debug, Clone, Default)]
+pub struct CacheSettings {
+    /// Eviction policy name for both caches (a
+    /// [`engine::ServingPolicyRegistry`] name).  `None` picks `"GDSF"` in
+    /// byte mode and `"LRU"` in legacy count mode.
+    pub policy: Option<String>,
+    /// Byte budget of the plan cache; `None` keeps the entry bound of
+    /// [`ServerConfig::cache_capacity`].
+    pub plan_bytes: Option<u64>,
+    /// Byte budget of the factor cache; `None` keeps the entry bound of
+    /// [`ServerConfig::factor_cache_capacity`].
+    pub factor_bytes: Option<u64>,
+    /// Per-tenant byte quota on each cache (over-quota inserts are
+    /// admitted but uncacheable).
+    pub tenant_quota_bytes: Option<u64>,
+    /// Fair-share floor fraction in `[0, 1]`: a tenant holding no more
+    /// than `floor × capacity / active_tenants` bytes cannot be evicted
+    /// by other tenants' traffic.
+    pub tenant_floor: f64,
+}
+
+impl CacheSettings {
+    /// The effective policy name: explicit choice, else `"GDSF"` when any
+    /// byte budget is set, else the legacy `"LRU"`.
+    fn effective_policy(&self, byte_mode: bool) -> String {
+        match &self.policy {
+            Some(name) => name.clone(),
+            None if byte_mode => "GDSF".to_string(),
+            None => "LRU".to_string(),
+        }
+    }
 }
 
 impl Default for ServerConfig {
@@ -119,6 +163,7 @@ impl Default for ServerConfig {
             max_backlog: 1024,
             default_deadline: None,
             max_deadline: None,
+            cache: CacheSettings::default(),
         }
     }
 }
@@ -135,13 +180,37 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let workers = config.workers.max(1);
+        let plan_byte_mode = config.cache.plan_bytes.is_some();
+        let plan_cache = PlanCache::with_config(engine::PlanCacheConfig {
+            policy: config.cache.effective_policy(plan_byte_mode),
+            bytes_capacity: config.cache.plan_bytes.unwrap_or(u64::MAX),
+            max_entries: if plan_byte_mode {
+                None
+            } else {
+                Some(config.cache_capacity.max(1))
+            },
+            ttl: config.cache_ttl,
+            tenant_quota_bytes: config.cache.tenant_quota_bytes,
+            tenant_floor: config.cache.tenant_floor,
+        })
+        .map_err(|e| std::io::Error::other(format!("plan cache: {e}")))?;
+        let factor_byte_mode = config.cache.factor_bytes.is_some();
+        let factor_cache =
+            crate::factors::FactorCache::with_config(crate::factors::FactorCacheConfig {
+                policy: config.cache.effective_policy(factor_byte_mode),
+                bytes_capacity: config.cache.factor_bytes.unwrap_or(u64::MAX),
+                max_entries: if factor_byte_mode {
+                    None
+                } else {
+                    Some(config.factor_cache_capacity.max(1))
+                },
+                tenant_quota_bytes: config.cache.tenant_quota_bytes,
+                tenant_floor: config.cache.tenant_floor,
+            })
+            .map_err(|e| std::io::Error::other(format!("factor cache: {e}")))?;
         let service = Arc::new(
-            Service::new(
-                PlanCache::new(config.cache_capacity, config.cache_ttl),
-                crate::factors::FactorCache::new(config.factor_cache_capacity),
-                workers,
-            )
-            .with_deadlines(config.default_deadline, config.max_deadline),
+            Service::new(plan_cache, factor_cache, workers)
+                .with_deadlines(config.default_deadline, config.max_deadline),
         );
         let shutdown = Arc::new(AtomicBool::new(false));
 

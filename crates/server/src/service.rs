@@ -10,7 +10,7 @@ use engine::json::{escape, Json};
 use engine::prelude::*;
 use engine::{CacheStats, CancelToken, PlanCache, MAX_SOLVE_RHS};
 
-use crate::factors::{FactorCache, FactorCacheStats};
+use crate::factors::FactorCache;
 use crate::http::{reason_phrase, Request};
 use crate::stats::ServerStats;
 
@@ -113,7 +113,7 @@ impl Service {
     }
 
     /// Current factor-cache counters.
-    pub fn factor_cache_stats(&self) -> FactorCacheStats {
+    pub fn factor_cache_stats(&self) -> CacheStats {
         self.factors.stats()
     }
 
@@ -137,6 +137,10 @@ impl Service {
             Ok(value) => value,
             Err(response) => return response,
         };
+        let tenant = match request_tenant(request) {
+            Ok(tenant) => tenant,
+            Err(response) => return response,
+        };
         match (request.method.as_str(), request.path.as_str()) {
             ("GET", "/healthz") => Response::ok("{\"status\": \"ok\"}\n".to_string()),
             ("GET", "/stats") => Response::ok(self.stats.to_json(
@@ -145,10 +149,10 @@ impl Service {
                 self.workers,
                 &self.registry.stats().snapshot(),
             )),
-            ("POST", "/plan") => self.handle_plan(&request.body, header_deadline),
-            ("POST", "/schedule") => self.handle_schedule(&request.body, header_deadline),
-            ("POST", "/report") => self.handle_report(&request.body, header_deadline),
-            ("POST", "/solve") => self.handle_solve(&request.body, header_deadline),
+            ("POST", "/plan") => self.handle_plan(&request.body, header_deadline, &tenant),
+            ("POST", "/schedule") => self.handle_schedule(&request.body, header_deadline, &tenant),
+            ("POST", "/report") => self.handle_report(&request.body, header_deadline, &tenant),
+            ("POST", "/solve") => self.handle_solve(&request.body, header_deadline, &tenant),
             ("POST", "/internal/claim") => self.handle_claim(&request.body),
             ("POST", "/internal/contribute") => self.handle_contribute(&request.body),
             ("GET", path) if path.starts_with("/internal/job/") => self.handle_job(path),
@@ -208,16 +212,17 @@ impl Service {
         Ok(config)
     }
 
-    /// Fetch or build the plan for `config`, recording plan-stage latency on
-    /// misses.
+    /// Fetch or build the plan for `config` on behalf of `tenant`,
+    /// recording plan-stage latency on misses.
     fn plan_for(
         &self,
         config: &EngineConfig,
+        tenant: &str,
         cancel: Option<&CancelToken>,
     ) -> Result<(std::sync::Arc<Plan>, bool), Response> {
         let (plan, hit) = self
             .cache
-            .get_or_plan_with_cancel(&self.engine, config, cancel)
+            .get_or_plan_for(&self.engine, config, tenant, cancel)
             .map_err(|e| self.engine_error(&e))?;
         if !hit {
             if let Some(recorder) = self.stats.stage("plan") {
@@ -230,7 +235,7 @@ impl Service {
         Ok((plan, hit))
     }
 
-    fn handle_plan(&self, body: &[u8], header_deadline: Option<u64>) -> Response {
+    fn handle_plan(&self, body: &[u8], header_deadline: Option<u64>, tenant: &str) -> Response {
         let cancel = match self.deadline_token(header_deadline, body) {
             Ok(token) => token,
             Err(response) => return response,
@@ -239,7 +244,7 @@ impl Service {
             Ok(config) => config,
             Err(response) => return response,
         };
-        let (plan, hit) = match self.plan_for(&config, cancel.as_ref()) {
+        let (plan, hit) = match self.plan_for(&config, tenant, cancel.as_ref()) {
             Ok(result) => result,
             Err(response) => return response,
         };
@@ -261,7 +266,7 @@ impl Service {
         }
     }
 
-    fn handle_schedule(&self, body: &[u8], header_deadline: Option<u64>) -> Response {
+    fn handle_schedule(&self, body: &[u8], header_deadline: Option<u64>, tenant: &str) -> Response {
         let cancel = match self.deadline_token(header_deadline, body) {
             Ok(token) => token,
             Err(response) => return response,
@@ -270,7 +275,7 @@ impl Service {
             Ok(config) => config,
             Err(response) => return response,
         };
-        let (plan, hit) = match self.plan_for(&config, cancel.as_ref()) {
+        let (plan, hit) = match self.plan_for(&config, tenant, cancel.as_ref()) {
             Ok(result) => result,
             Err(response) => return response,
         };
@@ -306,7 +311,7 @@ impl Service {
         }
     }
 
-    fn handle_report(&self, body: &[u8], header_deadline: Option<u64>) -> Response {
+    fn handle_report(&self, body: &[u8], header_deadline: Option<u64>, tenant: &str) -> Response {
         let cancel = match self.deadline_token(header_deadline, body) {
             Ok(token) => token,
             Err(response) => return response,
@@ -316,9 +321,9 @@ impl Service {
             Err(response) => return response,
         };
         if config.distributed.enabled() {
-            return self.handle_report_distributed(&config, cancel.as_ref());
+            return self.handle_report_distributed(&config, tenant, cancel.as_ref());
         }
-        let (plan, hit) = match self.plan_for(&config, cancel.as_ref()) {
+        let (plan, hit) = match self.plan_for(&config, tenant, cancel.as_ref()) {
             Ok(result) => result,
             Err(response) => return response,
         };
@@ -330,9 +335,12 @@ impl Service {
             Err(e) => return self.engine_error(&e),
         };
         // Deposit the factor so later `POST /solve` requests can resolve
-        // this configuration's hash without re-factorizing.
+        // this configuration's hash without re-factorizing.  An over-quota
+        // deposit is admitted-but-uncacheable: this response still carries
+        // the factor's results, only later `/solve` lookups miss.
         if let Some(factor) = factor {
-            self.factors.insert(&report.config_hash, Arc::new(factor));
+            self.factors
+                .insert_for(&report.config_hash, tenant, Arc::new(factor));
         }
         self.record_schedule_stages(&report.timings, Some(&report));
         Response {
@@ -351,9 +359,10 @@ impl Service {
     fn handle_report_distributed(
         &self,
         config: &EngineConfig,
+        tenant: &str,
         cancel: Option<&CancelToken>,
     ) -> Response {
-        let (plan, hit) = match self.plan_for(config, cancel) {
+        let (plan, hit) = match self.plan_for(config, tenant, cancel) {
             Ok(result) => result,
             Err(response) => return response,
         };
@@ -400,7 +409,8 @@ impl Service {
                 Err(e) => return self.engine_error(&e),
             };
         if let Some(factor) = factor {
-            self.factors.insert(&report.config_hash, Arc::new(factor));
+            self.factors
+                .insert_for(&report.config_hash, tenant, Arc::new(factor));
         }
         self.record_schedule_stages(&report.timings, Some(&report));
         Response {
@@ -467,7 +477,7 @@ impl Service {
     /// generated right-hand sides, plus the flags `check_residual`
     /// (default true) and `return_solutions` (default false).  An unknown
     /// hash is a 404 with `X-Cache: miss`; a hit carries `X-Cache: hit`.
-    fn handle_solve(&self, body: &[u8], header_deadline: Option<u64>) -> Response {
+    fn handle_solve(&self, body: &[u8], header_deadline: Option<u64>, tenant: &str) -> Response {
         let cancel = match self.deadline_token(header_deadline, body) {
             Ok(token) => token,
             Err(response) => return response,
@@ -498,7 +508,7 @@ impl Service {
             recorder.record(parse_started.elapsed().as_secs_f64());
         }
 
-        let Some(factor) = self.factors.get(config_hash) else {
+        let Some(factor) = self.factors.get_for(config_hash, tenant) else {
             return Response {
                 cache_hit: Some(false),
                 config_hash: Some(config_hash.to_string()),
@@ -646,6 +656,37 @@ impl Service {
                 if let Some(recorder) = self.stats.stage("solve") {
                     recorder.record(timings.solve_seconds);
                 }
+            }
+        }
+    }
+}
+
+/// Longest accepted `X-Tenant` value.
+const MAX_TENANT_LEN: usize = 64;
+
+/// Resolve the requesting tenant from the `X-Tenant` header: absent means
+/// the shared [`engine::DEFAULT_TENANT`] pool; present values must be
+/// short identifier-like tokens (letters, digits, `-`, `_`, `.`) so they
+/// stay safe as JSON keys and log fields.
+fn request_tenant(request: &Request) -> Result<String, Response> {
+    match request.header("x-tenant") {
+        None => Ok(engine::DEFAULT_TENANT.to_string()),
+        Some(value) => {
+            let valid = !value.is_empty()
+                && value.len() <= MAX_TENANT_LEN
+                && value
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
+            if valid {
+                Ok(value.to_string())
+            } else {
+                Err(Response::error(
+                    400,
+                    &format!(
+                        "X-Tenant must be 1..={MAX_TENANT_LEN} characters of \
+                         [A-Za-z0-9._-]"
+                    ),
+                ))
             }
         }
     }

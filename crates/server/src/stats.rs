@@ -169,10 +169,15 @@ impl ServerStats {
     /// Render everything (plus the given cache counters, worker count, and
     /// distributed-cluster snapshot) as the `/stats` JSON document (schema
     /// `engine_server_stats/v1`).
+    ///
+    /// The legacy top-level `cache` and `factor_cache` sections are pinned
+    /// (older dashboards read them); the versioned `caches` object carries
+    /// the full byte-level picture — policy, byte budget and usage,
+    /// uncacheable count, and per-tenant usage.
     pub fn to_json(
         &self,
         cache: &engine::CacheStats,
-        factors: &crate::factors::FactorCacheStats,
+        factors: &engine::CacheStats,
         workers: usize,
         cluster: &distrib::ClusterSnapshot,
     ) -> String {
@@ -213,6 +218,12 @@ impl ServerStats {
              \"entries\": {}, \"capacity\": {}}},\n",
             factors.hits, factors.misses, factors.evictions, factors.entries, factors.capacity
         ));
+        out.push_str(&format!(
+            "  \"caches\": {{\"schema\": \"engine_server_caches/v1\", \"plan\": {}, \
+             \"factor\": {}}},\n",
+            cache_json(cache),
+            cache_json(factors)
+        ));
         out.push_str("  \"endpoints\": {");
         for (index, name) in ENDPOINT_NAMES.iter().enumerate() {
             if index > 0 {
@@ -248,6 +259,55 @@ impl ServerStats {
     }
 }
 
+/// One cache's entry in the versioned `caches` object: full byte-level
+/// counters plus per-tenant usage.  Byte-unbounded capacities (the
+/// `u64::MAX` sentinel) render as `null`.
+fn cache_json(stats: &engine::CacheStats) -> String {
+    use engine::json::escape;
+    let bytes_capacity = if stats.bytes_capacity == u64::MAX {
+        "null".to_string()
+    } else {
+        stats.bytes_capacity.to_string()
+    };
+    let max_entries = if stats.capacity == 0 {
+        "null".to_string()
+    } else {
+        stats.capacity.to_string()
+    };
+    let mut out = format!(
+        "{{\"policy\": \"{}\", \"bytes_capacity\": {bytes_capacity}, \"bytes_used\": {}, \
+         \"max_entries\": {max_entries}, \"entries\": {}, \"hits\": {}, \"misses\": {}, \
+         \"hit_rate\": {:.6}, \"evictions\": {}, \"expirations\": {}, \"uncacheable\": {}, \
+         \"tenants\": {{",
+        escape(&stats.policy),
+        stats.bytes_used,
+        stats.entries,
+        stats.hits,
+        stats.misses,
+        stats.hit_rate(),
+        stats.evictions,
+        stats.expirations,
+        stats.uncacheable,
+    );
+    for (index, tenant) in stats.per_tenant.iter().enumerate() {
+        if index > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "\"{}\": {{\"bytes\": {}, \"entries\": {}, \"hits\": {}, \"misses\": {}, \
+             \"uncacheable\": {}}}",
+            escape(&tenant.tenant),
+            tenant.bytes,
+            tenant.entries,
+            tenant.hits,
+            tenant.misses,
+            tenant.uncacheable,
+        ));
+    }
+    out.push_str("}}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,9 +340,20 @@ mod tests {
             capacity: 8,
             ..Default::default()
         };
-        let factors = crate::factors::FactorCacheStats {
+        let factors = engine::CacheStats {
             hits: 2,
             capacity: 8,
+            policy: "LRU".to_string(),
+            bytes_used: 1024,
+            bytes_capacity: u64::MAX,
+            per_tenant: vec![engine::TenantUsage {
+                tenant: "public".to_string(),
+                bytes: 1024,
+                entries: 1,
+                hits: 2,
+                misses: 0,
+                uncacheable: 0,
+            }],
             ..Default::default()
         };
         let cluster = distrib::ClusterStats::new();
@@ -310,6 +381,34 @@ mod tests {
                 .and_then(|c| c.get("hits"))
                 .and_then(Json::as_u64),
             Some(2)
+        );
+        // The versioned caches object carries the byte-level picture.
+        let caches = json.get("caches").expect("caches object present");
+        assert_eq!(
+            caches.get("schema").and_then(Json::as_str),
+            Some("engine_server_caches/v1")
+        );
+        let factor_cache = caches.get("factor").expect("factor cache section");
+        assert_eq!(
+            factor_cache.get("policy").and_then(Json::as_str),
+            Some("LRU")
+        );
+        assert_eq!(
+            factor_cache.get("bytes_used").and_then(Json::as_u64),
+            Some(1024)
+        );
+        // The u64::MAX sentinel renders as null (byte-unbounded).
+        assert!(matches!(
+            factor_cache.get("bytes_capacity"),
+            Some(Json::Null)
+        ));
+        assert_eq!(
+            factor_cache
+                .get("tenants")
+                .and_then(|t| t.get("public"))
+                .and_then(|p| p.get("bytes"))
+                .and_then(Json::as_u64),
+            Some(1024)
         );
         assert!(json
             .get("stages")

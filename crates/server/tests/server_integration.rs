@@ -323,3 +323,141 @@ fn solve_round_trips_over_tcp() {
     assert_eq!(factor_cache.get("hits").and_then(Json::as_u64), Some(1));
     handle.shutdown().expect("clean shutdown");
 }
+
+/// Compat pin: scripts and dashboards predating the byte-budget redesign
+/// parse the top-level `cache` / `factor_cache` objects; the versioned
+/// `caches` object rides alongside, never instead.
+#[test]
+fn stats_keeps_legacy_cache_fields_alongside_versioned_caches() {
+    let handle = spawn_default();
+    let config = grid_config(150, 41);
+    // One cold plan and one repeat, so the plan cache records both kinds.
+    for _ in 0..2 {
+        let (status, _, body) = post(handle.addr(), "/plan", &config);
+        assert_eq!(status, 200, "{body}");
+    }
+    let (_, _, body) = get(handle.addr(), "/stats");
+    let stats = Json::parse(&body).expect("stats is JSON");
+
+    // The pre-redesign top-level fields, exactly where they always were.
+    let cache = stats.get("cache").expect("legacy cache section");
+    for field in [
+        "hits",
+        "misses",
+        "evictions",
+        "expirations",
+        "entries",
+        "capacity",
+    ] {
+        assert!(
+            cache.get(field).and_then(Json::as_u64).is_some(),
+            "legacy cache.{field} went missing"
+        );
+    }
+    assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(1));
+    let factor = stats
+        .get("factor_cache")
+        .expect("legacy factor_cache section");
+    for field in ["hits", "misses", "evictions", "entries", "capacity"] {
+        assert!(
+            factor.get(field).and_then(Json::as_u64).is_some(),
+            "legacy factor_cache.{field} went missing"
+        );
+    }
+
+    // The versioned object: per-cache policy, byte accounting, tenants.
+    let caches = stats.get("caches").expect("caches section");
+    assert_eq!(
+        caches.get("schema").and_then(Json::as_str),
+        Some("engine_server_caches/v1")
+    );
+    let plan = caches.get("plan").expect("caches.plan");
+    assert!(plan.get("policy").and_then(Json::as_str).is_some());
+    assert_eq!(plan.get("hits").and_then(Json::as_u64), Some(1));
+    assert!(plan.get("bytes_used").and_then(Json::as_u64).unwrap() > 0);
+    let public = plan
+        .get("tenants")
+        .and_then(|t| t.get("public"))
+        .expect("default tenant usage");
+    assert_eq!(public.get("hits").and_then(Json::as_u64), Some(1));
+    assert!(caches.get("factor").is_some());
+    handle.shutdown().expect("clean shutdown");
+}
+
+/// Tenant isolation over real HTTP: with byte budgets, quotas, and the
+/// fair-share floor armed, one tenant's flood of unique configurations
+/// cannot starve another tenant's hot set, and nobody exceeds the quota.
+#[test]
+fn tenant_quotas_and_floor_hold_over_http() {
+    // Budgets derived from a measured plan footprint so the numbers track
+    // real plan sizes instead of hardcoding them.
+    let plan_bytes = Engine::new()
+        .plan(&EngineConfig::generated(ProblemKind::Grid2d, 100, 1))
+        .expect("probe plan")
+        .approx_heap_bytes()
+        .max(1024);
+    let quota = plan_bytes * 6;
+    let handle = Server::spawn(ServerConfig {
+        cache: server::CacheSettings {
+            policy: Some("GDSF".to_string()),
+            plan_bytes: Some(plan_bytes * 16),
+            factor_bytes: None,
+            tenant_quota_bytes: Some(quota),
+            tenant_floor: 0.3,
+        },
+        ..ServerConfig::default()
+    })
+    .expect("server boots");
+    let addr = handle.addr();
+
+    let hot: Vec<String> = (0..3)
+        .map(|seed| EngineConfig::generated(ProblemKind::Grid2d, 100, 500 + seed).to_json())
+        .collect();
+    for round in 0..8u64 {
+        for config in &hot {
+            let response =
+                client::post_with_headers(addr, "/plan", &[("X-Tenant", "zeta")], config)
+                    .expect("zeta /plan");
+            assert_eq!(response.status, 200, "{}", response.body);
+        }
+        for burst in 0..2u64 {
+            let config =
+                EngineConfig::generated(ProblemKind::Grid2d, 100, 9_000 + round * 10 + burst)
+                    .to_json();
+            let response =
+                client::post_with_headers(addr, "/plan", &[("X-Tenant", "acme")], &config)
+                    .expect("acme /plan");
+            assert_eq!(response.status, 200, "{}", response.body);
+        }
+    }
+    // Malformed tenant names are rejected before any planning happens.
+    let response = client::post_with_headers(addr, "/plan", &[("X-Tenant", "bad tenant")], &hot[0])
+        .expect("transport");
+    assert_eq!(response.status, 400);
+
+    let (_, _, body) = get(addr, "/stats");
+    let stats = Json::parse(&body).expect("stats is JSON");
+    let tenants = stats
+        .get("caches")
+        .and_then(|c| c.get("plan"))
+        .and_then(|p| p.get("tenants"))
+        .expect("per-tenant usage");
+    for tenant in ["acme", "zeta"] {
+        let usage = tenants.get(tenant).expect("tenant tracked");
+        let bytes = usage.get("bytes").and_then(Json::as_u64).unwrap();
+        assert!(
+            bytes <= quota,
+            "tenant {tenant} holds {bytes} bytes over the {quota}-byte quota"
+        );
+    }
+    let zeta_hits = tenants
+        .get("zeta")
+        .and_then(|t| t.get("hits"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(
+        zeta_hits > 0,
+        "zeta's hot set never hit despite acme's flood"
+    );
+    handle.shutdown().expect("clean shutdown");
+}

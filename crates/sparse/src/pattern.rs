@@ -66,6 +66,12 @@ impl SparsePattern {
         self.n + self.col_idx.len()
     }
 
+    /// Approximate heap footprint of the CSR arrays in bytes (what the
+    /// serving caches charge a cached pattern for).
+    pub fn heap_bytes(&self) -> u64 {
+        ((self.row_ptr.len() + self.col_idx.len()) * std::mem::size_of::<usize>()) as u64
+    }
+
     /// Average number of nonzeros per row (including the diagonal).
     pub fn nnz_per_row(&self) -> f64 {
         if self.n == 0 {
@@ -230,6 +236,13 @@ impl SymmetricCsr {
     /// Number of stored (lower-triangular) entries.
     pub fn nnz_lower(&self) -> usize {
         self.row_idx.len()
+    }
+
+    /// Approximate heap footprint of the CSC arrays in bytes.
+    pub fn heap_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        ((self.col_ptr.len() + self.row_idx.len()) * size_of::<usize>()
+            + self.values.len() * size_of::<f64>()) as u64
     }
 
     /// Stored entries of column `j` as parallel slices `(rows, values)`.
